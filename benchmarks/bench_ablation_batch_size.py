@@ -1,0 +1,57 @@
+"""Ablation: inference batch size on the SPACX machine.
+
+The paper evaluates batch 1; batching multiplies the output-position
+space, which SPACX's e/f parallelism absorbs directly.  Per-image
+latency must improve monotonically with batch (weight broadcast
+amortises) with diminishing returns once the machine saturates.
+"""
+
+from conftest import emit
+
+from repro.core.layer import LayerSet
+from repro.experiments import format_table
+from repro.models import resnet50
+from repro.spacx.architecture import spacx_simulator
+
+_BATCHES = (1, 2, 4, 8, 16)
+
+
+def _sweep():
+    base = resnet50()
+    simulator = spacx_simulator()
+    rows = []
+    for batch in _BATCHES:
+        batched = LayerSet(
+            f"ResNet-50xb{batch}",
+            [layer.with_batch(batch) for layer in base.all_layers],
+        )
+        result = simulator.simulate_model(batched)
+        rows.append(
+            (
+                batch,
+                result.execution_time_s,
+                result.execution_time_s / batch,
+                result.energy.total_mj / batch,
+            )
+        )
+    return rows
+
+
+def test_ablation_batch_size(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1, warmup_rounds=0)
+
+    per_image = [t for _, _, t, _ in rows]
+    # Per-image latency is non-increasing in batch size...
+    assert all(a >= b - 1e-12 for a, b in zip(per_image, per_image[1:]))
+    # ...with a measurable gain from 1 to 16 (weight amortisation).
+    assert per_image[-1] < 0.95 * per_image[0]
+    # Small batches also amortise energy; very large batches start to
+    # overflow the 2 MB GB (per-image DRAM refetch), so we only bound
+    # the regression rather than demand monotone improvement.
+    per_image_energy = [e for _, _, _, e in rows]
+    assert per_image_energy[1] <= per_image_energy[0]
+    assert per_image_energy[-1] < 1.3 * per_image_energy[0]
+
+    headers = ["batch", "total (ms)", "per-image (ms)", "per-image E (mJ)"]
+    table = [[b, t * 1e3, p * 1e3, e] for b, t, p, e in rows]
+    emit("Ablation: batch size (SPACX, ResNet-50)", format_table(headers, table))

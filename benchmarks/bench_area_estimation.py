@@ -1,0 +1,31 @@
+"""Section VIII-G: area estimation -- 0.72 mm^2 PE, ~4% transceiver
+overhead, 132 MRRs (~0.01 mm^2) and ~0.68 mm^2 of micro-bumps under
+each 4.07 mm^2 chiplet."""
+
+import pytest
+from conftest import emit
+
+from repro.experiments import area_estimation, format_table
+
+
+def test_area_estimation(benchmark):
+    study = benchmark(area_estimation)
+    report = study.report
+
+    assert report.pe_logic_mm2 == pytest.approx(0.72)
+    assert study.mrrs_under_chiplet == 132
+    assert study.transceiver_overhead_percent == pytest.approx(4.0, rel=0.05)
+    assert report.mrr_mm2 == pytest.approx(0.01, rel=0.1)
+    assert report.microbump_mm2 == pytest.approx(0.68, rel=0.05)
+    assert report.fits_under_chiplet
+
+    headers = ["quantity", "value"]
+    table = [
+        ["PE logic (mm^2)", report.pe_logic_mm2],
+        ["transceiver overhead", f"{study.transceiver_overhead_percent:.1f}%"],
+        ["MRRs under chiplet", study.mrrs_under_chiplet],
+        ["MRR area (mm^2)", report.mrr_mm2],
+        ["micro-bump area (mm^2)", report.microbump_mm2],
+        ["chiplet area (mm^2)", report.chiplet_mm2],
+    ]
+    emit("Section VIII-G (area estimation)", format_table(headers, table))

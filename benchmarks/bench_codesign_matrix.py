@@ -1,0 +1,47 @@
+"""Co-design ablation: the 2x2 (dataflow x interconnect) matrix.
+
+Extends the paper's Fig. 17 diagonal to the full matrix.  Only the
+co-designed corner (SPACX dataflow on the photonic broadcast network)
+wins; the SPACX dataflow on an electrical unicast mesh degenerates
+(broadcasts become unicast storms) and the weight-stationary dataflow
+wastes the photonic machine (4 kB buffer thrash) -- the quantitative
+form of the paper's central co-design argument.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.codesign import codesign_matrix, codesign_means
+
+
+def test_codesign_matrix(benchmark):
+    cells = benchmark.pedantic(
+        codesign_matrix, rounds=1, iterations=1, warmup_rounds=0
+    )
+    means = codesign_means(cells)
+
+    # Only the co-designed corner wins decisively.
+    assert means[("SPACX", "photonic")] < 0.4
+    # Each ingredient alone buys little or hurts.
+    assert means[("SPACX", "electrical")] > 0.85
+    assert means[("WS", "photonic")] > 0.85
+    # And the co-designed corner beats both single-ingredient corners.
+    assert means[("SPACX", "photonic")] < means[("SPACX", "electrical")]
+    assert means[("SPACX", "photonic")] < means[("WS", "photonic")]
+
+    headers = ["model", "dataflow", "network", "exec (ms)", "vs Simba"]
+    table = [
+        [
+            c.model,
+            c.dataflow,
+            c.network,
+            c.execution_time_s * 1e3,
+            c.normalized_execution_time,
+        ]
+        for c in cells
+    ]
+    table += [
+        ["A.M.", dataflow, network, "-", value]
+        for (dataflow, network), value in sorted(means.items())
+    ]
+    emit("Co-design matrix (dataflow x interconnect)", format_table(headers, table))

@@ -1,0 +1,61 @@
+"""Extension: per-layer charts for DenseNet-201 and EfficientNet-B7.
+
+The paper omits these "due to the large layer counts in these two DNN
+models" (Section VII-D); the harness generates them anyway.  Shape:
+SPACX wins the large majority of distinct layers in both models, and
+depthwise layers (EfficientNet) benefit despite their low arithmetic
+intensity thanks to the grouped-convolution ifmap accounting.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.per_layer import (
+    extended_layer_labels,
+    per_layer_comparison,
+)
+from repro.models import densenet201, efficientnet_b7
+
+
+def _run():
+    rows = {}
+    for model in (densenet201(), efficientnet_b7()):
+        labels = extended_layer_labels(model)
+        rows[model.name] = per_layer_comparison(labelled_layers=labels)
+    return rows
+
+
+def test_extended_per_layer_charts(benchmark):
+    per_model = benchmark.pedantic(_run, rounds=1, iterations=1, warmup_rounds=0)
+
+    for model_name, rows in per_model.items():
+        spacx = [r for r in rows if r.accelerator == "SPACX"]
+        wins = sum(1 for r in spacx if r.normalized_execution_time < 1.0)
+        assert wins > 0.7 * len(spacx), model_name
+
+    # EfficientNet's depthwise layers must not regress vs Simba.
+    effnet = per_model["EfficientNet-B7"]
+    depthwise = [
+        r
+        for r in effnet
+        if r.accelerator == "SPACX" and "dwconv" in r.layer_name
+    ]
+    assert depthwise
+    losing = [r for r in depthwise if r.normalized_execution_time > 1.0]
+    assert len(losing) <= len(depthwise) // 4
+
+    headers = ["model", "SPACX wins", "of", "worst ratio", "best ratio"]
+    table = []
+    for model_name, rows in per_model.items():
+        spacx = [r for r in rows if r.accelerator == "SPACX"]
+        ratios = [r.normalized_execution_time for r in spacx]
+        table.append(
+            [
+                model_name,
+                sum(1 for r in ratios if r < 1.0),
+                len(ratios),
+                max(ratios),
+                min(ratios),
+            ]
+        )
+    emit("Extension: per-layer summaries (omitted models)", format_table(headers, table))

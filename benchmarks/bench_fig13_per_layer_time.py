@@ -1,0 +1,47 @@
+"""Figure 13: per-layer execution time, L1-L21 (ResNet-50) and
+L22-L33 (VGG-16), layer-by-layer, normalised to Simba."""
+
+from conftest import emit
+
+from repro.experiments import format_table, per_layer_comparison
+
+
+def test_fig13_per_layer_execution_time(benchmark, per_layer_rows):
+    rows = benchmark.pedantic(
+        per_layer_comparison, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    spacx = [r for r in rows if r.accelerator == "SPACX"]
+    popstar = [r for r in rows if r.accelerator == "POPSTAR"]
+    assert len(spacx) == 33
+
+    # Shape: SPACX wins the clear majority of layers; POPSTAR stays
+    # close to Simba even on its worst layers (its 100 Gbps chiplet
+    # write path can lose on psum-heavy 1x1 expansions).
+    spacx_wins = sum(1 for r in spacx if r.normalized_execution_time < 1.0)
+    assert spacx_wins >= 22
+    assert all(r.normalized_execution_time <= 1.3 for r in popstar)
+
+    # Shape: communication-heavy FC layers enjoy the biggest cuts
+    # while paying a computation-time penalty (low e*f utilization).
+    for label in ("L31", "L32", "L33"):
+        row = next(r for r in spacx if r.label == label)
+        simba_row = next(
+            r for r in rows if r.label == label and r.accelerator == "Simba"
+        )
+        assert row.normalized_execution_time < 0.9
+        assert row.computation_time_s >= simba_row.computation_time_s
+
+    headers = ["layer", "machine", "exec (us)", "comp (us)", "comm (us)", "vs Simba"]
+    table = [
+        [
+            r.label,
+            r.accelerator,
+            r.execution_time_s * 1e6,
+            r.computation_time_s * 1e6,
+            r.exposed_communication_s * 1e6,
+            r.normalized_execution_time,
+        ]
+        for r in rows
+    ]
+    emit("Figure 13 (per-layer execution time)", format_table(headers, table))

@@ -1,0 +1,48 @@
+"""Figure 14: per-layer energy, network/other split, normalised to
+Simba."""
+
+from conftest import emit
+
+from repro.experiments import format_table, per_layer_comparison
+
+
+def test_fig14_per_layer_energy(benchmark):
+    rows = benchmark.pedantic(
+        per_layer_comparison, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    spacx = [r for r in rows if r.accelerator == "SPACX"]
+
+    # Shape: SPACX cuts energy on the clear majority of layers, and
+    # the cuts concentrate in communication-intensive layers.
+    wins = sum(1 for r in spacx if r.normalized_energy < 1.0)
+    assert wins >= 24
+
+    # FC layers still win on energy, though layer-by-layer DRAM
+    # traffic (identical across machines) compresses the margin.
+    fc = [r for r in spacx if r.label in ("L31", "L32", "L33")]
+    assert all(r.normalized_energy < 1.0 for r in fc)
+    assert any(r.normalized_energy < 0.6 for r in fc)
+
+    # Network energy is the main differentiator (the paper's
+    # observation that reductions come from the network share).
+    for label in ("L5", "L10", "L25"):
+        spacx_row = next(r for r in spacx if r.label == label)
+        simba_row = next(
+            r for r in rows if r.label == label and r.accelerator == "Simba"
+        )
+        assert spacx_row.network_energy_mj < simba_row.network_energy_mj
+
+    headers = ["layer", "machine", "E (mJ)", "network (mJ)", "other (mJ)", "vs Simba"]
+    table = [
+        [
+            r.label,
+            r.accelerator,
+            r.energy_mj,
+            r.network_energy_mj,
+            r.other_energy_mj,
+            r.normalized_energy,
+        ]
+        for r in rows
+    ]
+    emit("Figure 14 (per-layer energy)", format_table(headers, table))

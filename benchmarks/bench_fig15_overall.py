@@ -1,0 +1,43 @@
+"""Figure 15: whole-model execution time and energy for the four DNNs
+plus the A.M. column -- the paper's headline 78% / 75% reductions."""
+
+from conftest import emit
+
+from repro.experiments import format_table, overall_comparison, overall_means
+
+
+def test_fig15_overall_execution_and_energy(benchmark):
+    rows = benchmark.pedantic(
+        overall_comparison, rounds=1, iterations=1, warmup_rounds=0
+    )
+    means = overall_means(rows)
+
+    # Headline shape: SPACX < POPSTAR < Simba on both axes, with the
+    # reproduced A.M. reductions in the recorded bands
+    # (paper: SPACX -78% time / -75% energy; POPSTAR -39% / -28%).
+    assert (
+        means["SPACX"]["execution_time"]
+        < means["POPSTAR"]["execution_time"]
+        < means["Simba"]["execution_time"]
+    )
+    assert 0.12 <= means["SPACX"]["execution_time"] <= 0.35
+    assert 0.15 <= means["SPACX"]["energy"] <= 0.45
+    assert 0.45 <= means["POPSTAR"]["execution_time"] <= 0.75
+
+    headers = ["model", "machine", "exec (ms)", "E (mJ)", "time vs Simba", "E vs Simba"]
+    table = [
+        [
+            r.model,
+            r.accelerator,
+            r.execution_time_s * 1e3,
+            r.energy_mj,
+            r.normalized_execution_time,
+            r.normalized_energy,
+        ]
+        for r in rows
+    ]
+    table += [
+        ["A.M.", name, "-", "-", m["execution_time"], m["energy"]]
+        for name, m in means.items()
+    ]
+    emit("Figure 15 (whole-model time & energy)", format_table(headers, table))

@@ -1,0 +1,48 @@
+"""Figure 16: network latency and throughput, normalised to Simba.
+
+Paper shape: POPSTAR -48% / SPACX -80% latency; POPSTAR +35% /
+SPACX +93% throughput.
+"""
+
+from conftest import emit
+
+from repro.experiments import (
+    format_table,
+    network_metric_means,
+    network_metrics,
+)
+
+
+def test_fig16_latency_and_throughput(benchmark):
+    rows = benchmark.pedantic(
+        network_metrics, rounds=1, iterations=1, warmup_rounds=0
+    )
+    means = network_metric_means(rows)
+
+    assert (
+        means["SPACX"]["latency"]
+        < means["POPSTAR"]["latency"]
+        < means["Simba"]["latency"]
+    )
+    assert 0.10 <= means["SPACX"]["latency"] <= 0.35  # paper: 0.20
+    assert 0.30 <= means["POPSTAR"]["latency"] <= 0.65  # paper: 0.52
+    assert means["SPACX"]["throughput"] > means["POPSTAR"]["throughput"] > 1.0
+    assert 1.5 <= means["SPACX"]["throughput"] <= 2.6  # paper: 1.93
+
+    headers = ["model", "machine", "latency (ns)", "thr (Gbps)", "lat vs Simba", "thr vs Simba"]
+    table = [
+        [
+            r.model,
+            r.accelerator,
+            r.packet_latency_s * 1e9,
+            r.throughput_gbps,
+            r.normalized_latency,
+            r.normalized_throughput,
+        ]
+        for r in rows
+    ]
+    table += [
+        ["A.M.", name, "-", "-", m["latency"], m["throughput"]]
+        for name, m in means.items()
+    ]
+    emit("Figure 16 (latency & throughput)", format_table(headers, table))

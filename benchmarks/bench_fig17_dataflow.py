@@ -1,0 +1,46 @@
+"""Figure 17: dataflow ablation (WS vs OS(e/f) vs SPACX on the SPACX
+photonic machine), normalised to WS.
+
+Paper shape: SPACX saves 68%/75% vs WS and 21%/27% vs OS(e/f).
+"""
+
+from conftest import emit
+
+from repro.experiments import dataflow_ablation, dataflow_means, format_table
+
+
+def test_fig17_dataflow_ablation(benchmark):
+    rows = benchmark.pedantic(
+        dataflow_ablation, rounds=1, iterations=1, warmup_rounds=0
+    )
+    means = dataflow_means(rows)
+
+    # Ordering must hold on the means and the savings be substantial.
+    assert (
+        means["SPACX"]["execution_time"]
+        < means["OS(e/f)"]["execution_time"]
+        < means["WS"]["execution_time"]
+    )
+    assert means["SPACX"]["execution_time"] <= 0.5  # paper: 0.32
+    assert means["SPACX"]["energy"] <= 0.6  # paper: 0.25
+    assert (
+        means["SPACX"]["execution_time"] / means["OS(e/f)"]["execution_time"]
+    ) <= 0.95  # paper: 0.79
+
+    headers = ["model", "dataflow", "exec (ms)", "E (mJ)", "time vs WS", "E vs WS"]
+    table = [
+        [
+            r.model,
+            r.dataflow,
+            r.execution_time_s * 1e3,
+            r.energy_mj,
+            r.normalized_execution_time,
+            r.normalized_energy,
+        ]
+        for r in rows
+    ]
+    table += [
+        ["A.M.", name, "-", "-", m["execution_time"], m["energy"]]
+        for name, m in means.items()
+    ]
+    emit("Figure 17 (dataflow ablation)", format_table(headers, table))

@@ -1,0 +1,40 @@
+"""Figure 18: flexible bandwidth allocation ablation (SPACX vs
+SPACX-BA), normalised to Simba.
+
+Paper shape: disabling the Section VI scheme raises execution time
+(+14% on average) through network under-utilization stalls, while
+SPACX-BA still beats Simba comfortably.
+"""
+
+from conftest import emit
+
+from repro.experiments import (
+    bandwidth_ablation,
+    bandwidth_means,
+    format_table,
+)
+
+
+def test_fig18_bandwidth_allocation(benchmark):
+    rows = benchmark.pedantic(
+        bandwidth_ablation, rounds=1, iterations=1, warmup_rounds=0
+    )
+    means = bandwidth_means(rows)
+
+    assert means["BA-off increase"]["execution_time"] > 1.0
+    assert 1.05 <= means["BA-off increase"]["execution_time"] <= 1.8
+    assert means["SPACX-BA"]["execution_time"] < 1.0  # still beats Simba
+
+    headers = ["model", "machine", "exec (ms)", "E (mJ)", "time vs Simba", "E vs Simba"]
+    table = [
+        [
+            r.model,
+            r.accelerator,
+            r.execution_time_s * 1e3,
+            r.energy_mj,
+            r.normalized_execution_time,
+            r.normalized_energy,
+        ]
+        for r in rows
+    ]
+    emit("Figure 18 (bandwidth-allocation ablation)", format_table(headers, table))

@@ -1,0 +1,41 @@
+"""Figure 19: SPACX network power vs (k, e/f) granularity, moderate
+photonic parameters.
+
+Paper shape: laser power minimal at (4, 4) and exponential toward
+(32, 32); transceiver power minimal at (32, 32); the overall optimum
+interior (the paper picks k=16 / e/f=8 as the balanced operating
+point).
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table, moderate_surface, surface_minimum
+
+
+def test_fig19_power_surface_moderate(benchmark):
+    surface = benchmark(moderate_surface)
+
+    laser_best = surface_minimum(surface, "laser_w")
+    transceiver_best = surface_minimum(surface, "transceiver_w")
+    overall_best = surface_minimum(surface, "overall_w")
+
+    assert (laser_best.k_granularity, laser_best.ef_granularity) == (4, 4)
+    assert (
+        transceiver_best.k_granularity,
+        transceiver_best.ef_granularity,
+    ) == (32, 32)
+    assert (overall_best.k_granularity, overall_best.ef_granularity) not in (
+        (4, 4),
+        (32, 32),
+    )
+
+    # Laser power grows steeply toward the coarse corner.
+    corner = next(p for p in surface if (p.k_granularity, p.ef_granularity) == (32, 32))
+    assert corner.laser_w > 5 * laser_best.laser_w
+
+    headers = ["k", "e/f", "laser (W)", "transceiver (W)", "overall (W)"]
+    table = [
+        [p.k_granularity, p.ef_granularity, p.laser_w, p.transceiver_w, p.overall_w]
+        for p in surface
+    ]
+    emit("Figure 19 (power surface, moderate)", format_table(headers, table))

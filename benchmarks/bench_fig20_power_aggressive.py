@@ -1,0 +1,42 @@
+"""Figure 20: SPACX network power vs granularity, aggressive photonic
+parameters -- same surface shapes as Figure 19 at much lower absolute
+power."""
+
+from conftest import emit
+
+from repro.experiments import (
+    aggressive_surface,
+    format_table,
+    moderate_surface,
+    surface_minimum,
+)
+
+
+def test_fig20_power_surface_aggressive(benchmark):
+    surface = benchmark(aggressive_surface)
+
+    laser_best = surface_minimum(surface, "laser_w")
+    transceiver_best = surface_minimum(surface, "transceiver_w")
+
+    assert (laser_best.k_granularity, laser_best.ef_granularity) == (4, 4)
+    assert (
+        transceiver_best.k_granularity,
+        transceiver_best.ef_granularity,
+    ) == (32, 32)
+
+    # Every configuration is cheaper than with moderate parameters.
+    moderate = {
+        (p.k_granularity, p.ef_granularity): p for p in moderate_surface()
+    }
+    for point in surface:
+        partner = moderate[(point.k_granularity, point.ef_granularity)]
+        assert point.overall_w < partner.overall_w
+        assert point.laser_w < partner.laser_w
+        assert point.transceiver_w < partner.transceiver_w
+
+    headers = ["k", "e/f", "laser (W)", "transceiver (W)", "overall (W)"]
+    table = [
+        [p.k_granularity, p.ef_granularity, p.laser_w, p.transceiver_w, p.overall_w]
+        for p in surface
+    ]
+    emit("Figure 20 (power surface, aggressive)", format_table(headers, table))

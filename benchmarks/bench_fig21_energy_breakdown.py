@@ -1,0 +1,65 @@
+"""Figure 21: (a) energy under moderate vs aggressive photonics for
+all machines and models; (b) the SPACX network-energy split for a
+ResNet-50 pass.
+
+Paper shape (b, moderate): O/E dominates (~45%), then heating (~32%),
+laser (~19%), with E/O smallest (~4%); total 23.9 mJ moderate vs
+8.4 mJ aggressive (ours differ in absolute scale, shape preserved).
+"""
+
+from conftest import emit
+
+from repro.experiments import (
+    format_table,
+    parameter_sensitivity,
+    spacx_network_split,
+)
+from repro.photonics.components import AGGRESSIVE_PARAMETERS
+
+
+def test_fig21a_parameter_sensitivity(benchmark):
+    rows = benchmark.pedantic(
+        parameter_sensitivity, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    for model in {r.model for r in rows}:
+        subset = {r.variant: r for r in rows if r.model == model}
+        assert (
+            subset["SPACX (aggressive)"].normalized_energy
+            < subset["SPACX (moderate)"].normalized_energy
+            < subset["POPSTAR (moderate)"].normalized_energy
+        )
+        assert (
+            subset["POPSTAR (aggressive)"].normalized_energy
+            < subset["POPSTAR (moderate)"].normalized_energy
+        )
+
+    headers = ["model", "variant", "E (mJ)", "network (mJ)", "vs Simba"]
+    table = [
+        [r.model, r.variant, r.energy_mj, r.network_energy_mj, r.normalized_energy]
+        for r in rows
+    ]
+    emit("Figure 21a (moderate vs aggressive)", format_table(headers, table))
+
+
+def test_fig21b_spacx_network_split(benchmark):
+    moderate = benchmark(spacx_network_split)
+    aggressive = spacx_network_split(AGGRESSIVE_PARAMETERS)
+
+    fractions = moderate.fractions()
+    assert fractions["oe"] > fractions["heating"] > fractions["laser"] > fractions["eo"]
+    assert aggressive.total_mj < 0.5 * moderate.total_mj
+
+    headers = ["set", "E/O (mJ)", "O/E (mJ)", "heating (mJ)", "laser (mJ)", "total"]
+    table = [
+        [
+            split.parameters,
+            split.eo_mj,
+            split.oe_mj,
+            split.heating_mj,
+            split.laser_mj,
+            split.total_mj,
+        ]
+        for split in (moderate, aggressive)
+    ]
+    emit("Figure 21b (SPACX network split, ResNet-50)", format_table(headers, table))

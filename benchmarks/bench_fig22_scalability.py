@@ -1,0 +1,59 @@
+"""Figure 22: scalability over M (chiplets) and N (PEs per chiplet)
+for a ResNet-50 pass.
+
+Paper shapes: Simba's execution time *rises* with M (electrical
+interconnects offset the scaling); POPSTAR and SPACX scale; the
+POPSTAR-vs-SPACX energy gap widens with scale (quadratic crossbar
+ring inventory)."""
+
+from conftest import emit
+
+from repro.experiments import format_table, scalability_study
+
+
+def test_fig22_scalability(benchmark):
+    rows = benchmark.pedantic(
+        scalability_study, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    def pick(acc, m, n):
+        return next(
+            r
+            for r in rows
+            if r.accelerator == acc and (r.chiplets, r.pes_per_chiplet) == (m, n)
+        )
+
+    # Simba anti-scales in M.
+    assert (
+        pick("Simba", 64, 32).execution_time_s
+        > pick("Simba", 32, 32).execution_time_s
+        > pick("Simba", 16, 32).execution_time_s
+    )
+    # SPACX scales in both M and N.
+    assert pick("SPACX", 64, 32).execution_time_s < pick(
+        "SPACX", 32, 32
+    ).execution_time_s
+    assert pick("SPACX", 32, 64).execution_time_s < pick(
+        "SPACX", 32, 32
+    ).execution_time_s
+    # Energy gap POPSTAR/SPACX widens with chiplet count.
+    gaps = [
+        pick("POPSTAR", m, 32).energy_mj / pick("SPACX", m, 32).energy_mj
+        for m in (16, 32, 64)
+    ]
+    assert gaps[0] < gaps[1] < gaps[2]
+
+    headers = ["M", "N", "machine", "exec (ms)", "E (mJ)", "time vs SPACX32", "E vs SPACX32"]
+    table = [
+        [
+            r.chiplets,
+            r.pes_per_chiplet,
+            r.accelerator,
+            r.execution_time_s * 1e3,
+            r.energy_mj,
+            r.normalized_execution_time,
+            r.normalized_energy,
+        ]
+        for r in rows
+    ]
+    emit("Figure 22 (scalability)", format_table(headers, table))

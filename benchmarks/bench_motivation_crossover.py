@@ -1,0 +1,42 @@
+"""Section II motivation: photonic vs electrical energy per bit vs
+distance, and the technology crossover.
+
+Shape requirements: electrical energy grows linearly with distance,
+photonic energy is nearly flat (distance-independence), and the
+curves cross at chiplet-package scale (around a centimetre) --
+on-die wires stay electrical (SPACX's token ring), package links go
+photonic (SPACX's network)."""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.motivation import (
+    crossover_distance_cm,
+    energy_per_bit_vs_distance,
+)
+from repro.photonics.components import AGGRESSIVE_PARAMETERS
+
+
+def test_motivation_energy_crossover(benchmark):
+    points = benchmark(energy_per_bit_vs_distance)
+
+    assert not points[0].photonic_wins  # mm scale: wires win
+    assert all(p.photonic_wins for p in points if p.distance_cm >= 2.0)
+
+    moderate_crossover = crossover_distance_cm()
+    aggressive_crossover = crossover_distance_cm(AGGRESSIVE_PARAMETERS)
+    assert 0.3 <= moderate_crossover <= 3.0
+    assert aggressive_crossover <= moderate_crossover
+
+    headers = ["distance (cm)", "electrical (pJ/b)", "photonic (pJ/b)", "winner"]
+    table = [
+        [
+            p.distance_cm,
+            p.electrical_pj_per_bit,
+            p.photonic_pj_per_bit,
+            "photonic" if p.photonic_wins else "electrical",
+        ]
+        for p in points
+    ]
+    table.append(["crossover", moderate_crossover, "-", "-"])
+    emit("Section II motivation (energy/bit vs distance)", format_table(headers, table))

@@ -1,0 +1,56 @@
+"""Sensitivity of the headline ratio to substituted substrate
+constants (DRAM bandwidth, core clock, per-wavelength line rate).
+
+The reproduction's conclusions must hold across a wide band of each
+constant, demonstrating they are not artefacts of one calibration
+point (DESIGN.md documents the substitutions)."""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.sensitivity import (
+    dram_bandwidth_sensitivity,
+    frequency_sensitivity,
+    wavelength_rate_sensitivity,
+)
+
+
+def _all_sweeps():
+    return (
+        dram_bandwidth_sensitivity()
+        + frequency_sensitivity()
+        + wavelength_rate_sensitivity()
+    )
+
+
+def test_sensitivity_of_headline_ratio(benchmark):
+    points = benchmark.pedantic(_all_sweeps, rounds=1, iterations=1, warmup_rounds=0)
+
+    # SPACX beats Simba everywhere in the swept envelope.
+    assert all(point.ratio < 0.75 for point in points)
+    # And decisively at the paper-like settings.
+    nominal = [
+        p
+        for p in points
+        if (p.parameter, p.value)
+        in (
+            ("dram_bandwidth_gbps", 2048.0),
+            ("frequency_ghz", 0.5),
+            ("wavelength_rate_gbps", 10.0),
+        )
+    ]
+    assert nominal
+    assert all(p.ratio < 0.5 for p in nominal)
+
+    headers = ["parameter", "value", "SPACX (ms)", "Simba (ms)", "ratio"]
+    table = [
+        [
+            p.parameter,
+            p.value,
+            p.spacx_execution_time_s * 1e3,
+            p.simba_execution_time_s * 1e3,
+            p.ratio,
+        ]
+        for p in points
+    ]
+    emit("Sensitivity: substrate constants", format_table(headers, table))

@@ -1,0 +1,30 @@
+"""Table I: the four SPACX network configurations A-D.
+
+The topology generator must reproduce every published cell exactly;
+the benchmark times the structural derivation.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.tables import PAPER_TABLE_I, table_i
+
+
+def test_table1_configurations(benchmark):
+    rows = benchmark(table_i)
+
+    assert rows == PAPER_TABLE_I
+
+    headers = ["quantity", "A", "B", "C", "D"]
+    quantities = [
+        ("No. of global waveguide", "global_waveguides"),
+        ("No. of local waveguide per chiplet", "local_waveguides_per_chiplet"),
+        ("No. of wavelengths", "wavelengths"),
+        ("No. of PEs per waveguide", "pes_per_waveguide"),
+        ("No. of MRRs in interfaces", "interface_mrrs"),
+    ]
+    table = [
+        [label] + [rows[config][key] for config in "ABCD"]
+        for label, key in quantities
+    ]
+    emit("Table I (reproduced exactly)", format_table(headers, table))

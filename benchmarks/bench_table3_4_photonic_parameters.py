@@ -1,0 +1,36 @@
+"""Tables III/IV: moderate and aggressive photonic parameters, and the
+laser power they imply through Eq. (2)."""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.experiments.tables import laser_power_from_parameters, table_iii_iv
+
+
+def test_table3_4_parameters_and_laser_power(benchmark):
+    powers = benchmark(laser_power_from_parameters)
+    tables = table_iii_iv()
+
+    # Spot-check the published cells.
+    assert tables["moderate"].ring_drop_db == 1.0
+    assert tables["moderate"].receiver_sensitivity_dbm == -20.0
+    assert tables["aggressive"].ring_drop_db == 0.7
+    assert tables["aggressive"].receiver_sensitivity_dbm == -26.0
+    assert tables["aggressive"].ring_heating_mw == 0.320
+
+    # Eq. (2): the aggressive set needs far less launch power.
+    assert powers["aggressive"]["total_laser_w"] < (
+        0.5 * powers["moderate"]["total_laser_w"]
+    )
+
+    headers = ["set", "X-path loss (dB)", "Y-path loss (dB)", "laser (W)"]
+    table = [
+        [
+            name,
+            values["x_path_loss_db"],
+            values["y_path_loss_db"],
+            values["total_laser_w"],
+        ]
+        for name, values in powers.items()
+    ]
+    emit("Tables III/IV -> Eq. (2) laser power", format_table(headers, table))

@@ -1,0 +1,52 @@
+"""Process-variation yield of the SPACX link budgets.
+
+The Eq. (2) system margin (4 dB) exists to absorb lifetime and fab
+variations; a Monte-Carlo over the Table III component losses must
+show realistic corners landing inside it with high yield -- otherwise
+the published margin would be undersized for the published network.
+"""
+
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.photonics.components import MODERATE_PARAMETERS
+from repro.photonics.variation import VariationModel
+from repro.spacx.power import SpacxPowerModel
+from repro.spacx.topology import SpacxTopology
+
+
+def _run():
+    results = {}
+    for granularity in (4, 8, 16, 32):
+        topo = SpacxTopology(
+            chiplets=32,
+            pes_per_chiplet=32,
+            ef_granularity=granularity,
+            k_granularity=granularity,
+        )
+        model = VariationModel(seed=2022)
+        results[granularity] = model.analyze(
+            MODERATE_PARAMETERS,
+            lambda p, t=topo: SpacxPowerModel(t, p).x_path_budget(),
+            n_samples=256,
+        )
+    return results
+
+
+def test_variation_yield(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1, warmup_rounds=0)
+
+    for granularity, result in results.items():
+        # The 4 dB margin absorbs realistic corners at every
+        # granularity the paper considers.
+        assert result.yield_fraction >= 0.9, granularity
+    # Coarser granularity has more components on the path, hence a
+    # wider variation spread.
+    assert results[32].p95_excess_db > results[4].p95_excess_db
+
+    headers = ["granularity", "mean excess (dB)", "p95 (dB)", "worst (dB)", "yield"]
+    table = [
+        [g, r.mean_excess_db, r.p95_excess_db, r.worst_excess_db, r.yield_fraction]
+        for g, r in sorted(results.items())
+    ]
+    emit("Variation Monte-Carlo (X path, moderate)", format_table(headers, table))

@@ -1,0 +1,29 @@
+"""Shared helpers for the per-table / per-figure benchmarks.
+
+Each benchmark regenerates one item of the paper's evaluation section,
+asserts its qualitative shape and prints the reproduced rows so the
+pytest output doubles as a reproduction report (run with ``-s`` to see
+the tables).
+"""
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print one reproduction table under a banner."""
+    print(f"\n=== {title} ===")
+    print(body)
+
+
+@pytest.fixture(scope="session")
+def overall_rows():
+    from repro.experiments import overall_comparison
+
+    return overall_comparison()
+
+
+@pytest.fixture(scope="session")
+def per_layer_rows():
+    from repro.experiments import per_layer_comparison
+
+    return per_layer_comparison()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's headline comparison across all four DNNs.
+
+Runs Simba, POPSTAR and SPACX over ResNet-50, VGG-16, DenseNet-201
+and EfficientNet-B7 (Fig. 15 methodology: whole-model passes with GB
+reuse between layers) and prints the normalised execution time and
+energy per model plus the arithmetic-mean column.
+
+Run:  python examples/compare_accelerators.py
+"""
+
+from repro.experiments import (
+    format_table,
+    overall_comparison,
+    overall_means,
+)
+
+
+def main() -> None:
+    rows = overall_comparison()
+    means = overall_means(rows)
+
+    headers = [
+        "model",
+        "machine",
+        "exec (ms)",
+        "energy (mJ)",
+        "time vs Simba",
+        "energy vs Simba",
+    ]
+    table = [
+        [
+            r.model,
+            r.accelerator,
+            f"{r.execution_time_s * 1e3:.3f}",
+            f"{r.energy_mj:.2f}",
+            f"{r.normalized_execution_time:.3f}",
+            f"{r.normalized_energy:.3f}",
+        ]
+        for r in rows
+    ]
+    for machine, mean in means.items():
+        table.append(
+            [
+                "A.M.",
+                machine,
+                "-",
+                "-",
+                f"{mean['execution_time']:.3f}",
+                f"{mean['energy']:.3f}",
+            ]
+        )
+    print(format_table(headers, table))
+
+    spacx = means["SPACX"]
+    print()
+    print(
+        "SPACX reduction vs Simba: "
+        f"{(1 - spacx['execution_time']) * 100:.0f}% execution time, "
+        f"{(1 - spacx['energy']) * 100:.0f}% energy "
+        "(paper: 78% and 75%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

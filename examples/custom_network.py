@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Map a user-defined DNN onto SPACX through the public API.
+
+Shows the intended downstream-user workflow: describe a network as
+layer shapes, wrap it in a LayerSet, pick machine parameters
+(including broadcast granularities) and inspect per-layer mapping
+decisions, bottlenecks and the bandwidth-allocation plan.
+
+Run:  python examples/custom_network.py
+"""
+
+from repro import ConvLayer, LayerSet, fully_connected, spacx_simulator
+from repro.core.dataflow import SpacxTiling
+from repro.spacx import plan_bandwidth, spacx_topology
+
+
+def build_my_model() -> LayerSet:
+    """A small custom CNN: three conv stages and a classifier."""
+    layers = [
+        ConvLayer(name="stem", c=3, k=32, r=3, s=3, h=66, w=66, stride=2),
+        ConvLayer(name="stage1_a", c=32, k=64, r=3, s=3, h=34, w=34),
+        ConvLayer(name="stage1_b", c=64, k=64, r=3, s=3, h=34, w=34),
+        ConvLayer(name="stage2_a", c=64, k=128, r=3, s=3, h=18, w=18, stride=2),
+        ConvLayer(name="stage2_b", c=128, k=128, r=3, s=3, h=10, w=10),
+        ConvLayer(name="head", c=128, k=256, r=1, s=1, h=8, w=8),
+        fully_connected("classifier", 256 * 8 * 8, 100),
+    ]
+    return LayerSet("MyCNN", layers)
+
+
+def main() -> None:
+    model = build_my_model()
+    simulator = spacx_simulator(ef_granularity=8, k_granularity=16)
+    topology = spacx_topology(ef_granularity=8, k_granularity=16)
+
+    print(f"{model.name}: {model.total_macs / 1e6:.1f} MMACs, "
+          f"{len(model)} layers")
+    print()
+    print(
+        f"{'layer':>12s} {'exec (us)':>10s} {'util':>6s} {'bottleneck':>14s} "
+        f"{'W sharers':>10s} {'I sharers':>10s} {'BA plan (X w/i)':>16s}"
+    )
+    for layer in model:
+        result = simulator.simulate_layer(layer, layer_by_layer=False)
+        mapping = result.mapping
+        times = simulator.communication_times(mapping, result.traffic)
+        tiling = SpacxTiling.for_layer(
+            layer,
+            ef_spatial=topology.ef_granularity * topology.n_pe_groups,
+            k_spatial=topology.k_granularity * topology.n_chiplet_groups,
+            k_group=topology.k_granularity,
+            ef_group=topology.ef_granularity,
+        )
+        plan = plan_bandwidth(layer, tiling, topology)
+        utilization = mapping.utilization(simulator.spec.mapping_parameters())
+        bottleneck = (
+            times.bottleneck_name
+            if result.exposed_communication_s > 0
+            else "compute"
+        )
+        print(
+            f"{layer.name:>12s} {result.execution_time_s * 1e6:10.2f} "
+            f"{utilization:6.2f} {bottleneck:>14s} "
+            f"{mapping.weight_sharers:10d} {mapping.ifmap_sharers:10d} "
+            f"{f'{plan.x_for_weights}/{plan.x_for_ifmaps}':>16s}"
+        )
+
+    total = simulator.simulate_model(model)
+    print()
+    print(
+        f"Full pass: {total.execution_time_s * 1e6:.1f} us, "
+        f"{total.energy.total_mj:.3f} mJ "
+        f"({total.energy.network_mj:.3f} mJ network)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Fault tolerance: what happens when photonic devices die.
+
+The thermal tuning of Section II-A handles drift; this example asks
+about *hard* failures -- a stuck modulator, a dead photodetector --
+and shows the architecture's graceful degradation: SPACX's regular
+structure lets the execution controller remap work onto the surviving
+hardware, so failures behave like a slightly smaller machine.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.models import resnet50
+from repro.spacx.faults import FaultScenario, inject_fault
+from repro.viz import bar_chart
+
+SCENARIOS = [
+    ("healthy", FaultScenario()),
+    ("1 interposer splitter", FaultScenario(splitters=1)),
+    ("1 X carrier", FaultScenario(x_carriers=1)),
+    ("1 Y carrier (chiplet)", FaultScenario(y_carriers=1)),
+    ("4 Y carriers", FaultScenario(y_carriers=4)),
+    ("8 Y + 16 X carriers", FaultScenario(y_carriers=8, x_carriers=16)),
+]
+
+
+def main() -> None:
+    workload = resnet50()
+    print(f"Workload: {workload.name}\n")
+    print(f"{'scenario':24s} {'PEs lost':>9s} {'slowdown':>9s}")
+    results = []
+    for name, scenario in SCENARIOS:
+        result = inject_fault(workload, scenario)
+        results.append((name, result))
+        print(f"{name:24s} {result.pes_lost:9d} {result.slowdown:8.2f}x")
+
+    print()
+    print(bar_chart([(name, r.slowdown) for name, r in results], reference=2.0))
+    print()
+    worst = results[-1][1]
+    print(
+        f"Even the harshest scenario (the controller falls back to a "
+        f"machine with well under half the PE slots) stays at "
+        f"{worst.slowdown:.1f}x -- degradation tracks the surviving "
+        "capacity, with no communication cliff."
+    )
+
+
+if __name__ == "__main__":
+    main()

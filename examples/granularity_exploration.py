@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Explore broadcast granularity (Section V + Figures 19/20).
+
+Sweeps the (k, e/f) broadcast-granularity grid of a 32x32 SPACX
+machine, printing the laser / transceiver / overall power surfaces
+for both photonic parameter sets and the per-granularity structural
+costs (waveguides, wavelengths, interface MRRs), then shows how the
+execution time of two Section V example layers depends on the
+configuration.
+
+Run:  python examples/granularity_exploration.py
+"""
+
+from repro.core.layer import ConvLayer
+from repro.photonics import AGGRESSIVE_PARAMETERS, MODERATE_PARAMETERS
+from repro.spacx import SpacxTopology, granularity_sweep, spacx_simulator
+
+
+def power_surfaces() -> None:
+    for params in (MODERATE_PARAMETERS, AGGRESSIVE_PARAMETERS):
+        print(f"--- power surface ({params.name} parameters) ---")
+        print(f"{'k':>3s} {'e/f':>4s} {'laser W':>9s} {'tx W':>8s} {'overall W':>10s}")
+        sweep = granularity_sweep(32, 32, params)
+        for (k, ef), report in sorted(sweep.items()):
+            print(
+                f"{k:3d} {ef:4d} {report.laser_w:9.2f} "
+                f"{report.transceiver_w:8.2f} {report.overall_w:10.2f}"
+            )
+        best = min(sweep, key=lambda key: sweep[key].overall_w)
+        print(f"overall minimum at (k, e/f) = {best}")
+        print()
+
+
+def structural_costs() -> None:
+    print("--- structural cost vs granularity (M = N = 32) ---")
+    print(
+        f"{'k':>3s} {'e/f':>4s} {'global wg':>10s} {'local wg':>9s} "
+        f"{'lambda':>7s} {'iface MRRs':>11s}"
+    )
+    for k in (4, 8, 16, 32):
+        for ef in (4, 8, 16, 32):
+            topo = SpacxTopology(
+                chiplets=32, pes_per_chiplet=32, ef_granularity=ef, k_granularity=k
+            )
+            print(
+                f"{k:3d} {ef:4d} {topo.n_global_waveguides:10d} "
+                f"{topo.n_local_waveguides_per_chiplet:9d} "
+                f"{topo.n_wavelengths:7d} {topo.n_interface_mrrs:11d}"
+            )
+    print()
+
+
+def section_v_examples() -> None:
+    """The two mismatched layers of Section V, across granularities."""
+    # e*f = 4 but k = 16: wants fine cross-chiplet granularity.
+    small_plane = ConvLayer(name="small-plane", c=3, k=512, r=2, s=2, h=5, w=5)
+    # e*f large but k = 4: wants fine single-chiplet granularity.
+    small_k = ConvLayer(name="small-k", c=64, k=4, r=2, s=2, h=33, w=33)
+
+    print("--- Section V example layers vs granularity ---")
+    print(f"{'layer':>12s} {'(k, e/f)':>10s} {'exec (us)':>10s} {'PEs busy':>9s}")
+    for layer in (small_plane, small_k):
+        for k_gran, ef_gran in ((32, 32), (16, 8), (8, 4), (4, 4)):
+            simulator = spacx_simulator(
+                ef_granularity=ef_gran, k_granularity=k_gran
+            )
+            result = simulator.simulate_layer(layer, layer_by_layer=False)
+            print(
+                f"{layer.name:>12s} {f'({k_gran},{ef_gran})':>10s} "
+                f"{result.execution_time_s * 1e6:10.2f} "
+                f"{result.mapping.pes_active:9d}"
+            )
+        print()
+
+
+def main() -> None:
+    power_surfaces()
+    structural_costs()
+    section_v_examples()
+
+
+if __name__ == "__main__":
+    main()

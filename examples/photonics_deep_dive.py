@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Photonics deep dive: from component losses to laser watts.
+
+Walks the full photonic substrate bottom-up for the evaluated SPACX
+machine: the Table III budget of the worst-case X path, the Eq. (2)
+laser power it implies, the effect of the WDM crosstalk refinement,
+the process-variation yield against the 4 dB system margin, and the
+Section II electrical-vs-photonic crossover.
+
+Run:  python examples/photonics_deep_dive.py
+"""
+
+from repro.experiments.motivation import (
+    crossover_distance_cm,
+    energy_per_bit_vs_distance,
+)
+from repro.photonics import (
+    DEFAULT_CROSSTALK,
+    MODERATE_PARAMETERS,
+    SYSTEM_MARGIN_DB,
+    VariationModel,
+    per_wavelength_laser_power_mw,
+)
+from repro.spacx import SpacxTopology
+from repro.spacx.power import SpacxPowerModel
+
+
+def show_budget(model: SpacxPowerModel) -> None:
+    print("=== worst-case X-path link budget (Table III losses) ===")
+    budget = model.x_path_budget()
+    for label, loss in budget.breakdown().items():
+        print(f"  {label:28s} {loss:6.2f} dB")
+    print(f"  {'TOTAL':28s} {budget.total_loss_db:6.2f} dB")
+    power = per_wavelength_laser_power_mw(
+        MODERATE_PARAMETERS, budget.total_loss_db
+    )
+    print(
+        f"\nEq. (2): -20 dBm sensitivity + loss + 2 dB extinction + "
+        f"4 dB margin -> {power:.2f} mW per wavelength"
+    )
+    print(f"Full laser bank: {model.laser_power_w():.2f} W\n")
+
+
+def show_crosstalk(topology: SpacxTopology) -> None:
+    print("=== WDM crosstalk refinement ===")
+    plain = SpacxPowerModel(topology, MODERATE_PARAMETERS)
+    refined = SpacxPowerModel(
+        topology, MODERATE_PARAMETERS, crosstalk=DEFAULT_CROSSTALK
+    )
+    penalty = DEFAULT_CROSSTALK.penalty_db(
+        topology.wavelengths_per_global_waveguide
+    )
+    print(
+        f"  {topology.wavelengths_per_global_waveguide} carriers/waveguide "
+        f"-> {penalty:.3f} dB penalty -> laser "
+        f"{plain.laser_power_w():.2f} W -> {refined.laser_power_w():.2f} W\n"
+    )
+
+
+def show_variation(topology: SpacxTopology) -> None:
+    print("=== process-variation Monte Carlo (X path) ===")
+    result = VariationModel(seed=99).analyze(
+        MODERATE_PARAMETERS,
+        lambda p: SpacxPowerModel(topology, p).x_path_budget(),
+        n_samples=256,
+    )
+    print(
+        f"  excess loss: mean {result.mean_excess_db:.2f} dB, "
+        f"p95 {result.p95_excess_db:.2f} dB, worst "
+        f"{result.worst_excess_db:.2f} dB"
+    )
+    print(
+        f"  the {SYSTEM_MARGIN_DB:.0f} dB system margin absorbs "
+        f"{result.yield_fraction * 100:.1f}% of corners\n"
+    )
+
+
+def show_crossover() -> None:
+    print("=== Section II: energy/bit vs distance ===")
+    for point in energy_per_bit_vs_distance():
+        winner = "photonic" if point.photonic_wins else "electrical"
+        print(
+            f"  {point.distance_cm:5.2f} cm  electrical "
+            f"{point.electrical_pj_per_bit:6.2f} pJ/b   photonic "
+            f"{point.photonic_pj_per_bit:5.2f} pJ/b   -> {winner}"
+        )
+    print(
+        f"\nCrossover at {crossover_distance_cm():.2f} cm: on-die wires "
+        "stay electrical (the token ring), package links go photonic."
+    )
+
+
+def main() -> None:
+    topology = SpacxTopology(
+        chiplets=32, pes_per_chiplet=32, ef_granularity=8, k_granularity=16
+    )
+    model = SpacxPowerModel(topology, MODERATE_PARAMETERS)
+    show_budget(model)
+    show_crosstalk(topology)
+    show_variation(topology)
+    show_crossover()
+
+
+if __name__ == "__main__":
+    main()

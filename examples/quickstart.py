@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one DNN on the three chiplet accelerators.
+
+Builds the paper's evaluated machines (Simba, POPSTAR, SPACX at
+M = N = 32), runs a full ResNet-50 inference pass on each and prints
+execution time, the computation/communication split, the energy
+breakdown and the network metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    popstar_simulator,
+    resnet50,
+    simba_simulator,
+    spacx_simulator,
+)
+
+
+def main() -> None:
+    model = resnet50()
+    print(f"Model: {model.name}")
+    print(f"  layers (with duplicates): {len(model)}")
+    print(f"  distinct layer shapes:    {len(model.unique_layers)}")
+    print(f"  total MACs:               {model.total_macs / 1e9:.2f} G")
+    print()
+
+    simulators = [simba_simulator(), popstar_simulator(), spacx_simulator()]
+    baseline = None
+    header = (
+        f"{'machine':10s} {'exec (ms)':>10s} {'comp (ms)':>10s} "
+        f"{'comm (ms)':>10s} {'energy (mJ)':>12s} {'network (mJ)':>13s} "
+        f"{'vs Simba':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for simulator in simulators:
+        result = simulator.simulate_model(model)
+        if baseline is None:
+            baseline = result
+        energy = result.energy
+        ratio = result.execution_time_s / baseline.execution_time_s
+        print(
+            f"{result.accelerator:10s} "
+            f"{result.execution_time_s * 1e3:10.3f} "
+            f"{result.computation_time_s * 1e3:10.3f} "
+            f"{result.exposed_communication_s * 1e3:10.3f} "
+            f"{energy.total_mj:12.2f} "
+            f"{energy.network_mj:13.2f} "
+            f"{ratio:9.2f}"
+        )
+
+    print()
+    spacx = simulators[-1].simulate_model(model)
+    print("SPACX network energy split (Fig. 21b style):")
+    network = spacx.energy.network
+    for bucket, value in (
+        ("E/O conversion", network.eo_mj),
+        ("O/E conversion", network.oe_mj),
+        ("MRR heating", network.heating_mj),
+        ("laser", network.laser_mj),
+    ):
+        share = value / network.total_mj * 100
+        print(f"  {bucket:15s} {value:7.2f} mJ  ({share:4.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Scalability study (Fig. 22): vary chiplet count M and PEs per
+chiplet N and watch who scales.
+
+Run:  python examples/scalability_study.py
+"""
+
+from repro.experiments import format_table, scalability_study
+
+
+def main() -> None:
+    rows = scalability_study()
+
+    headers = ["M", "N", "machine", "exec (ms)", "energy (mJ)"]
+    table = [
+        [
+            r.chiplets,
+            r.pes_per_chiplet,
+            r.accelerator,
+            f"{r.execution_time_s * 1e3:.3f}",
+            f"{r.energy_mj:.2f}",
+        ]
+        for r in rows
+    ]
+    print(format_table(headers, table))
+    print()
+
+    simba = {
+        (r.chiplets, r.pes_per_chiplet): r
+        for r in rows
+        if r.accelerator == "Simba"
+    }
+    spacx = {
+        (r.chiplets, r.pes_per_chiplet): r
+        for r in rows
+        if r.accelerator == "SPACX"
+    }
+    simba_trend = (
+        simba[(64, 32)].execution_time_s / simba[(16, 32)].execution_time_s
+    )
+    spacx_trend = (
+        spacx[(64, 32)].execution_time_s / spacx[(16, 32)].execution_time_s
+    )
+    print(
+        f"Scaling 16 -> 64 chiplets changes execution time by "
+        f"{simba_trend:.2f}x on Simba (anti-scaling: the electrical "
+        f"interconnect eats the benefit) and {spacx_trend:.2f}x on SPACX."
+    )
+
+
+if __name__ == "__main__":
+    main()

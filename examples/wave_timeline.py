@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Wave-level timeline of a layer on SPACX (ASCII Gantt view).
+
+The analytical simulator reports totals; the timeline simulator plays
+the layer wave by wave with double-buffered transfer/compute overlap,
+the 500 ps splitter retunings and the final token-ring drain.  This
+example renders the first waves of two contrasting layers as a Gantt
+chart and cross-checks the totals against the analytical model.
+
+Run:  python examples/wave_timeline.py
+"""
+
+from repro.core.layer import ConvLayer, fully_connected
+from repro.core.timeline import TimelineResult, TimelineSimulator
+from repro.spacx.architecture import spacx_simulator, spacx_spec
+
+
+def gantt(result: TimelineResult, max_waves: int = 12, width: int = 64) -> str:
+    """Render the first waves as two ASCII lanes (transfer/compute)."""
+    waves = result.waves[:max_waves]
+    if not waves:
+        return "(no waves)"
+    span = waves[-1].compute_end_s
+    scale = (width - 1) / span if span > 0 else 0.0
+
+    def bar(start: float, end: float, char: str) -> str:
+        lead = int(start * scale)
+        body = max(1, int((end - start) * scale))
+        return " " * lead + char * body
+
+    lines = []
+    for wave in waves:
+        transfer = bar(wave.transfer_start_s, wave.transfer_end_s, "=")
+        compute = bar(wave.compute_start_s, wave.compute_end_s, "#")
+        lines.append(f"w{wave.index:02d} xfer |{transfer}")
+        lines.append(f"    comp |{compute}")
+    return "\n".join(lines)
+
+
+def show(layer: ConvLayer) -> None:
+    spec = spacx_spec()
+    timeline = TimelineSimulator(spec).simulate_layer(layer, layer_by_layer=False)
+    analytical = spacx_simulator().simulate_layer(layer, layer_by_layer=False)
+
+    print(f"--- {layer.name} ---")
+    print(
+        f"waves: {timeline.n_waves}   "
+        f"timeline: {timeline.execution_time_s * 1e6:.2f} us   "
+        f"analytical: {analytical.execution_time_s * 1e6:.2f} us"
+    )
+    print(
+        f"pipeline efficiency: {timeline.pipeline_efficiency * 100:.1f}%   "
+        f"stalls: {timeline.stall_time_s * 1e6:.2f} us   "
+        f"drain: {timeline.drain_time_s * 1e6:.2f} us"
+    )
+    print(gantt(timeline))
+    print()
+
+
+def main() -> None:
+    # A compute-friendly convolution: transfers hide under compute.
+    show(ConvLayer(name="res4-like", c=256, k=256, r=3, s=3, h=16, w=16))
+    # A communication-bound FC layer: the pipeline starves.
+    show(fully_connected("fc-like", 4096, 1024))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""SPACX reproduction: a silicon-photonics chiplet DNN accelerator
+(HPCA 2022) rebuilt as a pure-Python library.
+
+Quick start::
+
+    from repro import spacx_simulator, simba_simulator, resnet50
+
+    spacx = spacx_simulator()
+    simba = simba_simulator()
+    model = resnet50()
+    print(spacx.simulate_model(model).execution_time_s)
+    print(simba.simulate_model(model).execution_time_s)
+
+Sub-packages:
+
+* :mod:`repro.photonics` -- device substrate (MRRs, splitters, link
+  budgets, laser and transceiver power).
+* :mod:`repro.core` -- layer algebra, dataflows, mapping, traffic and
+  the analytical simulator.
+* :mod:`repro.spacx` -- the SPACX network, dataflow support, power
+  and area models.
+* :mod:`repro.baselines` -- Simba and POPSTAR.
+* :mod:`repro.models` -- the four benchmark DNNs.
+* :mod:`repro.energy` -- MAC/SRAM/DRAM cost models.
+* :mod:`repro.experiments` -- one module per paper table/figure.
+"""
+
+from .baselines import popstar_simulator, popstar_spec, simba_simulator, simba_spec
+from .core import (
+    AcceleratorSpec,
+    ConvLayer,
+    DataflowKind,
+    LayerResult,
+    LayerSet,
+    ModelResult,
+    Simulator,
+    fully_connected,
+)
+from .models import (
+    densenet201,
+    efficientnet_b7,
+    evaluation_models,
+    get_model,
+    paper_layer_labels,
+    resnet50,
+    vgg16,
+)
+from .serialization import model_result_to_dict, model_result_to_json
+from .spacx import SpacxTopology, spacx_simulator, spacx_spec, spacx_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratorSpec",
+    "ConvLayer",
+    "DataflowKind",
+    "LayerResult",
+    "LayerSet",
+    "ModelResult",
+    "Simulator",
+    "SpacxTopology",
+    "densenet201",
+    "efficientnet_b7",
+    "evaluation_models",
+    "fully_connected",
+    "get_model",
+    "model_result_to_dict",
+    "model_result_to_json",
+    "paper_layer_labels",
+    "popstar_simulator",
+    "popstar_spec",
+    "resnet50",
+    "simba_simulator",
+    "simba_spec",
+    "spacx_simulator",
+    "spacx_spec",
+    "spacx_topology",
+    "vgg16",
+]

@@ -1,0 +1,36 @@
+"""Baseline chiplet-based DNN accelerators the paper compares against:
+Simba [13] (all-electrical) and POPSTAR [30] (photonic package
+crossbar over Simba chiplets), plus the shared electrical-link cost
+models."""
+
+from .electrical import (
+    CHIPLET_LINK,
+    PACKAGE_LINK,
+    ElectricalLinkParameters,
+    ElectricalMeshEnergy,
+    mesh_average_hops,
+)
+from .popstar import (
+    POPSTAR_WAVELENGTHS,
+    PopstarNetworkEnergy,
+    popstar_mrr_count,
+    popstar_simulator,
+    popstar_spec,
+)
+from .simba import GB_MESH_PORTS, simba_simulator, simba_spec
+
+__all__ = [
+    "CHIPLET_LINK",
+    "ElectricalLinkParameters",
+    "ElectricalMeshEnergy",
+    "GB_MESH_PORTS",
+    "PACKAGE_LINK",
+    "POPSTAR_WAVELENGTHS",
+    "PopstarNetworkEnergy",
+    "mesh_average_hops",
+    "popstar_mrr_count",
+    "popstar_simulator",
+    "popstar_spec",
+    "simba_simulator",
+    "simba_spec",
+]

@@ -1,0 +1,119 @@
+"""Electrical-interconnect cost models (DSENT/[55] substitutes).
+
+Two link classes appear in the baselines:
+
+* **package-level** ground-referenced signalling links between
+  chiplets on the organic substrate / interposer -- 1.17 pJ/bit from
+  the GRS serial link the paper cites [55], plus router traversal
+  energy per mesh hop;
+* **chiplet-level** on-die mesh links -- conventional 28 nm wires and
+  routers.
+
+Mesh geometry matters only through the average hop count, derived
+from the node count of a square mesh (2/3 * sqrt(nodes) per
+dimension for uniform traffic; GB-centric traffic sees roughly the
+mesh radius).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.mapping import Mapping
+from ..core.metrics import NetworkEnergy
+from ..core.traffic import TrafficSummary
+
+__all__ = [
+    "ElectricalLinkParameters",
+    "PACKAGE_LINK",
+    "CHIPLET_LINK",
+    "mesh_average_hops",
+    "ElectricalMeshEnergy",
+]
+
+
+@dataclass(frozen=True)
+class ElectricalLinkParameters:
+    """Per-bit energy and per-hop latency of one electrical link class."""
+
+    wire_pj_per_bit: float
+    router_pj_per_bit_per_hop: float
+    hop_latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.wire_pj_per_bit < 0 or self.router_pj_per_bit_per_hop < 0:
+            raise ValueError("energies must be >= 0")
+        if self.hop_latency_s < 0:
+            raise ValueError("latency must be >= 0")
+
+    def energy_pj_per_bit(self, hops: float) -> float:
+        """Total pJ/bit across ``hops`` mesh hops."""
+        if hops < 0:
+            raise ValueError("hop count must be >= 0")
+        return (self.wire_pj_per_bit + self.router_pj_per_bit_per_hop) * max(
+            hops, 1.0
+        )
+
+
+#: Package-level GRS link after [55] plus router overhead.
+PACKAGE_LINK = ElectricalLinkParameters(
+    wire_pj_per_bit=1.17,
+    router_pj_per_bit_per_hop=0.60,
+    hop_latency_s=10e-9,
+)
+
+#: On-die mesh link at 28 nm.
+CHIPLET_LINK = ElectricalLinkParameters(
+    wire_pj_per_bit=0.20,
+    router_pj_per_bit_per_hop=0.15,
+    hop_latency_s=3e-9,
+)
+
+
+def mesh_average_hops(nodes: int) -> float:
+    """Average hop count of a square mesh with ``nodes`` endpoints.
+
+    Uniform-random traffic on a k x k mesh averages ~2k/3 hops; GB-
+    sourced traffic behaves similarly because the GB sits at an edge.
+    """
+    if nodes < 1:
+        raise ValueError("mesh needs at least one node")
+    side = math.sqrt(nodes)
+    return max(1.0, 2.0 * side / 3.0)
+
+
+class ElectricalMeshEnergy:
+    """Network-energy model of an all-electrical machine (Simba).
+
+    Package traffic (GB sends, ofmap returns) pays the package link;
+    chiplet-internal distribution (PE receives, psum exchange, PE
+    write-out) pays the on-die mesh.
+    """
+
+    def __init__(self, chiplets: int, pes_per_chiplet: int):
+        if chiplets < 1 or pes_per_chiplet < 1:
+            raise ValueError("need >= 1 chiplet and PE")
+        self.chiplets = chiplets
+        self.pes_per_chiplet = pes_per_chiplet
+        self.package_hops = mesh_average_hops(chiplets + 1)  # + GB die
+        self.chiplet_hops = mesh_average_hops(pes_per_chiplet)
+
+    def network_energy(
+        self,
+        mapping: Mapping,
+        traffic: TrafficSummary,
+        execution_time_s: float,
+    ) -> NetworkEnergy:
+        """All interconnect energy is electrical for this machine."""
+        package_bits = (traffic.gb_send_bytes + traffic.output_bytes) * 8
+        chiplet_bits = (
+            traffic.pe_receive_bytes + traffic.output_bytes + traffic.psum_bytes
+        ) * 8
+        package_mj = (
+            package_bits * PACKAGE_LINK.energy_pj_per_bit(self.package_hops) * 1e-9
+        )
+        chiplet_mj = (
+            chiplet_bits * CHIPLET_LINK.energy_pj_per_bit(self.chiplet_hops) * 1e-9
+        )
+        return NetworkEnergy(electrical_mj=package_mj + chiplet_mj)

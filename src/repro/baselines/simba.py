@@ -1,0 +1,81 @@
+"""The Simba baseline [13]: electrical mesh at both hierarchy levels.
+
+Table II parameters: 20 Gbps per-PE read/write on the chiplet-level
+mesh and 320 Gbps per-chiplet read/write on the package-level mesh.
+The GB die injects through its mesh ports, so the aggregate GB egress
+is a small multiple of the per-chiplet link bandwidth -- we give the
+GB four injection ports (a 6x6-package mesh corner placement), i.e.
+1280 Gbps aggregate each way.
+
+Simba runs the weight-stationary dataflow and, lacking hardware
+broadcast, emulates the ifmap broadcast with per-chiplet unicasts --
+the central communication weakness SPACX attacks.
+"""
+
+from __future__ import annotations
+
+from ..core.accelerator import KB, MB, AcceleratorSpec, LinkLatency
+from ..core.dataflow import DataflowKind
+from ..core.simulator import Simulator
+from ..core.traffic import NetworkCapabilities
+from ..energy.buffers import SramEnergyModel
+from ..energy.compute import ComputeEnergyModel
+from ..energy.dram import DEFAULT_DRAM
+from .electrical import CHIPLET_LINK, PACKAGE_LINK, ElectricalMeshEnergy, mesh_average_hops
+
+__all__ = ["CORE_FREQUENCY_GHZ", "GB_MESH_PORTS", "simba_spec", "simba_simulator"]
+
+#: Mesh injection ports of the GB die.
+GB_MESH_PORTS = 5
+
+#: Nominal core clock shared by all three accelerators (the paper
+#: keeps PE computation capability equal across machines).
+CORE_FREQUENCY_GHZ = 0.5
+
+
+def simba_spec(chiplets: int = 32, pes_per_chiplet: int = 32) -> AcceleratorSpec:
+    """Build the Simba accelerator specification (Table II row 1)."""
+    chiplet_read_gbps = 320.0
+    package_latency = LinkLatency(
+        hop_latency_s=PACKAGE_LINK.hop_latency_s,
+        avg_hops=mesh_average_hops(chiplets + 1),
+    )
+    chiplet_latency = LinkLatency(
+        hop_latency_s=CHIPLET_LINK.hop_latency_s,
+        avg_hops=mesh_average_hops(pes_per_chiplet),
+    )
+    return AcceleratorSpec(
+        name="Simba",
+        chiplets=chiplets,
+        pes_per_chiplet=pes_per_chiplet,
+        mac_vector_width=32,
+        frequency_ghz=CORE_FREQUENCY_GHZ,
+        pe_buffer_bytes=43 * KB,
+        gb_bytes=2 * MB,
+        dram_bandwidth_gbps=DEFAULT_DRAM.bandwidth_gbps,
+        dataflow=DataflowKind.WEIGHT_STATIONARY,
+        gb_egress_gbps=GB_MESH_PORTS * chiplet_read_gbps,
+        gb_ingress_gbps=GB_MESH_PORTS * chiplet_read_gbps,
+        chiplet_read_gbps=chiplet_read_gbps,
+        chiplet_write_gbps=320.0,
+        pe_read_gbps=20.0,
+        pe_write_gbps=20.0,
+        capabilities=NetworkCapabilities(
+            weight_broadcast=False, ifmap_broadcast=False
+        ),
+        package_latency=package_latency,
+        chiplet_latency=chiplet_latency,
+    )
+
+
+def simba_simulator(
+    chiplets: int = 32, pes_per_chiplet: int = 32
+) -> Simulator:
+    """A ready-to-run simulator for the Simba baseline."""
+    spec = simba_spec(chiplets, pes_per_chiplet)
+    compute_energy = ComputeEnergyModel(
+        pe_buffer=SramEnergyModel(capacity_bytes=spec.pe_buffer_bytes),
+        gb=SramEnergyModel(capacity_bytes=spec.gb_bytes),
+    )
+    network_energy = ElectricalMeshEnergy(chiplets, pes_per_chiplet)
+    return Simulator(spec, compute_energy, network_energy)

@@ -1,0 +1,211 @@
+"""Command-line interface.
+
+    python -m repro run --model ResNet-50 --machine spacx
+    python -m repro report [--section fig15]
+    python -m repro tables
+    python -m repro advise --model VGG-16 --objective edp
+    python -m repro layers --model ResNet-50
+
+The CLI only orchestrates the public library API; everything it
+prints can be obtained programmatically from :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .baselines.popstar import popstar_simulator
+from .baselines.simba import simba_simulator
+from .core.simulator import Simulator
+from .experiments.harness import format_table
+from .experiments.report import SECTIONS, full_report
+from .models.zoo import EXTENDED_MODELS, MODELS, get_model
+from .spacx.advisor import GranularityAdvisor
+from .spacx.architecture import spacx_simulator
+
+__all__ = ["main", "build_parser"]
+
+_MACHINES: dict[str, Callable[[], Simulator]] = {
+    "simba": simba_simulator,
+    "popstar": popstar_simulator,
+    "spacx": spacx_simulator,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree of the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPACX (HPCA 2022) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="simulate one model on one machine")
+    run.add_argument("--model", choices=sorted(EXTENDED_MODELS), required=True)
+    run.add_argument(
+        "--machine", choices=sorted(_MACHINES), default="spacx"
+    )
+    run.add_argument(
+        "--layer-by-layer",
+        action="store_true",
+        help="Fig. 13/14 methodology: all data starts in DRAM per layer",
+    )
+    run.add_argument(
+        "--per-layer",
+        action="store_true",
+        help="print one row per distinct layer",
+    )
+    run.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="inference batch size (default 1, as in the paper)",
+    )
+
+    report = subparsers.add_parser(
+        "report", help="regenerate every table/figure as a text report"
+    )
+    report.add_argument(
+        "--section",
+        choices=sorted(SECTIONS),
+        default=None,
+        help="render one section only",
+    )
+
+    subparsers.add_parser("tables", help="print Tables I and II")
+
+    advise = subparsers.add_parser(
+        "advise", help="recommend broadcast granularities for a workload"
+    )
+    advise.add_argument("--model", choices=sorted(EXTENDED_MODELS), required=True)
+    advise.add_argument(
+        "--objective",
+        choices=["execution_time", "energy", "edp", "static_power"],
+        default="edp",
+    )
+
+    layers = subparsers.add_parser("layers", help="list a model's layers")
+    layers.add_argument("--model", choices=sorted(EXTENDED_MODELS), required=True)
+    layers.add_argument(
+        "--unique", action="store_true", help="distinct shapes only"
+    )
+
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    simulator = _MACHINES[args.machine]()
+    model = get_model(args.model)
+    if args.batch > 1:
+        from .core.layer import LayerSet
+
+        model = LayerSet(
+            f"{model.name} (batch {args.batch})",
+            [layer.with_batch(args.batch) for layer in model.all_layers],
+        )
+    result = simulator.simulate_model(model, layer_by_layer=args.layer_by_layer)
+    energy = result.energy
+    print(f"{result.accelerator} / {result.model}")
+    print(f"  execution time : {result.execution_time_s * 1e3:.3f} ms")
+    print(f"    computation  : {result.computation_time_s * 1e3:.3f} ms")
+    print(f"    communication: {result.exposed_communication_s * 1e3:.3f} ms (exposed)")
+    print(f"  energy         : {energy.total_mj:.2f} mJ")
+    print(f"    network      : {energy.network_mj:.2f} mJ")
+    print(f"    other        : {energy.other_mj:.2f} mJ")
+    print(f"  packet latency : {result.mean_packet_latency_s * 1e9:.1f} ns")
+    print(f"  throughput     : {result.throughput_gbps:.1f} Gbps")
+    if args.per_layer:
+        headers = ["layer", "exec (us)", "comp (us)", "E (mJ)"]
+        seen = set()
+        rows = []
+        for layer_result in result.layers:
+            key = layer_result.layer.shape_key
+            if key in seen:
+                continue
+            seen.add(key)
+            rows.append(
+                [
+                    layer_result.layer.name,
+                    layer_result.execution_time_s * 1e6,
+                    layer_result.computation_time_s * 1e6,
+                    layer_result.energy.total_mj,
+                ]
+            )
+        print()
+        print(format_table(headers, rows))
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    print(full_report(only=args.section))
+    return 0
+
+
+def _command_tables(args: argparse.Namespace) -> int:
+    print(full_report(only="table1"))
+    print(full_report(only="table2"))
+    return 0
+
+
+def _command_advise(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    advisor = GranularityAdvisor()
+    scores = advisor.evaluate(model)
+    best = min(scores, key=lambda s: s.objective(args.objective))
+    headers = ["k", "e/f", "exec (ms)", "E (mJ)", "static W", "mean util"]
+    rows = [
+        [
+            s.k_granularity,
+            s.ef_granularity,
+            s.execution_time_s * 1e3,
+            s.energy_mj,
+            s.static_network_power_w,
+            s.mean_utilization,
+        ]
+        for s in sorted(scores, key=lambda s: s.objective(args.objective))
+    ]
+    print(format_table(headers, rows))
+    print()
+    print(
+        f"recommended (objective={args.objective}): "
+        f"k={best.k_granularity}, e/f={best.ef_granularity}"
+    )
+    return 0
+
+
+def _command_layers(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    layers = model.unique_layers if args.unique else model.all_layers
+    headers = ["name", "c", "k", "r", "s", "h", "w", "stride", "groups", "MMACs"]
+    rows = [
+        [l.name, l.c, l.k, l.r, l.s, l.h, l.w, l.stride, l.groups, l.macs / 1e6]
+        for l in layers
+    ]
+    print(format_table(headers, rows))
+    print(
+        f"\n{len(layers)} layers, {sum(l.macs for l in layers) / 1e9:.2f} GMACs"
+        + ("" if args.unique else " (with duplicates)")
+    )
+    return 0
+
+
+_COMMANDS = {
+    "run": _command_run,
+    "report": _command_report,
+    "tables": _command_tables,
+    "advise": _command_advise,
+    "layers": _command_layers,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

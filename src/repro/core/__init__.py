@@ -1,0 +1,51 @@
+"""Core machinery: layer algebra, dataflows, the mapping engine, the
+traffic model, accelerator specifications and the analytical
+performance/energy simulator."""
+
+from .accelerator import KB, MB, AcceleratorSpec, LinkLatency
+from .dataflow import (
+    DataflowKind,
+    SpacxLoopNest,
+    SpacxTiling,
+    reference_convolution,
+)
+from .layer import ConvLayer, LayerSet, fully_connected
+from .mapping import Mapping, MappingParameters, map_layer
+from .metrics import EnergyBreakdown, LayerResult, ModelResult, NetworkEnergy
+from .roofline import RooflinePoint, machine_ridge, roofline_point
+from .simulator import CommunicationTimes, NetworkEnergyModel, Simulator
+from .timeline import TimelineResult, TimelineSimulator, WaveEvent
+from .traffic import NetworkCapabilities, TrafficSummary, derive_traffic
+
+__all__ = [
+    "AcceleratorSpec",
+    "CommunicationTimes",
+    "ConvLayer",
+    "DataflowKind",
+    "EnergyBreakdown",
+    "KB",
+    "LayerResult",
+    "LayerSet",
+    "LinkLatency",
+    "MB",
+    "Mapping",
+    "MappingParameters",
+    "ModelResult",
+    "NetworkCapabilities",
+    "NetworkEnergy",
+    "NetworkEnergyModel",
+    "RooflinePoint",
+    "machine_ridge",
+    "roofline_point",
+    "Simulator",
+    "TimelineResult",
+    "TimelineSimulator",
+    "WaveEvent",
+    "SpacxLoopNest",
+    "SpacxTiling",
+    "TrafficSummary",
+    "derive_traffic",
+    "fully_connected",
+    "map_layer",
+    "reference_convolution",
+]

@@ -1,0 +1,156 @@
+"""Accelerator specification shared by SPACX and the baselines.
+
+An :class:`AcceleratorSpec` gathers everything the analytical
+simulator needs about one machine: the compute fabric (chiplets, PEs,
+MAC vector width, frequency), the memory hierarchy (PE buffer, GB,
+DRAM) and the interconnect as a set of bandwidth caps plus latency
+and capability descriptors.  Concrete machines are constructed by
+:mod:`repro.spacx.architecture`, :mod:`repro.baselines.simba` and
+:mod:`repro.baselines.popstar`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .dataflow import DataflowKind
+from .mapping import MappingParameters
+from .traffic import NetworkCapabilities
+
+__all__ = ["LinkLatency", "AcceleratorSpec", "KB", "MB"]
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class LinkLatency:
+    """Fixed per-transfer latency of one network level.
+
+    ``hop_latency_s`` is paid per hop (``avg_hops`` times) for packet-
+    switched electrical meshes; photonic links are one-hop by
+    construction (Section II-A) with a flat time-of-flight plus E/O +
+    O/E conversion delay, and optionally the 500 ps splitter-tuning
+    delay per reconfiguration wave.
+    """
+
+    hop_latency_s: float
+    avg_hops: float
+    serialization_bytes: int = 32
+    tuning_delay_s: float = 0.0
+
+    def packet_latency_s(self, bandwidth_gbps: float) -> float:
+        """Latency of one packet: propagation + serialisation."""
+        serialization_s = self.serialization_bytes * 8 / (bandwidth_gbps * 1e9)
+        return self.hop_latency_s * self.avg_hops + serialization_s
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """Complete description of one chiplet-based DNN accelerator."""
+
+    name: str
+    # --- compute fabric ---
+    chiplets: int
+    pes_per_chiplet: int
+    mac_vector_width: int
+    frequency_ghz: float
+    # --- memory hierarchy ---
+    pe_buffer_bytes: int
+    gb_bytes: int
+    dram_bandwidth_gbps: float
+    # --- dataflow ---
+    dataflow: DataflowKind
+    # --- network bandwidth caps (Table II) ---
+    gb_egress_gbps: float  # aggregate GB -> chiplets
+    gb_ingress_gbps: float  # aggregate chiplets -> GB
+    chiplet_read_gbps: float  # per chiplet
+    chiplet_write_gbps: float  # per chiplet
+    pe_read_gbps: float  # per PE
+    pe_write_gbps: float  # per PE (shared token channel for SPACX)
+    # --- network behaviour ---
+    capabilities: NetworkCapabilities
+    package_latency: LinkLatency
+    chiplet_latency: LinkLatency
+    # --- SPACX broadcast granularities (0 = whole machine) ---
+    ef_granularity: int = 0
+    k_granularity: int = 0
+    # --- per-datatype wavelength partitions (0 = pooled links).
+    # Without the Section VI bandwidth allocation, SPACX weights ride
+    # only the X carriers and ifmaps only the Y carriers; these caps
+    # model the resulting per-type bottlenecks. ---
+    chiplet_weight_read_gbps: float = 0.0
+    chiplet_ifmap_read_gbps: float = 0.0
+    pe_weight_read_gbps: float = 0.0
+    pe_ifmap_read_gbps: float = 0.0
+    gb_weight_egress_gbps: float = 0.0
+    gb_ifmap_egress_gbps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.chiplets < 1 or self.pes_per_chiplet < 1:
+            raise ValueError(f"{self.name}: need >= 1 chiplet and PE")
+        if self.frequency_ghz <= 0:
+            raise ValueError(f"{self.name}: frequency must be > 0")
+        for field_name in (
+            "gb_egress_gbps",
+            "gb_ingress_gbps",
+            "chiplet_read_gbps",
+            "chiplet_write_gbps",
+            "pe_read_gbps",
+            "pe_write_gbps",
+            "dram_bandwidth_gbps",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{self.name}: {field_name} must be > 0")
+
+    @property
+    def total_pes(self) -> int:
+        """PEs in the package."""
+        return self.chiplets * self.pes_per_chiplet
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        """Peak MAC throughput per cycle."""
+        return self.total_pes * self.mac_vector_width
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Seconds per core cycle."""
+        return 1e-9 / self.frequency_ghz
+
+    def mapping_parameters(self) -> MappingParameters:
+        """The slice of this spec the mapping engine consumes."""
+        return MappingParameters(
+            chiplets=self.chiplets,
+            pes_per_chiplet=self.pes_per_chiplet,
+            mac_vector_width=self.mac_vector_width,
+            pe_buffer_bytes=self.pe_buffer_bytes,
+            ef_granularity=self.ef_granularity,
+            k_granularity=self.k_granularity,
+        )
+
+    def with_dataflow(self, dataflow: DataflowKind) -> "AcceleratorSpec":
+        """Same machine running a different dataflow (Fig. 17 study)."""
+        return replace(self, dataflow=dataflow)
+
+    def scaled(self, chiplets: int, pes_per_chiplet: int) -> "AcceleratorSpec":
+        """Naive scale of the fabric (Fig. 22), keeping per-node links.
+
+        Aggregate GB-side bandwidths scale with the chiplet count as
+        both the photonic waveguide count and the mesh injection ports
+        grow with the package; per-chiplet and per-PE links persist.
+        """
+        chiplet_ratio = chiplets / self.chiplets
+        ef_g = min(self.ef_granularity, chiplets) if self.ef_granularity else 0
+        k_g = (
+            min(self.k_granularity, pes_per_chiplet) if self.k_granularity else 0
+        )
+        return replace(
+            self,
+            chiplets=chiplets,
+            pes_per_chiplet=pes_per_chiplet,
+            gb_egress_gbps=self.gb_egress_gbps * chiplet_ratio,
+            gb_ingress_gbps=self.gb_ingress_gbps * chiplet_ratio,
+            ef_granularity=ef_g,
+            k_granularity=k_g,
+        )

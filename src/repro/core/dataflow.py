@@ -1,0 +1,274 @@
+"""Dataflow definitions and a functional loop-nest executor.
+
+Three dataflows appear in the paper's evaluation (Fig. 17):
+
+* ``SPACX_OS`` -- the proposed broadcast-enabled output-stationary
+  dataflow (Fig. 9): output channels ``k`` are mapped across the PEs
+  of a chiplet (single-chiplet input-feature broadcast) and output
+  positions ``e/f`` across chiplets (cross-chiplet weight broadcast);
+  partial sums never leave the producing PE.
+* ``WEIGHT_STATIONARY`` -- the Simba-style dataflow [13]: ``k`` is
+  mapped across chiplets and ``c`` across PEs; spatial psum reduction
+  is required and input features must reach every chiplet.
+* ``OUTPUT_STATIONARY_EF`` -- the ShiDianNao-style dataflow [36]:
+  only ``e/f`` is mapped spatially, ``k`` is processed temporally.
+
+Besides the enum, this module provides :class:`SpacxLoopNest`, an
+executable transcription of the paper's Figure 9 nested loop, used by
+the test-suite to prove that the index arithmetic
+
+    k = k3 + K3*(k2 + K2*k1)
+    e = e3 + E3*(e2 + E2*e1)
+    f = f3 + F3*(f2 + F2*f1)
+
+computes exactly the same output as a reference convolution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from .layer import ConvLayer
+
+__all__ = [
+    "DataflowKind",
+    "SpacxTiling",
+    "SpacxLoopNest",
+    "reference_convolution",
+]
+
+
+class DataflowKind(Enum):
+    """The three dataflows evaluated in Fig. 17 of the paper."""
+
+    SPACX_OS = "spacx"
+    WEIGHT_STATIONARY = "ws"
+    OUTPUT_STATIONARY_EF = "os_ef"
+
+    @property
+    def is_output_stationary(self) -> bool:
+        """Whether psums accumulate in place (no spatial reduction)."""
+        return self in (DataflowKind.SPACX_OS, DataflowKind.OUTPUT_STATIONARY_EF)
+
+
+@dataclass(frozen=True)
+class SpacxTiling:
+    """Tile sizes of the Fig. 9 loop nest.
+
+    ``K = K1*K2*K3`` etc.; level-1 factors iterate at the package
+    level, level-2 at the chiplet level (K2 temporal, E2/F2 spatial
+    across chiplets) and level-3 at the PE level (K3 spatial across
+    PEs of a chiplet, E3/F3 spatial across PE groups).
+    """
+
+    k1: int
+    k2: int
+    k3: int
+    e1: int
+    e2: int
+    e3: int
+    f1: int
+    f2: int
+    f3: int
+
+    def __post_init__(self) -> None:
+        for name in ("k1", "k2", "k3", "e1", "e2", "e3", "f1", "f2", "f3"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"tile factor {name} must be >= 1")
+
+    @property
+    def k_total(self) -> int:
+        """Padded extent of the k dimension."""
+        return self.k1 * self.k2 * self.k3
+
+    @property
+    def e_total(self) -> int:
+        """Padded extent of the e dimension."""
+        return self.e1 * self.e2 * self.e3
+
+    @property
+    def f_total(self) -> int:
+        """Padded extent of the f dimension."""
+        return self.f1 * self.f2 * self.f3
+
+    @staticmethod
+    def for_layer(
+        layer: ConvLayer,
+        ef_spatial: int,
+        k_spatial: int,
+        k_group: int,
+        ef_group: int,
+    ) -> "SpacxTiling":
+        """Choose tile factors mapping ``layer`` onto the hardware.
+
+        ``ef_spatial`` output positions run concurrently (chiplets in a
+        broadcast group x PE groups) and ``k_spatial`` output channels
+        run concurrently (PEs per group x chiplet groups).  ``k_group``
+        / ``ef_group`` are the single-chiplet / cross-chiplet broadcast
+        granularities; they decide how the spatial factors split
+        between the chiplet level (e2/f2, k3) and the package level
+        (k1, e3/f3 handled via PE groups).
+        """
+        e, f, k = layer.e, layer.f, layer.k
+        # Spatial split of output positions: f fills chiplets of a
+        # group first (f2), then e (e2); remaining positions iterate
+        # temporally at the package level (e1/f1).
+        f2 = min(f, ef_group)
+        e2 = max(1, min(e, ef_spatial // f2))
+        f1 = math.ceil(f / f2)
+        e1 = math.ceil(e / e2)
+        # PE-group spatial share of e/f is folded into e2/f2 above;
+        # e3/f3 stay 1 unless PE groups subdivide positions.
+        e3 = f3 = 1
+        # Spatial split of output channels: PEs of a group take k3,
+        # chiplet groups take part of k1's parallel_for (line 4).
+        k3 = min(k, k_group)
+        k1 = max(1, min(math.ceil(k / k3), max(1, k_spatial // k3)))
+        k2 = math.ceil(k / (k1 * k3))
+        return SpacxTiling(k1=k1, k2=k2, k3=k3, e1=e1, e2=e2, e3=e3, f1=f1, f2=f2, f3=f3)
+
+
+def reference_convolution(
+    weights: np.ndarray, ifmap: np.ndarray, stride: int = 1
+) -> np.ndarray:
+    """Direct nested-loop convolution (Fig. 4), batch 1, valid padding.
+
+    Args:
+        weights: array of shape (K, R, S, C).
+        ifmap: array of shape (H, W, C).
+        stride: convolution stride.
+
+    Returns:
+        Ofmap array of shape (K, E, F) with
+        ``E = (H - R) // stride + 1`` and ``F = (W - S) // stride + 1``.
+    """
+    k_dim, r_dim, s_dim, c_dim = weights.shape
+    h_dim, w_dim, c_dim2 = ifmap.shape
+    if c_dim != c_dim2:
+        raise ValueError(f"channel mismatch: weights C={c_dim}, ifmap C={c_dim2}")
+    e_dim = (h_dim - r_dim) // stride + 1
+    f_dim = (w_dim - s_dim) // stride + 1
+    ofmap = np.zeros((k_dim, e_dim, f_dim), dtype=np.result_type(weights, ifmap))
+    for e in range(e_dim):
+        for f in range(f_dim):
+            window = ifmap[
+                e * stride : e * stride + r_dim, f * stride : f * stride + s_dim, :
+            ]
+            # sum over r, s, c for every k at once
+            ofmap[:, e, f] = np.tensordot(weights, window, axes=([1, 2, 3], [0, 1, 2]))
+    return ofmap
+
+
+class SpacxLoopNest:
+    """Executable transcription of the paper's Figure 9 loop nest.
+
+    This exists to *prove the dataflow correct*: it walks the exact
+    loop structure (package -> chiplet -> PE level) with the published
+    index recovery arithmetic, accumulating psums output-stationary,
+    and records which PE touched which output so tests can verify both
+    numerical equality with :func:`reference_convolution` and the
+    spatial-mapping claims of Fig. 8 (same ``e/f`` plane on different
+    chiplets, different ``k`` on different PEs of one chiplet).
+    """
+
+    def __init__(self, layer: ConvLayer, tiling: SpacxTiling):
+        if layer.stride != 1:
+            raise ValueError("the Fig. 9 loop nest assumes stride 1")
+        if layer.groups != 1:
+            raise ValueError("the Fig. 9 loop nest assumes ungrouped convolution")
+        if tiling.k_total < layer.k:
+            raise ValueError(
+                f"tiling covers k={tiling.k_total} < layer k={layer.k}"
+            )
+        if tiling.e_total < layer.e or tiling.f_total < layer.f:
+            raise ValueError("tiling does not cover the ofmap extent")
+        self.layer = layer
+        self.tiling = tiling
+        #: (chiplet coordinate, pe coordinate) per touched output [k][e][f]
+        self.placement: dict[tuple[int, int, int], tuple[tuple[int, int], int]] = {}
+
+    def execute(self, weights: np.ndarray, ifmap: np.ndarray) -> np.ndarray:
+        """Run the nested loop of Fig. 9 and return the ofmap."""
+        layer, t = self.layer, self.tiling
+        if weights.shape != (layer.k, layer.r, layer.s, layer.c):
+            raise ValueError(f"bad weight shape {weights.shape}")
+        if ifmap.shape != (layer.h, layer.w, layer.c):
+            raise ValueError(f"bad ifmap shape {ifmap.shape}")
+        ofmap = np.zeros(
+            (layer.k, layer.e, layer.f), dtype=np.result_type(weights, ifmap)
+        )
+        self.placement.clear()
+        # package level (lines 2-6): e1/f1 temporal, k1/e2/f2 parallel
+        for e1 in range(t.e1):
+            for f1 in range(t.f1):
+                for k1 in range(t.k1):
+                    for e2 in range(t.e2):
+                        for f2 in range(t.f2):
+                            self._chiplet_level(
+                                weights, ifmap, ofmap, e1, f1, k1, e2, f2
+                            )
+        return ofmap
+
+    def _chiplet_level(
+        self,
+        weights: np.ndarray,
+        ifmap: np.ndarray,
+        ofmap: np.ndarray,
+        e1: int,
+        f1: int,
+        k1: int,
+        e2: int,
+        f2: int,
+    ) -> None:
+        """Lines 8-11: k2 temporal, e3/f3/k3 parallel on one chiplet."""
+        layer, t = self.layer, self.tiling
+        chiplet = (e2, f2)  # chiplets are indexed by ofmap position (Fig. 8b)
+        for k2 in range(t.k2):
+            for e3 in range(t.e3):
+                for f3 in range(t.f3):
+                    for k3 in range(t.k3):
+                        pe = k3  # PEs of a chiplet take distinct k (Fig. 8b)
+                        self._pe_level(
+                            weights, ifmap, ofmap,
+                            e1, f1, k1, e2, f2, k2, e3, f3, k3,
+                            chiplet, pe,
+                        )
+
+    def _pe_level(
+        self,
+        weights: np.ndarray,
+        ifmap: np.ndarray,
+        ofmap: np.ndarray,
+        e1: int,
+        f1: int,
+        k1: int,
+        e2: int,
+        f2: int,
+        k2: int,
+        e3: int,
+        f3: int,
+        k3: int,
+        chiplet: tuple[int, int],
+        pe: int,
+    ) -> None:
+        """Lines 13-19: the PE's c/r/s reduction with index recovery."""
+        layer, t = self.layer, self.tiling
+        k = k3 + t.k3 * (k2 + t.k2 * k1)
+        e = e3 + t.e3 * (e2 + t.e2 * e1)
+        f = f3 + t.f3 * (f2 + t.f2 * f1)
+        if k >= layer.k or e >= layer.e or f >= layer.f:
+            return  # padding region of an uneven tiling
+        self.placement[(k, e, f)] = (chiplet, pe)
+        acc = ofmap[k, e, f]
+        for c in range(layer.c):
+            for r in range(layer.r):
+                for s in range(layer.s):
+                    # line 19: O[k e f] += W[k r s c] * I[r+e-1 s+f-1 c]
+                    # (the paper's -1 stems from 1-based indexing; with
+                    # 0-based arrays the input pixel is [r+e, s+f])
+                    acc += weights[k, r, s, c] * ifmap[r + e, s + f, c]
+        ofmap[k, e, f] = acc

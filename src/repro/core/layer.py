@@ -1,0 +1,247 @@
+"""DNN layer shape algebra.
+
+The whole evaluation pipeline is *shape driven*: like MAESTRO, the
+simulator never touches tensor values, only the dimensions
+
+    r, s : weight-kernel height / width
+    h, w : ifmap height / width
+    c    : input channels
+    k    : output channels
+    e, f : ofmap height / width (derived, Fig. 3 of the paper)
+
+plus stride and channel-group count (the latter models depthwise
+convolutions in EfficientNet).  Fully-connected layers are expressed
+as 1x1 convolutions over a 1x1 ifmap, which makes every downstream
+component uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ConvLayer", "fully_connected", "LayerSet"]
+
+#: Data widths assumed by the paper (Section VII-C).
+WEIGHT_BITS = 8
+ACTIVATION_BITS = 8
+PSUM_BITS = 24
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """Shape of one convolution (or FC) layer.
+
+    ``groups`` partitions both c and k: each output channel only
+    reduces over ``c / groups`` input channels.  ``groups == c``
+    with ``k == c`` is a depthwise convolution.
+    """
+
+    name: str
+    c: int
+    k: int
+    r: int
+    s: int
+    h: int
+    w: int
+    stride: int = 1
+    groups: int = 1
+    #: Inference batch size.  The paper evaluates batch 1 (Fig. 4
+    #: "assuming that both batch size and stride equal one"); larger
+    #: batches multiply the output-position space, which the SPACX
+    #: dataflow parallelises exactly like extra e/f positions.
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        for dim in ("c", "k", "r", "s", "h", "w", "stride", "groups", "batch"):
+            value = getattr(self, dim)
+            if value < 1:
+                raise ValueError(f"{self.name}: {dim} must be >= 1, got {value}")
+        if self.r > self.h or self.s > self.w:
+            raise ValueError(
+                f"{self.name}: kernel ({self.r}x{self.s}) larger than "
+                f"ifmap ({self.h}x{self.w})"
+            )
+        if self.c % self.groups or self.k % self.groups:
+            raise ValueError(
+                f"{self.name}: groups={self.groups} must divide both "
+                f"c={self.c} and k={self.k}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived dimensions
+    # ------------------------------------------------------------------
+    @property
+    def e(self) -> int:
+        """Ofmap height: (h - r) / stride + 1 (valid padding)."""
+        return (self.h - self.r) // self.stride + 1
+
+    @property
+    def f(self) -> int:
+        """Ofmap width: (w - s) / stride + 1 (valid padding)."""
+        return (self.w - self.s) // self.stride + 1
+
+    @property
+    def is_fully_connected(self) -> bool:
+        """True when the layer degenerates to a matrix-vector product."""
+        return self.r == self.s == self.h == self.w == 1
+
+    @property
+    def is_depthwise(self) -> bool:
+        """True for channel-wise (depthwise) convolutions."""
+        return self.groups == self.c and self.groups == self.k
+
+    # ------------------------------------------------------------------
+    # Work and data volumes
+    # ------------------------------------------------------------------
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations in the layer."""
+        return (
+            self.batch
+            * self.e
+            * self.f
+            * self.k
+            * self.r
+            * self.s
+            * (self.c // self.groups)
+        )
+
+    @property
+    def weight_count(self) -> int:
+        """Unique weight scalars."""
+        return self.k * self.r * self.s * (self.c // self.groups)
+
+    @property
+    def ifmap_count(self) -> int:
+        """Unique input-feature scalars."""
+        return self.batch * self.h * self.w * self.c
+
+    @property
+    def ofmap_count(self) -> int:
+        """Unique output-feature scalars."""
+        return self.batch * self.e * self.f * self.k
+
+    @property
+    def weight_bytes(self) -> int:
+        """Bytes of weight data at the paper's 8-bit precision."""
+        return self.weight_count * WEIGHT_BITS // 8
+
+    @property
+    def ifmap_bytes(self) -> int:
+        """Bytes of input-feature data at 8-bit precision."""
+        return self.ifmap_count * ACTIVATION_BITS // 8
+
+    @property
+    def ofmap_bytes(self) -> int:
+        """Bytes of output-feature data at 8-bit precision."""
+        return self.ofmap_count * ACTIVATION_BITS // 8
+
+    @property
+    def psum_bytes_per_element(self) -> int:
+        """Bytes of one partial sum (24-bit per the paper)."""
+        return PSUM_BITS // 8
+
+    # ------------------------------------------------------------------
+    # Convolution reuse factors (Sze et al. [1], used by the flexible
+    # bandwidth-allocation scheme of Section VI).
+    # ------------------------------------------------------------------
+    @property
+    def ifmap_reuse(self) -> int:
+        """How many MACs consume one input feature (upper bound)."""
+        return self.r * self.s * (self.k // self.groups)
+
+    @property
+    def weight_reuse(self) -> int:
+        """How many MACs consume one weight: every output position."""
+        return self.batch * self.e * self.f
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+    @property
+    def shape_key(self) -> tuple[int, ...]:
+        """Parameter tuple identifying layers with identical cost."""
+        return (
+            self.c,
+            self.k,
+            self.r,
+            self.s,
+            self.h,
+            self.w,
+            self.stride,
+            self.groups,
+            self.batch,
+        )
+
+    def renamed(self, name: str) -> "ConvLayer":
+        """Copy of this layer under a different name."""
+        return replace(self, name=name)
+
+    def with_batch(self, batch: int) -> "ConvLayer":
+        """Copy of this layer at a different inference batch size."""
+        return replace(self, batch=batch)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}[c={self.c} k={self.k} r={self.r} s={self.s} "
+            f"h={self.h} w={self.w} stride={self.stride} groups={self.groups}]"
+        )
+
+
+def fully_connected(name: str, in_features: int, out_features: int) -> ConvLayer:
+    """Express a fully-connected layer as a 1x1 convolution.
+
+    The paper evaluates convolution and FC layers only (Section III-F);
+    modelling FC as ``c=in, k=out, r=s=h=w=1`` keeps MAC and traffic
+    counts exact while reusing all convolution machinery.
+    """
+    return ConvLayer(name=name, c=in_features, k=out_features, r=1, s=1, h=1, w=1)
+
+
+class LayerSet:
+    """An ordered collection of layers with duplicate-shape tracking.
+
+    The paper de-duplicates layers with identical parameters before
+    reporting per-layer results (e.g. ``res2a_branch1`` is dropped
+    because it matches ``res2[a-c]_branch2c``) but *keeps multiplicity*
+    when accumulating whole-network execution time and energy.  A
+    LayerSet records each distinct shape once along with how many times
+    it occurs in the network.
+    """
+
+    def __init__(self, name: str, layers: list[ConvLayer]):
+        self.name = name
+        self._all_layers = list(layers)
+        self._unique: list[ConvLayer] = []
+        self._multiplicity: dict[tuple[int, ...], int] = {}
+        for layer in layers:
+            key = layer.shape_key
+            if key not in self._multiplicity:
+                self._multiplicity[key] = 0
+                self._unique.append(layer)
+            self._multiplicity[key] += 1
+
+    @property
+    def all_layers(self) -> list[ConvLayer]:
+        """Every layer instance in network order (with duplicates)."""
+        return list(self._all_layers)
+
+    @property
+    def unique_layers(self) -> list[ConvLayer]:
+        """First occurrence of each distinct shape, in network order."""
+        return list(self._unique)
+
+    def multiplicity(self, layer: ConvLayer) -> int:
+        """How many times this layer's shape occurs in the network."""
+        return self._multiplicity[layer.shape_key]
+
+    @property
+    def total_macs(self) -> int:
+        """MACs of a full inference pass (all duplicates counted)."""
+        return sum(layer.macs for layer in self._all_layers)
+
+    def __len__(self) -> int:
+        return len(self._all_layers)
+
+    def __iter__(self):
+        return iter(self._all_layers)

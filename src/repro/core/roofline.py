@@ -1,0 +1,79 @@
+"""Roofline analysis for chiplet accelerators.
+
+Classifies each layer by its *operational intensity* (MACs per byte
+of package-level traffic) against a machine's compute and bandwidth
+ceilings — the standard lens for "who is compute-bound where", and a
+compact way to see why SPACX's broadcast moves whole layer families
+from the bandwidth wall onto the compute roof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .accelerator import AcceleratorSpec
+from .layer import ConvLayer
+from .mapping import map_layer
+from .traffic import derive_traffic
+
+__all__ = ["RooflinePoint", "roofline_point", "machine_ridge"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One layer's position in a machine's roofline plot."""
+
+    layer_name: str
+    accelerator: str
+    operational_intensity: float  # MACs per package byte
+    attainable_macs_per_s: float
+    peak_macs_per_s: float
+
+    @property
+    def compute_bound(self) -> bool:
+        """True when the layer sits on the flat compute roof."""
+        return self.attainable_macs_per_s >= self.peak_macs_per_s * (1 - 1e-9)
+
+    @property
+    def roof_fraction(self) -> float:
+        """Attainable over peak throughput."""
+        return self.attainable_macs_per_s / self.peak_macs_per_s
+
+
+def machine_ridge(spec: AcceleratorSpec) -> float:
+    """The ridge point: the operational intensity (MACs/byte) above
+    which the machine is compute-bound."""
+    peak_macs_per_s = spec.peak_macs_per_cycle * spec.frequency_ghz * 1e9
+    bandwidth_bytes_per_s = spec.gb_egress_gbps * 1e9 / 8
+    return peak_macs_per_s / bandwidth_bytes_per_s
+
+
+def roofline_point(
+    layer: ConvLayer, spec: AcceleratorSpec, layer_by_layer: bool = False
+) -> RooflinePoint:
+    """Place one layer on one machine's roofline.
+
+    Operational intensity uses the *actual* package traffic of the
+    mapped layer (so broadcast discounts and unicast replication move
+    the point horizontally — the mechanism behind SPACX's wins).
+    """
+    mapping = map_layer(layer, spec.mapping_parameters(), spec.dataflow)
+    traffic = derive_traffic(
+        mapping,
+        spec.capabilities,
+        layer_by_layer=layer_by_layer,
+        gb_bytes=spec.gb_bytes,
+    )
+    package_bytes = max(1, traffic.gb_send_bytes + traffic.output_bytes)
+    intensity = layer.macs / package_bytes
+
+    peak_macs_per_s = spec.peak_macs_per_cycle * spec.frequency_ghz * 1e9
+    bandwidth_bytes_per_s = spec.gb_egress_gbps * 1e9 / 8
+    attainable = min(peak_macs_per_s, intensity * bandwidth_bytes_per_s)
+    return RooflinePoint(
+        layer_name=layer.name,
+        accelerator=spec.name,
+        operational_intensity=intensity,
+        attainable_macs_per_s=attainable,
+        peak_macs_per_s=peak_macs_per_s,
+    )

@@ -1,0 +1,243 @@
+"""Per-layer communication traffic derivation.
+
+For every (layer, mapping, network-capability) combination this module
+derives the byte counts that drive both communication time and network
+energy:
+
+* ``gb_*_send_bytes`` -- bytes leaving the GB transmitters.  On a
+  broadcast-capable network one send serves all spatial sharers; on a
+  unicast network (Simba's mesh, POPSTAR's crossbar with broadcast
+  disabled) the GB must replicate the send per destination, which is
+  exactly the "broadcast emulated by several unicast communications"
+  the paper criticises.
+* ``pe_*_receive_bytes`` -- bytes crossing PE receivers.  Each sharer
+  performs its own O/E conversion even under photonic broadcast, which
+  is why O/E dominates E/O in the paper's Fig. 21b breakdown.
+* ``output_bytes`` -- ofmap write-back over the PE->GB path.
+* ``psum_bytes`` -- chiplet-level spatial-reduction traffic (24-bit
+  psums), zero for output-stationary dataflows.
+* ``dram_read/write_bytes`` -- off-package traffic, different between
+  the layer-by-layer experiments (Figs. 13/14: everything starts in
+  DRAM) and the whole-network experiments (Fig. 15: GB reuse between
+  consecutive layers).
+
+The SPACX ifmap path deserves a note: without the Section VI bandwidth
+allocation, each chiplet receives its own receptive-field window, so
+an input feature crossed by ``r x s`` output positions is sent up to
+``r x s`` times (convolution-reuse duplication).  The flexible BA
+scheme multicasts such features on idle X wavelengths, collapsing the
+duplication toward 1 -- modelled in :mod:`repro.spacx.bandwidth`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .layer import ConvLayer
+from .mapping import Mapping
+
+__all__ = ["NetworkCapabilities", "TrafficSummary", "derive_traffic"]
+
+
+@dataclass(frozen=True)
+class NetworkCapabilities:
+    """What the interconnect can do, as traffic accounting needs it."""
+
+    #: One GB send can reach all spatial sharers of a weight.
+    weight_broadcast: bool
+    #: One GB send can reach all spatial sharers of an input feature.
+    ifmap_broadcast: bool
+    #: Convolution-reuse multicast of ifmaps across chiplets
+    #: (the Section VI flexible bandwidth-allocation scheme).
+    ifmap_reuse_multicast: bool = False
+    #: Convolution-reuse multicast of weights within a chiplet.
+    weight_reuse_multicast: bool = False
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Byte counts for one layer on one accelerator."""
+
+    # GB -> PE direction
+    gb_weight_send_bytes: int
+    gb_ifmap_send_bytes: int
+    pe_weight_receive_bytes: int
+    pe_ifmap_receive_bytes: int
+    # Bytes physically crossing chiplet interfaces (a broadcast
+    # crosses every sharing chiplet's interface once; a unicast copy
+    # crosses exactly one).
+    chiplet_weight_cross_bytes: int
+    chiplet_ifmap_cross_bytes: int
+    # PE -> GB direction
+    output_bytes: int
+    # intra-chiplet spatial reduction
+    psum_bytes: int
+    # off-package
+    dram_read_bytes: int
+    dram_write_bytes: int
+
+    @property
+    def gb_send_bytes(self) -> int:
+        """Total bytes leaving GB transmitters."""
+        return self.gb_weight_send_bytes + self.gb_ifmap_send_bytes
+
+    @property
+    def pe_receive_bytes(self) -> int:
+        """Total bytes crossing PE receivers."""
+        return self.pe_weight_receive_bytes + self.pe_ifmap_receive_bytes
+
+    @property
+    def total_network_bytes(self) -> int:
+        """All bytes moved inside the package."""
+        return self.gb_send_bytes + self.output_bytes + self.psum_bytes
+
+
+def _ifmap_stream_bytes(layer: ConvLayer) -> int:
+    """Bytes of one sequential ifmap delivery sweep (column reuse only).
+
+    A PE sweeping adjacent output positions keeps the ``s - stride``
+    overlapping window columns in its buffer, so each new position
+    costs ``r * stride`` fresh columns of ``c`` channels.  Row overlap
+    cannot be kept (a whole ifmap row exceeds the buffer), so those
+    bytes are re-delivered -- this is precisely the duplication the
+    Section VI multicast removes.
+    """
+    fresh_cols = min(layer.s, layer.stride)
+    per_position = layer.r * fresh_cols * layer.c
+    # The first position of each row pays the full window width.
+    row_starts = layer.e * layer.r * max(0, layer.s - fresh_cols) * layer.c
+    total = layer.batch * (layer.e * layer.f * per_position + row_starts)
+    # Never less than the unique ifmap: every element is needed once.
+    return max(total, layer.ifmap_bytes)
+
+
+def _halo_duplication(layer: ConvLayer, mapping: Mapping) -> float:
+    """Cross-chiplet re-send factor of the ifmap without multicast.
+
+    Output rows are distributed over the active chiplets in
+    contiguous blocks; each block's ifmap region extends ``r - 1``
+    halo rows beyond its own share, and those halo rows are delivered
+    again to the neighbouring block's chiplet.
+    """
+    if layer.r <= 1:
+        return 1.0
+    blocks = min(layer.e, max(1, mapping.chiplets_active))
+    rows_per_block = layer.e / blocks
+    duplication = 1.0 + (layer.r - 1) / max(rows_per_block * layer.stride, 1.0)
+    return min(float(layer.r * layer.s), duplication)
+
+
+def derive_traffic(
+    mapping: Mapping,
+    caps: NetworkCapabilities,
+    layer_by_layer: bool,
+    gb_bytes: int,
+) -> TrafficSummary:
+    """Derive the traffic summary for one mapped layer.
+
+    Args:
+        mapping: output of :func:`repro.core.mapping.map_layer`.
+        caps: broadcast/multicast capabilities of the network.
+        layer_by_layer: True for the Fig. 13/14 methodology (all data
+            initially in DRAM), False for Fig. 15 (GB-resident ifmaps
+            between consecutive layers).
+        gb_bytes: global buffer capacity, for DRAM-refetch spills.
+    """
+    layer = mapping.layer
+
+    # ------------------------------------------------------------------
+    # Weights.
+    # ------------------------------------------------------------------
+    unique_weight_bytes = layer.weight_bytes
+    weight_transmissions = unique_weight_bytes * mapping.weight_refetch
+    weight_receives = weight_transmissions * mapping.weight_sharers
+    if caps.weight_broadcast:
+        gb_weight_sends = weight_transmissions
+    else:
+        gb_weight_sends = weight_receives
+
+    # ------------------------------------------------------------------
+    # Input features.
+    # ------------------------------------------------------------------
+    if mapping.dataflow.name == "WEIGHT_STATIONARY":
+        # Each chiplet needs the whole ifmap; PEs split it by channel.
+        unique_ifmap_bytes = layer.ifmap_bytes
+        ifmap_transmissions = unique_ifmap_bytes * mapping.ifmap_refetch
+        ifmap_receives = ifmap_transmissions * mapping.ifmap_sharers
+        if caps.ifmap_broadcast:
+            gb_ifmap_sends = ifmap_transmissions
+        else:
+            gb_ifmap_sends = ifmap_receives
+    elif mapping.dataflow.name == "SPACX_OS":
+        # The GB's offline broadcast schedule sends each ifmap element
+        # once per sweep to every chiplet region needing it.  Regions
+        # are row-contiguous position blocks, so window overlap at the
+        # block boundaries (the halo rows) is re-sent per block --
+        # unless the Section VI multicast serves all sharing chiplets
+        # in one transmission.
+        if caps.ifmap_reuse_multicast:
+            per_sweep = layer.ifmap_bytes
+        else:
+            per_sweep = int(layer.ifmap_bytes * _halo_duplication(layer, mapping))
+        ifmap_transmissions = per_sweep * mapping.ifmap_refetch
+        ifmap_receives = ifmap_transmissions * mapping.ifmap_sharers
+        gb_ifmap_sends = ifmap_transmissions
+    else:
+        # OS(e/f): per-PE receptive-field streams with column reuse
+        # only; no spatial ifmap sharing exists to broadcast.
+        per_sweep = _ifmap_stream_bytes(layer)
+        ifmap_transmissions = per_sweep * mapping.ifmap_refetch
+        ifmap_receives = ifmap_transmissions * mapping.ifmap_sharers
+        gb_ifmap_sends = ifmap_receives
+
+    # ------------------------------------------------------------------
+    # Outputs and psums.
+    # ------------------------------------------------------------------
+    output_bytes = layer.ofmap_bytes
+    if mapping.psum_spatial_fanin > 1:
+        # Spatial reduction: (fan-in - 1) partial values merged per
+        # output element, 24 bits each, on the chiplet-level network.
+        psum_bytes = (
+            layer.ofmap_count
+            * (mapping.psum_spatial_fanin - 1)
+            * layer.psum_bytes_per_element
+        )
+    else:
+        psum_bytes = 0
+
+    # ------------------------------------------------------------------
+    # DRAM traffic.
+    # ------------------------------------------------------------------
+    # Weights stream from DRAM once (each element is consumed by the
+    # package exactly once per GB residency); the ifmap is re-read per
+    # re-broadcast round only when the GB cannot retain it.
+    ifmap_fits_gb = layer.ifmap_bytes <= gb_bytes // 2
+    ifmap_dram_factor = 1 if ifmap_fits_gb else mapping.ifmap_refetch
+    if layer_by_layer:
+        dram_read = layer.weight_bytes + layer.ifmap_bytes * ifmap_dram_factor
+        dram_write = layer.ofmap_bytes
+    else:
+        # Whole-network pass: the previous layer left the ifmap in the
+        # GB when it fits in half the buffer (the other half holds
+        # weights/ofmap of the running layer).
+        dram_read = layer.weight_bytes
+        if not ifmap_fits_gb:
+            dram_read += layer.ifmap_bytes * ifmap_dram_factor
+        dram_write = layer.ofmap_bytes if layer.ofmap_bytes > gb_bytes // 2 else 0
+
+    return TrafficSummary(
+        gb_weight_send_bytes=int(gb_weight_sends),
+        gb_ifmap_send_bytes=int(gb_ifmap_sends),
+        pe_weight_receive_bytes=int(weight_receives),
+        pe_ifmap_receive_bytes=int(ifmap_receives),
+        chiplet_weight_cross_bytes=int(
+            weight_transmissions * mapping.weight_chiplet_fanout
+        ),
+        chiplet_ifmap_cross_bytes=int(
+            ifmap_transmissions * mapping.ifmap_chiplet_fanout
+        ),
+        output_bytes=int(output_bytes),
+        psum_bytes=int(psum_bytes),
+        dram_read_bytes=int(dram_read),
+        dram_write_bytes=int(dram_write),
+    )

@@ -1,0 +1,25 @@
+"""Energy models substituting the paper's external tools.
+
+* :mod:`.mac` replaces the Synopsys Design Compiler MAC-power run,
+* :mod:`.buffers` replaces CACTI 6.0 for PE buffers and the GB,
+* :mod:`.dram` replaces DRAMSim2,
+* :mod:`.compute` combines them into the paper's 'Other' energy bar.
+
+Network energy lives with the networks themselves
+(:mod:`repro.baselines.electrical`, :mod:`repro.spacx.power`).
+"""
+
+from .buffers import SramEnergyModel, sram_energy_pj_per_byte
+from .compute import ComputeEnergyModel
+from .dram import DEFAULT_DRAM, DramModel
+from .mac import DEFAULT_MAC_ENERGY, MacEnergyModel
+
+__all__ = [
+    "ComputeEnergyModel",
+    "DEFAULT_DRAM",
+    "DEFAULT_MAC_ENERGY",
+    "DramModel",
+    "MacEnergyModel",
+    "SramEnergyModel",
+    "sram_energy_pj_per_byte",
+]

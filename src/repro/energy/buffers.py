@@ -1,0 +1,48 @@
+"""SRAM buffer energy: a CACTI-style capacity-scaled model.
+
+The paper obtains in-package memory energy from CACTI 6.0.  We encode
+the first-order behaviour CACTI exhibits for small-to-medium SRAMs:
+per-byte access energy grows roughly with the square root of capacity
+(bitline/wordline length scale with array edge).  The constant is
+anchored so a 43 kB Simba PE buffer costs ~0.2 pJ/B and the 2 MB GB
+~1.4 pJ/B -- inside the envelope of published 28 nm CACTI runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["SramEnergyModel", "sram_energy_pj_per_byte"]
+
+_BASE_PJ_PER_BYTE = 0.03  # at 1 kB
+
+
+def sram_energy_pj_per_byte(capacity_bytes: int) -> float:
+    """Per-byte read/write energy of an SRAM of the given capacity."""
+    if capacity_bytes < 1:
+        raise ValueError("capacity must be >= 1 byte")
+    kilobytes = capacity_bytes / 1024.0
+    return _BASE_PJ_PER_BYTE * math.sqrt(max(kilobytes, 1.0))
+
+
+@dataclass(frozen=True)
+class SramEnergyModel:
+    """Access-energy model of one SRAM instance."""
+
+    capacity_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < 1:
+            raise ValueError("capacity must be >= 1 byte")
+
+    @property
+    def energy_pj_per_byte(self) -> float:
+        """Per-byte access energy in pJ."""
+        return sram_energy_pj_per_byte(self.capacity_bytes)
+
+    def access_energy_mj(self, bytes_accessed: int) -> float:
+        """Energy (mJ) of moving ``bytes_accessed`` through this SRAM."""
+        if bytes_accessed < 0:
+            raise ValueError("byte count must be >= 0")
+        return bytes_accessed * self.energy_pj_per_byte * 1e-9

@@ -1,0 +1,73 @@
+"""Compute-side ('other') energy: MACs plus the memory hierarchy.
+
+Combines the MAC, SRAM and DRAM models into the single per-layer
+figure the paper plots as the 'Other' bar in Figures 14/15/21a.
+Buffer access counts follow the standard MAESTRO/Eyeriss accounting:
+each MAC consumes one weight byte and one activation byte from the PE
+buffer; output-stationary dataflows keep psums in the accumulation
+register file (charged at PE-buffer cost only on final write-out),
+while spatially-reduced dataflows pay a read-modify-write per psum
+hop.  GB accesses mirror the network traffic (every byte sent was
+read from the GB; every byte received from PEs or DRAM is written).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.layer import ConvLayer
+from ..core.mapping import Mapping
+from ..core.traffic import TrafficSummary
+from .buffers import SramEnergyModel
+from .dram import DEFAULT_DRAM, DramModel
+from .mac import DEFAULT_MAC_ENERGY, MacEnergyModel
+
+__all__ = ["ComputeEnergyModel"]
+
+
+@dataclass(frozen=True)
+class ComputeEnergyModel:
+    """Everything the paper's 'Other' bar contains."""
+
+    pe_buffer: SramEnergyModel
+    gb: SramEnergyModel
+    mac: MacEnergyModel = field(default_factory=lambda: DEFAULT_MAC_ENERGY)
+    dram: DramModel = field(default_factory=lambda: DEFAULT_DRAM)
+
+    def mac_energy_mj(self, layer: ConvLayer, mapping: Mapping) -> float:
+        """Arithmetic energy of the layer."""
+        active_pe_cycles = mapping.pes_active * mapping.compute_cycles
+        return self.mac.compute_energy_mj(layer.macs, active_pe_cycles)
+
+    def pe_buffer_energy_mj(
+        self, layer: ConvLayer, mapping: Mapping, traffic: TrafficSummary
+    ) -> float:
+        """PE-buffer access energy.
+
+        Operand reads: one weight + one activation byte per MAC (reuse
+        happens out of the buffer, so reads scale with MACs).  Fills:
+        every byte a PE receives is written into its buffer once.
+        Psums: output-stationary keeps them in the accumulator and only
+        pays the final ofmap write; spatial reduction pays a
+        read-modify-write per 24-bit partial crossing a PE.
+        """
+        operand_reads = 2 * layer.macs
+        fills = traffic.pe_receive_bytes
+        if mapping.psum_spatial_fanin > 1:
+            psum_accesses = 2 * traffic.psum_bytes
+        else:
+            psum_accesses = layer.ofmap_bytes
+        return self.pe_buffer.access_energy_mj(operand_reads + fills + psum_accesses)
+
+    def gb_energy_mj(self, traffic: TrafficSummary) -> float:
+        """Global-buffer access energy mirroring the traffic summary."""
+        reads = traffic.gb_send_bytes
+        writes = traffic.output_bytes + traffic.dram_read_bytes
+        reads += traffic.dram_write_bytes  # data staged out to DRAM
+        return self.gb.access_energy_mj(reads + writes)
+
+    def dram_energy_mj(self, traffic: TrafficSummary) -> float:
+        """Off-chip DRAM access energy."""
+        return self.dram.access_energy_mj(
+            traffic.dram_read_bytes + traffic.dram_write_bytes
+        )

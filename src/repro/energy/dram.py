@@ -1,0 +1,43 @@
+"""Off-chip DRAM energy and bandwidth.
+
+The paper uses DRAMSim2; we substitute the aggregate figures that
+matter to the analytical model: an access-energy constant in the
+published LPDDR4/DDR4 band and a bandwidth cap shared by all three
+accelerators so the package network, not DRAM, differentiates them
+(as in the paper's Table II, which lists no DRAM differences).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DramModel", "DEFAULT_DRAM"]
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """DRAM channel model shared by every accelerator."""
+
+    energy_pj_per_bit: float = 15.0
+    bandwidth_gbps: float = 2048.0  # HBM-class, 256 GB/s
+
+    def __post_init__(self) -> None:
+        if self.energy_pj_per_bit < 0:
+            raise ValueError("energy must be >= 0")
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be > 0")
+
+    def access_energy_mj(self, bytes_accessed: int) -> float:
+        """Energy (mJ) of ``bytes_accessed`` DRAM traffic."""
+        if bytes_accessed < 0:
+            raise ValueError("byte count must be >= 0")
+        return bytes_accessed * 8 * self.energy_pj_per_bit * 1e-9
+
+    def transfer_time_s(self, bytes_accessed: int) -> float:
+        """Time (s) to move ``bytes_accessed`` at the channel cap."""
+        if bytes_accessed < 0:
+            raise ValueError("byte count must be >= 0")
+        return bytes_accessed * 8 / (self.bandwidth_gbps * 1e9)
+
+
+DEFAULT_DRAM = DramModel()

@@ -1,0 +1,39 @@
+"""Arithmetic energy constants.
+
+The paper evaluates MAC power with Synopsys Design Compiler at 28 nm;
+we substitute published 28 nm figures.  An 8-bit multiply-accumulate
+including pipeline registers and local operand latching costs on the
+order of half a picojoule (Horowitz, ISSCC'14 scaled 45->28 nm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MacEnergyModel", "DEFAULT_MAC_ENERGY"]
+
+
+@dataclass(frozen=True)
+class MacEnergyModel:
+    """Energy of arithmetic in the PEs."""
+
+    energy_per_mac_pj: float = 0.45
+    #: Idle/leakage per PE per cycle, charged on active PEs only.
+    leakage_per_pe_cycle_pj: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.energy_per_mac_pj < 0 or self.leakage_per_pe_cycle_pj < 0:
+            raise ValueError("energies must be >= 0")
+
+    def compute_energy_mj(self, macs: int, active_pe_cycles: int = 0) -> float:
+        """Energy (mJ) of ``macs`` operations plus active-PE leakage."""
+        if macs < 0 or active_pe_cycles < 0:
+            raise ValueError("counts must be >= 0")
+        picojoules = (
+            macs * self.energy_per_mac_pj
+            + active_pe_cycles * self.leakage_per_pe_cycle_pj
+        )
+        return picojoules * 1e-9
+
+
+DEFAULT_MAC_ENERGY = MacEnergyModel()

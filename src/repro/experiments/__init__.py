@@ -1,0 +1,143 @@
+"""One module per table/figure of the paper's evaluation section.
+
+=============  ===========================================
+Paper item     Module / entry point
+=============  ===========================================
+Table I        :func:`repro.experiments.tables.table_i`
+Table II       :func:`repro.experiments.tables.table_ii`
+Tables III/IV  :func:`repro.experiments.tables.table_iii_iv`
+Figure 13/14   :func:`repro.experiments.per_layer.per_layer_comparison`
+Figure 15      :func:`repro.experiments.overall.overall_comparison`
+Figure 16      :func:`repro.experiments.network_metrics.network_metrics`
+Figure 17      :func:`repro.experiments.dataflow_ablation.dataflow_ablation`
+Figure 18      :func:`repro.experiments.bandwidth_ablation.bandwidth_ablation`
+Figure 19      :func:`repro.experiments.power_surface.moderate_surface`
+Figure 20      :func:`repro.experiments.power_surface.aggressive_surface`
+Figure 21      :func:`repro.experiments.energy_breakdown.parameter_sensitivity`
+Figure 22      :func:`repro.experiments.scalability.scalability_study`
+Section VIII-G :func:`repro.experiments.area.area_estimation`
+=============  ===========================================
+"""
+
+from .area import AreaStudy, area_estimation
+from .bandwidth_ablation import (
+    BandwidthAblationRow,
+    bandwidth_ablation,
+    bandwidth_means,
+)
+from .dataflow_ablation import (
+    DATAFLOW_ORDER,
+    DataflowAblationRow,
+    dataflow_ablation,
+    dataflow_means,
+)
+from .energy_breakdown import (
+    BreakdownRow,
+    SpacxNetworkSplit,
+    parameter_sensitivity,
+    spacx_network_split,
+)
+from .harness import (
+    EVALUATED_ACCELERATORS,
+    AcceleratorTrio,
+    arithmetic_mean,
+    default_trio,
+    format_table,
+    geometric_mean,
+    run_models,
+)
+from .motivation import (
+    EnergyPerBitPoint,
+    crossover_distance_cm,
+    energy_per_bit_vs_distance,
+)
+from .network_metrics import (
+    NetworkMetricsRow,
+    network_metric_means,
+    network_metrics,
+)
+from .overall import OverallRow, overall_comparison, overall_means
+from .pareto import ParetoStudy, granularity_pareto_study, pareto_front
+from .per_layer import (
+    PerLayerRow,
+    extended_layer_labels,
+    per_layer_comparison,
+)
+from .power_surface import (
+    PowerSurfacePoint,
+    aggressive_surface,
+    moderate_surface,
+    power_surface,
+    surface_minimum,
+)
+from .report import SECTIONS, full_report
+from .scalability import ScalabilityRow, scalability_study
+from .sensitivity import (
+    SensitivityPoint,
+    dram_bandwidth_sensitivity,
+    frequency_sensitivity,
+    wavelength_rate_sensitivity,
+)
+from .tables import (
+    PAPER_TABLE_I,
+    laser_power_from_parameters,
+    table_i,
+    table_ii,
+    table_iii_iv,
+)
+
+__all__ = [
+    "AreaStudy",
+    "AcceleratorTrio",
+    "BandwidthAblationRow",
+    "BreakdownRow",
+    "DATAFLOW_ORDER",
+    "DataflowAblationRow",
+    "EVALUATED_ACCELERATORS",
+    "EnergyPerBitPoint",
+    "NetworkMetricsRow",
+    "OverallRow",
+    "PAPER_TABLE_I",
+    "ParetoStudy",
+    "PerLayerRow",
+    "PowerSurfacePoint",
+    "SECTIONS",
+    "ScalabilityRow",
+    "SensitivityPoint",
+    "SpacxNetworkSplit",
+    "aggressive_surface",
+    "area_estimation",
+    "arithmetic_mean",
+    "bandwidth_ablation",
+    "bandwidth_means",
+    "dataflow_ablation",
+    "crossover_distance_cm",
+    "dataflow_means",
+    "default_trio",
+    "dram_bandwidth_sensitivity",
+    "energy_per_bit_vs_distance",
+    "extended_layer_labels",
+    "format_table",
+    "frequency_sensitivity",
+    "full_report",
+    "granularity_pareto_study",
+    "geometric_mean",
+    "laser_power_from_parameters",
+    "moderate_surface",
+    "network_metric_means",
+    "network_metrics",
+    "overall_comparison",
+    "overall_means",
+    "parameter_sensitivity",
+    "pareto_front",
+    "per_layer_comparison",
+    "power_surface",
+    "run_models",
+    "scalability_study",
+    "spacx_network_split",
+    "surface_minimum",
+    "table_i",
+    "table_ii",
+    "table_iii_iv",
+    "wavelength_rate_sensitivity",
+]

@@ -1,0 +1,42 @@
+"""Section VIII-G: area estimation.
+
+Reproduces the paper's accounting: 0.72 mm^2 PE logic, ~4% transceiver
+peripheral overhead, 132 MRRs under a 4.07 mm^2 chiplet totalling
+~0.01 mm^2, and ~0.68 mm^2 of micro-bumps -- all hidden beneath the
+chiplet footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..spacx.architecture import spacx_topology
+from ..spacx.area import AreaModel, AreaReport
+
+__all__ = ["AreaStudy", "area_estimation"]
+
+
+@dataclass(frozen=True)
+class AreaStudy:
+    """The Section VIII-G quantities."""
+
+    report: AreaReport
+    mrrs_under_chiplet: int
+
+    @property
+    def transceiver_overhead_percent(self) -> float:
+        """Peripheral circuitry overhead relative to PE logic."""
+        return self.report.transceiver_overhead * 100.0
+
+
+def area_estimation(
+    chiplets: int = 32,
+    pes_per_chiplet: int = 32,
+) -> AreaStudy:
+    """Regenerate the area estimation for the evaluated machine."""
+    topology = spacx_topology(chiplets, pes_per_chiplet)
+    model = AreaModel(topology)
+    return AreaStudy(
+        report=model.report(),
+        mrrs_under_chiplet=model.mrrs_under_chiplet,
+    )

@@ -1,0 +1,90 @@
+"""Figure 18: flexible bandwidth allocation ablation.
+
+Compares Simba, SPACX and SPACX-BA (the machine with the Section VI
+scheme disabled: fixed X/Y wavelength partition and no convolution-
+reuse multicast), normalised to Simba.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.simba import simba_simulator
+from ..models.zoo import MODELS
+from ..spacx.architecture import spacx_simulator
+from .harness import arithmetic_mean
+
+__all__ = ["BandwidthAblationRow", "bandwidth_ablation", "bandwidth_means"]
+
+_ORDER = ("Simba", "SPACX", "SPACX-BA")
+
+
+@dataclass(frozen=True)
+class BandwidthAblationRow:
+    """One (model, machine) pair of bars in Figure 18."""
+
+    model: str
+    accelerator: str
+    execution_time_s: float
+    energy_mj: float
+    network_energy_mj: float
+    normalized_execution_time: float
+    normalized_energy: float
+
+
+def bandwidth_ablation() -> list[BandwidthAblationRow]:
+    """Regenerate the Figure 18 data set."""
+    simulators = {
+        "Simba": simba_simulator(),
+        "SPACX": spacx_simulator(bandwidth_allocation=True),
+        "SPACX-BA": spacx_simulator(bandwidth_allocation=False),
+    }
+    rows: list[BandwidthAblationRow] = []
+    for model_factory in MODELS.values():
+        model = model_factory()
+        results = {
+            name: simulator.simulate_model(model)
+            for name, simulator in simulators.items()
+        }
+        baseline = results["Simba"]
+        for name in _ORDER:
+            result = results[name]
+            rows.append(
+                BandwidthAblationRow(
+                    model=model.name,
+                    accelerator=name,
+                    execution_time_s=result.execution_time_s,
+                    energy_mj=result.energy.total_mj,
+                    network_energy_mj=result.energy.network_mj,
+                    normalized_execution_time=(
+                        result.execution_time_s / baseline.execution_time_s
+                    ),
+                    normalized_energy=(
+                        result.energy.total_mj / baseline.energy.total_mj
+                    ),
+                )
+            )
+    return rows
+
+
+def bandwidth_means(
+    rows: list[BandwidthAblationRow],
+) -> dict[str, dict[str, float]]:
+    """Mean normalised metrics per machine, plus the headline ratio:
+    the mean execution-time increase from disabling the scheme."""
+    means: dict[str, dict[str, float]] = {}
+    for name in _ORDER:
+        subset = [r for r in rows if r.accelerator == name]
+        means[name] = {
+            "execution_time": arithmetic_mean(
+                r.normalized_execution_time for r in subset
+            ),
+            "energy": arithmetic_mean(r.normalized_energy for r in subset),
+        }
+    means["BA-off increase"] = {
+        "execution_time": (
+            means["SPACX-BA"]["execution_time"] / means["SPACX"]["execution_time"]
+        ),
+        "energy": means["SPACX-BA"]["energy"] / means["SPACX"]["energy"],
+    }
+    return means

@@ -1,0 +1,109 @@
+"""Co-design decomposition: dataflow x interconnect matrix.
+
+The paper argues network and dataflow must be co-designed: the
+broadcast-enabled dataflow is only worth anything on a network that
+can broadcast, and the photonic network is only fully used by a
+dataflow that broadcasts.  This experiment completes the 2x2 matrix
+the paper samples diagonally:
+
+====================  =======================  ====================
+                      weight-stationary        SPACX dataflow
+====================  =======================  ====================
+electrical mesh       Simba (the baseline)     *hypothetical*: the
+                                               broadcasts degenerate
+                                               to unicast storms
+photonic broadcast    WS-on-SPACX (Fig. 17)    SPACX (the proposal)
+====================  =======================  ====================
+
+The hypothetical corner is built by running the SPACX dataflow on the
+Simba machine (whose capability flags force unicast emulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.simba import simba_simulator, simba_spec
+from ..core.dataflow import DataflowKind
+from ..core.simulator import Simulator
+from ..baselines.electrical import ElectricalMeshEnergy
+from ..energy.buffers import SramEnergyModel
+from ..energy.compute import ComputeEnergyModel
+from ..models.zoo import MODELS
+from ..spacx.architecture import spacx_simulator
+from .harness import arithmetic_mean
+
+__all__ = ["CodesignCell", "codesign_matrix", "codesign_means"]
+
+
+@dataclass(frozen=True)
+class CodesignCell:
+    """One (model, dataflow, network) cell of the matrix."""
+
+    model: str
+    dataflow: str
+    network: str
+    execution_time_s: float
+    energy_mj: float
+    normalized_execution_time: float  # vs the Simba corner
+
+
+def _spacx_dataflow_on_simba() -> Simulator:
+    """The hypothetical corner: SPACX dataflow, electrical unicast."""
+    spec = simba_spec().with_dataflow(DataflowKind.SPACX_OS)
+    compute_energy = ComputeEnergyModel(
+        pe_buffer=SramEnergyModel(capacity_bytes=spec.pe_buffer_bytes),
+        gb=SramEnergyModel(capacity_bytes=spec.gb_bytes),
+    )
+    return Simulator(
+        spec,
+        compute_energy,
+        ElectricalMeshEnergy(spec.chiplets, spec.pes_per_chiplet),
+    )
+
+
+def codesign_matrix() -> list[CodesignCell]:
+    """Evaluate the full 2x2 matrix over the paper's model suite."""
+    corners = {
+        ("WS", "electrical"): simba_simulator(),
+        ("SPACX", "electrical"): _spacx_dataflow_on_simba(),
+        ("WS", "photonic"): spacx_simulator(
+            dataflow=DataflowKind.WEIGHT_STATIONARY
+        ),
+        ("SPACX", "photonic"): spacx_simulator(),
+    }
+    cells: list[CodesignCell] = []
+    for factory in MODELS.values():
+        model = factory()
+        results = {
+            key: simulator.simulate_model(model)
+            for key, simulator in corners.items()
+        }
+        baseline = results[("WS", "electrical")]
+        for (dataflow, network), result in results.items():
+            cells.append(
+                CodesignCell(
+                    model=model.name,
+                    dataflow=dataflow,
+                    network=network,
+                    execution_time_s=result.execution_time_s,
+                    energy_mj=result.energy.total_mj,
+                    normalized_execution_time=(
+                        result.execution_time_s / baseline.execution_time_s
+                    ),
+                )
+            )
+    return cells
+
+
+def codesign_means(cells: list[CodesignCell]) -> dict[tuple[str, str], float]:
+    """Mean normalised execution time per matrix corner."""
+    corners = {(c.dataflow, c.network) for c in cells}
+    return {
+        corner: arithmetic_mean(
+            c.normalized_execution_time
+            for c in cells
+            if (c.dataflow, c.network) == corner
+        )
+        for corner in corners
+    }

@@ -1,0 +1,87 @@
+"""Figure 17: dataflow ablation on the SPACX architecture.
+
+The same photonic machine runs three dataflows -- the Simba-style
+weight-stationary WS [13], the ShiDianNao-style OS(e/f) [36] and the
+proposed broadcast-enabled SPACX dataflow -- normalised to WS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dataflow import DataflowKind
+from ..models.zoo import MODELS
+from ..spacx.architecture import spacx_simulator
+from .harness import arithmetic_mean
+
+__all__ = [
+    "DATAFLOW_ORDER",
+    "DataflowAblationRow",
+    "dataflow_ablation",
+    "dataflow_means",
+]
+
+#: Reporting order of Figure 17.
+DATAFLOW_ORDER = (
+    ("WS", DataflowKind.WEIGHT_STATIONARY),
+    ("OS(e/f)", DataflowKind.OUTPUT_STATIONARY_EF),
+    ("SPACX", DataflowKind.SPACX_OS),
+)
+
+
+@dataclass(frozen=True)
+class DataflowAblationRow:
+    """One (model, dataflow) pair of bars in Figure 17."""
+
+    model: str
+    dataflow: str
+    execution_time_s: float
+    energy_mj: float
+    normalized_execution_time: float  # vs WS on the same model
+    normalized_energy: float
+
+
+def dataflow_ablation() -> list[DataflowAblationRow]:
+    """Regenerate the Figure 17 data set."""
+    simulators = {
+        label: spacx_simulator(dataflow=kind) for label, kind in DATAFLOW_ORDER
+    }
+    rows: list[DataflowAblationRow] = []
+    for model_factory in MODELS.values():
+        model = model_factory()
+        results = {
+            label: simulator.simulate_model(model)
+            for label, simulator in simulators.items()
+        }
+        baseline = results["WS"]
+        for label, _ in DATAFLOW_ORDER:
+            result = results[label]
+            rows.append(
+                DataflowAblationRow(
+                    model=model.name,
+                    dataflow=label,
+                    execution_time_s=result.execution_time_s,
+                    energy_mj=result.energy.total_mj,
+                    normalized_execution_time=(
+                        result.execution_time_s / baseline.execution_time_s
+                    ),
+                    normalized_energy=(
+                        result.energy.total_mj / baseline.energy.total_mj
+                    ),
+                )
+            )
+    return rows
+
+
+def dataflow_means(rows: list[DataflowAblationRow]) -> dict[str, dict[str, float]]:
+    """The Figure 17 A.M. bars per dataflow."""
+    means: dict[str, dict[str, float]] = {}
+    for label, _ in DATAFLOW_ORDER:
+        subset = [r for r in rows if r.dataflow == label]
+        means[label] = {
+            "execution_time": arithmetic_mean(
+                r.normalized_execution_time for r in subset
+            ),
+            "energy": arithmetic_mean(r.normalized_energy for r in subset),
+        }
+    return means

@@ -1,0 +1,122 @@
+"""Figure 21: energy breakdown with moderate vs aggressive photonics.
+
+Part (a): whole-model energy of Simba, POPSTAR (moderate/aggressive)
+and SPACX (moderate/aggressive) for the four DNNs, normalised to
+Simba.  Part (b): the SPACX photonic-network energy of a ResNet-50
+inference pass split into E/O, O/E, heating and laser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.popstar import popstar_simulator
+from ..baselines.simba import simba_simulator
+from ..models.zoo import MODELS
+from ..models.resnet import resnet50
+from ..photonics.components import (
+    AGGRESSIVE_PARAMETERS,
+    MODERATE_PARAMETERS,
+    PhotonicParameters,
+)
+from ..spacx.architecture import spacx_simulator
+
+__all__ = [
+    "BreakdownRow",
+    "parameter_sensitivity",
+    "SpacxNetworkSplit",
+    "spacx_network_split",
+]
+
+_VARIANTS = (
+    ("Simba", None),
+    ("POPSTAR (moderate)", MODERATE_PARAMETERS),
+    ("POPSTAR (aggressive)", AGGRESSIVE_PARAMETERS),
+    ("SPACX (moderate)", MODERATE_PARAMETERS),
+    ("SPACX (aggressive)", AGGRESSIVE_PARAMETERS),
+)
+
+
+@dataclass(frozen=True)
+class BreakdownRow:
+    """One (model, variant) bar of Figure 21a."""
+
+    model: str
+    variant: str
+    energy_mj: float
+    network_energy_mj: float
+    other_energy_mj: float
+    normalized_energy: float
+
+
+def _simulator_for(variant: str, params: PhotonicParameters | None):
+    if variant == "Simba":
+        return simba_simulator()
+    if variant.startswith("POPSTAR"):
+        return popstar_simulator(params=params)
+    return spacx_simulator(params=params)
+
+
+def parameter_sensitivity() -> list[BreakdownRow]:
+    """Regenerate the Figure 21a data set."""
+    rows: list[BreakdownRow] = []
+    for model_factory in MODELS.values():
+        model = model_factory()
+        simba_energy = None
+        for variant, params in _VARIANTS:
+            result = _simulator_for(variant, params).simulate_model(model)
+            energy = result.energy
+            if variant == "Simba":
+                simba_energy = energy.total_mj
+            rows.append(
+                BreakdownRow(
+                    model=model.name,
+                    variant=variant,
+                    energy_mj=energy.total_mj,
+                    network_energy_mj=energy.network_mj,
+                    other_energy_mj=energy.other_mj,
+                    normalized_energy=energy.total_mj / simba_energy,
+                )
+            )
+    return rows
+
+
+@dataclass(frozen=True)
+class SpacxNetworkSplit:
+    """Figure 21b: the SPACX network energy split for ResNet-50 (mJ)."""
+
+    parameters: str
+    eo_mj: float
+    oe_mj: float
+    heating_mj: float
+    laser_mj: float
+
+    @property
+    def total_mj(self) -> float:
+        """Total photonic-network energy of the inference pass."""
+        return self.eo_mj + self.oe_mj + self.heating_mj + self.laser_mj
+
+    def fractions(self) -> dict[str, float]:
+        """Each bucket as a fraction of the network total."""
+        total = self.total_mj
+        return {
+            "eo": self.eo_mj / total,
+            "oe": self.oe_mj / total,
+            "heating": self.heating_mj / total,
+            "laser": self.laser_mj / total,
+        }
+
+
+def spacx_network_split(
+    params: PhotonicParameters = MODERATE_PARAMETERS,
+) -> SpacxNetworkSplit:
+    """Regenerate one pie of Figure 21b."""
+    result = spacx_simulator(params=params).simulate_model(resnet50())
+    network = result.energy.network
+    return SpacxNetworkSplit(
+        parameters=params.name,
+        eo_mj=network.eo_mj,
+        oe_mj=network.oe_mj,
+        heating_mj=network.heating_mj,
+        laser_mj=network.laser_mj,
+    )

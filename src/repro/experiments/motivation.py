@@ -1,0 +1,105 @@
+"""The Section II motivation: photonic vs electrical energy per bit
+as a function of communication distance.
+
+The paper's case for photonics rests on three properties; this
+experiment quantifies the energy one: electrical links pay per
+millimetre of wire, photonic links pay a fixed E/O + O/E conversion
+plus a laser share that grows only slowly (dB-linearly) with
+distance.  The crossover distance — beyond which a photonic hop is
+cheaper — is the quantitative footing under the paper's "high energy
+efficiency as the communication distance increases" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.electrical import PACKAGE_LINK
+from ..photonics.components import MODERATE_PARAMETERS, PhotonicParameters
+from ..photonics.laser import per_wavelength_laser_power_mw
+from ..photonics.link_budget import LinkBudget
+from ..photonics.transceiver import transceiver_for
+from ..photonics.wdm import DEFAULT_DATA_RATE_GBPS
+
+__all__ = ["EnergyPerBitPoint", "energy_per_bit_vs_distance", "crossover_distance_cm"]
+
+#: Electrical wire energy scales with distance: the paper's 1.17 pJ/b
+#: GRS figure [55] is for a ~2 cm package hop, i.e. ~0.59 pJ/b/cm.
+_ELECTRICAL_WIRE_PJ_PER_BIT_PER_CM = PACKAGE_LINK.wire_pj_per_bit / 2.0
+#: A retiming router every 2 cm of substrate.
+_ELECTRICAL_SEGMENT_CM = 2.0
+
+
+@dataclass(frozen=True)
+class EnergyPerBitPoint:
+    """Energy per bit of both technologies at one distance."""
+
+    distance_cm: float
+    electrical_pj_per_bit: float
+    photonic_pj_per_bit: float
+
+    @property
+    def photonic_wins(self) -> bool:
+        """Whether the photonic hop is cheaper at this distance."""
+        return self.photonic_pj_per_bit < self.electrical_pj_per_bit
+
+
+def _photonic_pj_per_bit(
+    distance_cm: float, params: PhotonicParameters
+) -> float:
+    """One photonic hop: E/O + O/E conversion plus the laser share."""
+    transceiver = transceiver_for(params)
+    budget = LinkBudget(params)
+    budget.add_laser_source()
+    budget.add_coupler()
+    budget.add_waveguide(distance_cm)
+    budget.add_bends(2)
+    budget.add_drop()
+    budget.add_receiver()
+    laser_mw = per_wavelength_laser_power_mw(params, budget.total_loss_db)
+    # Static powers convert to per-bit energy at the line rate.
+    static_mw = transceiver.tx_total_mw + transceiver.rx_total_mw + laser_mw
+    return static_mw / DEFAULT_DATA_RATE_GBPS  # mW/Gbps == pJ/bit
+
+
+def _electrical_pj_per_bit(distance_cm: float) -> float:
+    """Electrical link: distance-proportional wire energy plus a
+    retiming router per 2 cm segment beyond the first."""
+    import math
+
+    wire = _ELECTRICAL_WIRE_PJ_PER_BIT_PER_CM * distance_cm
+    retimers = max(0, math.ceil(distance_cm / _ELECTRICAL_SEGMENT_CM) - 1)
+    return wire + retimers * PACKAGE_LINK.router_pj_per_bit_per_hop
+
+
+def energy_per_bit_vs_distance(
+    distances_cm: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0),
+    params: PhotonicParameters = MODERATE_PARAMETERS,
+) -> list[EnergyPerBitPoint]:
+    """The Section II energy-vs-distance comparison."""
+    return [
+        EnergyPerBitPoint(
+            distance_cm=d,
+            electrical_pj_per_bit=_electrical_pj_per_bit(d),
+            photonic_pj_per_bit=_photonic_pj_per_bit(d, params),
+        )
+        for d in distances_cm
+    ]
+
+
+def crossover_distance_cm(
+    params: PhotonicParameters = MODERATE_PARAMETERS,
+    resolution_cm: float = 0.05,
+    max_cm: float = 32.0,
+) -> float:
+    """Distance beyond which the photonic hop stays cheaper."""
+    distance = resolution_cm
+    while distance <= max_cm:
+        if _photonic_pj_per_bit(distance, params) < _electrical_pj_per_bit(
+            distance
+        ):
+            return distance
+        distance += resolution_cm
+    raise ValueError(
+        f"no crossover below {max_cm} cm with these parameters"
+    )

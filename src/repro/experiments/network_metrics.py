@@ -1,0 +1,76 @@
+"""Figure 16: network latency and throughput.
+
+Latency is the time between generating and receiving a data packet
+(propagation plus serialisation across the hierarchical path);
+throughput is the number of packets the network delivers across
+chiplet interfaces per unit of network busy time.  Both are reported
+per DNN normalised to Simba.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .harness import (
+    EVALUATED_ACCELERATORS,
+    AcceleratorTrio,
+    arithmetic_mean,
+    default_trio,
+    run_models,
+)
+
+__all__ = ["NetworkMetricsRow", "network_metrics", "network_metric_means"]
+
+
+@dataclass(frozen=True)
+class NetworkMetricsRow:
+    """One (model, accelerator) point of Figure 16."""
+
+    model: str
+    accelerator: str
+    packet_latency_s: float
+    throughput_gbps: float
+    normalized_latency: float
+    normalized_throughput: float
+
+
+def network_metrics(trio: AcceleratorTrio | None = None) -> list[NetworkMetricsRow]:
+    """Regenerate the Figure 16 data set."""
+    trio = trio or default_trio()
+    results = run_models(trio)
+    rows: list[NetworkMetricsRow] = []
+    for model_name, per_accelerator in results.items():
+        simba = per_accelerator["Simba"]
+        for accelerator in EVALUATED_ACCELERATORS:
+            result = per_accelerator[accelerator]
+            rows.append(
+                NetworkMetricsRow(
+                    model=model_name,
+                    accelerator=accelerator,
+                    packet_latency_s=result.mean_packet_latency_s,
+                    throughput_gbps=result.throughput_gbps,
+                    normalized_latency=(
+                        result.mean_packet_latency_s / simba.mean_packet_latency_s
+                    ),
+                    normalized_throughput=(
+                        result.throughput_gbps / simba.throughput_gbps
+                    ),
+                )
+            )
+    return rows
+
+
+def network_metric_means(
+    rows: list[NetworkMetricsRow],
+) -> dict[str, dict[str, float]]:
+    """The Figure 16 A.M. bars."""
+    means: dict[str, dict[str, float]] = {}
+    for accelerator in EVALUATED_ACCELERATORS:
+        subset = [r for r in rows if r.accelerator == accelerator]
+        means[accelerator] = {
+            "latency": arithmetic_mean(r.normalized_latency for r in subset),
+            "throughput": arithmetic_mean(
+                r.normalized_throughput for r in subset
+            ),
+        }
+    return means

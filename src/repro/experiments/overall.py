@@ -1,0 +1,81 @@
+"""Figure 15: whole-model execution time and energy.
+
+A complete inference pass per DNN, exploiting GB data reuse between
+successive layers (only convolution and FC layers accumulate, as in
+the paper), normalised to Simba, plus the A.M. column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .harness import (
+    EVALUATED_ACCELERATORS,
+    AcceleratorTrio,
+    arithmetic_mean,
+    default_trio,
+    run_models,
+)
+
+__all__ = ["OverallRow", "overall_comparison", "overall_means"]
+
+
+@dataclass(frozen=True)
+class OverallRow:
+    """One (model, accelerator) pair of bars in Figure 15."""
+
+    model: str
+    accelerator: str
+    execution_time_s: float
+    computation_time_s: float
+    exposed_communication_s: float
+    energy_mj: float
+    network_energy_mj: float
+    other_energy_mj: float
+    normalized_execution_time: float
+    normalized_energy: float
+
+
+def overall_comparison(trio: AcceleratorTrio | None = None) -> list[OverallRow]:
+    """Regenerate the Figure 15 data set."""
+    trio = trio or default_trio()
+    results = run_models(trio)
+    rows: list[OverallRow] = []
+    for model_name, per_accelerator in results.items():
+        simba = per_accelerator["Simba"]
+        for accelerator in EVALUATED_ACCELERATORS:
+            result = per_accelerator[accelerator]
+            energy = result.energy
+            rows.append(
+                OverallRow(
+                    model=model_name,
+                    accelerator=accelerator,
+                    execution_time_s=result.execution_time_s,
+                    computation_time_s=result.computation_time_s,
+                    exposed_communication_s=result.exposed_communication_s,
+                    energy_mj=energy.total_mj,
+                    network_energy_mj=energy.network_mj,
+                    other_energy_mj=energy.other_mj,
+                    normalized_execution_time=(
+                        result.execution_time_s / simba.execution_time_s
+                    ),
+                    normalized_energy=(
+                        energy.total_mj / simba.energy.total_mj
+                    ),
+                )
+            )
+    return rows
+
+
+def overall_means(rows: list[OverallRow]) -> dict[str, dict[str, float]]:
+    """The Figure 15 A.M. bars: mean normalised time/energy per machine."""
+    means: dict[str, dict[str, float]] = {}
+    for accelerator in EVALUATED_ACCELERATORS:
+        subset = [r for r in rows if r.accelerator == accelerator]
+        means[accelerator] = {
+            "execution_time": arithmetic_mean(
+                r.normalized_execution_time for r in subset
+            ),
+            "energy": arithmetic_mean(r.normalized_energy for r in subset),
+        }
+    return means

@@ -1,0 +1,102 @@
+"""Granularity Pareto study (Section V + Figures 19/20 combined).
+
+The paper chooses e/f = 8 / k = 16 "to achieve balanced improvement
+on both energy efficiency and execution time".  This experiment makes
+the trade explicit: for a workload it evaluates the whole granularity
+grid and extracts the Pareto front over (execution time, static
+network power) -- the two axes the paper balances -- then locates the
+paper's operating point relative to that front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.layer import LayerSet
+from ..models.zoo import evaluation_models
+from ..spacx.advisor import ConfigurationScore, GranularityAdvisor
+
+__all__ = ["ParetoStudy", "pareto_front", "granularity_pareto_study"]
+
+
+def pareto_front(scores: list[ConfigurationScore]) -> list[ConfigurationScore]:
+    """Non-dominated configurations over (execution time, static power).
+
+    A configuration is dominated when another is no worse on both
+    axes and strictly better on at least one.
+    """
+    front = []
+    for candidate in scores:
+        dominated = any(
+            other.execution_time_s <= candidate.execution_time_s
+            and other.static_network_power_w <= candidate.static_network_power_w
+            and (
+                other.execution_time_s < candidate.execution_time_s
+                or other.static_network_power_w < candidate.static_network_power_w
+            )
+            for other in scores
+        )
+        if not dominated:
+            front.append(candidate)
+    return sorted(front, key=lambda s: s.execution_time_s)
+
+
+@dataclass(frozen=True)
+class ParetoStudy:
+    """The grid, its front, and where the paper's point sits."""
+
+    workload: str
+    scores: list[ConfigurationScore]
+    front: list[ConfigurationScore]
+    paper_point: ConfigurationScore
+
+    @property
+    def paper_point_on_front(self) -> bool:
+        """Whether (k=16, e/f=8) is Pareto-optimal for this workload."""
+        keys = {(s.k_granularity, s.ef_granularity) for s in self.front}
+        return (
+            self.paper_point.k_granularity,
+            self.paper_point.ef_granularity,
+        ) in keys
+
+    def paper_point_slack(self) -> float:
+        """Execution-time distance of the paper point to the nearest
+        front member with no more static power (0 when on the front)."""
+        candidates = [
+            s
+            for s in self.front
+            if s.static_network_power_w
+            <= self.paper_point.static_network_power_w * (1 + 1e-9)
+        ]
+        if not candidates:
+            return 0.0
+        best = min(s.execution_time_s for s in candidates)
+        return max(
+            0.0,
+            (self.paper_point.execution_time_s - best)
+            / self.paper_point.execution_time_s,
+        )
+
+
+def granularity_pareto_study(
+    workload: LayerSet | None = None,
+    granularities: tuple[int, ...] = (4, 8, 16, 32),
+) -> ParetoStudy:
+    """Run the Pareto study; defaults to the whole paper suite."""
+    if workload is None:
+        layers = []
+        for model in evaluation_models():
+            layers.extend(model.all_layers)
+        workload = LayerSet("paper-suite", layers)
+    advisor = GranularityAdvisor(granularities=granularities)
+    scores = advisor.evaluate(workload)
+    front = pareto_front(scores)
+    paper_point = next(
+        s for s in scores if (s.k_granularity, s.ef_granularity) == (16, 8)
+    )
+    return ParetoStudy(
+        workload=workload.name,
+        scores=scores,
+        front=front,
+        paper_point=paper_point,
+    )

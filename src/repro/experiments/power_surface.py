@@ -1,0 +1,74 @@
+"""Figures 19 and 20: SPACX network power vs broadcast granularity.
+
+Sweeps the (k, e/f) granularity grid of the M = N = 32 machine for the
+moderate (Table III) and aggressive (Table IV) photonic parameters,
+yielding the overall / laser / transceiver surfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..photonics.components import (
+    AGGRESSIVE_PARAMETERS,
+    MODERATE_PARAMETERS,
+    PhotonicParameters,
+)
+from ..spacx.power import granularity_sweep
+
+__all__ = [
+    "PowerSurfacePoint",
+    "power_surface",
+    "surface_minimum",
+    "moderate_surface",
+    "aggressive_surface",
+]
+
+
+@dataclass(frozen=True)
+class PowerSurfacePoint:
+    """One granularity setting of the Figure 19/20 surfaces."""
+
+    k_granularity: int
+    ef_granularity: int
+    laser_w: float
+    transceiver_w: float
+    overall_w: float
+
+
+def power_surface(
+    params: PhotonicParameters,
+    chiplets: int = 32,
+    pes_per_chiplet: int = 32,
+    granularities: tuple[int, ...] = (4, 8, 16, 32),
+) -> list[PowerSurfacePoint]:
+    """Regenerate one of the two power-surface figures."""
+    sweep = granularity_sweep(chiplets, pes_per_chiplet, params, granularities)
+    return [
+        PowerSurfacePoint(
+            k_granularity=k,
+            ef_granularity=ef,
+            laser_w=report.laser_w,
+            transceiver_w=report.transceiver_w,
+            overall_w=report.overall_w,
+        )
+        for (k, ef), report in sorted(sweep.items())
+    ]
+
+
+def moderate_surface() -> list[PowerSurfacePoint]:
+    """Figure 19 (moderate photonic parameters)."""
+    return power_surface(MODERATE_PARAMETERS)
+
+
+def aggressive_surface() -> list[PowerSurfacePoint]:
+    """Figure 20 (aggressive photonic parameters)."""
+    return power_surface(AGGRESSIVE_PARAMETERS)
+
+
+def surface_minimum(
+    points: list[PowerSurfacePoint], metric: str
+) -> PowerSurfacePoint:
+    """The granularity setting minimising ``metric`` ('laser_w',
+    'transceiver_w' or 'overall_w')."""
+    return min(points, key=lambda p: getattr(p, metric))

@@ -1,0 +1,289 @@
+"""Full reproduction report generation.
+
+Renders every reproduced table and figure into one plain-text report
+(the programmatic equivalent of running the whole benchmark harness
+with ``-s``).  Used by the CLI's ``report`` command and by tests that
+verify the complete pipeline stays runnable end to end.
+"""
+
+from __future__ import annotations
+
+from ..photonics.components import AGGRESSIVE_PARAMETERS
+from .area import area_estimation
+from .codesign import codesign_matrix, codesign_means
+from .bandwidth_ablation import bandwidth_ablation, bandwidth_means
+from .dataflow_ablation import dataflow_ablation, dataflow_means
+from .energy_breakdown import parameter_sensitivity, spacx_network_split
+from .harness import format_table
+from .motivation import crossover_distance_cm, energy_per_bit_vs_distance
+from .network_metrics import network_metric_means, network_metrics
+from .overall import overall_comparison, overall_means
+from .per_layer import per_layer_comparison
+from .power_surface import aggressive_surface, moderate_surface
+from .scalability import scalability_study
+from .tables import laser_power_from_parameters, table_i, table_ii
+
+__all__ = ["full_report", "section"]
+
+
+def section(title: str, body: str) -> str:
+    """One banner-delimited report section."""
+    bar = "=" * max(20, len(title) + 8)
+    return f"{bar}\n    {title}\n{bar}\n{body}\n"
+
+
+def _render_table_i() -> str:
+    rows = table_i()
+    headers = ["quantity", "A", "B", "C", "D"]
+    labels = [
+        ("global waveguides", "global_waveguides"),
+        ("local waveguides/chiplet", "local_waveguides_per_chiplet"),
+        ("wavelengths", "wavelengths"),
+        ("PEs/waveguide", "pes_per_waveguide"),
+        ("interface MRRs", "interface_mrrs"),
+    ]
+    return format_table(
+        headers,
+        [[label] + [rows[c][key] for c in "ABCD"] for label, key in labels],
+    )
+
+
+def _render_table_ii() -> str:
+    rows = table_ii()
+    headers = ["machine", "parameter", "value"]
+    return format_table(
+        headers,
+        [
+            [machine, parameter, value]
+            for machine, parameters in rows.items()
+            for parameter, value in parameters.items()
+        ],
+    )
+
+
+def _render_laser() -> str:
+    rows = laser_power_from_parameters()
+    headers = ["set", "X loss (dB)", "Y loss (dB)", "laser (W)"]
+    return format_table(
+        headers,
+        [
+            [
+                name,
+                values["x_path_loss_db"],
+                values["y_path_loss_db"],
+                values["total_laser_w"],
+            ]
+            for name, values in rows.items()
+        ],
+    )
+
+
+def _render_per_layer() -> str:
+    rows = per_layer_comparison()
+    headers = ["layer", "machine", "time vs Simba", "energy vs Simba"]
+    return format_table(
+        headers,
+        [
+            [r.label, r.accelerator, r.normalized_execution_time, r.normalized_energy]
+            for r in rows
+        ],
+    )
+
+
+def _render_overall() -> str:
+    rows = overall_comparison()
+    means = overall_means(rows)
+    headers = ["model", "machine", "exec (ms)", "E (mJ)", "vs Simba (t)", "vs Simba (E)"]
+    body = [
+        [
+            r.model,
+            r.accelerator,
+            r.execution_time_s * 1e3,
+            r.energy_mj,
+            r.normalized_execution_time,
+            r.normalized_energy,
+        ]
+        for r in rows
+    ]
+    body += [
+        ["A.M.", name, "-", "-", m["execution_time"], m["energy"]]
+        for name, m in means.items()
+    ]
+    return format_table(headers, body)
+
+
+def _render_network_metrics() -> str:
+    rows = network_metrics()
+    means = network_metric_means(rows)
+    headers = ["model", "machine", "lat vs Simba", "thr vs Simba"]
+    body = [
+        [r.model, r.accelerator, r.normalized_latency, r.normalized_throughput]
+        for r in rows
+    ]
+    body += [
+        ["A.M.", name, m["latency"], m["throughput"]] for name, m in means.items()
+    ]
+    return format_table(headers, body)
+
+
+def _render_dataflows() -> str:
+    rows = dataflow_ablation()
+    means = dataflow_means(rows)
+    headers = ["model", "dataflow", "time vs WS", "energy vs WS"]
+    body = [
+        [r.model, r.dataflow, r.normalized_execution_time, r.normalized_energy]
+        for r in rows
+    ]
+    body += [
+        ["A.M.", name, m["execution_time"], m["energy"]]
+        for name, m in means.items()
+    ]
+    return format_table(headers, body)
+
+
+def _render_bandwidth() -> str:
+    rows = bandwidth_ablation()
+    means = bandwidth_means(rows)
+    headers = ["model", "machine", "time vs Simba", "energy vs Simba"]
+    body = [
+        [r.model, r.accelerator, r.normalized_execution_time, r.normalized_energy]
+        for r in rows
+    ]
+    body += [
+        [name, "-", m["execution_time"], m["energy"]]
+        for name, m in means.items()
+        if name == "BA-off increase"
+    ]
+    return format_table(headers, body)
+
+
+def _render_power_surfaces() -> str:
+    parts = []
+    for name, surface in (
+        ("moderate", moderate_surface()),
+        ("aggressive", aggressive_surface()),
+    ):
+        headers = ["k", "e/f", "laser (W)", "transceiver (W)", "overall (W)"]
+        body = [
+            [p.k_granularity, p.ef_granularity, p.laser_w, p.transceiver_w, p.overall_w]
+            for p in surface
+        ]
+        parts.append(f"[{name}]\n" + format_table(headers, body))
+    return "\n\n".join(parts)
+
+
+def _render_breakdown() -> str:
+    rows = parameter_sensitivity()
+    headers = ["model", "variant", "energy vs Simba"]
+    body = [[r.model, r.variant, r.normalized_energy] for r in rows]
+    splits = [spacx_network_split(), spacx_network_split(AGGRESSIVE_PARAMETERS)]
+    split_headers = ["set", "E/O", "O/E", "heating", "laser", "total (mJ)"]
+    split_body = [
+        [
+            s.parameters,
+            s.eo_mj,
+            s.oe_mj,
+            s.heating_mj,
+            s.laser_mj,
+            s.total_mj,
+        ]
+        for s in splits
+    ]
+    return (
+        format_table(headers, body)
+        + "\n\n[SPACX network split, ResNet-50]\n"
+        + format_table(split_headers, split_body)
+    )
+
+
+def _render_scalability() -> str:
+    rows = scalability_study()
+    headers = ["M", "N", "machine", "exec (ms)", "E (mJ)"]
+    return format_table(
+        headers,
+        [
+            [
+                r.chiplets,
+                r.pes_per_chiplet,
+                r.accelerator,
+                r.execution_time_s * 1e3,
+                r.energy_mj,
+            ]
+            for r in rows
+        ],
+    )
+
+
+def _render_codesign() -> str:
+    cells = codesign_matrix()
+    means = codesign_means(cells)
+    headers = ["dataflow", "network", "A.M. time vs Simba"]
+    body = [
+        [dataflow, network, value]
+        for (dataflow, network), value in sorted(means.items())
+    ]
+    return format_table(headers, body)
+
+
+def _render_motivation() -> str:
+    points = energy_per_bit_vs_distance()
+    headers = ["distance (cm)", "electrical (pJ/b)", "photonic (pJ/b)", "winner"]
+    body = [
+        [
+            p.distance_cm,
+            p.electrical_pj_per_bit,
+            p.photonic_pj_per_bit,
+            "photonic" if p.photonic_wins else "electrical",
+        ]
+        for p in points
+    ]
+    body.append(["crossover", crossover_distance_cm(), "-", "-"])
+    return format_table(headers, body)
+
+
+def _render_area() -> str:
+    study = area_estimation()
+    report = study.report
+    headers = ["quantity", "value"]
+    return format_table(
+        headers,
+        [
+            ["PE logic (mm^2)", report.pe_logic_mm2],
+            ["transceiver overhead (%)", study.transceiver_overhead_percent],
+            ["MRRs under chiplet", study.mrrs_under_chiplet],
+            ["MRR area (mm^2)", report.mrr_mm2],
+            ["micro-bump area (mm^2)", report.microbump_mm2],
+        ],
+    )
+
+
+#: Section registry: report name -> (title, renderer).
+SECTIONS = {
+    "table1": ("Table I: network configurations", _render_table_i),
+    "table2": ("Table II: network parameters", _render_table_ii),
+    "table3-4": ("Tables III/IV: laser power", _render_laser),
+    "fig13-14": ("Figures 13/14: per-layer time & energy", _render_per_layer),
+    "fig15": ("Figure 15: whole-model time & energy", _render_overall),
+    "fig16": ("Figure 16: latency & throughput", _render_network_metrics),
+    "fig17": ("Figure 17: dataflow ablation", _render_dataflows),
+    "fig18": ("Figure 18: bandwidth allocation", _render_bandwidth),
+    "fig19-20": ("Figures 19/20: power surfaces", _render_power_surfaces),
+    "fig21": ("Figure 21: energy breakdown", _render_breakdown),
+    "fig22": ("Figure 22: scalability", _render_scalability),
+    "area": ("Section VIII-G: area", _render_area),
+    "codesign": ("Extension: co-design matrix", _render_codesign),
+    "motivation": ("Extension: energy/bit vs distance", _render_motivation),
+}
+
+
+def full_report(only: str | None = None) -> str:
+    """Render the complete reproduction report (or one section)."""
+    if only is not None:
+        if only not in SECTIONS:
+            raise KeyError(
+                f"unknown section {only!r}; available: {sorted(SECTIONS)}"
+            )
+        title, renderer = SECTIONS[only]
+        return section(title, renderer())
+    parts = [section(title, renderer()) for title, renderer in SECTIONS.values()]
+    return "\n".join(parts)

@@ -1,0 +1,65 @@
+"""Figure 22: scalability over chiplet count M and PEs per chiplet N.
+
+ResNet-50 inference on all three machines at M in {16, 32, 64} with
+N = 32 and N in {16, 32, 64} with M = 32, normalised to the M = 32 /
+N = 32 SPACX machine (the paper normalises all bars to the baseline
+SPACX configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.popstar import popstar_simulator
+from ..baselines.simba import simba_simulator
+from ..models.resnet import resnet50
+from ..spacx.architecture import spacx_simulator
+
+__all__ = ["ScalabilityRow", "scalability_study"]
+
+_SWEEP = (
+    (16, 32),
+    (32, 32),
+    (64, 32),
+    (32, 16),
+    (32, 64),
+)
+
+
+@dataclass(frozen=True)
+class ScalabilityRow:
+    """One (M, N, accelerator) point of Figure 22."""
+
+    chiplets: int
+    pes_per_chiplet: int
+    accelerator: str
+    execution_time_s: float
+    energy_mj: float
+    normalized_execution_time: float  # vs the M=32/N=32 SPACX machine
+    normalized_energy: float
+
+
+def scalability_study() -> list[ScalabilityRow]:
+    """Regenerate the Figure 22 data set."""
+    model = resnet50()
+    reference = spacx_simulator(32, 32).simulate_model(model)
+    rows: list[ScalabilityRow] = []
+    for chiplets, pes in _SWEEP:
+        for factory in (simba_simulator, popstar_simulator, spacx_simulator):
+            result = factory(chiplets, pes).simulate_model(model)
+            rows.append(
+                ScalabilityRow(
+                    chiplets=chiplets,
+                    pes_per_chiplet=pes,
+                    accelerator=result.accelerator,
+                    execution_time_s=result.execution_time_s,
+                    energy_mj=result.energy.total_mj,
+                    normalized_execution_time=(
+                        result.execution_time_s / reference.execution_time_s
+                    ),
+                    normalized_energy=(
+                        result.energy.total_mj / reference.energy.total_mj
+                    ),
+                )
+            )
+    return rows

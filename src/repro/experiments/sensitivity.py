@@ -1,0 +1,120 @@
+"""Substrate-constant sensitivity sweeps.
+
+The reproduction substitutes fixed constants for the paper's external
+toolchain (DESIGN.md documents each).  These sweeps quantify how much
+the headline SPACX-vs-Simba ratios depend on those constants --
+demonstrating that the conclusions are robust to the substitutions,
+not artefacts of one lucky calibration point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..baselines.simba import simba_simulator
+from ..models.resnet import resnet50
+from ..spacx.architecture import spacx_simulator
+
+__all__ = [
+    "SensitivityPoint",
+    "dram_bandwidth_sensitivity",
+    "frequency_sensitivity",
+    "wavelength_rate_sensitivity",
+]
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One setting of a swept constant and the resulting ratio."""
+
+    parameter: str
+    value: float
+    spacx_execution_time_s: float
+    simba_execution_time_s: float
+
+    @property
+    def ratio(self) -> float:
+        """SPACX over Simba execution time (lower is better)."""
+        return self.spacx_execution_time_s / self.simba_execution_time_s
+
+
+def _with(simulator, **overrides):
+    simulator.spec = dataclasses.replace(simulator.spec, **overrides)
+    simulator._mapping_params = simulator.spec.mapping_parameters()
+    return simulator
+
+
+def dram_bandwidth_sensitivity(
+    bandwidths_gbps: tuple[float, ...] = (512.0, 1024.0, 2048.0, 4096.0),
+) -> list[SensitivityPoint]:
+    """Sweep the shared DRAM channel bandwidth."""
+    model = resnet50()
+    points = []
+    for bandwidth in bandwidths_gbps:
+        spacx = _with(spacx_simulator(), dram_bandwidth_gbps=bandwidth)
+        simba = _with(simba_simulator(), dram_bandwidth_gbps=bandwidth)
+        points.append(
+            SensitivityPoint(
+                parameter="dram_bandwidth_gbps",
+                value=bandwidth,
+                spacx_execution_time_s=spacx.simulate_model(model).execution_time_s,
+                simba_execution_time_s=simba.simulate_model(model).execution_time_s,
+            )
+        )
+    return points
+
+
+def frequency_sensitivity(
+    frequencies_ghz: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0),
+) -> list[SensitivityPoint]:
+    """Sweep the shared core clock (all machines together)."""
+    model = resnet50()
+    points = []
+    for frequency in frequencies_ghz:
+        spacx = _with(spacx_simulator(), frequency_ghz=frequency)
+        simba = _with(simba_simulator(), frequency_ghz=frequency)
+        points.append(
+            SensitivityPoint(
+                parameter="frequency_ghz",
+                value=frequency,
+                spacx_execution_time_s=spacx.simulate_model(model).execution_time_s,
+                simba_execution_time_s=simba.simulate_model(model).execution_time_s,
+            )
+        )
+    return points
+
+
+def wavelength_rate_sensitivity(
+    rates_gbps: tuple[float, ...] = (5.0, 10.0, 25.0),
+) -> list[SensitivityPoint]:
+    """Sweep the per-wavelength line rate of the SPACX network.
+
+    All SPACX bandwidth caps scale with the rate; Simba is unaffected,
+    so the ratio improves monotonically with faster optics.
+    """
+    model = resnet50()
+    simba_time = simba_simulator().simulate_model(model).execution_time_s
+    points = []
+    for rate in rates_gbps:
+        scale = rate / 10.0
+        spacx = spacx_simulator()
+        spec = spacx.spec
+        spacx = _with(
+            spacx,
+            gb_egress_gbps=spec.gb_egress_gbps * scale,
+            gb_ingress_gbps=spec.gb_ingress_gbps * scale,
+            chiplet_read_gbps=spec.chiplet_read_gbps * scale,
+            chiplet_write_gbps=spec.chiplet_write_gbps * scale,
+            pe_read_gbps=spec.pe_read_gbps * scale,
+            pe_write_gbps=spec.pe_write_gbps * scale,
+        )
+        points.append(
+            SensitivityPoint(
+                parameter="wavelength_rate_gbps",
+                value=rate,
+                spacx_execution_time_s=spacx.simulate_model(model).execution_time_s,
+                simba_execution_time_s=simba_time,
+            )
+        )
+    return points

@@ -1,0 +1,126 @@
+"""Tables I-IV: structural configurations, network parameters and
+photonic component parameters.
+
+Table I and the SPACX rows of Table II are *derived* from the topology
+generator, so these functions double as end-to-end checks that the
+structural model reproduces the paper exactly.
+"""
+
+from __future__ import annotations
+
+from ..baselines.popstar import popstar_spec
+from ..baselines.simba import simba_spec
+from ..photonics.components import (
+    AGGRESSIVE_PARAMETERS,
+    MODERATE_PARAMETERS,
+    PhotonicParameters,
+)
+from ..photonics.laser import per_wavelength_laser_power_mw
+from ..spacx.architecture import spacx_spec, spacx_topology
+from ..spacx.power import SpacxPowerModel
+from ..spacx.topology import table_i_rows
+
+__all__ = [
+    "table_i",
+    "PAPER_TABLE_I",
+    "table_ii",
+    "table_iii_iv",
+    "laser_power_from_parameters",
+]
+
+#: The published Table I, row for row.
+PAPER_TABLE_I: dict[str, dict[str, int]] = {
+    "A": {
+        "global_waveguides": 1,
+        "local_waveguides_per_chiplet": 1,
+        "wavelengths": 16,
+        "pes_per_waveguide": 64,
+        "interface_mrrs": 80,
+    },
+    "B": {
+        "global_waveguides": 2,
+        "local_waveguides_per_chiplet": 1,
+        "wavelengths": 12,
+        "pes_per_waveguide": 32,
+        "interface_mrrs": 80,
+    },
+    "C": {
+        "global_waveguides": 2,
+        "local_waveguides_per_chiplet": 2,
+        "wavelengths": 12,
+        "pes_per_waveguide": 32,
+        "interface_mrrs": 96,
+    },
+    "D": {
+        "global_waveguides": 4,
+        "local_waveguides_per_chiplet": 2,
+        "wavelengths": 8,
+        "pes_per_waveguide": 16,
+        "interface_mrrs": 96,
+    },
+}
+
+
+def table_i() -> dict[str, dict[str, int]]:
+    """Regenerate Table I from the topology generator."""
+    return table_i_rows()
+
+
+def table_ii() -> dict[str, dict[str, float]]:
+    """Regenerate Table II: network parameters of the three machines."""
+    simba = simba_spec()
+    popstar = popstar_spec()
+    spacx = spacx_spec()
+    topology = spacx_topology()
+    return {
+        "Simba": {
+            "pe_read_gbps": simba.pe_read_gbps,
+            "pe_write_gbps": simba.pe_write_gbps,
+            "chiplet_read_gbps": simba.chiplet_read_gbps,
+            "chiplet_write_gbps": simba.chiplet_write_gbps,
+        },
+        "POPSTAR": {
+            "pe_read_gbps": popstar.pe_read_gbps,
+            "pe_write_gbps": popstar.pe_write_gbps,
+            "chiplet_read_gbps": popstar.chiplet_read_gbps,
+            "chiplet_write_gbps": popstar.chiplet_write_gbps,
+            "wavelengths": 10,
+        },
+        "SPACX": {
+            "pe_read_gbps": spacx.pe_read_gbps,
+            "pe_write_gbps": spacx.pe_write_gbps,
+            "chiplet_read_gbps": spacx.chiplet_read_gbps,
+            "chiplet_write_gbps": spacx.chiplet_write_gbps,
+            "wavelengths": topology.n_wavelengths,
+        },
+    }
+
+
+def table_iii_iv() -> dict[str, PhotonicParameters]:
+    """The moderate (Table III) and aggressive (Table IV) parameters."""
+    return {
+        "moderate": MODERATE_PARAMETERS,
+        "aggressive": AGGRESSIVE_PARAMETERS,
+    }
+
+
+def laser_power_from_parameters() -> dict[str, dict[str, float]]:
+    """Derive per-wavelength and bank laser power from each table.
+
+    This is the quantity Tables III/IV exist to feed (Eq. 2); the
+    aggressive set must need substantially less launch power thanks to
+    its -26 dBm receiver sensitivity.
+    """
+    topology = spacx_topology()
+    result: dict[str, dict[str, float]] = {}
+    for name, params in table_iii_iv().items():
+        model = SpacxPowerModel(topology, params)
+        result[name] = {
+            "x_path_loss_db": model.x_path_budget().total_loss_db,
+            "y_path_loss_db": model.y_path_budget().total_loss_db,
+            "x_per_wavelength_mw": per_wavelength_laser_power_mw(
+                params, model.x_path_budget().total_loss_db
+            ),
+            "total_laser_w": model.laser_power_w(),
+        }
+    return result

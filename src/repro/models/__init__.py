@@ -1,0 +1,51 @@
+"""The benchmark DNNs of the paper's evaluation (Section VII-D):
+ResNet-50, VGG-16, DenseNet-201 and EfficientNet-B7, encoded as
+layer-shape tables for the shape-driven simulator."""
+
+from .common import conv_same, conv_valid
+from .densenet import densenet121, densenet169, densenet201
+from .efficientnet import efficientnet, efficientnet_b0, efficientnet_b7
+from .mobilenet import mobilenet_v2
+from .resnet import RESNET50_UNIQUE_LAYER_COUNT, resnet101, resnet152, resnet50
+from .synthetic import (
+    bottleneck_stressors,
+    layer_parameter_sweep,
+    random_cnn,
+    utilization_corner_cases,
+)
+from .vgg import VGG16_UNIQUE_LAYER_COUNT, vgg16, vgg19
+from .zoo import (
+    EXTENDED_MODELS,
+    MODELS,
+    evaluation_models,
+    get_model,
+    paper_layer_labels,
+)
+
+__all__ = [
+    "EXTENDED_MODELS",
+    "MODELS",
+    "RESNET50_UNIQUE_LAYER_COUNT",
+    "VGG16_UNIQUE_LAYER_COUNT",
+    "bottleneck_stressors",
+    "layer_parameter_sweep",
+    "random_cnn",
+    "utilization_corner_cases",
+    "conv_same",
+    "conv_valid",
+    "densenet121",
+    "densenet169",
+    "densenet201",
+    "efficientnet",
+    "efficientnet_b0",
+    "efficientnet_b7",
+    "mobilenet_v2",
+    "evaluation_models",
+    "get_model",
+    "paper_layer_labels",
+    "resnet101",
+    "resnet152",
+    "resnet50",
+    "vgg16",
+    "vgg19",
+]

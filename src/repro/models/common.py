@@ -1,0 +1,72 @@
+"""Shared helpers for model-zoo construction.
+
+The layer algebra in :mod:`repro.core.layer` uses *valid* padding
+(``e = (h - r) // stride + 1``).  Real networks use "same" padding
+almost everywhere, so the builders below compute the padded input
+extent that makes the ofmap land on ``ceil(in_size / stride)`` --
+which keeps every MAC and traffic count identical to the framework
+definition of the layer.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.layer import ConvLayer
+
+__all__ = ["conv_same", "conv_valid"]
+
+
+def conv_same(
+    name: str,
+    c: int,
+    k: int,
+    kernel: int,
+    in_size: int,
+    stride: int = 1,
+    groups: int = 1,
+) -> ConvLayer:
+    """A square 'same'-padded convolution.
+
+    The ofmap extent is ``ceil(in_size / stride)``; the stored ifmap
+    extent is the padded one that realises it under valid-padding
+    algebra: ``h = (e - 1) * stride + kernel``.
+    """
+    if in_size < 1:
+        raise ValueError(f"{name}: input size must be >= 1")
+    out_size = math.ceil(in_size / stride)
+    padded = (out_size - 1) * stride + kernel
+    return ConvLayer(
+        name=name,
+        c=c,
+        k=k,
+        r=kernel,
+        s=kernel,
+        h=padded,
+        w=padded,
+        stride=stride,
+        groups=groups,
+    )
+
+
+def conv_valid(
+    name: str,
+    c: int,
+    k: int,
+    kernel: int,
+    in_size: int,
+    stride: int = 1,
+    groups: int = 1,
+) -> ConvLayer:
+    """A square valid-padded convolution (no implied padding)."""
+    return ConvLayer(
+        name=name,
+        c=c,
+        k=k,
+        r=kernel,
+        s=kernel,
+        h=in_size,
+        w=in_size,
+        stride=stride,
+        groups=groups,
+    )

@@ -1,0 +1,83 @@
+"""DenseNet family [4] layer shapes.
+
+Dense blocks with growth rate 32; every dense layer is a 1x1
+bottleneck to ``4 * growth`` channels followed by a 3x3 convolution
+producing ``growth`` channels; transitions halve both channel count
+(1x1 conv) and spatial extent (2x2 average pool).  Input channels
+grow by ``growth`` per dense layer, producing the large population of
+small distinct layers the paper mentions when omitting per-layer
+charts for DenseNet-201.  DenseNet-121/169 are zoo extensions.
+"""
+
+from __future__ import annotations
+
+from ..core.layer import ConvLayer, LayerSet, fully_connected
+from .common import conv_same
+
+__all__ = [
+    "densenet121",
+    "densenet169",
+    "densenet201",
+    "GROWTH_RATE",
+    "BLOCK_CONFIG",
+]
+
+GROWTH_RATE = 32
+_BOTTLENECK_WIDTH = 4 * GROWTH_RATE  # 128 channels after the 1x1
+
+#: Dense-block depths per published variant.
+_DEPTH_CONFIGS = {
+    121: (6, 12, 24, 16),
+    169: (6, 12, 32, 32),
+    201: (6, 12, 48, 32),
+}
+
+#: The paper's evaluated variant.
+BLOCK_CONFIG = _DEPTH_CONFIGS[201]
+
+
+def _densenet(depth: int) -> LayerSet:
+    """Build any published DenseNet depth."""
+    try:
+        block_config = _DEPTH_CONFIGS[depth]
+    except KeyError:
+        raise ValueError(
+            f"unsupported depth {depth}; choose from {sorted(_DEPTH_CONFIGS)}"
+        ) from None
+    layers: list[ConvLayer] = [conv_same("conv0", 3, 64, 7, 224, stride=2)]
+    channels = 64
+    size = 56  # after the stride-2 max-pool
+    for block_index, n_layers in enumerate(block_config, start=1):
+        for layer_index in range(1, n_layers + 1):
+            prefix = f"dense{block_index}_l{layer_index}"
+            layers.append(
+                conv_same(f"{prefix}_1x1", channels, _BOTTLENECK_WIDTH, 1, size)
+            )
+            layers.append(
+                conv_same(f"{prefix}_3x3", _BOTTLENECK_WIDTH, GROWTH_RATE, 3, size)
+            )
+            channels += GROWTH_RATE
+        if block_index < len(block_config):
+            layers.append(
+                conv_same(f"transition{block_index}", channels, channels // 2, 1, size)
+            )
+            channels //= 2
+            size //= 2
+    layers.append(fully_connected("fc1000", channels, 1000))
+    return LayerSet(f"DenseNet-{depth}", layers)
+
+
+def densenet201() -> LayerSet:
+    """All convolution and FC layers of DenseNet-201 (the paper's
+    evaluated variant), in network order."""
+    return _densenet(201)
+
+
+def densenet121() -> LayerSet:
+    """DenseNet-121 (zoo extension; not part of the paper's suite)."""
+    return _densenet(121)
+
+
+def densenet169() -> LayerSet:
+    """DenseNet-169 (zoo extension; not part of the paper's suite)."""
+    return _densenet(169)

@@ -1,0 +1,161 @@
+"""EfficientNet family [5] layer shapes.
+
+EfficientNet scales a mobile-style baseline (B0) by compound
+coefficients (width, depth, resolution).  The paper evaluates B7
+(width x2.0, depth x3.1, 600x600 inputs); the full B0-B7 family is
+provided as a zoo extension.  Each MBConv block is an inverted
+bottleneck: a 1x1 expansion, a depthwise kxk convolution (modelled
+exactly through the ``groups`` field of
+:class:`~repro.core.layer.ConvLayer`) and a 1x1 projection.
+
+Squeeze-and-excitation sub-blocks are omitted: they are global-pooled
+1x1 operations whose MAC and traffic contribution is below 0.5% of
+the network and the paper's simulator (like MAESTRO) models conv/FC
+layers only.  This substitution is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.layer import ConvLayer, LayerSet, fully_connected
+from .common import conv_same
+
+__all__ = [
+    "efficientnet",
+    "efficientnet_b0",
+    "efficientnet_b7",
+    "COMPOUND_SCALES",
+    "WIDTH_MULT",
+    "DEPTH_MULT",
+    "INPUT_SIZE",
+]
+
+
+@dataclass(frozen=True)
+class CompoundScale:
+    """One point on EfficientNet's compound-scaling curve."""
+
+    width: float
+    depth: float
+    resolution: int
+
+
+#: Published compound coefficients for B0-B7.
+COMPOUND_SCALES: dict[int, CompoundScale] = {
+    0: CompoundScale(1.0, 1.0, 224),
+    1: CompoundScale(1.0, 1.1, 240),
+    2: CompoundScale(1.1, 1.2, 260),
+    3: CompoundScale(1.2, 1.4, 300),
+    4: CompoundScale(1.4, 1.8, 380),
+    5: CompoundScale(1.6, 2.2, 456),
+    6: CompoundScale(1.8, 2.6, 528),
+    7: CompoundScale(2.0, 3.1, 600),
+}
+
+#: The paper's evaluated variant (B7).
+WIDTH_MULT = COMPOUND_SCALES[7].width
+DEPTH_MULT = COMPOUND_SCALES[7].depth
+INPUT_SIZE = COMPOUND_SCALES[7].resolution
+
+#: B0 stage table: (expand ratio, out channels, layers, stride, kernel)
+_B0_STAGES = (
+    (1, 16, 1, 1, 3),
+    (6, 24, 2, 2, 3),
+    (6, 40, 2, 2, 5),
+    (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+)
+_STEM_CHANNELS = 32
+_HEAD_CHANNELS = 1280
+
+
+def _round_filters(channels: int, width_mult: float, divisor: int = 8) -> int:
+    """EfficientNet's width scaling with divisor rounding."""
+    scaled = channels * width_mult
+    rounded = max(divisor, int(scaled + divisor / 2) // divisor * divisor)
+    if rounded < 0.9 * scaled:  # never round down by more than 10%
+        rounded += divisor
+    return rounded
+
+
+def _round_repeats(repeats: int, depth_mult: float) -> int:
+    """EfficientNet's depth scaling (ceil)."""
+    return int(math.ceil(depth_mult * repeats))
+
+
+def _mbconv(
+    name: str,
+    c_in: int,
+    c_out: int,
+    expand: int,
+    kernel: int,
+    size: int,
+    stride: int,
+) -> list[ConvLayer]:
+    """One inverted-bottleneck block (without SE, see module docs)."""
+    mid = c_in * expand
+    layers: list[ConvLayer] = []
+    if expand != 1:
+        layers.append(conv_same(f"{name}_expand", c_in, mid, 1, size))
+    layers.append(
+        conv_same(
+            f"{name}_dwconv", mid, mid, kernel, size, stride=stride, groups=mid
+        )
+    )
+    out_size = math.ceil(size / stride)
+    layers.append(conv_same(f"{name}_project", mid, c_out, 1, out_size))
+    return layers
+
+
+def efficientnet(variant: int) -> LayerSet:
+    """All convolution and FC layers of EfficientNet-B<variant>."""
+    try:
+        scale = COMPOUND_SCALES[variant]
+    except KeyError:
+        raise ValueError(
+            f"unsupported variant B{variant}; choose from "
+            f"{sorted(COMPOUND_SCALES)}"
+        ) from None
+    stem_channels = _round_filters(_STEM_CHANNELS, scale.width)
+    layers: list[ConvLayer] = [
+        conv_same("stem", 3, stem_channels, 3, scale.resolution, stride=2)
+    ]
+    size = math.ceil(scale.resolution / 2)
+    c_in = stem_channels
+    for stage_index, (expand, channels, repeats, stride, kernel) in enumerate(
+        _B0_STAGES, start=1
+    ):
+        c_out = _round_filters(channels, scale.width)
+        for block in range(_round_repeats(repeats, scale.depth)):
+            block_stride = stride if block == 0 else 1
+            layers.extend(
+                _mbconv(
+                    f"stage{stage_index}_b{block}",
+                    c_in,
+                    c_out,
+                    expand,
+                    kernel,
+                    size,
+                    block_stride,
+                )
+            )
+            size = math.ceil(size / block_stride)
+            c_in = c_out
+    head_channels = _round_filters(_HEAD_CHANNELS, scale.width)
+    layers.append(conv_same("head", c_in, head_channels, 1, size))
+    layers.append(fully_connected("fc1000", head_channels, 1000))
+    return LayerSet(f"EfficientNet-B{variant}", layers)
+
+
+def efficientnet_b7() -> LayerSet:
+    """The paper's evaluated variant."""
+    return efficientnet(7)
+
+
+def efficientnet_b0() -> LayerSet:
+    """The unscaled baseline (zoo extension)."""
+    return efficientnet(0)

@@ -1,0 +1,70 @@
+"""MobileNetV2 layer shapes (zoo extension).
+
+The inverted-residual architecture EfficientNet builds on; included
+because depthwise-dominated mobile networks stress the SPACX
+Y-wavelength (single-chiplet broadcast) path in the opposite way the
+paper's large models do.  224x224 inputs, width multiplier 1.0.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.layer import ConvLayer, LayerSet, fully_connected
+from .common import conv_same
+
+__all__ = ["mobilenet_v2"]
+
+#: (expand ratio, out channels, blocks, first-block stride)
+_STAGES = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def _inverted_residual(
+    name: str, c_in: int, c_out: int, expand: int, size: int, stride: int
+) -> list[ConvLayer]:
+    """Expansion, 3x3 depthwise, linear projection."""
+    mid = c_in * expand
+    layers: list[ConvLayer] = []
+    if expand != 1:
+        layers.append(conv_same(f"{name}_expand", c_in, mid, 1, size))
+    layers.append(
+        conv_same(f"{name}_dwconv", mid, mid, 3, size, stride=stride, groups=mid)
+    )
+    out_size = math.ceil(size / stride)
+    layers.append(conv_same(f"{name}_project", mid, c_out, 1, out_size))
+    return layers
+
+
+def mobilenet_v2() -> LayerSet:
+    """All convolution and FC layers of MobileNetV2."""
+    layers: list[ConvLayer] = [conv_same("stem", 3, 32, 3, 224, stride=2)]
+    size = 112
+    c_in = 32
+    for stage_index, (expand, c_out, blocks, stride) in enumerate(
+        _STAGES, start=1
+    ):
+        for block in range(blocks):
+            block_stride = stride if block == 0 else 1
+            layers.extend(
+                _inverted_residual(
+                    f"stage{stage_index}_b{block}",
+                    c_in,
+                    c_out,
+                    expand,
+                    size,
+                    block_stride,
+                )
+            )
+            size = math.ceil(size / block_stride)
+            c_in = c_out
+    layers.append(conv_same("head", c_in, 1280, 1, size))
+    layers.append(fully_connected("fc1000", 1280, 1000))
+    return LayerSet("MobileNetV2", layers)

@@ -1,0 +1,121 @@
+"""ResNet family [3] layer shapes.
+
+Bottleneck residual networks for 224x224 ImageNet inputs.  The paper
+evaluates ResNet-50, whose 21 distinct convolution/FC parameter sets
+appear as L1-L21 of Figs. 13/14 after removing redundant same-shape
+layers (e.g. ``res2a_branch1`` matching ``res2[a-c]_branch2c``) --
+the :class:`~repro.core.layer.LayerSet` dedup reproduces exactly
+that.  ResNet-101 and ResNet-152 are provided as zoo extensions
+(same stages, deeper res4/res5 blocks).
+"""
+
+from __future__ import annotations
+
+from ..core.layer import ConvLayer, LayerSet, fully_connected
+from .common import conv_same
+
+__all__ = [
+    "resnet50",
+    "resnet101",
+    "resnet152",
+    "RESNET50_UNIQUE_LAYER_COUNT",
+]
+
+#: The paper reports 21 distinct conv/FC layers for ResNet-50.
+RESNET50_UNIQUE_LAYER_COUNT = 21
+
+#: (stage, mid channels, out channels, ifmap size into the stage)
+_STAGE_SHAPES = (
+    ("res2", 64, 256, 56),
+    ("res3", 128, 512, 56),
+    ("res4", 256, 1024, 28),
+    ("res5", 512, 2048, 14),
+)
+
+#: Blocks per stage for each published depth.
+_DEPTH_CONFIGS = {
+    50: (3, 4, 6, 3),
+    101: (3, 4, 23, 3),
+    152: (3, 8, 36, 3),
+}
+
+
+def _bottleneck(
+    name: str,
+    c_in: int,
+    mid: int,
+    c_out: int,
+    in_size: int,
+    downsample: bool,
+) -> list[ConvLayer]:
+    """One bottleneck block: 1x1 reduce, 3x3, 1x1 expand (+branch1)."""
+    stride = 2 if downsample else 1
+    out_size = in_size // stride
+    layers = [
+        conv_same(f"{name}_branch2a", c_in, mid, 1, in_size, stride=stride),
+        conv_same(f"{name}_branch2b", mid, mid, 3, out_size),
+        conv_same(f"{name}_branch2c", mid, c_out, 1, out_size),
+    ]
+    if c_in != c_out:
+        # Projection shortcut; for res2a its shape duplicates branch2c
+        # and is removed by the unique-layer dedup, as in the paper.
+        layers.append(
+            conv_same(f"{name}_branch1", c_in, c_out, 1, in_size, stride=stride)
+        )
+    return layers
+
+
+def _block_name(stage: str, index: int) -> str:
+    """Caffe-style block naming: letters, then b1/b2/... when deep."""
+    if index < 26:
+        return f"{stage}{chr(ord('a') + index)}"
+    return f"{stage}b{index}"
+
+
+def _resnet(depth: int) -> LayerSet:
+    """Build any published-depth bottleneck ResNet."""
+    try:
+        block_counts = _DEPTH_CONFIGS[depth]
+    except KeyError:
+        raise ValueError(
+            f"unsupported depth {depth}; choose from {sorted(_DEPTH_CONFIGS)}"
+        ) from None
+    layers: list[ConvLayer] = [conv_same("conv1", 3, 64, 7, 224, stride=2)]
+    c_in = 64  # after the stride-2 max-pool to 56x56
+    for (stage_name, mid, c_out, in_size), blocks in zip(
+        _STAGE_SHAPES, block_counts
+    ):
+        for block in range(blocks):
+            block_name = _block_name(stage_name, block)
+            downsample = block == 0 and stage_name != "res2"
+            layers.extend(
+                _bottleneck(
+                    block_name,
+                    c_in,
+                    mid,
+                    c_out,
+                    in_size if block == 0 else in_size // (2 if downsample else 1),
+                    downsample,
+                )
+            )
+            if block == 0:
+                c_in = c_out
+                if downsample:
+                    in_size //= 2
+    layers.append(fully_connected("fc1000", 2048, 1000))
+    return LayerSet(f"ResNet-{depth}", layers)
+
+
+def resnet50() -> LayerSet:
+    """All convolution and FC layers of ResNet-50, in network order."""
+    return _resnet(50)
+
+
+def resnet101() -> LayerSet:
+    """ResNet-101 (zoo extension; not part of the paper's suite)."""
+    return _resnet(101)
+
+
+def resnet152() -> LayerSet:
+    """ResNet-152 (zoo extension; not part of the paper's suite)."""
+    return _resnet(152)

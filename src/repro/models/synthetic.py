@@ -1,0 +1,139 @@
+"""Synthetic workload generation.
+
+The benchmark harness needs workloads beyond the four paper models:
+parameter sweeps around the Section V utilization corner cases,
+randomised CNNs for property-based end-to-end testing, and stress
+shapes that pin specific bottlenecks (GB egress, the token ring, the
+Y-wavelength partition).  All generators are deterministic in their
+seed so failures reproduce.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.layer import ConvLayer, LayerSet, fully_connected
+from .common import conv_same
+
+__all__ = [
+    "random_cnn",
+    "utilization_corner_cases",
+    "bottleneck_stressors",
+    "layer_parameter_sweep",
+]
+
+
+def random_cnn(
+    seed: int,
+    n_stages: int = 4,
+    min_channels: int = 16,
+    max_channels: int = 512,
+    input_size: int = 64,
+) -> LayerSet:
+    """A random but well-formed CNN: conv stages with occasional
+    downsampling, optional depthwise blocks and a classifier head."""
+    rng = random.Random(seed)
+    layers: list[ConvLayer] = []
+    channels = rng.choice([3, 4])
+    size = input_size
+    for stage in range(n_stages):
+        out_channels = min(
+            max_channels,
+            max(min_channels, 8 * rng.randint(2, max_channels // 8)),
+        )
+        kernel = rng.choice([1, 3, 3, 5])
+        kernel = min(kernel, size)
+        stride = rng.choice([1, 1, 2]) if size > 8 else 1
+        layers.append(
+            conv_same(
+                f"s{stage}_conv",
+                channels,
+                out_channels,
+                kernel,
+                size,
+                stride=stride,
+            )
+        )
+        size = -(-size // stride)
+        channels = out_channels
+        if rng.random() < 0.3 and size >= 3:
+            layers.append(
+                conv_same(
+                    f"s{stage}_dw",
+                    channels,
+                    channels,
+                    3,
+                    size,
+                    groups=channels,
+                )
+            )
+    layers.append(fully_connected("head", channels, rng.choice([10, 100, 1000])))
+    return LayerSet(f"random-cnn-{seed}", layers)
+
+
+def utilization_corner_cases() -> LayerSet:
+    """The Section V mismatch layers plus their balanced sibling."""
+    return LayerSet(
+        "corner-cases",
+        [
+            # e*f = 4 < M while k = 16 > N (Section V example 1).
+            ConvLayer(name="small-plane", c=3, k=16, r=2, s=2, h=3, w=3),
+            # e*f = 16 > M while k = 4 < N (Section V example 2).
+            ConvLayer(name="small-k", c=3, k=4, r=2, s=2, h=5, w=5),
+            # The Fig. 8 balanced example.
+            ConvLayer(name="balanced", c=3, k=8, r=2, s=2, h=5, w=5),
+        ],
+    )
+
+
+def bottleneck_stressors() -> dict[str, ConvLayer]:
+    """Shapes engineered to pin one bottleneck each."""
+    return {
+        # Huge unique weights, no reuse: GB egress / DRAM bound.
+        "gb_egress": fully_connected("stress-fc", 25088, 4096),
+        # Tiny weights, giant ofmap: output write-back (token ring).
+        "token_ring": ConvLayer(
+            name="stress-out", c=4, k=64, r=1, s=1, h=128, w=128
+        ),
+        # Deep reduction with a big plane: ifmap delivery bound.
+        "ifmap": ConvLayer(name="stress-in", c=512, k=32, r=3, s=3, h=34, w=34),
+        # Depthwise at high resolution: Y-wavelength partition bound.
+        "depthwise": ConvLayer(
+            name="stress-dw", c=512, k=512, r=5, s=5, h=40, w=40, groups=512
+        ),
+    }
+
+
+def layer_parameter_sweep(
+    base_c: int = 64,
+    base_k: int = 64,
+    base_size: int = 30,
+) -> list[ConvLayer]:
+    """A one-factor-at-a-time sweep around a reference layer, for
+    sensitivity studies over the mapping/traffic models."""
+    layers = []
+    for c in (8, 32, 128, 512, 2048):
+        layers.append(
+            ConvLayer(name=f"c{c}", c=c, k=base_k, r=3, s=3, h=base_size, w=base_size)
+        )
+    for k in (8, 32, 128, 512, 2048):
+        layers.append(
+            ConvLayer(name=f"k{k}", c=base_c, k=k, r=3, s=3, h=base_size, w=base_size)
+        )
+    for size in (6, 14, 30, 62, 126):
+        layers.append(
+            ConvLayer(name=f"hw{size}", c=base_c, k=base_k, r=3, s=3, h=size, w=size)
+        )
+    for kernel in (1, 3, 5, 7):
+        layers.append(
+            ConvLayer(
+                name=f"r{kernel}",
+                c=base_c,
+                k=base_k,
+                r=kernel,
+                s=kernel,
+                h=base_size,
+                w=base_size,
+            )
+        )
+    return layers

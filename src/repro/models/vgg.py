@@ -1,0 +1,62 @@
+"""VGG family [2] layer shapes.
+
+3x3 'same' convolutions in five size blocks plus three heavyweight
+fully-connected layers.  The paper evaluates VGG-16, whose 12
+distinct layers appear as L22-L33 (VGG's FC layers are its
+communication stress test); VGG-19 is a zoo extension.
+"""
+
+from __future__ import annotations
+
+from ..core.layer import ConvLayer, LayerSet, fully_connected
+from .common import conv_same
+
+__all__ = ["vgg16", "vgg19", "VGG16_UNIQUE_LAYER_COUNT"]
+
+#: The paper reports 12 distinct conv/FC layers for VGG-16.
+VGG16_UNIQUE_LAYER_COUNT = 12
+
+#: (block, in channels, out channels, ifmap size)
+_BLOCK_SHAPES = (
+    ("conv1", 3, 64, 224),
+    ("conv2", 64, 128, 112),
+    ("conv3", 128, 256, 56),
+    ("conv4", 256, 512, 28),
+    ("conv5", 512, 512, 14),
+)
+
+_DEPTH_CONFIGS = {
+    16: (2, 2, 3, 3, 3),
+    19: (2, 2, 4, 4, 4),
+}
+
+
+def _vgg(depth: int) -> LayerSet:
+    """Build either published VGG depth."""
+    try:
+        conv_counts = _DEPTH_CONFIGS[depth]
+    except KeyError:
+        raise ValueError(
+            f"unsupported depth {depth}; choose from {sorted(_DEPTH_CONFIGS)}"
+        ) from None
+    layers: list[ConvLayer] = []
+    for (block, c_in, c_out, size), n_convs in zip(_BLOCK_SHAPES, conv_counts):
+        for i in range(n_convs):
+            channels_in = c_in if i == 0 else c_out
+            layers.append(
+                conv_same(f"{block}_{i + 1}", channels_in, c_out, 3, size)
+            )
+    layers.append(fully_connected("fc6", 512 * 7 * 7, 4096))
+    layers.append(fully_connected("fc7", 4096, 4096))
+    layers.append(fully_connected("fc8", 4096, 1000))
+    return LayerSet(f"VGG-{depth}", layers)
+
+
+def vgg16() -> LayerSet:
+    """All convolution and FC layers of VGG-16, in network order."""
+    return _vgg(16)
+
+
+def vgg19() -> LayerSet:
+    """VGG-19 (zoo extension; not part of the paper's suite)."""
+    return _vgg(19)

@@ -1,0 +1,75 @@
+"""Model registry and the paper's per-layer labels.
+
+Figures 13/14 chart the 21 distinct ResNet-50 layers as L1-L21 and
+the 12 distinct VGG-16 layers as L22-L33; :func:`paper_layer_labels`
+rebuilds exactly that labelling from the zoo.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.layer import ConvLayer, LayerSet
+from .densenet import densenet121, densenet169, densenet201
+from .efficientnet import efficientnet, efficientnet_b0, efficientnet_b7
+from .mobilenet import mobilenet_v2
+from .resnet import resnet50, resnet101, resnet152
+from .vgg import vgg16, vgg19
+
+__all__ = [
+    "EXTENDED_MODELS",
+    "MODELS",
+    "evaluation_models",
+    "get_model",
+    "paper_layer_labels",
+]
+
+#: The four benchmark DNNs of Section VII-D.
+MODELS: dict[str, Callable[[], LayerSet]] = {
+    "ResNet-50": resnet50,
+    "VGG-16": vgg16,
+    "DenseNet-201": densenet201,
+    "EfficientNet-B7": efficientnet_b7,
+}
+
+#: Zoo extensions beyond the paper's suite.
+EXTENDED_MODELS: dict[str, Callable[[], LayerSet]] = {
+    **MODELS,
+    "ResNet-101": resnet101,
+    "ResNet-152": resnet152,
+    "VGG-19": vgg19,
+    "DenseNet-121": densenet121,
+    "DenseNet-169": densenet169,
+    "EfficientNet-B0": efficientnet_b0,
+    "MobileNetV2": mobilenet_v2,
+}
+
+
+def get_model(name: str) -> LayerSet:
+    """Instantiate a model by name (paper suite or zoo extension)."""
+    try:
+        return EXTENDED_MODELS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(EXTENDED_MODELS)}"
+        ) from None
+
+
+def evaluation_models() -> list[LayerSet]:
+    """All four models, in the paper's reporting order."""
+    return [factory() for factory in MODELS.values()]
+
+
+def paper_layer_labels() -> dict[str, ConvLayer]:
+    """The L1-L33 labels of Figures 13/14.
+
+    L1-L21 are the distinct ResNet-50 layers, L22-L33 the distinct
+    VGG-16 layers, both in network order after same-shape dedup.
+    """
+    labels: dict[str, ConvLayer] = {}
+    index = 1
+    for model in (resnet50(), vgg16()):
+        for layer in model.unique_layers:
+            labels[f"L{index}"] = layer
+            index += 1
+    return labels

@@ -1,0 +1,93 @@
+"""Silicon-photonics substrate: devices, link budgets, laser and
+transceiver power models.
+
+This package implements everything below the network layer: dB-domain
+unit algebra (:mod:`.units`), WDM channel bookkeeping (:mod:`.wdm`),
+the paper's moderate/aggressive component tables and active-device
+models (:mod:`.components`), per-path insertion-loss accumulation
+(:mod:`.link_budget`), the Eq. (2) laser-power model (:mod:`.laser`)
+and transceiver electrical power (:mod:`.transceiver`).
+"""
+
+from .components import (
+    AGGRESSIVE_PARAMETERS,
+    MODERATE_PARAMETERS,
+    SPLIT_RATIO_MAX,
+    SPLIT_RATIO_MIN,
+    SPLITTER_TUNING_DELAY_S,
+    MicroRingResonator,
+    MRRole,
+    PhotonicParameters,
+    SplitterCascade,
+    TunableSplitter,
+)
+from .crosstalk import DEFAULT_CROSSTALK, CrosstalkModel
+from .laser import (
+    EXTINCTION_RATIO_PENALTY_DB,
+    SYSTEM_MARGIN_DB,
+    LaserPowerModel,
+    per_wavelength_laser_power_mw,
+)
+from .link_budget import LinkBudget, LossItem
+from .transceiver import (
+    AGGRESSIVE_TRANSCEIVER,
+    MODERATE_TRANSCEIVER,
+    TransceiverPower,
+    transceiver_for,
+)
+from .variation import VariationModel, VariationResult
+from .units import (
+    combine_losses_db,
+    db_to_ratio,
+    dbm_to_mw,
+    mw_to_dbm,
+    mw_to_watt,
+    ratio_to_db,
+    split_loss_db,
+    watt_to_mw,
+)
+from .wdm import (
+    DEFAULT_DATA_RATE_GBPS,
+    MAX_WAVELENGTHS_PER_WAVEGUIDE,
+    WavelengthChannel,
+    WDMGroup,
+)
+
+__all__ = [
+    "AGGRESSIVE_PARAMETERS",
+    "AGGRESSIVE_TRANSCEIVER",
+    "CrosstalkModel",
+    "DEFAULT_CROSSTALK",
+    "DEFAULT_DATA_RATE_GBPS",
+    "EXTINCTION_RATIO_PENALTY_DB",
+    "LaserPowerModel",
+    "LinkBudget",
+    "LossItem",
+    "MAX_WAVELENGTHS_PER_WAVEGUIDE",
+    "MicroRingResonator",
+    "MODERATE_PARAMETERS",
+    "MODERATE_TRANSCEIVER",
+    "MRRole",
+    "PhotonicParameters",
+    "SPLIT_RATIO_MAX",
+    "SPLIT_RATIO_MIN",
+    "SPLITTER_TUNING_DELAY_S",
+    "SplitterCascade",
+    "SYSTEM_MARGIN_DB",
+    "TransceiverPower",
+    "transceiver_for",
+    "TunableSplitter",
+    "VariationModel",
+    "VariationResult",
+    "WavelengthChannel",
+    "WDMGroup",
+    "combine_losses_db",
+    "db_to_ratio",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "mw_to_watt",
+    "per_wavelength_laser_power_mw",
+    "ratio_to_db",
+    "split_loss_db",
+    "watt_to_mw",
+]

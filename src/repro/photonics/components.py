@@ -1,0 +1,287 @@
+"""Photonic device models and the paper's component parameter tables.
+
+The SPACX evaluation is parameterised by two sets of per-component
+figures: the *moderate* set (Table III) used for all headline results
+and the *aggressive* set (Table IV) used for the forward-looking power
+study (Figures 20/21).  Both sets are encoded here verbatim, together
+with small behavioural models for the two active devices the
+architecture relies on:
+
+* micro-ring resonators (MRRs) acting as modulators or filters, and
+* optical tunable splitters (PIN-diode MRRs biased into the transient
+  region between on- and off-resonance, after Peter et al. [47]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "PhotonicParameters",
+    "MODERATE_PARAMETERS",
+    "AGGRESSIVE_PARAMETERS",
+    "MRRole",
+    "MicroRingResonator",
+    "TunableSplitter",
+    "SplitterCascade",
+    "SPLIT_RATIO_MIN",
+    "SPLIT_RATIO_MAX",
+    "SPLITTER_TUNING_DELAY_S",
+]
+
+# Tunable-splitter physics from [47]: a single device reaches split
+# ratios alpha/(1-alpha) between 0.4 and 1.8, retuned by a DAC in
+# under 500 ps.  Ratios outside the range require cascaded devices.
+SPLIT_RATIO_MIN = 0.4
+SPLIT_RATIO_MAX = 1.8
+SPLITTER_TUNING_DELAY_S = 500e-12
+
+
+@dataclass(frozen=True)
+class PhotonicParameters:
+    """One column-pair of Table III / Table IV.
+
+    All loss figures are insertion losses in dB (positive numbers);
+    ``receiver_sensitivity_dbm`` is the minimum detectable power at
+    the photodetector; ``ring_heating_mw`` is the static thermal
+    tuning power per active MRR.
+    """
+
+    name: str
+    laser_source_db: float
+    coupler_db: float
+    splitter_db: float
+    waveguide_db_per_cm: float
+    waveguide_bend_db: float
+    waveguide_crossover_db: float
+    ring_drop_db: float
+    ring_through_db: float
+    photodetector_db: float
+    waveguide_to_receiver_db: float
+    receiver_sensitivity_dbm: float
+    ring_heating_mw: float
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "laser_source_db",
+            "coupler_db",
+            "splitter_db",
+            "waveguide_db_per_cm",
+            "waveguide_bend_db",
+            "waveguide_crossover_db",
+            "ring_drop_db",
+            "ring_through_db",
+            "photodetector_db",
+            "waveguide_to_receiver_db",
+            "ring_heating_mw",
+        ):
+            value = getattr(self, field_name)
+            if value < 0.0:
+                raise ValueError(f"{field_name} must be >= 0, got {value!r}")
+        if self.receiver_sensitivity_dbm >= 0.0:
+            raise ValueError(
+                "receiver sensitivity is expected below 0 dBm, got "
+                f"{self.receiver_sensitivity_dbm!r}"
+            )
+
+
+#: Table III of the paper -- used for all headline results.
+MODERATE_PARAMETERS = PhotonicParameters(
+    name="moderate",
+    laser_source_db=5.0,
+    coupler_db=1.0,
+    splitter_db=0.2,
+    waveguide_db_per_cm=1.0,
+    waveguide_bend_db=1.0,
+    waveguide_crossover_db=0.05,
+    ring_drop_db=1.0,
+    ring_through_db=0.02,
+    photodetector_db=0.1,
+    waveguide_to_receiver_db=0.5,
+    receiver_sensitivity_dbm=-20.0,
+    ring_heating_mw=2.0,
+)
+
+#: Table IV of the paper -- forward-looking device assumptions.
+AGGRESSIVE_PARAMETERS = PhotonicParameters(
+    name="aggressive",
+    laser_source_db=5.0,
+    coupler_db=1.0,
+    splitter_db=0.2,
+    waveguide_db_per_cm=1.0,
+    waveguide_bend_db=0.01,
+    waveguide_crossover_db=0.05,
+    ring_drop_db=0.7,
+    ring_through_db=0.01,
+    photodetector_db=0.1,
+    waveguide_to_receiver_db=0.5,
+    receiver_sensitivity_dbm=-26.0,
+    ring_heating_mw=0.320,
+)
+
+
+class MRRole(Enum):
+    """How a micro-ring resonator is employed in the network."""
+
+    MODULATOR = "modulator"
+    FILTER = "filter"
+    TUNABLE_SPLITTER = "tunable_splitter"
+
+
+@dataclass(frozen=True)
+class MicroRingResonator:
+    """An MRR bound to one wavelength in one role.
+
+    The simulator never tracks optical fields; an MRR contributes its
+    drop loss when a signal is extracted through it, its through loss
+    when a signal merely passes it, and its heater power whenever it
+    is active.
+    """
+
+    wavelength_index: int
+    role: MRRole
+
+    def __post_init__(self) -> None:
+        if self.wavelength_index < 0:
+            raise ValueError("wavelength_index must be >= 0")
+
+    def drop_loss_db(self, params: PhotonicParameters) -> float:
+        """Loss seen by a signal extracted at this ring."""
+        return params.ring_drop_db
+
+    def through_loss_db(self, params: PhotonicParameters) -> float:
+        """Loss seen by a signal passing this ring untouched."""
+        return params.ring_through_db
+
+    def heating_power_mw(self, params: PhotonicParameters) -> float:
+        """Static thermal-tuning power while the ring is in use."""
+        return params.ring_heating_mw
+
+
+@dataclass(frozen=True)
+class TunableSplitter:
+    """A PIN-diode MRR biased to divert ``alpha`` of the input power.
+
+    ``alpha`` is the fraction forwarded to the drop port; the ratio
+    quoted in the paper is ``alpha / (1 - alpha)``.  ``alpha = 0``
+    models the disabled (off-resonance) state and ``alpha = 1`` the
+    fully on-resonance state used as the terminal tap of a broadcast
+    chain (the paper's "1/0 split ratio").
+    """
+
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be within [0, 1], got {self.alpha!r}")
+
+    @property
+    def is_disabled(self) -> bool:
+        """True when no bias is applied and light passes straight through."""
+        return self.alpha == 0.0
+
+    @property
+    def split_ratio(self) -> float:
+        """The paper's alpha/(1-alpha) figure; ``inf`` for a full tap."""
+        if self.alpha == 1.0:
+            return math.inf
+        return self.alpha / (1.0 - self.alpha)
+
+    @property
+    def single_device_realizable(self) -> bool:
+        """Whether one physical device can realise this setting.
+
+        Per [47] a single splitter covers ratios in
+        [``SPLIT_RATIO_MIN``, ``SPLIT_RATIO_MAX``]; the disabled state
+        and the fully-on state are also single-device states (plain
+        off-/on-resonance).  Anything else needs a cascade.
+        """
+        if self.is_disabled or self.alpha == 1.0:
+            return True
+        return SPLIT_RATIO_MIN <= self.split_ratio <= SPLIT_RATIO_MAX
+
+    def drop_fraction(self) -> float:
+        """Fraction of input power diverted to the drop port."""
+        return self.alpha
+
+    def through_fraction(self) -> float:
+        """Fraction of input power continuing to the through port."""
+        return 1.0 - self.alpha
+
+    @staticmethod
+    def for_equal_broadcast(position: int, n_destinations: int) -> "TunableSplitter":
+        """Splitter setting at ``position`` of an equal-power chain.
+
+        A broadcast chain over ``n`` taps sets tap ``i`` (0-based) to
+        divert ``1/(n-i)`` of its incident power so every destination
+        receives the same share -- the paper's "1/7 for Chiplet0,
+        1/6 for Chiplet1, ..., 1/0 for Chiplet7" schedule.
+        """
+        if n_destinations < 1:
+            raise ValueError("broadcast needs >= 1 destination")
+        if not 0 <= position < n_destinations:
+            raise ValueError(
+                f"position {position} out of range for {n_destinations} taps"
+            )
+        return TunableSplitter(alpha=1.0 / (n_destinations - position))
+
+
+class SplitterCascade:
+    """Cascaded tunable splitters realising an out-of-range ratio.
+
+    Following [48], when a required drop fraction cannot be reached by
+    a single device it is synthesised by chaining devices whose
+    individual settings stay inside the realisable band.  The cascade
+    length matters for cost (extra MRRs) and tuning energy.
+    """
+
+    def __init__(self, target_alpha: float):
+        if not 0.0 < target_alpha < 1.0:
+            raise ValueError(f"target_alpha must be in (0, 1), got {target_alpha!r}")
+        self.target_alpha = target_alpha
+        self.stages = self._plan(target_alpha)
+
+    @staticmethod
+    def _plan(target_alpha: float) -> list[TunableSplitter]:
+        single = TunableSplitter(alpha=target_alpha)
+        if single.single_device_realizable:
+            return [single]
+        alpha_max = SPLIT_RATIO_MAX / (1.0 + SPLIT_RATIO_MAX)
+        alpha_min = SPLIT_RATIO_MIN / (1.0 + SPLIT_RATIO_MIN)
+        if target_alpha > alpha_max:
+            # Drop fractions multiply along a cascade so they can only
+            # shrink; fractions between the single-device maximum and
+            # full on-resonance are not synthesisable.  The SPACX
+            # broadcast schedule only ever needs 1/k fractions, which
+            # never land in this band.
+            raise ValueError(
+                f"alpha={target_alpha!r} exceeds the single-device maximum "
+                f"{alpha_max:.4f} and cannot be cascaded"
+            )
+        # Below the band, synthesise with k equal stages of
+        # alpha^(1/k): k exists because the band's log-width ratio
+        # (ln alpha_min / ln alpha_max ~ 2.8) exceeds 2, so the integer
+        # interval [ln a/ln a_min, ln a/ln a_max] is never empty.
+        lower = math.log(target_alpha) / math.log(alpha_min)
+        upper = math.log(target_alpha) / math.log(alpha_max)
+        n_stages = math.ceil(lower)
+        if n_stages > upper + 1e-12:
+            raise ValueError(
+                f"cannot synthesise alpha={target_alpha!r} with equal stages"
+            )
+        per_stage = target_alpha ** (1.0 / n_stages)
+        return [TunableSplitter(alpha=per_stage) for _ in range(n_stages)]
+
+    @property
+    def n_devices(self) -> int:
+        """Number of physical splitter MRRs in the cascade."""
+        return len(self.stages)
+
+    def effective_drop_fraction(self) -> float:
+        """Product of per-stage drop fractions along the drop path."""
+        fraction = 1.0
+        for stage in self.stages:
+            fraction *= stage.drop_fraction()
+        return fraction

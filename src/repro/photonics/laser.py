@@ -1,0 +1,85 @@
+"""Laser power: Equation (2) of the SPACX paper.
+
+    P_laser = P_rs + C_loss + P_extinction + M_system        [dB domain]
+
+``P_rs`` is the photodetector sensitivity, ``C_loss`` the accumulated
+insertion loss of the worst-case optical path (a :class:`LinkBudget`),
+``P_extinction`` the extinction-ratio power penalty (2 dB after [60])
+and ``M_system`` the system margin (4 dB after [61]).  The result is a
+per-wavelength launch power; a laser bank sums it over all carriers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .components import PhotonicParameters
+from .link_budget import LinkBudget
+from .units import dbm_to_mw
+
+__all__ = [
+    "EXTINCTION_RATIO_PENALTY_DB",
+    "SYSTEM_MARGIN_DB",
+    "LaserPowerModel",
+    "per_wavelength_laser_power_mw",
+]
+
+#: Extinction-ratio power penalty assumed by the paper [60].
+EXTINCTION_RATIO_PENALTY_DB = 2.0
+
+#: System margin covering lifetime degradation sources [61].
+SYSTEM_MARGIN_DB = 4.0
+
+
+def per_wavelength_laser_power_mw(
+    params: PhotonicParameters,
+    path_loss_db: float,
+    extinction_penalty_db: float = EXTINCTION_RATIO_PENALTY_DB,
+    system_margin_db: float = SYSTEM_MARGIN_DB,
+) -> float:
+    """Launch power (mW) one wavelength needs to close the link.
+
+    Direct transcription of Eq. (2): the dB-domain sum of receiver
+    sensitivity, path loss, extinction penalty and margin, converted
+    to milliwatts.
+    """
+    if path_loss_db < 0.0:
+        raise ValueError(f"path loss must be >= 0 dB, got {path_loss_db!r}")
+    required_dbm = (
+        params.receiver_sensitivity_dbm
+        + path_loss_db
+        + extinction_penalty_db
+        + system_margin_db
+    )
+    return dbm_to_mw(required_dbm)
+
+
+@dataclass(frozen=True)
+class LaserPowerModel:
+    """Laser-bank power for a set of wavelengths sharing a path class.
+
+    Every wavelength multiplexed on the same waveguide sees (to first
+    order) the same worst-case path, so a bank's total power is the
+    per-wavelength requirement times the carrier count.  Wall-plug
+    efficiency of the off-chip laser is captured by the Table III/IV
+    "Laser source" loss, which belongs in the link budget itself.
+    """
+
+    params: PhotonicParameters
+    extinction_penalty_db: float = EXTINCTION_RATIO_PENALTY_DB
+    system_margin_db: float = SYSTEM_MARGIN_DB
+
+    def power_for_budget_mw(self, budget: LinkBudget) -> float:
+        """Per-wavelength launch power for one worst-case path."""
+        return per_wavelength_laser_power_mw(
+            self.params,
+            budget.total_loss_db,
+            extinction_penalty_db=self.extinction_penalty_db,
+            system_margin_db=self.system_margin_db,
+        )
+
+    def bank_power_mw(self, budget: LinkBudget, n_wavelengths: int) -> float:
+        """Total launch power of ``n_wavelengths`` identical carriers."""
+        if n_wavelengths < 0:
+            raise ValueError("wavelength count must be >= 0")
+        return self.power_for_budget_mw(budget) * n_wavelengths

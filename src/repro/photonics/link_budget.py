@@ -1,0 +1,123 @@
+"""Per-path insertion-loss accumulation for photonic links.
+
+A :class:`LinkBudget` walks one optical path -- laser, coupler,
+waveguide segments, rings passed at through-resonance, the terminal
+drop, the receiver -- and accumulates the total insertion loss C_loss
+that enters the paper's laser-power equation (Eq. 2).  Broadcast paths
+additionally carry the ideal 10*log10(n) splitting penalty because
+each of the n taps keeps only its share of the launched power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .components import PhotonicParameters
+from .units import combine_losses_db, split_loss_db
+
+__all__ = ["LossItem", "LinkBudget"]
+
+
+@dataclass(frozen=True)
+class LossItem:
+    """One named contribution to a link budget, in dB."""
+
+    label: str
+    loss_db: float
+
+    def __post_init__(self) -> None:
+        if self.loss_db < 0.0:
+            raise ValueError(f"loss must be >= 0 dB, got {self.loss_db!r}")
+
+
+@dataclass
+class LinkBudget:
+    """Accumulates worst-case insertion loss along one optical path."""
+
+    params: PhotonicParameters
+    items: list[LossItem] = field(default_factory=list)
+
+    def _add(self, label: str, loss_db: float) -> "LinkBudget":
+        self.items.append(LossItem(label=label, loss_db=loss_db))
+        return self
+
+    def add_laser_source(self) -> "LinkBudget":
+        """Laser-to-fiber coupling inefficiency at the source."""
+        return self._add("laser source", self.params.laser_source_db)
+
+    def add_coupler(self, count: int = 1) -> "LinkBudget":
+        """Optical coupler(s) bringing light on/off the interposer."""
+        return self._add("coupler", count * self.params.coupler_db)
+
+    def add_waveguide(self, length_cm: float) -> "LinkBudget":
+        """Propagation loss over ``length_cm`` of waveguide."""
+        if length_cm < 0.0:
+            raise ValueError(f"length must be >= 0 cm, got {length_cm!r}")
+        return self._add(
+            f"waveguide {length_cm:.2f} cm",
+            length_cm * self.params.waveguide_db_per_cm,
+        )
+
+    def add_bends(self, count: int) -> "LinkBudget":
+        """Waveguide bends along the path."""
+        if count < 0:
+            raise ValueError("bend count must be >= 0")
+        return self._add(f"{count} bends", count * self.params.waveguide_bend_db)
+
+    def add_crossovers(self, count: int) -> "LinkBudget":
+        """Waveguide crossovers along the path."""
+        if count < 0:
+            raise ValueError("crossover count must be >= 0")
+        return self._add(
+            f"{count} crossovers", count * self.params.waveguide_crossover_db
+        )
+
+    def add_rings_passed(self, count: int) -> "LinkBudget":
+        """Rings traversed at through-resonance before the drop point."""
+        if count < 0:
+            raise ValueError("ring count must be >= 0")
+        return self._add(
+            f"{count} rings (through)", count * self.params.ring_through_db
+        )
+
+    def add_splitters_passed(self, count: int) -> "LinkBudget":
+        """Active tunable splitters traversed via their through port.
+
+        The excess (non-ideal) insertion loss per splitter is the
+        Table III/IV "Splitter" figure; the ideal power division is
+        accounted separately via :meth:`add_broadcast_split`.
+        """
+        if count < 0:
+            raise ValueError("splitter count must be >= 0")
+        return self._add(f"{count} splitters", count * self.params.splitter_db)
+
+    def add_drop(self) -> "LinkBudget":
+        """Terminal ring-drop into the receiver path."""
+        return self._add("ring drop", self.params.ring_drop_db)
+
+    def add_receiver(self) -> "LinkBudget":
+        """Waveguide-to-receiver transition plus photodetector loss."""
+        return self._add(
+            "receiver",
+            combine_losses_db(
+                self.params.waveguide_to_receiver_db, self.params.photodetector_db
+            ),
+        )
+
+    def add_broadcast_split(self, n_destinations: int) -> "LinkBudget":
+        """Ideal 1/n power division across ``n`` broadcast taps."""
+        return self._add(
+            f"1/{n_destinations} broadcast split", split_loss_db(n_destinations)
+        )
+
+    @property
+    def total_loss_db(self) -> float:
+        """Sum of all recorded contributions."""
+        return sum(item.loss_db for item in self.items)
+
+    def breakdown(self) -> dict[str, float]:
+        """Mapping of contribution label to dB, merging repeats."""
+        result: dict[str, float] = {}
+        for item in self.items:
+            result[item.label] = result.get(item.label, 0.0) + item.loss_db
+        return result

@@ -1,0 +1,117 @@
+"""Transmitter/receiver electrical power and per-bit signal-conversion
+energy.
+
+The paper (Section VII-B) reports P_TX = 2.9 mW and P_RX = 2.6 mW per
+wavelength at 10 Gbps in 28 nm, *including* a 2 mW MRR thermal-heating
+allowance in each.  For the Figure 21 energy breakdown the heater
+share must be separable from the conversion circuitry (serialiser,
+driver, TIA, comparator), so the model keeps the two contributions
+apart and recombines them on demand:
+
+    P_TX = tx_circuit + heater        (2.9 = 0.9 + 2.0 moderate)
+    P_RX = rx_circuit + heater        (2.6 = 0.6 + 2.0 moderate)
+
+Aggressive parameters drop the heater to 320 uW [57] and assume the
+conversion circuits improve by 2x, tracking the paper's Figure 21b
+aggressive breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .components import (
+    AGGRESSIVE_PARAMETERS,
+    MODERATE_PARAMETERS,
+    PhotonicParameters,
+)
+from .wdm import DEFAULT_DATA_RATE_GBPS
+
+__all__ = [
+    "TransceiverPower",
+    "transceiver_for",
+    "MODERATE_TRANSCEIVER",
+    "AGGRESSIVE_TRANSCEIVER",
+]
+
+# Circuit-only powers (mW per wavelength at 10 Gbps, 28 nm), chosen so
+# the moderate totals land on the paper's 2.9 / 2.6 mW figures after
+# adding the 2 mW heater.
+_MODERATE_TX_CIRCUIT_MW = 0.9
+_MODERATE_RX_CIRCUIT_MW = 0.6
+_AGGRESSIVE_CIRCUIT_SCALE = 0.5
+
+
+@dataclass(frozen=True)
+class TransceiverPower:
+    """Per-wavelength transceiver power and derived per-bit energies."""
+
+    tx_circuit_mw: float
+    rx_circuit_mw: float
+    heater_mw: float
+    data_rate_gbps: float = DEFAULT_DATA_RATE_GBPS
+
+    def __post_init__(self) -> None:
+        for name in ("tx_circuit_mw", "rx_circuit_mw", "heater_mw"):
+            if getattr(self, name) < 0.0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.data_rate_gbps <= 0.0:
+            raise ValueError("data rate must be > 0 Gbps")
+
+    @property
+    def tx_total_mw(self) -> float:
+        """Full transmitter power including its heater (paper's P_TX)."""
+        return self.tx_circuit_mw + self.heater_mw
+
+    @property
+    def rx_total_mw(self) -> float:
+        """Full receiver power including its heater (paper's P_RX)."""
+        return self.rx_circuit_mw + self.heater_mw
+
+    @property
+    def eo_energy_pj_per_bit(self) -> float:
+        """Electrical-to-optical conversion energy per transmitted bit.
+
+        mW / Gbps is numerically pJ/bit, so a 0.9 mW driver at 10 Gbps
+        spends 0.09 pJ/bit.
+        """
+        return self.tx_circuit_mw / self.data_rate_gbps
+
+    @property
+    def oe_energy_pj_per_bit(self) -> float:
+        """Optical-to-electrical conversion energy per received bit."""
+        return self.rx_circuit_mw / self.data_rate_gbps
+
+    def heating_energy_mj(self, n_active_mrrs: int, seconds: float) -> float:
+        """Static thermal-tuning energy of ``n`` rings over a window."""
+        if n_active_mrrs < 0:
+            raise ValueError("MRR count must be >= 0")
+        if seconds < 0.0:
+            raise ValueError("duration must be >= 0 s")
+        return self.heater_mw * n_active_mrrs * seconds  # mW * s = mJ
+
+
+def transceiver_for(params: PhotonicParameters) -> TransceiverPower:
+    """Transceiver power set matching a photonic parameter table."""
+    if params.name == "moderate":
+        return TransceiverPower(
+            tx_circuit_mw=_MODERATE_TX_CIRCUIT_MW,
+            rx_circuit_mw=_MODERATE_RX_CIRCUIT_MW,
+            heater_mw=params.ring_heating_mw,
+        )
+    if params.name == "aggressive":
+        return TransceiverPower(
+            tx_circuit_mw=_MODERATE_TX_CIRCUIT_MW * _AGGRESSIVE_CIRCUIT_SCALE,
+            rx_circuit_mw=_MODERATE_RX_CIRCUIT_MW * _AGGRESSIVE_CIRCUIT_SCALE,
+            heater_mw=params.ring_heating_mw,
+        )
+    # Custom parameter sets inherit moderate circuits with their heater.
+    return TransceiverPower(
+        tx_circuit_mw=_MODERATE_TX_CIRCUIT_MW,
+        rx_circuit_mw=_MODERATE_RX_CIRCUIT_MW,
+        heater_mw=params.ring_heating_mw,
+    )
+
+
+MODERATE_TRANSCEIVER = transceiver_for(MODERATE_PARAMETERS)
+AGGRESSIVE_TRANSCEIVER = transceiver_for(AGGRESSIVE_PARAMETERS)

@@ -1,0 +1,107 @@
+"""Unit helpers for the optical power domain.
+
+Photonic link budgets are naturally expressed in decibels: component
+insertion losses add in dB, while absolute powers are carried in dBm
+(decibels referenced to 1 mW).  The laser-power equation of the SPACX
+paper (Eq. 2),
+
+    P_laser = P_rs + C_loss + P_extinction + M_system,
+
+is a dB-domain sum whose result is a dBm value that must be converted
+back to milliwatts before it can be multiplied by wavelength counts or
+integrated into energy.  This module provides those conversions plus a
+few guarded helpers used throughout :mod:`repro.photonics`.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "db_to_ratio",
+    "ratio_to_db",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "mw_to_watt",
+    "watt_to_mw",
+    "combine_losses_db",
+    "split_loss_db",
+]
+
+
+def db_to_ratio(db: float) -> float:
+    """Convert a decibel gain/loss figure to a linear power ratio.
+
+    A positive value is a gain, a negative value an attenuation:
+    ``db_to_ratio(3.0)`` is roughly 2.0 and ``db_to_ratio(-3.0)``
+    roughly 0.5.
+    """
+    return 10.0 ** (db / 10.0)
+
+
+def ratio_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to decibels.
+
+    Raises:
+        ValueError: if ``ratio`` is not strictly positive; a photonic
+            power ratio of zero would be minus-infinity dB, which is
+            always a modelling bug upstream.
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"power ratio must be > 0, got {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert an absolute power in dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert an absolute power in milliwatts to dBm.
+
+    Raises:
+        ValueError: if ``mw`` is not strictly positive.
+    """
+    if mw <= 0.0:
+        raise ValueError(f"power must be > 0 mW, got {mw!r}")
+    return 10.0 * math.log10(mw)
+
+
+def mw_to_watt(mw: float) -> float:
+    """Convert milliwatts to watts."""
+    return mw * 1e-3
+
+
+def watt_to_mw(watt: float) -> float:
+    """Convert watts to milliwatts."""
+    return watt * 1e3
+
+
+def combine_losses_db(*losses_db: float) -> float:
+    """Sum per-component insertion losses expressed in dB.
+
+    Losses are positive numbers by convention in the SPACX parameter
+    tables (e.g. "Ring drop 1 dB"); negative entries are rejected to
+    catch sign mistakes early.
+    """
+    total = 0.0
+    for loss in losses_db:
+        if loss < 0.0:
+            raise ValueError(f"insertion loss must be >= 0 dB, got {loss!r}")
+        total += loss
+    return total
+
+
+def split_loss_db(n_destinations: int) -> float:
+    """Ideal power penalty of splitting one carrier to ``n`` receivers.
+
+    Broadcasting a wavelength to ``n`` destinations leaves at most
+    ``1/n`` of the launched power at each photodetector, i.e. a
+    ``10*log10(n)`` dB penalty on top of the per-component insertion
+    losses.  This is the term that makes laser power grow with the
+    broadcast granularity in Figures 19/20 of the paper.
+    """
+    if n_destinations < 1:
+        raise ValueError(f"need at least one destination, got {n_destinations}")
+    return 10.0 * math.log10(n_destinations)

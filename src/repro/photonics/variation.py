@@ -1,0 +1,125 @@
+"""Process/thermal variation analysis (Monte Carlo).
+
+Section II-A notes every MRR needs thermal tuning "to mitigate
+thermal and process variations", and the Eq. (2) system margin exists
+to absorb lifetime drift.  This module quantifies those allowances:
+it samples per-component losses around their Table III/IV nominals
+and reports the resulting laser-power distribution, answering two
+questions the deterministic model cannot:
+
+* How much of the 4 dB system margin do realistic variations consume?
+* What yield (fraction of sampled corners that close the link within
+  the margin) does a configuration achieve?
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from .components import PhotonicParameters
+from .laser import SYSTEM_MARGIN_DB
+
+__all__ = ["VariationModel", "VariationResult"]
+
+
+@dataclass(frozen=True)
+class VariationResult:
+    """Distribution of excess loss over the nominal path."""
+
+    samples_db: tuple[float, ...]
+    margin_db: float
+
+    @property
+    def mean_excess_db(self) -> float:
+        """Mean extra loss over nominal."""
+        return float(np.mean(self.samples_db))
+
+    @property
+    def p95_excess_db(self) -> float:
+        """95th-percentile extra loss."""
+        return float(np.percentile(self.samples_db, 95))
+
+    @property
+    def worst_excess_db(self) -> float:
+        """Worst sampled corner."""
+        return float(np.max(self.samples_db))
+
+    @property
+    def yield_fraction(self) -> float:
+        """Fraction of corners the system margin absorbs."""
+        absorbed = sum(1 for s in self.samples_db if s <= self.margin_db)
+        return absorbed / len(self.samples_db)
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Relative 1-sigma variation of each loss contributor.
+
+    Defaults are conservative fab numbers: ring resonances and drop
+    losses vary most (hence the per-ring heaters), passives less.
+    """
+
+    ring_drop_sigma: float = 0.15
+    ring_through_sigma: float = 0.25
+    splitter_sigma: float = 0.10
+    waveguide_sigma: float = 0.10
+    coupler_sigma: float = 0.10
+    seed: int = 1234
+
+    def sample_parameters(
+        self, params: PhotonicParameters, n_samples: int
+    ) -> list[PhotonicParameters]:
+        """Draw parameter-set corners around the nominal table."""
+        if n_samples < 1:
+            raise ValueError("need at least one sample")
+        rng = np.random.default_rng(self.seed)
+
+        def draw(nominal: float, sigma: float, size: int) -> np.ndarray:
+            # Truncated-at-zero normal: losses cannot be negative.
+            values = rng.normal(nominal, nominal * sigma, size)
+            return np.clip(values, 0.0, None)
+
+        drops = draw(params.ring_drop_db, self.ring_drop_sigma, n_samples)
+        throughs = draw(params.ring_through_db, self.ring_through_sigma, n_samples)
+        splitters = draw(params.splitter_db, self.splitter_sigma, n_samples)
+        waveguides = draw(
+            params.waveguide_db_per_cm, self.waveguide_sigma, n_samples
+        )
+        couplers = draw(params.coupler_db, self.coupler_sigma, n_samples)
+        corners = []
+        for i in range(n_samples):
+            corners.append(
+                dataclasses.replace(
+                    params,
+                    name=f"{params.name}-mc{i}",
+                    ring_drop_db=float(drops[i]),
+                    ring_through_db=float(throughs[i]),
+                    splitter_db=float(splitters[i]),
+                    waveguide_db_per_cm=float(waveguides[i]),
+                    coupler_db=float(couplers[i]),
+                )
+            )
+        return corners
+
+    def analyze(
+        self,
+        params: PhotonicParameters,
+        budget_builder,
+        n_samples: int = 256,
+        margin_db: float = SYSTEM_MARGIN_DB,
+    ) -> VariationResult:
+        """Monte-Carlo a path budget.
+
+        ``budget_builder`` maps a :class:`PhotonicParameters` corner
+        to a :class:`~repro.photonics.link_budget.LinkBudget` (e.g.
+        ``lambda p: SpacxPowerModel(topo, p).x_path_budget()``).
+        """
+        nominal_loss = budget_builder(params).total_loss_db
+        samples = []
+        for corner in self.sample_parameters(params, n_samples):
+            loss = budget_builder(corner).total_loss_db
+            samples.append(loss - nominal_loss)
+        return VariationResult(samples_db=tuple(samples), margin_db=margin_db)

@@ -1,0 +1,113 @@
+"""Wavelength-division multiplexing primitives.
+
+SPACX multiplexes up to 64 wavelengths per waveguide at 10 Gbps each
+(Section II-A of the paper, after [24], [44]-[46]).  A
+:class:`WavelengthChannel` names one carrier and its data rate; a
+:class:`WDMGroup` is an ordered, duplicate-free set of channels riding
+the same waveguide, with the physical multiplexing limit enforced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = [
+    "DEFAULT_DATA_RATE_GBPS",
+    "MAX_WAVELENGTHS_PER_WAVEGUIDE",
+    "WavelengthChannel",
+    "WDMGroup",
+]
+
+#: Per-wavelength line rate assumed throughout the paper.
+DEFAULT_DATA_RATE_GBPS = 10.0
+
+#: Densest WDM demonstrated by the works the paper cites.
+MAX_WAVELENGTHS_PER_WAVEGUIDE = 64
+
+
+@dataclass(frozen=True)
+class WavelengthChannel:
+    """One modulated carrier: an index (lambda_i) plus a data rate."""
+
+    index: int
+    data_rate_gbps: float = DEFAULT_DATA_RATE_GBPS
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"wavelength index must be >= 0, got {self.index}")
+        if self.data_rate_gbps <= 0.0:
+            raise ValueError(
+                f"data rate must be > 0 Gbps, got {self.data_rate_gbps!r}"
+            )
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        """Usable bandwidth of this channel in Gbps."""
+        return self.data_rate_gbps
+
+
+@dataclass
+class WDMGroup:
+    """Channels multiplexed onto one physical waveguide."""
+
+    channels: list[WavelengthChannel] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    def _validate(self) -> None:
+        indices = [channel.index for channel in self.channels]
+        if len(set(indices)) != len(indices):
+            raise ValueError(f"duplicate wavelength indices in group: {indices}")
+        if len(self.channels) > MAX_WAVELENGTHS_PER_WAVEGUIDE:
+            raise ValueError(
+                f"{len(self.channels)} wavelengths exceed the per-waveguide "
+                f"limit of {MAX_WAVELENGTHS_PER_WAVEGUIDE}"
+            )
+
+    @classmethod
+    def from_indices(
+        cls,
+        indices: Iterable[int],
+        data_rate_gbps: float = DEFAULT_DATA_RATE_GBPS,
+    ) -> "WDMGroup":
+        """Build a group of same-rate channels from wavelength indices."""
+        return cls(
+            channels=[
+                WavelengthChannel(index=i, data_rate_gbps=data_rate_gbps)
+                for i in indices
+            ]
+        )
+
+    def add(self, channel: WavelengthChannel) -> None:
+        """Append a channel, re-checking uniqueness and the WDM limit."""
+        self.channels.append(channel)
+        try:
+            self._validate()
+        except ValueError:
+            self.channels.pop()
+            raise
+
+    @property
+    def n_channels(self) -> int:
+        """Number of multiplexed wavelengths."""
+        return len(self.channels)
+
+    @property
+    def aggregate_bandwidth_gbps(self) -> float:
+        """Total bandwidth carried by the waveguide in Gbps."""
+        return sum(channel.data_rate_gbps for channel in self.channels)
+
+    def indices(self) -> list[int]:
+        """Wavelength indices in insertion order."""
+        return [channel.index for channel in self.channels]
+
+    def __iter__(self) -> Iterator[WavelengthChannel]:
+        return iter(self.channels)
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    def __contains__(self, index: int) -> bool:
+        return any(channel.index == index for channel in self.channels)

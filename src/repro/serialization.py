@@ -1,0 +1,126 @@
+"""Result serialization to plain dictionaries / JSON.
+
+Downstream tooling (plotting notebooks, CI dashboards) wants results
+as data, not Python objects.  These converters flatten the result
+dataclasses into JSON-compatible dictionaries with stable keys.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .core.metrics import EnergyBreakdown, LayerResult, ModelResult, NetworkEnergy
+
+__all__ = [
+    "network_energy_to_dict",
+    "energy_to_dict",
+    "layer_result_to_dict",
+    "model_result_to_dict",
+    "model_result_to_json",
+]
+
+
+def network_energy_to_dict(network: NetworkEnergy) -> dict[str, float]:
+    """Flatten a network-energy split."""
+    return {
+        "eo_mj": network.eo_mj,
+        "oe_mj": network.oe_mj,
+        "heating_mj": network.heating_mj,
+        "laser_mj": network.laser_mj,
+        "electrical_mj": network.electrical_mj,
+        "total_mj": network.total_mj,
+    }
+
+
+def energy_to_dict(energy: EnergyBreakdown) -> dict[str, Any]:
+    """Flatten a full energy breakdown."""
+    return {
+        "mac_mj": energy.mac_mj,
+        "pe_buffer_mj": energy.pe_buffer_mj,
+        "gb_mj": energy.gb_mj,
+        "dram_mj": energy.dram_mj,
+        "other_mj": energy.other_mj,
+        "network": network_energy_to_dict(energy.network),
+        "total_mj": energy.total_mj,
+    }
+
+
+def layer_result_to_dict(result: LayerResult) -> dict[str, Any]:
+    """Flatten one layer's simulation outcome."""
+    layer = result.layer
+    mapping = result.mapping
+    traffic = result.traffic
+    return {
+        "accelerator": result.accelerator,
+        "layer": {
+            "name": layer.name,
+            "c": layer.c,
+            "k": layer.k,
+            "r": layer.r,
+            "s": layer.s,
+            "h": layer.h,
+            "w": layer.w,
+            "stride": layer.stride,
+            "groups": layer.groups,
+            "batch": layer.batch,
+            "macs": layer.macs,
+        },
+        "mapping": {
+            "dataflow": mapping.dataflow.value,
+            "compute_cycles": mapping.compute_cycles,
+            "chiplets_active": mapping.chiplets_active,
+            "pes_active": mapping.pes_active,
+            "ef_waves": mapping.ef_waves,
+            "k_waves": mapping.k_waves,
+            "weight_sharers": mapping.weight_sharers,
+            "ifmap_sharers": mapping.ifmap_sharers,
+        },
+        "traffic": {
+            "gb_weight_send_bytes": traffic.gb_weight_send_bytes,
+            "gb_ifmap_send_bytes": traffic.gb_ifmap_send_bytes,
+            "pe_receive_bytes": traffic.pe_receive_bytes,
+            "output_bytes": traffic.output_bytes,
+            "psum_bytes": traffic.psum_bytes,
+            "dram_read_bytes": traffic.dram_read_bytes,
+            "dram_write_bytes": traffic.dram_write_bytes,
+        },
+        "timing": {
+            "execution_time_s": result.execution_time_s,
+            "computation_time_s": result.computation_time_s,
+            "communication_time_s": result.communication_time_s,
+            "exposed_communication_s": result.exposed_communication_s,
+            "packet_latency_s": result.packet_latency_s,
+        },
+        "energy": energy_to_dict(result.energy),
+    }
+
+
+def model_result_to_dict(result: ModelResult) -> dict[str, Any]:
+    """Flatten a whole-model simulation, deduplicating shared layers."""
+    seen: dict[int, int] = {}
+    unique_layers = []
+    layer_indices = []
+    for layer_result in result.layers:
+        key = id(layer_result)
+        if key not in seen:
+            seen[key] = len(unique_layers)
+            unique_layers.append(layer_result_to_dict(layer_result))
+        layer_indices.append(seen[key])
+    return {
+        "accelerator": result.accelerator,
+        "model": result.model,
+        "execution_time_s": result.execution_time_s,
+        "computation_time_s": result.computation_time_s,
+        "exposed_communication_s": result.exposed_communication_s,
+        "energy": energy_to_dict(result.energy),
+        "mean_packet_latency_s": result.mean_packet_latency_s,
+        "throughput_gbps": result.throughput_gbps,
+        "unique_layer_results": unique_layers,
+        "layer_sequence": layer_indices,
+    }
+
+
+def model_result_to_json(result: ModelResult, indent: int | None = 2) -> str:
+    """Serialise a whole-model simulation to a JSON string."""
+    return json.dumps(model_result_to_dict(result), indent=indent)

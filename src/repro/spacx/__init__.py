@@ -1,0 +1,70 @@
+"""The SPACX architecture: topology, wavelength plan, interfaces,
+token ring, flexible bandwidth allocation, power/area models and the
+accelerator-spec builder."""
+
+from .advisor import (
+    ConfigurationScore,
+    GranularityAdvisor,
+    recommend_granularity,
+)
+from .architecture import (
+    DEFAULT_EF_GRANULARITY,
+    DEFAULT_K_GRANULARITY,
+    spacx_simulator,
+    spacx_spec,
+    spacx_topology,
+)
+from .area import AreaModel, AreaReport
+from .bandwidth import (
+    BandwidthAllocationPlan,
+    ifmap_sharer_chiplets,
+    plan_bandwidth,
+    weight_sharer_pes,
+)
+from .controller import ExecutionController, LayerProgram, SplitterSetting
+from .faults import DegradedResult, FaultKind, FaultScenario, inject_fault
+from .floorplan import Floorplan, PathGeometry
+from .interfaces import InterposerInterface, build_interfaces, local_splitter_schedule
+from .power import PowerReport, SpacxPowerModel, granularity_sweep
+from .token_ring import TokenEvent, TokenRing
+from .topology import TABLE_I_CONFIGURATIONS, SpacxTopology, table_i_rows
+from .wavelength import WavelengthAllocation, WavelengthAssignment
+
+__all__ = [
+    "AreaModel",
+    "ConfigurationScore",
+    "GranularityAdvisor",
+    "recommend_granularity",
+    "AreaReport",
+    "BandwidthAllocationPlan",
+    "DEFAULT_EF_GRANULARITY",
+    "DEFAULT_K_GRANULARITY",
+    "DegradedResult",
+    "ExecutionController",
+    "FaultKind",
+    "FaultScenario",
+    "Floorplan",
+    "PathGeometry",
+    "LayerProgram",
+    "SplitterSetting",
+    "InterposerInterface",
+    "PowerReport",
+    "SpacxPowerModel",
+    "SpacxTopology",
+    "TABLE_I_CONFIGURATIONS",
+    "TokenEvent",
+    "TokenRing",
+    "WavelengthAllocation",
+    "WavelengthAssignment",
+    "build_interfaces",
+    "granularity_sweep",
+    "ifmap_sharer_chiplets",
+    "inject_fault",
+    "local_splitter_schedule",
+    "plan_bandwidth",
+    "spacx_simulator",
+    "spacx_spec",
+    "spacx_topology",
+    "table_i_rows",
+    "weight_sharer_pes",
+]

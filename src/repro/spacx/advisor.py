@@ -1,0 +1,151 @@
+"""Broadcast-granularity selection (Section V).
+
+The paper explores how the network configuration (the cross-chiplet
+granularity ``e/f`` and the single-chiplet granularity ``k``) should
+be chosen from DNN layer parameters, and settles on e/f = 8 / k = 16
+as a balanced point for its benchmark suite.  This module implements
+that exploration as a reusable component: the
+:class:`GranularityAdvisor` evaluates candidate configurations over a
+layer set and ranks them by execution time, energy, static network
+power, or energy-delay product.
+
+The advisor is *offline* tooling in the same sense as the paper's
+execution controller: configurations differ in physical waveguide
+count, so a real deployment picks one at design time; the advisor
+tells you which one your workload wants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..core.layer import ConvLayer, LayerSet
+from ..photonics.components import MODERATE_PARAMETERS, PhotonicParameters
+from .architecture import spacx_simulator, spacx_topology
+from .power import SpacxPowerModel
+
+__all__ = [
+    "ConfigurationScore",
+    "GranularityAdvisor",
+    "recommend_granularity",
+]
+
+#: Objectives the advisor can rank by.
+_OBJECTIVES = ("execution_time", "energy", "edp", "static_power")
+
+
+@dataclass(frozen=True)
+class ConfigurationScore:
+    """Evaluation of one (k, e/f) configuration over a workload."""
+
+    k_granularity: int
+    ef_granularity: int
+    execution_time_s: float
+    energy_mj: float
+    static_network_power_w: float
+    mean_utilization: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (mJ * s)."""
+        return self.energy_mj * self.execution_time_s
+
+    def objective(self, name: str) -> float:
+        """The scalar this configuration is ranked by."""
+        if name == "execution_time":
+            return self.execution_time_s
+        if name == "energy":
+            return self.energy_mj
+        if name == "edp":
+            return self.edp
+        if name == "static_power":
+            return self.static_network_power_w
+        raise ValueError(
+            f"unknown objective {name!r}; choose from {_OBJECTIVES}"
+        )
+
+
+class GranularityAdvisor:
+    """Ranks broadcast-granularity configurations for a workload."""
+
+    def __init__(
+        self,
+        chiplets: int = 32,
+        pes_per_chiplet: int = 32,
+        granularities: tuple[int, ...] = (4, 8, 16, 32),
+        params: PhotonicParameters = MODERATE_PARAMETERS,
+    ):
+        if not granularities:
+            raise ValueError("need at least one candidate granularity")
+        self.chiplets = chiplets
+        self.pes_per_chiplet = pes_per_chiplet
+        self.params = params
+        self.candidates = [
+            (k, ef)
+            for k in granularities
+            for ef in granularities
+            if pes_per_chiplet % k == 0 and chiplets % ef == 0
+        ]
+        if not self.candidates:
+            raise ValueError(
+                "no candidate granularity divides the machine dimensions"
+            )
+
+    def evaluate(self, layers: LayerSet | Iterable[ConvLayer]) -> list[ConfigurationScore]:
+        """Score every candidate configuration over the workload."""
+        if not isinstance(layers, LayerSet):
+            layers = LayerSet("workload", list(layers))
+        scores: list[ConfigurationScore] = []
+        for k_gran, ef_gran in self.candidates:
+            simulator = spacx_simulator(
+                chiplets=self.chiplets,
+                pes_per_chiplet=self.pes_per_chiplet,
+                ef_granularity=ef_gran,
+                k_granularity=k_gran,
+                params=self.params,
+            )
+            result = simulator.simulate_model(layers)
+            params = simulator.spec.mapping_parameters()
+            utilizations = [
+                r.mapping.utilization(params) for r in result.layers
+            ]
+            power = SpacxPowerModel(
+                spacx_topology(
+                    self.chiplets, self.pes_per_chiplet, ef_gran, k_gran
+                ),
+                self.params,
+            ).report()
+            scores.append(
+                ConfigurationScore(
+                    k_granularity=k_gran,
+                    ef_granularity=ef_gran,
+                    execution_time_s=result.execution_time_s,
+                    energy_mj=result.energy.total_mj,
+                    static_network_power_w=power.overall_w,
+                    mean_utilization=sum(utilizations) / len(utilizations),
+                )
+            )
+        return scores
+
+    def recommend(
+        self,
+        layers: LayerSet | Iterable[ConvLayer],
+        objective: str = "edp",
+    ) -> ConfigurationScore:
+        """The best configuration for the workload under an objective."""
+        scores = self.evaluate(layers)
+        return min(scores, key=lambda score: score.objective(objective))
+
+
+def recommend_granularity(
+    layers: LayerSet | Iterable[ConvLayer],
+    objective: str = "edp",
+    chiplets: int = 32,
+    pes_per_chiplet: int = 32,
+) -> ConfigurationScore:
+    """One-call convenience wrapper around the advisor."""
+    advisor = GranularityAdvisor(
+        chiplets=chiplets, pes_per_chiplet=pes_per_chiplet
+    )
+    return advisor.recommend(layers, objective=objective)

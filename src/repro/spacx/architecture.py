@@ -1,0 +1,168 @@
+"""SPACX accelerator construction (Section VII-C configuration).
+
+Builds the :class:`~repro.core.accelerator.AcceleratorSpec` and the
+photonic :class:`~repro.spacx.power.SpacxPowerModel` for any machine
+size, with the paper's evaluation defaults:
+
+* M = 32 chiplets, N = 32 PEs/chiplet, MAC vector width 32,
+* broadcast granularities e/f = 8 and k = 16,
+* 4 kB PE buffers (locality traded for broadcast), 2 MB GB,
+* every bandwidth cap derived from the topology (Table II row SPACX),
+* 500 ps splitter retuning per wave, one-hop photonic latency.
+"""
+
+from __future__ import annotations
+
+from ..baselines.simba import CORE_FREQUENCY_GHZ
+from ..core.accelerator import KB, MB, AcceleratorSpec, LinkLatency
+from ..core.dataflow import DataflowKind
+from ..core.simulator import Simulator
+from ..core.traffic import NetworkCapabilities
+from ..energy.buffers import SramEnergyModel
+from ..energy.compute import ComputeEnergyModel
+from ..energy.dram import DEFAULT_DRAM
+from ..photonics.components import MODERATE_PARAMETERS, PhotonicParameters
+from ..photonics.components import SPLITTER_TUNING_DELAY_S
+from .power import SpacxPowerModel
+from .topology import SpacxTopology
+
+__all__ = [
+    "DEFAULT_EF_GRANULARITY",
+    "DEFAULT_K_GRANULARITY",
+    "spacx_topology",
+    "spacx_spec",
+    "spacx_simulator",
+]
+
+DEFAULT_EF_GRANULARITY = 8
+DEFAULT_K_GRANULARITY = 16
+
+#: One-hop photonic propagation: a few cm of waveguide at ~1.5e8 m/s
+#: plus E/O + O/E conversion, well under a nanosecond end to end.
+_PHOTONIC_HOP_S = 0.5e-9
+
+
+def spacx_topology(
+    chiplets: int = 32,
+    pes_per_chiplet: int = 32,
+    ef_granularity: int = DEFAULT_EF_GRANULARITY,
+    k_granularity: int = DEFAULT_K_GRANULARITY,
+) -> SpacxTopology:
+    """The evaluated SPACX network instance."""
+    return SpacxTopology(
+        chiplets=chiplets,
+        pes_per_chiplet=pes_per_chiplet,
+        ef_granularity=min(ef_granularity, chiplets),
+        k_granularity=min(k_granularity, pes_per_chiplet),
+    )
+
+
+def spacx_spec(
+    chiplets: int = 32,
+    pes_per_chiplet: int = 32,
+    ef_granularity: int = DEFAULT_EF_GRANULARITY,
+    k_granularity: int = DEFAULT_K_GRANULARITY,
+    bandwidth_allocation: bool = True,
+) -> AcceleratorSpec:
+    """Build the SPACX accelerator specification.
+
+    ``bandwidth_allocation=False`` yields the paper's ``SPACX-BA``
+    ablation: the photonic broadcast stays, but the Section VI
+    convolution-reuse multicast is disabled.
+    """
+    topo = spacx_topology(chiplets, pes_per_chiplet, ef_granularity, k_granularity)
+    capabilities = NetworkCapabilities(
+        weight_broadcast=True,
+        ifmap_broadcast=True,
+        ifmap_reuse_multicast=bandwidth_allocation,
+        weight_reuse_multicast=bandwidth_allocation,
+    )
+    if bandwidth_allocation:
+        # Section VI lets the controller reassign carriers between
+        # datatypes per layer, so links behave as pooled capacity.
+        split_caps = dict(
+            chiplet_weight_read_gbps=0.0,
+            chiplet_ifmap_read_gbps=0.0,
+            pe_weight_read_gbps=0.0,
+            pe_ifmap_read_gbps=0.0,
+            gb_weight_egress_gbps=0.0,
+            gb_ifmap_egress_gbps=0.0,
+        )
+    else:
+        # Fixed partition: weights ride the X carriers, ifmaps the Y
+        # carriers (one per local waveguide), exactly as in Fig. 7.
+        per_lambda = topo.data_rate_gbps
+        split_caps = dict(
+            chiplet_weight_read_gbps=(
+                topo.n_local_waveguides_per_chiplet
+                * topo.k_granularity
+                * per_lambda
+            ),
+            chiplet_ifmap_read_gbps=(
+                topo.n_local_waveguides_per_chiplet * per_lambda
+            ),
+            pe_weight_read_gbps=per_lambda,
+            pe_ifmap_read_gbps=per_lambda,
+            gb_weight_egress_gbps=(
+                topo.n_global_waveguides * topo.n_x_wavelengths * per_lambda
+            ),
+            gb_ifmap_egress_gbps=(
+                topo.n_global_waveguides * topo.n_y_wavelengths * per_lambda
+            ),
+        )
+    photonic_latency = LinkLatency(
+        hop_latency_s=_PHOTONIC_HOP_S,
+        avg_hops=1.0,
+        tuning_delay_s=SPLITTER_TUNING_DELAY_S,
+    )
+    return AcceleratorSpec(
+        name="SPACX" if bandwidth_allocation else "SPACX-BA",
+        chiplets=topo.chiplets,
+        pes_per_chiplet=topo.pes_per_chiplet,
+        mac_vector_width=32,
+        frequency_ghz=CORE_FREQUENCY_GHZ,
+        pe_buffer_bytes=4 * KB,
+        gb_bytes=2 * MB,
+        dram_bandwidth_gbps=DEFAULT_DRAM.bandwidth_gbps,
+        dataflow=DataflowKind.SPACX_OS,
+        gb_egress_gbps=topo.gb_egress_gbps,
+        gb_ingress_gbps=topo.gb_ingress_gbps,
+        chiplet_read_gbps=topo.chiplet_read_gbps,
+        chiplet_write_gbps=topo.chiplet_write_gbps,
+        pe_read_gbps=topo.pe_read_gbps,
+        pe_write_gbps=topo.pe_write_gbps,
+        capabilities=capabilities,
+        package_latency=photonic_latency,
+        # The photonic path is single-hop end to end: the chiplet level
+        # adds no further propagation, only the local tuning events.
+        chiplet_latency=LinkLatency(hop_latency_s=0.0, avg_hops=0.0),
+        ef_granularity=topo.ef_granularity,
+        k_granularity=topo.k_granularity,
+        **split_caps,
+    )
+
+
+def spacx_simulator(
+    chiplets: int = 32,
+    pes_per_chiplet: int = 32,
+    ef_granularity: int = DEFAULT_EF_GRANULARITY,
+    k_granularity: int = DEFAULT_K_GRANULARITY,
+    bandwidth_allocation: bool = True,
+    params: PhotonicParameters = MODERATE_PARAMETERS,
+    dataflow: DataflowKind = DataflowKind.SPACX_OS,
+) -> Simulator:
+    """A ready-to-run simulator for a SPACX machine."""
+    spec = spacx_spec(
+        chiplets=chiplets,
+        pes_per_chiplet=pes_per_chiplet,
+        ef_granularity=ef_granularity,
+        k_granularity=k_granularity,
+        bandwidth_allocation=bandwidth_allocation,
+    ).with_dataflow(dataflow)
+    topo = spacx_topology(chiplets, pes_per_chiplet, ef_granularity, k_granularity)
+    compute_energy = ComputeEnergyModel(
+        pe_buffer=SramEnergyModel(capacity_bytes=spec.pe_buffer_bytes),
+        gb=SramEnergyModel(capacity_bytes=spec.gb_bytes),
+    )
+    network_energy = SpacxPowerModel(topo, params)
+    return Simulator(spec, compute_energy, network_energy)

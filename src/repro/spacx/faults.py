@@ -1,0 +1,160 @@
+"""Fault injection and degraded-mode analysis.
+
+The paper's network has two classes of single points of failure per
+local waveguide: the X carrier feeding one PE position and the shared
+Y carrier.  Thermal tuning mitigates drift, but a hard device failure
+(stuck modulator, dead photodetector) removes a carrier outright.
+This module quantifies the architecture's graceful degradation:
+
+* a failed **X carrier** idles one PE position per chiplet of the
+  group -- the mapper simply loses that slice of k-parallelism;
+* a failed **Y carrier** cuts a whole chiplet's ifmap broadcast (and
+  its PE->GB return path): the chiplet drops out of its group,
+  reducing e/f-parallelism;
+* a failed **interposer splitter** is the mildest case: only one
+  (chiplet, wavelength) tap is lost.
+
+Degradation is modelled by shrinking the effective machine the mapper
+sees and re-running the simulator -- no new mechanisms, which is
+itself the point: SPACX's regular structure makes failures equivalent
+to a smaller configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..core.layer import LayerSet
+from ..core.simulator import Simulator
+from .architecture import spacx_simulator
+
+__all__ = ["FaultKind", "FaultScenario", "DegradedResult", "inject_fault"]
+
+
+class FaultKind(Enum):
+    """Hard-failure classes of the photonic network."""
+
+    X_CARRIER = "x_carrier"  # one PE position per group chiplet lost
+    Y_CARRIER = "y_carrier"  # one chiplet lost
+    INTERPOSER_SPLITTER = "interposer_splitter"  # one tap lost
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """How many devices of each class have failed."""
+
+    x_carriers: int = 0
+    y_carriers: int = 0
+    splitters: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.x_carriers, self.y_carriers, self.splitters) < 0:
+            raise ValueError("fault counts must be >= 0")
+
+    @property
+    def is_healthy(self) -> bool:
+        """No failures injected."""
+        return not (self.x_carriers or self.y_carriers or self.splitters)
+
+
+@dataclass(frozen=True)
+class DegradedResult:
+    """Healthy-vs-degraded comparison for one workload."""
+
+    scenario: FaultScenario
+    healthy_execution_time_s: float
+    degraded_execution_time_s: float
+    pes_lost: int
+
+    @property
+    def slowdown(self) -> float:
+        """Degraded over healthy execution time (>= 1)."""
+        return self.degraded_execution_time_s / self.healthy_execution_time_s
+
+
+def _degraded_machine(
+    scenario: FaultScenario,
+    chiplets: int,
+    pes_per_chiplet: int,
+    ef_granularity: int,
+    k_granularity: int,
+) -> tuple[Simulator, int]:
+    """Build the equivalent smaller machine and count lost PEs.
+
+    A failed X carrier idles its PE position on every chiplet of one
+    group (``g_ef`` PEs); a failed Y carrier idles one chiplet
+    (``N`` PEs); a failed splitter idles one PE.  The degraded
+    machine keeps the granularity structure but runs with the PE/
+    chiplet counts rounded down to the surviving hardware (the
+    controller concentrates work on healthy resources).
+    """
+    pes_lost = (
+        scenario.x_carriers * min(ef_granularity, chiplets)
+        + scenario.y_carriers * pes_per_chiplet
+        + scenario.splitters
+    )
+    total = chiplets * pes_per_chiplet
+    if pes_lost >= total:
+        raise ValueError("scenario kills the whole machine")
+
+    chiplets_left = chiplets - scenario.y_carriers
+    if chiplets_left < 1:
+        raise ValueError("scenario kills every chiplet")
+    # X-carrier and splitter losses thin PEs within chiplets; model by
+    # dropping whole PE groups when a group's carrier set is dead.
+    pes_left = pes_per_chiplet
+    intra_losses = scenario.x_carriers + scenario.splitters
+    while intra_losses >= k_granularity and pes_left > k_granularity:
+        pes_left -= k_granularity
+        intra_losses -= k_granularity
+
+    simulator = spacx_simulator(
+        chiplets=max(ef_granularity, _round_down(chiplets_left, ef_granularity)),
+        pes_per_chiplet=max(
+            k_granularity, _round_down(pes_left, k_granularity)
+        ),
+        ef_granularity=ef_granularity,
+        k_granularity=k_granularity,
+    )
+    return simulator, pes_lost
+
+
+def _round_down(value: int, multiple: int) -> int:
+    return (value // multiple) * multiple
+
+
+def inject_fault(
+    workload: LayerSet,
+    scenario: FaultScenario,
+    chiplets: int = 32,
+    pes_per_chiplet: int = 32,
+    ef_granularity: int = 8,
+    k_granularity: int = 16,
+) -> DegradedResult:
+    """Compare healthy vs degraded execution for one workload."""
+    healthy = spacx_simulator(
+        chiplets=chiplets,
+        pes_per_chiplet=pes_per_chiplet,
+        ef_granularity=ef_granularity,
+        k_granularity=k_granularity,
+    ).simulate_model(workload)
+    if scenario.is_healthy:
+        return DegradedResult(
+            scenario=scenario,
+            healthy_execution_time_s=healthy.execution_time_s,
+            degraded_execution_time_s=healthy.execution_time_s,
+            pes_lost=0,
+        )
+    degraded_machine, pes_lost = _degraded_machine(
+        scenario, chiplets, pes_per_chiplet, ef_granularity, k_granularity
+    )
+    degraded = degraded_machine.simulate_model(workload)
+    return DegradedResult(
+        scenario=scenario,
+        healthy_execution_time_s=healthy.execution_time_s,
+        degraded_execution_time_s=max(
+            degraded.execution_time_s, healthy.execution_time_s
+        ),
+        pes_lost=pes_lost,
+    )

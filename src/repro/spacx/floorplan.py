@@ -1,0 +1,134 @@
+"""Interposer floorplan and waveguide routing geometry.
+
+Section III-A notes the physical placement of the GB die, chiplets
+and waveguides "is not necessarily the same as in Figure 5" -- the
+figure only shows the logical hierarchy.  This module provides a
+concrete placement: chiplets in a near-square grid around an
+edge-mounted GB die, global waveguides routed as serpentine buses
+through their chiplet group's rows, local waveguides across each
+chiplet.  From the geometry it derives the quantities the power model
+needs -- per-path waveguide length, bend count and crossing count --
+so :class:`~repro.spacx.power.SpacxPowerModel` can be driven by a
+real layout instead of pitch constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .topology import SpacxTopology
+
+__all__ = ["Floorplan", "PathGeometry"]
+
+#: Physical sizes (cm) -- chiplet edge from the paper's 4.07 mm^2.
+CHIPLET_EDGE_CM = 0.202
+CHIPLET_SPACING_CM = 0.05
+GB_EDGE_CM = 0.4
+
+
+@dataclass(frozen=True)
+class PathGeometry:
+    """Geometry of one worst-case optical path."""
+
+    length_cm: float
+    bends: int
+    crossings: int
+
+    def __post_init__(self) -> None:
+        if self.length_cm < 0 or self.bends < 0 or self.crossings < 0:
+            raise ValueError("geometry quantities must be >= 0")
+
+
+class Floorplan:
+    """Grid placement of one SPACX topology on the interposer."""
+
+    def __init__(self, topology: SpacxTopology):
+        self.topology = topology
+        # Chiplets in a near-square grid; the GB die sits on the west
+        # edge, centred.
+        self.columns = max(1, int(math.ceil(math.sqrt(topology.chiplets))))
+        self.rows = int(math.ceil(topology.chiplets / self.columns))
+
+    # ------------------------------------------------------------------
+    # Placement queries
+    # ------------------------------------------------------------------
+    @property
+    def pitch_cm(self) -> float:
+        """Centre-to-centre chiplet pitch."""
+        return CHIPLET_EDGE_CM + CHIPLET_SPACING_CM
+
+    def chiplet_position(self, index: int) -> tuple[float, float]:
+        """Centre coordinates (cm) of chiplet ``index``; the GB die's
+        east edge is x = 0."""
+        if not 0 <= index < self.topology.chiplets:
+            raise ValueError(
+                f"chiplet {index} outside 0..{self.topology.chiplets - 1}"
+            )
+        row, col = divmod(index, self.columns)
+        x = GB_EDGE_CM + (col + 0.5) * self.pitch_cm
+        y = (row - (self.rows - 1) / 2) * self.pitch_cm
+        return (x, y)
+
+    def interposer_area_cm2(self) -> float:
+        """Bounding-box area of the placement including the GB die."""
+        width = GB_EDGE_CM + self.columns * self.pitch_cm
+        height = max(self.rows * self.pitch_cm, GB_EDGE_CM)
+        return width * height
+
+    # ------------------------------------------------------------------
+    # Waveguide routing
+    # ------------------------------------------------------------------
+    def group_chiplets(self, chiplet_group: int) -> list[int]:
+        """Chiplet indices of one cross-chiplet broadcast group
+        (groups take consecutive indices, i.e. row-major runs)."""
+        g = self.topology.ef_granularity
+        start = chiplet_group * g
+        return list(range(start, start + g))
+
+    def global_waveguide_geometry(self, chiplet_group: int) -> PathGeometry:
+        """Worst-case path along one global waveguide: GB to the
+        group's farthest chiplet, serpentine through the grid."""
+        members = self.group_chiplets(chiplet_group)
+        positions = [self.chiplet_position(i) for i in members]
+        # Serpentine visit in index order: sum of Manhattan hops plus
+        # the escape from the GB to the first member.
+        first_x, first_y = positions[0]
+        length = first_x + abs(first_y)
+        bends = 1
+        for (x0, y0), (x1, y1) in zip(positions, positions[1:]):
+            length += abs(x1 - x0) + abs(y1 - y0)
+            if x0 != x1 and y0 != y1:
+                bends += 1
+        # A waveguide crosses the other groups' buses where its escape
+        # segment passes their rows, plus its sibling PE-group buses.
+        crossings = max(0, self.topology.n_chiplet_groups - 1) + max(
+            0, self.topology.n_pe_groups - 1
+        )
+        return PathGeometry(length_cm=length, bends=bends, crossings=crossings)
+
+    def local_waveguide_geometry(self) -> PathGeometry:
+        """One local waveguide: a straight run across the chiplet
+        serving one PE group."""
+        pes = self.topology.k_granularity
+        # PEs in a row across the chiplet edge.
+        length = CHIPLET_EDGE_CM * min(1.0, pes / self.topology.pes_per_chiplet) + (
+            CHIPLET_EDGE_CM * 0.25
+        )
+        return PathGeometry(length_cm=length, bends=1, crossings=0)
+
+    def worst_case_geometry(self) -> PathGeometry:
+        """Longest GB-to-PE path over all groups (drives Eq. (2))."""
+        worst = max(
+            (
+                self.global_waveguide_geometry(g)
+                for g in range(self.topology.n_chiplet_groups)
+            ),
+            key=lambda geometry: geometry.length_cm,
+        )
+        local = self.local_waveguide_geometry()
+        return PathGeometry(
+            length_cm=worst.length_cm + local.length_cm,
+            bends=worst.bends + local.bends,
+            crossings=worst.crossings + local.crossings,
+        )

@@ -1,0 +1,101 @@
+"""Interposer and chiplet interfaces (Section III-C, Fig. 6).
+
+Every (chiplet, local waveguide) pair owns an interposer interface
+sitting between the global waveguide and the local waveguide:
+
+* one *tunable splitter* per X wavelength, set to forward an equal
+  share of the carrier's power to this chiplet -- the chiplet at
+  position ``i`` of a ``g``-chiplet group taps ``1/(g-i)`` of the
+  incident power (the paper's "1/7 for Chiplet0 ... 1/0 for
+  Chiplet7" schedule);
+* one *filter* (on-resonance ring) dropping the chiplet's Y
+  wavelength onto the local waveguide; and
+* one *filter* forwarding the modulated upstream Y wavelength from
+  the local waveguide back onto the global waveguide.
+
+The same equal-share splitter schedule repeats on the local waveguide
+at PE granularity for the Y (single-chiplet broadcast) carrier.
+The chiplet interface hosts the DAC controlling the split ratios and
+the thermal-tuning units; electrically it belongs to the chiplet die,
+optically everything stays on the interposer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..photonics.components import TunableSplitter
+from .topology import FILTERS_PER_INTERFACE, SpacxTopology
+from .wavelength import WavelengthAllocation
+
+__all__ = ["InterposerInterface", "build_interfaces", "local_splitter_schedule"]
+
+
+@dataclass(frozen=True)
+class InterposerInterface:
+    """The optical gear of one (chiplet, local-waveguide) attachment."""
+
+    chiplet_group: int
+    chiplet_in_group: int
+    pe_group: int
+    #: Equal-share splitter per X wavelength, in wavelength order.
+    x_splitters: tuple[TunableSplitter, ...]
+    #: The chiplet's downstream Y wavelength index.
+    y_downstream_wavelength: int
+    #: The chiplet's upstream (PE->GB) Y wavelength index (same carrier).
+    y_upstream_wavelength: int
+
+    @property
+    def n_mrrs(self) -> int:
+        """Rings on this interface: X splitters plus the two Y filters."""
+        return len(self.x_splitters) + FILTERS_PER_INTERFACE
+
+    def x_drop_fraction(self) -> float:
+        """Power share of each X carrier forwarded to this chiplet."""
+        return self.x_splitters[0].drop_fraction() if self.x_splitters else 0.0
+
+
+def build_interfaces(topology: SpacxTopology) -> list[InterposerInterface]:
+    """Instantiate every interposer interface of a topology.
+
+    The equal-power schedule depends on the chiplet's position along
+    its global waveguide: position ``i`` of ``g_ef`` taps
+    ``1/(g_ef - i)`` of the remaining power of every X carrier.
+    """
+    allocation = WavelengthAllocation(topology)
+    interfaces: list[InterposerInterface] = []
+    for chiplet_group in range(topology.n_chiplet_groups):
+        for chiplet_in_group in range(topology.ef_granularity):
+            for pe_group in range(topology.n_pe_groups):
+                splitters = tuple(
+                    TunableSplitter.for_equal_broadcast(
+                        position=chiplet_in_group,
+                        n_destinations=topology.ef_granularity,
+                    )
+                    for _ in range(topology.k_granularity)
+                )
+                y_wavelength = allocation.y_wavelength_for_chiplet(chiplet_in_group)
+                interfaces.append(
+                    InterposerInterface(
+                        chiplet_group=chiplet_group,
+                        chiplet_in_group=chiplet_in_group,
+                        pe_group=pe_group,
+                        x_splitters=splitters,
+                        y_downstream_wavelength=y_wavelength,
+                        y_upstream_wavelength=y_wavelength,
+                    )
+                )
+    return interfaces
+
+
+def local_splitter_schedule(n_pes: int) -> list[TunableSplitter]:
+    """Per-PE splitter settings along one local waveguide.
+
+    PE ``i`` of ``n`` taps ``1/(n - i)`` of the remaining power of the
+    single-chiplet broadcast carrier, giving every PE an equal share
+    (Section III-D-2).
+    """
+    return [
+        TunableSplitter.for_equal_broadcast(position=i, n_destinations=n_pes)
+        for i in range(n_pes)
+    ]

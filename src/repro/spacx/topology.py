@@ -1,0 +1,257 @@
+"""SPACX photonic network topology generation.
+
+The SPACX network is parameterised by four integers:
+
+* ``M``   -- accelerator chiplets in the package,
+* ``N``   -- PEs per chiplet,
+* ``g_ef``-- cross-chiplet broadcast granularity: chiplets per
+  cross-chiplet broadcast group (the paper's "e/f granularity"),
+* ``g_k`` -- single-chiplet broadcast granularity: PEs per
+  single-chiplet broadcast group (the paper's "k granularity").
+
+One *global waveguide* exists per (chiplet-group, PE-group) pair: it
+serves the ``g_ef`` chiplets of that chiplet group and, on each of
+them, the local waveguide of that PE group.  Each global waveguide
+carries
+
+* ``g_k`` X-wavelengths -- cross-chiplet broadcast, one per PE of the
+  group (the same data reaches the same-position PE on every chiplet
+  of the group), and
+* ``g_ef`` Y-wavelengths -- single-chiplet broadcast plus the shared
+  PE->GB unicast channel, one per chiplet of the group.
+
+Wavelengths are reused across physically separate waveguides (the
+paper's Fig. 10: chiplets 0 and 4 share a wavelength once split into
+groups), so the number of *distinct* wavelengths is ``g_k + g_ef``.
+
+With these rules the generator reproduces Table I (configurations
+A-D at M=N=8) and the SPACX rows of Table II (M=N=32, g_ef=8,
+g_k=16: 24 wavelengths, 340/20 Gbps per chiplet, 20/10 Gbps per PE)
+exactly -- asserted by the test-suite and the Table benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..photonics.wdm import DEFAULT_DATA_RATE_GBPS
+
+__all__ = ["SpacxTopology", "TABLE_I_CONFIGURATIONS", "table_i_rows"]
+
+#: MRRs on the PE side: two receivers (one tunable splitter for the
+#: single-chiplet Y channel, one filter for the cross-chiplet X
+#: channel) and one modulator for PE->GB traffic (Fig. 7).
+MRRS_PER_PE = 3
+
+#: Filters per interposer interface: one forwarding the chiplet's Y
+#: wavelength down to the local waveguide and one forwarding the
+#: modulated Y wavelength back up to the global waveguide (Fig. 6).
+FILTERS_PER_INTERFACE = 2
+
+
+@dataclass(frozen=True)
+class SpacxTopology:
+    """Structural description of one SPACX network instance."""
+
+    chiplets: int  # M
+    pes_per_chiplet: int  # N
+    ef_granularity: int  # g_ef: chiplets per cross-chiplet group
+    k_granularity: int  # g_k: PEs per single-chiplet group
+    data_rate_gbps: float = DEFAULT_DATA_RATE_GBPS
+
+    def __post_init__(self) -> None:
+        if self.chiplets < 1 or self.pes_per_chiplet < 1:
+            raise ValueError("need at least one chiplet and one PE")
+        if not 1 <= self.ef_granularity <= self.chiplets:
+            raise ValueError(
+                f"ef granularity must be in [1, {self.chiplets}], "
+                f"got {self.ef_granularity}"
+            )
+        if not 1 <= self.k_granularity <= self.pes_per_chiplet:
+            raise ValueError(
+                f"k granularity must be in [1, {self.pes_per_chiplet}], "
+                f"got {self.k_granularity}"
+            )
+        if self.chiplets % self.ef_granularity:
+            raise ValueError("ef granularity must divide the chiplet count")
+        if self.pes_per_chiplet % self.k_granularity:
+            raise ValueError("k granularity must divide the PE count")
+        if self.data_rate_gbps <= 0:
+            raise ValueError("data rate must be > 0")
+
+    # ------------------------------------------------------------------
+    # Group structure
+    # ------------------------------------------------------------------
+    @property
+    def n_chiplet_groups(self) -> int:
+        """Independent cross-chiplet broadcast groups."""
+        return self.chiplets // self.ef_granularity
+
+    @property
+    def n_pe_groups(self) -> int:
+        """Independent single-chiplet broadcast groups per chiplet."""
+        return self.pes_per_chiplet // self.k_granularity
+
+    # ------------------------------------------------------------------
+    # Waveguides (Table I rows 1-2)
+    # ------------------------------------------------------------------
+    @property
+    def n_global_waveguides(self) -> int:
+        """One global waveguide per (chiplet group, PE group) pair."""
+        return self.n_chiplet_groups * self.n_pe_groups
+
+    @property
+    def n_local_waveguides_per_chiplet(self) -> int:
+        """One local waveguide per PE group on each chiplet."""
+        return self.n_pe_groups
+
+    @property
+    def n_local_waveguides(self) -> int:
+        """Local waveguides in the whole package."""
+        return self.chiplets * self.n_local_waveguides_per_chiplet
+
+    # ------------------------------------------------------------------
+    # Wavelengths (Table I row 3, Table II row SPACX)
+    # ------------------------------------------------------------------
+    @property
+    def n_x_wavelengths(self) -> int:
+        """Distinct cross-chiplet (X) wavelengths: one per PE of a
+        single-chiplet group; reused across waveguides."""
+        return self.k_granularity
+
+    @property
+    def n_y_wavelengths(self) -> int:
+        """Distinct single-chiplet (Y) wavelengths: one per chiplet of
+        a cross-chiplet group; reused across waveguides."""
+        return self.ef_granularity
+
+    @property
+    def n_wavelengths(self) -> int:
+        """Distinct wavelengths required by the configuration."""
+        return self.n_x_wavelengths + self.n_y_wavelengths
+
+    @property
+    def wavelengths_per_global_waveguide(self) -> int:
+        """Carriers multiplexed on each global waveguide."""
+        return self.k_granularity + self.ef_granularity
+
+    # ------------------------------------------------------------------
+    # Sharing (Table I row 4)
+    # ------------------------------------------------------------------
+    @property
+    def pes_per_waveguide(self) -> int:
+        """PEs served by one global waveguide."""
+        return self.ef_granularity * self.k_granularity
+
+    # ------------------------------------------------------------------
+    # MRR inventory (Table I row 5 and the energy model)
+    # ------------------------------------------------------------------
+    @property
+    def n_interfaces_per_chiplet(self) -> int:
+        """Interposer/chiplet interface pairs: one per local waveguide."""
+        return self.n_local_waveguides_per_chiplet
+
+    @property
+    def mrrs_per_interface(self) -> int:
+        """Rings on one interposer interface: a tunable splitter per X
+        wavelength plus the two Y filters (Fig. 6)."""
+        return self.k_granularity + FILTERS_PER_INTERFACE
+
+    @property
+    def n_interface_mrrs(self) -> int:
+        """Total rings in all interposer interfaces (Table I row 5)."""
+        return self.chiplets * self.n_interfaces_per_chiplet * self.mrrs_per_interface
+
+    @property
+    def n_pe_mrrs(self) -> int:
+        """Rings attached to PEs (two receivers + one modulator each)."""
+        return self.chiplets * self.pes_per_chiplet * MRRS_PER_PE
+
+    @property
+    def n_gb_mrrs(self) -> int:
+        """Rings at the GB: one modulator per carried downstream
+        wavelength per waveguide, plus one receive filter per upstream
+        (Y) wavelength per waveguide."""
+        per_waveguide = self.wavelengths_per_global_waveguide + self.ef_granularity
+        return self.n_global_waveguides * per_waveguide
+
+    @property
+    def n_total_mrrs(self) -> int:
+        """Every ring in the network (drives heater power)."""
+        return self.n_interface_mrrs + self.n_pe_mrrs + self.n_gb_mrrs
+
+    # ------------------------------------------------------------------
+    # Bandwidth caps (Table II rows SPACX)
+    # ------------------------------------------------------------------
+    @property
+    def gb_egress_gbps(self) -> float:
+        """Aggregate GB->PEs bandwidth: every downstream carrier on
+        every global waveguide modulated independently."""
+        return (
+            self.n_global_waveguides
+            * self.wavelengths_per_global_waveguide
+            * self.data_rate_gbps
+        )
+
+    @property
+    def gb_ingress_gbps(self) -> float:
+        """Aggregate PEs->GB bandwidth: one shared Y carrier per local
+        waveguide."""
+        return self.n_local_waveguides * self.data_rate_gbps
+
+    @property
+    def chiplet_read_gbps(self) -> float:
+        """Per-chiplet read bandwidth: each local waveguide delivers
+        its g_k X carriers plus the chiplet's own Y carrier."""
+        return (
+            self.n_local_waveguides_per_chiplet
+            * (self.k_granularity + 1)
+            * self.data_rate_gbps
+        )
+
+    @property
+    def chiplet_write_gbps(self) -> float:
+        """Per-chiplet write bandwidth: one Y carrier per local
+        waveguide, shared by its PEs through the token ring."""
+        return self.n_local_waveguides_per_chiplet * self.data_rate_gbps
+
+    @property
+    def pe_read_gbps(self) -> float:
+        """Per-PE read bandwidth: its dedicated X carrier plus the
+        single-chiplet broadcast Y carrier."""
+        return 2 * self.data_rate_gbps
+
+    @property
+    def pe_write_gbps(self) -> float:
+        """Per-PE write bandwidth: the shared token-ring Y carrier."""
+        return self.data_rate_gbps
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+    def table_row(self) -> dict[str, int]:
+        """The five Table I quantities for this configuration."""
+        return {
+            "global_waveguides": self.n_global_waveguides,
+            "local_waveguides_per_chiplet": self.n_local_waveguides_per_chiplet,
+            "wavelengths": self.n_wavelengths,
+            "pes_per_waveguide": self.pes_per_waveguide,
+            "interface_mrrs": self.n_interface_mrrs,
+        }
+
+
+#: The paper's Table I instances: M=N=8 at four granularity settings.
+TABLE_I_CONFIGURATIONS: dict[str, SpacxTopology] = {
+    "A": SpacxTopology(chiplets=8, pes_per_chiplet=8, ef_granularity=8, k_granularity=8),
+    "B": SpacxTopology(chiplets=8, pes_per_chiplet=8, ef_granularity=4, k_granularity=8),
+    "C": SpacxTopology(chiplets=8, pes_per_chiplet=8, ef_granularity=8, k_granularity=4),
+    "D": SpacxTopology(chiplets=8, pes_per_chiplet=8, ef_granularity=4, k_granularity=4),
+}
+
+
+def table_i_rows() -> dict[str, dict[str, int]]:
+    """Regenerate Table I of the paper."""
+    return {
+        name: topology.table_row()
+        for name, topology in TABLE_I_CONFIGURATIONS.items()
+    }

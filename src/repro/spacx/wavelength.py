@@ -1,0 +1,144 @@
+"""Wavelength allocation for the SPACX network (Section III-B).
+
+Wavelengths divide into two groups:
+
+* **X** -- cross-chiplet broadcast: X-wavelength ``x`` carries data
+  from the GB to the PE at position ``x`` (within its single-chiplet
+  group) on *every* chiplet of a cross-chiplet group.
+* **Y** -- single-chiplet broadcast *and* PE->GB unicast:
+  Y-wavelength ``y`` carries data from the GB to every PE of one
+  local waveguide on chiplet ``y`` (within its cross-chiplet group),
+  and in the reverse direction carries the token-ring output stream
+  of those PEs.
+
+Physically separated waveguides reuse the same wavelength indices
+(Fig. 10 of the paper: once chiplets split into groups, chiplet 0 and
+chiplet 4 share one Y wavelength).  The allocation below makes that
+reuse explicit and checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .topology import SpacxTopology
+
+__all__ = ["WavelengthAssignment", "WavelengthAllocation"]
+
+
+@dataclass(frozen=True)
+class WavelengthAssignment:
+    """One carrier on one global waveguide and its role."""
+
+    waveguide: tuple[int, int]  # (chiplet group, PE group)
+    wavelength: int
+    group: str  # "X" or "Y"
+    #: For X: PE position within the single-chiplet group this carrier
+    #: feeds on every chiplet of the chiplet group.
+    #: For Y: chiplet position within the cross-chiplet group whose
+    #: local waveguide this carrier feeds.
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.group not in ("X", "Y"):
+            raise ValueError(f"group must be 'X' or 'Y', got {self.group!r}")
+        if self.wavelength < 0 or self.target < 0:
+            raise ValueError("wavelength and target must be >= 0")
+
+
+class WavelengthAllocation:
+    """Full allocation table for one topology."""
+
+    def __init__(self, topology: SpacxTopology):
+        self.topology = topology
+        self.assignments: list[WavelengthAssignment] = []
+        self._build()
+
+    def _build(self) -> None:
+        topo = self.topology
+        for chiplet_group in range(topo.n_chiplet_groups):
+            for pe_group in range(topo.n_pe_groups):
+                waveguide = (chiplet_group, pe_group)
+                # X wavelengths 0 .. g_k-1 feed PE positions of this
+                # PE group on all chiplets of the chiplet group.
+                for position in range(topo.k_granularity):
+                    self.assignments.append(
+                        WavelengthAssignment(
+                            waveguide=waveguide,
+                            wavelength=position,
+                            group="X",
+                            target=position,
+                        )
+                    )
+                # Y wavelengths g_k .. g_k+g_ef-1 feed the chiplets of
+                # the group, one local waveguide each.
+                for chiplet in range(topo.ef_granularity):
+                    self.assignments.append(
+                        WavelengthAssignment(
+                            waveguide=waveguide,
+                            wavelength=topo.k_granularity + chiplet,
+                            group="Y",
+                            target=chiplet,
+                        )
+                    )
+
+    # ------------------------------------------------------------------
+    # Queries used by tests and the interface builder
+    # ------------------------------------------------------------------
+    def on_waveguide(self, waveguide: tuple[int, int]) -> list[WavelengthAssignment]:
+        """Assignments multiplexed on one global waveguide."""
+        return [a for a in self.assignments if a.waveguide == waveguide]
+
+    def x_wavelength_for_pe(self, pe_in_group: int) -> int:
+        """Carrier index feeding a PE position (cross-chiplet data)."""
+        if not 0 <= pe_in_group < self.topology.k_granularity:
+            raise ValueError(
+                f"PE position {pe_in_group} outside group of "
+                f"{self.topology.k_granularity}"
+            )
+        return pe_in_group
+
+    def y_wavelength_for_chiplet(self, chiplet_in_group: int) -> int:
+        """Carrier index feeding a chiplet's local waveguide."""
+        if not 0 <= chiplet_in_group < self.topology.ef_granularity:
+            raise ValueError(
+                f"chiplet position {chiplet_in_group} outside group of "
+                f"{self.topology.ef_granularity}"
+            )
+        return self.topology.k_granularity + chiplet_in_group
+
+    def distinct_wavelengths(self) -> set[int]:
+        """All carrier indices in use (must equal Table I's count)."""
+        return {a.wavelength for a in self.assignments}
+
+    def validate_orthogonality(self) -> None:
+        """Check the invariants the architecture relies on.
+
+        * No wavelength appears twice on the same waveguide.
+        * X and Y index ranges are disjoint.
+        * Every PE position / chiplet position has exactly one carrier
+          per waveguide.
+        """
+        for chiplet_group in range(self.topology.n_chiplet_groups):
+            for pe_group in range(self.topology.n_pe_groups):
+                waveguide = (chiplet_group, pe_group)
+                local = self.on_waveguide(waveguide)
+                indices = [a.wavelength for a in local]
+                if len(set(indices)) != len(indices):
+                    raise AssertionError(
+                        f"wavelength collision on waveguide {waveguide}"
+                    )
+                x_targets = sorted(a.target for a in local if a.group == "X")
+                y_targets = sorted(a.target for a in local if a.group == "Y")
+                if x_targets != list(range(self.topology.k_granularity)):
+                    raise AssertionError(
+                        f"X coverage broken on waveguide {waveguide}"
+                    )
+                if y_targets != list(range(self.topology.ef_granularity)):
+                    raise AssertionError(
+                        f"Y coverage broken on waveguide {waveguide}"
+                    )
+        x_range = {a.wavelength for a in self.assignments if a.group == "X"}
+        y_range = {a.wavelength for a in self.assignments if a.group == "Y"}
+        if x_range & y_range:
+            raise AssertionError("X and Y wavelength ranges overlap")

@@ -1,0 +1,96 @@
+"""Terminal visualisation helpers.
+
+Pure-text renderings of the reproduction's data shapes: horizontal
+bar charts for the normalised comparison figures and heatmaps for the
+granularity power surfaces.  No plotting dependency needed -- the
+output drops straight into terminals, logs and markdown code blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["bar_chart", "heatmap", "surface_heatmap"]
+
+_HEAT_RAMP = " .:-=+*#%@"
+
+
+def bar_chart(
+    items: Iterable[tuple[str, float]],
+    width: int = 40,
+    reference: float | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of (label, value) pairs.
+
+    ``reference`` pins the full-width value (default: the maximum),
+    so normalised charts can anchor 1.0 at a fixed width.
+    """
+    rows = list(items)
+    if not rows:
+        return "(empty)"
+    scale_to = reference if reference is not None else max(v for _, v in rows)
+    if scale_to <= 0:
+        raise ValueError("reference/maximum must be > 0")
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        filled = int(round(min(value / scale_to, 1.5) * width))
+        bar = "#" * filled
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+            f"{value:.3f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def heatmap(
+    grid: Sequence[Sequence[float]],
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    ramp: str = _HEAT_RAMP,
+) -> str:
+    """Character heatmap of a small 2-D grid (log-friendly values)."""
+    if len(grid) != len(row_labels):
+        raise ValueError("row label count must match grid height")
+    if any(len(row) != len(col_labels) for row in grid):
+        raise ValueError("column label count must match grid width")
+    flat = [value for row in grid for value in row]
+    low, high = min(flat), max(flat)
+    span = high - low or 1.0
+
+    def shade(value: float) -> str:
+        index = int((value - low) / span * (len(ramp) - 1))
+        return ramp[index]
+
+    label_width = max(len(label) for label in row_labels)
+    cell = max(len(label) for label in col_labels) + 1
+    header = " " * (label_width + 1) + "".join(
+        label.rjust(cell) for label in col_labels
+    )
+    lines = [header]
+    for label, row in zip(row_labels, grid):
+        cells = "".join(shade(value).rjust(cell) for value in row)
+        lines.append(f"{label.ljust(label_width)} {cells}")
+    lines.append(f"scale: '{ramp[0]}' = {low:.2f} .. '{ramp[-1]}' = {high:.2f}")
+    return "\n".join(lines)
+
+
+def surface_heatmap(points, metric: str = "overall_w") -> str:
+    """Heatmap of a Fig. 19/20 power surface.
+
+    ``points`` is the list of
+    :class:`~repro.experiments.power_surface.PowerSurfacePoint`;
+    rows are k granularities, columns e/f granularities.
+    """
+    ks = sorted({p.k_granularity for p in points})
+    efs = sorted({p.ef_granularity for p in points})
+    lookup = {
+        (p.k_granularity, p.ef_granularity): getattr(p, metric) for p in points
+    }
+    grid = [[lookup[(k, ef)] for ef in efs] for k in ks]
+    return heatmap(
+        grid,
+        row_labels=[f"k={k}" for k in ks],
+        col_labels=[f"ef={ef}" for ef in efs],
+    )

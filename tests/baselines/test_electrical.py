@@ -1,0 +1,116 @@
+"""Tests for the electrical-interconnect cost models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.electrical import (
+    CHIPLET_LINK,
+    PACKAGE_LINK,
+    ElectricalLinkParameters,
+    ElectricalMeshEnergy,
+    mesh_average_hops,
+)
+from repro.core.dataflow import DataflowKind
+from repro.core.layer import ConvLayer
+from repro.core.mapping import MappingParameters, map_layer
+from repro.core.traffic import NetworkCapabilities, derive_traffic
+
+
+class TestLinkParameters:
+    def test_package_wire_is_grs_reference(self):
+        # 1.17 pJ/b ground-referenced signalling [55].
+        assert PACKAGE_LINK.wire_pj_per_bit == pytest.approx(1.17)
+
+    def test_energy_scales_with_hops(self):
+        one_hop = PACKAGE_LINK.energy_pj_per_bit(1.0)
+        four_hops = PACKAGE_LINK.energy_pj_per_bit(4.0)
+        assert four_hops == pytest.approx(4 * one_hop)
+
+    def test_minimum_one_hop(self):
+        assert PACKAGE_LINK.energy_pj_per_bit(0.0) == PACKAGE_LINK.energy_pj_per_bit(
+            1.0
+        )
+
+    def test_rejects_negative_hops(self):
+        with pytest.raises(ValueError):
+            PACKAGE_LINK.energy_pj_per_bit(-1.0)
+
+    def test_chiplet_link_is_cheaper(self):
+        assert CHIPLET_LINK.energy_pj_per_bit(1) < PACKAGE_LINK.energy_pj_per_bit(1)
+        assert CHIPLET_LINK.hop_latency_s < PACKAGE_LINK.hop_latency_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ElectricalLinkParameters(
+                wire_pj_per_bit=-1.0, router_pj_per_bit_per_hop=0.1, hop_latency_s=1e-9
+            )
+
+
+class TestMeshHops:
+    def test_single_node(self):
+        assert mesh_average_hops(1) == 1.0
+
+    def test_grows_with_mesh_size(self):
+        assert mesh_average_hops(64) > mesh_average_hops(16) > mesh_average_hops(4)
+
+    def test_rejects_empty_mesh(self):
+        with pytest.raises(ValueError):
+            mesh_average_hops(0)
+
+    @given(st.integers(min_value=4, max_value=4096))
+    def test_sublinear_in_node_count(self, nodes):
+        # Mesh diameter scales with sqrt(nodes).
+        assert mesh_average_hops(nodes) <= 2 * (nodes ** 0.5)
+
+
+class TestMeshEnergy:
+    def _traffic(self):
+        layer = ConvLayer(name="t", c=64, k=64, r=3, s=3, h=16, w=16)
+        params = MappingParameters(
+            chiplets=32,
+            pes_per_chiplet=32,
+            mac_vector_width=32,
+            pe_buffer_bytes=43 * 1024,
+        )
+        mapping = map_layer(layer, params, DataflowKind.WEIGHT_STATIONARY)
+        traffic = derive_traffic(
+            mapping,
+            NetworkCapabilities(weight_broadcast=False, ifmap_broadcast=False),
+            layer_by_layer=False,
+            gb_bytes=2 * 1024 * 1024,
+        )
+        return mapping, traffic
+
+    def test_all_energy_is_electrical(self):
+        mapping, traffic = self._traffic()
+        energy = ElectricalMeshEnergy(32, 32).network_energy(mapping, traffic, 1e-3)
+        assert energy.electrical_mj > 0
+        assert energy.laser_mj == 0
+        assert energy.eo_mj == 0
+
+    def test_energy_scales_with_traffic(self):
+        mapping, traffic = self._traffic()
+        mesh = ElectricalMeshEnergy(32, 32)
+        single = mesh.network_energy(mapping, traffic, 1e-3).electrical_mj
+        import dataclasses
+
+        doubled_traffic = dataclasses.replace(
+            traffic,
+            gb_weight_send_bytes=2 * traffic.gb_weight_send_bytes,
+            gb_ifmap_send_bytes=2 * traffic.gb_ifmap_send_bytes,
+            pe_weight_receive_bytes=2 * traffic.pe_weight_receive_bytes,
+            pe_ifmap_receive_bytes=2 * traffic.pe_ifmap_receive_bytes,
+        )
+        doubled = mesh.network_energy(mapping, doubled_traffic, 1e-3).electrical_mj
+        assert doubled > 1.5 * single
+
+    def test_bigger_mesh_costs_more_per_bit(self):
+        mapping, traffic = self._traffic()
+        small = ElectricalMeshEnergy(16, 32).network_energy(mapping, traffic, 1e-3)
+        large = ElectricalMeshEnergy(64, 32).network_energy(mapping, traffic, 1e-3)
+        assert large.electrical_mj > small.electrical_mj
+
+    def test_rejects_degenerate_mesh(self):
+        with pytest.raises(ValueError):
+            ElectricalMeshEnergy(0, 32)

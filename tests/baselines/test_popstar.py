@@ -1,0 +1,85 @@
+"""Tests for the POPSTAR baseline construction."""
+
+import pytest
+
+from repro.baselines.popstar import (
+    POPSTAR_WAVELENGTHS,
+    PopstarNetworkEnergy,
+    popstar_mrr_count,
+    popstar_simulator,
+    popstar_spec,
+)
+from repro.core.dataflow import DataflowKind
+from repro.core.layer import ConvLayer
+from repro.photonics.components import AGGRESSIVE_PARAMETERS, MODERATE_PARAMETERS
+
+
+class TestTableIIRow:
+    def test_chiplet_bandwidths(self):
+        spec = popstar_spec()
+        assert spec.chiplet_read_gbps == pytest.approx(310.0)
+        assert spec.chiplet_write_gbps == pytest.approx(100.0)
+
+    def test_ten_wavelengths_at_ten_gbps(self):
+        assert POPSTAR_WAVELENGTHS == 10
+        # Chiplet write path: 10 wavelengths x 10 Gbps = 100 Gbps.
+        assert popstar_spec().chiplet_write_gbps == pytest.approx(
+            POPSTAR_WAVELENGTHS * 10.0
+        )
+
+    def test_simba_chiplets_inside(self):
+        """POPSTAR grafts Simba accelerator chiplets (20 Gbps PEs,
+        43 kB buffers, WS dataflow)."""
+        spec = popstar_spec()
+        assert spec.pe_read_gbps == pytest.approx(20.0)
+        assert spec.pe_buffer_bytes == 43 * 1024
+        assert spec.dataflow is DataflowKind.WEIGHT_STATIONARY
+
+    def test_broadcast_disabled(self):
+        caps = popstar_spec().capabilities
+        assert not caps.weight_broadcast
+        assert not caps.ifmap_broadcast
+
+    def test_single_hop_package_latency(self):
+        spec = popstar_spec()
+        assert spec.package_latency.avg_hops == 1.0
+        assert spec.chiplet_latency.avg_hops > 1.0  # mesh inside
+
+
+class TestRingInventory:
+    def test_quadratic_growth(self):
+        """The crossbar ring matrix grows quadratically with nodes --
+        the scaling-energy effect of Fig. 22."""
+        small = popstar_mrr_count(16)
+        large = popstar_mrr_count(64)
+        assert large > 3.0 * small
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            popstar_mrr_count(0)
+
+
+class TestEnergyModel:
+    def _run(self, params=MODERATE_PARAMETERS):
+        layer = ConvLayer(name="t", c=64, k=64, r=3, s=3, h=16, w=16)
+        simulator = popstar_simulator(params=params)
+        return simulator.simulate_layer(layer)
+
+    def test_hybrid_energy_split(self):
+        network = self._run().energy.network
+        assert network.eo_mj > 0  # photonic package
+        assert network.oe_mj > 0
+        assert network.laser_mj > 0
+        assert network.heating_mj > 0
+        assert network.electrical_mj > 0  # on-chiplet mesh
+
+    def test_aggressive_parameters_cut_static_energy(self):
+        moderate = self._run(MODERATE_PARAMETERS).energy.network
+        aggressive = self._run(AGGRESSIVE_PARAMETERS).energy.network
+        assert aggressive.heating_mj < moderate.heating_mj
+        assert aggressive.laser_mj < moderate.laser_mj
+
+    def test_laser_power_positive_and_scale_dependent(self):
+        small = PopstarNetworkEnergy(16, 32).laser_power_w()
+        large = PopstarNetworkEnergy(64, 32).laser_power_w()
+        assert 0 < small < large

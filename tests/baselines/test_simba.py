@@ -1,0 +1,55 @@
+"""Tests for the Simba baseline construction."""
+
+import pytest
+
+from repro.baselines.simba import CORE_FREQUENCY_GHZ, simba_simulator, simba_spec
+from repro.core.dataflow import DataflowKind
+from repro.core.layer import ConvLayer
+
+
+class TestTableIIRow:
+    def test_chiplet_bandwidths(self):
+        spec = simba_spec()
+        assert spec.chiplet_read_gbps == pytest.approx(320.0)
+        assert spec.chiplet_write_gbps == pytest.approx(320.0)
+
+    def test_pe_bandwidths(self):
+        spec = simba_spec()
+        assert spec.pe_read_gbps == pytest.approx(20.0)
+        assert spec.pe_write_gbps == pytest.approx(20.0)
+
+    def test_buffering(self):
+        spec = simba_spec()
+        assert spec.pe_buffer_bytes == 43 * 1024  # [13]
+        assert spec.gb_bytes == 2 * 1024 * 1024
+
+    def test_weight_stationary_dataflow(self):
+        assert simba_spec().dataflow is DataflowKind.WEIGHT_STATIONARY
+
+    def test_no_broadcast_support(self):
+        caps = simba_spec().capabilities
+        assert not caps.weight_broadcast
+        assert not caps.ifmap_broadcast
+
+    def test_mesh_latency_multi_hop(self):
+        spec = simba_spec()
+        assert spec.package_latency.avg_hops > 1.0
+        assert spec.chiplet_latency.avg_hops > 1.0
+
+    def test_shared_core_frequency(self):
+        assert simba_spec().frequency_ghz == CORE_FREQUENCY_GHZ
+
+
+class TestSimulation:
+    def test_runs_a_layer(self):
+        layer = ConvLayer(name="t", c=64, k=64, r=3, s=3, h=16, w=16)
+        result = simba_simulator().simulate_layer(layer)
+        assert result.accelerator == "Simba"
+        assert result.execution_time_s > 0
+        assert result.energy.total_mj > 0
+
+    def test_scaling_grows_mesh(self):
+        small = simba_spec(16, 32)
+        large = simba_spec(64, 32)
+        assert large.package_latency.avg_hops > small.package_latency.avg_hops
+        assert large.gb_egress_gbps == small.gb_egress_gbps  # fixed GB ports

@@ -1,0 +1,72 @@
+"""Tests for accelerator specifications and link latency."""
+
+import dataclasses
+
+import pytest
+
+from repro.baselines.simba import simba_spec
+from repro.core.accelerator import KB, MB, LinkLatency
+from repro.core.dataflow import DataflowKind
+from repro.spacx.architecture import spacx_spec
+
+
+class TestLinkLatency:
+    def test_packet_latency_combines_hops_and_serialization(self):
+        link = LinkLatency(hop_latency_s=2e-9, avg_hops=3.0, serialization_bytes=32)
+        # 6 ns propagation + 32 B * 8 / 20 Gbps = 12.8 ns
+        assert link.packet_latency_s(20.0) == pytest.approx(6e-9 + 12.8e-9)
+
+    def test_photonic_single_hop(self):
+        link = LinkLatency(hop_latency_s=0.5e-9, avg_hops=1.0)
+        assert link.packet_latency_s(340.0) < 2e-9
+
+
+class TestAcceleratorSpec:
+    def test_constants(self):
+        assert KB == 1024
+        assert MB == 1024 * 1024
+
+    def test_derived_quantities(self):
+        spec = spacx_spec()
+        assert spec.total_pes == 1024
+        assert spec.peak_macs_per_cycle == 1024 * 32
+        assert spec.cycle_time_s == pytest.approx(1e-9 / spec.frequency_ghz)
+
+    def test_equal_compute_capability(self):
+        """Section VII-C: all machines have the same peak MACs."""
+        assert spacx_spec().peak_macs_per_cycle == simba_spec().peak_macs_per_cycle
+
+    def test_mapping_parameters_slice(self):
+        spec = spacx_spec()
+        params = spec.mapping_parameters()
+        assert params.chiplets == spec.chiplets
+        assert params.ef_granularity == spec.ef_granularity
+        assert params.k_granularity == spec.k_granularity
+
+    def test_with_dataflow(self):
+        spec = spacx_spec().with_dataflow(DataflowKind.WEIGHT_STATIONARY)
+        assert spec.dataflow is DataflowKind.WEIGHT_STATIONARY
+        assert spec.chiplets == 32
+
+    def test_scaled_aggregates(self):
+        spec = spacx_spec()
+        scaled = spec.scaled(64, 32)
+        assert scaled.chiplets == 64
+        assert scaled.gb_egress_gbps == pytest.approx(2 * spec.gb_egress_gbps)
+        assert scaled.chiplet_read_gbps == spec.chiplet_read_gbps
+
+    def test_scaled_clamps_granularity(self):
+        spec = spacx_spec()
+        scaled = spec.scaled(8, 8)
+        assert scaled.ef_granularity <= 8
+        assert scaled.k_granularity <= 8
+
+    def test_validation_rejects_zero_bandwidth(self):
+        spec = spacx_spec()
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, gb_egress_gbps=0.0)
+
+    def test_validation_rejects_zero_frequency(self):
+        spec = spacx_spec()
+        with pytest.raises(ValueError):
+            dataclasses.replace(spec, frequency_ghz=0.0)

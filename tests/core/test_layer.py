@@ -1,0 +1,144 @@
+"""Tests for the layer shape algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.layer import ConvLayer, LayerSet, fully_connected
+
+
+def small_layers():
+    """Hypothesis strategy for valid small convolution layers."""
+    return st.builds(
+        ConvLayer,
+        name=st.just("gen"),
+        c=st.integers(1, 16),
+        k=st.integers(1, 16),
+        r=st.integers(1, 3),
+        s=st.integers(1, 3),
+        h=st.integers(3, 12),
+        w=st.integers(3, 12),
+        stride=st.integers(1, 2),
+    )
+
+
+class TestDerivedDimensions:
+    def test_valid_padding_output(self):
+        layer = ConvLayer(name="t", c=3, k=8, r=3, s=3, h=10, w=10)
+        assert layer.e == 8
+        assert layer.f == 8
+
+    def test_strided_output(self):
+        layer = ConvLayer(name="t", c=3, k=8, r=3, s=3, h=11, w=11, stride=2)
+        assert layer.e == 5
+        assert layer.f == 5
+
+    def test_paper_example_layer(self):
+        # Fig. 8(a): [r s e f c k] = [2 2 4 4 3 8] with h = w = 5.
+        layer = ConvLayer(name="fig8", c=3, k=8, r=2, s=2, h=5, w=5)
+        assert (layer.e, layer.f) == (4, 4)
+
+    def test_section_v_examples(self):
+        # [2 2 2 2 3 16]: e*f = 4 < M while k = 16 > N.
+        small_plane = ConvLayer(name="v1", c=3, k=16, r=2, s=2, h=3, w=3)
+        assert small_plane.e * small_plane.f == 4
+        # [2 2 4 4 3 4]: e*f = 16 > M while k = 4 < N.
+        small_k = ConvLayer(name="v2", c=3, k=4, r=2, s=2, h=5, w=5)
+        assert small_k.e * small_k.f == 16
+
+
+class TestValidation:
+    def test_rejects_zero_dimension(self):
+        with pytest.raises(ValueError):
+            ConvLayer(name="bad", c=0, k=1, r=1, s=1, h=1, w=1)
+
+    def test_rejects_kernel_larger_than_input(self):
+        with pytest.raises(ValueError):
+            ConvLayer(name="bad", c=1, k=1, r=5, s=1, h=3, w=3)
+
+    def test_rejects_groups_not_dividing(self):
+        with pytest.raises(ValueError):
+            ConvLayer(name="bad", c=6, k=6, r=1, s=1, h=4, w=4, groups=4)
+
+
+class TestWorkAndVolumes:
+    def test_mac_count(self):
+        layer = ConvLayer(name="t", c=3, k=8, r=2, s=2, h=5, w=5)
+        assert layer.macs == 4 * 4 * 8 * 2 * 2 * 3
+
+    def test_depthwise_macs_divide_by_groups(self):
+        dense = ConvLayer(name="d", c=8, k=8, r=3, s=3, h=6, w=6)
+        depthwise = ConvLayer(name="dw", c=8, k=8, r=3, s=3, h=6, w=6, groups=8)
+        assert depthwise.macs == dense.macs // 8
+        assert depthwise.is_depthwise
+
+    def test_byte_volumes_at_8bit(self):
+        layer = ConvLayer(name="t", c=4, k=8, r=3, s=3, h=6, w=6)
+        assert layer.weight_bytes == 8 * 3 * 3 * 4
+        assert layer.ifmap_bytes == 6 * 6 * 4
+        assert layer.ofmap_bytes == 4 * 4 * 8
+
+    def test_psum_is_24bit(self):
+        layer = ConvLayer(name="t", c=4, k=8, r=3, s=3, h=6, w=6)
+        assert layer.psum_bytes_per_element == 3
+
+    def test_reuse_factors(self):
+        layer = ConvLayer(name="t", c=4, k=8, r=3, s=3, h=6, w=6)
+        assert layer.weight_reuse == layer.e * layer.f
+        assert layer.ifmap_reuse == 3 * 3 * 8
+
+    @given(small_layers())
+    def test_macs_equal_ofmap_times_reduction(self, layer):
+        reduction = layer.r * layer.s * (layer.c // layer.groups)
+        assert layer.macs == layer.ofmap_count * reduction
+
+    @given(small_layers())
+    def test_volumes_positive(self, layer):
+        assert layer.weight_bytes >= 1
+        assert layer.ifmap_bytes >= 1
+        assert layer.ofmap_bytes >= 1
+
+
+class TestFullyConnected:
+    def test_shape(self):
+        fc = fully_connected("fc", 2048, 1000)
+        assert fc.is_fully_connected
+        assert fc.e == fc.f == 1
+        assert fc.macs == 2048 * 1000
+        assert fc.weight_bytes == 2048 * 1000
+        assert fc.ifmap_bytes == 2048
+        assert fc.ofmap_bytes == 1000
+
+
+class TestLayerSet:
+    def _layers(self):
+        a = ConvLayer(name="a", c=3, k=8, r=3, s=3, h=10, w=10)
+        b = ConvLayer(name="b", c=3, k=8, r=3, s=3, h=10, w=10)  # same shape
+        c = ConvLayer(name="c", c=8, k=8, r=3, s=3, h=8, w=8)
+        return [a, b, c]
+
+    def test_unique_dedup(self):
+        layers = LayerSet("net", self._layers())
+        assert len(layers) == 3
+        assert len(layers.unique_layers) == 2
+        assert [l.name for l in layers.unique_layers] == ["a", "c"]
+
+    def test_multiplicity(self):
+        layers = LayerSet("net", self._layers())
+        assert layers.multiplicity(layers.unique_layers[0]) == 2
+        assert layers.multiplicity(layers.unique_layers[1]) == 1
+
+    def test_total_macs_counts_duplicates(self):
+        raw = self._layers()
+        layers = LayerSet("net", raw)
+        assert layers.total_macs == sum(l.macs for l in raw)
+
+    def test_iteration_preserves_order(self):
+        layers = LayerSet("net", self._layers())
+        assert [l.name for l in layers] == ["a", "b", "c"]
+
+    def test_renamed_copy_shares_shape(self):
+        layer = ConvLayer(name="x", c=3, k=8, r=3, s=3, h=10, w=10)
+        clone = layer.renamed("y")
+        assert clone.name == "y"
+        assert clone.shape_key == layer.shape_key

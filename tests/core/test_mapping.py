@@ -1,0 +1,224 @@
+"""Tests for the mapping engine: utilization, waves, sharing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataflow import DataflowKind
+from repro.core.layer import ConvLayer, fully_connected
+from repro.core.mapping import Mapping, MappingParameters, map_layer
+
+SPACX_PARAMS = MappingParameters(
+    chiplets=32,
+    pes_per_chiplet=32,
+    mac_vector_width=32,
+    pe_buffer_bytes=4 * 1024,
+    ef_granularity=8,
+    k_granularity=16,
+)
+
+SIMBA_PARAMS = MappingParameters(
+    chiplets=32,
+    pes_per_chiplet=32,
+    mac_vector_width=32,
+    pe_buffer_bytes=43 * 1024,
+)
+
+
+def _conv(c=256, k=256, r=3, s=3, size=16, stride=1, groups=1):
+    return ConvLayer(
+        name="t", c=c, k=k, r=r, s=s, h=size, w=size, stride=stride, groups=groups
+    )
+
+
+class TestMappingParameters:
+    def test_group_defaults_to_whole_machine(self):
+        assert SIMBA_PARAMS.ef_group == 32
+        assert SIMBA_PARAMS.k_group == 32
+        assert SIMBA_PARAMS.n_chiplet_groups == 1
+
+    def test_spacx_groups(self):
+        assert SPACX_PARAMS.ef_group == 8
+        assert SPACX_PARAMS.k_group == 16
+        assert SPACX_PARAMS.n_chiplet_groups == 4
+        assert SPACX_PARAMS.n_pe_groups == 2
+
+    def test_rejects_nondividing_granularity(self):
+        with pytest.raises(ValueError):
+            MappingParameters(
+                chiplets=32,
+                pes_per_chiplet=32,
+                mac_vector_width=32,
+                pe_buffer_bytes=4096,
+                ef_granularity=7,
+            )
+
+    def test_rejects_degenerate_hardware(self):
+        with pytest.raises(ValueError):
+            MappingParameters(
+                chiplets=0, pes_per_chiplet=1, mac_vector_width=1, pe_buffer_bytes=1
+            )
+
+
+class TestSpacxMapping:
+    def test_parallelism_structure(self):
+        # ef_parallel = g_ef * n_pe_groups = 16; k_parallel = g_k * 4 = 64.
+        layer = _conv(c=64, k=64, size=34)  # e = f = 32, ef = 1024
+        mapping = map_layer(layer, SPACX_PARAMS, DataflowKind.SPACX_OS)
+        assert mapping.ef_waves == -(-1024 // 16)
+        assert mapping.k_waves == 1
+        assert mapping.weight_sharers == 8
+        assert mapping.ifmap_sharers == 16
+
+    def test_output_stationary_no_psum_reduction(self):
+        mapping = map_layer(_conv(), SPACX_PARAMS, DataflowKind.SPACX_OS)
+        assert mapping.psum_spatial_fanin == 1
+
+    def test_weights_stream_once(self):
+        """The k-outer/c-chunked schedule never re-fetches weights."""
+        mapping = map_layer(_conv(c=512), SPACX_PARAMS, DataflowKind.SPACX_OS)
+        assert mapping.weight_refetch == 1
+
+    def test_c_chunking_for_large_slices(self):
+        # r*s*c = 9*512 = 4608 B > half of the 4 kB buffer.
+        mapping = map_layer(_conv(c=512), SPACX_PARAMS, DataflowKind.SPACX_OS)
+        assert mapping.c_chunks > 1
+
+    def test_small_slice_single_chunk(self):
+        mapping = map_layer(_conv(c=64, r=1, s=1), SPACX_PARAMS, DataflowKind.SPACX_OS)
+        assert mapping.c_chunks == 1
+
+    def test_depthwise_ifmap_refetch_collapses(self):
+        """Grouped convolutions re-broadcast ifmaps k_waves/groups times."""
+        depthwise = _conv(c=2048, k=2048, size=8, groups=2048)
+        mapping = map_layer(depthwise, SPACX_PARAMS, DataflowKind.SPACX_OS)
+        assert mapping.ifmap_refetch == 1
+
+    def test_fc_uses_idle_chiplets_for_k(self):
+        """Fig. 9 line 4: e*f = 1 lets k1 replicas fill every chiplet."""
+        fc = fully_connected("fc", 4096, 4096)
+        mapping = map_layer(fc, SPACX_PARAMS, DataflowKind.SPACX_OS)
+        assert mapping.chiplets_active == 32
+        # With no position sharing, weight broadcast degenerates.
+        assert mapping.weight_sharers == 1
+
+    def test_fc_computation_penalty(self):
+        """Small e/f leaves part of the machine idle even after the k1
+        replication -- the paper's observed FC computation-time
+        penalty relative to dense conv layers."""
+        fc = fully_connected("fc", 2048, 1000)
+        fc_mapping = map_layer(fc, SPACX_PARAMS, DataflowKind.SPACX_OS)
+        conv_mapping = map_layer(_conv(size=34), SPACX_PARAMS, DataflowKind.SPACX_OS)
+        assert fc_mapping.pes_active < SPACX_PARAMS.total_pes
+        assert fc_mapping.utilization(SPACX_PARAMS) < conv_mapping.utilization(
+            SPACX_PARAMS
+        )
+
+    def test_chiplet_fanouts(self):
+        mapping = map_layer(_conv(size=34), SPACX_PARAMS, DataflowKind.SPACX_OS)
+        assert mapping.weight_chiplet_fanout == mapping.weight_sharers
+        assert mapping.ifmap_chiplet_fanout == 1
+
+
+class TestWeightStationaryMapping:
+    def test_k_across_chiplets(self):
+        layer = _conv(k=64)
+        mapping = map_layer(layer, SIMBA_PARAMS, DataflowKind.WEIGHT_STATIONARY)
+        assert mapping.chiplets_active == 32
+
+    def test_small_k_idles_chiplets(self):
+        layer = _conv(k=8)
+        mapping = map_layer(layer, SIMBA_PARAMS, DataflowKind.WEIGHT_STATIONARY)
+        assert mapping.chiplets_active == 8
+
+    def test_ifmap_wanted_by_every_chiplet(self):
+        layer = _conv(k=64)
+        mapping = map_layer(layer, SIMBA_PARAMS, DataflowKind.WEIGHT_STATIONARY)
+        assert mapping.ifmap_sharers == mapping.chiplets_active
+        assert mapping.ifmap_chiplet_fanout == mapping.chiplets_active
+
+    def test_spatial_psum_reduction(self):
+        layer = _conv(c=512)
+        mapping = map_layer(layer, SIMBA_PARAMS, DataflowKind.WEIGHT_STATIONARY)
+        assert mapping.psum_spatial_fanin > 1
+
+    def test_weights_unicast(self):
+        mapping = map_layer(_conv(), SIMBA_PARAMS, DataflowKind.WEIGHT_STATIONARY)
+        assert mapping.weight_sharers == 1
+
+    def test_big_buffer_keeps_weights_resident(self):
+        mapping = map_layer(
+            _conv(c=64, k=64), SIMBA_PARAMS, DataflowKind.WEIGHT_STATIONARY
+        )
+        assert mapping.weight_refetch == 1
+
+    def test_tiny_buffer_forces_refetch(self):
+        """WS on SPACX's 4 kB buffers thrashes -- the Fig. 17 effect."""
+        fc = fully_connected("fc6", 25088, 4096)
+        mapping = map_layer(fc, SPACX_PARAMS, DataflowKind.WEIGHT_STATIONARY)
+        assert mapping.weight_refetch > 1
+
+
+class TestOutputStationaryEfMapping:
+    def test_positions_across_everything(self):
+        layer = _conv(size=66)  # e = f = 64, ef = 4096 > 1024 PEs
+        mapping = map_layer(layer, SPACX_PARAMS, DataflowKind.OUTPUT_STATIONARY_EF)
+        assert mapping.ef_waves == 4
+        assert mapping.pes_active == 1024
+
+    def test_weight_broadcast_machine_wide(self):
+        layer = _conv(size=66)
+        mapping = map_layer(layer, SPACX_PARAMS, DataflowKind.OUTPUT_STATIONARY_EF)
+        assert mapping.weight_sharers == 1024
+        assert mapping.ifmap_sharers == 1
+
+    def test_small_plane_spreads_k(self):
+        layer = _conv(size=9, k=512)  # ef = 49
+        mapping = map_layer(layer, SPACX_PARAMS, DataflowKind.OUTPUT_STATIONARY_EF)
+        assert mapping.k_waves < 512  # idle PEs took extra channels
+
+    def test_pe_forwarding_flag(self):
+        mapping = map_layer(_conv(), SPACX_PARAMS, DataflowKind.OUTPUT_STATIONARY_EF)
+        assert mapping.pe_forwarding
+
+
+class TestWorkConservation:
+    """Every dataflow must schedule at least the layer's MACs."""
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        c=st.sampled_from([3, 16, 64, 256, 512]),
+        k=st.sampled_from([4, 32, 64, 512, 1000]),
+        r=st.sampled_from([1, 3, 5]),
+        size=st.sampled_from([7, 14, 56]),
+        dataflow=st.sampled_from(list(DataflowKind)),
+    )
+    def test_capacity_never_below_work(self, c, k, r, size, dataflow):
+        if r > size:
+            size = r + 1
+        layer = _conv(c=c, k=k, r=r, s=r, size=size)
+        mapping = map_layer(layer, SPACX_PARAMS, dataflow)
+        capacity = (
+            mapping.compute_cycles
+            * SPACX_PARAMS.total_pes
+            * SPACX_PARAMS.mac_vector_width
+        )
+        assert capacity >= layer.macs
+        assert 0.0 < mapping.utilization(SPACX_PARAMS) <= 1.0
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        c=st.sampled_from([3, 64, 512]),
+        k=st.sampled_from([8, 64, 512]),
+        size=st.sampled_from([7, 28]),
+        dataflow=st.sampled_from(list(DataflowKind)),
+    )
+    def test_active_hardware_within_bounds(self, c, k, size, dataflow):
+        layer = _conv(c=c, k=k, size=size)
+        mapping = map_layer(layer, SPACX_PARAMS, dataflow)
+        assert 1 <= mapping.chiplets_active <= SPACX_PARAMS.chiplets
+        assert 1 <= mapping.pes_active_per_chiplet <= SPACX_PARAMS.pes_per_chiplet
+        assert mapping.weight_sharers >= 1
+        assert mapping.ifmap_sharers >= 1
+        assert mapping.weight_refetch >= 1
+        assert mapping.ifmap_refetch >= 1

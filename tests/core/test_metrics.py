@@ -1,0 +1,92 @@
+"""Direct tests for the result containers."""
+
+import pytest
+
+from repro.core.layer import ConvLayer
+from repro.core.metrics import (
+    EnergyBreakdown,
+    ModelResult,
+    NetworkEnergy,
+)
+from repro.spacx.architecture import spacx_simulator
+
+
+def _layer_result():
+    layer = ConvLayer(name="t", c=16, k=16, r=3, s=3, h=8, w=8)
+    return spacx_simulator().simulate_layer(layer)
+
+
+class TestNetworkEnergy:
+    def test_default_is_zero(self):
+        assert NetworkEnergy().total_mj == 0.0
+
+    def test_total_sums_all_buckets(self):
+        energy = NetworkEnergy(
+            eo_mj=1, oe_mj=2, heating_mj=3, laser_mj=4, electrical_mj=5
+        )
+        assert energy.total_mj == 15
+
+    def test_addition_is_fieldwise(self):
+        a = NetworkEnergy(eo_mj=1, laser_mj=2)
+        b = NetworkEnergy(oe_mj=3, laser_mj=4)
+        total = a + b
+        assert total.eo_mj == 1
+        assert total.oe_mj == 3
+        assert total.laser_mj == 6
+
+
+class TestEnergyBreakdown:
+    def test_other_vs_network_partition(self):
+        breakdown = EnergyBreakdown(
+            mac_mj=1.0,
+            pe_buffer_mj=2.0,
+            gb_mj=3.0,
+            dram_mj=4.0,
+            network=NetworkEnergy(laser_mj=5.0),
+        )
+        assert breakdown.other_mj == 10.0
+        assert breakdown.network_mj == 5.0
+        assert breakdown.total_mj == 15.0
+
+    def test_addition(self):
+        a = EnergyBreakdown(
+            mac_mj=1, pe_buffer_mj=1, gb_mj=1, dram_mj=1, network=NetworkEnergy()
+        )
+        total = a + a
+        assert total.mac_mj == 2
+        assert total.total_mj == 8
+
+
+class TestLayerResult:
+    def test_execution_identity(self):
+        result = _layer_result()
+        assert result.execution_time_s == pytest.approx(
+            result.computation_time_s + result.exposed_communication_s
+        )
+
+    def test_throughput_zero_when_idle(self):
+        import dataclasses
+
+        result = dataclasses.replace(_layer_result(), communication_time_s=0.0)
+        assert result.throughput_gbps == 0.0
+
+
+class TestModelResult:
+    def test_empty_model_result(self):
+        result = ModelResult(accelerator="SPACX", model="empty")
+        assert result.execution_time_s == 0.0
+        assert result.energy.total_mj == 0.0
+        assert result.mean_packet_latency_s == 0.0
+        assert result.throughput_gbps == 0.0
+
+    def test_accumulation(self):
+        layer_result = _layer_result()
+        result = ModelResult(
+            accelerator="SPACX", model="m", layers=[layer_result, layer_result]
+        )
+        assert result.execution_time_s == pytest.approx(
+            2 * layer_result.execution_time_s
+        )
+        assert result.energy.total_mj == pytest.approx(
+            2 * layer_result.energy.total_mj
+        )

@@ -1,0 +1,62 @@
+"""Tests for the roofline analysis helper."""
+
+import pytest
+
+from repro.baselines.simba import simba_spec
+from repro.core.layer import ConvLayer, fully_connected
+from repro.core.roofline import machine_ridge, roofline_point
+from repro.spacx.architecture import spacx_spec
+
+
+def _conv(c=256, k=256, size=16):
+    return ConvLayer(name="conv", c=c, k=k, r=3, s=3, h=size, w=size)
+
+
+class TestRidge:
+    def test_ridge_positive(self):
+        assert machine_ridge(spacx_spec()) > 0
+        assert machine_ridge(simba_spec()) > 0
+
+    def test_same_peak_different_bandwidth(self):
+        """Equal compute capability, different GB egress: the ridge
+        moves with bandwidth."""
+        spacx_ridge = machine_ridge(spacx_spec())
+        simba_ridge = machine_ridge(simba_spec())
+        assert spacx_ridge != simba_ridge
+
+
+class TestPoints:
+    def test_attainable_never_exceeds_peak(self):
+        point = roofline_point(_conv(), spacx_spec())
+        assert point.attainable_macs_per_s <= point.peak_macs_per_s
+        assert 0 < point.roof_fraction <= 1
+
+    def test_broadcast_raises_operational_intensity(self):
+        """The same layer has higher MACs/byte on SPACX than on Simba
+        because broadcast removes the unicast ifmap replication --
+        the roofline view of the paper's headline effect."""
+        layer = _conv()
+        spacx = roofline_point(layer, spacx_spec())
+        simba = roofline_point(layer, simba_spec())
+        assert spacx.operational_intensity > simba.operational_intensity
+
+    def test_conv_compute_bound_on_spacx(self):
+        point = roofline_point(_conv(), spacx_spec())
+        assert point.compute_bound
+
+    def test_fc_bandwidth_bound_everywhere(self):
+        """FC layers have ~1 MAC/byte: below every machine's ridge."""
+        fc = fully_connected("fc", 4096, 4096)
+        for spec in (spacx_spec(), simba_spec()):
+            point = roofline_point(fc, spec)
+            assert not point.compute_bound
+            assert point.operational_intensity < machine_ridge(spec)
+
+    def test_layer_family_crossover(self):
+        """Sweeping channel depth moves layers from the bandwidth
+        wall onto the compute roof on SPACX."""
+        fractions = [
+            roofline_point(_conv(c=c, k=c), spacx_spec()).roof_fraction
+            for c in (8, 64, 512)
+        ]
+        assert fractions == sorted(fractions)

@@ -1,0 +1,146 @@
+"""Tests for the analytical simulator: timing, overlap, energy wiring."""
+
+import pytest
+
+from repro.baselines.simba import simba_simulator
+from repro.core.layer import ConvLayer, LayerSet, fully_connected
+from repro.core.metrics import NetworkEnergy
+from repro.spacx.architecture import spacx_simulator
+
+
+def _conv(c=128, k=128, r=3, s=3, size=30):
+    return ConvLayer(name="t", c=c, k=k, r=r, s=s, h=size, w=size)
+
+
+class TestTiming:
+    def test_execution_time_is_comp_plus_exposed(self):
+        result = spacx_simulator().simulate_layer(_conv())
+        assert result.execution_time_s == pytest.approx(
+            result.computation_time_s + result.exposed_communication_s
+        )
+
+    def test_max_overlap_assumption(self):
+        """Exposed communication is comm beyond compute, never more."""
+        result = spacx_simulator().simulate_layer(_conv())
+        expected = max(
+            0.0, result.communication_time_s - result.computation_time_s
+        )
+        assert result.exposed_communication_s == pytest.approx(expected)
+
+    def test_computation_time_from_cycles(self):
+        sim = spacx_simulator()
+        result = sim.simulate_layer(_conv())
+        assert result.computation_time_s == pytest.approx(
+            result.mapping.compute_cycles * sim.spec.cycle_time_s
+        )
+
+    def test_communication_bottleneck_is_max(self):
+        sim = spacx_simulator()
+        result = sim.simulate_layer(_conv())
+        times = sim.communication_times(result.mapping, result.traffic)
+        components = [
+            times.gb_egress_s,
+            times.gb_ingress_s,
+            times.chiplet_read_s,
+            times.chiplet_write_s,
+            times.pe_read_s,
+            times.pe_write_s,
+            times.dram_s,
+        ]
+        assert times.bottleneck_s == pytest.approx(
+            max(components) + times.reconfiguration_s
+        )
+
+    def test_bottleneck_name_matches(self):
+        sim = spacx_simulator()
+        result = sim.simulate_layer(_conv())
+        times = sim.communication_times(result.mapping, result.traffic)
+        named = getattr(times, f"{times.bottleneck_name}_s")
+        assert named == pytest.approx(times.bottleneck_s - times.reconfiguration_s)
+
+    def test_reconfiguration_includes_tuning_delay(self):
+        """500 ps splitter retuning per wave (photonic machines only)."""
+        sim = spacx_simulator()
+        result = sim.simulate_layer(_conv())
+        times = sim.communication_times(result.mapping, result.traffic)
+        waves = result.mapping.ef_waves * result.mapping.k_waves
+        assert times.reconfiguration_s == pytest.approx(waves * 500e-12)
+
+    def test_simba_has_no_tuning_delay(self):
+        sim = simba_simulator()
+        result = sim.simulate_layer(_conv())
+        times = sim.communication_times(result.mapping, result.traffic)
+        assert times.reconfiguration_s == 0.0
+
+
+class TestEnergyWiring:
+    def test_breakdown_totals(self):
+        result = spacx_simulator().simulate_layer(_conv())
+        energy = result.energy
+        assert energy.total_mj == pytest.approx(
+            energy.other_mj + energy.network_mj
+        )
+        assert energy.other_mj == pytest.approx(
+            energy.mac_mj + energy.pe_buffer_mj + energy.gb_mj + energy.dram_mj
+        )
+
+    def test_network_energy_is_photonic_for_spacx(self):
+        result = spacx_simulator().simulate_layer(_conv())
+        network = result.energy.network
+        assert network.electrical_mj == 0.0
+        assert network.laser_mj > 0.0
+        assert network.heating_mj > 0.0
+
+    def test_network_energy_is_electrical_for_simba(self):
+        result = simba_simulator().simulate_layer(_conv())
+        network = result.energy.network
+        assert network.electrical_mj > 0.0
+        assert network.laser_mj == 0.0
+
+
+class TestModelSimulation:
+    def _tiny_model(self):
+        return LayerSet(
+            "tiny",
+            [
+                _conv(size=16),
+                _conv(size=16),  # duplicate shape
+                fully_connected("fc", 128, 10),
+            ],
+        )
+
+    def test_duplicates_share_results_but_count(self):
+        result = spacx_simulator().simulate_model(self._tiny_model())
+        assert len(result.layers) == 3
+        assert result.layers[0] is result.layers[1]
+
+    def test_total_is_sum_of_layers(self):
+        result = spacx_simulator().simulate_model(self._tiny_model())
+        assert result.execution_time_s == pytest.approx(
+            sum(r.execution_time_s for r in result.layers)
+        )
+        assert result.energy.total_mj == pytest.approx(
+            sum(r.energy.total_mj for r in result.layers)
+        )
+
+    def test_latency_is_byte_weighted(self):
+        result = spacx_simulator().simulate_model(self._tiny_model())
+        weights = sum(r.delivered_bytes for r in result.layers)
+        expected = (
+            sum(r.packet_latency_s * r.delivered_bytes for r in result.layers)
+            / weights
+        )
+        assert result.mean_packet_latency_s == pytest.approx(expected)
+
+    def test_throughput_positive(self):
+        result = spacx_simulator().simulate_model(self._tiny_model())
+        assert result.throughput_gbps > 0.0
+
+
+class TestNetworkEnergyAlgebra:
+    def test_addition(self):
+        a = NetworkEnergy(eo_mj=1, oe_mj=2, heating_mj=3, laser_mj=4, electrical_mj=5)
+        b = NetworkEnergy(eo_mj=1, oe_mj=1, heating_mj=1, laser_mj=1, electrical_mj=1)
+        total = a + b
+        assert total.total_mj == pytest.approx(20.0)
+        assert total.oe_mj == 3

@@ -1,0 +1,150 @@
+"""Tests for the wave-level timeline simulator and its consistency
+with the analytical model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.simba import simba_simulator, simba_spec
+from repro.core.layer import ConvLayer, fully_connected
+from repro.core.timeline import TimelineSimulator
+from repro.spacx.architecture import spacx_simulator, spacx_spec
+
+
+def _conv(c=128, k=128, r=3, s=3, size=30):
+    return ConvLayer(name="t", c=c, k=k, r=r, s=s, h=size, w=size)
+
+
+class TestWaveStructure:
+    def test_one_event_per_wave(self):
+        timeline = TimelineSimulator(spacx_spec())
+        result = timeline.simulate_layer(_conv())
+        assert result.n_waves == (
+            result.mapping.ef_waves * result.mapping.k_waves
+        )
+
+    def test_waves_ordered_and_nonoverlapping_compute(self):
+        timeline = TimelineSimulator(spacx_spec())
+        result = timeline.simulate_layer(_conv())
+        for earlier, later in zip(result.waves, result.waves[1:]):
+            assert later.compute_start_s >= earlier.compute_end_s
+            assert later.transfer_start_s >= earlier.transfer_start_s
+
+    def test_compute_waits_for_its_transfer(self):
+        timeline = TimelineSimulator(spacx_spec())
+        result = timeline.simulate_layer(_conv())
+        for wave in result.waves:
+            assert wave.compute_start_s >= wave.transfer_end_s - 1e-15
+
+    def test_drain_appended(self):
+        timeline = TimelineSimulator(spacx_spec())
+        result = timeline.simulate_layer(_conv())
+        assert result.drain_time_s > 0
+        assert result.execution_time_s > result.waves[-1].compute_end_s
+
+
+class TestAnalyticalConsistency:
+    """The timeline refines, never contradicts, the analytical model."""
+
+    @pytest.mark.parametrize(
+        "layer",
+        [
+            _conv(),
+            _conv(c=512, k=512, size=16),
+            _conv(c=3, k=64, r=7, s=7, size=37),
+            fully_connected("fc", 4096, 1000),
+        ],
+        ids=["mid", "deep", "first", "fc"],
+    )
+    def test_timeline_bounds_analytical(self, layer):
+        spec = spacx_spec()
+        analytical = spacx_simulator().simulate_layer(layer, layer_by_layer=False)
+        timeline = TimelineSimulator(spec).simulate_layer(
+            layer, layer_by_layer=False
+        )
+        # Same mapping, same traffic.
+        assert timeline.mapping.compute_cycles == analytical.mapping.compute_cycles
+        assert timeline.traffic == analytical.traffic
+        # The timeline can only add pipeline-fill + drain latency.
+        assert timeline.execution_time_s >= 0.95 * analytical.execution_time_s
+        first_fill = timeline.waves[0].transfer_duration_s
+        slack = first_fill + timeline.drain_time_s + 1e-9
+        assert timeline.execution_time_s <= (
+            analytical.execution_time_s + slack
+        ) * 1.05
+
+    def test_compute_busy_matches_analytical_computation(self):
+        layer = _conv()
+        spec = spacx_spec()
+        analytical = spacx_simulator().simulate_layer(layer, layer_by_layer=False)
+        timeline = TimelineSimulator(spec).simulate_layer(
+            layer, layer_by_layer=False
+        )
+        assert timeline.compute_busy_s == pytest.approx(
+            analytical.computation_time_s, rel=1e-6
+        )
+
+    def test_simba_timeline_runs_too(self):
+        timeline = TimelineSimulator(simba_spec())
+        result = timeline.simulate_layer(_conv())
+        assert result.execution_time_s > 0
+        assert result.pipeline_efficiency > 0
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        c=st.sampled_from([16, 128, 512]),
+        k=st.sampled_from([16, 128, 512]),
+        size=st.sampled_from([8, 16, 30]),
+    )
+    def test_stall_accounting(self, c, k, size):
+        """Stall time is the exposed communication of the pipeline:
+        total wall-clock equals compute busy + stalls + drain."""
+        timeline = TimelineSimulator(spacx_spec())
+        result = timeline.simulate_layer(_conv(c=c, k=k, size=size))
+        reconstructed = (
+            result.compute_busy_s + result.stall_time_s + result.drain_time_s
+        )
+        assert result.execution_time_s == pytest.approx(reconstructed, rel=1e-9)
+
+    def test_pipeline_efficiency_bounds(self):
+        timeline = TimelineSimulator(spacx_spec())
+        result = timeline.simulate_layer(_conv())
+        assert 0.0 < result.pipeline_efficiency <= 1.0
+
+
+class TestModelLevelPipelining:
+    def test_simulate_model_covers_every_layer(self):
+        from repro.models import vgg16
+
+        timeline = TimelineSimulator(spacx_spec())
+        results = timeline.simulate_model(vgg16().unique_layers)
+        assert len(results) == 12
+
+    def test_prefetch_hides_fill_latency(self):
+        from repro.models import resnet50
+
+        timeline = TimelineSimulator(spacx_spec())
+        layers = resnet50().unique_layers[:8]
+        pipelined = timeline.simulate_model(layers, prefetch=True)
+        serial = timeline.simulate_model(layers, prefetch=False)
+        assert timeline.total_execution_time_s(
+            pipelined, prefetch=True
+        ) <= timeline.total_execution_time_s(serial, prefetch=False)
+
+    def test_single_layer_unaffected_by_prefetch(self):
+        layer = _conv()
+        timeline = TimelineSimulator(spacx_spec())
+        pipelined = timeline.simulate_model([layer], prefetch=True)
+        serial = timeline.simulate_model([layer], prefetch=False)
+        assert timeline.total_execution_time_s(pipelined) == pytest.approx(
+            timeline.total_execution_time_s(serial, prefetch=False)
+        )
+
+    def test_total_never_negative_overlap(self):
+        from repro.models import vgg16
+
+        timeline = TimelineSimulator(spacx_spec())
+        results = timeline.simulate_model(vgg16().unique_layers)
+        total = timeline.total_execution_time_s(results)
+        assert total > 0
+        assert total <= sum(r.execution_time_s for r in results)

@@ -1,0 +1,84 @@
+"""Edge-case robustness: degenerate machine sizes.
+
+A single-chiplet or single-PE machine must still map, route and
+simulate every dataflow without division-by-zero or empty-group
+corner cases -- these configurations exercise every `max(1, ...)`
+guard in the mapping and traffic code.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataflow import DataflowKind
+from repro.core.layer import ConvLayer, fully_connected
+from repro.core.mapping import MappingParameters, map_layer
+from repro.core.traffic import NetworkCapabilities, derive_traffic
+from repro.spacx.architecture import spacx_simulator
+from repro.spacx.topology import SpacxTopology
+
+CAPS = NetworkCapabilities(
+    weight_broadcast=True, ifmap_broadcast=True, ifmap_reuse_multicast=True
+)
+
+
+def _params(chiplets, pes, ef=0, k=0):
+    return MappingParameters(
+        chiplets=chiplets,
+        pes_per_chiplet=pes,
+        mac_vector_width=4,
+        pe_buffer_bytes=4096,
+        ef_granularity=ef,
+        k_granularity=k,
+    )
+
+
+class TestDegenerateMachines:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        chiplets=st.sampled_from([1, 2, 4]),
+        pes=st.sampled_from([1, 2, 8]),
+        dataflow=st.sampled_from(list(DataflowKind)),
+    )
+    def test_every_dataflow_maps_on_tiny_machines(self, chiplets, pes, dataflow):
+        layer = ConvLayer(name="t", c=8, k=8, r=3, s=3, h=8, w=8)
+        params = _params(chiplets, pes)
+        mapping = map_layer(layer, params, dataflow)
+        traffic = derive_traffic(mapping, CAPS, False, 2 * 1024 * 1024)
+        capacity = (
+            mapping.compute_cycles * params.total_pes * params.mac_vector_width
+        )
+        assert capacity >= layer.macs
+        assert traffic.gb_send_bytes > 0
+
+    def test_single_pe_machine_end_to_end(self):
+        simulator = spacx_simulator(
+            chiplets=1, pes_per_chiplet=1, ef_granularity=1, k_granularity=1
+        )
+        layer = ConvLayer(name="t", c=4, k=4, r=3, s=3, h=6, w=6)
+        result = simulator.simulate_layer(layer)
+        assert result.execution_time_s > 0
+        assert result.mapping.pes_active == 1
+
+    def test_single_chiplet_topology_structure(self):
+        topo = SpacxTopology(
+            chiplets=1, pes_per_chiplet=8, ef_granularity=1, k_granularity=8
+        )
+        assert topo.n_global_waveguides == 1
+        assert topo.n_wavelengths == 9  # 8 X + 1 Y
+        assert topo.pes_per_waveguide == 8
+
+    def test_fc_on_tiny_machine(self):
+        simulator = spacx_simulator(
+            chiplets=2, pes_per_chiplet=2, ef_granularity=2, k_granularity=2
+        )
+        result = simulator.simulate_layer(fully_connected("fc", 64, 32))
+        assert result.execution_time_s > 0
+
+    def test_layer_larger_than_machine(self):
+        """A layer with more output channels than total PE slots must
+        simply take more waves."""
+        params = _params(1, 1)
+        layer = ConvLayer(name="wide", c=4, k=256, r=1, s=1, h=4, w=4)
+        mapping = map_layer(layer, params, DataflowKind.SPACX_OS)
+        assert mapping.k_waves >= 256

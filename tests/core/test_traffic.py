@@ -1,0 +1,182 @@
+"""Tests for the traffic derivation: broadcast discounts, unicast
+replication, psum/DRAM accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataflow import DataflowKind
+from repro.core.layer import ConvLayer, fully_connected
+from repro.core.mapping import MappingParameters, map_layer
+from repro.core.traffic import NetworkCapabilities, derive_traffic
+
+GB_BYTES = 2 * 1024 * 1024
+
+SPACX_PARAMS = MappingParameters(
+    chiplets=32,
+    pes_per_chiplet=32,
+    mac_vector_width=32,
+    pe_buffer_bytes=4 * 1024,
+    ef_granularity=8,
+    k_granularity=16,
+)
+SIMBA_PARAMS = MappingParameters(
+    chiplets=32, pes_per_chiplet=32, mac_vector_width=32, pe_buffer_bytes=43 * 1024
+)
+
+BROADCAST = NetworkCapabilities(
+    weight_broadcast=True, ifmap_broadcast=True, ifmap_reuse_multicast=True
+)
+BROADCAST_NO_BA = NetworkCapabilities(weight_broadcast=True, ifmap_broadcast=True)
+UNICAST = NetworkCapabilities(weight_broadcast=False, ifmap_broadcast=False)
+
+
+def _conv(c=128, k=128, r=3, s=3, size=30, stride=1, groups=1):
+    return ConvLayer(
+        name="t", c=c, k=k, r=r, s=s, h=size, w=size, stride=stride, groups=groups
+    )
+
+
+def _spacx_traffic(layer, caps=BROADCAST, layer_by_layer=False):
+    mapping = map_layer(layer, SPACX_PARAMS, DataflowKind.SPACX_OS)
+    return mapping, derive_traffic(mapping, caps, layer_by_layer, GB_BYTES)
+
+
+def _simba_traffic(layer, layer_by_layer=False):
+    mapping = map_layer(layer, SIMBA_PARAMS, DataflowKind.WEIGHT_STATIONARY)
+    return mapping, derive_traffic(mapping, UNICAST, layer_by_layer, GB_BYTES)
+
+
+class TestBroadcastDiscount:
+    def test_weight_sends_do_not_replicate_under_broadcast(self):
+        layer = _conv()
+        mapping, traffic = _spacx_traffic(layer)
+        assert traffic.gb_weight_send_bytes == layer.weight_bytes
+        assert (
+            traffic.pe_weight_receive_bytes
+            == layer.weight_bytes * mapping.weight_sharers
+        )
+
+    def test_unicast_replicates_ifmaps(self):
+        layer = _conv()
+        mapping, traffic = _simba_traffic(layer)
+        assert traffic.gb_ifmap_send_bytes == traffic.pe_ifmap_receive_bytes
+        assert traffic.gb_ifmap_send_bytes >= layer.ifmap_bytes * (
+            mapping.chiplets_active - 1
+        )
+
+    def test_broadcast_vs_unicast_gb_egress(self):
+        """The central SPACX claim: broadcast slashes GB egress."""
+        layer = _conv()
+        _, spacx = _spacx_traffic(layer)
+        _, simba = _simba_traffic(layer)
+        assert spacx.gb_send_bytes < simba.gb_send_bytes
+
+
+class TestConvolutionReuseMulticast:
+    def test_multicast_reduces_ifmap_sends(self):
+        layer = _conv(r=5, s=5)
+        _, with_ba = _spacx_traffic(layer, BROADCAST)
+        _, without_ba = _spacx_traffic(layer, BROADCAST_NO_BA)
+        assert with_ba.gb_ifmap_send_bytes < without_ba.gb_ifmap_send_bytes
+
+    def test_1x1_layers_have_no_reuse_to_exploit(self):
+        layer = _conv(r=1, s=1)
+        _, with_ba = _spacx_traffic(layer, BROADCAST)
+        _, without_ba = _spacx_traffic(layer, BROADCAST_NO_BA)
+        assert with_ba.gb_ifmap_send_bytes == without_ba.gb_ifmap_send_bytes
+
+    def test_halo_bounded_by_window_area(self):
+        layer = _conv(r=5, s=5, size=12)
+        _, without_ba = _spacx_traffic(layer, BROADCAST_NO_BA)
+        mapping, with_ba = _spacx_traffic(layer, BROADCAST)
+        assert without_ba.gb_ifmap_send_bytes <= (
+            with_ba.gb_ifmap_send_bytes * layer.r * layer.s
+        )
+
+
+class TestPsumTraffic:
+    def test_output_stationary_has_none(self):
+        _, traffic = _spacx_traffic(_conv())
+        assert traffic.psum_bytes == 0
+
+    def test_weight_stationary_pays_reduction(self):
+        layer = _conv(c=512)
+        mapping, traffic = _simba_traffic(layer)
+        assert mapping.psum_spatial_fanin > 1
+        expected = (
+            layer.ofmap_count * (mapping.psum_spatial_fanin - 1) * 3
+        )
+        assert traffic.psum_bytes == expected
+
+
+class TestDramTraffic:
+    def test_layer_by_layer_reads_everything(self):
+        layer = _conv()
+        _, traffic = _spacx_traffic(layer, layer_by_layer=True)
+        assert traffic.dram_read_bytes >= layer.weight_bytes + layer.ifmap_bytes
+        assert traffic.dram_write_bytes == layer.ofmap_bytes
+
+    def test_whole_model_reuses_gb_resident_ifmap(self):
+        layer = _conv(size=16)  # small enough to sit in the 2 MB GB
+        _, pipelined = _spacx_traffic(layer, layer_by_layer=False)
+        _, isolated = _spacx_traffic(layer, layer_by_layer=True)
+        assert pipelined.dram_read_bytes == layer.weight_bytes
+        assert pipelined.dram_write_bytes == 0
+        assert isolated.dram_read_bytes > pipelined.dram_read_bytes
+
+    def test_oversized_ifmap_spills(self):
+        huge = ConvLayer(name="big", c=64, k=64, r=3, s=3, h=258, w=258)
+        assert huge.ifmap_bytes > GB_BYTES // 2
+        _, traffic = _spacx_traffic(huge, layer_by_layer=False)
+        assert traffic.dram_read_bytes >= huge.weight_bytes + huge.ifmap_bytes
+
+
+class TestChipletCrossBytes:
+    def test_spacx_weight_cross_counts_sharers(self):
+        layer = _conv()
+        mapping, traffic = _spacx_traffic(layer)
+        assert traffic.chiplet_weight_cross_bytes == (
+            layer.weight_bytes * mapping.weight_chiplet_fanout
+        )
+
+    def test_spacx_ifmap_cross_is_per_chiplet_stream(self):
+        layer = _conv()
+        mapping, traffic = _spacx_traffic(layer)
+        assert traffic.chiplet_ifmap_cross_bytes == traffic.gb_ifmap_send_bytes
+
+    def test_unicast_cross_equals_sends(self):
+        layer = _conv()
+        _, traffic = _simba_traffic(layer)
+        assert traffic.chiplet_ifmap_cross_bytes == traffic.gb_ifmap_send_bytes
+
+
+class TestAggregates:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        c=st.sampled_from([3, 64, 512]),
+        k=st.sampled_from([8, 64, 1000]),
+        r=st.sampled_from([1, 3]),
+        size=st.sampled_from([8, 30]),
+        dataflow=st.sampled_from(list(DataflowKind)),
+        layer_by_layer=st.booleans(),
+    )
+    def test_everything_nonnegative_and_consistent(
+        self, c, k, r, size, dataflow, layer_by_layer
+    ):
+        layer = _conv(c=c, k=k, r=r, s=r, size=size)
+        mapping = map_layer(layer, SPACX_PARAMS, dataflow)
+        traffic = derive_traffic(mapping, BROADCAST, layer_by_layer, GB_BYTES)
+        assert traffic.gb_weight_send_bytes >= 0
+        assert traffic.gb_ifmap_send_bytes >= layer.ifmap_bytes // 2
+        assert traffic.pe_weight_receive_bytes >= traffic.gb_weight_send_bytes
+        assert traffic.output_bytes == layer.ofmap_bytes
+        assert traffic.gb_send_bytes == (
+            traffic.gb_weight_send_bytes + traffic.gb_ifmap_send_bytes
+        )
+        assert traffic.total_network_bytes >= traffic.gb_send_bytes
+
+    def test_fc_weight_dominated(self):
+        fc = fully_connected("fc", 25088, 4096)
+        _, traffic = _spacx_traffic(fc)
+        assert traffic.gb_weight_send_bytes > 10 * traffic.gb_ifmap_send_bytes

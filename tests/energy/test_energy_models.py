@@ -1,0 +1,130 @@
+"""Tests for the MAC/SRAM/DRAM energy substitutes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dataflow import DataflowKind
+from repro.core.layer import ConvLayer
+from repro.core.mapping import MappingParameters, map_layer
+from repro.core.traffic import NetworkCapabilities, derive_traffic
+from repro.energy.buffers import SramEnergyModel, sram_energy_pj_per_byte
+from repro.energy.compute import ComputeEnergyModel
+from repro.energy.dram import DEFAULT_DRAM, DramModel
+from repro.energy.mac import DEFAULT_MAC_ENERGY, MacEnergyModel
+
+
+class TestMacEnergy:
+    def test_scales_linearly(self):
+        model = MacEnergyModel(energy_per_mac_pj=0.5, leakage_per_pe_cycle_pj=0.0)
+        assert model.compute_energy_mj(1_000_000) == pytest.approx(0.0005)
+
+    def test_leakage_term(self):
+        model = MacEnergyModel(energy_per_mac_pj=0.0, leakage_per_pe_cycle_pj=1.0)
+        assert model.compute_energy_mj(0, active_pe_cycles=1_000) == pytest.approx(
+            1e-6
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MacEnergyModel(energy_per_mac_pj=-0.1)
+        with pytest.raises(ValueError):
+            DEFAULT_MAC_ENERGY.compute_energy_mj(-1)
+
+
+class TestSramEnergy:
+    def test_grows_with_capacity(self):
+        """CACTI first-order behaviour: bigger arrays cost more/byte."""
+        assert (
+            sram_energy_pj_per_byte(2 * 1024 * 1024)
+            > sram_energy_pj_per_byte(43 * 1024)
+            > sram_energy_pj_per_byte(4 * 1024)
+        )
+
+    def test_sqrt_scaling(self):
+        small = sram_energy_pj_per_byte(4 * 1024)
+        large = sram_energy_pj_per_byte(16 * 1024)
+        assert large / small == pytest.approx(2.0, rel=1e-6)
+
+    def test_access_energy(self):
+        model = SramEnergyModel(capacity_bytes=4 * 1024)
+        per_byte = model.energy_pj_per_byte
+        assert model.access_energy_mj(10**6) == pytest.approx(per_byte * 1e6 * 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SramEnergyModel(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            SramEnergyModel(capacity_bytes=1024).access_energy_mj(-1)
+
+    @given(st.integers(min_value=1, max_value=2**26))
+    def test_positive_everywhere(self, capacity):
+        assert sram_energy_pj_per_byte(capacity) > 0
+
+
+class TestDram:
+    def test_access_energy(self):
+        dram = DramModel(energy_pj_per_bit=15.0, bandwidth_gbps=2048.0)
+        # 1 MB at 15 pJ/bit = 1e6 * 8 * 15 pJ = 0.12 mJ.
+        assert dram.access_energy_mj(10**6) == pytest.approx(0.12)
+
+    def test_transfer_time(self):
+        dram = DEFAULT_DRAM
+        # 2048 Gbps channel: 2048 Gb (= 256 GB) take one second.
+        seconds = dram.transfer_time_s(2048 * 10**9 // 8)
+        assert seconds == pytest.approx(1.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DramModel(bandwidth_gbps=0.0)
+        with pytest.raises(ValueError):
+            DEFAULT_DRAM.access_energy_mj(-5)
+
+
+class TestComputeEnergyModel:
+    def _pieces(self):
+        layer = ConvLayer(name="t", c=64, k=64, r=3, s=3, h=16, w=16)
+        params = MappingParameters(
+            chiplets=32,
+            pes_per_chiplet=32,
+            mac_vector_width=32,
+            pe_buffer_bytes=4096,
+            ef_granularity=8,
+            k_granularity=16,
+        )
+        mapping = map_layer(layer, params, DataflowKind.SPACX_OS)
+        traffic = derive_traffic(
+            mapping,
+            NetworkCapabilities(
+                weight_broadcast=True, ifmap_broadcast=True, ifmap_reuse_multicast=True
+            ),
+            layer_by_layer=False,
+            gb_bytes=2 * 1024 * 1024,
+        )
+        model = ComputeEnergyModel(
+            pe_buffer=SramEnergyModel(capacity_bytes=4096),
+            gb=SramEnergyModel(capacity_bytes=2 * 1024 * 1024),
+        )
+        return layer, mapping, traffic, model
+
+    def test_mac_energy_tracks_layer_macs(self):
+        layer, mapping, _, model = self._pieces()
+        lower_bound = DEFAULT_MAC_ENERGY.energy_per_mac_pj * layer.macs * 1e-9
+        assert model.mac_energy_mj(layer, mapping) >= lower_bound
+
+    def test_pe_buffer_energy_counts_operand_reads(self):
+        layer, mapping, traffic, model = self._pieces()
+        energy = model.pe_buffer_energy_mj(layer, mapping, traffic)
+        floor = SramEnergyModel(capacity_bytes=4096).access_energy_mj(2 * layer.macs)
+        assert energy >= floor
+
+    def test_gb_energy_positive(self):
+        _, _, traffic, model = self._pieces()
+        assert model.gb_energy_mj(traffic) > 0
+
+    def test_dram_energy_mirrors_traffic(self):
+        _, _, traffic, model = self._pieces()
+        expected = DEFAULT_DRAM.access_energy_mj(
+            traffic.dram_read_bytes + traffic.dram_write_bytes
+        )
+        assert model.dram_energy_mj(traffic) == pytest.approx(expected)

@@ -1,0 +1,44 @@
+"""Session-scoped experiment results shared across the experiment and
+integration tests (the underlying simulations are deterministic, so
+computing them once keeps the suite fast)."""
+
+import pytest
+
+from repro.experiments import (
+    bandwidth_ablation,
+    dataflow_ablation,
+    network_metrics,
+    overall_comparison,
+    per_layer_comparison,
+    scalability_study,
+)
+
+
+@pytest.fixture(scope="session")
+def overall_rows():
+    return overall_comparison()
+
+
+@pytest.fixture(scope="session")
+def per_layer_rows():
+    return per_layer_comparison()
+
+
+@pytest.fixture(scope="session")
+def network_rows():
+    return network_metrics()
+
+
+@pytest.fixture(scope="session")
+def dataflow_rows():
+    return dataflow_ablation()
+
+
+@pytest.fixture(scope="session")
+def bandwidth_rows():
+    return bandwidth_ablation()
+
+
+@pytest.fixture(scope="session")
+def scalability_rows():
+    return scalability_study()

@@ -1,0 +1,286 @@
+"""Shape tests for every reproduced figure.
+
+These assert the qualitative claims of the paper's evaluation --
+orderings, crossovers and rough factors -- on the regenerated data.
+Exact paper-vs-measured numbers live in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import (
+    EVALUATED_ACCELERATORS,
+    aggressive_surface,
+    area_estimation,
+    bandwidth_means,
+    dataflow_means,
+    moderate_surface,
+    network_metric_means,
+    overall_means,
+    parameter_sensitivity,
+    spacx_network_split,
+    surface_minimum,
+)
+from repro.photonics.components import AGGRESSIVE_PARAMETERS
+
+
+class TestFigure13And14PerLayer:
+    def test_33_layers_times_3_machines(self, per_layer_rows):
+        assert len(per_layer_rows) == 33 * 3
+
+    def test_simba_bars_normalise_to_one(self, per_layer_rows):
+        simba = [r for r in per_layer_rows if r.accelerator == "Simba"]
+        assert all(r.normalized_execution_time == pytest.approx(1.0) for r in simba)
+
+    def test_spacx_wins_most_layers(self, per_layer_rows):
+        spacx = [r for r in per_layer_rows if r.accelerator == "SPACX"]
+        wins = sum(1 for r in spacx if r.normalized_execution_time < 1.0)
+        # A handful of compute-bound layers tie (both machines hit the
+        # same MAC roofline); SPACX must win the clear majority.
+        assert wins >= 22
+
+    def test_fc_layers_have_high_spacx_compute_share(self, per_layer_rows):
+        """The paper: FC layers (L21, L31-L33) show SPACX computation
+        time above Simba's due to low chiplet utilization."""
+        for label in ("L21", "L31", "L32", "L33"):
+            spacx = next(
+                r
+                for r in per_layer_rows
+                if r.label == label and r.accelerator == "SPACX"
+            )
+            simba = next(
+                r
+                for r in per_layer_rows
+                if r.label == label and r.accelerator == "Simba"
+            )
+            assert spacx.computation_time_s >= simba.computation_time_s
+
+    def test_fc_layers_still_win_overall(self, per_layer_rows):
+        """...yet their communication savings dominate (Fig. 13)."""
+        for label in ("L31", "L32", "L33"):
+            spacx = next(
+                r
+                for r in per_layer_rows
+                if r.label == label and r.accelerator == "SPACX"
+            )
+            assert spacx.normalized_execution_time < 1.0
+
+    def test_energy_split_present(self, per_layer_rows):
+        for row in per_layer_rows:
+            assert row.energy_mj == pytest.approx(
+                row.network_energy_mj + row.other_energy_mj
+            )
+
+
+class TestFigure15Overall:
+    def test_ordering_simba_popstar_spacx(self, overall_rows):
+        """Per model: SPACX < POPSTAR < Simba in time and energy."""
+        for model in {r.model for r in overall_rows}:
+            by_acc = {
+                r.accelerator: r for r in overall_rows if r.model == model
+            }
+            assert (
+                by_acc["SPACX"].normalized_execution_time
+                < by_acc["POPSTAR"].normalized_execution_time
+                < 1.0 + 1e-9
+            )
+            assert (
+                by_acc["SPACX"].normalized_energy
+                < by_acc["POPSTAR"].normalized_energy
+            )
+
+    def test_headline_reductions(self, overall_rows):
+        """Paper: SPACX cuts ~78% time / ~75% energy vs Simba, and
+        POPSTAR ~39% / ~28%.  We assert the reproduced bands."""
+        means = overall_means(overall_rows)
+        assert 0.12 <= means["SPACX"]["execution_time"] <= 0.35
+        assert 0.15 <= means["SPACX"]["energy"] <= 0.45
+        assert 0.45 <= means["POPSTAR"]["execution_time"] <= 0.75
+        assert 0.50 <= means["POPSTAR"]["energy"] <= 0.85
+
+    def test_technology_vs_architecture_split(self, overall_rows):
+        """POPSTAR's gain over Simba (technology) is smaller than
+        SPACX's gain over POPSTAR (architecture), as in the paper."""
+        means = overall_means(overall_rows)
+        technology_gain = 1.0 - means["POPSTAR"]["execution_time"]
+        architecture_gain = 1.0 - (
+            means["SPACX"]["execution_time"] / means["POPSTAR"]["execution_time"]
+        )
+        assert architecture_gain > technology_gain
+
+
+class TestFigure16NetworkMetrics:
+    def test_latency_ordering(self, network_rows):
+        means = network_metric_means(network_rows)
+        assert (
+            means["SPACX"]["latency"]
+            < means["POPSTAR"]["latency"]
+            < means["Simba"]["latency"]
+        )
+
+    def test_latency_bands(self, network_rows):
+        """Paper: POPSTAR -48%, SPACX -80% latency vs Simba."""
+        means = network_metric_means(network_rows)
+        assert 0.10 <= means["SPACX"]["latency"] <= 0.35
+        assert 0.30 <= means["POPSTAR"]["latency"] <= 0.65
+
+    def test_throughput_ordering(self, network_rows):
+        """Paper: POPSTAR +35%, SPACX +93% throughput vs Simba."""
+        means = network_metric_means(network_rows)
+        assert means["SPACX"]["throughput"] > means["POPSTAR"]["throughput"] > 1.0
+        assert 1.5 <= means["SPACX"]["throughput"] <= 2.6
+
+
+class TestFigure17Dataflows:
+    def test_spacx_dataflow_wins(self, dataflow_rows):
+        means = dataflow_means(dataflow_rows)
+        assert (
+            means["SPACX"]["execution_time"]
+            < means["OS(e/f)"]["execution_time"]
+            < means["WS"]["execution_time"]
+        )
+        assert (
+            means["SPACX"]["energy"]
+            < means["OS(e/f)"]["energy"]
+            < means["WS"]["energy"]
+        )
+
+    def test_ws_is_normalisation_base(self, dataflow_rows):
+        ws = [r for r in dataflow_rows if r.dataflow == "WS"]
+        assert all(r.normalized_execution_time == pytest.approx(1.0) for r in ws)
+
+    def test_reduction_bands(self, dataflow_rows):
+        """Paper: SPACX saves 68% vs WS and 21% vs OS(e/f)."""
+        means = dataflow_means(dataflow_rows)
+        assert means["SPACX"]["execution_time"] <= 0.5  # >= 50% saving vs WS
+        ratio_vs_os = (
+            means["SPACX"]["execution_time"] / means["OS(e/f)"]["execution_time"]
+        )
+        assert ratio_vs_os <= 0.95
+
+
+class TestFigure18BandwidthAllocation:
+    def test_disabling_ba_slows_execution(self, bandwidth_rows):
+        means = bandwidth_means(bandwidth_rows)
+        assert means["BA-off increase"]["execution_time"] > 1.0
+
+    def test_ba_off_still_beats_simba(self, bandwidth_rows):
+        means = bandwidth_means(bandwidth_rows)
+        assert means["SPACX-BA"]["execution_time"] < 1.0
+
+    def test_penalty_band(self, bandwidth_rows):
+        """Paper reports +14% on average; we accept a broader band."""
+        means = bandwidth_means(bandwidth_rows)
+        assert 1.05 <= means["BA-off increase"]["execution_time"] <= 1.8
+
+
+class TestFigures19And20PowerSurfaces:
+    def test_laser_minimum_position(self):
+        for surface in (moderate_surface(), aggressive_surface()):
+            best = surface_minimum(surface, "laser_w")
+            assert (best.k_granularity, best.ef_granularity) == (4, 4)
+
+    def test_transceiver_minimum_position(self):
+        for surface in (moderate_surface(), aggressive_surface()):
+            best = surface_minimum(surface, "transceiver_w")
+            assert (best.k_granularity, best.ef_granularity) == (32, 32)
+
+    def test_overall_minimum_interior(self):
+        for surface in (moderate_surface(), aggressive_surface()):
+            best = surface_minimum(surface, "overall_w")
+            assert (best.k_granularity, best.ef_granularity) not in (
+                (4, 4),
+                (32, 32),
+            )
+
+
+class TestFigure21EnergyBreakdown:
+    def test_aggressive_always_cheaper(self):
+        rows = parameter_sensitivity()
+        for model in {r.model for r in rows}:
+            subset = {r.variant: r for r in rows if r.model == model}
+            assert (
+                subset["POPSTAR (aggressive)"].normalized_energy
+                < subset["POPSTAR (moderate)"].normalized_energy
+            )
+            assert (
+                subset["SPACX (aggressive)"].normalized_energy
+                < subset["SPACX (moderate)"].normalized_energy
+            )
+
+    def test_spacx_network_split_shape(self):
+        """Paper Fig. 21b (moderate): O/E dominates (45%), heating
+        (32%), laser (19%), E/O smallest (4%)."""
+        split = spacx_network_split()
+        fractions = split.fractions()
+        assert fractions["oe"] > fractions["heating"] > fractions["laser"]
+        assert fractions["eo"] < 0.15
+        assert fractions["oe"] > 0.30
+
+    def test_aggressive_split_total_drops(self):
+        moderate = spacx_network_split()
+        aggressive = spacx_network_split(AGGRESSIVE_PARAMETERS)
+        assert aggressive.total_mj < 0.5 * moderate.total_mj
+
+
+class TestFigure22Scalability:
+    def test_simba_execution_grows_with_chiplets(self, scalability_rows):
+        """Electrical interconnects offset the scaling benefit."""
+        simba = {
+            (r.chiplets, r.pes_per_chiplet): r
+            for r in scalability_rows
+            if r.accelerator == "Simba"
+        }
+        assert (
+            simba[(64, 32)].execution_time_s
+            > simba[(32, 32)].execution_time_s
+            > simba[(16, 32)].execution_time_s
+        )
+
+    def test_spacx_scales_down_execution(self, scalability_rows):
+        spacx = {
+            (r.chiplets, r.pes_per_chiplet): r
+            for r in scalability_rows
+            if r.accelerator == "SPACX"
+        }
+        assert spacx[(64, 32)].execution_time_s < spacx[(32, 32)].execution_time_s
+        assert spacx[(32, 64)].execution_time_s < spacx[(32, 32)].execution_time_s
+
+    def test_popstar_spacx_energy_gap_widens(self, scalability_rows):
+        """Quadratic crossbar rings vs linear SPACX inventory."""
+        def gap(chiplets):
+            rows = {
+                r.accelerator: r
+                for r in scalability_rows
+                if (r.chiplets, r.pes_per_chiplet) == (chiplets, 32)
+            }
+            return rows["POPSTAR"].energy_mj / rows["SPACX"].energy_mj
+
+        assert gap(64) > gap(32) > gap(16)
+
+
+class TestAreaEstimation:
+    def test_section_viii_g(self):
+        study = area_estimation()
+        assert study.mrrs_under_chiplet == 132
+        assert study.transceiver_overhead_percent == pytest.approx(4.0, rel=0.05)
+        assert study.report.fits_under_chiplet
+
+
+class TestExtendedPerLayer:
+    """The paper omits DenseNet/EfficientNet per-layer charts; our
+    extension generates them for any model."""
+
+    def test_densenet_per_layer(self):
+        from repro.experiments.per_layer import (
+            extended_layer_labels,
+            per_layer_comparison,
+        )
+        from repro.models import densenet121
+
+        model = densenet121()
+        labels = extended_layer_labels(model)
+        rows = per_layer_comparison(labelled_layers=labels)
+        assert len(rows) == 3 * len(model.unique_layers)
+        spacx = [r for r in rows if r.accelerator == "SPACX"]
+        wins = sum(1 for r in spacx if r.normalized_execution_time < 1.0)
+        assert wins > len(spacx) // 2

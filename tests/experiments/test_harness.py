@@ -1,0 +1,77 @@
+"""Tests for the experiment harness utilities."""
+
+import pytest
+
+from repro.core.layer import ConvLayer, LayerSet
+from repro.experiments.harness import (
+    EVALUATED_ACCELERATORS,
+    arithmetic_mean,
+    default_trio,
+    format_table,
+    geometric_mean,
+    run_models,
+)
+
+
+class TestMeans:
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_arithmetic_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_leq_arithmetic(self):
+        values = [0.5, 1.0, 2.0, 4.0]
+        assert geometric_mean(values) <= arithmetic_mean(values)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "v"], [["a", 1.0], ["long-name", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len({len(l) for l in lines if l.strip()}) <= 2  # aligned
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456]])
+        assert "0.123" in text
+
+    def test_non_float_passthrough(self):
+        text = format_table(["v"], [["hello"], [42]])
+        assert "hello" in text
+        assert "42" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestTrioAndRunner:
+    def test_default_trio_order(self):
+        trio = default_trio()
+        names = [simulator.spec.name for simulator in trio]
+        assert tuple(names) == EVALUATED_ACCELERATORS
+
+    def test_run_models_with_explicit_workload(self):
+        trio = default_trio()
+        model = LayerSet(
+            "mini", [ConvLayer(name="a", c=16, k=16, r=3, s=3, h=10, w=10)]
+        )
+        results = run_models(trio, models=[model])
+        assert set(results) == {"mini"}
+        assert set(results["mini"]) == set(EVALUATED_ACCELERATORS)
+        for result in results["mini"].values():
+            assert result.execution_time_s > 0
+
+    def test_custom_machine_size(self):
+        trio = default_trio(chiplets=16, pes_per_chiplet=16)
+        assert trio.spacx.spec.chiplets == 16
+        assert trio.simba.spec.pes_per_chiplet == 16

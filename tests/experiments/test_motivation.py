@@ -1,0 +1,57 @@
+"""Tests for the Section II energy-vs-distance motivation study."""
+
+import pytest
+
+from repro.experiments.motivation import (
+    crossover_distance_cm,
+    energy_per_bit_vs_distance,
+)
+from repro.photonics.components import AGGRESSIVE_PARAMETERS
+
+
+class TestEnergyCurves:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return energy_per_bit_vs_distance()
+
+    def test_electrical_grows_with_distance(self, points):
+        electrical = [p.electrical_pj_per_bit for p in points]
+        assert all(a < b for a, b in zip(electrical, electrical[1:]))
+
+    def test_photonic_nearly_flat(self, points):
+        """Distance-independence: over a 64x distance range the
+        photonic energy grows by far less than the electrical."""
+        photonic = [p.photonic_pj_per_bit for p in points]
+        electrical = [p.electrical_pj_per_bit for p in points]
+        photonic_growth = photonic[-1] / photonic[0]
+        electrical_growth = electrical[-1] / electrical[0]
+        assert photonic_growth < 5.0
+        assert electrical_growth > 20.0
+
+    def test_electrical_wins_on_die(self, points):
+        """At millimetre scale wires are cheaper -- why SPACX keeps
+        electrical token rings on the chiplet."""
+        assert not points[0].photonic_wins
+
+    def test_photonics_wins_across_the_package(self, points):
+        """At package scale (>= 2 cm) photonics wins -- the premise of
+        the whole architecture."""
+        far = [p for p in points if p.distance_cm >= 2.0]
+        assert all(p.photonic_wins for p in far)
+
+
+class TestCrossover:
+    def test_crossover_at_chiplet_scale(self):
+        """The technologies cross between the die scale and the
+        package scale -- around a centimetre."""
+        crossover = crossover_distance_cm()
+        assert 0.3 <= crossover <= 3.0
+
+    def test_aggressive_photonics_move_the_crossover_in(self):
+        moderate = crossover_distance_cm()
+        aggressive = crossover_distance_cm(AGGRESSIVE_PARAMETERS)
+        assert aggressive <= moderate
+
+    def test_unreachable_crossover_raises(self):
+        with pytest.raises(ValueError):
+            crossover_distance_cm(max_cm=0.01)

@@ -1,0 +1,87 @@
+"""Tests for the granularity Pareto study."""
+
+import pytest
+
+from repro.core.layer import ConvLayer, LayerSet
+from repro.experiments.pareto import (
+    granularity_pareto_study,
+    pareto_front,
+)
+from repro.spacx.advisor import ConfigurationScore
+
+
+def _score(k, ef, time, power):
+    return ConfigurationScore(
+        k_granularity=k,
+        ef_granularity=ef,
+        execution_time_s=time,
+        energy_mj=1.0,
+        static_network_power_w=power,
+        mean_utilization=0.5,
+    )
+
+
+class TestParetoFront:
+    def test_dominated_points_removed(self):
+        scores = [
+            _score(4, 4, time=1.0, power=10.0),
+            _score(8, 8, time=2.0, power=20.0),  # dominated by the first
+            _score(16, 16, time=0.5, power=30.0),
+        ]
+        front = pareto_front(scores)
+        keys = {(s.k_granularity, s.ef_granularity) for s in front}
+        assert keys == {(4, 4), (16, 16)}
+
+    def test_front_sorted_by_time(self):
+        scores = [
+            _score(4, 4, time=3.0, power=1.0),
+            _score(8, 8, time=1.0, power=3.0),
+            _score(16, 16, time=2.0, power=2.0),
+        ]
+        front = pareto_front(scores)
+        times = [s.execution_time_s for s in front]
+        assert times == sorted(times)
+        assert len(front) == 3  # mutually non-dominated chain
+
+    def test_single_point_is_its_own_front(self):
+        scores = [_score(4, 4, time=1.0, power=1.0)]
+        assert pareto_front(scores) == scores
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        workload = LayerSet(
+            "mixed",
+            [
+                ConvLayer(name="conv", c=64, k=64, r=3, s=3, h=30, w=30),
+                ConvLayer(name="deep", c=256, k=512, r=3, s=3, h=16, w=16),
+            ],
+        )
+        return granularity_pareto_study(workload)
+
+    def test_grid_complete(self, study):
+        assert len(study.scores) == 16  # 4x4 granularity grid
+
+    def test_front_nonempty_and_subset(self, study):
+        assert study.front
+        assert set(id(s) for s in study.front) <= set(id(s) for s in study.scores)
+
+    def test_paper_point_located(self, study):
+        assert (
+            study.paper_point.k_granularity,
+            study.paper_point.ef_granularity,
+        ) == (16, 8)
+
+    def test_paper_point_near_front(self, study):
+        """The paper's balanced point must be on or near (within 25%
+        execution-time slack of) the Pareto front."""
+        assert study.paper_point_on_front or study.paper_point_slack() < 0.25
+
+    def test_front_extremes_bracket_the_trade(self, study):
+        fastest = study.front[0]
+        frugalest = min(study.front, key=lambda s: s.static_network_power_w)
+        assert fastest.execution_time_s <= frugalest.execution_time_s
+        assert (
+            frugalest.static_network_power_w <= fastest.static_network_power_w
+        )

@@ -1,0 +1,55 @@
+"""Tests for the full-report renderer."""
+
+import pytest
+
+from repro.experiments.report import SECTIONS, full_report, section
+
+
+class TestSectionHelper:
+    def test_banner_format(self):
+        text = section("Hello", "body")
+        assert "Hello" in text
+        assert "body" in text
+        assert text.count("=") > 10
+
+
+class TestRegistry:
+    def test_every_paper_item_present(self):
+        expected = {
+            "table1",
+            "table2",
+            "table3-4",
+            "fig13-14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19-20",
+            "fig21",
+            "fig22",
+            "area",
+            "codesign",
+            "motivation",
+        }
+        assert set(SECTIONS) == expected
+
+
+class TestRendering:
+    def test_single_cheap_sections(self):
+        for name in ("table1", "table2", "table3-4", "area", "fig19-20"):
+            text = full_report(only=name)
+            assert len(text) > 100, name
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(KeyError):
+            full_report(only="fig99")
+
+    def test_table1_contains_every_configuration(self):
+        text = full_report(only="table1")
+        for value in ("80", "96", "16", "12"):
+            assert value in text
+
+    def test_fig15_section_runs_end_to_end(self):
+        text = full_report(only="fig15")
+        assert "SPACX" in text
+        assert "A.M." in text

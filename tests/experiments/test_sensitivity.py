@@ -1,0 +1,50 @@
+"""Tests for the substrate-constant sensitivity sweeps."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    dram_bandwidth_sensitivity,
+    frequency_sensitivity,
+    wavelength_rate_sensitivity,
+)
+
+
+class TestDramSensitivity:
+    def test_spacx_wins_at_every_bandwidth(self):
+        """The headline conclusion must not hinge on the DRAM
+        constant we substituted for DRAMSim2."""
+        for point in dram_bandwidth_sensitivity((1024.0, 2048.0, 4096.0)):
+            assert point.ratio < 0.6, point
+
+    def test_more_bandwidth_never_hurts(self):
+        points = dram_bandwidth_sensitivity((512.0, 2048.0))
+        assert (
+            points[1].spacx_execution_time_s <= points[0].spacx_execution_time_s
+        )
+        assert (
+            points[1].simba_execution_time_s <= points[0].simba_execution_time_s
+        )
+
+
+class TestFrequencySensitivity:
+    def test_spacx_wins_at_every_clock(self):
+        for point in frequency_sensitivity((0.25, 0.5, 1.0)):
+            assert point.ratio < 0.7, point
+
+    def test_faster_clock_shifts_toward_communication_bound(self):
+        """At higher clocks compute shrinks, so the (comm-limited)
+        ratio improves for the broadcast machine."""
+        points = frequency_sensitivity((0.25, 2.0))
+        assert points[1].ratio <= points[0].ratio + 1e-9
+
+
+class TestWavelengthRateSensitivity:
+    def test_faster_optics_improve_the_ratio(self):
+        points = wavelength_rate_sensitivity((5.0, 10.0, 25.0))
+        ratios = [p.ratio for p in points]
+        assert ratios[0] >= ratios[1] >= ratios[2]
+
+    def test_paper_rate_is_the_middle_point(self):
+        points = wavelength_rate_sensitivity((5.0, 10.0, 25.0))
+        assert points[1].value == 10.0
+        assert points[1].ratio < 0.5

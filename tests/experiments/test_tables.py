@@ -1,0 +1,55 @@
+"""Tests pinning the regenerated tables against the published ones."""
+
+import pytest
+
+from repro.experiments.tables import (
+    PAPER_TABLE_I,
+    laser_power_from_parameters,
+    table_i,
+    table_ii,
+    table_iii_iv,
+)
+
+
+class TestTableI:
+    def test_exact_reproduction(self):
+        """Every cell of Table I regenerates from first principles."""
+        assert table_i() == PAPER_TABLE_I
+
+
+class TestTableII:
+    def test_simba_row(self):
+        row = table_ii()["Simba"]
+        assert row["pe_read_gbps"] == 20.0
+        assert row["chiplet_read_gbps"] == 320.0
+
+    def test_popstar_row(self):
+        row = table_ii()["POPSTAR"]
+        assert row["chiplet_read_gbps"] == 310.0
+        assert row["chiplet_write_gbps"] == 100.0
+        assert row["wavelengths"] == 10
+
+    def test_spacx_row(self):
+        row = table_ii()["SPACX"]
+        assert row["pe_read_gbps"] == 20.0
+        assert row["pe_write_gbps"] == 10.0
+        assert row["chiplet_read_gbps"] == 340.0
+        assert row["chiplet_write_gbps"] == 20.0
+        assert row["wavelengths"] == 24
+
+
+class TestTablesIIIAndIV:
+    def test_both_parameter_sets_present(self):
+        tables = table_iii_iv()
+        assert set(tables) == {"moderate", "aggressive"}
+
+    def test_laser_power_derivation(self):
+        powers = laser_power_from_parameters()
+        # The aggressive set's -26 dBm sensitivity and smaller drop
+        # loss must cut the required laser power substantially.
+        assert powers["aggressive"]["total_laser_w"] < (
+            0.5 * powers["moderate"]["total_laser_w"]
+        )
+        # Path losses are tens of dB, not hundreds.
+        assert 10.0 < powers["moderate"]["x_path_loss_db"] < 50.0
+        assert 10.0 < powers["moderate"]["y_path_loss_db"] < 50.0

@@ -1,0 +1,88 @@
+"""Cross-validation between the independent simulation engines.
+
+The analytical simulator and the wave-level timeline were written
+against the same mapping/traffic substrate but compute time very
+differently (closed-form bottleneck maxima vs discrete event
+replay).  Agreement across the paper's real layers is strong evidence
+neither engine has a silent unit or accounting bug.
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    model_result_to_json,
+    popstar_simulator,
+    resnet50,
+    simba_simulator,
+    spacx_simulator,
+    vgg16,
+)
+from repro.core.timeline import TimelineSimulator
+from repro.models.synthetic import random_cnn
+from repro.spacx.architecture import spacx_spec
+
+
+class TestTimelineVsAnalytical:
+    @pytest.mark.parametrize("index", [0, 4, 9, 14, 20])
+    def test_resnet_layers_agree(self, index):
+        layer = resnet50().unique_layers[index]
+        analytical = spacx_simulator().simulate_layer(layer, layer_by_layer=False)
+        timeline = TimelineSimulator(spacx_spec()).simulate_layer(
+            layer, layer_by_layer=False
+        )
+        # The timeline only adds pipeline-fill + drain latency.
+        assert timeline.execution_time_s >= 0.95 * analytical.execution_time_s
+        assert timeline.execution_time_s <= 1.6 * analytical.execution_time_s
+
+    def test_model_level_agreement(self):
+        """Whole VGG-16: the engines agree within pipeline overheads."""
+        model = vgg16()
+        analytical_total = 0.0
+        timeline_total = 0.0
+        timeline = TimelineSimulator(spacx_spec())
+        simulator = spacx_simulator()
+        for layer in model.unique_layers:
+            analytical_total += simulator.simulate_layer(
+                layer, layer_by_layer=False
+            ).execution_time_s
+            timeline_total += timeline.simulate_layer(
+                layer, layer_by_layer=False
+            ).execution_time_s
+        assert timeline_total == pytest.approx(analytical_total, rel=0.35)
+        assert timeline_total >= 0.95 * analytical_total
+
+
+class TestRandomWorkloadInvariants:
+    """Properties that must hold for arbitrary CNNs on all machines."""
+
+    @pytest.mark.parametrize("seed", [3, 17, 99])
+    def test_spacx_never_loses_to_simba_at_model_level(self, seed):
+        model = random_cnn(seed=seed)
+        spacx = spacx_simulator().simulate_model(model)
+        simba = simba_simulator().simulate_model(model)
+        assert spacx.execution_time_s <= 1.05 * simba.execution_time_s
+
+    @pytest.mark.parametrize("seed", [3, 17, 99])
+    def test_energy_breakdowns_consistent(self, seed):
+        model = random_cnn(seed=seed)
+        for simulator in (
+            simba_simulator(),
+            popstar_simulator(),
+            spacx_simulator(),
+        ):
+            result = simulator.simulate_model(model)
+            energy = result.energy
+            assert energy.total_mj == pytest.approx(
+                energy.other_mj + energy.network_mj
+            )
+            assert energy.total_mj > 0
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_serialization_is_json_clean(self, seed):
+        model = random_cnn(seed=seed)
+        result = spacx_simulator().simulate_model(model)
+        parsed = json.loads(model_result_to_json(result))
+        assert parsed["accelerator"] == "SPACX"
+        assert len(parsed["layer_sequence"]) == len(result.layers)

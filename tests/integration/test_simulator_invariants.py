@@ -1,0 +1,106 @@
+"""Property-based invariants of the full simulation pipeline.
+
+Hypothesis drives random (layer, machine, mode) combinations through
+the complete stack and checks the physical laws the models must obey
+regardless of inputs.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.popstar import popstar_simulator
+from repro.baselines.simba import simba_simulator
+from repro.core.layer import ConvLayer
+from repro.spacx.architecture import spacx_simulator
+
+
+def layers():
+    return st.builds(
+        ConvLayer,
+        name=st.just("prop"),
+        c=st.sampled_from([3, 16, 64, 256, 960]),
+        k=st.sampled_from([8, 64, 256, 1000]),
+        r=st.sampled_from([1, 3, 5]),
+        s=st.sampled_from([1, 3, 5]),
+        h=st.sampled_from([7, 14, 30, 58]),
+        w=st.sampled_from([7, 14, 30, 58]),
+        stride=st.sampled_from([1, 2]),
+    ).filter(lambda l: l.r <= l.h and l.s <= l.w)
+
+
+SIMULATORS = {
+    "simba": simba_simulator,
+    "popstar": popstar_simulator,
+    "spacx": spacx_simulator,
+}
+
+
+class TestPhysicalLaws:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        layer=layers(),
+        machine=st.sampled_from(sorted(SIMULATORS)),
+        layer_by_layer=st.booleans(),
+    )
+    def test_times_and_energies_nonnegative_and_consistent(
+        self, layer, machine, layer_by_layer
+    ):
+        result = SIMULATORS[machine]().simulate_layer(
+            layer, layer_by_layer=layer_by_layer
+        )
+        assert result.computation_time_s > 0
+        assert result.communication_time_s >= 0
+        assert result.exposed_communication_s >= 0
+        assert result.execution_time_s >= result.computation_time_s
+        assert result.execution_time_s >= result.exposed_communication_s
+        assert result.energy.total_mj > 0
+        assert result.energy.mac_mj > 0
+
+    @settings(deadline=None, max_examples=25)
+    @given(layer=layers(), machine=st.sampled_from(sorted(SIMULATORS)))
+    def test_layer_by_layer_never_cheaper(self, layer, machine):
+        """Starting cold from DRAM can only add time and energy."""
+        simulator = SIMULATORS[machine]()
+        warm = simulator.simulate_layer(layer, layer_by_layer=False)
+        cold = simulator.simulate_layer(layer, layer_by_layer=True)
+        assert cold.execution_time_s >= warm.execution_time_s - 1e-15
+        assert cold.energy.total_mj >= warm.energy.total_mj - 1e-12
+
+    @settings(deadline=None, max_examples=25)
+    @given(layer=layers())
+    def test_mac_energy_machine_independent(self, layer):
+        """The arithmetic itself costs the same everywhere (equal MACs,
+        equal per-op energy); only leakage differs slightly."""
+        energies = [
+            SIMULATORS[m]().simulate_layer(layer).energy.mac_mj
+            for m in sorted(SIMULATORS)
+        ]
+        assert max(energies) / min(energies) < 2.0
+
+    @settings(deadline=None, max_examples=25)
+    @given(layer=layers())
+    def test_spacx_gb_egress_never_exceeds_simba(self, layer):
+        """Broadcast can only reduce GB egress relative to unicast
+        emulation for the same logical communication."""
+        spacx = spacx_simulator().simulate_layer(layer, layer_by_layer=False)
+        simba = simba_simulator().simulate_layer(layer, layer_by_layer=False)
+        # Same unique weights; ifmap replication is the differentiator.
+        assert (
+            spacx.traffic.gb_ifmap_send_bytes
+            <= simba.traffic.gb_ifmap_send_bytes * 1.5
+        )
+
+    @settings(deadline=None, max_examples=15)
+    @given(layer=layers(), scale=st.sampled_from([2.0, 4.0]))
+    def test_more_gb_bandwidth_never_slower(self, layer, scale):
+        simulator = spacx_simulator()
+        base = simulator.simulate_layer(layer, layer_by_layer=False)
+        boosted = spacx_simulator()
+        boosted.spec = dataclasses.replace(
+            boosted.spec, gb_egress_gbps=boosted.spec.gb_egress_gbps * scale
+        )
+        faster = boosted.simulate_layer(layer, layer_by_layer=False)
+        assert faster.execution_time_s <= base.execution_time_s + 1e-15

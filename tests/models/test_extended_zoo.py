@@ -1,0 +1,103 @@
+"""Tests for the zoo extensions beyond the paper's benchmark suite."""
+
+import pytest
+
+from repro.models import (
+    EXTENDED_MODELS,
+    densenet121,
+    densenet169,
+    efficientnet,
+    get_model,
+    mobilenet_v2,
+    resnet101,
+    resnet152,
+    vgg19,
+)
+from repro.models.efficientnet import COMPOUND_SCALES
+from repro.spacx.architecture import spacx_simulator
+
+
+class TestPublishedMacCounts:
+    """Every variant's MAC total must match the published figure."""
+
+    @pytest.mark.parametrize(
+        ("factory", "gmacs"),
+        [
+            (resnet101, 7.6),
+            (resnet152, 11.3),
+            (vgg19, 19.6),
+            (densenet121, 2.85),
+            (densenet169, 3.4),
+            (mobilenet_v2, 0.30),
+        ],
+        ids=["r101", "r152", "vgg19", "d121", "d169", "mbv2"],
+    )
+    def test_gmacs(self, factory, gmacs):
+        assert factory().total_macs / 1e9 == pytest.approx(gmacs, rel=0.05)
+
+    def test_efficientnet_b0(self):
+        assert efficientnet(0).total_macs / 1e9 == pytest.approx(0.39, rel=0.05)
+
+    def test_efficientnet_b4(self):
+        assert efficientnet(4).total_macs / 1e9 == pytest.approx(4.4, rel=0.05)
+
+
+class TestFamilies:
+    def test_resnet_depth_ordering(self):
+        from repro.models import resnet50
+
+        assert (
+            resnet50().total_macs
+            < resnet101().total_macs
+            < resnet152().total_macs
+        )
+
+    def test_vgg_depth_ordering(self):
+        from repro.models import vgg16
+
+        assert vgg16().total_macs < vgg19().total_macs
+
+    def test_densenet_depth_ordering(self):
+        from repro.models import densenet201
+
+        assert (
+            densenet121().total_macs
+            < densenet169().total_macs
+            < densenet201().total_macs
+        )
+
+    def test_efficientnet_compound_scaling_monotone(self):
+        totals = [efficientnet(v).total_macs for v in sorted(COMPOUND_SCALES)]
+        assert all(a < b for a, b in zip(totals, totals[1:]))
+
+    def test_unsupported_variants_rejected(self):
+        with pytest.raises(ValueError):
+            efficientnet(9)
+        from repro.models.resnet import _resnet
+
+        with pytest.raises(ValueError):
+            _resnet(34)  # basic-block variant not modelled
+
+
+class TestRegistry:
+    def test_extended_registry_superset(self):
+        from repro.models import MODELS
+
+        assert set(MODELS) <= set(EXTENDED_MODELS)
+        assert "MobileNetV2" in EXTENDED_MODELS
+
+    def test_get_model_resolves_extensions(self):
+        assert get_model("ResNet-101").name == "ResNet-101"
+
+    def test_every_extension_simulates(self):
+        """All zoo extensions run end to end on SPACX."""
+        simulator = spacx_simulator()
+        for name in ("ResNet-101", "VGG-19", "DenseNet-121", "MobileNetV2"):
+            result = simulator.simulate_model(get_model(name))
+            assert result.execution_time_s > 0
+            assert result.energy.total_mj > 0
+
+    def test_mobilenet_is_depthwise_dominated(self):
+        model = mobilenet_v2()
+        depthwise = sum(1 for l in model if l.is_depthwise)
+        assert depthwise >= 17  # one per inverted residual

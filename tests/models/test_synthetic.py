@@ -1,0 +1,119 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.synthetic import (
+    bottleneck_stressors,
+    layer_parameter_sweep,
+    random_cnn,
+    utilization_corner_cases,
+)
+from repro.spacx.architecture import spacx_simulator
+
+
+class TestRandomCnn:
+    def test_deterministic_in_seed(self):
+        a = random_cnn(seed=42)
+        b = random_cnn(seed=42)
+        assert [l.shape_key for l in a] == [l.shape_key for l in b]
+
+    def test_different_seeds_differ(self):
+        keys = {tuple(l.shape_key for l in random_cnn(seed=s)) for s in range(8)}
+        assert len(keys) > 1
+
+    def test_ends_with_classifier(self):
+        model = random_cnn(seed=0)
+        assert model.all_layers[-1].is_fully_connected
+
+    @settings(deadline=None, max_examples=20)
+    @given(seed=st.integers(0, 10_000))
+    def test_every_generated_network_simulates(self, seed):
+        """End-to-end property: any generated CNN maps, routes and
+        simulates on the SPACX machine with sane outputs."""
+        model = random_cnn(seed=seed)
+        result = spacx_simulator().simulate_model(model)
+        assert result.execution_time_s > 0
+        assert result.energy.total_mj > 0
+        assert result.computation_time_s <= result.execution_time_s
+
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(0, 10_000), stages=st.integers(1, 6))
+    def test_stage_count_respected(self, seed, stages):
+        model = random_cnn(seed=seed, n_stages=stages)
+        conv_layers = [l for l in model if not l.is_fully_connected]
+        assert stages <= len(conv_layers) <= 2 * stages
+
+
+class TestCornerCases:
+    def test_section_v_shapes(self):
+        cases = {l.name: l for l in utilization_corner_cases()}
+        assert cases["small-plane"].e * cases["small-plane"].f == 4
+        assert cases["small-plane"].k == 16
+        assert cases["small-k"].e * cases["small-k"].f == 16
+        assert cases["small-k"].k == 4
+
+    def test_finer_granularity_helps_the_corner_cases(self):
+        """Section V's whole argument: the mismatched layers run
+        faster under finer broadcast granularity."""
+        coarse = spacx_simulator(ef_granularity=32, k_granularity=32)
+        fine = spacx_simulator(ef_granularity=4, k_granularity=4)
+        for layer in utilization_corner_cases().unique_layers:
+            if layer.name == "balanced":
+                continue
+            coarse_time = coarse.simulate_layer(
+                layer, layer_by_layer=False
+            ).execution_time_s
+            fine_time = fine.simulate_layer(
+                layer, layer_by_layer=False
+            ).execution_time_s
+            assert fine_time <= coarse_time
+
+
+class TestStressors:
+    def test_each_stressor_simulates(self):
+        simulator = spacx_simulator()
+        for name, layer in bottleneck_stressors().items():
+            result = simulator.simulate_layer(layer, layer_by_layer=False)
+            assert result.execution_time_s > 0, name
+
+    def test_gb_egress_stressor_is_weight_bound(self):
+        simulator = spacx_simulator()
+        layer = bottleneck_stressors()["gb_egress"]
+        result = simulator.simulate_layer(layer, layer_by_layer=False)
+        assert (
+            result.traffic.gb_weight_send_bytes
+            > 20 * result.traffic.gb_ifmap_send_bytes
+        )
+
+    def test_depthwise_stressor_is_ifmap_bound(self):
+        simulator = spacx_simulator()
+        layer = bottleneck_stressors()["depthwise"]
+        result = simulator.simulate_layer(layer, layer_by_layer=False)
+        assert (
+            result.traffic.gb_ifmap_send_bytes
+            > result.traffic.gb_weight_send_bytes
+        )
+
+
+class TestParameterSweep:
+    def test_sweep_families(self):
+        layers = layer_parameter_sweep()
+        names = [l.name for l in layers]
+        assert sum(1 for n in names if n.startswith("c")) == 5
+        assert sum(1 for n in names if n.startswith("k")) == 5
+        assert sum(1 for n in names if n.startswith("hw")) == 5
+        assert sum(1 for n in names if n.startswith("r")) == 4
+
+    def test_monotone_compute_in_channels(self):
+        """More input channels never reduce computation time."""
+        simulator = spacx_simulator()
+        channel_layers = [
+            l for l in layer_parameter_sweep() if l.name.startswith("c")
+        ]
+        times = [
+            simulator.simulate_layer(l, layer_by_layer=False).computation_time_s
+            for l in channel_layers
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(times, times[1:]))

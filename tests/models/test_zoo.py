@@ -1,0 +1,146 @@
+"""Tests for the model zoo: layer counts, MAC totals, paper labels."""
+
+import pytest
+
+from repro.models import (
+    MODELS,
+    RESNET50_UNIQUE_LAYER_COUNT,
+    VGG16_UNIQUE_LAYER_COUNT,
+    densenet201,
+    efficientnet_b7,
+    evaluation_models,
+    get_model,
+    paper_layer_labels,
+    resnet50,
+    vgg16,
+)
+
+
+class TestResNet50:
+    def test_21_unique_layers(self):
+        """The paper evaluates exactly 21 distinct ResNet-50 layers."""
+        assert len(resnet50().unique_layers) == RESNET50_UNIQUE_LAYER_COUNT == 21
+
+    def test_branch1_dedup(self):
+        """res2a_branch1 collapses onto res2a_branch2c (the paper's
+        explicit example of removed redundancy)."""
+        model = resnet50()
+        names = [layer.name for layer in model.unique_layers]
+        assert "res2a_branch1" not in names
+        assert "res2a_branch2c" in names
+        # Deeper-stage strided projections survive (distinct shapes).
+        assert "res3a_branch1" in names
+
+    def test_total_macs_near_published(self):
+        """ResNet-50 is ~3.9 GMACs for one 224x224 inference."""
+        assert resnet50().total_macs == pytest.approx(3.86e9, rel=0.05)
+
+    def test_first_layer_is_stride2_7x7(self):
+        first = resnet50().all_layers[0]
+        assert (first.r, first.s, first.stride, first.c, first.k) == (7, 7, 2, 3, 64)
+
+    def test_last_layer_is_fc1000(self):
+        last = resnet50().all_layers[-1]
+        assert last.is_fully_connected
+        assert (last.c, last.k) == (2048, 1000)
+
+
+class TestVGG16:
+    def test_12_unique_layers(self):
+        assert len(vgg16().unique_layers) == VGG16_UNIQUE_LAYER_COUNT == 12
+
+    def test_16_layer_instances(self):
+        """13 convolutions + 3 FC layers."""
+        model = vgg16()
+        assert len(model) == 16
+        assert sum(1 for l in model if l.is_fully_connected) == 3
+
+    def test_total_macs_near_published(self):
+        """VGG-16 is ~15.5 GMACs."""
+        assert vgg16().total_macs == pytest.approx(15.5e9, rel=0.05)
+
+    def test_fc6_is_the_giant(self):
+        fc6 = next(l for l in vgg16() if l.name == "fc6")
+        assert fc6.weight_bytes == 25088 * 4096
+
+
+class TestDenseNet201:
+    def test_201_counted_layers(self):
+        """DenseNet-201's name counts its weighted layers."""
+        assert len(densenet201()) == 201
+
+    def test_total_macs_near_published(self):
+        """DenseNet-201 is ~4.3 GMACs."""
+        assert densenet201().total_macs == pytest.approx(4.3e9, rel=0.05)
+
+    def test_growth_rate_structure(self):
+        model = densenet201()
+        three_by_three = [
+            l for l in model if l.r == 3 and not l.is_fully_connected
+        ]
+        assert all(l.k == 32 for l in three_by_three)  # growth rate
+
+    def test_final_channels(self):
+        last = densenet201().all_layers[-1]
+        assert last.is_fully_connected
+        assert last.c == 1920
+
+
+class TestEfficientNetB7:
+    def test_total_macs_near_published(self):
+        """EfficientNet-B7 is ~37-38 GMACs at 600x600."""
+        assert efficientnet_b7().total_macs == pytest.approx(37.7e9, rel=0.05)
+
+    def test_has_depthwise_layers(self):
+        model = efficientnet_b7()
+        depthwise = [l for l in model if l.is_depthwise]
+        assert len(depthwise) > 40
+
+    def test_width_scaling(self):
+        """B7 doubles B0's channel widths: stem 32 -> 64."""
+        stem = efficientnet_b7().all_layers[0]
+        assert stem.k == 64
+
+    def test_head_channels(self):
+        head = next(l for l in efficientnet_b7() if l.name == "head")
+        assert head.k == 2560
+
+
+class TestZooRegistry:
+    def test_four_models_in_paper_order(self):
+        assert list(MODELS) == [
+            "ResNet-50",
+            "VGG-16",
+            "DenseNet-201",
+            "EfficientNet-B7",
+        ]
+
+    def test_get_model(self):
+        assert get_model("VGG-16").name == "VGG-16"
+
+    def test_get_model_unknown(self):
+        with pytest.raises(KeyError):
+            get_model("AlexNet")
+
+    def test_evaluation_models(self):
+        models = evaluation_models()
+        assert [m.name for m in models] == list(MODELS)
+
+
+class TestPaperLabels:
+    def test_l1_to_l33(self):
+        labels = paper_layer_labels()
+        assert list(labels) == [f"L{i}" for i in range(1, 34)]
+
+    def test_l1_is_resnet_conv1(self):
+        assert paper_layer_labels()["L1"].name == "conv1"
+
+    def test_l21_is_resnet_fc(self):
+        assert paper_layer_labels()["L21"].is_fully_connected
+
+    def test_l22_starts_vgg(self):
+        assert paper_layer_labels()["L22"].name == "conv1_1"
+
+    def test_l31_to_l33_are_vgg_fcs(self):
+        labels = paper_layer_labels()
+        assert all(labels[f"L{i}"].is_fully_connected for i in (31, 32, 33))

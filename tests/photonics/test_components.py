@@ -1,0 +1,205 @@
+"""Tests for the photonic device models and parameter tables."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.photonics.components import (
+    AGGRESSIVE_PARAMETERS,
+    MODERATE_PARAMETERS,
+    SPLIT_RATIO_MAX,
+    SPLIT_RATIO_MIN,
+    SPLITTER_TUNING_DELAY_S,
+    MicroRingResonator,
+    MRRole,
+    PhotonicParameters,
+    SplitterCascade,
+    TunableSplitter,
+)
+
+
+class TestParameterTables:
+    """The moderate/aggressive sets must transcribe Tables III/IV."""
+
+    def test_moderate_values(self):
+        p = MODERATE_PARAMETERS
+        assert p.laser_source_db == 5.0
+        assert p.coupler_db == 1.0
+        assert p.splitter_db == 0.2
+        assert p.waveguide_db_per_cm == 1.0
+        assert p.waveguide_bend_db == 1.0
+        assert p.waveguide_crossover_db == 0.05
+        assert p.ring_drop_db == 1.0
+        assert p.ring_through_db == 0.02
+        assert p.photodetector_db == 0.1
+        assert p.waveguide_to_receiver_db == 0.5
+        assert p.receiver_sensitivity_dbm == -20.0
+        assert p.ring_heating_mw == 2.0
+
+    def test_aggressive_values(self):
+        p = AGGRESSIVE_PARAMETERS
+        assert p.ring_drop_db == 0.7
+        assert p.ring_through_db == 0.01
+        assert p.waveguide_bend_db == 0.01
+        assert p.receiver_sensitivity_dbm == -26.0
+        assert p.ring_heating_mw == pytest.approx(0.320)
+
+    def test_aggressive_strictly_better_where_it_differs(self):
+        m, a = MODERATE_PARAMETERS, AGGRESSIVE_PARAMETERS
+        assert a.ring_drop_db < m.ring_drop_db
+        assert a.ring_through_db < m.ring_through_db
+        assert a.waveguide_bend_db < m.waveguide_bend_db
+        assert a.receiver_sensitivity_dbm < m.receiver_sensitivity_dbm
+        assert a.ring_heating_mw < m.ring_heating_mw
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(ValueError):
+            PhotonicParameters(
+                name="bad",
+                laser_source_db=-1.0,
+                coupler_db=1.0,
+                splitter_db=0.2,
+                waveguide_db_per_cm=1.0,
+                waveguide_bend_db=1.0,
+                waveguide_crossover_db=0.05,
+                ring_drop_db=1.0,
+                ring_through_db=0.02,
+                photodetector_db=0.1,
+                waveguide_to_receiver_db=0.5,
+                receiver_sensitivity_dbm=-20.0,
+                ring_heating_mw=2.0,
+            )
+
+    def test_rejects_positive_sensitivity(self):
+        with pytest.raises(ValueError):
+            PhotonicParameters(
+                name="bad",
+                laser_source_db=5.0,
+                coupler_db=1.0,
+                splitter_db=0.2,
+                waveguide_db_per_cm=1.0,
+                waveguide_bend_db=1.0,
+                waveguide_crossover_db=0.05,
+                ring_drop_db=1.0,
+                ring_through_db=0.02,
+                photodetector_db=0.1,
+                waveguide_to_receiver_db=0.5,
+                receiver_sensitivity_dbm=3.0,
+                ring_heating_mw=2.0,
+            )
+
+
+class TestMicroRing:
+    def test_roles(self):
+        assert MRRole.MODULATOR.value == "modulator"
+        assert MRRole.TUNABLE_SPLITTER.value == "tunable_splitter"
+
+    def test_losses_follow_parameters(self):
+        ring = MicroRingResonator(wavelength_index=3, role=MRRole.FILTER)
+        assert ring.drop_loss_db(MODERATE_PARAMETERS) == 1.0
+        assert ring.through_loss_db(MODERATE_PARAMETERS) == 0.02
+        assert ring.heating_power_mw(MODERATE_PARAMETERS) == 2.0
+
+    def test_rejects_negative_wavelength(self):
+        with pytest.raises(ValueError):
+            MicroRingResonator(wavelength_index=-1, role=MRRole.FILTER)
+
+
+class TestTunableSplitter:
+    def test_disabled_state(self):
+        splitter = TunableSplitter(alpha=0.0)
+        assert splitter.is_disabled
+        assert splitter.through_fraction() == 1.0
+        assert splitter.single_device_realizable
+
+    def test_full_tap(self):
+        splitter = TunableSplitter(alpha=1.0)
+        assert splitter.split_ratio == math.inf
+        assert splitter.single_device_realizable
+
+    def test_split_ratio_definition(self):
+        # alpha = 1/3 -> ratio 0.5, inside the [0.4, 1.8] device band.
+        splitter = TunableSplitter(alpha=1.0 / 3.0)
+        assert splitter.split_ratio == pytest.approx(0.5)
+        assert splitter.single_device_realizable
+
+    def test_out_of_band_ratio(self):
+        # alpha = 1/7 -> ratio 1/6 < 0.4: needs a cascade.
+        splitter = TunableSplitter(alpha=1.0 / 7.0)
+        assert not splitter.single_device_realizable
+
+    def test_rejects_alpha_out_of_range(self):
+        with pytest.raises(ValueError):
+            TunableSplitter(alpha=1.5)
+        with pytest.raises(ValueError):
+            TunableSplitter(alpha=-0.1)
+
+    def test_tuning_delay_constant(self):
+        # 500 ps DAC retuning from [47].
+        assert SPLITTER_TUNING_DELAY_S == pytest.approx(500e-12)
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_equal_broadcast_chain_conserves_power(self, n):
+        """The 1/(n-i) schedule gives every tap exactly 1/n power."""
+        remaining = 1.0
+        shares = []
+        for position in range(n):
+            splitter = TunableSplitter.for_equal_broadcast(position, n)
+            shares.append(remaining * splitter.drop_fraction())
+            remaining *= splitter.through_fraction()
+        assert all(s == pytest.approx(1.0 / n) for s in shares)
+        assert remaining == pytest.approx(0.0, abs=1e-12)
+
+    def test_equal_broadcast_paper_schedule(self):
+        """Fig. 6's 1/7 ... 1/0 split-ratio schedule for 8 chiplets."""
+        ratios = [
+            TunableSplitter.for_equal_broadcast(i, 8).split_ratio for i in range(8)
+        ]
+        expected = [1 / 7, 1 / 6, 1 / 5, 1 / 4, 1 / 3, 1 / 2, 1.0, math.inf]
+        for got, want in zip(ratios, expected):
+            assert got == pytest.approx(want)
+
+    def test_equal_broadcast_rejects_bad_position(self):
+        with pytest.raises(ValueError):
+            TunableSplitter.for_equal_broadcast(8, 8)
+        with pytest.raises(ValueError):
+            TunableSplitter.for_equal_broadcast(0, 0)
+
+
+class TestSplitterCascade:
+    def test_in_band_needs_single_device(self):
+        cascade = SplitterCascade(target_alpha=0.5)
+        assert cascade.n_devices == 1
+        assert cascade.effective_drop_fraction() == pytest.approx(0.5)
+
+    def test_small_fraction_cascades(self):
+        cascade = SplitterCascade(target_alpha=1.0 / 8.0)
+        assert cascade.n_devices >= 2
+        assert cascade.effective_drop_fraction() == pytest.approx(1.0 / 8.0)
+
+    def test_all_stages_realizable(self):
+        cascade = SplitterCascade(target_alpha=0.01)
+        assert all(stage.single_device_realizable for stage in cascade.stages)
+
+    def test_rejects_unreachable_alpha(self):
+        alpha_max = SPLIT_RATIO_MAX / (1 + SPLIT_RATIO_MAX)
+        with pytest.raises(ValueError):
+            SplitterCascade(target_alpha=(alpha_max + 1.0) / 2.0)
+
+    def test_rejects_degenerate_alpha(self):
+        with pytest.raises(ValueError):
+            SplitterCascade(target_alpha=0.0)
+        with pytest.raises(ValueError):
+            SplitterCascade(target_alpha=1.0)
+
+    @given(st.floats(min_value=0.001, max_value=0.6))
+    def test_cascade_reaches_target(self, alpha):
+        cascade = SplitterCascade(target_alpha=alpha)
+        assert cascade.effective_drop_fraction() == pytest.approx(alpha, rel=1e-9)
+        assert all(stage.single_device_realizable for stage in cascade.stages)
+
+    def test_band_constants(self):
+        assert SPLIT_RATIO_MIN == 0.4
+        assert SPLIT_RATIO_MAX == 1.8

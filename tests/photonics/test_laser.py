@@ -1,0 +1,97 @@
+"""Tests for the Eq. (2) laser-power model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.photonics.components import AGGRESSIVE_PARAMETERS, MODERATE_PARAMETERS
+from repro.photonics.laser import (
+    EXTINCTION_RATIO_PENALTY_DB,
+    SYSTEM_MARGIN_DB,
+    LaserPowerModel,
+    per_wavelength_laser_power_mw,
+)
+from repro.photonics.link_budget import LinkBudget
+
+
+class TestConstants:
+    def test_extinction_penalty(self):
+        assert EXTINCTION_RATIO_PENALTY_DB == 2.0  # [60]
+
+    def test_system_margin(self):
+        assert SYSTEM_MARGIN_DB == 4.0  # [61]
+
+
+class TestEquationTwo:
+    def test_zero_loss_case(self):
+        # P_laser = -20 dBm + 0 + 2 + 4 = -14 dBm ~ 0.0398 mW
+        power = per_wavelength_laser_power_mw(MODERATE_PARAMETERS, 0.0)
+        assert power == pytest.approx(10 ** (-14 / 10), rel=1e-9)
+
+    def test_twenty_db_loss(self):
+        # -20 + 20 + 2 + 4 = +6 dBm ~ 3.98 mW
+        power = per_wavelength_laser_power_mw(MODERATE_PARAMETERS, 20.0)
+        assert power == pytest.approx(10 ** (0.6), rel=1e-9)
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(ValueError):
+            per_wavelength_laser_power_mw(MODERATE_PARAMETERS, -1.0)
+
+    def test_aggressive_sensitivity_saves_power(self):
+        """-26 dBm vs -20 dBm sensitivity is a 4x power saving."""
+        moderate = per_wavelength_laser_power_mw(MODERATE_PARAMETERS, 15.0)
+        aggressive = per_wavelength_laser_power_mw(AGGRESSIVE_PARAMETERS, 15.0)
+        assert moderate / aggressive == pytest.approx(10 ** 0.6, rel=1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=40.0))
+    def test_three_db_loss_doubles_power(self, loss):
+        base = per_wavelength_laser_power_mw(MODERATE_PARAMETERS, loss)
+        doubled = per_wavelength_laser_power_mw(MODERATE_PARAMETERS, loss + 3.0103)
+        assert doubled / base == pytest.approx(2.0, rel=1e-4)
+
+    @given(
+        st.floats(min_value=0.0, max_value=40.0),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_monotone_in_loss(self, loss, extra):
+        low = per_wavelength_laser_power_mw(MODERATE_PARAMETERS, loss)
+        high = per_wavelength_laser_power_mw(MODERATE_PARAMETERS, loss + extra)
+        assert high >= low
+
+
+class TestLaserPowerModel:
+    def _budget(self, rings: int = 0) -> LinkBudget:
+        budget = LinkBudget(MODERATE_PARAMETERS)
+        budget.add_laser_source().add_coupler().add_rings_passed(rings)
+        budget.add_drop().add_receiver()
+        return budget
+
+    def test_power_matches_free_function(self):
+        model = LaserPowerModel(MODERATE_PARAMETERS)
+        budget = self._budget()
+        assert model.power_for_budget_mw(budget) == pytest.approx(
+            per_wavelength_laser_power_mw(
+                MODERATE_PARAMETERS, budget.total_loss_db
+            )
+        )
+
+    def test_bank_power_scales_linearly(self):
+        model = LaserPowerModel(MODERATE_PARAMETERS)
+        budget = self._budget()
+        single = model.bank_power_mw(budget, 1)
+        assert model.bank_power_mw(budget, 24) == pytest.approx(24 * single)
+
+    def test_bank_power_zero_wavelengths(self):
+        model = LaserPowerModel(MODERATE_PARAMETERS)
+        assert model.bank_power_mw(self._budget(), 0) == 0.0
+
+    def test_bank_power_rejects_negative_count(self):
+        model = LaserPowerModel(MODERATE_PARAMETERS)
+        with pytest.raises(ValueError):
+            model.bank_power_mw(self._budget(), -1)
+
+    def test_more_rings_more_power(self):
+        model = LaserPowerModel(MODERATE_PARAMETERS)
+        assert model.power_for_budget_mw(self._budget(32)) > model.power_for_budget_mw(
+            self._budget(0)
+        )

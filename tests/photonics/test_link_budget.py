@@ -1,0 +1,105 @@
+"""Tests for insertion-loss accumulation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.photonics.components import MODERATE_PARAMETERS
+from repro.photonics.link_budget import LinkBudget, LossItem
+
+
+class TestLossItem:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LossItem(label="bad", loss_db=-0.1)
+
+
+class TestLinkBudget:
+    def test_empty_budget_is_lossless(self):
+        assert LinkBudget(MODERATE_PARAMETERS).total_loss_db == 0.0
+
+    def test_laser_and_coupler(self):
+        budget = LinkBudget(MODERATE_PARAMETERS)
+        budget.add_laser_source().add_coupler()
+        assert budget.total_loss_db == pytest.approx(6.0)
+
+    def test_waveguide_scales_with_length(self):
+        budget = LinkBudget(MODERATE_PARAMETERS)
+        budget.add_waveguide(2.5)
+        assert budget.total_loss_db == pytest.approx(2.5)
+
+    def test_waveguide_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            LinkBudget(MODERATE_PARAMETERS).add_waveguide(-1.0)
+
+    def test_rings_passed(self):
+        budget = LinkBudget(MODERATE_PARAMETERS)
+        budget.add_rings_passed(15)
+        assert budget.total_loss_db == pytest.approx(15 * 0.02)
+
+    def test_splitters_passed(self):
+        budget = LinkBudget(MODERATE_PARAMETERS)
+        budget.add_splitters_passed(7)
+        assert budget.total_loss_db == pytest.approx(7 * 0.2)
+
+    def test_receiver_combines_two_losses(self):
+        budget = LinkBudget(MODERATE_PARAMETERS)
+        budget.add_receiver()
+        assert budget.total_loss_db == pytest.approx(0.5 + 0.1)
+
+    def test_broadcast_split_eight_way(self):
+        budget = LinkBudget(MODERATE_PARAMETERS)
+        budget.add_broadcast_split(8)
+        assert budget.total_loss_db == pytest.approx(9.031, rel=1e-3)
+
+    def test_chaining_returns_self(self):
+        budget = LinkBudget(MODERATE_PARAMETERS)
+        result = budget.add_laser_source().add_coupler().add_drop()
+        assert result is budget
+
+    def test_full_path_is_sum_of_parts(self):
+        budget = LinkBudget(MODERATE_PARAMETERS)
+        budget.add_laser_source()  # 5.0
+        budget.add_coupler()  # 1.0
+        budget.add_waveguide(3.0)  # 3.0
+        budget.add_bends(2)  # 2.0
+        budget.add_crossovers(4)  # 0.2
+        budget.add_rings_passed(10)  # 0.2
+        budget.add_splitters_passed(7)  # 1.4
+        budget.add_broadcast_split(8)  # ~9.031
+        budget.add_drop()  # 1.0
+        budget.add_receiver()  # 0.6
+        assert budget.total_loss_db == pytest.approx(23.431, abs=1e-2)
+
+    def test_breakdown_merges_repeats(self):
+        budget = LinkBudget(MODERATE_PARAMETERS)
+        budget.add_coupler().add_coupler()
+        assert budget.breakdown()["coupler"] == pytest.approx(2.0)
+
+    def test_counts_reject_negative(self):
+        budget = LinkBudget(MODERATE_PARAMETERS)
+        with pytest.raises(ValueError):
+            budget.add_bends(-1)
+        with pytest.raises(ValueError):
+            budget.add_crossovers(-1)
+        with pytest.raises(ValueError):
+            budget.add_rings_passed(-1)
+        with pytest.raises(ValueError):
+            budget.add_splitters_passed(-2)
+
+    @given(
+        st.integers(min_value=0, max_value=64),
+        st.integers(min_value=0, max_value=64),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_total_is_monotone_in_additions(self, rings, splitters, length):
+        budget = LinkBudget(MODERATE_PARAMETERS)
+        previous = budget.total_loss_db
+        budget.add_rings_passed(rings)
+        assert budget.total_loss_db >= previous
+        previous = budget.total_loss_db
+        budget.add_splitters_passed(splitters)
+        assert budget.total_loss_db >= previous
+        previous = budget.total_loss_db
+        budget.add_waveguide(length)
+        assert budget.total_loss_db >= previous

@@ -1,0 +1,110 @@
+"""Tests for transmitter/receiver electrical power."""
+
+import pytest
+
+from repro.photonics.components import (
+    AGGRESSIVE_PARAMETERS,
+    MODERATE_PARAMETERS,
+    PhotonicParameters,
+)
+from repro.photonics.transceiver import (
+    AGGRESSIVE_TRANSCEIVER,
+    MODERATE_TRANSCEIVER,
+    TransceiverPower,
+    transceiver_for,
+)
+
+
+class TestPaperTotals:
+    """Section VII-B: P_TX = 2.9 mW, P_RX = 2.6 mW including a 2 mW
+    heater at 10 Gbps in 28 nm."""
+
+    def test_moderate_tx_total(self):
+        assert MODERATE_TRANSCEIVER.tx_total_mw == pytest.approx(2.9)
+
+    def test_moderate_rx_total(self):
+        assert MODERATE_TRANSCEIVER.rx_total_mw == pytest.approx(2.6)
+
+    def test_moderate_heater(self):
+        assert MODERATE_TRANSCEIVER.heater_mw == pytest.approx(2.0)
+
+    def test_aggressive_heater(self):
+        # 320 uW heater from [57].
+        assert AGGRESSIVE_TRANSCEIVER.heater_mw == pytest.approx(0.320)
+
+    def test_aggressive_circuits_scale_down(self):
+        assert (
+            AGGRESSIVE_TRANSCEIVER.tx_circuit_mw
+            < MODERATE_TRANSCEIVER.tx_circuit_mw
+        )
+        assert (
+            AGGRESSIVE_TRANSCEIVER.rx_circuit_mw
+            < MODERATE_TRANSCEIVER.rx_circuit_mw
+        )
+
+
+class TestPerBitEnergies:
+    def test_eo_energy(self):
+        # 0.9 mW at 10 Gbps = 0.09 pJ/bit.
+        assert MODERATE_TRANSCEIVER.eo_energy_pj_per_bit == pytest.approx(0.09)
+
+    def test_oe_energy(self):
+        assert MODERATE_TRANSCEIVER.oe_energy_pj_per_bit == pytest.approx(0.06)
+
+    def test_higher_rate_lowers_per_bit_energy(self):
+        fast = TransceiverPower(
+            tx_circuit_mw=0.9, rx_circuit_mw=0.6, heater_mw=2.0, data_rate_gbps=25.0
+        )
+        assert fast.eo_energy_pj_per_bit < MODERATE_TRANSCEIVER.eo_energy_pj_per_bit
+
+
+class TestHeatingEnergy:
+    def test_heating_energy_units(self):
+        # 1000 rings at 2 mW for 1 ms = 2 mJ.
+        energy = MODERATE_TRANSCEIVER.heating_energy_mj(1000, 1e-3)
+        assert energy == pytest.approx(2.0)
+
+    def test_zero_rings_zero_energy(self):
+        assert MODERATE_TRANSCEIVER.heating_energy_mj(0, 1.0) == 0.0
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            MODERATE_TRANSCEIVER.heating_energy_mj(-1, 1.0)
+        with pytest.raises(ValueError):
+            MODERATE_TRANSCEIVER.heating_energy_mj(1, -1.0)
+
+
+class TestFactory:
+    def test_moderate_lookup(self):
+        assert transceiver_for(MODERATE_PARAMETERS) == MODERATE_TRANSCEIVER
+
+    def test_aggressive_lookup(self):
+        assert transceiver_for(AGGRESSIVE_PARAMETERS) == AGGRESSIVE_TRANSCEIVER
+
+    def test_custom_parameters_inherit_moderate_circuits(self):
+        custom = PhotonicParameters(
+            name="custom",
+            laser_source_db=5.0,
+            coupler_db=1.0,
+            splitter_db=0.2,
+            waveguide_db_per_cm=1.0,
+            waveguide_bend_db=1.0,
+            waveguide_crossover_db=0.05,
+            ring_drop_db=1.0,
+            ring_through_db=0.02,
+            photodetector_db=0.1,
+            waveguide_to_receiver_db=0.5,
+            receiver_sensitivity_dbm=-20.0,
+            ring_heating_mw=1.0,
+        )
+        transceiver = transceiver_for(custom)
+        assert transceiver.tx_circuit_mw == MODERATE_TRANSCEIVER.tx_circuit_mw
+        assert transceiver.heater_mw == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransceiverPower(tx_circuit_mw=-1.0, rx_circuit_mw=0.6, heater_mw=2.0)
+        with pytest.raises(ValueError):
+            TransceiverPower(
+                tx_circuit_mw=0.9, rx_circuit_mw=0.6, heater_mw=2.0, data_rate_gbps=0
+            )

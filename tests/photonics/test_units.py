@@ -1,0 +1,118 @@
+"""Unit tests and properties for the dB/dBm unit algebra."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.photonics.units import (
+    combine_losses_db,
+    db_to_ratio,
+    dbm_to_mw,
+    mw_to_dbm,
+    mw_to_watt,
+    ratio_to_db,
+    split_loss_db,
+    watt_to_mw,
+)
+
+
+class TestDbRatio:
+    def test_zero_db_is_unity(self):
+        assert db_to_ratio(0.0) == pytest.approx(1.0)
+
+    def test_three_db_doubles(self):
+        assert db_to_ratio(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_negative_db_attenuates(self):
+        assert db_to_ratio(-10.0) == pytest.approx(0.1)
+
+    def test_ratio_to_db_of_ten(self):
+        assert ratio_to_db(10.0) == pytest.approx(10.0)
+
+    def test_ratio_to_db_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ratio_to_db(0.0)
+
+    def test_ratio_to_db_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ratio_to_db(-1.0)
+
+    @given(st.floats(min_value=-60.0, max_value=60.0))
+    def test_round_trip_db(self, db):
+        assert ratio_to_db(db_to_ratio(db)) == pytest.approx(db, abs=1e-9)
+
+    @given(st.floats(min_value=1e-9, max_value=1e9))
+    def test_round_trip_ratio(self, ratio):
+        assert db_to_ratio(ratio_to_db(ratio)) == pytest.approx(ratio, rel=1e-9)
+
+
+class TestDbm:
+    def test_zero_dbm_is_one_mw(self):
+        assert dbm_to_mw(0.0) == pytest.approx(1.0)
+
+    def test_minus_twenty_dbm(self):
+        # The Table III receiver sensitivity.
+        assert dbm_to_mw(-20.0) == pytest.approx(0.01)
+
+    def test_mw_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            mw_to_dbm(0.0)
+
+    @given(st.floats(min_value=-50.0, max_value=50.0))
+    def test_round_trip_dbm(self, dbm):
+        assert mw_to_dbm(dbm_to_mw(dbm)) == pytest.approx(dbm, abs=1e-9)
+
+
+class TestWattConversions:
+    def test_mw_to_watt(self):
+        assert mw_to_watt(2500.0) == pytest.approx(2.5)
+
+    def test_watt_to_mw(self):
+        assert watt_to_mw(0.5) == pytest.approx(500.0)
+
+    @given(st.floats(min_value=0.0, max_value=1e6))
+    def test_round_trip_watt(self, mw):
+        assert watt_to_mw(mw_to_watt(mw)) == pytest.approx(mw, abs=1e-9)
+
+
+class TestCombineLosses:
+    def test_empty_sum_is_zero(self):
+        assert combine_losses_db() == 0.0
+
+    def test_sums_components(self):
+        assert combine_losses_db(1.0, 0.5, 0.25) == pytest.approx(1.75)
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(ValueError):
+            combine_losses_db(1.0, -0.1)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0), max_size=16))
+    def test_matches_builtin_sum(self, losses):
+        assert combine_losses_db(*losses) == pytest.approx(sum(losses))
+
+
+class TestSplitLoss:
+    def test_single_destination_is_free(self):
+        assert split_loss_db(1) == pytest.approx(0.0)
+
+    def test_two_way_split_is_three_db(self):
+        assert split_loss_db(2) == pytest.approx(3.0103, rel=1e-4)
+
+    def test_eight_way_split_is_nine_db(self):
+        # The paper's 8-chiplet cross-chiplet broadcast.
+        assert split_loss_db(8) == pytest.approx(9.031, rel=1e-4)
+
+    def test_rejects_zero_destinations(self):
+        with pytest.raises(ValueError):
+            split_loss_db(0)
+
+    @given(st.integers(min_value=1, max_value=1024))
+    def test_monotone_in_fanout(self, n):
+        assert split_loss_db(n + 1) > split_loss_db(n)
+
+    @given(st.integers(min_value=1, max_value=512))
+    def test_consistent_with_ratio(self, n):
+        # Splitting to n destinations leaves exactly 1/n of the power.
+        assert db_to_ratio(-split_loss_db(n)) == pytest.approx(1.0 / n)

@@ -1,0 +1,75 @@
+"""Tests for the Monte-Carlo variation analysis."""
+
+import pytest
+
+from repro.photonics.components import MODERATE_PARAMETERS
+from repro.photonics.variation import VariationModel, VariationResult
+from repro.spacx.power import SpacxPowerModel
+from repro.spacx.topology import SpacxTopology
+
+TOPO = SpacxTopology(
+    chiplets=32, pes_per_chiplet=32, ef_granularity=8, k_granularity=16
+)
+
+
+def _budget_builder(params):
+    return SpacxPowerModel(TOPO, params).x_path_budget()
+
+
+class TestSampling:
+    def test_deterministic_in_seed(self):
+        a = VariationModel(seed=7).sample_parameters(MODERATE_PARAMETERS, 8)
+        b = VariationModel(seed=7).sample_parameters(MODERATE_PARAMETERS, 8)
+        assert [c.ring_drop_db for c in a] == [c.ring_drop_db for c in b]
+
+    def test_different_seeds_differ(self):
+        a = VariationModel(seed=1).sample_parameters(MODERATE_PARAMETERS, 8)
+        b = VariationModel(seed=2).sample_parameters(MODERATE_PARAMETERS, 8)
+        assert [c.ring_drop_db for c in a] != [c.ring_drop_db for c in b]
+
+    def test_losses_never_negative(self):
+        corners = VariationModel(
+            ring_drop_sigma=1.0, seed=3
+        ).sample_parameters(MODERATE_PARAMETERS, 64)
+        assert all(c.ring_drop_db >= 0.0 for c in corners)
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            VariationModel().sample_parameters(MODERATE_PARAMETERS, 0)
+
+
+class TestAnalysis:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return VariationModel(seed=42).analyze(
+            MODERATE_PARAMETERS, _budget_builder, n_samples=128
+        )
+
+    def test_statistics_ordered(self, result):
+        assert result.mean_excess_db <= result.p95_excess_db
+        assert result.p95_excess_db <= result.worst_excess_db
+
+    def test_margin_absorbs_typical_variation(self, result):
+        """The 4 dB system margin exists precisely for this: realistic
+        fab corners must land within it with high yield."""
+        assert result.yield_fraction >= 0.95
+        assert result.p95_excess_db < result.margin_db
+
+    def test_wilder_process_degrades_yield(self):
+        wild = VariationModel(
+            ring_drop_sigma=1.2,
+            ring_through_sigma=2.0,
+            splitter_sigma=1.0,
+            waveguide_sigma=1.0,
+            seed=42,
+        ).analyze(MODERATE_PARAMETERS, _budget_builder, n_samples=128)
+        nominal = VariationModel(seed=42).analyze(
+            MODERATE_PARAMETERS, _budget_builder, n_samples=128
+        )
+        assert wild.yield_fraction <= nominal.yield_fraction
+        assert wild.p95_excess_db > nominal.p95_excess_db
+
+    def test_result_container(self):
+        result = VariationResult(samples_db=(0.1, 0.2, 5.0), margin_db=4.0)
+        assert result.yield_fraction == pytest.approx(2 / 3)
+        assert result.worst_excess_db == 5.0

@@ -1,0 +1,76 @@
+"""Tests for WDM channel bookkeeping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.photonics.wdm import (
+    DEFAULT_DATA_RATE_GBPS,
+    MAX_WAVELENGTHS_PER_WAVEGUIDE,
+    WavelengthChannel,
+    WDMGroup,
+)
+
+
+class TestWavelengthChannel:
+    def test_defaults_to_ten_gbps(self):
+        assert WavelengthChannel(index=0).data_rate_gbps == 10.0
+        assert DEFAULT_DATA_RATE_GBPS == 10.0
+
+    def test_bandwidth_equals_rate(self):
+        assert WavelengthChannel(index=1, data_rate_gbps=25.0).bandwidth_gbps == 25.0
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            WavelengthChannel(index=-1)
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            WavelengthChannel(index=0, data_rate_gbps=0.0)
+
+
+class TestWDMGroup:
+    def test_from_indices(self):
+        group = WDMGroup.from_indices(range(16))
+        assert group.n_channels == 16
+        assert group.indices() == list(range(16))
+
+    def test_aggregate_bandwidth(self):
+        # The paper's 24-wavelength SPACX setup: 240 Gbps per waveguide.
+        group = WDMGroup.from_indices(range(24))
+        assert group.aggregate_bandwidth_gbps == pytest.approx(240.0)
+
+    def test_duplicate_rejected_on_construction(self):
+        with pytest.raises(ValueError):
+            WDMGroup(channels=[WavelengthChannel(0), WavelengthChannel(0)])
+
+    def test_add_rejects_duplicate_and_rolls_back(self):
+        group = WDMGroup.from_indices([0, 1])
+        with pytest.raises(ValueError):
+            group.add(WavelengthChannel(1))
+        assert group.n_channels == 2  # rollback happened
+
+    def test_wdm_limit_enforced(self):
+        with pytest.raises(ValueError):
+            WDMGroup.from_indices(range(MAX_WAVELENGTHS_PER_WAVEGUIDE + 1))
+
+    def test_limit_is_sixty_four(self):
+        # Section II-A: up to 64 multiplexed wavelengths [24], [44]-[46].
+        assert MAX_WAVELENGTHS_PER_WAVEGUIDE == 64
+        group = WDMGroup.from_indices(range(64))
+        assert group.n_channels == 64
+
+    def test_contains_and_iter(self):
+        group = WDMGroup.from_indices([3, 5, 7])
+        assert 5 in group
+        assert 4 not in group
+        assert [c.index for c in group] == [3, 5, 7]
+        assert len(group) == 3
+
+    @given(st.sets(st.integers(min_value=0, max_value=1000), max_size=64))
+    def test_any_unique_index_set_is_valid(self, indices):
+        group = WDMGroup.from_indices(sorted(indices))
+        assert group.n_channels == len(indices)
+        assert group.aggregate_bandwidth_gbps == pytest.approx(
+            10.0 * len(indices)
+        )

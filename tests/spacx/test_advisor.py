@@ -1,0 +1,126 @@
+"""Tests for the Section V granularity advisor."""
+
+import pytest
+
+from repro.core.layer import ConvLayer, LayerSet, fully_connected
+from repro.spacx.advisor import (
+    ConfigurationScore,
+    GranularityAdvisor,
+    recommend_granularity,
+)
+
+
+def _conv_heavy_workload():
+    """Large ofmap planes, few channels: wants coarse e/f groups."""
+    return LayerSet(
+        "conv-heavy",
+        [
+            ConvLayer(name="a", c=32, k=8, r=3, s=3, h=66, w=66),
+            ConvLayer(name="b", c=32, k=8, r=3, s=3, h=34, w=34),
+        ],
+    )
+
+
+def _fc_heavy_workload():
+    """Tiny planes, many channels: wants fine e/f groups."""
+    return LayerSet(
+        "fc-heavy",
+        [
+            fully_connected("fc1", 2048, 2048),
+            fully_connected("fc2", 2048, 1000),
+        ],
+    )
+
+
+class TestConfigurationScore:
+    def _score(self):
+        return ConfigurationScore(
+            k_granularity=16,
+            ef_granularity=8,
+            execution_time_s=2e-3,
+            energy_mj=10.0,
+            static_network_power_w=15.0,
+            mean_utilization=0.5,
+        )
+
+    def test_edp(self):
+        assert self._score().edp == pytest.approx(10.0 * 2e-3)
+
+    def test_objectives(self):
+        score = self._score()
+        assert score.objective("execution_time") == 2e-3
+        assert score.objective("energy") == 10.0
+        assert score.objective("edp") == score.edp
+        assert score.objective("static_power") == 15.0
+
+    def test_unknown_objective(self):
+        with pytest.raises(ValueError):
+            self._score().objective("speed")
+
+
+class TestAdvisor:
+    def test_candidate_filtering(self):
+        advisor = GranularityAdvisor(
+            chiplets=8, pes_per_chiplet=8, granularities=(4, 8, 16)
+        )
+        assert (16, 16) not in advisor.candidates
+        assert (4, 8) in advisor.candidates
+
+    def test_rejects_impossible_grid(self):
+        with pytest.raises(ValueError):
+            GranularityAdvisor(chiplets=6, pes_per_chiplet=6, granularities=(4,))
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            GranularityAdvisor(granularities=())
+
+    def test_evaluates_all_candidates(self):
+        advisor = GranularityAdvisor(granularities=(8, 16))
+        scores = advisor.evaluate(_conv_heavy_workload())
+        assert len(scores) == len(advisor.candidates) == 4
+        assert all(s.execution_time_s > 0 for s in scores)
+        assert all(0 < s.mean_utilization <= 1 for s in scores)
+
+    def test_recommendation_is_a_candidate(self):
+        advisor = GranularityAdvisor(granularities=(8, 16))
+        best = advisor.recommend(_conv_heavy_workload(), objective="edp")
+        assert (best.k_granularity, best.ef_granularity) in advisor.candidates
+
+    def test_recommendation_minimises_objective(self):
+        advisor = GranularityAdvisor(granularities=(8, 16))
+        workload = _conv_heavy_workload()
+        scores = advisor.evaluate(workload)
+        best = advisor.recommend(workload, objective="execution_time")
+        assert best.execution_time_s == min(s.execution_time_s for s in scores)
+
+    def test_static_power_objective_matches_surface_minimum(self):
+        """Ranking by static power must agree with the Fig. 19
+        overall-power surface (the advisor reuses that model)."""
+        advisor = GranularityAdvisor(granularities=(4, 8, 16, 32))
+        scores = advisor.evaluate(_conv_heavy_workload())
+        best = advisor.recommend(_conv_heavy_workload(), objective="static_power")
+        assert best.static_network_power_w == min(
+            s.static_network_power_w for s in scores
+        )
+        # The Fig. 19 overall optimum is interior, never (32, 32).
+        assert (best.k_granularity, best.ef_granularity) != (32, 32)
+
+    def test_accepts_raw_layer_iterables(self):
+        layers = [ConvLayer(name="x", c=16, k=16, r=3, s=3, h=10, w=10)]
+        best = recommend_granularity(layers, objective="energy")
+        assert best.energy_mj > 0
+
+    def test_workload_sensitivity(self):
+        """Different workloads may pick different configurations --
+        the whole point of Section V's exploration.  At minimum the
+        FC-heavy workload must not lose utilization by choosing the
+        conv-optimal point blindly."""
+        advisor = GranularityAdvisor(granularities=(4, 8, 16, 32))
+        conv_best = advisor.recommend(
+            _conv_heavy_workload(), objective="execution_time"
+        )
+        fc_best = advisor.recommend(
+            _fc_heavy_workload(), objective="execution_time"
+        )
+        assert conv_best.execution_time_s > 0
+        assert fc_best.execution_time_s > 0

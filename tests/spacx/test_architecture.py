@@ -1,0 +1,87 @@
+"""Tests for the SPACX accelerator-spec builder."""
+
+import pytest
+
+from repro.core.dataflow import DataflowKind
+from repro.spacx.architecture import (
+    DEFAULT_EF_GRANULARITY,
+    DEFAULT_K_GRANULARITY,
+    spacx_simulator,
+    spacx_spec,
+    spacx_topology,
+)
+
+
+class TestDefaults:
+    def test_paper_granularities(self):
+        """Section VII-C: e/f = 8, k = 16 unless otherwise stated."""
+        assert DEFAULT_EF_GRANULARITY == 8
+        assert DEFAULT_K_GRANULARITY == 16
+
+    def test_spec_matches_section_vii_c(self):
+        spec = spacx_spec()
+        assert spec.chiplets == 32
+        assert spec.pes_per_chiplet == 32
+        assert spec.mac_vector_width == 32
+        assert spec.pe_buffer_bytes == 4 * 1024
+        assert spec.gb_bytes == 2 * 1024 * 1024
+        assert spec.dataflow is DataflowKind.SPACX_OS
+
+    def test_bandwidths_derive_from_topology(self):
+        spec = spacx_spec()
+        topo = spacx_topology()
+        assert spec.chiplet_read_gbps == topo.chiplet_read_gbps
+        assert spec.gb_egress_gbps == topo.gb_egress_gbps
+        assert spec.pe_write_gbps == topo.pe_write_gbps
+
+    def test_broadcast_capabilities(self):
+        caps = spacx_spec().capabilities
+        assert caps.weight_broadcast
+        assert caps.ifmap_broadcast
+        assert caps.ifmap_reuse_multicast
+
+
+class TestBandwidthAllocationToggle:
+    def test_ba_off_renames_machine(self):
+        assert spacx_spec(bandwidth_allocation=False).name == "SPACX-BA"
+        assert spacx_spec(bandwidth_allocation=True).name == "SPACX"
+
+    def test_ba_off_partitions_wavelengths(self):
+        spec = spacx_spec(bandwidth_allocation=False)
+        assert spec.pe_weight_read_gbps == pytest.approx(10.0)
+        assert spec.pe_ifmap_read_gbps == pytest.approx(10.0)
+        assert spec.gb_weight_egress_gbps > spec.gb_ifmap_egress_gbps
+        assert not spec.capabilities.ifmap_reuse_multicast
+
+    def test_ba_on_pools_links(self):
+        spec = spacx_spec(bandwidth_allocation=True)
+        assert spec.pe_weight_read_gbps == 0.0
+        assert spec.gb_weight_egress_gbps == 0.0
+
+    def test_partition_sums_to_pooled_capacity(self):
+        split = spacx_spec(bandwidth_allocation=False)
+        pooled = spacx_spec(bandwidth_allocation=True)
+        assert (
+            split.gb_weight_egress_gbps + split.gb_ifmap_egress_gbps
+            == pytest.approx(pooled.gb_egress_gbps)
+        )
+
+
+class TestScaling:
+    def test_granularity_clamped_to_small_machines(self):
+        spec = spacx_spec(chiplets=4, pes_per_chiplet=8)
+        assert spec.ef_granularity == 4
+        assert spec.k_granularity == 8
+
+    def test_simulator_factory_runs(self):
+        from repro.core.layer import ConvLayer
+
+        simulator = spacx_simulator()
+        layer = ConvLayer(name="t", c=16, k=16, r=3, s=3, h=10, w=10)
+        result = simulator.simulate_layer(layer)
+        assert result.execution_time_s > 0
+        assert result.accelerator == "SPACX"
+
+    def test_dataflow_override(self):
+        simulator = spacx_simulator(dataflow=DataflowKind.WEIGHT_STATIONARY)
+        assert simulator.spec.dataflow is DataflowKind.WEIGHT_STATIONARY

@@ -1,0 +1,50 @@
+"""Tests for the Section VIII-G area model."""
+
+import pytest
+
+from repro.spacx.area import AreaModel
+from repro.spacx.topology import SpacxTopology
+
+
+def _model():
+    return AreaModel(
+        SpacxTopology(
+            chiplets=32, pes_per_chiplet=32, ef_granularity=8, k_granularity=16
+        )
+    )
+
+
+class TestPaperNumbers:
+    def test_pe_logic_area(self):
+        assert _model().report().pe_logic_mm2 == pytest.approx(0.72)
+
+    def test_132_mrrs_under_chiplet(self):
+        assert _model().mrrs_under_chiplet == 132
+
+    def test_transceiver_overhead_near_four_percent(self):
+        """Three 0.0096 mm^2 transceivers over 0.72 mm^2 of logic."""
+        report = _model().report()
+        assert report.transceiver_overhead == pytest.approx(0.04, rel=0.05)
+
+    def test_mrr_area_about_0p01_mm2(self):
+        report = _model().report()
+        assert report.mrr_mm2 == pytest.approx(0.01, rel=0.1)
+
+    def test_microbump_area_about_0p68_mm2(self):
+        report = _model().report()
+        assert report.microbump_mm2 == pytest.approx(0.68, rel=0.05)
+
+    def test_everything_hides_under_the_chiplet(self):
+        report = _model().report()
+        assert report.chiplet_mm2 == pytest.approx(4.07)
+        assert report.fits_under_chiplet
+
+
+class TestScaling:
+    def test_finer_granularity_more_rings_under_chiplet(self):
+        fine = AreaModel(
+            SpacxTopology(
+                chiplets=32, pes_per_chiplet=32, ef_granularity=8, k_granularity=4
+            )
+        )
+        assert fine.mrrs_under_chiplet > _model().mrrs_under_chiplet

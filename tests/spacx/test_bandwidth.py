@@ -1,0 +1,92 @@
+"""Tests for the Section VI flexible bandwidth allocation."""
+
+import pytest
+
+from repro.core.dataflow import SpacxTiling
+from repro.core.layer import ConvLayer, fully_connected
+from repro.spacx.bandwidth import (
+    ifmap_sharer_chiplets,
+    plan_bandwidth,
+    weight_sharer_pes,
+)
+from repro.spacx.topology import SpacxTopology
+
+TOPO = SpacxTopology(
+    chiplets=32, pes_per_chiplet=32, ef_granularity=8, k_granularity=16
+)
+
+
+def _tiling(layer, **kwargs):
+    defaults = dict(ef_spatial=16, k_spatial=64, k_group=16, ef_group=8)
+    defaults.update(kwargs)
+    return SpacxTiling.for_layer(layer, **defaults)
+
+
+class TestSharerSets:
+    def test_fig12_formula(self):
+        """min(S,F2) * min(R,E2) * K1 chiplets share one input feature."""
+        layer = ConvLayer(name="fig12", c=3, k=8, r=2, s=2, h=5, w=5)
+        tiling = _tiling(layer)
+        expected = (
+            min(layer.s, tiling.f2) * min(layer.r, tiling.e2) * tiling.k1
+        )
+        assert ifmap_sharer_chiplets(layer, tiling) == expected
+
+    def test_1x1_kernel_has_single_sharer_per_k1(self):
+        layer = ConvLayer(name="pw", c=64, k=64, r=1, s=1, h=8, w=8)
+        tiling = _tiling(layer)
+        assert ifmap_sharer_chiplets(layer, tiling) == tiling.k1
+
+    def test_weight_sharers_are_position_tiles(self):
+        layer = ConvLayer(name="t", c=8, k=8, r=3, s=3, h=10, w=10)
+        tiling = _tiling(layer)
+        assert weight_sharer_pes(tiling) == tiling.e3 * tiling.f3
+
+
+class TestPlanning:
+    def test_conv_layer_gets_ifmap_multicast(self):
+        """Ifmap-dominated convolutions borrow X carriers."""
+        layer = ConvLayer(name="conv", c=64, k=64, r=3, s=3, h=58, w=58)
+        plan = plan_bandwidth(layer, _tiling(layer), TOPO)
+        assert plan.ifmap_multicast
+        assert plan.x_for_ifmaps >= 1
+        assert plan.x_total == TOPO.k_granularity
+
+    def test_fc_layer_keeps_x_for_weights(self):
+        """Weight-dominated FC layers leave X to weights."""
+        fc = fully_connected("fc", 4096, 4096)
+        plan = plan_bandwidth(fc, _tiling(fc), TOPO)
+        assert not plan.ifmap_multicast
+        assert plan.x_for_weights == TOPO.k_granularity
+        assert plan.x_for_ifmaps == 0
+
+    def test_partition_always_covers_x(self):
+        for layer in (
+            ConvLayer(name="a", c=32, k=512, r=3, s=3, h=16, w=16),
+            ConvLayer(name="b", c=512, k=32, r=1, s=1, h=30, w=30),
+            fully_connected("c", 1024, 1000),
+        ):
+            plan = plan_bandwidth(layer, _tiling(layer), TOPO)
+            assert plan.x_for_weights + plan.x_for_ifmaps == TOPO.k_granularity
+            assert plan.y_wavelengths == TOPO.ef_granularity
+
+    def test_retuning_events_counted(self):
+        layer = ConvLayer(name="conv", c=64, k=64, r=3, s=3, h=58, w=58)
+        plan = plan_bandwidth(layer, _tiling(layer), TOPO)
+        assert plan.retuning_events >= plan.x_for_ifmaps * TOPO.chiplets
+
+    def test_rejects_negative_allocation(self):
+        from repro.spacx.bandwidth import BandwidthAllocationPlan
+
+        with pytest.raises(ValueError):
+            BandwidthAllocationPlan(
+                layer_name="bad",
+                x_for_weights=-1,
+                x_for_ifmaps=1,
+                y_wavelengths=8,
+                ifmap_multicast=False,
+                weight_multicast=False,
+                ifmap_sharers=1,
+                weight_sharers=1,
+                retuning_events=0,
+            )

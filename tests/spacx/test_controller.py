@@ -1,0 +1,100 @@
+"""Tests for the execution controller's per-layer programs."""
+
+import pytest
+
+from repro.core.layer import ConvLayer, fully_connected
+from repro.photonics.components import SPLITTER_TUNING_DELAY_S
+from repro.spacx.controller import ExecutionController, SplitterSetting
+from repro.spacx.topology import SpacxTopology
+from repro.photonics.components import TunableSplitter
+
+TOPO = SpacxTopology(
+    chiplets=32, pes_per_chiplet=32, ef_granularity=8, k_granularity=16
+)
+
+
+def _conv(r=3, c=64, k=64, size=58):
+    return ConvLayer(name="conv", c=c, k=k, r=r, s=r, h=size, w=size)
+
+
+class TestSplitterSetting:
+    def test_rejects_unknown_purpose(self):
+        with pytest.raises(ValueError):
+            SplitterSetting(
+                chiplet_group=0,
+                chiplet_in_group=0,
+                pe_group=0,
+                wavelength=0,
+                splitter=TunableSplitter(alpha=0.5),
+                purpose="mystery",
+            )
+
+
+class TestProgramStructure:
+    def test_every_interface_programmed(self):
+        controller = ExecutionController(TOPO)
+        program = controller.program_layer(_conv())
+        # One setting per (interface, X wavelength).
+        expected = (
+            TOPO.chiplets * TOPO.n_pe_groups * TOPO.k_granularity
+        )
+        assert len(program.settings) == expected
+
+    def test_interface_lookup(self):
+        controller = ExecutionController(TOPO)
+        program = controller.program_layer(_conv())
+        one_interface = program.settings_for(0, 0, 0)
+        assert len(one_interface) == TOPO.k_granularity
+
+    def test_retuning_latency_is_one_dac_step(self):
+        controller = ExecutionController(TOPO)
+        program = controller.program_layer(_conv())
+        assert program.retuning_latency_s == SPLITTER_TUNING_DELAY_S
+
+
+class TestPowerConservation:
+    def test_broadcast_chains_deliver_equal_shares(self):
+        controller = ExecutionController(TOPO)
+        program = controller.program_layer(fully_connected("fc", 2048, 2048))
+        shares = program.delivered_power_shares(0, 0, wavelength=0)
+        assert len(shares) == TOPO.ef_granularity
+        assert all(s == pytest.approx(1 / 8) for s in shares)
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_multicast_chains_conserve_power_over_subset(self):
+        controller = ExecutionController(TOPO)
+        layer = _conv()  # ifmap-dominated 3x3: multicast engages
+        program = controller.program_layer(layer)
+        assert program.bandwidth_plan.ifmap_multicast
+        multicast_wavelength = TOPO.k_granularity - 1  # borrowed carrier
+        shares = program.delivered_power_shares(0, 0, multicast_wavelength)
+        positive = [s for s in shares if s > 0]
+        assert positive  # someone receives
+        assert sum(shares) == pytest.approx(1.0, abs=1e-9) or sum(
+            shares
+        ) == pytest.approx(sum(positive))
+        assert all(s == pytest.approx(positive[0]) for s in positive)
+
+
+class TestMulticastSubsets:
+    def test_parked_splitters_outside_subset(self):
+        controller = ExecutionController(TOPO)
+        program = controller.program_layer(_conv())
+        parked = [s for s in program.settings if s.purpose == "parked"]
+        multicast = [s for s in program.settings if s.purpose == "multicast"]
+        assert multicast  # the plan borrowed X carriers
+        for setting in parked:
+            assert setting.splitter.is_disabled
+
+    def test_fc_layer_keeps_pure_broadcast(self):
+        controller = ExecutionController(TOPO)
+        program = controller.program_layer(fully_connected("fc", 4096, 4096))
+        purposes = {s.purpose for s in program.settings}
+        assert purposes == {"broadcast"}
+
+    def test_disabled_bandwidth_allocation_never_multicasts(self):
+        controller = ExecutionController(TOPO, bandwidth_allocation=False)
+        program = controller.program_layer(_conv())
+        purposes = {s.purpose for s in program.settings}
+        assert "multicast" not in purposes
+        assert "parked" not in purposes

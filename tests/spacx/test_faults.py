@@ -1,0 +1,86 @@
+"""Tests for fault injection and degraded-mode behaviour."""
+
+import pytest
+
+from repro.core.layer import ConvLayer, LayerSet
+from repro.spacx.faults import (
+    DegradedResult,
+    FaultKind,
+    FaultScenario,
+    inject_fault,
+)
+
+
+def _workload():
+    return LayerSet(
+        "w",
+        [
+            ConvLayer(name="a", c=128, k=128, r=3, s=3, h=30, w=30),
+            ConvLayer(name="b", c=256, k=256, r=3, s=3, h=16, w=16),
+        ],
+    )
+
+
+class TestScenario:
+    def test_healthy_flag(self):
+        assert FaultScenario().is_healthy
+        assert not FaultScenario(x_carriers=1).is_healthy
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            FaultScenario(x_carriers=-1)
+
+    def test_fault_kinds_enumerated(self):
+        assert {k.value for k in FaultKind} == {
+            "x_carrier",
+            "y_carrier",
+            "interposer_splitter",
+        }
+
+
+class TestDegradedMode:
+    def test_healthy_scenario_is_identity(self):
+        result = inject_fault(_workload(), FaultScenario())
+        assert result.slowdown == pytest.approx(1.0)
+        assert result.pes_lost == 0
+
+    def test_single_splitter_failure_is_mild(self):
+        result = inject_fault(_workload(), FaultScenario(splitters=1))
+        assert result.pes_lost == 1
+        assert 1.0 <= result.slowdown < 1.3
+
+    def test_y_carrier_failure_costs_a_chiplet(self):
+        result = inject_fault(_workload(), FaultScenario(y_carriers=1))
+        assert result.pes_lost == 32
+        assert result.slowdown >= 1.0
+
+    def test_x_carrier_failure_costs_a_position_per_group_chiplet(self):
+        result = inject_fault(_workload(), FaultScenario(x_carriers=1))
+        assert result.pes_lost == 8  # g_ef chiplets lose one PE each
+
+    def test_graceful_degradation_ordering(self):
+        """Losing more hardware never speeds things up, and the
+        slowdown stays bounded by the lost-capacity fraction."""
+        workload = _workload()
+        mild = inject_fault(workload, FaultScenario(splitters=1))
+        harsh = inject_fault(
+            workload, FaultScenario(y_carriers=8, x_carriers=16)
+        )
+        assert harsh.pes_lost > mild.pes_lost
+        assert harsh.slowdown >= mild.slowdown
+        # 8 chiplets + spread PEs lost is under half the machine; the
+        # slowdown must stay within ~3x (no cliff).
+        assert harsh.slowdown < 3.0
+
+    def test_total_loss_rejected(self):
+        with pytest.raises(ValueError):
+            inject_fault(_workload(), FaultScenario(y_carriers=32))
+
+    def test_result_container(self):
+        result = DegradedResult(
+            scenario=FaultScenario(splitters=1),
+            healthy_execution_time_s=1.0,
+            degraded_execution_time_s=1.2,
+            pes_lost=1,
+        )
+        assert result.slowdown == pytest.approx(1.2)

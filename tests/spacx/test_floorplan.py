@@ -1,0 +1,125 @@
+"""Tests for the interposer floorplan model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.spacx.floorplan import CHIPLET_EDGE_CM, Floorplan, PathGeometry
+from repro.spacx.topology import SpacxTopology
+
+
+def _plan(chiplets=32, pes=32, ef=8, k=16):
+    return Floorplan(
+        SpacxTopology(
+            chiplets=chiplets,
+            pes_per_chiplet=pes,
+            ef_granularity=ef,
+            k_granularity=k,
+        )
+    )
+
+
+class TestPlacement:
+    def test_grid_covers_all_chiplets(self):
+        plan = _plan()
+        assert plan.rows * plan.columns >= 32
+
+    def test_positions_unique(self):
+        plan = _plan()
+        positions = {plan.chiplet_position(i) for i in range(32)}
+        assert len(positions) == 32
+
+    def test_positions_clear_the_gb_die(self):
+        plan = _plan()
+        assert all(plan.chiplet_position(i)[0] > 0.4 for i in range(32))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            _plan().chiplet_position(32)
+
+    def test_interposer_area_scales_with_chiplets(self):
+        small = _plan(chiplets=16, ef=8)
+        large = _plan(chiplets=64, ef=8)
+        assert large.interposer_area_cm2() > small.interposer_area_cm2()
+
+    @given(st.sampled_from([8, 16, 32, 64]))
+    def test_area_bounds(self, chiplets):
+        plan = _plan(chiplets=chiplets, ef=min(8, chiplets))
+        # Area must at least hold the chiplets themselves.
+        assert plan.interposer_area_cm2() >= chiplets * CHIPLET_EDGE_CM**2
+
+
+class TestRouting:
+    def test_group_membership_is_consecutive(self):
+        plan = _plan()
+        assert plan.group_chiplets(0) == list(range(8))
+        assert plan.group_chiplets(3) == list(range(24, 32))
+
+    def test_geometry_positive(self):
+        plan = _plan()
+        for group in range(4):
+            geometry = plan.global_waveguide_geometry(group)
+            assert geometry.length_cm > 0
+            assert geometry.bends >= 1
+
+    def test_worst_group_is_the_maximum(self):
+        """The GB sits mid-edge, so groups are symmetric around it;
+        the worst case must pick the true maximum over groups."""
+        plan = _plan()
+        lengths = [
+            plan.global_waveguide_geometry(g).length_cm for g in range(4)
+        ]
+        worst = plan.worst_case_geometry()
+        local = plan.local_waveguide_geometry()
+        assert worst.length_cm == pytest.approx(max(lengths) + local.length_cm)
+
+    def test_worst_case_covers_global_plus_local(self):
+        plan = _plan()
+        worst = plan.worst_case_geometry()
+        longest_global = max(
+            plan.global_waveguide_geometry(g).length_cm for g in range(4)
+        )
+        assert worst.length_cm > longest_global
+
+    def test_crossings_grow_with_waveguide_count(self):
+        coarse = _plan(ef=32, k=32).worst_case_geometry()
+        fine = _plan(ef=4, k=4).worst_case_geometry()
+        assert fine.crossings > coarse.crossings
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            PathGeometry(length_cm=-1.0, bends=0, crossings=0)
+
+
+class TestPowerModelIntegration:
+    def test_floorplan_driven_budget_differs_from_constants(self):
+        from repro.photonics.components import MODERATE_PARAMETERS
+        from repro.spacx.power import SpacxPowerModel
+
+        topo = SpacxTopology(
+            chiplets=32, pes_per_chiplet=32, ef_granularity=8, k_granularity=16
+        )
+        constant = SpacxPowerModel(topo, MODERATE_PARAMETERS)
+        layout = SpacxPowerModel(
+            topo, MODERATE_PARAMETERS, floorplan=Floorplan(topo)
+        )
+        assert layout.laser_power_w() != constant.laser_power_w()
+        # Both stay in a physically sensible band.
+        assert 0.1 < layout.laser_power_w() < 100.0
+
+    def test_floorplan_surfaces_keep_paper_shapes(self):
+        """The qualitative Fig. 19 claims survive layout-driven
+        geometry: laser still minimal at fine granularity."""
+        from repro.photonics.components import MODERATE_PARAMETERS
+        from repro.spacx.power import SpacxPowerModel
+
+        lasers = {}
+        for g in (4, 8, 16, 32):
+            topo = SpacxTopology(
+                chiplets=32, pes_per_chiplet=32, ef_granularity=g, k_granularity=g
+            )
+            model = SpacxPowerModel(
+                topo, MODERATE_PARAMETERS, floorplan=Floorplan(topo)
+            )
+            lasers[g] = model.laser_power_w()
+        assert lasers[4] < lasers[32]

@@ -1,0 +1,88 @@
+"""Tests for interposer/chiplet interfaces and splitter schedules."""
+
+import math
+
+import pytest
+
+from repro.spacx.interfaces import (
+    build_interfaces,
+    local_splitter_schedule,
+)
+from repro.spacx.topology import TABLE_I_CONFIGURATIONS, SpacxTopology
+
+
+class TestInterfaceConstruction:
+    def test_one_interface_per_chiplet_per_local_waveguide(self):
+        for topo in TABLE_I_CONFIGURATIONS.values():
+            interfaces = build_interfaces(topo)
+            assert len(interfaces) == (
+                topo.chiplets * topo.n_local_waveguides_per_chiplet
+            )
+
+    def test_interface_mrr_count_matches_topology(self):
+        for name, topo in TABLE_I_CONFIGURATIONS.items():
+            interfaces = build_interfaces(topo)
+            total = sum(interface.n_mrrs for interface in interfaces)
+            assert total == topo.n_interface_mrrs, name
+
+    def test_fig6_schedule_on_config_a(self):
+        """Fig. 6: Chiplet0 taps 1/8 of each X carrier (alpha = 1/8,
+        split ratio 1/7), the last chiplet takes everything."""
+        topo = TABLE_I_CONFIGURATIONS["A"]
+        interfaces = build_interfaces(topo)
+        first = next(i for i in interfaces if i.chiplet_in_group == 0)
+        last = next(i for i in interfaces if i.chiplet_in_group == 7)
+        assert first.x_drop_fraction() == pytest.approx(1.0 / 8.0)
+        assert first.x_splitters[0].split_ratio == pytest.approx(1.0 / 7.0)
+        assert last.x_drop_fraction() == pytest.approx(1.0)
+        assert last.x_splitters[0].split_ratio == math.inf
+
+    def test_equal_power_delivery_across_group(self):
+        """Power share reaching each chiplet's local waveguide is 1/g."""
+        topo = SpacxTopology(
+            chiplets=32, pes_per_chiplet=32, ef_granularity=8, k_granularity=16
+        )
+        interfaces = [
+            i
+            for i in build_interfaces(topo)
+            if i.chiplet_group == 0 and i.pe_group == 0
+        ]
+        interfaces.sort(key=lambda i: i.chiplet_in_group)
+        remaining = 1.0
+        shares = []
+        for interface in interfaces:
+            shares.append(remaining * interface.x_drop_fraction())
+            remaining *= 1.0 - interface.x_drop_fraction()
+        assert all(s == pytest.approx(1.0 / 8.0) for s in shares)
+
+    def test_y_wavelengths_offset_past_x_block(self):
+        topo = SpacxTopology(
+            chiplets=32, pes_per_chiplet=32, ef_granularity=8, k_granularity=16
+        )
+        interfaces = build_interfaces(topo)
+        for interface in interfaces:
+            assert interface.y_downstream_wavelength >= topo.k_granularity
+            assert (
+                interface.y_downstream_wavelength
+                == interface.y_upstream_wavelength
+            )
+
+    def test_one_splitter_per_x_wavelength(self):
+        topo = TABLE_I_CONFIGURATIONS["D"]
+        for interface in build_interfaces(topo):
+            assert len(interface.x_splitters) == topo.k_granularity
+
+
+class TestLocalSchedule:
+    def test_schedule_covers_all_pes_equally(self):
+        schedule = local_splitter_schedule(16)
+        remaining = 1.0
+        shares = []
+        for splitter in schedule:
+            shares.append(remaining * splitter.drop_fraction())
+            remaining *= splitter.through_fraction()
+        assert all(s == pytest.approx(1.0 / 16.0) for s in shares)
+
+    def test_single_pe_takes_everything(self):
+        (only,) = local_splitter_schedule(1)
+        assert only.drop_fraction() == pytest.approx(1.0)

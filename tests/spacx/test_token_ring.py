@@ -1,0 +1,79 @@
+"""Tests for the PE->GB token-propagation model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spacx.token_ring import TokenRing
+
+
+class TestDrain:
+    def test_single_pe(self):
+        ring = TokenRing(n_pes=1, wavelength_gbps=10.0, handover_s=0.0)
+        assert ring.drain([1000]) == pytest.approx(1000 * 8 / 10e9)
+
+    def test_equal_duration_slots(self):
+        """Uniform computation gives equal-duration slots (Section
+        III-E's second feature)."""
+        ring = TokenRing(n_pes=16, wavelength_gbps=10.0)
+        ring.drain_uniform(512)
+        durations = ring.slot_durations()
+        assert len(set(durations)) == 1
+
+    def test_token_starts_at_pe0_and_walks_in_order(self):
+        ring = TokenRing(n_pes=4, wavelength_gbps=10.0)
+        ring.drain([100, 200, 300, 400])
+        assert [event.pe for event in ring.events] == [0, 1, 2, 3]
+        for earlier, later in zip(ring.events, ring.events[1:]):
+            assert later.start_s >= earlier.end_s
+
+    def test_total_time_includes_handover(self):
+        ring = TokenRing(n_pes=4, wavelength_gbps=10.0, handover_s=1e-9)
+        total = ring.drain([0, 0, 0, 0])
+        assert total == pytest.approx(4e-9)
+
+    def test_drain_rejects_wrong_length(self):
+        ring = TokenRing(n_pes=4, wavelength_gbps=10.0)
+        with pytest.raises(ValueError):
+            ring.drain([1, 2, 3])
+
+    def test_drain_rejects_negative_bytes(self):
+        ring = TokenRing(n_pes=2, wavelength_gbps=10.0)
+        with pytest.raises(ValueError):
+            ring.drain([1, -1])
+
+    @settings(deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=32))
+    def test_drain_time_equals_serialization_plus_handover(self, pending):
+        """No idle gaps: the shared carrier is busy except hand-overs --
+        the paper's claim that the downstream PE always has data ready."""
+        ring = TokenRing(
+            n_pes=len(pending), wavelength_gbps=10.0, handover_s=1e-9
+        )
+        total = ring.drain(pending)
+        serialization = sum(pending) * 8 / 10e9
+        assert total == pytest.approx(serialization + len(pending) * 1e-9)
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_utilization_approaches_one_for_large_payloads(self, n):
+        ring = TokenRing(n_pes=n, wavelength_gbps=10.0, handover_s=1e-9)
+        ring.drain_uniform(100_000)
+        assert ring.utilization() > 0.95
+
+    def test_utilization_zero_before_any_drain(self):
+        ring = TokenRing(n_pes=4, wavelength_gbps=10.0)
+        assert ring.utilization() == 0.0
+
+
+class TestValidation:
+    def test_rejects_zero_pes(self):
+        with pytest.raises(ValueError):
+            TokenRing(n_pes=0, wavelength_gbps=10.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            TokenRing(n_pes=1, wavelength_gbps=0.0)
+
+    def test_rejects_negative_handover(self):
+        with pytest.raises(ValueError):
+            TokenRing(n_pes=1, wavelength_gbps=10.0, handover_s=-1.0)

@@ -1,0 +1,151 @@
+"""Tests for the SPACX topology generator, pinned against Tables I/II."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.experiments.tables import PAPER_TABLE_I
+from repro.spacx.topology import (
+    TABLE_I_CONFIGURATIONS,
+    SpacxTopology,
+    table_i_rows,
+)
+
+
+class TestTableI:
+    """Every cell of the paper's Table I must regenerate exactly."""
+
+    @pytest.mark.parametrize("config", ["A", "B", "C", "D"])
+    def test_configuration_matches_paper(self, config):
+        assert table_i_rows()[config] == PAPER_TABLE_I[config]
+
+    def test_config_a_is_the_fig5_network(self):
+        topo = TABLE_I_CONFIGURATIONS["A"]
+        assert topo.n_wavelengths == 16
+        assert topo.n_global_waveguides == 1
+        assert topo.n_interface_mrrs == 80
+
+    def test_d_combines_b_and_c(self):
+        b = TABLE_I_CONFIGURATIONS["B"]
+        c = TABLE_I_CONFIGURATIONS["C"]
+        d = TABLE_I_CONFIGURATIONS["D"]
+        assert d.n_global_waveguides == b.n_global_waveguides * c.n_pe_groups
+        assert d.n_local_waveguides_per_chiplet == c.n_local_waveguides_per_chiplet
+        assert d.n_interface_mrrs == c.n_interface_mrrs
+
+
+class TestTableIIBandwidths:
+    """The evaluated machine: M=N=32, e/f=8, k=16 -> Table II SPACX."""
+
+    def _topo(self):
+        return SpacxTopology(
+            chiplets=32, pes_per_chiplet=32, ef_granularity=8, k_granularity=16
+        )
+
+    def test_24_wavelengths(self):
+        assert self._topo().n_wavelengths == 24
+
+    def test_chiplet_read_340(self):
+        assert self._topo().chiplet_read_gbps == pytest.approx(340.0)
+
+    def test_chiplet_write_20(self):
+        assert self._topo().chiplet_write_gbps == pytest.approx(20.0)
+
+    def test_pe_read_20(self):
+        assert self._topo().pe_read_gbps == pytest.approx(20.0)
+
+    def test_pe_write_10_shared(self):
+        assert self._topo().pe_write_gbps == pytest.approx(10.0)
+
+    def test_mrrs_under_a_chiplet_is_132(self):
+        """Section VIII-G counts 132 MRRs underneath each chiplet."""
+        topo = self._topo()
+        per_chiplet = (
+            topo.pes_per_chiplet * 3
+            + topo.n_interfaces_per_chiplet * topo.mrrs_per_interface
+        )
+        assert per_chiplet == 132
+
+
+class TestStructuralInvariants:
+    def granularities(self):
+        return st.sampled_from([1, 2, 4, 8, 16, 32])
+
+    @given(
+        ef=st.sampled_from([1, 2, 4, 8, 16, 32]),
+        k=st.sampled_from([1, 2, 4, 8, 16, 32]),
+    )
+    def test_wavelength_count_is_sum_of_groups(self, ef, k):
+        topo = SpacxTopology(
+            chiplets=32, pes_per_chiplet=32, ef_granularity=ef, k_granularity=k
+        )
+        assert topo.n_wavelengths == ef + k
+        assert topo.wavelengths_per_global_waveguide == ef + k
+
+    @given(
+        ef=st.sampled_from([1, 2, 4, 8, 16, 32]),
+        k=st.sampled_from([1, 2, 4, 8, 16, 32]),
+    )
+    def test_waveguides_cover_all_pes_exactly_once(self, ef, k):
+        topo = SpacxTopology(
+            chiplets=32, pes_per_chiplet=32, ef_granularity=ef, k_granularity=k
+        )
+        assert (
+            topo.n_global_waveguides * topo.pes_per_waveguide
+            == topo.chiplets * topo.pes_per_chiplet
+        )
+
+    @given(
+        ef=st.sampled_from([1, 2, 4, 8]),
+        k=st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_gb_egress_counts_every_downstream_carrier(self, ef, k):
+        topo = SpacxTopology(
+            chiplets=8, pes_per_chiplet=8, ef_granularity=ef, k_granularity=k
+        )
+        assert topo.gb_egress_gbps == pytest.approx(
+            topo.n_global_waveguides
+            * topo.wavelengths_per_global_waveguide
+            * topo.data_rate_gbps
+        )
+
+    @given(
+        ef=st.sampled_from([2, 4, 8, 16]),
+        k=st.sampled_from([2, 4, 8, 16]),
+    )
+    def test_finer_k_granularity_means_more_interface_mrrs(self, ef, k):
+        coarse = SpacxTopology(
+            chiplets=16, pes_per_chiplet=16, ef_granularity=ef, k_granularity=k
+        )
+        if k > 2:
+            fine = SpacxTopology(
+                chiplets=16,
+                pes_per_chiplet=16,
+                ef_granularity=ef,
+                k_granularity=k // 2,
+            )
+            assert fine.n_interface_mrrs >= coarse.n_interface_mrrs
+
+
+class TestValidation:
+    def test_rejects_nondividing_ef(self):
+        with pytest.raises(ValueError):
+            SpacxTopology(
+                chiplets=8, pes_per_chiplet=8, ef_granularity=3, k_granularity=8
+            )
+
+    def test_rejects_oversized_granularity(self):
+        with pytest.raises(ValueError):
+            SpacxTopology(
+                chiplets=8, pes_per_chiplet=8, ef_granularity=16, k_granularity=8
+            )
+
+    def test_rejects_zero_data_rate(self):
+        with pytest.raises(ValueError):
+            SpacxTopology(
+                chiplets=8,
+                pes_per_chiplet=8,
+                ef_granularity=8,
+                k_granularity=8,
+                data_rate_gbps=0.0,
+            )

@@ -1,0 +1,88 @@
+"""Tests for the X/Y wavelength allocation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.spacx.topology import TABLE_I_CONFIGURATIONS, SpacxTopology
+from repro.spacx.wavelength import WavelengthAllocation, WavelengthAssignment
+
+
+def _allocation(ef=8, k=16, chiplets=32, pes=32):
+    return WavelengthAllocation(
+        SpacxTopology(
+            chiplets=chiplets,
+            pes_per_chiplet=pes,
+            ef_granularity=ef,
+            k_granularity=k,
+        )
+    )
+
+
+class TestAssignment:
+    def test_rejects_bad_group(self):
+        with pytest.raises(ValueError):
+            WavelengthAssignment(
+                waveguide=(0, 0), wavelength=0, group="Z", target=0
+            )
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(ValueError):
+            WavelengthAssignment(
+                waveguide=(0, 0), wavelength=-1, group="X", target=0
+            )
+
+
+class TestAllocationStructure:
+    def test_distinct_wavelengths_match_table_i(self):
+        for topo in TABLE_I_CONFIGURATIONS.values():
+            allocation = WavelengthAllocation(topo)
+            assert len(allocation.distinct_wavelengths()) == topo.n_wavelengths
+
+    def test_carriers_per_waveguide(self):
+        allocation = _allocation()
+        per_waveguide = allocation.on_waveguide((0, 0))
+        assert len(per_waveguide) == 24  # 16 X + 8 Y
+
+    def test_x_feeds_pe_positions(self):
+        allocation = _allocation()
+        assert allocation.x_wavelength_for_pe(0) == 0
+        assert allocation.x_wavelength_for_pe(15) == 15
+        with pytest.raises(ValueError):
+            allocation.x_wavelength_for_pe(16)
+
+    def test_y_feeds_chiplets_after_x_block(self):
+        allocation = _allocation()
+        assert allocation.y_wavelength_for_chiplet(0) == 16
+        assert allocation.y_wavelength_for_chiplet(7) == 23
+        with pytest.raises(ValueError):
+            allocation.y_wavelength_for_chiplet(8)
+
+    def test_wavelength_reuse_across_waveguides(self):
+        """Physically separated waveguides reuse carriers (Fig. 10)."""
+        allocation = _allocation()
+        wg_a = {a.wavelength for a in allocation.on_waveguide((0, 0))}
+        wg_b = {a.wavelength for a in allocation.on_waveguide((1, 0))}
+        assert wg_a == wg_b
+
+    @given(
+        ef=st.sampled_from([1, 2, 4, 8]),
+        k=st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_orthogonality_validates_for_any_granularity(self, ef, k):
+        allocation = _allocation(ef=ef, k=k, chiplets=8, pes=8)
+        allocation.validate_orthogonality()  # raises on violation
+
+    def test_total_assignment_count(self):
+        allocation = _allocation()
+        topo = allocation.topology
+        expected = topo.n_global_waveguides * (
+            topo.k_granularity + topo.ef_granularity
+        )
+        assert len(allocation.assignments) == expected
+
+    def test_x_and_y_ranges_disjoint(self):
+        allocation = _allocation()
+        x = {a.wavelength for a in allocation.assignments if a.group == "X"}
+        y = {a.wavelength for a in allocation.assignments if a.group == "Y"}
+        assert not (x & y)

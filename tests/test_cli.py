@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_arguments(self):
+        args = build_parser().parse_args(
+            ["run", "--model", "VGG-16", "--machine", "simba"]
+        )
+        assert args.model == "VGG-16"
+        assert args.machine == "simba"
+        assert not args.layer_by_layer
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--model", "AlexNet"])
+
+    def test_rejects_unknown_section(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "--section", "fig99"])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", "--model", "ResNet-50", "--machine", "spacx"]) == 0
+        out = capsys.readouterr().out
+        assert "SPACX / ResNet-50" in out
+        assert "execution time" in out
+        assert "network" in out
+
+    def test_run_per_layer(self, capsys):
+        code = main(
+            ["run", "--model", "VGG-16", "--machine", "simba", "--per-layer"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fc6" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "interface MRRs" in out
+        assert "Table II" in out
+
+    def test_report_single_section(self, capsys):
+        assert main(["report", "--section", "area"]) == 0
+        out = capsys.readouterr().out
+        assert "VIII-G" in out
+        assert "MRRs under chiplet" in out
+
+    def test_advise(self, capsys):
+        assert main(["advise", "--model", "ResNet-50", "--objective", "edp"]) == 0
+        out = capsys.readouterr().out
+        assert "recommended" in out
+        assert "objective=edp" in out
+
+    def test_layers(self, capsys):
+        assert main(["layers", "--model", "ResNet-50", "--unique"]) == 0
+        out = capsys.readouterr().out
+        assert "conv1" in out
+        assert "21 layers" in out
+
+    def test_layers_with_duplicates(self, capsys):
+        assert main(["layers", "--model", "VGG-16"]) == 0
+        out = capsys.readouterr().out
+        assert "16 layers" in out
+
+
+class TestBatchFlag:
+    def test_batch_run(self, capsys):
+        code = main(
+            ["run", "--model", "MobileNetV2", "--machine", "spacx", "--batch", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch 4" in out
+
+    def test_batch_default_untouched(self, capsys):
+        assert main(["run", "--model", "MobileNetV2"]) == 0
+        out = capsys.readouterr().out
+        assert "batch" not in out
+
+    def test_extension_sections_render(self, capsys):
+        assert main(["report", "--section", "motivation"]) == 0
+        out = capsys.readouterr().out
+        assert "crossover" in out

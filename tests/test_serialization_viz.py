@@ -1,0 +1,94 @@
+"""Tests for result serialization and the terminal visualisations."""
+
+import json
+
+import pytest
+
+from repro.core.layer import ConvLayer, LayerSet
+from repro.experiments.power_surface import moderate_surface
+from repro.serialization import (
+    layer_result_to_dict,
+    model_result_to_dict,
+    model_result_to_json,
+)
+from repro.spacx.architecture import spacx_simulator
+from repro.viz import bar_chart, heatmap, surface_heatmap
+
+
+def _model():
+    layer = ConvLayer(name="a", c=32, k=32, r=3, s=3, h=10, w=10)
+    return LayerSet("tiny", [layer, layer.renamed("b")])
+
+
+class TestSerialization:
+    def test_layer_dict_keys(self):
+        result = spacx_simulator().simulate_layer(
+            ConvLayer(name="t", c=16, k=16, r=3, s=3, h=8, w=8)
+        )
+        payload = layer_result_to_dict(result)
+        assert payload["accelerator"] == "SPACX"
+        assert payload["layer"]["macs"] == result.layer.macs
+        assert payload["timing"]["execution_time_s"] == result.execution_time_s
+        assert payload["energy"]["network"]["laser_mj"] > 0
+
+    def test_model_dict_dedups_shared_layers(self):
+        result = spacx_simulator().simulate_model(_model())
+        payload = model_result_to_dict(result)
+        assert len(payload["unique_layer_results"]) == 1
+        assert payload["layer_sequence"] == [0, 0]
+
+    def test_json_round_trip(self):
+        result = spacx_simulator().simulate_model(_model())
+        text = model_result_to_json(result)
+        parsed = json.loads(text)
+        assert parsed["model"] == "tiny"
+        assert parsed["execution_time_s"] == pytest.approx(
+            result.execution_time_s
+        )
+
+    def test_totals_consistent(self):
+        result = spacx_simulator().simulate_model(_model())
+        payload = model_result_to_dict(result)
+        assert payload["energy"]["total_mj"] == pytest.approx(
+            result.energy.total_mj
+        )
+
+
+class TestBarChart:
+    def test_renders_labels_and_values(self):
+        chart = bar_chart([("Simba", 1.0), ("SPACX", 0.23)], reference=1.0)
+        assert "Simba" in chart
+        assert "0.230" in chart
+
+    def test_bar_lengths_proportional(self):
+        chart = bar_chart([("a", 1.0), ("b", 0.5)], width=20, reference=1.0)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_empty_input(self):
+        assert bar_chart([]) == "(empty)"
+
+    def test_rejects_zero_reference(self):
+        with pytest.raises(ValueError):
+            bar_chart([("a", 0.0)], reference=0.0)
+
+
+class TestHeatmap:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            heatmap([[1.0, 2.0]], row_labels=["r1", "r2"], col_labels=["a", "b"])
+        with pytest.raises(ValueError):
+            heatmap([[1.0, 2.0]], row_labels=["r1"], col_labels=["a"])
+
+    def test_extremes_get_ramp_ends(self):
+        text = heatmap(
+            [[0.0, 10.0]], row_labels=["r"], col_labels=["lo", "hi"]
+        )
+        assert "@" in text  # hottest cell
+        assert "scale:" in text
+
+    def test_surface_heatmap_runs_on_fig19(self):
+        text = surface_heatmap(moderate_surface(), metric="laser_w")
+        assert "k=4" in text
+        assert "ef=32" in text
