@@ -4,15 +4,39 @@ Each benchmark regenerates one item of the paper's evaluation section,
 asserts its qualitative shape and prints the reproduced rows so the
 pytest output doubles as a reproduction report (run with ``-s`` to see
 the tables).
+
+All experiment entry points route through the sweep engine
+(:mod:`repro.core.batch`), so one pytest session shares a single
+result cache across every benchmark file: the second benchmark that
+asks for a ``(machine, layer shape)`` pair gets it for free.  Control
+the engine from the environment: ``REPRO_SWEEP_WORKERS=4`` fans
+whole-model jobs over processes, ``REPRO_SWEEP_CACHE_DIR=/path``
+persists results between sessions, ``REPRO_SWEEP_CACHE=0`` disables
+caching.  Results are bit-identical in every mode.
 """
 
 import pytest
+
+from repro.core import batch
 
 
 def emit(title: str, body: str) -> None:
     """Print one reproduction table under a banner."""
     print(f"\n=== {title} ===")
     print(body)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sweep_cache_report():
+    """Print shared-cache efficiency once the whole session is done."""
+    yield
+    stats = batch.default_cache().stats
+    if stats.lookups:
+        print(
+            f"\n[sweep-engine] shared result cache: {stats.hits}/{stats.lookups} "
+            f"hits ({stats.hit_rate:.0%}), {stats.disk_hits} from disk, "
+            f"{stats.puts} simulated"
+        )
 
 
 @pytest.fixture(scope="session")

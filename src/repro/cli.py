@@ -18,6 +18,7 @@ from typing import Callable
 
 from .baselines.popstar import popstar_simulator
 from .baselines.simba import simba_simulator
+from .core import batch
 from .core.simulator import Simulator
 from .experiments.harness import format_table
 from .experiments.report import SECTIONS, full_report
@@ -39,6 +40,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SPACX (HPCA 2022) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sweep-engine process count (default: $REPRO_SWEEP_WORKERS or 1; "
+        "results are bit-identical for any N)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the sweep-engine result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist cached layer results as JSON under DIR "
+        "(default: $REPRO_SWEEP_CACHE_DIR or memory-only)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -105,7 +126,10 @@ def _command_run(args: argparse.Namespace) -> int:
             f"{model.name} (batch {args.batch})",
             [layer.with_batch(args.batch) for layer in model.all_layers],
         )
-    result = simulator.simulate_model(model, layer_by_layer=args.layer_by_layer)
+    runner = batch.SweepRunner()
+    result = runner.run(
+        [batch.SweepJob(simulator, model, layer_by_layer=args.layer_by_layer)]
+    )[0]
     energy = result.energy
     print(f"{result.accelerator} / {result.model}")
     print(f"  execution time : {result.execution_time_s * 1e3:.3f} ms")
@@ -135,6 +159,12 @@ def _command_run(args: argparse.Namespace) -> int:
             )
         print()
         print(format_table(headers, rows))
+    stats = runner.stats[0]
+    cache_stats = runner.cache.stats
+    print(
+        f"  [sweep] {stats.mode} run in {stats.wall_time_s * 1e3:.1f} ms, "
+        f"cache {cache_stats.hits}/{cache_stats.lookups} hits"
+    )
     return 0
 
 
@@ -204,6 +234,11 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    batch.configure(
+        workers=args.workers,
+        cache_enabled=False if args.no_cache else None,
+        cache_dir=args.cache_dir,
+    )
     return _COMMANDS[args.command](args)
 
 

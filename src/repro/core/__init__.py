@@ -3,6 +3,18 @@ traffic model, accelerator specifications and the analytical
 performance/energy simulator."""
 
 from .accelerator import KB, MB, AcceleratorSpec, LinkLatency
+from .batch import (
+    CacheStats,
+    JobStats,
+    NullCache,
+    ResultCache,
+    SweepJob,
+    SweepRunner,
+    layer_cache_key,
+    simulate_layer_cached,
+    simulate_model_cached,
+    spec_fingerprint,
+)
 from .dataflow import (
     DataflowKind,
     SpacxLoopNest,
@@ -19,7 +31,17 @@ from .traffic import NetworkCapabilities, TrafficSummary, derive_traffic
 
 __all__ = [
     "AcceleratorSpec",
+    "CacheStats",
     "CommunicationTimes",
+    "JobStats",
+    "NullCache",
+    "ResultCache",
+    "SweepJob",
+    "SweepRunner",
+    "layer_cache_key",
+    "simulate_layer_cached",
+    "simulate_model_cached",
+    "spec_fingerprint",
     "ConvLayer",
     "DataflowKind",
     "EnergyBreakdown",

@@ -1,0 +1,812 @@
+"""Campaign-level sweep engine: result caching + process parallelism.
+
+Every experiment module and benchmark script used to rebuild
+simulators and re-simulate the same ``(AcceleratorSpec, layer shape)``
+pairs from scratch, making a full-evaluation regeneration serial and
+quadratically redundant.  This module provides the two standard fixes
+(cf. SCALE-Sim's batched config sweeps and CHIPSIM's campaign
+harness):
+
+1. a **content-addressed result cache** -- :class:`ResultCache` keys a
+   :class:`LayerResult` by a stable SHA-256 of ``(simulator
+   fingerprint, layer.shape_key, layer_by_layer)`` -- the fingerprint
+   covers every spec field *and* the attached energy-model state --
+   with an in-memory LRU tier and
+   an optional on-disk JSON tier (via :mod:`repro.serialization`), so
+   repeated benchmark runs are near-instant;
+2. a **sweep runner** -- :class:`SweepRunner` fans ``(simulator,
+   model)`` jobs out over a :class:`concurrent.futures.ProcessPoolExecutor`
+   with deterministic result ordering, graceful fallback to serial
+   execution when ``max_workers == 1`` or the pool cannot start, and
+   per-job wall-clock statistics.
+
+Determinism guarantee: the analytical models are pure functions of
+``(spec, layer shape, layer_by_layer)``, so cached, parallel and
+serial runs produce *bit-identical* floats.  The golden-regression
+tests (``tests/test_golden_regression.py``) pin this down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+import weakref
+from collections import OrderedDict
+from enum import Enum
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .accelerator import AcceleratorSpec
+from .layer import ConvLayer, LayerSet
+from .mapping import Mapping
+from .metrics import LayerResult, ModelResult
+from .simulator import Simulator
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "spec_fingerprint",
+    "simulator_fingerprint",
+    "layer_cache_key",
+    "CacheStats",
+    "ResultCache",
+    "NullCache",
+    "simulate_layer_cached",
+    "simulate_model_cached",
+    "SweepJob",
+    "JobStats",
+    "SweepRunner",
+    "configure",
+    "default_workers",
+    "default_cache",
+    "reset_default_cache",
+]
+
+#: Bump whenever the simulator's numerical behaviour or the cached
+#: payload layout changes; stale disk entries are then ignored.
+CACHE_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Content-addressed keys
+# ----------------------------------------------------------------------
+def _jsonable(value):
+    """Canonical JSON-compatible form of a spec field value."""
+    if isinstance(value, Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def spec_fingerprint(spec: AcceleratorSpec) -> str:
+    """Stable content hash of *every* field of an accelerator spec.
+
+    Any change to any field (including nested latency/capability
+    descriptors) changes the fingerprint, so cached results can never
+    be served to a different machine.
+    """
+    payload = json.dumps(
+        {"schema": CACHE_SCHEMA_VERSION, "spec": _jsonable(spec)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _object_state(value, depth: int = 0):
+    """Canonical plain form of an arbitrary model object's state.
+
+    Recurses through dataclasses, containers and ``__dict__``-bearing
+    objects, tagging each object with its class name so two models
+    with coincidentally equal state still hash apart.  Falls back to
+    ``repr`` past the depth guard.
+    """
+    if depth > 8:
+        return repr(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__class__": type(value).__qualname__,
+            **{
+                f.name: _object_state(getattr(value, f.name), depth + 1)
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, (tuple, list)):
+        return [_object_state(v, depth + 1) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _object_state(v, depth + 1) for k, v in value.items()}
+    if hasattr(value, "__dict__"):
+        return {
+            "__class__": type(value).__qualname__,
+            **{
+                k: _object_state(v, depth + 1)
+                for k, v in sorted(vars(value).items())
+            },
+        }
+    return repr(value)
+
+
+#: Fingerprints memoised per simulator *object* (weak: an entry dies
+#: with its simulator).  The stored component ids guard against the
+#: spec or an energy model being swapped out on a live simulator;
+#: in-place mutation of a model's attributes is not tracked -- specs
+#: are frozen and the energy models are treated as immutable
+#: parameter sets everywhere in this codebase.
+_FINGERPRINT_MEMO: "weakref.WeakKeyDictionary[Simulator, tuple[tuple[int, int, int], str]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def simulator_fingerprint(simulator: Simulator) -> str:
+    """Content hash of everything that shapes a simulator's output.
+
+    The spec alone is *not* enough: e.g. the moderate and aggressive
+    photonic parameter sets share one :class:`AcceleratorSpec` and
+    differ only in the attached energy models, so the fingerprint
+    folds in the full state of both energy models as well.
+    """
+    parts = (
+        id(simulator.spec),
+        id(simulator.compute_energy),
+        id(simulator.network_energy),
+    )
+    entry = _FINGERPRINT_MEMO.get(simulator)
+    if entry is not None and entry[0] == parts:
+        return entry[1]
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "spec": _jsonable(simulator.spec),
+            "compute_energy": _object_state(simulator.compute_energy),
+            "network_energy": _object_state(simulator.network_energy),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    fingerprint = hashlib.sha256(payload.encode()).hexdigest()
+    try:
+        _FINGERPRINT_MEMO[simulator] = (parts, fingerprint)
+    except TypeError:
+        pass  # a simulator type without weakref support
+    return fingerprint
+
+
+#: Value-keyed memo of computed cache keys (bounded; cleared on
+#: overflow rather than LRU-tracked -- keys are tiny and the limit is
+#: far above any realistic campaign's distinct (machine, shape) count).
+_KEY_MEMO: dict[tuple, str] = {}
+_KEY_MEMO_LIMIT = 65536
+
+
+def layer_cache_key(
+    fingerprint: str, layer: ConvLayer, layer_by_layer: bool
+) -> str:
+    """Content-addressed key of one (machine, layer shape, mode) job.
+
+    Deliberately *shape*-keyed (``layer.shape_key``): two layers with
+    identical dimensions cost the same regardless of their names,
+    mirroring the de-duplication :meth:`Simulator.simulate_model`
+    already performs within one model.
+
+    The key text is a flat ``|``-joined string (not JSON): this
+    function runs once per layer per lookup, and hashing a short
+    f-string is several times cheaper than ``json.dumps``.  Computed
+    keys are memoised by value -- a campaign asks for the same
+    ``(machine, shape)`` pair over and over, and the memo turns the
+    repeat cost into one small-tuple dict hit.
+    """
+    shape = layer.shape_key
+    memo_key = (fingerprint, shape, layer_by_layer)
+    key = _KEY_MEMO.get(memo_key)
+    if key is None:
+        payload = (
+            f"{CACHE_SCHEMA_VERSION}|{fingerprint}"
+            f"|{shape!r}|{int(bool(layer_by_layer))}"
+        )
+        key = hashlib.sha256(payload.encode()).hexdigest()
+        if len(_KEY_MEMO) >= _KEY_MEMO_LIMIT:
+            _KEY_MEMO.clear()
+        _KEY_MEMO[memo_key] = key
+    return key
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from either tier."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Two-tier (memory LRU + optional disk) ``LayerResult`` cache.
+
+    Disk layout: 16 append-only shard files ``<cache_dir>/<key[0]>.jsonl``,
+    one JSON line per entry -- ``{"schema": .., "key": .., "result": ..}``
+    with the result in the packed positional form of
+    :func:`repro.serialization.layer_result_pack`.  A
+    shard is parsed wholesale on first touch (hundreds of tiny
+    per-entry files would make a warm start open-bound), appended-to
+    on every new result, and duplicate keys resolve last-wins.  Torn
+    or stale lines are skipped, so concurrent writers sharing a
+    directory degrade to extra misses, never to wrong results.
+    """
+
+    def __init__(self, capacity: int = 4096, cache_dir: str | Path | None = None):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._memory: OrderedDict[str, LayerResult] = OrderedDict()
+        #: Parsed-but-not-yet-reconstructed disk payloads, per key.
+        self._disk_index: dict[str, list] = {}
+        self._loaded_shards: set[str] = set()
+        # Plain-int counters (the hot path runs once per layer per
+        # lookup; attribute arithmetic on a nested dataclass is
+        # measurably slower).  ``stats`` assembles them on demand.
+        self._hits = 0
+        self._misses = 0
+        self._disk_hits = 0
+        self._puts = 0
+        #: Recency tracking engages lazily: below half capacity the
+        #: LRU order cannot influence eviction, so ``get`` skips the
+        #: per-hit ``move_to_end``.
+        self._lru_active = False
+
+    @property
+    def stats(self) -> CacheStats:
+        """Current hit/miss accounting (assembled on demand)."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            disk_hits=self._disk_hits,
+            puts=self._puts,
+        )
+
+    # -- memory tier ---------------------------------------------------
+    def _memory_get(self, key: str) -> LayerResult | None:
+        result = self._memory.get(key)
+        if result is not None and self._lru_active:
+            self._memory.move_to_end(key)
+        return result
+
+    def _memory_put(self, key: str, result: LayerResult) -> None:
+        memory = self._memory
+        memory[key] = result
+        if len(memory) * 2 >= self.capacity:
+            self._lru_active = True
+            memory.move_to_end(key)
+            while len(memory) > self.capacity:
+                memory.popitem(last=False)
+
+    # -- disk tier -----------------------------------------------------
+    def _shard_path(self, shard: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(str(self.cache_dir), f"{shard}.jsonl")
+
+    def _load_shard(self, shard: str) -> None:
+        """Parse one shard file into the payload index (idempotent)."""
+        self._loaded_shards.add(shard)
+        try:
+            with open(self._shard_path(shard), "rb") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return
+        if not lines:
+            return
+        try:
+            # One C-level parse of the whole shard; falls back to
+            # per-line parsing when any line is torn.
+            payloads = json.loads(b"[" + b",".join(lines) + b"]")
+        except json.JSONDecodeError:
+            payloads = []
+            for line in lines:
+                try:
+                    payloads.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # torn line from a concurrent writer
+        index = self._disk_index
+        for payload in payloads:
+            # Positional entry: ``[schema, key, packed_result]``.
+            if (
+                type(payload) is list
+                and len(payload) == 3
+                and payload[0] == CACHE_SCHEMA_VERSION
+                and isinstance(payload[1], str)
+            ):
+                index[payload[1]] = payload[2]
+
+    def _disk_get(self, key: str) -> LayerResult | None:
+        if self.cache_dir is None:
+            return None
+        shard = key[:1]
+        if shard not in self._loaded_shards:
+            self._load_shard(shard)
+        payload = self._disk_index.pop(key, None)
+        if payload is None:
+            return None
+        from ..serialization import layer_result_unpack
+
+        try:
+            return layer_result_unpack(payload)
+        except (KeyError, TypeError, ValueError):
+            return None  # corrupt / stale entry: treat as a miss
+
+    def _disk_put(self, key: str, result: LayerResult) -> None:
+        if self.cache_dir is None:
+            return
+        from ..serialization import layer_result_pack
+
+        # Positional entry (schema tag first): arrays parse measurably
+        # faster than objects and drop three field-name strings per
+        # line from every warm start.
+        line = json.dumps(
+            [CACHE_SCHEMA_VERSION, key, layer_result_pack(result)],
+            separators=(",", ":"),
+        )
+        try:
+            os.makedirs(str(self.cache_dir), exist_ok=True)
+            with open(self._shard_path(key[:1]), "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        except OSError:
+            pass  # a read-only cache directory degrades to memory-only
+
+    # -- public API ----------------------------------------------------
+    def get(self, key: str) -> LayerResult | None:
+        """Look a key up (memory first, then disk; promotes to memory)."""
+        result = self._memory.get(key)
+        if result is not None:
+            self._hits += 1
+            if self._lru_active:
+                self._memory.move_to_end(key)
+            return result
+        result = self._disk_get(key)
+        if result is not None:
+            self._hits += 1
+            self._disk_hits += 1
+            self._memory_put(key, result)
+            return result
+        self._misses += 1
+        return None
+
+    def put(self, key: str, result: LayerResult) -> None:
+        """Store a result in both tiers."""
+        self._puts += 1
+        self._memory_put(key, result)
+        self._disk_put(key, result)
+
+    def clear(self) -> None:
+        """Drop the memory tier (disk entries are left untouched)."""
+        self._memory.clear()
+        self._hits = self._misses = self._disk_hits = self._puts = 0
+        self._lru_active = False
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+class NullCache:
+    """A cache that never hits -- the ``--no-cache`` implementation."""
+
+    cache_dir = None
+
+    def __init__(self):
+        self._misses = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        """Current accounting (only misses can ever be non-zero)."""
+        return CacheStats(misses=self._misses)
+
+    def get(self, key: str) -> LayerResult | None:  # noqa: ARG002
+        self._misses += 1
+        return None
+
+    def put(self, key: str, result: LayerResult) -> None:  # noqa: ARG002
+        pass
+
+    def clear(self) -> None:
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return 0
+
+
+# ----------------------------------------------------------------------
+# Cached simulation entry points
+# ----------------------------------------------------------------------
+def _rebind_layer(result: LayerResult, layer: ConvLayer) -> LayerResult:
+    """Re-attach a cached (shape-keyed) result to a specific layer.
+
+    Two layers with the same shape key cost the same but may carry
+    different names; rebinding keeps the reported layer identity
+    exactly what a fresh simulation would have produced.
+
+    Only the *name* is compared: the cache key already pins every
+    shape field (``layer.shape_key`` covers all nine dimensions), so
+    two layers reaching the same key can differ in name alone.  The
+    copies are made by duplicating ``__dict__`` rather than via
+    :func:`dataclasses.replace`: rebinding happens for every shape a
+    campaign shares across models, the replaced values are taken from
+    an already-validated result, and skipping the generated
+    ``__init__`` is several times cheaper.
+    """
+    if result.layer is layer or result.layer.name == layer.name:
+        return result
+    mapping = object.__new__(Mapping)
+    mapping.__dict__.update(result.mapping.__dict__)
+    mapping.__dict__["layer"] = layer
+    rebound = object.__new__(LayerResult)
+    rebound.__dict__.update(result.__dict__)
+    rebound.__dict__["layer"] = layer
+    rebound.__dict__["mapping"] = mapping
+    return rebound
+
+
+def simulate_layer_cached(
+    simulator: Simulator,
+    layer: ConvLayer,
+    *,
+    layer_by_layer: bool = True,
+    cache: "ResultCache | NullCache | None" = None,
+    fingerprint: str | None = None,
+) -> LayerResult:
+    """``Simulator.simulate_layer`` through the content-addressed cache."""
+    if cache is None:
+        cache = default_cache()
+    if fingerprint is None:
+        fingerprint = simulator_fingerprint(simulator)
+    key = layer_cache_key(fingerprint, layer, layer_by_layer)
+    cached = cache.get(key)
+    if cached is not None:
+        return _rebind_layer(cached, layer)
+    result = simulator.simulate_layer(layer, layer_by_layer=layer_by_layer)
+    cache.put(key, result)
+    return result
+
+
+def simulate_model_cached(
+    simulator: Simulator,
+    model: LayerSet,
+    *,
+    layer_by_layer: bool = False,
+    cache: "ResultCache | NullCache | None" = None,
+    fingerprint: str | None = None,
+) -> ModelResult:
+    """``Simulator.simulate_model`` through the content-addressed cache.
+
+    Mirrors the plain method exactly: within one model, duplicate
+    shapes share one :class:`LayerResult` object carrying the *first*
+    occurrence's name, so the output is indistinguishable from an
+    uncached run.
+    """
+    if cache is None:
+        cache = default_cache()
+    if fingerprint is None:
+        fingerprint = simulator_fingerprint(simulator)
+    result = ModelResult(accelerator=simulator.spec.name, model=model.name)
+    # Inlined hot loop: this runs once per layer of every model of a
+    # campaign, so the per-layer cost is kept to a couple of dict
+    # operations (key memo, local dedup, cache lookup).
+    local: dict[tuple[int, ...], LayerResult] = {}
+    local_get = local.get
+    append = result.layers.append
+    cache_get = cache.get
+    memo_get = _KEY_MEMO.get
+    # Memory-tier fast path: for the concrete ResultCache the common
+    # "already in memory" case is answered by one dict probe instead
+    # of a method call (stats stay exact -- the counters below mirror
+    # ``ResultCache.get``); any other cache object goes through its
+    # ``get`` untouched.
+    memory_get = (
+        cache._memory.get if type(cache) is ResultCache else None
+    )
+    for layer in model.all_layers:
+        shape = layer.shape_key
+        cached = local_get(shape)
+        if cached is None:
+            key = memo_get((fingerprint, shape, layer_by_layer))
+            if key is None:
+                key = layer_cache_key(fingerprint, layer, layer_by_layer)
+            if memory_get is not None and (cached := memory_get(key)) is not None:
+                cache._hits += 1
+                if cache._lru_active:
+                    cache._memory.move_to_end(key)
+            else:
+                cached = cache_get(key)
+            if cached is None:
+                cached = simulator.simulate_layer(
+                    layer, layer_by_layer=layer_by_layer
+                )
+                cache.put(key, cached)
+            elif cached.layer.name != layer.name:
+                cached = _rebind_layer(cached, layer)
+            local[shape] = cached
+        append(cached)
+    return result
+
+
+# ----------------------------------------------------------------------
+# The sweep runner
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepJob:
+    """One (machine, model) unit of work in a campaign."""
+
+    simulator: Simulator
+    model: LayerSet
+    layer_by_layer: bool = False
+
+
+@dataclass(frozen=True)
+class JobStats:
+    """Per-job execution accounting from one :meth:`SweepRunner.run`."""
+
+    model: str
+    accelerator: str
+    wall_time_s: float
+    n_layers: int
+    n_unique_layers: int
+    cache_hits: int
+    cache_misses: int
+    mode: str  # "serial" | "parallel"
+
+
+def _execute_job(job: SweepJob) -> ModelResult:
+    """Worker-side job body (must stay module-level for pickling)."""
+    return job.simulator.simulate_model(
+        job.model, layer_by_layer=job.layer_by_layer
+    )
+
+
+class SweepRunner:
+    """Fans sweep jobs out over processes with deterministic ordering.
+
+    * results come back in exactly the submission order, whatever the
+      completion order was;
+    * ``max_workers <= 1`` (the default) runs serially through the
+      cache; any pool failure (fork refusal, pickling error, broken
+      pool) falls back to the serial path transparently and sets
+      :attr:`used_fallback`;
+    * after a parallel run the parent seeds its cache from the
+      returned results, so a subsequent serial pass is warm.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        cache: "ResultCache | NullCache | None" = None,
+    ):
+        self.max_workers = default_workers() if max_workers is None else max_workers
+        self.cache = default_cache() if cache is None else cache
+        self.stats: list[JobStats] = []
+        self.used_fallback = False
+
+    # -- serial path ---------------------------------------------------
+    def _run_serial(self, jobs: Sequence[SweepJob]) -> list[ModelResult]:
+        results: list[ModelResult] = []
+        fingerprints: dict[int, str] = {}
+        for job in jobs:
+            sim_id = id(job.simulator)
+            if sim_id not in fingerprints:
+                fingerprints[sim_id] = simulator_fingerprint(job.simulator)
+            before = (self.cache.stats.hits, self.cache.stats.misses)
+            start = time.perf_counter()
+            result = simulate_model_cached(
+                job.simulator,
+                job.model,
+                layer_by_layer=job.layer_by_layer,
+                cache=self.cache,
+                fingerprint=fingerprints[sim_id],
+            )
+            elapsed = time.perf_counter() - start
+            results.append(result)
+            self.stats.append(
+                JobStats(
+                    model=job.model.name,
+                    accelerator=job.simulator.spec.name,
+                    wall_time_s=elapsed,
+                    n_layers=len(result.layers),
+                    n_unique_layers=len(job.model.unique_layers),
+                    cache_hits=self.cache.stats.hits - before[0],
+                    cache_misses=self.cache.stats.misses - before[1],
+                    mode="serial",
+                )
+            )
+        return results
+
+    # -- parallel path -------------------------------------------------
+    def _run_parallel(self, jobs: Sequence[SweepJob]) -> list[ModelResult]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            start = time.perf_counter()
+            futures = [pool.submit(_execute_job, job) for job in jobs]
+            results = [future.result() for future in futures]
+            elapsed = time.perf_counter() - start
+        per_job = elapsed / max(1, len(jobs))
+        for job, result in zip(jobs, results):
+            self.stats.append(
+                JobStats(
+                    model=job.model.name,
+                    accelerator=job.simulator.spec.name,
+                    wall_time_s=per_job,
+                    n_layers=len(result.layers),
+                    n_unique_layers=len(job.model.unique_layers),
+                    cache_hits=0,
+                    cache_misses=len(job.model.unique_layers),
+                    mode="parallel",
+                )
+            )
+        self._seed_cache(jobs, results)
+        return results
+
+    def _seed_cache(
+        self, jobs: Sequence[SweepJob], results: Sequence[ModelResult]
+    ) -> None:
+        """Warm the parent cache from parallel results."""
+        fingerprints: dict[int, str] = {}
+        for job, result in zip(jobs, results):
+            sim_id = id(job.simulator)
+            if sim_id not in fingerprints:
+                fingerprints[sim_id] = simulator_fingerprint(job.simulator)
+            seen: set[int] = set()
+            for layer_result in result.layers:
+                if id(layer_result) in seen:
+                    continue
+                seen.add(id(layer_result))
+                key = layer_cache_key(
+                    fingerprints[sim_id], layer_result.layer, job.layer_by_layer
+                )
+                self.cache.put(key, layer_result)
+
+    # -- public API ----------------------------------------------------
+    def run(self, jobs: Iterable[SweepJob]) -> list[ModelResult]:
+        """Execute jobs; results are in submission order."""
+        jobs = list(jobs)
+        self.stats = []
+        self.used_fallback = False
+        if self.max_workers <= 1 or len(jobs) <= 1:
+            return self._run_serial(jobs)
+        try:
+            return self._run_parallel(jobs)
+        except Exception:  # pool refused / pickling failed / broke
+            self.used_fallback = True
+            self.stats = []
+            return self._run_serial(jobs)
+
+    def run_models(
+        self,
+        simulators: Iterable[Simulator],
+        models: Iterable[LayerSet],
+        layer_by_layer: bool = False,
+    ) -> dict[str, dict[str, ModelResult]]:
+        """Every simulator over every model, in reporting order."""
+        simulators = list(simulators)
+        models = list(models)
+        jobs = [
+            SweepJob(simulator, model, layer_by_layer)
+            for model in models
+            for simulator in simulators
+        ]
+        flat = self.run(jobs)
+        results: dict[str, dict[str, ModelResult]] = {}
+        for job, result in zip(jobs, flat):
+            results.setdefault(job.model.name, {})[
+                job.simulator.spec.name
+            ] = result
+        return results
+
+    @property
+    def total_wall_time_s(self) -> float:
+        """Accumulated per-job wall time of the last :meth:`run`."""
+        return sum(s.wall_time_s for s in self.stats)
+
+
+# ----------------------------------------------------------------------
+# Process-wide defaults (CLI / env knobs)
+# ----------------------------------------------------------------------
+@dataclass
+class _SweepDefaults:
+    workers: int | None = None
+    cache_enabled: bool | None = None
+    cache_dir: str | None = None
+    capacity: int = 4096
+
+
+_defaults = _SweepDefaults()
+_default_cache: "ResultCache | NullCache | None" = None
+
+
+def configure(
+    *,
+    workers: int | None = None,
+    cache_enabled: bool | None = None,
+    cache_dir: str | Path | None = None,
+    capacity: int | None = None,
+) -> None:
+    """Set process-wide sweep defaults (used by the CLI's global flags).
+
+    Only the arguments actually passed are changed.  Cache-affecting
+    changes rebuild the shared default cache on next use.
+    """
+    global _default_cache
+    if workers is not None:
+        _defaults.workers = workers
+    if cache_enabled is not None:
+        _defaults.cache_enabled = cache_enabled
+        _default_cache = None
+    if cache_dir is not None:
+        _defaults.cache_dir = str(cache_dir)
+        _default_cache = None
+    if capacity is not None:
+        _defaults.capacity = capacity
+        _default_cache = None
+
+
+def default_workers() -> int:
+    """Worker count: ``configure()`` > ``$REPRO_SWEEP_WORKERS`` > 1."""
+    if _defaults.workers is not None:
+        return _defaults.workers
+    try:
+        return max(1, int(os.environ.get("REPRO_SWEEP_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+def default_cache() -> "ResultCache | NullCache":
+    """The process-wide shared cache (amortises across experiments).
+
+    ``configure(cache_enabled=False)`` or ``$REPRO_SWEEP_CACHE=0``
+    yields a :class:`NullCache`; ``configure(cache_dir=..)`` or
+    ``$REPRO_SWEEP_CACHE_DIR`` adds the disk tier.
+    """
+    global _default_cache
+    if _default_cache is None:
+        enabled = _defaults.cache_enabled
+        if enabled is None:
+            enabled = os.environ.get("REPRO_SWEEP_CACHE", "1") != "0"
+        if not enabled:
+            _default_cache = NullCache()
+        else:
+            cache_dir = _defaults.cache_dir or os.environ.get(
+                "REPRO_SWEEP_CACHE_DIR"
+            )
+            _default_cache = ResultCache(
+                capacity=_defaults.capacity, cache_dir=cache_dir
+            )
+    return _default_cache
+
+
+def reset_default_cache() -> None:
+    """Drop the shared cache (tests and long-lived services)."""
+    global _default_cache
+    _default_cache = None

@@ -160,18 +160,27 @@ class ConvLayer:
     # ------------------------------------------------------------------
     @property
     def shape_key(self) -> tuple[int, ...]:
-        """Parameter tuple identifying layers with identical cost."""
-        return (
-            self.c,
-            self.k,
-            self.r,
-            self.s,
-            self.h,
-            self.w,
-            self.stride,
-            self.groups,
-            self.batch,
-        )
+        """Parameter tuple identifying layers with identical cost.
+
+        Computed once per instance and stashed in ``__dict__`` (this
+        frozen dataclass has no slots): the sweep engine asks for it
+        on every cache lookup, for every duplicate layer of a model.
+        """
+        key = self.__dict__.get("_shape_key")
+        if key is None:
+            key = (
+                self.c,
+                self.k,
+                self.r,
+                self.s,
+                self.h,
+                self.w,
+                self.stride,
+                self.groups,
+                self.batch,
+            )
+            object.__setattr__(self, "_shape_key", key)
+        return key
 
     def renamed(self, name: str) -> "ConvLayer":
         """Copy of this layer under a different name."""

@@ -80,7 +80,15 @@ class CommunicationTimes:
 
     @property
     def bottleneck_name(self) -> str:
-        """Which resource dominates (for diagnostics)."""
+        """Which contributor dominates (for diagnostics).
+
+        Consistent with :attr:`bottleneck_s`: the pipelined time is
+        the slowest resource plus the (unpipelinable) splitter
+        retuning, so when ``reconfiguration_s`` exceeds every resource
+        serialisation time the honest answer is ``"reconfiguration"``
+        -- a heavily waved mapping on a photonic machine really is
+        retuning-bound, and the diagnostic must not blame a link.
+        """
         names = {
             "gb_egress": self.gb_egress_s,
             "gb_ingress": self.gb_ingress_s,
@@ -90,6 +98,8 @@ class CommunicationTimes:
             "pe_write": self.pe_write_s,
             "dram": self.dram_s,
         }
+        if self.reconfiguration_s > max(names.values()):
+            return "reconfiguration"
         return max(names, key=names.get)
 
 

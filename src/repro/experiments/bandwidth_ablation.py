@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..baselines.simba import simba_simulator
+from ..core.batch import simulate_model_cached
 from ..models.zoo import MODELS
 from ..spacx.architecture import spacx_simulator
 from .harness import arithmetic_mean
@@ -43,7 +44,7 @@ def bandwidth_ablation() -> list[BandwidthAblationRow]:
     for model_factory in MODELS.values():
         model = model_factory()
         results = {
-            name: simulator.simulate_model(model)
+            name: simulate_model_cached(simulator, model)
             for name, simulator in simulators.items()
         }
         baseline = results["Simba"]

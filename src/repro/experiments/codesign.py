@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..baselines.simba import simba_simulator, simba_spec
+from ..core.batch import simulate_model_cached
 from ..core.dataflow import DataflowKind
 from ..core.simulator import Simulator
 from ..baselines.electrical import ElectricalMeshEnergy
@@ -76,7 +77,7 @@ def codesign_matrix() -> list[CodesignCell]:
     for factory in MODELS.values():
         model = factory()
         results = {
-            key: simulator.simulate_model(model)
+            key: simulate_model_cached(simulator, model)
             for key, simulator in corners.items()
         }
         baseline = results[("WS", "electrical")]

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.batch import simulate_model_cached
 from ..core.dataflow import DataflowKind
 from ..models.zoo import MODELS
 from ..spacx.architecture import spacx_simulator
@@ -50,7 +51,7 @@ def dataflow_ablation() -> list[DataflowAblationRow]:
     for model_factory in MODELS.values():
         model = model_factory()
         results = {
-            label: simulator.simulate_model(model)
+            label: simulate_model_cached(simulator, model)
             for label, simulator in simulators.items()
         }
         baseline = results["WS"]

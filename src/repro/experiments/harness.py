@@ -12,10 +12,11 @@ from typing import Callable, Iterable
 
 from ..baselines.popstar import popstar_simulator
 from ..baselines.simba import simba_simulator
+from ..core.batch import NullCache, ResultCache, SweepRunner
 from ..core.layer import LayerSet
 from ..core.metrics import ModelResult
 from ..core.simulator import Simulator
-from ..models.zoo import MODELS
+from ..models.zoo import evaluation_models
 from ..spacx.architecture import spacx_simulator
 
 __all__ = [
@@ -57,22 +58,27 @@ def default_trio(chiplets: int = 32, pes_per_chiplet: int = 32) -> AcceleratorTr
 def run_models(
     simulators: Iterable[Simulator],
     models: Iterable[LayerSet] | None = None,
+    *,
+    layer_by_layer: bool = False,
+    workers: int | None = None,
+    cache: "ResultCache | NullCache | None" = None,
+    runner: SweepRunner | None = None,
 ) -> dict[str, dict[str, ModelResult]]:
-    """Run every simulator over every model.
+    """Run every simulator over every model through the sweep engine.
 
     Returns ``{model name: {accelerator name: ModelResult}}`` in the
-    paper's reporting order.
+    paper's reporting order.  Jobs go through
+    :class:`repro.core.batch.SweepRunner`: by default serial with the
+    process-wide shared result cache (so a campaign of experiments
+    amortises repeated ``(machine, layer shape)`` pairs); ``workers >
+    1`` fans jobs out over processes with bit-identical results.  Pass
+    an explicit ``runner`` to inspect per-job timing stats afterwards.
     """
     if models is None:
-        models = [factory() for factory in MODELS.values()]
-    results: dict[str, dict[str, ModelResult]] = {}
-    for model in models:
-        results[model.name] = {}
-        for simulator in simulators:
-            results[model.name][simulator.spec.name] = simulator.simulate_model(
-                model
-            )
-    return results
+        models = evaluation_models()
+    if runner is None:
+        runner = SweepRunner(max_workers=workers, cache=cache)
+    return runner.run_models(simulators, models, layer_by_layer=layer_by_layer)
 
 
 def arithmetic_mean(values: Iterable[float]) -> float:
@@ -101,16 +107,29 @@ def format_table(
     rows: list[list[object]],
     fmt: Callable[[object], str] = lambda v: f"{v:.3f}" if isinstance(v, float) else str(v),
 ) -> str:
-    """Render rows as an aligned text table for benchmark output."""
+    """Render rows as an aligned text table for benchmark output.
+
+    Tolerates zero-row input (header + rule only) and ragged rows:
+    short rows are padded with empty cells and over-long rows widen
+    the table with unnamed columns, so a partially-populated sweep
+    still renders instead of crashing.
+    """
+    if not headers and not rows:
+        return ""
     rendered = [[fmt(cell) for cell in row] for row in rows]
+    n_columns = max(len(headers), *(len(row) for row in rendered)) if rendered else len(headers)
+    padded_headers = list(headers) + [""] * (n_columns - len(headers))
+    rendered = [row + [""] * (n_columns - len(row)) for row in rendered]
     widths = [
-        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered else len(headers[i])
-        for i in range(len(headers))
+        max(len(padded_headers[i]), *(len(row[i]) for row in rendered))
+        if rendered
+        else len(padded_headers[i])
+        for i in range(n_columns)
     ]
     lines = [
-        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
-        "  ".join("-" * w for w in widths),
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(padded_headers)),
+        "  ".join("-" * max(1, w) for w in widths),
     ]
     for row in rendered:
-        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(n_columns)))
     return "\n".join(lines)

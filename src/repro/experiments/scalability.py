@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from ..baselines.popstar import popstar_simulator
 from ..baselines.simba import simba_simulator
+from ..core.batch import simulate_model_cached
 from ..models.resnet import resnet50
 from ..spacx.architecture import spacx_simulator
 
@@ -42,11 +43,11 @@ class ScalabilityRow:
 def scalability_study() -> list[ScalabilityRow]:
     """Regenerate the Figure 22 data set."""
     model = resnet50()
-    reference = spacx_simulator(32, 32).simulate_model(model)
+    reference = simulate_model_cached(spacx_simulator(32, 32), model)
     rows: list[ScalabilityRow] = []
     for chiplets, pes in _SWEEP:
         for factory in (simba_simulator, popstar_simulator, spacx_simulator):
-            result = factory(chiplets, pes).simulate_model(model)
+            result = simulate_model_cached(factory(chiplets, pes), model)
             rows.append(
                 ScalabilityRow(
                     chiplets=chiplets,

@@ -13,6 +13,7 @@ import dataclasses
 from dataclasses import dataclass
 
 from ..baselines.simba import simba_simulator
+from ..core.batch import simulate_model_cached
 from ..models.resnet import resnet50
 from ..spacx.architecture import spacx_simulator
 
@@ -58,8 +59,8 @@ def dram_bandwidth_sensitivity(
             SensitivityPoint(
                 parameter="dram_bandwidth_gbps",
                 value=bandwidth,
-                spacx_execution_time_s=spacx.simulate_model(model).execution_time_s,
-                simba_execution_time_s=simba.simulate_model(model).execution_time_s,
+                spacx_execution_time_s=simulate_model_cached(spacx, model).execution_time_s,
+                simba_execution_time_s=simulate_model_cached(simba, model).execution_time_s,
             )
         )
     return points
@@ -78,8 +79,8 @@ def frequency_sensitivity(
             SensitivityPoint(
                 parameter="frequency_ghz",
                 value=frequency,
-                spacx_execution_time_s=spacx.simulate_model(model).execution_time_s,
-                simba_execution_time_s=simba.simulate_model(model).execution_time_s,
+                spacx_execution_time_s=simulate_model_cached(spacx, model).execution_time_s,
+                simba_execution_time_s=simulate_model_cached(simba, model).execution_time_s,
             )
         )
     return points
@@ -94,7 +95,7 @@ def wavelength_rate_sensitivity(
     so the ratio improves monotonically with faster optics.
     """
     model = resnet50()
-    simba_time = simba_simulator().simulate_model(model).execution_time_s
+    simba_time = simulate_model_cached(simba_simulator(), model).execution_time_s
     points = []
     for rate in rates_gbps:
         scale = rate / 10.0
@@ -113,7 +114,7 @@ def wavelength_rate_sensitivity(
             SensitivityPoint(
                 parameter="wavelength_rate_gbps",
                 value=rate,
-                spacx_execution_time_s=spacx.simulate_model(model).execution_time_s,
+                spacx_execution_time_s=simulate_model_cached(spacx, model).execution_time_s,
                 simba_execution_time_s=simba_time,
             )
         )

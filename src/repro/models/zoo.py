@@ -7,6 +7,7 @@ rebuilds exactly that labelling from the zoo.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable
 
 from ..core.layer import ConvLayer, LayerSet
@@ -45,10 +46,21 @@ EXTENDED_MODELS: dict[str, Callable[[], LayerSet]] = {
 }
 
 
+@lru_cache(maxsize=None)
+def _instantiate(name: str) -> LayerSet:
+    return EXTENDED_MODELS[name]()
+
+
 def get_model(name: str) -> LayerSet:
-    """Instantiate a model by name (paper suite or zoo extension)."""
+    """Instantiate a model by name (paper suite or zoo extension).
+
+    Instances are memoised: a :class:`LayerSet` is immutable after
+    construction (its accessors return defensive copies), so a sweep
+    campaign that asks for the same model repeatedly shares one
+    object instead of re-deriving a few hundred layer shapes.
+    """
     try:
-        return EXTENDED_MODELS[name]()
+        return _instantiate(name)
     except KeyError:
         raise KeyError(
             f"unknown model {name!r}; available: {sorted(EXTENDED_MODELS)}"
@@ -57,7 +69,7 @@ def get_model(name: str) -> LayerSet:
 
 def evaluation_models() -> list[LayerSet]:
     """All four models, in the paper's reporting order."""
-    return [factory() for factory in MODELS.values()]
+    return [get_model(name) for name in MODELS]
 
 
 def paper_layer_labels() -> dict[str, ConvLayer]:
@@ -68,7 +80,7 @@ def paper_layer_labels() -> dict[str, ConvLayer]:
     """
     labels: dict[str, ConvLayer] = {}
     index = 1
-    for model in (resnet50(), vgg16()):
+    for model in (get_model("ResNet-50"), get_model("VGG-16")):
         for layer in model.unique_layers:
             labels[f"L{index}"] = layer
             index += 1

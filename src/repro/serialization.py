@@ -3,14 +3,34 @@
 Downstream tooling (plotting notebooks, CI dashboards) wants results
 as data, not Python objects.  These converters flatten the result
 dataclasses into JSON-compatible dictionaries with stable keys.
+
+Two families live here:
+
+* the *reporting* converters (``layer_result_to_dict`` etc.) flatten
+  results into human-oriented dictionaries with derived quantities
+  mixed in;
+* the *round-trip* converters (``layer_result_to_cache_dict`` /
+  ``layer_result_from_cache_dict``) losslessly serialise a
+  :class:`LayerResult` for the sweep engine's on-disk result cache
+  (:mod:`repro.core.batch`).  They enumerate constructor fields via
+  :mod:`dataclasses` so they stay exhaustive as the dataclasses grow,
+  and JSON's shortest-repr float encoding guarantees bit-exact float
+  round-trips.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import struct
+from enum import Enum
 from typing import Any
 
+from .core.dataflow import DataflowKind
+from .core.layer import ConvLayer
+from .core.mapping import Mapping
 from .core.metrics import EnergyBreakdown, LayerResult, ModelResult, NetworkEnergy
+from .core.traffic import TrafficSummary
 
 __all__ = [
     "network_energy_to_dict",
@@ -18,6 +38,16 @@ __all__ = [
     "layer_result_to_dict",
     "model_result_to_dict",
     "model_result_to_json",
+    "dataclass_to_plain",
+    "conv_layer_from_dict",
+    "mapping_from_dict",
+    "traffic_summary_from_dict",
+    "network_energy_from_dict",
+    "energy_breakdown_from_dict",
+    "layer_result_to_cache_dict",
+    "layer_result_from_cache_dict",
+    "layer_result_pack",
+    "layer_result_unpack",
 ]
 
 
@@ -124,3 +154,319 @@ def model_result_to_dict(result: ModelResult) -> dict[str, Any]:
 def model_result_to_json(result: ModelResult, indent: int | None = 2) -> str:
     """Serialise a whole-model simulation to a JSON string."""
     return json.dumps(model_result_to_dict(result), indent=indent)
+
+
+# ----------------------------------------------------------------------
+# Lossless round-trip converters (sweep-engine disk cache)
+# ----------------------------------------------------------------------
+def dataclass_to_plain(obj: Any) -> dict[str, Any]:
+    """Recursively flatten a dataclass to JSON-compatible plain data.
+
+    Unlike :func:`dataclasses.asdict` this maps enums to their values
+    so the output survives ``json.dumps`` unchanged.  Only constructor
+    fields are emitted (no derived properties), which makes the output
+    suitable for exact reconstruction.
+    """
+    out: dict[str, Any] = {}
+    for field in dataclasses.fields(obj):
+        value = getattr(obj, field.name)
+        if isinstance(value, Enum):
+            value = value.value
+        elif dataclasses.is_dataclass(value) and not isinstance(value, type):
+            value = dataclass_to_plain(value)
+        elif isinstance(value, tuple):
+            value = list(value)
+        out[field.name] = value
+    return out
+
+
+# Field-name tuples hoisted to import time: the from-dict converters
+# run once per disk-cache entry on a warm start, so per-call
+# ``dataclasses.fields`` introspection is measurable.
+_NETWORK_ENERGY_FIELDS = tuple(f.name for f in dataclasses.fields(NetworkEnergy))
+_ENERGY_SCALAR_FIELDS = tuple(
+    f.name for f in dataclasses.fields(EnergyBreakdown) if f.name != "network"
+)
+
+
+def conv_layer_from_dict(data: dict[str, Any]) -> ConvLayer:
+    """Rebuild a :class:`ConvLayer` from its plain-dict form."""
+    return ConvLayer(**data)
+
+
+def mapping_from_dict(
+    data: dict[str, Any], *, layer: ConvLayer | None = None
+) -> Mapping:
+    """Rebuild a :class:`Mapping` from its plain-dict form.
+
+    Pass ``layer`` to reuse an already-reconstructed layer object
+    instead of rebuilding it from ``data["layer"]``.
+    """
+    kwargs = dict(data)
+    kwargs["layer"] = (
+        layer if layer is not None else conv_layer_from_dict(kwargs["layer"])
+    )
+    kwargs["dataflow"] = DataflowKind(kwargs["dataflow"])
+    return Mapping(**kwargs)
+
+
+def traffic_summary_from_dict(data: dict[str, Any]) -> TrafficSummary:
+    """Rebuild a :class:`TrafficSummary` from its plain-dict form."""
+    return TrafficSummary(**data)
+
+
+def network_energy_from_dict(data: dict[str, Any]) -> NetworkEnergy:
+    """Rebuild a :class:`NetworkEnergy` split from its plain-dict form.
+
+    Tolerates the derived ``total_mj`` key emitted by the reporting
+    converter :func:`network_energy_to_dict`.
+    """
+    return NetworkEnergy(**{k: data[k] for k in _NETWORK_ENERGY_FIELDS if k in data})
+
+
+def energy_breakdown_from_dict(data: dict[str, Any]) -> EnergyBreakdown:
+    """Rebuild an :class:`EnergyBreakdown` from its plain-dict form."""
+    kwargs: dict[str, Any] = {k: data[k] for k in _ENERGY_SCALAR_FIELDS}
+    kwargs["network"] = network_energy_from_dict(data["network"])
+    return EnergyBreakdown(**kwargs)
+
+
+def layer_result_to_cache_dict(result: LayerResult) -> dict[str, Any]:
+    """Losslessly flatten a :class:`LayerResult` for the disk cache."""
+    return dataclass_to_plain(result)
+
+
+#: Exact constructor-field name sets, for validating cache entries.
+_FIELD_KEYS: dict[type, frozenset[str]] = {
+    cls: frozenset(f.name for f in dataclasses.fields(cls))
+    for cls in (
+        ConvLayer,
+        Mapping,
+        TrafficSummary,
+        NetworkEnergy,
+        EnergyBreakdown,
+        LayerResult,
+    )
+}
+
+
+def _fast_build(cls: type, attributes: dict[str, Any]) -> Any:
+    """Construct a (slot-less) dataclass instance without ``__init__``.
+
+    Cache deserialisation rebuilds hundreds of frozen dataclasses per
+    warm start; going through the generated ``__init__`` (keyword
+    binding, ``object.__setattr__`` per field, ``__post_init__``
+    validation) costs several times more than populating ``__dict__``
+    directly.  Only used on *trusted* input -- entries this process
+    family wrote, guarded by the cache schema version -- where the
+    validation already passed when the original object was built.
+    Field-name coverage is still checked exactly, so truncated or
+    stale entries raise :class:`ValueError` (which the disk tier
+    treats as a miss) instead of yielding half-built objects.
+    """
+    if attributes.keys() != _FIELD_KEYS[cls]:
+        raise ValueError(f"{cls.__name__}: cache entry field mismatch")
+    obj = object.__new__(cls)
+    obj.__dict__.update(attributes)
+    return obj
+
+
+def layer_result_from_cache_dict(data: dict[str, Any]) -> LayerResult:
+    """Exactly rebuild a :class:`LayerResult` from its cache form."""
+    kwargs = dict(data)
+    layer = _fast_build(ConvLayer, data["layer"])
+    kwargs["layer"] = layer
+    mapping_data = data["mapping"]
+    mapping_kwargs = dict(mapping_data)
+    mapping_kwargs["dataflow"] = DataflowKind(mapping_data["dataflow"])
+    # The mapping almost always describes the result's own layer;
+    # share the object instead of rebuilding it.
+    mapping_kwargs["layer"] = (
+        layer
+        if mapping_data["layer"] == data["layer"]
+        else _fast_build(ConvLayer, mapping_data["layer"])
+    )
+    kwargs["mapping"] = _fast_build(Mapping, mapping_kwargs)
+    kwargs["traffic"] = _fast_build(TrafficSummary, data["traffic"])
+    energy_kwargs = dict(data["energy"])
+    energy_kwargs["network"] = _fast_build(NetworkEnergy, data["energy"]["network"])
+    kwargs["energy"] = _fast_build(EnergyBreakdown, energy_kwargs)
+    return _fast_build(LayerResult, kwargs)
+
+
+# ----------------------------------------------------------------------
+# Packed (positional) disk-cache encoding
+# ----------------------------------------------------------------------
+#: Canonical field order of the packed encoding, per dataclass.
+_PACK_ORDER: dict[type, tuple[str, ...]] = {
+    cls: tuple(f.name for f in dataclasses.fields(cls))
+    for cls in (
+        ConvLayer,
+        Mapping,
+        TrafficSummary,
+        NetworkEnergy,
+        EnergyBreakdown,
+        LayerResult,
+    )
+}
+
+# The float-typed scalars of a result, in canonical order.  They are
+# packed as one IEEE-754 hex blob per entry: ``bytes.fromhex`` +
+# ``struct.unpack`` run at C speed, whereas JSON float parsing is the
+# single hottest item of a warm cache start -- and the binary image
+# is bit-exact by construction instead of by shortest-repr argument.
+_LR_FLOAT_ORDER = tuple(
+    f.name
+    for f in dataclasses.fields(LayerResult)
+    if f.type in (float, "float")
+)
+_LR_OTHER_ORDER = tuple(
+    f.name
+    for f in dataclasses.fields(LayerResult)
+    if f.name not in _LR_FLOAT_ORDER
+    and f.name not in ("layer", "mapping", "traffic", "energy")
+)
+_FLOAT_ORDER = (
+    _LR_FLOAT_ORDER + _ENERGY_SCALAR_FIELDS + _PACK_ORDER[NetworkEnergy]
+)
+_FLOAT_STRUCT = struct.Struct(f"<{len(_FLOAT_ORDER)}d")
+
+
+#: Slices of the combined float vector, per owning dataclass.
+_N_LR_FLOATS = len(_LR_FLOAT_ORDER)
+_N_EB_FLOATS = len(_ENERGY_SCALAR_FIELDS)
+
+#: Hot-path aliases of the per-class orders (module-global loads are
+#: cheaper than a dict subscript per unpacked object).
+_LAYER_ORDER = _PACK_ORDER[ConvLayer]
+_MAPPING_ORDER = _PACK_ORDER[Mapping]
+_TRAFFIC_ORDER = _PACK_ORDER[TrafficSummary]
+_NETWORK_ORDER = _PACK_ORDER[NetworkEnergy]
+
+#: Enum lookup by value -- ``DataflowKind(value)`` walks the enum
+#: machinery (and an import-system hook for the error message) on
+#: every call; a dict hit is ~10x cheaper and raises ``KeyError`` on
+#: junk, which the disk tier already maps to a cache miss.
+_DATAFLOW_BY_VALUE = {kind.value: kind for kind in DataflowKind}
+
+
+def layer_result_pack(result: LayerResult) -> list[Any]:
+    """Pack a :class:`LayerResult` into a positional JSON array.
+
+    Same information as :func:`layer_result_to_cache_dict` but built
+    for the disk cache's parse speed: field *positions* instead of
+    repeated field-name strings, and all float scalars collapsed into
+    one IEEE-754 little-endian hex blob (canonical ``_FLOAT_ORDER``).
+    ``None`` in the mapping's layer slot means "same object as the
+    result's layer" (the overwhelmingly common case).  Values in
+    float-typed slots that are not actually ``float`` instances (an
+    int-typed zero, say) are recorded in a flat ``[index, value, ...]``
+    exceptions list so even their *type* round-trips exactly.
+    """
+    layer = result.layer
+    packed_layer = [getattr(layer, name) for name in _PACK_ORDER[ConvLayer]]
+    mapping = result.mapping
+    packed_mapping: list[Any] = []
+    for name in _PACK_ORDER[Mapping]:
+        value = getattr(mapping, name)
+        if name == "layer":
+            value = (
+                None
+                if value == layer
+                else [getattr(value, n) for n in _PACK_ORDER[ConvLayer]]
+            )
+        elif name == "dataflow":
+            value = value.value
+        packed_mapping.append(value)
+    packed_traffic = [
+        getattr(result.traffic, name) for name in _PACK_ORDER[TrafficSummary]
+    ]
+    energy = result.energy
+    floats = [getattr(result, name) for name in _LR_FLOAT_ORDER]
+    floats += [getattr(energy, name) for name in _ENERGY_SCALAR_FIELDS]
+    floats += [
+        getattr(energy.network, name) for name in _PACK_ORDER[NetworkEnergy]
+    ]
+    exceptions: list[Any] = []
+    for index, value in enumerate(floats):
+        if type(value) is not float:
+            exceptions += (index, value)
+    blob = _FLOAT_STRUCT.pack(*floats).hex()
+    others = [getattr(result, name) for name in _LR_OTHER_ORDER]
+    return [others, packed_layer, packed_mapping, packed_traffic, blob, exceptions]
+
+
+def layer_result_unpack(data: list[Any]) -> LayerResult:
+    """Exactly rebuild a :class:`LayerResult` from its packed form.
+
+    This is the disk cache's hot path (hundreds of calls per warm
+    start), so it populates each dataclass ``__dict__`` straight from
+    a ``zip`` over the canonical field order -- no keyword binding, no
+    intermediate dicts, no ``__post_init__`` re-validation (the values
+    already passed it when the entry was written).  Truncated or
+    reordered input still fails loudly: ``zip(strict=True)`` raises
+    :class:`ValueError`, ``DataflowKind(...)`` rejects junk, and the
+    disk tier maps any of these to a cache miss.
+    """
+    others, packed_layer, packed_mapping, packed_traffic, blob, exceptions = data
+    try:
+        floats: tuple | list = _FLOAT_STRUCT.unpack(bytes.fromhex(blob))
+    except (struct.error, ValueError, TypeError) as exc:
+        raise ValueError(f"bad float blob: {exc}") from None
+    if exceptions:
+        floats = list(floats)
+        for i in range(0, len(exceptions), 2):
+            floats[exceptions[i]] = exceptions[i + 1]
+
+    new = object.__new__
+    layer_order = _LAYER_ORDER
+
+    result = new(LayerResult)
+    state = result.__dict__
+    state.update(zip(_LR_OTHER_ORDER, others, strict=True))
+    state.update(zip(_LR_FLOAT_ORDER, floats[:_N_LR_FLOATS], strict=True))
+
+    layer = new(ConvLayer)
+    layer.__dict__.update(zip(layer_order, packed_layer, strict=True))
+    state["layer"] = layer
+
+    mapping = new(Mapping)
+    mapping_state = mapping.__dict__
+    mapping_state.update(zip(_MAPPING_ORDER, packed_mapping, strict=True))
+    mapping_state["dataflow"] = _DATAFLOW_BY_VALUE[mapping_state["dataflow"]]
+    packed_mapping_layer = mapping_state["layer"]
+    if packed_mapping_layer is None:
+        mapping_state["layer"] = layer
+    else:
+        mapping_layer = new(ConvLayer)
+        mapping_layer.__dict__.update(
+            zip(layer_order, packed_mapping_layer, strict=True)
+        )
+        mapping_state["layer"] = mapping_layer
+    state["mapping"] = mapping
+
+    traffic = new(TrafficSummary)
+    traffic.__dict__.update(zip(_TRAFFIC_ORDER, packed_traffic, strict=True))
+    state["traffic"] = traffic
+
+    energy = new(EnergyBreakdown)
+    energy_state = energy.__dict__
+    energy_state.update(
+        zip(
+            _ENERGY_SCALAR_FIELDS,
+            floats[_N_LR_FLOATS : _N_LR_FLOATS + _N_EB_FLOATS],
+            strict=True,
+        )
+    )
+    network = new(NetworkEnergy)
+    network.__dict__.update(
+        zip(
+            _NETWORK_ORDER,
+            floats[_N_LR_FLOATS + _N_EB_FLOATS :],
+            strict=True,
+        )
+    )
+    energy_state["network"] = network
+    state["energy"] = energy
+
+    return result

@@ -1,0 +1,73 @@
+"""Shared pytest plumbing: the golden-snapshot machinery.
+
+Golden files live in ``tests/golden/*.json``.  A golden test computes
+its figure/table payload and hands it to the :func:`golden` fixture,
+which compares against the stored snapshot *exactly* (the simulator
+is an analytical model -- bit-identical floats are the contract, so
+there is no tolerance).  After an intentional model change, refresh
+the snapshots with::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current results",
+    )
+
+
+class GoldenStore:
+    """Compares JSON payloads against ``tests/golden`` snapshots."""
+
+    def __init__(self, directory: Path, update: bool):
+        self.directory = directory
+        self.update = update
+
+    def path(self, name: str) -> Path:
+        return self.directory / f"{name}.json"
+
+    def check(self, name: str, payload) -> None:
+        """Assert ``payload`` matches the stored snapshot exactly.
+
+        The payload is normalised through one JSON round-trip first so
+        tuples/lists and dict ordering cannot cause spurious diffs;
+        float values survive the round-trip bit-exactly (shortest-repr
+        serialisation is lossless).
+        """
+        normalized = json.loads(json.dumps(payload, sort_keys=True))
+        path = self.path(name)
+        if self.update:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(normalized, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            return
+        if not path.exists():
+            pytest.fail(
+                f"golden snapshot {path} is missing; generate it with "
+                f"'python -m pytest tests/golden --update-golden'"
+            )
+        stored = json.loads(path.read_text(encoding="utf-8"))
+        assert normalized == stored, (
+            f"{name}: results drifted from the golden snapshot; if the "
+            f"change is intentional, refresh with --update-golden"
+        )
+
+
+@pytest.fixture(scope="session")
+def golden(request: pytest.FixtureRequest) -> GoldenStore:
+    return GoldenStore(GOLDEN_DIR, request.config.getoption("--update-golden"))

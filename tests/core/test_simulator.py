@@ -58,6 +58,23 @@ class TestTiming:
         named = getattr(times, f"{times.bottleneck_name}_s")
         assert named == pytest.approx(times.bottleneck_s - times.reconfiguration_s)
 
+    def test_bottleneck_name_reconfiguration_dominant(self):
+        """Regression: a retuning-bound layer must not blame a link."""
+        from repro.core.simulator import CommunicationTimes
+
+        times = CommunicationTimes(
+            gb_egress_s=1e-9,
+            gb_ingress_s=2e-9,
+            chiplet_read_s=3e-9,
+            chiplet_write_s=1e-9,
+            pe_read_s=2e-9,
+            pe_write_s=1e-9,
+            dram_s=1e-9,
+            reconfiguration_s=5e-9,
+        )
+        assert times.bottleneck_name == "reconfiguration"
+        assert times.bottleneck_s == pytest.approx(3e-9 + 5e-9)
+
     def test_reconfiguration_includes_tuning_delay(self):
         """500 ps splitter retuning per wave (photonic machines only)."""
         sim = spacx_simulator()

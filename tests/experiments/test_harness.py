@@ -52,6 +52,21 @@ class TestFormatTable:
     def test_empty_rows(self):
         text = format_table(["a", "b"], [])
         assert "a" in text
+        assert len(text.splitlines()) == 2  # header + rule only
+
+    def test_fully_empty(self):
+        assert format_table([], []) == ""
+
+    def test_ragged_short_rows_are_padded(self):
+        text = format_table(["a", "b", "c"], [["x"], ["y", 1.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_ragged_long_rows_widen_the_table(self):
+        text = format_table(["a"], [["x", "overflow", 3.5]])
+        assert "overflow" in text
+        assert "3.500" in text
 
 
 class TestTrioAndRunner:
@@ -75,3 +90,34 @@ class TestTrioAndRunner:
         trio = default_trio(chiplets=16, pes_per_chiplet=16)
         assert trio.spacx.spec.chiplets == 16
         assert trio.simba.spec.pes_per_chiplet == 16
+
+    def test_run_models_through_explicit_cache(self):
+        from repro.core.batch import ResultCache
+
+        trio = default_trio()
+        model = LayerSet(
+            "mini", [ConvLayer(name="a", c=16, k=16, r=3, s=3, h=10, w=10)]
+        )
+        cache = ResultCache()
+        cold = run_models(trio, models=[model], cache=cache)
+        assert cache.stats.misses == len(EVALUATED_ACCELERATORS)
+        warm = run_models(trio, models=[model], cache=cache)
+        assert cache.stats.misses == len(EVALUATED_ACCELERATORS)  # unchanged
+        for accelerator in EVALUATED_ACCELERATORS:
+            assert (
+                warm["mini"][accelerator].layers
+                == cold["mini"][accelerator].layers
+            )
+
+    def test_run_models_through_explicit_runner(self):
+        from repro.core.batch import NullCache, SweepRunner
+
+        trio = default_trio()
+        model = LayerSet(
+            "mini", [ConvLayer(name="a", c=16, k=16, r=3, s=3, h=10, w=10)]
+        )
+        runner = SweepRunner(max_workers=1, cache=NullCache())
+        results = run_models(trio, models=[model], runner=runner)
+        assert set(results["mini"]) == set(EVALUATED_ACCELERATORS)
+        assert len(runner.stats) == len(EVALUATED_ACCELERATORS)
+        assert all(stat.mode == "serial" for stat in runner.stats)

@@ -1,0 +1,127 @@
+"""Golden-regression layer: every headline figure/table, snapshotted.
+
+Each test regenerates one published artefact and compares it *exactly*
+against ``tests/golden/*.json`` (see ``tests/conftest.py``).  The suite
+also pins the full evaluation sweep as one content digest and proves
+the sweep engine's determinism contract on it: parallel (``workers=2``)
+and warm-cached passes must be byte-identical to the serial pass.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+import pytest
+
+from repro.core import batch
+from repro.experiments import (
+    EVALUATED_ACCELERATORS,
+    default_trio,
+    geometric_mean,
+    network_metric_means,
+    network_metrics,
+    overall_comparison,
+    overall_means,
+    run_models,
+    table_i,
+    table_ii,
+    table_iii_iv,
+)
+
+
+# ----------------------------------------------------------------------
+# Figures 15 / 16 and the summary speedups
+# ----------------------------------------------------------------------
+def test_fig15_overall_means_golden(golden):
+    rows = overall_comparison()
+    golden.check("fig15_overall_means", overall_means(rows))
+
+
+def test_fig16_network_means_golden(golden):
+    rows = network_metrics()
+    golden.check("fig16_network_means", network_metric_means(rows))
+
+
+def test_speedup_geomeans_golden(golden):
+    """G.M. of the normalised (to Simba) time/energy, per machine."""
+    rows = overall_comparison()
+    payload = {}
+    for accelerator in EVALUATED_ACCELERATORS:
+        subset = [r for r in rows if r.accelerator == accelerator]
+        payload[accelerator] = {
+            "execution_time": geometric_mean(
+                r.normalized_execution_time for r in subset
+            ),
+            "energy": geometric_mean(r.normalized_energy for r in subset),
+        }
+    golden.check("speedup_geomeans", payload)
+
+
+# ----------------------------------------------------------------------
+# Tables I / II / III-IV
+# ----------------------------------------------------------------------
+def test_table_i_golden(golden):
+    golden.check("table_i", table_i())
+
+
+def test_table_ii_golden(golden):
+    golden.check("table_ii", table_ii())
+
+
+def test_table_iii_iv_golden(golden):
+    payload = {
+        name: dataclasses.asdict(params)
+        for name, params in table_iii_iv().items()
+    }
+    golden.check("table_iii_iv", payload)
+
+
+# ----------------------------------------------------------------------
+# The full evaluation sweep, pinned as one digest
+# ----------------------------------------------------------------------
+def _sweep_digest(results) -> str:
+    """Canonical content digest of a ``run_models`` result tree."""
+    from repro.serialization import model_result_to_dict
+
+    canonical = json.dumps(
+        {
+            model: {
+                accelerator: model_result_to_dict(result)
+                for accelerator, result in per_accelerator.items()
+            }
+            for model, per_accelerator in results.items()
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def serial_digest():
+    trio = list(default_trio())
+    return _sweep_digest(run_models(trio, cache=batch.NullCache()))
+
+
+def test_full_sweep_digest_golden(golden, serial_digest):
+    golden.check("full_sweep_digest", {"sha256": serial_digest})
+
+
+def test_parallel_sweep_matches_serial_digest(serial_digest):
+    """workers=2 must reproduce the serial sweep byte for byte."""
+    trio = list(default_trio())
+    runner = batch.SweepRunner(max_workers=2, cache=batch.NullCache())
+    parallel = run_models(trio, runner=runner)
+    assert _sweep_digest(parallel) == serial_digest
+
+
+def test_cached_sweep_matches_serial_digest(serial_digest, tmp_path):
+    """A cold-populating and a warm disk-cached pass both match."""
+    trio = list(default_trio())
+    cold = run_models(trio, cache=batch.ResultCache(cache_dir=tmp_path))
+    assert _sweep_digest(cold) == serial_digest
+    warm_cache = batch.ResultCache(cache_dir=tmp_path)
+    warm = run_models(trio, cache=warm_cache)
+    assert _sweep_digest(warm) == serial_digest
+    assert warm_cache.stats.misses == 0
