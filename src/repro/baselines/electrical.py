@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..core.faults import InfeasibleFaultError
 from ..core.mapping import Mapping
 from ..core.metrics import NetworkEnergy
 from ..core.traffic import TrafficSummary
@@ -30,6 +31,8 @@ __all__ = [
     "CHIPLET_LINK",
     "mesh_average_hops",
     "ElectricalMeshEnergy",
+    "ElectricalFaultScenario",
+    "ElectricalFaultDomain",
 ]
 
 
@@ -117,3 +120,112 @@ class ElectricalMeshEnergy:
             chiplet_bits * CHIPLET_LINK.energy_pj_per_bit(self.chiplet_hops) * 1e-9
         )
         return NetworkEnergy(electrical_mj=package_mj + chiplet_mj)
+
+
+# ----------------------------------------------------------------------
+# Hard-failure model of the electrical interconnect
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ElectricalFaultScenario:
+    """How many electrical devices of each class have failed.
+
+    * a failed **package router** severs one chiplet's mesh port --
+      the chiplet drops out of the machine entirely (the electrical
+      analogue of a SPACX Y-carrier loss);
+    * a failed **chiplet-level link/router** idles one PE endpoint of
+      an on-die mesh (the analogue of a splitter-tap loss).
+    """
+
+    routers: int = 0
+    links: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.routers, self.links) < 0:
+            raise ValueError("fault counts must be >= 0")
+
+    @property
+    def is_healthy(self) -> bool:
+        """No failures injected."""
+        return not (self.routers or self.links)
+
+    @property
+    def total_faults(self) -> int:
+        """Total failed devices across both classes."""
+        return self.routers + self.links
+
+
+@dataclass(frozen=True)
+class ElectricalFaultDomain:
+    """Device inventory of one all-electrical (or hybrid) machine."""
+
+    chiplets: int = 32
+    pes_per_chiplet: int = 32
+
+    def __post_init__(self) -> None:
+        if self.chiplets < 1 or self.pes_per_chiplet < 1:
+            raise ValueError("need >= 1 chiplet and PE")
+
+    @property
+    def routers(self) -> int:
+        """Installed package-level routers (one per chiplet)."""
+        return self.chiplets
+
+    @property
+    def links(self) -> int:
+        """Installed chiplet-level mesh endpoints (one per PE)."""
+        return self.chiplets * self.pes_per_chiplet
+
+    def validate(self, scenario: ElectricalFaultScenario) -> None:
+        """Reject scenarios that exceed the device inventory."""
+        if scenario.routers > self.routers:
+            raise InfeasibleFaultError(
+                f"{scenario.routers} failed package routers exceed the "
+                f"installed inventory of {self.routers}"
+            )
+        if scenario.links > self.links:
+            raise InfeasibleFaultError(
+                f"{scenario.links} failed chiplet links exceed the "
+                f"installed inventory of {self.links}"
+            )
+
+    def degraded_configuration(
+        self, scenario: ElectricalFaultScenario
+    ) -> tuple[int, int]:
+        """``(chiplets_left, pes_per_chiplet_left)`` after the faults.
+
+        Router losses remove whole chiplets; link losses thin the PE
+        population, spread evenly over the survivors (the scheduler
+        rebalances).  Raises :class:`InfeasibleFaultError` when no
+        usable machine survives.
+        """
+        self.validate(scenario)
+        chiplets_left = self.chiplets - scenario.routers
+        if chiplets_left < 1:
+            raise InfeasibleFaultError("scenario kills every chiplet")
+        surviving_pes = chiplets_left * self.pes_per_chiplet - scenario.links
+        if surviving_pes < 1:
+            raise InfeasibleFaultError(
+                "scenario kills every PE of the surviving chiplets"
+            )
+        pes_left = max(1, surviving_pes // chiplets_left)
+        return chiplets_left, pes_left
+
+    def sample_scenario(
+        self,
+        rng,
+        *,
+        router_rate: float = 0.0,
+        link_rate: float = 0.0,
+    ) -> ElectricalFaultScenario:
+        """Draw one multi-fault population (binomial per device class).
+
+        ``rng`` is a :class:`numpy.random.Generator`; each device
+        fails independently with its per-device probability.
+        """
+        for rate in (router_rate, link_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("failure rates must be in [0, 1]")
+        return ElectricalFaultScenario(
+            routers=int(rng.binomial(self.routers, router_rate)),
+            links=int(rng.binomial(self.links, link_rate)),
+        )

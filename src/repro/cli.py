@@ -5,6 +5,7 @@
     python -m repro tables
     python -m repro advise --model VGG-16 --objective edp
     python -m repro layers --model ResNet-50
+    python -m repro faults --samples 128 --seed 2022
 
 The CLI only orchestrates the public library API; everything it
 prints can be obtained programmatically from :mod:`repro.experiments`.
@@ -61,6 +62,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist cached layer results as JSON under DIR "
         "(default: $REPRO_SWEEP_CACHE_DIR or memory-only)",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill any sweep job attempt that runs longer than SECONDS "
+        "(default: no timeout)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry a failed sweep job up to N times with exponential "
+        "backoff (default: 0)",
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=["raise", "skip"],
+        default=None,
+        help="after retries are exhausted: 'raise' aborts the sweep, "
+        "'skip' records the failure and keeps the other results",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted campaign from the manifest next to "
+        "the disk cache (requires --cache-dir or $REPRO_SWEEP_CACHE_DIR)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run = subparsers.add_parser("run", help="simulate one model on one machine")
@@ -112,6 +142,39 @@ def build_parser() -> argparse.ArgumentParser:
     layers.add_argument(
         "--unique", action="store_true", help="distinct shapes only"
     )
+
+    faults = subparsers.add_parser(
+        "faults",
+        help="Monte-Carlo degraded-mode availability study "
+        "(SPACX vs Simba vs POPSTAR)",
+    )
+    faults.add_argument(
+        "--model", choices=sorted(EXTENDED_MODELS), default="ResNet-50"
+    )
+    faults.add_argument(
+        "--samples",
+        type=int,
+        default=128,
+        help="fault populations drawn per (machine, rate) cell",
+    )
+    faults.add_argument(
+        "--seed", type=int, default=2022, help="Monte-Carlo RNG seed"
+    )
+    faults.add_argument(
+        "--rates",
+        default=None,
+        metavar="R1,R2,...",
+        help="comma-separated per-device failure rates "
+        "(default: 0.0001,0.001,0.005,0.02)",
+    )
+    faults.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="slowdown bound defining 'available' (default 1.5x)",
+    )
+    faults.add_argument("--chiplets", type=int, default=32)
+    faults.add_argument("--pes-per-chiplet", type=int, default=32)
 
     return parser
 
@@ -221,12 +284,47 @@ def _command_layers(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_faults(args: argparse.Namespace) -> int:
+    from .experiments.resilience import (
+        DEFAULT_FAILURE_RATES,
+        availability_ascii_curve,
+        availability_study,
+        availability_table,
+    )
+
+    if args.rates is None:
+        rates = DEFAULT_FAILURE_RATES
+    else:
+        rates = tuple(float(r) for r in args.rates.split(",") if r.strip())
+        if not rates:
+            raise SystemExit("--rates needs at least one value")
+    points = availability_study(
+        model=get_model(args.model),
+        rates=rates,
+        samples=args.samples,
+        seed=args.seed,
+        slowdown_threshold=args.threshold,
+        chiplets=args.chiplets,
+        pes_per_chiplet=args.pes_per_chiplet,
+    )
+    print(
+        f"Monte-Carlo availability, {args.model}, "
+        f"{args.samples} samples/cell, seed {args.seed}"
+    )
+    print()
+    print(availability_table(points))
+    print()
+    print(availability_ascii_curve(points))
+    return 0
+
+
 _COMMANDS = {
     "run": _command_run,
     "report": _command_report,
     "tables": _command_tables,
     "advise": _command_advise,
     "layers": _command_layers,
+    "faults": _command_faults,
 }
 
 
@@ -238,6 +336,10 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         cache_enabled=False if args.no_cache else None,
         cache_dir=args.cache_dir,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        on_error=args.on_error,
+        resume=True if args.resume else None,
     )
     return _COMMANDS[args.command](args)
 

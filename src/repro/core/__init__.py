@@ -5,16 +5,20 @@ performance/energy simulator."""
 from .accelerator import KB, MB, AcceleratorSpec, LinkLatency
 from .batch import (
     CacheStats,
+    JobFailure,
     JobStats,
     NullCache,
     ResultCache,
     SweepJob,
+    SweepJobError,
     SweepRunner,
     layer_cache_key,
     simulate_layer_cached,
     simulate_model_cached,
     spec_fingerprint,
 )
+from .campaign import CampaignManifest, job_content_key, model_content_key
+from .faults import InfeasibleFaultError
 from .dataflow import (
     DataflowKind,
     SpacxLoopNest,
@@ -32,7 +36,13 @@ from .traffic import NetworkCapabilities, TrafficSummary, derive_traffic
 __all__ = [
     "AcceleratorSpec",
     "CacheStats",
+    "CampaignManifest",
     "CommunicationTimes",
+    "InfeasibleFaultError",
+    "JobFailure",
+    "SweepJobError",
+    "job_content_key",
+    "model_content_key",
     "JobStats",
     "NullCache",
     "ResultCache",

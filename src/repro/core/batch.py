@@ -15,14 +15,25 @@ harness):
    an optional on-disk JSON tier (via :mod:`repro.serialization`), so
    repeated benchmark runs are near-instant;
 2. a **sweep runner** -- :class:`SweepRunner` fans ``(simulator,
-   model)`` jobs out over a :class:`concurrent.futures.ProcessPoolExecutor`
-   with deterministic result ordering, graceful fallback to serial
-   execution when ``max_workers == 1`` or the pool cannot start, and
+   model)`` jobs out over worker processes with deterministic result
+   ordering, graceful fallback to serial execution when
+   ``max_workers == 1`` or worker processes cannot be used, and
    per-job wall-clock statistics.
 
+The runner is *fault tolerant*: every job attempt runs in its own
+worker process, so a crashing, raising or hanging job can never
+poison its siblings.  Failures are retried with exponential backoff
+up to a configurable bound, optionally time-limited per attempt, and
+surfaced as structured :class:`JobFailure` records; ``on_error="skip"``
+returns the surviving results (``None`` in failed slots) instead of
+aborting the campaign.  Together with a
+:class:`repro.core.campaign.CampaignManifest` the runner checkpoints
+completion state as jobs finish, so a campaign killed mid-run resumes
+and reproduces an uninterrupted run byte for byte.
+
 Determinism guarantee: the analytical models are pure functions of
-``(spec, layer shape, layer_by_layer)``, so cached, parallel and
-serial runs produce *bit-identical* floats.  The golden-regression
+``(spec, layer shape, layer_by_layer)``, so cached, parallel, resumed
+and serial runs produce *bit-identical* floats.  The golden-regression
 tests (``tests/test_golden_regression.py``) pin this down.
 """
 
@@ -31,14 +42,22 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
+import multiprocessing
+import multiprocessing.connection
 import os
+import pickle
 import time
+import traceback
 import weakref
 from collections import OrderedDict
 from enum import Enum
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only (campaign imports us)
+    from .campaign import CampaignManifest
 
 from .accelerator import AcceleratorSpec
 from .layer import ConvLayer, LayerSet
@@ -58,12 +77,17 @@ __all__ = [
     "simulate_model_cached",
     "SweepJob",
     "JobStats",
+    "JobFailure",
+    "SweepJobError",
     "SweepRunner",
     "configure",
     "default_workers",
     "default_cache",
+    "default_manifest",
     "reset_default_cache",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: Bump whenever the simulator's numerical behaviour or the cached
 #: payload layout changes; stale disk entries are then ignored.
@@ -577,7 +601,40 @@ class JobStats:
     n_unique_layers: int
     cache_hits: int
     cache_misses: int
-    mode: str  # "serial" | "parallel"
+    mode: str  # "serial" | "parallel" | "resumed"
+    attempts: int = 1
+    failed: bool = False
+    index: int = -1
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured record of one job that exhausted its retry budget."""
+
+    index: int
+    model: str
+    accelerator: str
+    error_type: str
+    message: str
+    traceback_summary: str
+    attempts: int
+    phase: str  # "serial" | "parallel"
+
+    def describe(self) -> str:
+        """One-line human-readable failure summary."""
+        return (
+            f"job #{self.index} ({self.accelerator} / {self.model}) failed "
+            f"after {self.attempts} attempt(s): "
+            f"{self.error_type}: {self.message}"
+        )
+
+
+class SweepJobError(RuntimeError):
+    """A job failed permanently and the runner runs ``on_error='raise'``."""
+
+    def __init__(self, failure: JobFailure):
+        super().__init__(failure.describe())
+        self.failure = failure
 
 
 def _execute_job(job: SweepJob) -> ModelResult:
@@ -587,121 +644,507 @@ def _execute_job(job: SweepJob) -> ModelResult:
     )
 
 
+def _traceback_summary(exc: BaseException, limit: int = 4) -> str:
+    """Compact single-line tail of an exception's traceback."""
+    frames = traceback.extract_tb(exc.__traceback__)[-limit:]
+    parts = [
+        f"{os.path.basename(frame.filename)}:{frame.lineno} in {frame.name}"
+        for frame in frames
+    ]
+    return " <- ".join(reversed(parts)) if parts else ""
+
+
+def _worker_entry(payload: bytes, conn) -> None:
+    """Worker-process body: run one pickled job, ship the outcome back.
+
+    Everything the parent needs to know travels over the pipe: either
+    ``("ok", ModelResult)`` or ``("err", type, message, traceback)``.
+    A worker that dies without sending anything (``os._exit``, signal,
+    interpreter crash) is detected by the parent as an EOF on the pipe.
+    """
+    try:
+        job = pickle.loads(payload)
+        result = _execute_job(job)
+        conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        try:
+            conn.send(
+                ("err", type(exc).__name__, str(exc), _traceback_summary(exc))
+            )
+        except Exception:
+            pass  # parent sees EOF and records a worker crash
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+@dataclass
+class _ActiveAttempt:
+    """Parent-side bookkeeping for one in-flight worker process."""
+
+    pos: int  # position within the submitted sub-list
+    attempt: int
+    process: multiprocessing.process.BaseProcess
+    started: float
+    deadline: float | None
+
+
 class SweepRunner:
     """Fans sweep jobs out over processes with deterministic ordering.
 
     * results come back in exactly the submission order, whatever the
       completion order was;
     * ``max_workers <= 1`` (the default) runs serially through the
-      cache; any pool failure (fork refusal, pickling error, broken
-      pool) falls back to the serial path transparently and sets
-      :attr:`used_fallback`;
-    * after a parallel run the parent seeds its cache from the
-      returned results, so a subsequent serial pass is warm.
+      cache; a *structural* pool failure (fork refusal, unpicklable
+      job) falls back to the serial path transparently, records
+      :attr:`fallback_reason` and sets :attr:`used_fallback`;
+    * every parallel job attempt runs in its own worker process --
+      per-job **fault isolation**: a raising, crashing or hanging job
+      never takes sibling jobs' results down with it.  Failed attempts
+      are retried up to :attr:`retries` times with exponential backoff
+      (``backoff_s * 2**(attempt-1)``) and optionally time-limited by
+      :attr:`timeout_s` (parallel runs only; a hung attempt's worker
+      is terminated).  Exhausted jobs become :class:`JobFailure`
+      records in :attr:`failures`; ``on_error="raise"`` (default)
+      turns the first permanent failure into :class:`SweepJobError`,
+      while ``on_error="skip"`` keeps going and returns ``None`` in
+      the failed slots;
+    * completed results seed the parent cache *as they arrive*, and a
+      :class:`~repro.core.campaign.CampaignManifest` (when attached)
+      is checkpointed per job, so a killed campaign can resume;
+    * on resume, jobs the manifest already marks done are replayed
+      through the (disk) cache -- byte-identical by construction.
     """
 
     def __init__(
         self,
         max_workers: int | None = None,
         cache: "ResultCache | NullCache | None" = None,
+        *,
+        timeout_s: float | None = None,
+        retries: int | None = None,
+        backoff_s: float = 0.25,
+        on_error: str | None = None,
+        manifest: "CampaignManifest | None | bool" = None,
+        resume: bool | None = None,
+        progress: Callable[[JobStats], None] | None = None,
     ):
         self.max_workers = default_workers() if max_workers is None else max_workers
         self.cache = default_cache() if cache is None else cache
+        self.timeout_s = _defaults.timeout_s if timeout_s is None else timeout_s
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        self.retries = _defaults.retries if retries is None else retries
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.backoff_s = backoff_s
+        on_error = _defaults.on_error if on_error is None else on_error
+        if on_error not in ("raise", "skip"):
+            raise ValueError("on_error must be 'raise' or 'skip'")
+        self.on_error = on_error
+        if manifest is None:
+            self.manifest = default_manifest()
+        elif manifest is False:
+            self.manifest = None
+        else:
+            self.manifest = manifest
+        self.resume = _defaults.resume if resume is None else resume
+        self.progress = progress
         self.stats: list[JobStats] = []
+        self.failures: list[JobFailure] = []
         self.used_fallback = False
+        self.fallback_reason: str | None = None
+        self.resumed_jobs = 0
+
+    # -- shared helpers ------------------------------------------------
+    def _backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff before retry number ``attempt + 1``."""
+        return self.backoff_s * (2.0 ** (attempt - 1))
+
+    def _record_failure(
+        self,
+        index: int,
+        job: SweepJob,
+        *,
+        error_type: str,
+        message: str,
+        traceback_summary: str,
+        attempts: int,
+        phase: str,
+    ) -> JobFailure:
+        failure = JobFailure(
+            index=index,
+            model=job.model.name,
+            accelerator=job.simulator.spec.name,
+            error_type=error_type,
+            message=message,
+            traceback_summary=traceback_summary,
+            attempts=attempts,
+            phase=phase,
+        )
+        self.failures.append(failure)
+        logger.warning("sweep %s", failure.describe())
+        if self.manifest is not None:
+            self.manifest.mark_failed(index, failure)
+        return failure
+
+    def _finish_job(self, stats: JobStats) -> None:
+        self.stats.append(stats)
+        if self.progress is not None:
+            self.progress(stats)
+
+    def _seed_job(self, job: SweepJob, result: ModelResult) -> None:
+        """Warm the parent cache from one completed job's results."""
+        fingerprint = simulator_fingerprint(job.simulator)
+        seen: set[int] = set()
+        for layer_result in result.layers:
+            if id(layer_result) in seen:
+                continue
+            seen.add(id(layer_result))
+            key = layer_cache_key(
+                fingerprint, layer_result.layer, job.layer_by_layer
+            )
+            self.cache.put(key, layer_result)
 
     # -- serial path ---------------------------------------------------
-    def _run_serial(self, jobs: Sequence[SweepJob]) -> list[ModelResult]:
-        results: list[ModelResult] = []
+    def _run_serial(
+        self,
+        jobs: Sequence[SweepJob],
+        indexes: Sequence[int] | None = None,
+        mode: str = "serial",
+        mark: bool = True,
+    ) -> list[ModelResult | None]:
+        results: list[ModelResult | None] = []
         fingerprints: dict[int, str] = {}
-        for job in jobs:
+        for index, job in zip(
+            range(len(jobs)) if indexes is None else indexes, jobs
+        ):
             sim_id = id(job.simulator)
             if sim_id not in fingerprints:
                 fingerprints[sim_id] = simulator_fingerprint(job.simulator)
-            before = (self.cache.stats.hits, self.cache.stats.misses)
-            start = time.perf_counter()
-            result = simulate_model_cached(
-                job.simulator,
-                job.model,
-                layer_by_layer=job.layer_by_layer,
-                cache=self.cache,
-                fingerprint=fingerprints[sim_id],
-            )
-            elapsed = time.perf_counter() - start
+            attempts = 0
+            result: ModelResult | None = None
+            failure: JobFailure | None = None
+            while True:
+                attempts += 1
+                before = (self.cache.stats.hits, self.cache.stats.misses)
+                start = time.perf_counter()
+                try:
+                    result = simulate_model_cached(
+                        job.simulator,
+                        job.model,
+                        layer_by_layer=job.layer_by_layer,
+                        cache=self.cache,
+                        fingerprint=fingerprints[sim_id],
+                    )
+                    elapsed = time.perf_counter() - start
+                    break
+                except Exception as exc:
+                    elapsed = time.perf_counter() - start
+                    if attempts <= self.retries:
+                        time.sleep(self._backoff_delay(attempts))
+                        continue
+                    failure = self._record_failure(
+                        index,
+                        job,
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        traceback_summary=_traceback_summary(exc),
+                        attempts=attempts,
+                        phase="serial",
+                    )
+                    break
             results.append(result)
-            self.stats.append(
+            self._finish_job(
                 JobStats(
                     model=job.model.name,
                     accelerator=job.simulator.spec.name,
                     wall_time_s=elapsed,
-                    n_layers=len(result.layers),
+                    n_layers=len(result.layers) if result is not None else 0,
                     n_unique_layers=len(job.model.unique_layers),
                     cache_hits=self.cache.stats.hits - before[0],
                     cache_misses=self.cache.stats.misses - before[1],
-                    mode="serial",
+                    mode=mode,
+                    attempts=attempts,
+                    failed=result is None,
+                    index=index,
                 )
             )
+            if result is not None:
+                if mark and self.manifest is not None:
+                    self.manifest.mark_done(index)
+            elif self.on_error == "raise":
+                assert failure is not None
+                raise SweepJobError(failure)
         return results
 
     # -- parallel path -------------------------------------------------
-    def _run_parallel(self, jobs: Sequence[SweepJob]) -> list[ModelResult]:
-        from concurrent.futures import ProcessPoolExecutor
+    def _run_parallel(
+        self,
+        jobs: Sequence[SweepJob],
+        indexes: Sequence[int] | None = None,
+    ) -> list[ModelResult | None]:
+        indexes = list(range(len(jobs))) if indexes is None else list(indexes)
+        # Structural precondition: every job must survive pickling.  A
+        # failure here aborts *before* any worker starts and is caught
+        # by :meth:`run` as a reason to fall back to serial execution.
+        payloads = [pickle.dumps(job) for job in jobs]
+        ctx = multiprocessing.get_context()
+        n = len(jobs)
+        results: list[ModelResult | None] = [None] * n
+        job_stats: dict[int, JobStats] = {}
+        #: (pos, attempt, not_before) queue of attempts awaiting a slot.
+        pending: list[tuple[int, int, float]] = [
+            (pos, 1, 0.0) for pos in range(n)
+        ]
+        active: dict = {}  # reader connection -> _ActiveAttempt
 
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            start = time.perf_counter()
-            futures = [pool.submit(_execute_job, job) for job in jobs]
-            results = [future.result() for future in futures]
-            elapsed = time.perf_counter() - start
-        per_job = elapsed / max(1, len(jobs))
-        for job, result in zip(jobs, results):
-            self.stats.append(
-                JobStats(
-                    model=job.model.name,
-                    accelerator=job.simulator.spec.name,
-                    wall_time_s=per_job,
-                    n_layers=len(result.layers),
-                    n_unique_layers=len(job.model.unique_layers),
-                    cache_hits=0,
-                    cache_misses=len(job.model.unique_layers),
-                    mode="parallel",
+        def final_failure(
+            entry: _ActiveAttempt, error_type: str, message: str, tb: str
+        ) -> JobFailure | None:
+            """Handle one failed attempt; returns the permanent failure."""
+            if entry.attempt <= self.retries:
+                pending.append(
+                    (
+                        entry.pos,
+                        entry.attempt + 1,
+                        time.monotonic() + self._backoff_delay(entry.attempt),
+                    )
                 )
+                return None
+            job = jobs[entry.pos]
+            failure = self._record_failure(
+                indexes[entry.pos],
+                job,
+                error_type=error_type,
+                message=message,
+                traceback_summary=tb,
+                attempts=entry.attempt,
+                phase="parallel",
             )
-        self._seed_cache(jobs, results)
+            job_stats[entry.pos] = JobStats(
+                model=job.model.name,
+                accelerator=job.simulator.spec.name,
+                wall_time_s=time.monotonic() - entry.started,
+                n_layers=0,
+                n_unique_layers=len(job.model.unique_layers),
+                cache_hits=0,
+                cache_misses=0,
+                mode="parallel",
+                attempts=entry.attempt,
+                failed=True,
+                index=indexes[entry.pos],
+            )
+            return failure
+
+        try:
+            while pending or active:
+                now = time.monotonic()
+                # Launch attempts into free slots (skipping attempts
+                # still inside their backoff window).
+                while len(active) < self.max_workers:
+                    ready_at = next(
+                        (
+                            i
+                            for i, (_, _, not_before) in enumerate(pending)
+                            if not_before <= now
+                        ),
+                        None,
+                    )
+                    if ready_at is None:
+                        break
+                    pos, attempt, _ = pending.pop(ready_at)
+                    reader, writer = ctx.Pipe(duplex=False)
+                    process = ctx.Process(
+                        target=_worker_entry,
+                        args=(payloads[pos], writer),
+                        daemon=True,
+                    )
+                    process.start()
+                    writer.close()
+                    active[reader] = _ActiveAttempt(
+                        pos=pos,
+                        attempt=attempt,
+                        process=process,
+                        started=now,
+                        deadline=(
+                            now + self.timeout_s
+                            if self.timeout_s is not None
+                            else None
+                        ),
+                    )
+                if not active:
+                    # Only backed-off attempts remain: sleep until the
+                    # earliest becomes runnable.
+                    next_start = min(entry[2] for entry in pending)
+                    time.sleep(
+                        min(max(next_start - time.monotonic(), 0.0), 0.5)
+                        or 0.001
+                    )
+                    continue
+                # Wait for completions, bounded by the nearest deadline
+                # or backoff expiry.
+                wait_s = 0.5
+                deadlines = [
+                    entry.deadline
+                    for entry in active.values()
+                    if entry.deadline is not None
+                ]
+                if deadlines:
+                    wait_s = min(wait_s, max(min(deadlines) - now, 0.0))
+                if pending:
+                    wait_s = min(
+                        wait_s,
+                        max(min(e[2] for e in pending) - now, 0.0),
+                    )
+                ready = multiprocessing.connection.wait(
+                    list(active), timeout=max(wait_s, 0.005)
+                )
+                for reader in ready:
+                    entry = active.pop(reader)
+                    message = None
+                    try:
+                        message = reader.recv()
+                    except (EOFError, OSError):
+                        message = None
+                    finally:
+                        reader.close()
+                    entry.process.join(timeout=5.0)
+                    if message is not None and message[0] == "ok":
+                        result: ModelResult = message[1]
+                        results[entry.pos] = result
+                        job = jobs[entry.pos]
+                        job_stats[entry.pos] = JobStats(
+                            model=job.model.name,
+                            accelerator=job.simulator.spec.name,
+                            wall_time_s=time.monotonic() - entry.started,
+                            n_layers=len(result.layers),
+                            n_unique_layers=len(job.model.unique_layers),
+                            cache_hits=0,
+                            cache_misses=len(job.model.unique_layers),
+                            mode="parallel",
+                            attempts=entry.attempt,
+                            index=indexes[entry.pos],
+                        )
+                        self._seed_job(job, result)
+                        if self.manifest is not None:
+                            self.manifest.mark_done(indexes[entry.pos])
+                        continue
+                    if message is not None and message[0] == "err":
+                        _, error_type, text, tb = message
+                    else:
+                        error_type = "WorkerCrashed"
+                        text = (
+                            "worker process died without reporting "
+                            f"(exit code {entry.process.exitcode})"
+                        )
+                        tb = ""
+                    failure = final_failure(entry, error_type, text, tb)
+                    if failure is not None and self.on_error == "raise":
+                        raise SweepJobError(failure)
+                # Terminate attempts that blew their per-job deadline.
+                now = time.monotonic()
+                for reader, entry in list(active.items()):
+                    if entry.deadline is None or now <= entry.deadline:
+                        continue
+                    del active[reader]
+                    entry.process.terminate()
+                    entry.process.join(timeout=5.0)
+                    reader.close()
+                    failure = final_failure(
+                        entry,
+                        "TimeoutError",
+                        f"job attempt exceeded the {self.timeout_s}s "
+                        "timeout and was terminated",
+                        "",
+                    )
+                    if failure is not None and self.on_error == "raise":
+                        raise SweepJobError(failure)
+        finally:
+            # Whatever the exit path, never leak worker processes.
+            for reader, entry in active.items():
+                entry.process.terminate()
+                entry.process.join(timeout=1.0)
+                try:
+                    reader.close()
+                except OSError:
+                    pass
+        for pos in sorted(job_stats):
+            self._finish_job(job_stats[pos])
         return results
 
-    def _seed_cache(
-        self, jobs: Sequence[SweepJob], results: Sequence[ModelResult]
-    ) -> None:
-        """Warm the parent cache from parallel results."""
-        fingerprints: dict[int, str] = {}
-        for job, result in zip(jobs, results):
-            sim_id = id(job.simulator)
-            if sim_id not in fingerprints:
-                fingerprints[sim_id] = simulator_fingerprint(job.simulator)
-            seen: set[int] = set()
-            for layer_result in result.layers:
-                if id(layer_result) in seen:
-                    continue
-                seen.add(id(layer_result))
-                key = layer_cache_key(
-                    fingerprints[sim_id], layer_result.layer, job.layer_by_layer
-                )
-                self.cache.put(key, layer_result)
-
     # -- public API ----------------------------------------------------
-    def run(self, jobs: Iterable[SweepJob]) -> list[ModelResult]:
-        """Execute jobs; results are in submission order."""
+    def run(
+        self, jobs: Iterable[SweepJob], *, resume: bool | None = None
+    ) -> list[ModelResult | None]:
+        """Execute jobs; results are in submission order.
+
+        With ``on_error="skip"`` failed jobs yield ``None`` in their
+        slot; everything else is a real :class:`ModelResult`.  Pass
+        ``resume=True`` (with a manifest attached) to replay jobs a
+        previous -- possibly killed -- run already completed.
+        """
         jobs = list(jobs)
+        n = len(jobs)
         self.stats = []
+        self.failures = []
         self.used_fallback = False
-        if self.max_workers <= 1 or len(jobs) <= 1:
-            return self._run_serial(jobs)
-        try:
-            return self._run_parallel(jobs)
-        except Exception:  # pool refused / pickling failed / broke
-            self.used_fallback = True
-            self.stats = []
-            return self._run_serial(jobs)
+        self.fallback_reason = None
+        self.resumed_jobs = 0
+        resume = self.resume if resume is None else resume
+        done_indexes: list[int] = []
+        if self.manifest is not None:
+            self.manifest.begin(jobs, resume=resume)
+            if resume:
+                done_indexes = [
+                    i for i in range(n) if self.manifest.is_done(i)
+                ]
+        results: list[ModelResult | None] = [None] * n
+        if done_indexes:
+            # Replay completed jobs through the cache: byte-identical
+            # (disk hit or pure recomputation), and cheap when the
+            # cache directory survived the kill.
+            replayed = self._run_serial(
+                [jobs[i] for i in done_indexes],
+                indexes=done_indexes,
+                mode="resumed",
+                mark=False,
+            )
+            for i, result in zip(done_indexes, replayed):
+                results[i] = result
+            self.resumed_jobs = len(done_indexes)
+        todo = (
+            [i for i in range(n) if i not in set(done_indexes)]
+            if done_indexes
+            else list(range(n))
+        )
+        if todo:
+            sub = [jobs[i] for i in todo]
+            if self.max_workers <= 1 or len(sub) <= 1:
+                out = self._run_serial(sub, indexes=todo)
+            else:
+                try:
+                    out = self._run_parallel(sub, indexes=todo)
+                except SweepJobError:
+                    raise  # a *job* failed permanently: not structural
+                except Exception as exc:  # pool refused / pickling failed
+                    self.used_fallback = True
+                    self.fallback_reason = repr(exc)
+                    logger.warning(
+                        "sweep pool unavailable (%s); falling back to "
+                        "serial execution",
+                        self.fallback_reason,
+                    )
+                    self.stats = [s for s in self.stats if s.mode == "resumed"]
+                    self.failures = []
+                    out = self._run_serial(sub, indexes=todo)
+            for i, result in zip(todo, out):
+                results[i] = result
+        self.stats.sort(key=lambda s: s.index)
+        self.failures.sort(key=lambda f: f.index)
+        return results
 
     def run_models(
         self,
@@ -709,7 +1152,12 @@ class SweepRunner:
         models: Iterable[LayerSet],
         layer_by_layer: bool = False,
     ) -> dict[str, dict[str, ModelResult]]:
-        """Every simulator over every model, in reporting order."""
+        """Every simulator over every model, in reporting order.
+
+        Jobs that failed permanently under ``on_error="skip"`` are
+        simply absent from the returned tree (inspect
+        :attr:`failures` / :meth:`campaign_report` for the post-mortem).
+        """
         simulators = list(simulators)
         models = list(models)
         jobs = [
@@ -720,10 +1168,44 @@ class SweepRunner:
         flat = self.run(jobs)
         results: dict[str, dict[str, ModelResult]] = {}
         for job, result in zip(jobs, flat):
+            if result is None:
+                continue  # permanent failure under on_error="skip"
             results.setdefault(job.model.name, {})[
                 job.simulator.spec.name
             ] = result
         return results
+
+    def campaign_report(self) -> str:
+        """Human-readable post-mortem of the last :meth:`run`.
+
+        Lists every job with its mode, attempt count and outcome, then
+        details each permanent failure (type, message, traceback
+        summary) -- the record of *why* a partial campaign is partial.
+        """
+        total = len(self.stats)
+        succeeded = sum(1 for s in self.stats if not s.failed)
+        lines = [
+            f"campaign: {succeeded}/{total} jobs succeeded"
+            + (f", {len(self.failures)} failed" if self.failures else "")
+            + (f", {self.resumed_jobs} resumed" if self.resumed_jobs else "")
+        ]
+        if self.used_fallback:
+            lines.append(
+                f"  (parallel pool unavailable: {self.fallback_reason}; "
+                "ran serially)"
+            )
+        for stat in self.stats:
+            status = "FAILED" if stat.failed else "ok"
+            lines.append(
+                f"  [{status:>6}] {stat.accelerator} / {stat.model}: "
+                f"{stat.mode}, {stat.attempts} attempt(s), "
+                f"{stat.wall_time_s * 1e3:.1f} ms"
+            )
+        for failure in self.failures:
+            lines.append(f"  failure: {failure.describe()}")
+            if failure.traceback_summary:
+                lines.append(f"    at {failure.traceback_summary}")
+        return "\n".join(lines)
 
     @property
     def total_wall_time_s(self) -> float:
@@ -740,6 +1222,10 @@ class _SweepDefaults:
     cache_enabled: bool | None = None
     cache_dir: str | None = None
     capacity: int = 4096
+    timeout_s: float | None = None
+    retries: int = 0
+    on_error: str = "raise"
+    resume: bool = False
 
 
 _defaults = _SweepDefaults()
@@ -752,6 +1238,10 @@ def configure(
     cache_enabled: bool | None = None,
     cache_dir: str | Path | None = None,
     capacity: int | None = None,
+    timeout_s: float | None = None,
+    retries: int | None = None,
+    on_error: str | None = None,
+    resume: bool | None = None,
 ) -> None:
     """Set process-wide sweep defaults (used by the CLI's global flags).
 
@@ -770,6 +1260,16 @@ def configure(
     if capacity is not None:
         _defaults.capacity = capacity
         _default_cache = None
+    if timeout_s is not None:
+        _defaults.timeout_s = timeout_s
+    if retries is not None:
+        _defaults.retries = retries
+    if on_error is not None:
+        if on_error not in ("raise", "skip"):
+            raise ValueError("on_error must be 'raise' or 'skip'")
+        _defaults.on_error = on_error
+    if resume is not None:
+        _defaults.resume = resume
 
 
 def default_workers() -> int:
@@ -804,6 +1304,21 @@ def default_cache() -> "ResultCache | NullCache":
                 capacity=_defaults.capacity, cache_dir=cache_dir
             )
     return _default_cache
+
+
+def default_manifest() -> "CampaignManifest | None":
+    """A campaign manifest co-located with the configured disk cache.
+
+    ``None`` when no cache directory is configured (a manifest without
+    a surviving result store would still resume correctly -- results
+    are recomputed -- but adds bookkeeping for no benefit).
+    """
+    cache_dir = _defaults.cache_dir or os.environ.get("REPRO_SWEEP_CACHE_DIR")
+    if not cache_dir:
+        return None
+    from .campaign import CampaignManifest
+
+    return CampaignManifest(cache_dir)
 
 
 def reset_default_cache() -> None:

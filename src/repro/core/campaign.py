@@ -1,0 +1,225 @@
+"""Campaign manifests: checkpointed, resumable sweep runs.
+
+A *campaign* is one ordered job list handed to
+:meth:`repro.core.batch.SweepRunner.run`.  The manifest is a small
+append-only JSONL file written alongside the disk result cache:
+
+* a **header** line pins the manifest schema and a campaign id (the
+  SHA-256 of the ordered per-job content keys), so a manifest can
+  never be replayed against a *different* campaign;
+* one **event** line per completed or failed job, flushed as the job
+  finishes, so a campaign killed mid-run (SIGKILL included) keeps an
+  exact record of what was already done.
+
+Resume semantics are deliberately conservative: the manifest never
+stores results itself.  Completed jobs are *replayed* through the
+content-addressed result cache (:class:`repro.core.batch.ResultCache`)
+on resume -- served from disk when the cache directory survived, or
+recomputed when it did not.  Either way the analytical models are
+pure functions of the job key, so a resumed campaign is byte-identical
+to an uninterrupted run; the manifest only decides which jobs may skip
+the (parallel) execution machinery and how progress is reported.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (batch imports us lazily)
+    from .batch import JobFailure, SweepJob
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "MANIFEST_FILENAME",
+    "model_content_key",
+    "job_content_key",
+    "CampaignManifest",
+]
+
+#: Bump when the manifest layout changes; stale manifests are ignored.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Default manifest file name inside a cache directory.
+MANIFEST_FILENAME = "campaign.jsonl"
+
+
+def model_content_key(model) -> str:
+    """Stable content hash of a workload (name + every layer shape)."""
+    payload = "|".join(
+        [model.name] + [repr(layer.shape_key) for layer in model.all_layers]
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def job_content_key(job: "SweepJob") -> str:
+    """Stable content hash of one sweep job.
+
+    Folds the simulator fingerprint (spec + energy-model state), the
+    model content and the simulation mode, so a manifest entry can
+    only ever mark *this* exact job as done.
+    """
+    from .batch import simulator_fingerprint
+
+    payload = (
+        f"{simulator_fingerprint(job.simulator)}"
+        f"|{model_content_key(job.model)}"
+        f"|{int(bool(job.layer_by_layer))}"
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class CampaignManifest:
+    """Append-only completion ledger for one sweep campaign.
+
+    ``path`` may be a directory (the manifest lives at
+    ``<path>/campaign.jsonl``, next to the cache shards) or an explicit
+    ``*.jsonl`` file path.
+    """
+
+    def __init__(self, path: str | Path):
+        path = Path(path)
+        if path.suffix == ".jsonl":
+            self.path = path
+        else:
+            self.path = path / MANIFEST_FILENAME
+        self.campaign_id: str | None = None
+        self.resumed = False
+        self._keys: list[str] = []
+        self._done: set[int] = set()
+        self._failed: set[int] = set()
+
+    # -- lifecycle -----------------------------------------------------
+    def begin(self, jobs: Sequence["SweepJob"], *, resume: bool = False) -> None:
+        """Bind the manifest to a job list; load prior state on resume.
+
+        Without ``resume`` (or when the on-disk manifest belongs to a
+        different campaign or schema) the file is started fresh and
+        every job counts as pending.
+        """
+        self._keys = [job_content_key(job) for job in jobs]
+        self.campaign_id = hashlib.sha256(
+            "|".join(self._keys).encode()
+        ).hexdigest()
+        self._done = set()
+        self._failed = set()
+        self.resumed = False
+        if resume and self._load_existing():
+            self.resumed = True
+            return
+        self._start_fresh()
+
+    def _load_existing(self) -> bool:
+        """Parse a prior manifest; ``True`` iff it matches this campaign."""
+        try:
+            lines = self.path.read_bytes().splitlines()
+        except OSError:
+            return False
+        if not lines:
+            return False
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return False
+        if (
+            not isinstance(header, dict)
+            or header.get("schema") != MANIFEST_SCHEMA_VERSION
+            or header.get("campaign") != self.campaign_id
+        ):
+            return False
+        for line in lines[1:]:
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail line from the killed run
+            if not isinstance(event, dict):
+                continue
+            index = event.get("index")
+            if (
+                not isinstance(index, int)
+                or not 0 <= index < len(self._keys)
+                or event.get("key") != self._keys[index]
+            ):
+                continue  # stale / reordered entry: ignore
+            if event.get("event") == "done":
+                self._done.add(index)
+                self._failed.discard(index)
+            elif event.get("event") == "failed":
+                self._failed.add(index)
+        return True
+
+    def _start_fresh(self) -> None:
+        header = json.dumps(
+            {
+                "schema": MANIFEST_SCHEMA_VERSION,
+                "campaign": self.campaign_id,
+                "jobs": len(self._keys),
+            },
+            separators=(",", ":"),
+        )
+        try:
+            os.makedirs(str(self.path.parent), exist_ok=True)
+            with open(self.path, "w", encoding="utf-8") as handle:
+                handle.write(header + "\n")
+        except OSError:
+            pass  # read-only location: manifest degrades to in-memory
+
+    # -- event log -----------------------------------------------------
+    def _append(self, event: dict) -> None:
+        try:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(event, separators=(",", ":")) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except (OSError, ValueError):
+            pass  # never let bookkeeping take a campaign down
+
+    def mark_done(self, index: int) -> None:
+        """Record one job as completed (idempotent), flushed to disk."""
+        if index in self._done:
+            return
+        self._done.add(index)
+        self._failed.discard(index)
+        self._append(
+            {"event": "done", "index": index, "key": self._keys[index]}
+        )
+
+    def mark_failed(self, index: int, failure: "JobFailure | None" = None) -> None:
+        """Record one job as failed (kept pending for a future resume)."""
+        self._failed.add(index)
+        event = {"event": "failed", "index": index, "key": self._keys[index]}
+        if failure is not None:
+            event["error"] = f"{failure.error_type}: {failure.message}"
+            event["attempts"] = failure.attempts
+        self._append(event)
+
+    # -- queries -------------------------------------------------------
+    def is_done(self, index: int) -> bool:
+        """Whether the job at ``index`` completed in this campaign."""
+        return index in self._done
+
+    @property
+    def total_jobs(self) -> int:
+        """Number of jobs in the bound campaign."""
+        return len(self._keys)
+
+    @property
+    def completed(self) -> int:
+        """Number of jobs recorded as done."""
+        return len(self._done)
+
+    @property
+    def failed(self) -> int:
+        """Number of jobs whose latest record is a failure."""
+        return len(self._failed)
+
+    def summary(self) -> str:
+        """One-line campaign progress description."""
+        state = "resumed" if self.resumed else "fresh"
+        return (
+            f"campaign {(self.campaign_id or 'unbound')[:12]} ({state}): "
+            f"{self.completed}/{self.total_jobs} done, {self.failed} failed"
+        )

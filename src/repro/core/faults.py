@@ -1,0 +1,23 @@
+"""Shared fault-model plumbing.
+
+Both the photonic fault model (:mod:`repro.spacx.faults`) and the
+electrical one (:mod:`repro.baselines.electrical`) degrade a machine
+by shrinking it to the surviving hardware; both need a common error
+type for scenarios that cannot be mapped to any usable machine.  The
+error lives here -- :mod:`repro.core` sits below both packages, so
+neither has to import the other.
+"""
+
+from __future__ import annotations
+
+__all__ = ["InfeasibleFaultError"]
+
+
+class InfeasibleFaultError(ValueError):
+    """A fault scenario that no degraded machine can absorb.
+
+    Raised when injected fault counts exceed the physical device
+    inventory, or when the surviving hardware is empty (every chiplet
+    or every PE dead).  Subclasses :class:`ValueError` so callers that
+    treated infeasible scenarios as plain value errors keep working.
+    """

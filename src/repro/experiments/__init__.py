@@ -71,6 +71,14 @@ from .power_surface import (
     surface_minimum,
 )
 from .report import SECTIONS, full_report
+from .resilience import (
+    DEFAULT_FAILURE_RATES,
+    AvailabilityPoint,
+    DeviceFailureScale,
+    availability_ascii_curve,
+    availability_study,
+    availability_table,
+)
 from .scalability import ScalabilityRow, scalability_study
 from .sensitivity import (
     SensitivityPoint,
@@ -89,10 +97,13 @@ from .tables import (
 __all__ = [
     "AreaStudy",
     "AcceleratorTrio",
+    "AvailabilityPoint",
     "BandwidthAblationRow",
     "BreakdownRow",
     "DATAFLOW_ORDER",
+    "DEFAULT_FAILURE_RATES",
     "DataflowAblationRow",
+    "DeviceFailureScale",
     "EVALUATED_ACCELERATORS",
     "EnergyPerBitPoint",
     "NetworkMetricsRow",
@@ -108,6 +119,9 @@ __all__ = [
     "aggressive_surface",
     "area_estimation",
     "arithmetic_mean",
+    "availability_ascii_curve",
+    "availability_study",
+    "availability_table",
     "bandwidth_ablation",
     "bandwidth_means",
     "dataflow_ablation",

@@ -20,6 +20,7 @@ from .network_metrics import network_metric_means, network_metrics
 from .overall import overall_comparison, overall_means
 from .per_layer import per_layer_comparison
 from .power_surface import aggressive_surface, moderate_surface
+from .resilience import availability_study, availability_table
 from .scalability import scalability_study
 from .tables import laser_power_from_parameters, table_i, table_ii
 
@@ -225,6 +226,11 @@ def _render_codesign() -> str:
     return format_table(headers, body)
 
 
+def _render_resilience() -> str:
+    points = availability_study(samples=48, rates=(0.001, 0.01), seed=2022)
+    return availability_table(points)
+
+
 def _render_motivation() -> str:
     points = energy_per_bit_vs_distance()
     headers = ["distance (cm)", "electrical (pJ/b)", "photonic (pJ/b)", "winner"]
@@ -273,6 +279,7 @@ SECTIONS = {
     "area": ("Section VIII-G: area", _render_area),
     "codesign": ("Extension: co-design matrix", _render_codesign),
     "motivation": ("Extension: energy/bit vs distance", _render_motivation),
+    "resilience": ("Extension: degraded-mode availability", _render_resilience),
 }
 
 

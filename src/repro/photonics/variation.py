@@ -69,13 +69,38 @@ class VariationModel:
     coupler_sigma: float = 0.10
     seed: int = 1234
 
+    def _resolve_rng(
+        self,
+        seed: int | None,
+        rng: np.random.Generator | None,
+    ) -> np.random.Generator:
+        """An explicit generator wins over an explicit seed over the
+        model's own default seed."""
+        if rng is not None:
+            if seed is not None:
+                raise ValueError("pass either seed or rng, not both")
+            return rng
+        return np.random.default_rng(self.seed if seed is None else seed)
+
     def sample_parameters(
-        self, params: PhotonicParameters, n_samples: int
+        self,
+        params: PhotonicParameters,
+        n_samples: int,
+        *,
+        seed: int | None = None,
+        rng: np.random.Generator | None = None,
     ) -> list[PhotonicParameters]:
-        """Draw parameter-set corners around the nominal table."""
+        """Draw parameter-set corners around the nominal table.
+
+        Sampling is reproducible: with no override the model's own
+        ``seed`` field drives a fresh generator, ``seed=`` substitutes
+        another deterministic stream, and ``rng=`` hands over an
+        external :class:`numpy.random.Generator` (advancing its
+        state).
+        """
         if n_samples < 1:
             raise ValueError("need at least one sample")
-        rng = np.random.default_rng(self.seed)
+        rng = self._resolve_rng(seed, rng)
 
         def draw(nominal: float, sigma: float, size: int) -> np.ndarray:
             # Truncated-at-zero normal: losses cannot be negative.
@@ -110,16 +135,23 @@ class VariationModel:
         budget_builder,
         n_samples: int = 256,
         margin_db: float = SYSTEM_MARGIN_DB,
+        *,
+        seed: int | None = None,
+        rng: np.random.Generator | None = None,
     ) -> VariationResult:
         """Monte-Carlo a path budget.
 
         ``budget_builder`` maps a :class:`PhotonicParameters` corner
         to a :class:`~repro.photonics.link_budget.LinkBudget` (e.g.
         ``lambda p: SpacxPowerModel(topo, p).x_path_budget()``).
+        ``seed``/``rng`` override the model's default stream exactly
+        as in :meth:`sample_parameters`.
         """
         nominal_loss = budget_builder(params).total_loss_db
         samples = []
-        for corner in self.sample_parameters(params, n_samples):
+        for corner in self.sample_parameters(
+            params, n_samples, seed=seed, rng=rng
+        ):
             loss = budget_builder(corner).total_loss_db
             samples.append(loss - nominal_loss)
         return VariationResult(samples_db=tuple(samples), margin_db=margin_db)

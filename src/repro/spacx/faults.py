@@ -1,4 +1,4 @@
-"""Fault injection and degraded-mode analysis.
+"""Fault injection, degraded-mode analysis and Monte-Carlo sampling.
 
 The paper's network has two classes of single points of failure per
 local waveguide: the X carrier feeding one PE position and the shared
@@ -18,6 +18,15 @@ Degradation is modelled by shrinking the effective machine the mapper
 sees and re-running the simulator -- no new mechanisms, which is
 itself the point: SPACX's regular structure makes failures equivalent
 to a smaller configuration.
+
+Beyond the single deterministic scenarios of the seed, the module
+carries a **device inventory** (:class:`FaultDomain`) so scenarios can
+be validated against the physical device counts (anything beyond the
+inventory, or killing the whole machine, raises
+:class:`InfeasibleFaultError`) and **sampled** as multi-fault
+populations: per-device failure probabilities turn into binomial
+draws per device class, feeding the Monte-Carlo availability study in
+:mod:`repro.experiments.resilience`.
 """
 
 from __future__ import annotations
@@ -25,11 +34,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from ..core.faults import InfeasibleFaultError
 from ..core.layer import LayerSet
 from ..core.simulator import Simulator
 from .architecture import spacx_simulator
 
-__all__ = ["FaultKind", "FaultScenario", "DegradedResult", "inject_fault"]
+__all__ = [
+    "FaultKind",
+    "FaultScenario",
+    "FaultDomain",
+    "DegradedConfiguration",
+    "DegradedResult",
+    "InfeasibleFaultError",
+    "degraded_configuration",
+    "inject_fault",
+    "sample_scenarios",
+]
 
 
 class FaultKind(Enum):
@@ -57,6 +77,127 @@ class FaultScenario:
         """No failures injected."""
         return not (self.x_carriers or self.y_carriers or self.splitters)
 
+    @property
+    def total_faults(self) -> int:
+        """Total failed devices across all classes."""
+        return self.x_carriers + self.y_carriers + self.splitters
+
+
+@dataclass(frozen=True)
+class FaultDomain:
+    """Physical device inventory of one SPACX configuration.
+
+    The counts bound what a :class:`FaultScenario` may kill:
+
+    * **X carriers**: one per PE position per chiplet group
+      (``pes_per_chiplet * groups``);
+    * **Y carriers**: one per chiplet;
+    * **interposer splitters**: one tap per (chiplet, PE position) --
+      the finest-grained loss unit the degradation model tracks.
+    """
+
+    chiplets: int = 32
+    pes_per_chiplet: int = 32
+    ef_granularity: int = 8
+    k_granularity: int = 16
+
+    def __post_init__(self) -> None:
+        if self.chiplets < 1 or self.pes_per_chiplet < 1:
+            raise ValueError("need >= 1 chiplet and PE")
+        if self.ef_granularity < 1 or self.k_granularity < 1:
+            raise ValueError("granularities must be >= 1")
+
+    @property
+    def groups(self) -> int:
+        """Chiplet groups sharing one X-carrier set."""
+        return max(1, self.chiplets // self.ef_granularity)
+
+    @property
+    def x_carriers(self) -> int:
+        """Installed X carriers (PE positions x groups)."""
+        return self.pes_per_chiplet * self.groups
+
+    @property
+    def y_carriers(self) -> int:
+        """Installed Y carriers (one per chiplet)."""
+        return self.chiplets
+
+    @property
+    def splitters(self) -> int:
+        """Installed interposer splitter taps."""
+        return self.chiplets * self.pes_per_chiplet
+
+    def validate(self, scenario: FaultScenario) -> None:
+        """Reject scenarios that exceed the device inventory."""
+        for kind, failed, installed in (
+            (FaultKind.X_CARRIER, scenario.x_carriers, self.x_carriers),
+            (FaultKind.Y_CARRIER, scenario.y_carriers, self.y_carriers),
+            (
+                FaultKind.INTERPOSER_SPLITTER,
+                scenario.splitters,
+                self.splitters,
+            ),
+        ):
+            if failed > installed:
+                raise InfeasibleFaultError(
+                    f"{failed} failed {kind.value} devices exceed the "
+                    f"installed inventory of {installed}"
+                )
+
+    def sample_scenario(
+        self,
+        rng,
+        *,
+        x_carrier_rate: float = 0.0,
+        y_carrier_rate: float = 0.0,
+        splitter_rate: float = 0.0,
+    ) -> FaultScenario:
+        """Draw one multi-fault population (binomial per device class).
+
+        ``rng`` is a :class:`numpy.random.Generator`; each device
+        class fails independently with its per-device probability.
+        """
+        for rate in (x_carrier_rate, y_carrier_rate, splitter_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("failure rates must be in [0, 1]")
+        return FaultScenario(
+            x_carriers=int(rng.binomial(self.x_carriers, x_carrier_rate)),
+            y_carriers=int(rng.binomial(self.y_carriers, y_carrier_rate)),
+            splitters=int(rng.binomial(self.splitters, splitter_rate)),
+        )
+
+
+def sample_scenarios(
+    domain: FaultDomain,
+    rng,
+    n_samples: int,
+    *,
+    x_carrier_rate: float = 0.0,
+    y_carrier_rate: float = 0.0,
+    splitter_rate: float = 0.0,
+) -> list[FaultScenario]:
+    """Draw ``n_samples`` independent fault populations from a domain."""
+    if n_samples < 1:
+        raise ValueError("need at least one sample")
+    return [
+        domain.sample_scenario(
+            rng,
+            x_carrier_rate=x_carrier_rate,
+            y_carrier_rate=y_carrier_rate,
+            splitter_rate=splitter_rate,
+        )
+        for _ in range(n_samples)
+    ]
+
+
+@dataclass(frozen=True)
+class DegradedConfiguration:
+    """The equivalent smaller machine a fault scenario maps to."""
+
+    chiplets: int
+    pes_per_chiplet: int
+    pes_lost: int
+
 
 @dataclass(frozen=True)
 class DegradedResult:
@@ -73,14 +214,14 @@ class DegradedResult:
         return self.degraded_execution_time_s / self.healthy_execution_time_s
 
 
-def _degraded_machine(
+def degraded_configuration(
     scenario: FaultScenario,
-    chiplets: int,
-    pes_per_chiplet: int,
-    ef_granularity: int,
-    k_granularity: int,
-) -> tuple[Simulator, int]:
-    """Build the equivalent smaller machine and count lost PEs.
+    chiplets: int = 32,
+    pes_per_chiplet: int = 32,
+    ef_granularity: int = 8,
+    k_granularity: int = 16,
+) -> DegradedConfiguration:
+    """Map a fault scenario to the equivalent smaller machine.
 
     A failed X carrier idles its PE position on every chiplet of one
     group (``g_ef`` PEs); a failed Y carrier idles one chiplet
@@ -88,7 +229,19 @@ def _degraded_machine(
     machine keeps the granularity structure but runs with the PE/
     chiplet counts rounded down to the surviving hardware (the
     controller concentrates work on healthy resources).
+
+    Raises :class:`InfeasibleFaultError` when the scenario exceeds the
+    device inventory or leaves no usable machine (every chiplet dead,
+    or the lost PEs cover the whole array) -- a zero-PE "machine" is
+    never produced.
     """
+    domain = FaultDomain(
+        chiplets=chiplets,
+        pes_per_chiplet=pes_per_chiplet,
+        ef_granularity=ef_granularity,
+        k_granularity=k_granularity,
+    )
+    domain.validate(scenario)
     pes_lost = (
         scenario.x_carriers * min(ef_granularity, chiplets)
         + scenario.y_carriers * pes_per_chiplet
@@ -96,11 +249,14 @@ def _degraded_machine(
     )
     total = chiplets * pes_per_chiplet
     if pes_lost >= total:
-        raise ValueError("scenario kills the whole machine")
+        raise InfeasibleFaultError(
+            f"scenario kills the whole machine ({pes_lost} of {total} "
+            "PEs lost)"
+        )
 
     chiplets_left = chiplets - scenario.y_carriers
     if chiplets_left < 1:
-        raise ValueError("scenario kills every chiplet")
+        raise InfeasibleFaultError("scenario kills every chiplet")
     # X-carrier and splitter losses thin PEs within chiplets; model by
     # dropping whole PE groups when a group's carrier set is dead.
     pes_left = pes_per_chiplet
@@ -109,15 +265,35 @@ def _degraded_machine(
         pes_left -= k_granularity
         intra_losses -= k_granularity
 
-    simulator = spacx_simulator(
-        chiplets=max(ef_granularity, _round_down(chiplets_left, ef_granularity)),
+    return DegradedConfiguration(
+        chiplets=max(
+            ef_granularity, _round_down(chiplets_left, ef_granularity)
+        ),
         pes_per_chiplet=max(
             k_granularity, _round_down(pes_left, k_granularity)
         ),
+        pes_lost=pes_lost,
+    )
+
+
+def _degraded_machine(
+    scenario: FaultScenario,
+    chiplets: int,
+    pes_per_chiplet: int,
+    ef_granularity: int,
+    k_granularity: int,
+) -> tuple[Simulator, int]:
+    """Build the equivalent smaller machine and count lost PEs."""
+    config = degraded_configuration(
+        scenario, chiplets, pes_per_chiplet, ef_granularity, k_granularity
+    )
+    simulator = spacx_simulator(
+        chiplets=config.chiplets,
+        pes_per_chiplet=config.pes_per_chiplet,
         ef_granularity=ef_granularity,
         k_granularity=k_granularity,
     )
-    return simulator, pes_lost
+    return simulator, config.pes_lost
 
 
 def _round_down(value: int, multiple: int) -> int:

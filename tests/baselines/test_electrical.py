@@ -1,16 +1,20 @@
 """Tests for the electrical-interconnect cost models."""
 
+import numpy as np
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines.electrical import (
     CHIPLET_LINK,
     PACKAGE_LINK,
+    ElectricalFaultDomain,
+    ElectricalFaultScenario,
     ElectricalLinkParameters,
     ElectricalMeshEnergy,
     mesh_average_hops,
 )
+from repro.core.faults import InfeasibleFaultError
 from repro.core.dataflow import DataflowKind
 from repro.core.layer import ConvLayer
 from repro.core.mapping import MappingParameters, map_layer
@@ -114,3 +118,73 @@ class TestMeshEnergy:
     def test_rejects_degenerate_mesh(self):
         with pytest.raises(ValueError):
             ElectricalMeshEnergy(0, 32)
+
+
+class TestElectricalFaults:
+    def test_inventory(self):
+        domain = ElectricalFaultDomain(chiplets=32, pes_per_chiplet=32)
+        assert domain.routers == 32
+        assert domain.links == 1024
+
+    def test_router_loss_drops_a_chiplet(self):
+        domain = ElectricalFaultDomain()
+        chiplets, pes = domain.degraded_configuration(
+            ElectricalFaultScenario(routers=2)
+        )
+        assert (chiplets, pes) == (30, 32)
+
+    def test_link_losses_rebalance_over_survivors(self):
+        domain = ElectricalFaultDomain(chiplets=4, pes_per_chiplet=8)
+        chiplets, pes = domain.degraded_configuration(
+            ElectricalFaultScenario(links=8)
+        )
+        assert chiplets == 4
+        assert pes == (4 * 8 - 8) // 4  # evenly thinned
+
+    def test_beyond_inventory_rejected(self):
+        domain = ElectricalFaultDomain()
+        with pytest.raises(InfeasibleFaultError):
+            domain.validate(ElectricalFaultScenario(routers=33))
+        with pytest.raises(InfeasibleFaultError):
+            domain.degraded_configuration(ElectricalFaultScenario(links=1025))
+
+    def test_dead_machine_rejected(self):
+        domain = ElectricalFaultDomain()
+        with pytest.raises(InfeasibleFaultError):
+            domain.degraded_configuration(ElectricalFaultScenario(routers=32))
+
+    def test_sampling_deterministic(self):
+        domain = ElectricalFaultDomain()
+        a = [
+            domain.sample_scenario(
+                np.random.default_rng(9), router_rate=0.1, link_rate=0.01
+            )
+            for _ in range(4)
+        ]
+        b = [
+            domain.sample_scenario(
+                np.random.default_rng(9), router_rate=0.1, link_rate=0.01
+            )
+            for _ in range(4)
+        ]
+        assert a == b
+
+    def test_rejects_bad_rates(self):
+        domain = ElectricalFaultDomain()
+        with pytest.raises(ValueError):
+            domain.sample_scenario(np.random.default_rng(0), router_rate=2.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        routers=st.integers(min_value=0, max_value=40),
+        links=st.integers(min_value=0, max_value=1100),
+    )
+    def test_degradation_never_yields_zero_machine(self, routers, links):
+        domain = ElectricalFaultDomain()
+        scenario = ElectricalFaultScenario(routers=routers, links=links)
+        try:
+            chiplets, pes = domain.degraded_configuration(scenario)
+        except InfeasibleFaultError:
+            return
+        assert 1 <= chiplets <= 32
+        assert 1 <= pes <= 32

@@ -1,0 +1,96 @@
+"""Crash-injection helpers for the fault-tolerance test suite.
+
+:class:`CrashingSimulator` wraps a real simulator and injects a
+failure -- an exception, an abrupt worker death or a hang -- into a
+configurable number of execution attempts, then behaves normally.
+The wrapper is picklable (so it travels into sweep worker processes)
+and counts attempts through a **file-based counter**, so "fail the
+first K attempts, then succeed" works even when every attempt runs in
+a fresh process.
+
+The wrapper forwards everything else (``spec``, energy models, ...)
+to the inner simulator, so its cache fingerprint -- and therefore its
+cache entries and campaign manifest keys -- are identical to the
+healthy machine's.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+__all__ = ["CrashingSimulator"]
+
+
+class CrashingSimulator:
+    """Simulator proxy that fails injected attempts.
+
+    Parameters
+    ----------
+    inner:
+        The real simulator to delegate to once injection is spent.
+    mode:
+        ``"raise"`` raises :class:`RuntimeError`, ``"exit"`` kills the
+        process via ``os._exit`` (a worker crash the parent only sees
+        as EOF), ``"hang"`` sleeps for ``hang_s`` seconds (long enough
+        to trip any configured timeout).
+    fail_times:
+        Fail this many *attempts* then succeed.  ``None`` fails every
+        attempt.  Counted in ``counter_path`` (required when
+        ``fail_times`` is set) so the count survives process
+        boundaries.
+    """
+
+    def __init__(
+        self,
+        inner,
+        *,
+        mode: str = "raise",
+        fail_times: int | None = None,
+        counter_path: str | None = None,
+        hang_s: float = 60.0,
+    ):
+        if mode not in ("raise", "exit", "hang"):
+            raise ValueError("mode must be 'raise', 'exit' or 'hang'")
+        if fail_times is not None and counter_path is None:
+            raise ValueError("fail_times needs a counter_path")
+        self.inner = inner
+        self.mode = mode
+        self.fail_times = fail_times
+        self.counter_path = str(counter_path) if counter_path else None
+        self.hang_s = hang_s
+
+    # -- injection machinery -------------------------------------------
+    def _strike(self) -> bool:
+        """Count one execution attempt; ``True`` iff it must fail."""
+        if self.fail_times is None:
+            return True
+        with open(self.counter_path, "ab") as handle:
+            handle.seek(0, os.SEEK_END)
+            prior = handle.tell()
+            handle.write(b"x")
+            handle.flush()
+        return prior < self.fail_times
+
+    def _fail(self) -> None:
+        if self.mode == "exit":
+            os._exit(17)
+        if self.mode == "hang":
+            time.sleep(self.hang_s)
+        raise RuntimeError("injected crash")
+
+    # -- simulator interface -------------------------------------------
+    def simulate_model(self, model, layer_by_layer: bool = False):
+        if self._strike():
+            self._fail()
+        return self.inner.simulate_model(model, layer_by_layer=layer_by_layer)
+
+    def simulate_layer(self, layer, layer_by_layer: bool = False):
+        if self._strike():
+            self._fail()
+        return self.inner.simulate_layer(layer, layer_by_layer=layer_by_layer)
+
+    def __getattr__(self, name: str):
+        if name.startswith("_") or name == "inner":
+            raise AttributeError(name)
+        return getattr(self.inner, name)

@@ -295,17 +295,32 @@ def test_runner_parallel_matches_serial(simulator):
     assert len(runner.stats) == len(models) * len(sims)
 
 
-def test_runner_falls_back_when_jobs_do_not_pickle(simulator):
+def test_runner_falls_back_when_jobs_do_not_pickle(simulator, caplog):
     unpicklable = spacx_simulator()
     unpicklable.poison = lambda: None  # lambdas cannot be pickled
     models = _tiny_models()
     runner = SweepRunner(max_workers=2, cache=NullCache())
-    results = runner.run(
-        [SweepJob(unpicklable, model) for model in models]
-    )
+    with caplog.at_level("WARNING", logger="repro.core.batch"):
+        results = runner.run(
+            [SweepJob(unpicklable, model) for model in models]
+        )
     assert runner.used_fallback
+    # The reason is recorded (exception repr) and a warning was logged.
+    assert runner.fallback_reason is not None
+    assert "pickle" in runner.fallback_reason.lower()
+    assert any(
+        "falling back to serial" in record.getMessage()
+        for record in caplog.records
+    )
     assert [r.model for r in results] == [m.name for m in models]
     assert all(stat.mode == "serial" for stat in runner.stats)
+
+
+def test_fallback_reason_clear_on_clean_runs(simulator):
+    runner = SweepRunner(max_workers=1, cache=NullCache())
+    runner.run([SweepJob(simulator, _tiny_models()[0])])
+    assert not runner.used_fallback
+    assert runner.fallback_reason is None
 
 
 def test_parallel_run_seeds_parent_cache(simulator):

@@ -1,0 +1,161 @@
+"""Tests for the Monte-Carlo degraded-mode availability study."""
+
+import pytest
+
+from repro.core.layer import ConvLayer, LayerSet
+from repro.experiments.resilience import (
+    DEFAULT_FAILURE_RATES,
+    AvailabilityPoint,
+    DeviceFailureScale,
+    availability_ascii_curve,
+    availability_study,
+    availability_table,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return LayerSet(
+        "probe",
+        [
+            ConvLayer(name="a", c=64, k=64, r=3, s=3, h=14, w=14),
+            ConvLayer(name="b", c=128, k=128, r=1, s=1, h=7, w=7),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def points(workload):
+    return availability_study(
+        model=workload, rates=(0.001, 0.01), samples=32, seed=11
+    )
+
+
+class TestStudy:
+    def test_grid_is_complete(self, points):
+        cells = {(p.accelerator, p.failure_rate) for p in points}
+        assert cells == {
+            (acc, rate)
+            for acc in ("Simba", "POPSTAR", "SPACX")
+            for rate in (0.001, 0.01)
+        }
+        assert all(p.samples == 32 for p in points)
+
+    def test_deterministic_in_seed(self, workload, points):
+        again = availability_study(
+            model=workload, rates=(0.001, 0.01), samples=32, seed=11
+        )
+        assert again == points
+
+    def test_seed_changes_the_draws(self, workload, points):
+        other = availability_study(
+            model=workload, rates=(0.001, 0.01), samples=32, seed=12
+        )
+        assert [p.mean_faults for p in other] != [
+            p.mean_faults for p in points
+        ]
+
+    def test_availability_decreases_with_failure_rate(self, points):
+        for acc in ("Simba", "POPSTAR", "SPACX"):
+            subset = sorted(
+                (p for p in points if p.accelerator == acc),
+                key=lambda p: p.failure_rate,
+            )
+            assert subset[0].availability >= subset[-1].availability
+            assert subset[0].mean_faults <= subset[-1].mean_faults
+
+    def test_sane_statistics(self, points):
+        for p in points:
+            assert 0.0 <= p.availability <= 1.0
+            assert 0.0 <= p.dead_fraction <= 1.0
+            assert p.mean_slowdown >= 1.0
+            assert p.p95_slowdown >= 1.0
+            assert 0.0 <= p.expected_throughput <= 1.0
+
+    def test_total_failure_rate_kills_everything(self, workload):
+        points = availability_study(
+            model=workload, rates=(1.0,), samples=4, seed=1
+        )
+        for p in points:
+            assert p.dead_fraction == 1.0
+            assert p.availability == 0.0
+            assert p.expected_throughput == 0.0
+            assert p.mean_slowdown == float("inf")
+
+    def test_zero_rate_is_fault_free(self, workload):
+        points = availability_study(
+            model=workload, rates=(0.0,), samples=4, seed=1
+        )
+        for p in points:
+            assert p.mean_faults == 0.0
+            assert p.availability == 1.0
+            assert p.mean_slowdown == 1.0
+
+    def test_failure_scale_skews_one_class(self, workload):
+        """Zeroing every class removes all faults; scaling one up
+        brings them back."""
+        quiet = availability_study(
+            model=workload,
+            rates=(0.02,),
+            samples=8,
+            seed=2,
+            scale=DeviceFailureScale(
+                x_carrier=0.0,
+                y_carrier=0.0,
+                splitter=0.0,
+                router=0.0,
+                link=0.0,
+            ),
+        )
+        assert all(p.mean_faults == 0.0 for p in quiet)
+
+    def test_validation(self, workload):
+        with pytest.raises(ValueError):
+            availability_study(model=workload, samples=0)
+        with pytest.raises(ValueError):
+            availability_study(model=workload, slowdown_threshold=0.5)
+        with pytest.raises(ValueError):
+            availability_study(
+                model=workload, rates=(-0.1,), samples=2
+            )
+        with pytest.raises(KeyError):
+            availability_study(
+                model=workload, accelerators=("TPU",), samples=2
+            )
+        with pytest.raises(ValueError):
+            DeviceFailureScale(router=-1.0)
+
+    def test_default_rates_are_sorted_probabilities(self):
+        assert list(DEFAULT_FAILURE_RATES) == sorted(DEFAULT_FAILURE_RATES)
+        assert all(0.0 < r < 1.0 for r in DEFAULT_FAILURE_RATES)
+
+
+class TestRendering:
+    def test_table(self, points):
+        text = availability_table(points)
+        assert "avail %" in text
+        assert "SPACX" in text and "Simba" in text and "POPSTAR" in text
+        assert "0.001" in text
+
+    def test_ascii_curve(self, points):
+        text = availability_ascii_curve(points, width=20)
+        assert "SPACX" in text
+        assert "#" in text
+        assert "%" in text
+        for line in text.splitlines():
+            assert len(line) < 100
+
+    def test_point_container(self):
+        p = AvailabilityPoint(
+            accelerator="SPACX",
+            failure_rate=0.01,
+            samples=8,
+            mean_faults=1.0,
+            dead_fraction=0.0,
+            availability=0.875,
+            mean_slowdown=1.1,
+            p95_slowdown=1.4,
+            expected_throughput=0.9,
+            slowdown_threshold=1.5,
+        )
+        assert p.availability == 0.875

@@ -30,6 +30,7 @@ class TestRegistry:
             "area",
             "codesign",
             "motivation",
+            "resilience",
         }
         assert set(SECTIONS) == expected
 

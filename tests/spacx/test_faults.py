@@ -1,13 +1,20 @@
 """Tests for fault injection and degraded-mode behaviour."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.layer import ConvLayer, LayerSet
 from repro.spacx.faults import (
     DegradedResult,
+    FaultDomain,
     FaultKind,
     FaultScenario,
+    InfeasibleFaultError,
+    degraded_configuration,
     inject_fault,
+    sample_scenarios,
 )
 
 
@@ -73,7 +80,7 @@ class TestDegradedMode:
         assert harsh.slowdown < 3.0
 
     def test_total_loss_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InfeasibleFaultError):
             inject_fault(_workload(), FaultScenario(y_carriers=32))
 
     def test_result_container(self):
@@ -84,3 +91,108 @@ class TestDegradedMode:
             pes_lost=1,
         )
         assert result.slowdown == pytest.approx(1.2)
+
+
+class TestFaultDomain:
+    def test_device_inventory(self):
+        domain = FaultDomain()  # 32 chiplets, 32 PEs, g_ef=8, g_k=16
+        assert domain.groups == 4
+        assert domain.x_carriers == 32 * 4
+        assert domain.y_carriers == 32
+        assert domain.splitters == 32 * 32
+
+    def test_rejects_faults_beyond_inventory(self):
+        domain = FaultDomain()
+        with pytest.raises(InfeasibleFaultError):
+            domain.validate(FaultScenario(y_carriers=33))
+        with pytest.raises(InfeasibleFaultError):
+            domain.validate(FaultScenario(x_carriers=129))
+        with pytest.raises(InfeasibleFaultError):
+            domain.validate(FaultScenario(splitters=1025))
+
+    def test_sampling_deterministic_in_seed(self):
+        domain = FaultDomain()
+        kwargs = dict(
+            x_carrier_rate=0.05, y_carrier_rate=0.02, splitter_rate=0.01
+        )
+        a = sample_scenarios(domain, np.random.default_rng(3), 16, **kwargs)
+        b = sample_scenarios(domain, np.random.default_rng(3), 16, **kwargs)
+        assert a == b
+
+    def test_sampling_respects_inventory(self):
+        domain = FaultDomain(chiplets=8, pes_per_chiplet=16)
+        for scenario in sample_scenarios(
+            domain,
+            np.random.default_rng(1),
+            64,
+            x_carrier_rate=1.0,
+            y_carrier_rate=1.0,
+            splitter_rate=1.0,
+        ):
+            domain.validate(scenario)  # binomial draws never exceed n
+
+    def test_rejects_out_of_range_rates(self):
+        domain = FaultDomain()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            domain.sample_scenario(rng, x_carrier_rate=1.5)
+        with pytest.raises(ValueError):
+            domain.sample_scenario(rng, splitter_rate=-0.1)
+
+
+class TestDegradedConfigurationEdges:
+    def test_exceeding_inventory_raises(self):
+        with pytest.raises(InfeasibleFaultError):
+            degraded_configuration(FaultScenario(y_carriers=33))
+
+    def test_killing_every_chiplet_raises(self):
+        with pytest.raises(InfeasibleFaultError):
+            degraded_configuration(FaultScenario(y_carriers=32))
+
+    def test_covering_every_pe_raises(self):
+        with pytest.raises(InfeasibleFaultError):
+            degraded_configuration(FaultScenario(splitters=32 * 32))
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        x=st.integers(min_value=0, max_value=200),
+        y=st.integers(min_value=0, max_value=40),
+        s=st.integers(min_value=0, max_value=1200),
+    )
+    def test_never_produces_a_zero_machine(self, x, y, s):
+        """Any fault population either raises InfeasibleFaultError or
+        maps to a usable machine that respects the granularities."""
+        scenario = FaultScenario(x_carriers=x, y_carriers=y, splitters=s)
+        try:
+            config = degraded_configuration(scenario)
+        except InfeasibleFaultError:
+            return
+        assert config.chiplets >= 1
+        assert config.pes_per_chiplet >= 1
+        assert config.chiplets <= 32
+        assert config.pes_per_chiplet <= 32
+        # Surviving machine keeps the granularity structure.
+        assert config.chiplets % 8 == 0
+        assert config.pes_per_chiplet % 16 == 0
+        if not scenario.is_healthy:
+            assert config.pes_lost > 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        y=st.integers(min_value=0, max_value=31),
+        s=st.integers(min_value=0, max_value=512),
+    )
+    def test_monotone_in_faults(self, y, s):
+        """Adding faults never grows the surviving machine."""
+        try:
+            base = degraded_configuration(
+                FaultScenario(y_carriers=y, splitters=s)
+            )
+            worse = degraded_configuration(
+                FaultScenario(y_carriers=y, splitters=s + 1)
+            )
+        except InfeasibleFaultError:
+            return  # crossing the kill-all boundary is legitimate
+        assert worse.chiplets <= base.chiplets
+        assert worse.pes_per_chiplet <= base.pes_per_chiplet
+        assert worse.pes_lost == base.pes_lost + 1

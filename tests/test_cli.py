@@ -1,8 +1,22 @@
 """Tests for the command-line interface."""
 
+import dataclasses
+
 import pytest
 
+from repro.core import batch
 from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def restore_sweep_defaults():
+    """Snapshot/restore the process-wide sweep defaults that ``main``
+    mutates through ``batch.configure``."""
+    snapshot = dataclasses.replace(batch._defaults)
+    yield
+    for field in dataclasses.fields(snapshot):
+        setattr(batch._defaults, field.name, getattr(snapshot, field.name))
+    batch._default_cache = None  # drop any cache bound to a temp dir
 
 
 class TestParser:
@@ -92,3 +106,104 @@ class TestBatchFlag:
         assert main(["report", "--section", "motivation"]) == 0
         out = capsys.readouterr().out
         assert "crossover" in out
+
+
+class TestFaultsCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.model == "ResNet-50"
+        assert args.samples == 128
+        assert args.seed == 2022
+        assert args.rates is None
+        assert args.threshold == 1.5
+
+    def test_faults_runs_and_reports_all_machines(
+        self, capsys, restore_sweep_defaults
+    ):
+        code = main(
+            [
+                "faults",
+                "--model",
+                "MobileNetV2",
+                "--samples",
+                "8",
+                "--seed",
+                "5",
+                "--rates",
+                "0.001,0.01",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for machine in ("SPACX", "Simba", "POPSTAR"):
+            assert machine in out
+        assert "avail %" in out
+        assert "seed 5" in out
+
+    def test_faults_deterministic_across_invocations(
+        self, capsys, restore_sweep_defaults
+    ):
+        argv = [
+            "faults",
+            "--model",
+            "MobileNetV2",
+            "--samples",
+            "8",
+            "--seed",
+            "7",
+            "--rates",
+            "0.005",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_faults_rejects_empty_rates(self, restore_sweep_defaults):
+        with pytest.raises(SystemExit):
+            main(["faults", "--rates", ","])
+
+
+class TestResilienceFlags:
+    def test_global_flags_feed_sweep_defaults(
+        self, capsys, restore_sweep_defaults
+    ):
+        code = main(
+            [
+                "--timeout",
+                "30",
+                "--retries",
+                "2",
+                "--on-error",
+                "skip",
+                "run",
+                "--model",
+                "MobileNetV2",
+            ]
+        )
+        assert code == 0
+        assert batch._defaults.timeout_s == 30.0
+        assert batch._defaults.retries == 2
+        assert batch._defaults.on_error == "skip"
+        assert batch._defaults.resume is False
+
+    def test_resume_flag(self, capsys, restore_sweep_defaults, tmp_path):
+        code = main(
+            [
+                "--cache-dir",
+                str(tmp_path),
+                "--resume",
+                "run",
+                "--model",
+                "MobileNetV2",
+            ]
+        )
+        assert code == 0
+        assert batch._defaults.resume is True
+        # The manifest was written next to the cache shards.
+        assert (tmp_path / "campaign.jsonl").exists()
+
+    def test_rejects_bad_on_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--on-error", "explode", "tables"])
