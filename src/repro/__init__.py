@@ -30,11 +30,21 @@ from .core import (
     AcceleratorSpec,
     ConvLayer,
     DataflowKind,
+    InvariantViolation,
     LayerResult,
     LayerSet,
     ModelResult,
     Simulator,
+    audit_layer_result,
+    audit_model_result,
     fully_connected,
+)
+from .errors import (
+    ConfigError,
+    InvariantViolationError,
+    ReproError,
+    ReproWarning,
+    SimulationError,
 )
 from .models import (
     densenet201,
@@ -47,18 +57,46 @@ from .models import (
 )
 from .serialization import model_result_to_dict, model_result_to_json
 from .spacx import SpacxTopology, spacx_simulator, spacx_spec, spacx_topology
+from .validate import (
+    Diagnostic,
+    ValidationReport,
+    machine_zoo,
+    validate_link_budget,
+    validate_model,
+    validate_raw_config,
+    validate_simulator,
+    validate_spec,
+    validate_zoo,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AcceleratorSpec",
+    "ConfigError",
     "ConvLayer",
     "DataflowKind",
+    "Diagnostic",
+    "InvariantViolation",
+    "InvariantViolationError",
     "LayerResult",
     "LayerSet",
     "ModelResult",
+    "ReproError",
+    "ReproWarning",
+    "SimulationError",
     "Simulator",
     "SpacxTopology",
+    "ValidationReport",
+    "audit_layer_result",
+    "audit_model_result",
+    "machine_zoo",
+    "validate_link_budget",
+    "validate_model",
+    "validate_raw_config",
+    "validate_simulator",
+    "validate_spec",
+    "validate_zoo",
     "densenet201",
     "efficientnet_b7",
     "evaluation_models",

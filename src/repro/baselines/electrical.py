@@ -24,6 +24,7 @@ from ..core.faults import InfeasibleFaultError
 from ..core.mapping import Mapping
 from ..core.metrics import NetworkEnergy
 from ..core.traffic import TrafficSummary
+from ..errors import ConfigError
 
 __all__ = [
     "ElectricalLinkParameters",
@@ -46,14 +47,14 @@ class ElectricalLinkParameters:
 
     def __post_init__(self) -> None:
         if self.wire_pj_per_bit < 0 or self.router_pj_per_bit_per_hop < 0:
-            raise ValueError("energies must be >= 0")
+            raise ConfigError("energies must be >= 0")
         if self.hop_latency_s < 0:
-            raise ValueError("latency must be >= 0")
+            raise ConfigError("latency must be >= 0")
 
     def energy_pj_per_bit(self, hops: float) -> float:
         """Total pJ/bit across ``hops`` mesh hops."""
         if hops < 0:
-            raise ValueError("hop count must be >= 0")
+            raise ConfigError("hop count must be >= 0")
         return (self.wire_pj_per_bit + self.router_pj_per_bit_per_hop) * max(
             hops, 1.0
         )
@@ -81,7 +82,7 @@ def mesh_average_hops(nodes: int) -> float:
     sourced traffic behaves similarly because the GB sits at an edge.
     """
     if nodes < 1:
-        raise ValueError("mesh needs at least one node")
+        raise ConfigError("mesh needs at least one node")
     side = math.sqrt(nodes)
     return max(1.0, 2.0 * side / 3.0)
 
@@ -96,7 +97,7 @@ class ElectricalMeshEnergy:
 
     def __init__(self, chiplets: int, pes_per_chiplet: int):
         if chiplets < 1 or pes_per_chiplet < 1:
-            raise ValueError("need >= 1 chiplet and PE")
+            raise ConfigError("need >= 1 chiplet and PE")
         self.chiplets = chiplets
         self.pes_per_chiplet = pes_per_chiplet
         self.package_hops = mesh_average_hops(chiplets + 1)  # + GB die
@@ -141,7 +142,7 @@ class ElectricalFaultScenario:
 
     def __post_init__(self) -> None:
         if min(self.routers, self.links) < 0:
-            raise ValueError("fault counts must be >= 0")
+            raise ConfigError("fault counts must be >= 0")
 
     @property
     def is_healthy(self) -> bool:
@@ -163,7 +164,7 @@ class ElectricalFaultDomain:
 
     def __post_init__(self) -> None:
         if self.chiplets < 1 or self.pes_per_chiplet < 1:
-            raise ValueError("need >= 1 chiplet and PE")
+            raise ConfigError("need >= 1 chiplet and PE")
 
     @property
     def routers(self) -> int:
@@ -224,7 +225,7 @@ class ElectricalFaultDomain:
         """
         for rate in (router_rate, link_rate):
             if not 0.0 <= rate <= 1.0:
-                raise ValueError("failure rates must be in [0, 1]")
+                raise ConfigError("failure rates must be in [0, 1]")
         return ElectricalFaultScenario(
             routers=int(rng.binomial(self.routers, router_rate)),
             links=int(rng.binomial(self.links, link_rate)),

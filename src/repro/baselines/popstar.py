@@ -34,6 +34,7 @@ from ..photonics.link_budget import LinkBudget
 from ..photonics.transceiver import transceiver_for
 from .electrical import CHIPLET_LINK, ElectricalMeshEnergy, mesh_average_hops
 from .simba import CORE_FREQUENCY_GHZ
+from ..errors import ConfigError
 
 __all__ = [
     "POPSTAR_WAVELENGTHS",
@@ -57,7 +58,7 @@ def popstar_mrr_count(chiplets: int) -> int:
     is quadratic in node count, against SPACX's linear inventory.
     """
     if chiplets < 1:
-        raise ValueError("need >= 1 chiplet")
+        raise ConfigError("need >= 1 chiplet")
     nodes = chiplets + 1  # + the GB die
     modulators = nodes * POPSTAR_WAVELENGTHS
     filters = nodes * (nodes - 1) * POPSTAR_WAVELENGTHS // 3

@@ -14,6 +14,7 @@ prints can be obtained programmatically from :mod:`repro.experiments`.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
@@ -21,6 +22,7 @@ from .baselines.popstar import popstar_simulator
 from .baselines.simba import simba_simulator
 from .core import batch
 from .core.simulator import Simulator
+from .errors import ConfigError, ReproError
 from .experiments.harness import format_table
 from .experiments.report import SECTIONS, full_report
 from .models.zoo import EXTENDED_MODELS, MODELS, get_model
@@ -90,6 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="resume an interrupted campaign from the manifest next to "
         "the disk cache (requires --cache-dir or $REPRO_SWEEP_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-audit",
+        action="store_true",
+        help="disable the sweep engine's post-run invariant audit "
+        "(enabled by default; violating results become job failures)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -175,6 +183,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.add_argument("--chiplets", type=int, default=32)
     faults.add_argument("--pes-per-chiplet", type=int, default=32)
+
+    doctor = subparsers.add_parser(
+        "doctor",
+        help="physics-aware validation of machine configs plus a "
+        "simulated invariant audit over the model zoo",
+    )
+    doctor.add_argument(
+        "--machine",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="machine(s) to check (repeatable; default: the three "
+        "paper machines)",
+    )
+    doctor.add_argument(
+        "--model",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="model(s) to check (repeatable; default: the four paper "
+        "workloads)",
+    )
+    doctor.add_argument(
+        "--all",
+        action="store_true",
+        help="check every machine and every model in the zoo",
+    )
+    doctor.add_argument(
+        "--config",
+        default=None,
+        metavar="FILE",
+        help="validate a raw JSON machine config instead of the zoo",
+    )
+    doctor.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the full diagnostic reports as JSON",
+    )
+    doctor.add_argument(
+        "--no-simulate",
+        action="store_true",
+        help="static validation only (skip the simulated invariant audit)",
+    )
 
     return parser
 
@@ -295,9 +347,14 @@ def _command_faults(args: argparse.Namespace) -> int:
     if args.rates is None:
         rates = DEFAULT_FAILURE_RATES
     else:
-        rates = tuple(float(r) for r in args.rates.split(",") if r.strip())
+        try:
+            rates = tuple(float(r) for r in args.rates.split(",") if r.strip())
+        except ValueError:
+            raise ConfigError(
+                f"--rates must be comma-separated numbers, got {args.rates!r}"
+            )
         if not rates:
-            raise SystemExit("--rates needs at least one value")
+            raise ConfigError("--rates needs at least one value")
     points = availability_study(
         model=get_model(args.model),
         rates=rates,
@@ -318,6 +375,103 @@ def _command_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The three machines every paper figure compares (doctor's default).
+_PAPER_MACHINES = ("simba", "popstar", "spacx")
+
+
+def _doctor_simulation_reports(machine_names, model_names):
+    """Run every (machine, model) pair and audit the results."""
+    from .core.invariants import audit_model_result
+    from .validate import ValidationReport, machine_zoo
+
+    zoo = machine_zoo()
+    reports = []
+    for machine_name in machine_names:
+        report = ValidationReport(subject=f"{machine_name} [simulated]")
+        simulator = zoo[machine_name]()
+        for model_name in model_names:
+            try:
+                result = simulator.simulate_model(get_model(model_name))
+            except Exception as exc:
+                report.error(
+                    "SIM-RUN",
+                    f"simulation of {model_name} failed: {exc}",
+                    model=model_name,
+                    error_type=type(exc).__name__,
+                )
+                continue
+            for violation in audit_model_result(result, simulator.spec):
+                report.error(
+                    violation.code,
+                    f"{model_name}: {violation.message}",
+                    model=model_name,
+                    layer=violation.layer,
+                )
+        reports.append(report)
+    return reports
+
+
+def _command_doctor(args: argparse.Namespace) -> int:
+    from .validate import validate_raw_config, validate_zoo
+
+    if args.config is not None:
+        try:
+            with open(args.config, encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except OSError as exc:
+            raise ConfigError(f"cannot read config {args.config!r}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"config {args.config!r} is not valid JSON: {exc}"
+            )
+        if not isinstance(raw, dict):
+            raise ConfigError(
+                f"config {args.config!r} must be a JSON object, "
+                f"got {type(raw).__name__}"
+            )
+        reports = [validate_raw_config(raw)]
+    else:
+        if args.all:
+            from .validate import machine_zoo
+
+            machine_names = sorted(machine_zoo())
+            model_names = sorted(EXTENDED_MODELS)
+        else:
+            machine_names = args.machine or list(_PAPER_MACHINES)
+            model_names = args.model or sorted(MODELS)
+        reports = validate_zoo(machine_names, model_names)
+        if not args.no_simulate:
+            reports.extend(
+                _doctor_simulation_reports(machine_names, model_names)
+            )
+
+    n_errors = sum(len(r.errors) for r in reports)
+    n_warnings = sum(len(r.warnings) for r in reports)
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "ok": n_errors == 0,
+                    "errors": n_errors,
+                    "warnings": n_warnings,
+                    "reports": [r.to_dict() for r in reports],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for report in reports:
+            if report.clean:
+                print(f"{report.subject}: ok")
+            else:
+                print(report.describe())
+        print(
+            f"doctor: {len(reports)} subject(s) checked, "
+            f"{n_errors} error(s), {n_warnings} warning(s)"
+        )
+    return 0 if n_errors == 0 else 1
+
+
 _COMMANDS = {
     "run": _command_run,
     "report": _command_report,
@@ -325,6 +479,7 @@ _COMMANDS = {
     "advise": _command_advise,
     "layers": _command_layers,
     "faults": _command_faults,
+    "doctor": _command_doctor,
 }
 
 
@@ -340,8 +495,16 @@ def main(argv: list[str] | None = None) -> int:
         retries=args.retries,
         on_error=args.on_error,
         resume=True if args.resume else None,
+        audit=False if args.no_audit else None,
     )
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        # Configuration-level rejections (unknown machine, malformed
+        # config file, infeasible photonics, ...) are user errors, not
+        # crashes: one line on stderr, exit code 2, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

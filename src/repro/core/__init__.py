@@ -19,6 +19,13 @@ from .batch import (
 )
 from .campaign import CampaignManifest, job_content_key, model_content_key
 from .faults import InfeasibleFaultError
+from .invariants import (
+    InvariantViolation,
+    audit_layer_result,
+    audit_model_result,
+    raise_on_violations,
+    strict_mode_default,
+)
 from .dataflow import (
     DataflowKind,
     SpacxLoopNest,
@@ -39,6 +46,11 @@ __all__ = [
     "CampaignManifest",
     "CommunicationTimes",
     "InfeasibleFaultError",
+    "InvariantViolation",
+    "audit_layer_result",
+    "audit_model_result",
+    "raise_on_violations",
+    "strict_mode_default",
     "JobFailure",
     "SweepJobError",
     "job_content_key",

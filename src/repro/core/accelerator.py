@@ -11,8 +11,11 @@ and capability descriptors.  Concrete machines are constructed by
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass, replace
 
+from ..errors import ConfigError, ReproWarning
 from .dataflow import DataflowKind
 from .mapping import MappingParameters
 from .traffic import NetworkCapabilities
@@ -40,7 +43,19 @@ class LinkLatency:
     tuning_delay_s: float = 0.0
 
     def packet_latency_s(self, bandwidth_gbps: float) -> float:
-        """Latency of one packet: propagation + serialisation."""
+        """Latency of one packet: propagation + serialisation.
+
+        A zero-bandwidth link never serialises a packet: the latency
+        is ``inf`` and a warning flags the degenerate configuration.
+        """
+        if bandwidth_gbps <= 0:
+            warnings.warn(
+                f"packet latency over a link with {bandwidth_gbps!r} GB/s "
+                "bandwidth is infinite",
+                ReproWarning,
+                stacklevel=2,
+            )
+            return math.inf
         serialization_s = self.serialization_bytes * 8 / (bandwidth_gbps * 1e9)
         return self.hop_latency_s * self.avg_hops + serialization_s
 
@@ -88,9 +103,9 @@ class AcceleratorSpec:
 
     def __post_init__(self) -> None:
         if self.chiplets < 1 or self.pes_per_chiplet < 1:
-            raise ValueError(f"{self.name}: need >= 1 chiplet and PE")
+            raise ConfigError(f"{self.name}: need >= 1 chiplet and PE")
         if self.frequency_ghz <= 0:
-            raise ValueError(f"{self.name}: frequency must be > 0")
+            raise ConfigError(f"{self.name}: frequency must be > 0")
         for field_name in (
             "gb_egress_gbps",
             "gb_ingress_gbps",
@@ -101,7 +116,7 @@ class AcceleratorSpec:
             "dram_bandwidth_gbps",
         ):
             if getattr(self, field_name) <= 0:
-                raise ValueError(f"{self.name}: {field_name} must be > 0")
+                raise ConfigError(f"{self.name}: {field_name} must be > 0")
 
     @property
     def total_pes(self) -> int:

@@ -59,7 +59,9 @@ from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 if TYPE_CHECKING:  # pragma: no cover - typing-only (campaign imports us)
     from .campaign import CampaignManifest
 
+from ..errors import InvariantViolationError
 from .accelerator import AcceleratorSpec
+from .invariants import audit_model_result
 from .layer import ConvLayer, LayerSet
 from .mapping import Mapping
 from .metrics import LayerResult, ModelResult
@@ -619,6 +621,10 @@ class JobFailure:
     traceback_summary: str
     attempts: int
     phase: str  # "serial" | "parallel"
+    #: Structured invariant-violation payloads (dicts from
+    #: :meth:`repro.core.invariants.InvariantViolation.to_dict`) when
+    #: the job failed the post-run result audit; empty otherwise.
+    violations: tuple = ()
 
     def describe(self) -> str:
         """One-line human-readable failure summary."""
@@ -730,6 +736,7 @@ class SweepRunner:
         manifest: "CampaignManifest | None | bool" = None,
         resume: bool | None = None,
         progress: Callable[[JobStats], None] | None = None,
+        audit: bool | None = None,
     ):
         self.max_workers = default_workers() if max_workers is None else max_workers
         self.cache = default_cache() if cache is None else cache
@@ -752,6 +759,13 @@ class SweepRunner:
             self.manifest = manifest
         self.resume = _defaults.resume if resume is None else resume
         self.progress = progress
+        #: Post-run invariant audit of every accepted job result
+        #: (:func:`repro.core.invariants.audit_model_result`).  A
+        #: violating result is never returned, cached or marked done:
+        #: it becomes a :class:`JobFailure` carrying the structured
+        #: violations.  Audit failures are deterministic, so they are
+        #: never retried.
+        self.audit = _defaults.audit if audit is None else audit
         self.stats: list[JobStats] = []
         self.failures: list[JobFailure] = []
         self.used_fallback = False
@@ -773,6 +787,7 @@ class SweepRunner:
         traceback_summary: str,
         attempts: int,
         phase: str,
+        violations: tuple = (),
     ) -> JobFailure:
         failure = JobFailure(
             index=index,
@@ -783,6 +798,7 @@ class SweepRunner:
             traceback_summary=traceback_summary,
             attempts=attempts,
             phase=phase,
+            violations=violations,
         )
         self.failures.append(failure)
         logger.warning("sweep %s", failure.describe())
@@ -807,6 +823,44 @@ class SweepRunner:
                 fingerprint, layer_result.layer, job.layer_by_layer
             )
             self.cache.put(key, layer_result)
+
+    def _parallel_audit_failure(
+        self,
+        entry: "_ActiveAttempt",
+        indexes: Sequence[int],
+        jobs: Sequence[SweepJob],
+        job_stats: dict,
+        violations: list,
+    ) -> JobFailure:
+        """Record a parallel job whose result failed the invariant audit."""
+        job = jobs[entry.pos]
+        failure = self._record_failure(
+            indexes[entry.pos],
+            job,
+            error_type="InvariantViolationError",
+            message=(
+                f"{len(violations)} invariant violation(s): "
+                + "; ".join(v.describe() for v in violations[:3])
+            ),
+            traceback_summary="",
+            attempts=entry.attempt,
+            phase="parallel",
+            violations=tuple(v.to_dict() for v in violations),
+        )
+        job_stats[entry.pos] = JobStats(
+            model=job.model.name,
+            accelerator=job.simulator.spec.name,
+            wall_time_s=time.monotonic() - entry.started,
+            n_layers=0,
+            n_unique_layers=len(job.model.unique_layers),
+            cache_hits=0,
+            cache_misses=0,
+            mode="parallel",
+            attempts=entry.attempt,
+            failed=True,
+            index=indexes[entry.pos],
+        )
+        return failure
 
     # -- serial path ---------------------------------------------------
     def _run_serial(
@@ -839,7 +893,39 @@ class SweepRunner:
                         cache=self.cache,
                         fingerprint=fingerprints[sim_id],
                     )
+                    if self.audit:
+                        violations = audit_model_result(
+                            result, job.simulator.spec
+                        )
+                        if violations:
+                            raise InvariantViolationError(
+                                f"{len(violations)} invariant violation(s): "
+                                + "; ".join(
+                                    v.describe() for v in violations[:3]
+                                ),
+                                violations=tuple(violations),
+                            )
                     elapsed = time.perf_counter() - start
+                    break
+                except InvariantViolationError as exc:
+                    # A violating result is deterministic -- retrying
+                    # reproduces it bit for bit -- so the retry budget
+                    # is skipped and the job fails immediately with
+                    # the structured violation payload attached.
+                    elapsed = time.perf_counter() - start
+                    result = None
+                    failure = self._record_failure(
+                        index,
+                        job,
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        traceback_summary=_traceback_summary(exc),
+                        attempts=attempts,
+                        phase="serial",
+                        violations=tuple(
+                            v.to_dict() for v in (exc.violations or ())
+                        ),
+                    )
                     break
                 except Exception as exc:
                     elapsed = time.perf_counter() - start
@@ -1014,8 +1100,26 @@ class SweepRunner:
                     entry.process.join(timeout=5.0)
                     if message is not None and message[0] == "ok":
                         result: ModelResult = message[1]
-                        results[entry.pos] = result
                         job = jobs[entry.pos]
+                        if self.audit:
+                            audit_found = audit_model_result(
+                                result, job.simulator.spec
+                            )
+                            if audit_found:
+                                # Deterministic failure: skip the retry
+                                # budget, keep the corrupt result out of
+                                # the cache and the manifest.
+                                entry.attempt = max(
+                                    entry.attempt, self.retries + 1
+                                )
+                                failure = self._parallel_audit_failure(
+                                    entry, indexes, jobs, job_stats,
+                                    audit_found,
+                                )
+                                if self.on_error == "raise":
+                                    raise SweepJobError(failure)
+                                continue
+                        results[entry.pos] = result
                         job_stats[entry.pos] = JobStats(
                             model=job.model.name,
                             accelerator=job.simulator.spec.name,
@@ -1226,6 +1330,7 @@ class _SweepDefaults:
     retries: int = 0
     on_error: str = "raise"
     resume: bool = False
+    audit: bool = True
 
 
 _defaults = _SweepDefaults()
@@ -1242,6 +1347,7 @@ def configure(
     retries: int | None = None,
     on_error: str | None = None,
     resume: bool | None = None,
+    audit: bool | None = None,
 ) -> None:
     """Set process-wide sweep defaults (used by the CLI's global flags).
 
@@ -1270,6 +1376,8 @@ def configure(
         _defaults.on_error = on_error
     if resume is not None:
         _defaults.resume = resume
+    if audit is not None:
+        _defaults.audit = audit
 
 
 def default_workers() -> int:

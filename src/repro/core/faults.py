@@ -10,14 +10,18 @@ neither has to import the other.
 
 from __future__ import annotations
 
+from ..errors import ConfigError
+
 __all__ = ["InfeasibleFaultError"]
 
 
-class InfeasibleFaultError(ValueError):
+class InfeasibleFaultError(ConfigError):
     """A fault scenario that no degraded machine can absorb.
 
     Raised when injected fault counts exceed the physical device
     inventory, or when the surviving hardware is empty (every chiplet
-    or every PE dead).  Subclasses :class:`ValueError` so callers that
-    treated infeasible scenarios as plain value errors keep working.
+    or every PE dead).  Based on
+    :class:`~repro.errors.ConfigError` -- and therefore still a
+    :class:`ValueError` -- so callers that treated infeasible
+    scenarios as plain value errors keep working.
     """

@@ -9,8 +9,11 @@ from the bandwidth wall onto the compute roof.
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass
 
+from ..errors import ReproWarning
 from .accelerator import AcceleratorSpec
 from .layer import ConvLayer
 from .mapping import map_layer
@@ -36,14 +39,41 @@ class RooflinePoint:
 
     @property
     def roof_fraction(self) -> float:
-        """Attainable over peak throughput."""
+        """Attainable over peak throughput.
+
+        A non-positive peak (degenerate machine) yields ``inf`` rather
+        than dividing by zero -- any attainable rate is infinitely far
+        above a zero roof.
+        """
+        if self.peak_macs_per_s <= 0:
+            warnings.warn(
+                f"{self.accelerator}: peak throughput is "
+                f"{self.peak_macs_per_s!r} MAC/s; roof fraction undefined, "
+                "reporting inf",
+                ReproWarning,
+                stacklevel=2,
+            )
+            return math.inf
         return self.attainable_macs_per_s / self.peak_macs_per_s
 
 
 def machine_ridge(spec: AcceleratorSpec) -> float:
     """The ridge point: the operational intensity (MACs/byte) above
-    which the machine is compute-bound."""
+    which the machine is compute-bound.
+
+    A machine with no GB egress bandwidth has its ridge at infinity
+    (every layer is bandwidth-bound); a warning flags the degenerate
+    spec instead of raising ``ZeroDivisionError``.
+    """
     peak_macs_per_s = spec.peak_macs_per_cycle * spec.frequency_ghz * 1e9
+    if spec.gb_egress_gbps <= 0:
+        warnings.warn(
+            f"{spec.name}: gb_egress_gbps is {spec.gb_egress_gbps!r}; "
+            "ridge point undefined, reporting inf",
+            ReproWarning,
+            stacklevel=2,
+        )
+        return math.inf
     bandwidth_bytes_per_s = spec.gb_egress_gbps * 1e9 / 8
     return peak_macs_per_s / bandwidth_bytes_per_s
 

@@ -26,14 +26,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol
 
+import math
+import warnings
+
 from ..energy.compute import ComputeEnergyModel
+from ..errors import ReproWarning
 from .accelerator import AcceleratorSpec
+from .invariants import audit_layer_result, raise_on_violations, strict_mode_default
 from .layer import ConvLayer, LayerSet
 from .mapping import Mapping, map_layer
 from .metrics import EnergyBreakdown, LayerResult, ModelResult, NetworkEnergy
 from .traffic import TrafficSummary, derive_traffic
 
 __all__ = ["NetworkEnergyModel", "CommunicationTimes", "Simulator"]
+
+#: Bandwidths below this (GB/s) are treated as zero links.
+_MIN_BANDWIDTH_GBPS = 1e-12
 
 
 class NetworkEnergyModel(Protocol):
@@ -104,9 +112,24 @@ class CommunicationTimes:
 
 
 def _transfer_time_s(total_bytes: float, bandwidth_gbps: float) -> float:
-    """Serialisation time of a byte volume at a bandwidth cap."""
+    """Serialisation time of a byte volume at a bandwidth cap.
+
+    A zero (or vanishing) bandwidth with a non-zero byte volume is a
+    defined condition rather than a ``ZeroDivisionError``: the transfer
+    never completes, so the time is ``inf`` and a
+    :class:`~repro.errors.ReproWarning` flags the degenerate link.
+    """
     if total_bytes <= 0:
         return 0.0
+    if bandwidth_gbps <= _MIN_BANDWIDTH_GBPS:
+        warnings.warn(
+            f"transfer of {total_bytes} bytes over a link with "
+            f"{bandwidth_gbps!r} GB/s bandwidth never completes; "
+            "reporting infinite time",
+            ReproWarning,
+            stacklevel=2,
+        )
+        return math.inf
     return total_bytes * 8 / (bandwidth_gbps * 1e9)
 
 
@@ -118,10 +141,15 @@ class Simulator:
         spec: AcceleratorSpec,
         compute_energy: ComputeEnergyModel,
         network_energy: NetworkEnergyModel,
+        strict: bool | None = None,
     ):
         self.spec = spec
         self.compute_energy = compute_energy
         self.network_energy = network_energy
+        #: When True, every layer result is audited against the runtime
+        #: invariants (:mod:`repro.core.invariants`) before it is
+        #: returned; ``None`` defers to the ``REPRO_STRICT`` env var.
+        self.strict = strict_mode_default() if strict is None else strict
         self._mapping_params = spec.mapping_parameters()
 
     # ------------------------------------------------------------------
@@ -266,7 +294,7 @@ class Simulator:
             + traffic.chiplet_ifmap_cross_bytes
             + traffic.output_bytes
         )
-        return LayerResult(
+        result = LayerResult(
             accelerator=spec.name,
             layer=layer,
             mapping=mapping,
@@ -278,6 +306,12 @@ class Simulator:
             packet_latency_s=self.packet_latency_s(),
             delivered_bytes=delivered,
         )
+        if self.strict:
+            raise_on_violations(
+                audit_layer_result(result, spec),
+                subject=f"{spec.name}/{layer.name}",
+            )
+        return result
 
     def simulate_model(
         self, layers: LayerSet, layer_by_layer: bool = False

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from ..errors import ConfigError
 
 __all__ = ["SramEnergyModel", "sram_energy_pj_per_byte"]
 
@@ -21,7 +22,7 @@ _BASE_PJ_PER_BYTE = 0.03  # at 1 kB
 def sram_energy_pj_per_byte(capacity_bytes: int) -> float:
     """Per-byte read/write energy of an SRAM of the given capacity."""
     if capacity_bytes < 1:
-        raise ValueError("capacity must be >= 1 byte")
+        raise ConfigError("capacity must be >= 1 byte")
     kilobytes = capacity_bytes / 1024.0
     return _BASE_PJ_PER_BYTE * math.sqrt(max(kilobytes, 1.0))
 
@@ -34,7 +35,7 @@ class SramEnergyModel:
 
     def __post_init__(self) -> None:
         if self.capacity_bytes < 1:
-            raise ValueError("capacity must be >= 1 byte")
+            raise ConfigError("capacity must be >= 1 byte")
 
     @property
     def energy_pj_per_byte(self) -> float:
@@ -44,5 +45,5 @@ class SramEnergyModel:
     def access_energy_mj(self, bytes_accessed: int) -> float:
         """Energy (mJ) of moving ``bytes_accessed`` through this SRAM."""
         if bytes_accessed < 0:
-            raise ValueError("byte count must be >= 0")
+            raise ConfigError("byte count must be >= 0")
         return bytes_accessed * self.energy_pj_per_byte * 1e-9

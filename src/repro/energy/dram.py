@@ -10,6 +10,7 @@ accelerators so the package network, not DRAM, differentiates them
 from __future__ import annotations
 
 from dataclasses import dataclass
+from ..errors import ConfigError
 
 __all__ = ["DramModel", "DEFAULT_DRAM"]
 
@@ -23,20 +24,20 @@ class DramModel:
 
     def __post_init__(self) -> None:
         if self.energy_pj_per_bit < 0:
-            raise ValueError("energy must be >= 0")
+            raise ConfigError("energy must be >= 0")
         if self.bandwidth_gbps <= 0:
-            raise ValueError("bandwidth must be > 0")
+            raise ConfigError("bandwidth must be > 0")
 
     def access_energy_mj(self, bytes_accessed: int) -> float:
         """Energy (mJ) of ``bytes_accessed`` DRAM traffic."""
         if bytes_accessed < 0:
-            raise ValueError("byte count must be >= 0")
+            raise ConfigError("byte count must be >= 0")
         return bytes_accessed * 8 * self.energy_pj_per_bit * 1e-9
 
     def transfer_time_s(self, bytes_accessed: int) -> float:
         """Time (s) to move ``bytes_accessed`` at the channel cap."""
         if bytes_accessed < 0:
-            raise ValueError("byte count must be >= 0")
+            raise ConfigError("byte count must be >= 0")
         return bytes_accessed * 8 / (self.bandwidth_gbps * 1e9)
 
 

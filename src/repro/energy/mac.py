@@ -9,6 +9,7 @@ order of half a picojoule (Horowitz, ISSCC'14 scaled 45->28 nm).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from ..errors import ConfigError
 
 __all__ = ["MacEnergyModel", "DEFAULT_MAC_ENERGY"]
 
@@ -23,12 +24,12 @@ class MacEnergyModel:
 
     def __post_init__(self) -> None:
         if self.energy_per_mac_pj < 0 or self.leakage_per_pe_cycle_pj < 0:
-            raise ValueError("energies must be >= 0")
+            raise ConfigError("energies must be >= 0")
 
     def compute_energy_mj(self, macs: int, active_pe_cycles: int = 0) -> float:
         """Energy (mJ) of ``macs`` operations plus active-PE leakage."""
         if macs < 0 or active_pe_cycles < 0:
-            raise ValueError("counts must be >= 0")
+            raise ConfigError("counts must be >= 0")
         picojoules = (
             macs * self.energy_per_mac_pj
             + active_pe_cycles * self.leakage_per_pe_cycle_pj

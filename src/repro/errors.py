@@ -1,0 +1,81 @@
+"""Unified exception hierarchy for the reproduction toolkit.
+
+Before this module existed, invalid configurations and infeasible
+scenarios surfaced as scattered bare :class:`ValueError`\\ s, which
+made it impossible for callers (the sweep runner, the CLI, the
+validation doctor) to tell a *configuration* problem from a genuine
+programming bug.  The hierarchy here keeps full backwards
+compatibility -- every configuration error still *is a*
+:class:`ValueError`, so pre-existing ``except ValueError`` sites keep
+working -- while giving robustness tooling a single stable root to
+catch:
+
+``ReproError``
+    Root of everything this package raises deliberately.
+
+``ConfigError(ReproError, ValueError)``
+    A machine/model/parameter configuration is malformed or
+    physically inconsistent.  Raised by dataclass constructors across
+    :mod:`repro.photonics`, :mod:`repro.energy` and
+    :mod:`repro.spacx`, and by
+    :meth:`repro.validate.ValidationReport.raise_if_errors`.
+
+``SimulationError(ReproError)``
+    The simulation itself produced something it should not have.
+
+``InvariantViolationError(SimulationError)``
+    A :class:`~repro.core.invariants.InvariantViolation` was detected
+    while auditing a result under strict mode; carries the structured
+    violation records.
+
+``ReproWarning(UserWarning)``
+    Category used for warning-severity runtime diagnostics (e.g. a
+    zero/near-zero bandwidth cap turning a transfer time into
+    ``inf``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "InvariantViolationError",
+    "ReproWarning",
+]
+
+
+class ReproError(Exception):
+    """Root of every error the repro toolkit raises deliberately."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration is malformed or physically inconsistent.
+
+    Also a :class:`ValueError` so existing ``except ValueError``
+    call-sites (and tests asserting ``pytest.raises(ValueError)``)
+    continue to work unchanged.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation produced an internally inconsistent outcome."""
+
+
+class InvariantViolationError(SimulationError):
+    """Strict-mode audit found one or more invariant violations.
+
+    ``violations`` holds the structured
+    :class:`repro.core.invariants.InvariantViolation` records that
+    triggered the error, so callers (and the sweep runner's
+    :class:`~repro.core.batch.JobFailure` machinery) can report the
+    offending layer and quantities instead of a bare message.
+    """
+
+    def __init__(self, message: str, violations: list | None = None):
+        super().__init__(message)
+        self.violations = list(violations or [])
+
+
+class ReproWarning(UserWarning):
+    """Category for warning-severity runtime diagnostics."""

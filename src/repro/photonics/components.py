@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from enum import Enum
+from ..errors import ConfigError
 
 __all__ = [
     "PhotonicParameters",
@@ -79,9 +80,9 @@ class PhotonicParameters:
         ):
             value = getattr(self, field_name)
             if value < 0.0:
-                raise ValueError(f"{field_name} must be >= 0, got {value!r}")
+                raise ConfigError(f"{field_name} must be >= 0, got {value!r}")
         if self.receiver_sensitivity_dbm >= 0.0:
-            raise ValueError(
+            raise ConfigError(
                 "receiver sensitivity is expected below 0 dBm, got "
                 f"{self.receiver_sensitivity_dbm!r}"
             )
@@ -145,7 +146,7 @@ class MicroRingResonator:
 
     def __post_init__(self) -> None:
         if self.wavelength_index < 0:
-            raise ValueError("wavelength_index must be >= 0")
+            raise ConfigError("wavelength_index must be >= 0")
 
     def drop_loss_db(self, params: PhotonicParameters) -> float:
         """Loss seen by a signal extracted at this ring."""
@@ -175,7 +176,7 @@ class TunableSplitter:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
-            raise ValueError(f"alpha must be within [0, 1], got {self.alpha!r}")
+            raise ConfigError(f"alpha must be within [0, 1], got {self.alpha!r}")
 
     @property
     def is_disabled(self) -> bool:
@@ -220,9 +221,9 @@ class TunableSplitter:
         1/6 for Chiplet1, ..., 1/0 for Chiplet7" schedule.
         """
         if n_destinations < 1:
-            raise ValueError("broadcast needs >= 1 destination")
+            raise ConfigError("broadcast needs >= 1 destination")
         if not 0 <= position < n_destinations:
-            raise ValueError(
+            raise ConfigError(
                 f"position {position} out of range for {n_destinations} taps"
             )
         return TunableSplitter(alpha=1.0 / (n_destinations - position))
@@ -239,7 +240,7 @@ class SplitterCascade:
 
     def __init__(self, target_alpha: float):
         if not 0.0 < target_alpha < 1.0:
-            raise ValueError(f"target_alpha must be in (0, 1), got {target_alpha!r}")
+            raise ConfigError(f"target_alpha must be in (0, 1), got {target_alpha!r}")
         self.target_alpha = target_alpha
         self.stages = self._plan(target_alpha)
 
@@ -256,7 +257,7 @@ class SplitterCascade:
             # full on-resonance are not synthesisable.  The SPACX
             # broadcast schedule only ever needs 1/k fractions, which
             # never land in this band.
-            raise ValueError(
+            raise ConfigError(
                 f"alpha={target_alpha!r} exceeds the single-device maximum "
                 f"{alpha_max:.4f} and cannot be cascaded"
             )
@@ -268,7 +269,7 @@ class SplitterCascade:
         upper = math.log(target_alpha) / math.log(alpha_max)
         n_stages = math.ceil(lower)
         if n_stages > upper + 1e-12:
-            raise ValueError(
+            raise ConfigError(
                 f"cannot synthesise alpha={target_alpha!r} with equal stages"
             )
         per_stage = target_alpha ** (1.0 / n_stages)

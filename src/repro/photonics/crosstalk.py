@@ -25,6 +25,7 @@ from .units import db_to_ratio
 __all__ = ["CrosstalkModel", "DEFAULT_CROSSTALK"]
 
 import math
+from ..errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -41,14 +42,14 @@ class CrosstalkModel:
 
     def __post_init__(self) -> None:
         if self.suppression_db <= 0:
-            raise ValueError("suppression must be > 0 dB")
+            raise ConfigError("suppression must be > 0 dB")
         if self.rolloff_db_per_channel < 0:
-            raise ValueError("rolloff must be >= 0 dB/channel")
+            raise ConfigError("rolloff must be >= 0 dB/channel")
 
     def aggressor_ratio(self, distance: int) -> float:
         """Leaked power ratio from a channel ``distance`` slots away."""
         if distance < 1:
-            raise ValueError("aggressors are at distance >= 1")
+            raise ConfigError("aggressors are at distance >= 1")
         suppression = (
             self.suppression_db + (distance - 1) * self.rolloff_db_per_channel
         )
@@ -57,7 +58,7 @@ class CrosstalkModel:
     def total_leakage_ratio(self, n_channels: int) -> float:
         """Summed leakage from every other channel on the waveguide."""
         if n_channels < 1:
-            raise ValueError("need at least one channel")
+            raise ConfigError("need at least one channel")
         leakage = 0.0
         # Aggressors sit on both spectral sides of the victim.
         for distance in range(1, n_channels):
@@ -76,7 +77,7 @@ class CrosstalkModel:
             return 0.0
         leakage = self.total_leakage_ratio(n_channels)
         if leakage >= 0.5:
-            raise ValueError(
+            raise ConfigError(
                 f"aggregate crosstalk ratio {leakage:.3f} too high for a "
                 f"first-order penalty model ({n_channels} channels at "
                 f"{self.suppression_db} dB suppression)"

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from .components import PhotonicParameters
 from .link_budget import LinkBudget
 from .units import dbm_to_mw
+from ..errors import ConfigError
 
 __all__ = [
     "EXTINCTION_RATIO_PENALTY_DB",
@@ -44,7 +45,7 @@ def per_wavelength_laser_power_mw(
     to milliwatts.
     """
     if path_loss_db < 0.0:
-        raise ValueError(f"path loss must be >= 0 dB, got {path_loss_db!r}")
+        raise ConfigError(f"path loss must be >= 0 dB, got {path_loss_db!r}")
     required_dbm = (
         params.receiver_sensitivity_dbm
         + path_loss_db
@@ -81,5 +82,5 @@ class LaserPowerModel:
     def bank_power_mw(self, budget: LinkBudget, n_wavelengths: int) -> float:
         """Total launch power of ``n_wavelengths`` identical carriers."""
         if n_wavelengths < 0:
-            raise ValueError("wavelength count must be >= 0")
+            raise ConfigError("wavelength count must be >= 0")
         return self.power_for_budget_mw(budget) * n_wavelengths

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from .components import PhotonicParameters
 from .units import combine_losses_db, split_loss_db
+from ..errors import ConfigError
 
 __all__ = ["LossItem", "LinkBudget"]
 
@@ -27,7 +28,7 @@ class LossItem:
 
     def __post_init__(self) -> None:
         if self.loss_db < 0.0:
-            raise ValueError(f"loss must be >= 0 dB, got {self.loss_db!r}")
+            raise ConfigError(f"loss must be >= 0 dB, got {self.loss_db!r}")
 
 
 @dataclass
@@ -52,7 +53,7 @@ class LinkBudget:
     def add_waveguide(self, length_cm: float) -> "LinkBudget":
         """Propagation loss over ``length_cm`` of waveguide."""
         if length_cm < 0.0:
-            raise ValueError(f"length must be >= 0 cm, got {length_cm!r}")
+            raise ConfigError(f"length must be >= 0 cm, got {length_cm!r}")
         return self._add(
             f"waveguide {length_cm:.2f} cm",
             length_cm * self.params.waveguide_db_per_cm,
@@ -61,13 +62,13 @@ class LinkBudget:
     def add_bends(self, count: int) -> "LinkBudget":
         """Waveguide bends along the path."""
         if count < 0:
-            raise ValueError("bend count must be >= 0")
+            raise ConfigError("bend count must be >= 0")
         return self._add(f"{count} bends", count * self.params.waveguide_bend_db)
 
     def add_crossovers(self, count: int) -> "LinkBudget":
         """Waveguide crossovers along the path."""
         if count < 0:
-            raise ValueError("crossover count must be >= 0")
+            raise ConfigError("crossover count must be >= 0")
         return self._add(
             f"{count} crossovers", count * self.params.waveguide_crossover_db
         )
@@ -75,7 +76,7 @@ class LinkBudget:
     def add_rings_passed(self, count: int) -> "LinkBudget":
         """Rings traversed at through-resonance before the drop point."""
         if count < 0:
-            raise ValueError("ring count must be >= 0")
+            raise ConfigError("ring count must be >= 0")
         return self._add(
             f"{count} rings (through)", count * self.params.ring_through_db
         )
@@ -88,7 +89,7 @@ class LinkBudget:
         accounted separately via :meth:`add_broadcast_split`.
         """
         if count < 0:
-            raise ValueError("splitter count must be >= 0")
+            raise ConfigError("splitter count must be >= 0")
         return self._add(f"{count} splitters", count * self.params.splitter_db)
 
     def add_drop(self) -> "LinkBudget":

@@ -26,6 +26,7 @@ from .components import (
     PhotonicParameters,
 )
 from .wdm import DEFAULT_DATA_RATE_GBPS
+from ..errors import ConfigError
 
 __all__ = [
     "TransceiverPower",
@@ -54,9 +55,9 @@ class TransceiverPower:
     def __post_init__(self) -> None:
         for name in ("tx_circuit_mw", "rx_circuit_mw", "heater_mw"):
             if getattr(self, name) < 0.0:
-                raise ValueError(f"{name} must be >= 0")
+                raise ConfigError(f"{name} must be >= 0")
         if self.data_rate_gbps <= 0.0:
-            raise ValueError("data rate must be > 0 Gbps")
+            raise ConfigError("data rate must be > 0 Gbps")
 
     @property
     def tx_total_mw(self) -> float:
@@ -85,9 +86,9 @@ class TransceiverPower:
     def heating_energy_mj(self, n_active_mrrs: int, seconds: float) -> float:
         """Static thermal-tuning energy of ``n`` rings over a window."""
         if n_active_mrrs < 0:
-            raise ValueError("MRR count must be >= 0")
+            raise ConfigError("MRR count must be >= 0")
         if seconds < 0.0:
-            raise ValueError("duration must be >= 0 s")
+            raise ConfigError("duration must be >= 0 s")
         return self.heater_mw * n_active_mrrs * seconds  # mW * s = mJ
 
 

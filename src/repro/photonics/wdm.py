@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
+from ..errors import ConfigError
 
 __all__ = [
     "DEFAULT_DATA_RATE_GBPS",
@@ -35,9 +36,9 @@ class WavelengthChannel:
 
     def __post_init__(self) -> None:
         if self.index < 0:
-            raise ValueError(f"wavelength index must be >= 0, got {self.index}")
+            raise ConfigError(f"wavelength index must be >= 0, got {self.index}")
         if self.data_rate_gbps <= 0.0:
-            raise ValueError(
+            raise ConfigError(
                 f"data rate must be > 0 Gbps, got {self.data_rate_gbps!r}"
             )
 
@@ -59,9 +60,9 @@ class WDMGroup:
     def _validate(self) -> None:
         indices = [channel.index for channel in self.channels]
         if len(set(indices)) != len(indices):
-            raise ValueError(f"duplicate wavelength indices in group: {indices}")
+            raise ConfigError(f"duplicate wavelength indices in group: {indices}")
         if len(self.channels) > MAX_WAVELENGTHS_PER_WAVEGUIDE:
-            raise ValueError(
+            raise ConfigError(
                 f"{len(self.channels)} wavelengths exceed the per-waveguide "
                 f"limit of {MAX_WAVELENGTHS_PER_WAVEGUIDE}"
             )

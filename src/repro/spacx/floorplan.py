@@ -18,6 +18,7 @@ import math
 from dataclasses import dataclass
 
 from .topology import SpacxTopology
+from ..errors import ConfigError
 
 __all__ = ["Floorplan", "PathGeometry"]
 
@@ -37,7 +38,7 @@ class PathGeometry:
 
     def __post_init__(self) -> None:
         if self.length_cm < 0 or self.bends < 0 or self.crossings < 0:
-            raise ValueError("geometry quantities must be >= 0")
+            raise ConfigError("geometry quantities must be >= 0")
 
 
 class Floorplan:
@@ -62,7 +63,7 @@ class Floorplan:
         """Centre coordinates (cm) of chiplet ``index``; the GB die's
         east edge is x = 0."""
         if not 0 <= index < self.topology.chiplets:
-            raise ValueError(
+            raise ConfigError(
                 f"chiplet {index} outside 0..{self.topology.chiplets - 1}"
             )
         row, col = divmod(index, self.columns)

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import ConfigError
 from ..photonics.wdm import DEFAULT_DATA_RATE_GBPS
 
 __all__ = ["SpacxTopology", "TABLE_I_CONFIGURATIONS", "table_i_rows"]
@@ -61,23 +62,23 @@ class SpacxTopology:
 
     def __post_init__(self) -> None:
         if self.chiplets < 1 or self.pes_per_chiplet < 1:
-            raise ValueError("need at least one chiplet and one PE")
+            raise ConfigError("need at least one chiplet and one PE")
         if not 1 <= self.ef_granularity <= self.chiplets:
-            raise ValueError(
+            raise ConfigError(
                 f"ef granularity must be in [1, {self.chiplets}], "
                 f"got {self.ef_granularity}"
             )
         if not 1 <= self.k_granularity <= self.pes_per_chiplet:
-            raise ValueError(
+            raise ConfigError(
                 f"k granularity must be in [1, {self.pes_per_chiplet}], "
                 f"got {self.k_granularity}"
             )
         if self.chiplets % self.ef_granularity:
-            raise ValueError("ef granularity must divide the chiplet count")
+            raise ConfigError("ef granularity must divide the chiplet count")
         if self.pes_per_chiplet % self.k_granularity:
-            raise ValueError("k granularity must divide the PE count")
+            raise ConfigError("k granularity must divide the PE count")
         if self.data_rate_gbps <= 0:
-            raise ValueError("data rate must be > 0")
+            raise ConfigError("data rate must be > 0")
 
     # ------------------------------------------------------------------
     # Group structure

@@ -1,0 +1,374 @@
+"""Tests for the runtime invariant auditor and its wiring.
+
+Covers :mod:`repro.core.invariants` itself, the simulator's strict
+mode, the sweep runner's result audit (corrupted results surface as
+structured :class:`JobFailure` records) and the division guards on the
+timing hot spots.
+"""
+
+import dataclasses
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.accelerator import LinkLatency
+from repro.core.batch import (
+    NullCache,
+    SweepJob,
+    SweepJobError,
+    SweepRunner,
+)
+from repro.core.invariants import (
+    InvariantViolation,
+    audit_layer_result,
+    audit_model_result,
+    raise_on_violations,
+    strict_mode_default,
+)
+from repro.core.metrics import ModelResult
+from repro.core.roofline import RooflinePoint, machine_ridge
+from repro.core.simulator import Simulator, _transfer_time_s
+from repro.errors import InvariantViolationError, ReproWarning
+from repro.models.zoo import get_model
+from repro.spacx.architecture import spacx_simulator
+
+
+@pytest.fixture
+def layer_result():
+    """A known-good layer result from the shipped SPACX machine."""
+    simulator = spacx_simulator()
+    simulator.strict = False
+    layer = get_model("ResNet-50").unique_layers[0]
+    return simulator.simulate_layer(layer), simulator.spec
+
+
+def _codes(violations):
+    return {v.code for v in violations}
+
+
+class _BadEnergy:
+    """Stand-in energy object whose total disagrees with its parts."""
+
+    def __init__(self, energy):
+        self._energy = energy
+
+    def __getattr__(self, name):
+        return getattr(self._energy, name)
+
+    @property
+    def total_mj(self):
+        return self._energy.total_mj + 1.0
+
+
+class TestAuditLayerResult:
+    def test_clean_result_has_no_violations(self, layer_result):
+        result, spec = layer_result
+        assert audit_layer_result(result, spec) == []
+
+    def test_negative_time_flagged(self, layer_result):
+        result, spec = layer_result
+        bad = dataclasses.replace(result, computation_time_s=-1.0)
+        assert "INV-TIME-NEG" in _codes(audit_layer_result(bad, spec))
+
+    def test_nan_flagged(self, layer_result):
+        result, spec = layer_result
+        bad = dataclasses.replace(result, communication_time_s=float("nan"))
+        assert "INV-NAN" in _codes(audit_layer_result(bad, spec))
+
+    def test_exposed_identity_enforced(self, layer_result):
+        result, spec = layer_result
+        bad = dataclasses.replace(
+            result,
+            exposed_communication_s=result.exposed_communication_s + 1.0,
+        )
+        assert "INV-TIME-EXPOSED" in _codes(audit_layer_result(bad, spec))
+
+    def test_negative_energy_flagged(self, layer_result):
+        result, spec = layer_result
+        bad_energy = dataclasses.replace(result.energy, mac_mj=-0.5)
+        bad = dataclasses.replace(result, energy=bad_energy)
+        assert "INV-ENERGY-NEG" in _codes(audit_layer_result(bad, spec))
+
+    def test_inconsistent_energy_total_flagged(self, layer_result):
+        result, spec = layer_result
+        bad = dataclasses.replace(result, energy=_BadEnergy(result.energy))
+        assert "INV-ENERGY-SUM" in _codes(audit_layer_result(bad, spec))
+
+    def test_negative_bytes_flagged(self, layer_result):
+        result, spec = layer_result
+        bad = dataclasses.replace(result, delivered_bytes=-3)
+        assert "INV-BYTES" in _codes(audit_layer_result(bad, spec))
+
+    def test_op_conservation(self, layer_result):
+        # Too few compute cycles cannot carry the layer's MAC count.
+        result, spec = layer_result
+        bad_mapping = dataclasses.replace(result.mapping, compute_cycles=1)
+        bad = dataclasses.replace(result, mapping=bad_mapping)
+        assert "INV-OPS" in _codes(audit_layer_result(bad, spec))
+
+    def test_computation_time_matches_cycles(self, layer_result):
+        result, spec = layer_result
+        bad = dataclasses.replace(
+            result, computation_time_s=result.computation_time_s * 2
+        )
+        assert "INV-OPS-TIME" in _codes(audit_layer_result(bad, spec))
+
+    def test_communication_lower_bound(self, layer_result):
+        # Zeroed communication time undercuts the GB serialisation floor.
+        result, spec = layer_result
+        bad = dataclasses.replace(result, communication_time_s=0.0)
+        assert "INV-COMM-LB" in _codes(audit_layer_result(bad, spec))
+
+    def test_roofline_bound(self, layer_result):
+        # An impossibly short execution implies super-peak throughput.
+        result, spec = layer_result
+        bad = dataclasses.replace(
+            result,
+            computation_time_s=1e-15,
+            communication_time_s=0.0,
+            exposed_communication_s=0.0,
+        )
+        assert "INV-ROOFLINE" in _codes(audit_layer_result(bad, spec))
+
+    def test_mapping_must_fit_machine(self, layer_result):
+        result, spec = layer_result
+        bad_mapping = dataclasses.replace(
+            result.mapping, chiplets_active=spec.chiplets + 1
+        )
+        bad = dataclasses.replace(result, mapping=bad_mapping)
+        assert "INV-MAP" in _codes(audit_layer_result(bad, spec))
+
+    def test_infinite_times_are_not_violations(self, layer_result):
+        # inf is the defined outcome of a zero-bandwidth link.
+        result, spec = layer_result
+        inf_result = dataclasses.replace(
+            result,
+            communication_time_s=math.inf,
+            exposed_communication_s=math.inf,
+        )
+        codes = _codes(audit_layer_result(inf_result, spec))
+        assert "INV-NAN" not in codes
+        assert "INV-TIME-NEG" not in codes
+        assert "INV-TIME-EXPOSED" not in codes
+
+    def test_violation_payload_is_structured(self, layer_result):
+        result, spec = layer_result
+        bad = dataclasses.replace(result, computation_time_s=-1.0)
+        violation = audit_layer_result(bad, spec)[0]
+        payload = violation.to_dict()
+        assert payload["code"]
+        assert payload["accelerator"] == result.accelerator
+        assert payload["layer"] == result.layer.name
+        assert "observed" in payload
+
+    def test_spec_checks_skipped_without_spec(self, layer_result):
+        result, _ = layer_result
+        bad_mapping = dataclasses.replace(result.mapping, compute_cycles=1)
+        bad = dataclasses.replace(
+            result,
+            mapping=bad_mapping,
+            computation_time_s=result.computation_time_s,
+        )
+        codes = _codes(audit_layer_result(bad))  # no spec
+        assert "INV-OPS" not in codes
+
+
+class TestAuditModelResult:
+    def test_clean_model_audits_empty(self):
+        simulator = spacx_simulator()
+        simulator.strict = False
+        result = simulator.simulate_model(get_model("MobileNetV2"))
+        assert audit_model_result(result, simulator.spec) == []
+
+    def test_shared_layer_results_audited_once(self, layer_result):
+        result, spec = layer_result
+        bad = dataclasses.replace(result, computation_time_s=-1.0)
+        model_result = ModelResult(
+            accelerator=spec.name, model="fake", layers=[bad, bad, bad]
+        )
+        violations = audit_model_result(model_result, spec)
+        assert len([v for v in violations if v.code == "INV-TIME-NEG"]) == 1
+
+    def test_empty_model_flagged(self):
+        empty = ModelResult(accelerator="m", model="nothing", layers=[])
+        assert "INV-EMPTY" in _codes(audit_model_result(empty))
+
+
+class TestRaiseOnViolations:
+    def test_noop_on_empty(self):
+        raise_on_violations([])
+
+    def test_raises_with_payload(self):
+        violations = [
+            InvariantViolation(code="INV-X", message="broken", layer="l1")
+        ]
+        with pytest.raises(InvariantViolationError) as excinfo:
+            raise_on_violations(violations, subject="test")
+        assert list(excinfo.value.violations) == violations
+        assert "INV-X" in str(excinfo.value)
+
+
+class TestStrictMode:
+    def test_env_default_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STRICT", raising=False)
+        assert strict_mode_default() is False
+        monkeypatch.setenv("REPRO_STRICT", "1")
+        assert strict_mode_default() is True
+        monkeypatch.setenv("REPRO_STRICT", "0")
+        assert strict_mode_default() is False
+        monkeypatch.setenv("REPRO_STRICT", "false")
+        assert strict_mode_default() is False
+
+    def test_simulator_honours_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STRICT", "1")
+        assert spacx_simulator().strict is True
+        monkeypatch.delenv("REPRO_STRICT")
+        assert spacx_simulator().strict is False
+
+    def test_strict_clean_simulation_passes(self):
+        simulator = spacx_simulator()
+        simulator.strict = True
+        result = simulator.simulate_model(get_model("MobileNetV2"))
+        assert result.execution_time_s > 0
+
+    def test_strict_flags_corrupt_results(self, monkeypatch):
+        simulator = spacx_simulator()
+        simulator.strict = True
+        original = Simulator.simulate_layer
+
+        def corrupting(self, layer, layer_by_layer=True):
+            was_strict, self.strict = self.strict, False
+            try:
+                result = original(self, layer, layer_by_layer)
+            finally:
+                self.strict = was_strict
+            bad = dataclasses.replace(result, computation_time_s=-1.0)
+            if self.strict:
+                from repro.core.invariants import (
+                    audit_layer_result,
+                    raise_on_violations,
+                )
+
+                raise_on_violations(audit_layer_result(bad, self.spec))
+            return bad
+
+        monkeypatch.setattr(Simulator, "simulate_layer", corrupting)
+        with pytest.raises(InvariantViolationError):
+            simulator.simulate_model(get_model("MobileNetV2"))
+
+
+class _CorruptingSimulator(Simulator):
+    """Produces results with a negative computation time (for tests)."""
+
+    def simulate_layer(self, layer, layer_by_layer=True):
+        result = super().simulate_layer(layer, layer_by_layer=layer_by_layer)
+        return dataclasses.replace(result, computation_time_s=-1.0)
+
+
+def _corrupting_spacx():
+    healthy = spacx_simulator()
+    sim = _CorruptingSimulator(
+        healthy.spec, healthy.compute_energy, healthy.network_energy,
+        strict=False,
+    )
+    return sim
+
+
+class TestSweepAudit:
+    def test_serial_corruption_becomes_job_failure(self):
+        runner = SweepRunner(cache=NullCache(), on_error="skip")
+        out = runner.run(
+            [SweepJob(_corrupting_spacx(), get_model("MobileNetV2"))]
+        )
+        assert out == [None]
+        assert len(runner.failures) == 1
+        failure = runner.failures[0]
+        assert failure.error_type == "InvariantViolationError"
+        assert failure.violations  # structured payload attached
+        assert failure.violations[0]["code"] == "INV-TIME-NEG"
+
+    def test_serial_corruption_raises_by_default(self):
+        runner = SweepRunner(cache=NullCache())
+        with pytest.raises(SweepJobError) as excinfo:
+            runner.run(
+                [SweepJob(_corrupting_spacx(), get_model("MobileNetV2"))]
+            )
+        assert excinfo.value.failure.error_type == "InvariantViolationError"
+
+    def test_audit_failures_are_not_retried(self):
+        runner = SweepRunner(cache=NullCache(), on_error="skip", retries=3)
+        runner.run([SweepJob(_corrupting_spacx(), get_model("MobileNetV2"))])
+        assert runner.failures[0].attempts == 1
+
+    def test_audit_can_be_disabled(self):
+        runner = SweepRunner(cache=NullCache(), audit=False)
+        out = runner.run(
+            [SweepJob(_corrupting_spacx(), get_model("MobileNetV2"))]
+        )
+        assert out[0] is not None  # corrupt result passes through
+
+    def test_parallel_corruption_becomes_job_failure(self):
+        runner = SweepRunner(
+            max_workers=2, cache=NullCache(), on_error="skip"
+        )
+        jobs = [
+            SweepJob(_corrupting_spacx(), get_model("MobileNetV2")),
+            SweepJob(spacx_simulator(), get_model("MobileNetV2")),
+        ]
+        out = runner.run(jobs)
+        if runner.used_fallback:
+            pytest.skip("worker pool unavailable on this platform")
+        assert out[0] is None
+        assert out[1] is not None
+        assert len(runner.failures) == 1
+        assert runner.failures[0].error_type == "InvariantViolationError"
+        assert runner.failures[0].violations
+
+    def test_healthy_sweep_unaffected_by_audit(self):
+        runner = SweepRunner(cache=NullCache())
+        out = runner.run(
+            [SweepJob(spacx_simulator(), get_model("MobileNetV2"))]
+        )
+        assert out[0] is not None
+        assert runner.failures == []
+
+
+class TestDivisionGuards:
+    def test_transfer_time_zero_bandwidth_is_inf(self):
+        with pytest.warns(ReproWarning):
+            assert _transfer_time_s(1024, 0.0) == math.inf
+
+    def test_transfer_time_zero_bytes_is_zero(self):
+        assert _transfer_time_s(0, 0.0) == 0.0
+
+    def test_packet_latency_zero_bandwidth_is_inf(self):
+        link = LinkLatency(hop_latency_s=1e-9, avg_hops=2.0)
+        with pytest.warns(ReproWarning):
+            assert link.packet_latency_s(0.0) == math.inf
+
+    def test_machine_ridge_zero_bandwidth_is_inf(self):
+        fake_spec = SimpleNamespace(
+            name="degenerate",
+            peak_macs_per_cycle=1024,
+            frequency_ghz=1.0,
+            gb_egress_gbps=0.0,
+        )
+        with pytest.warns(ReproWarning):
+            assert machine_ridge(fake_spec) == math.inf
+
+    def test_roof_fraction_zero_peak_is_inf(self):
+        point = RooflinePoint(
+            layer_name="l",
+            accelerator="m",
+            operational_intensity=1.0,
+            attainable_macs_per_s=1.0,
+            peak_macs_per_s=0.0,
+        )
+        with pytest.warns(ReproWarning):
+            assert point.roof_fraction == math.inf
+
+    def test_normal_paths_unchanged(self):
+        assert _transfer_time_s(1000, 1.0) == pytest.approx(8e-6)
+        link = LinkLatency(hop_latency_s=0.0, avg_hops=0.0)
+        assert link.packet_latency_s(32.0) > 0

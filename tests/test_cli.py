@@ -160,9 +160,105 @@ class TestFaultsCommand:
         second = capsys.readouterr().out
         assert first == second
 
-    def test_faults_rejects_empty_rates(self, restore_sweep_defaults):
-        with pytest.raises(SystemExit):
-            main(["faults", "--rates", ","])
+    def test_faults_rejects_empty_rates(self, capsys, restore_sweep_defaults):
+        assert main(["faults", "--rates", ","]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+    def test_faults_rejects_malformed_rates(
+        self, capsys, restore_sweep_defaults
+    ):
+        assert main(["faults", "--rates", "0.1,banana"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
+
+
+class TestDoctorCommand:
+    def test_doctor_default_is_clean(self, capsys, restore_sweep_defaults):
+        assert main(["doctor", "--no-simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "spacx: ok" in out
+        assert "0 error(s)" in out
+
+    def test_doctor_with_simulation(self, capsys, restore_sweep_defaults):
+        code = main(
+            ["doctor", "--machine", "spacx", "--model", "MobileNetV2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spacx [simulated]: ok" in out
+
+    def test_doctor_json_output(self, capsys, restore_sweep_defaults):
+        import json
+
+        code = main(
+            ["doctor", "--no-simulate", "--json", "--machine", "simba"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["errors"] == 0
+        assert any(r["subject"] == "simba" for r in payload["reports"])
+
+    def test_doctor_unknown_machine_exits_2(
+        self, capsys, restore_sweep_defaults
+    ):
+        assert main(["doctor", "--machine", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown machine" in err
+        assert "Traceback" not in err
+
+    def test_doctor_unknown_model_exits_2(
+        self, capsys, restore_sweep_defaults
+    ):
+        assert main(["doctor", "--model", "AlexNet-9000"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown model" in err
+        assert "Traceback" not in err
+
+    def test_doctor_broken_config_exits_nonzero(
+        self, capsys, restore_sweep_defaults, tmp_path
+    ):
+        config = tmp_path / "broken.json"
+        config.write_text('{"machine": "spacx", "laser_power_mw": -3}')
+        assert main(["doctor", "--config", str(config)]) == 1
+        out = capsys.readouterr().out
+        assert "PHO-LASER" in out
+
+    def test_doctor_overdense_wdm_exits_nonzero(
+        self, capsys, restore_sweep_defaults, tmp_path
+    ):
+        config = tmp_path / "dense.json"
+        config.write_text(
+            '{"machine": "spacx", "wavelengths_per_waveguide": 96}'
+        )
+        assert main(["doctor", "--config", str(config)]) == 1
+        out = capsys.readouterr().out
+        assert "PHO-WDM-DENSITY" in out
+
+    def test_doctor_malformed_config_exits_2(
+        self, capsys, restore_sweep_defaults, tmp_path
+    ):
+        config = tmp_path / "malformed.json"
+        config.write_text("this is not JSON {")
+        assert main(["doctor", "--config", str(config)]) == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err
+        assert "Traceback" not in err
+
+    def test_doctor_missing_config_exits_2(
+        self, capsys, restore_sweep_defaults, tmp_path
+    ):
+        assert main(["doctor", "--config", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read config" in capsys.readouterr().err
+
+    def test_doctor_all_static(self, capsys, restore_sweep_defaults):
+        assert main(["doctor", "--all", "--no-simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "spacx-ba: ok" in out
+        assert "spacx-aggressive: ok" in out
 
 
 class TestResilienceFlags:
