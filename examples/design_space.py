@@ -1,16 +1,52 @@
 #!/usr/bin/env python3
-"""Design-space studies: the co-design matrix, the granularity Pareto
-front and substrate-constant sensitivity -- the reproduction's
-extension experiments beyond the paper's figures.
+"""Design-space studies: a pruned branch-and-bound search, the
+co-design matrix, the granularity Pareto front and substrate-constant
+sensitivity -- the reproduction's extension experiments beyond the
+paper's figures.
 
 Run:  python examples/design_space.py
 """
 
+from repro.dse import SearchEngine, SearchSpace
 from repro.experiments import format_table
 from repro.experiments.codesign import codesign_matrix, codesign_means
 from repro.experiments.pareto import granularity_pareto_study
 from repro.experiments.sensitivity import wavelength_rate_sensitivity
 from repro.viz import bar_chart
+
+
+def show_search() -> None:
+    """Branch-and-bound over granularity x dataflow: the admissible
+    roofline bounds prove most candidates away without simulating
+    them, yet the argmin is bit-identical to exhaustive search."""
+    print("=== pruned design-space search (repro.dse) ===")
+    space = SearchSpace.from_dict(
+        {
+            "machine": ["spacx"],
+            "dataflow": ["spacx", "ws", "os_ef"],
+            "k_granularity": [8, 16],
+            "ef_granularity": [8, 16],
+            "model": ["MobileNetV2"],
+        }
+    )
+    result = SearchEngine(space, objective="execution_time").search("pruned")
+    best = result.best
+    rows = [
+        [
+            s.config_dict()["dataflow"],
+            s.config_dict()["k_granularity"],
+            s.config_dict()["ef_granularity"],
+            f"{s.execution_time_s * 1e3:.3f}",
+            "best" if s is best else "",
+        ]
+        for s in result.ranked()
+    ]
+    print(format_table(["dataflow", "k", "e/f", "exec (ms)", ""], rows))
+    print(
+        f"\nSimulated {result.n_evaluated} of {result.n_feasible} feasible "
+        f"candidates; {result.n_pruned} pruned by admissible lower bounds "
+        "-- same optimum as exhaustive search, certified.\n"
+    )
 
 
 def show_codesign() -> None:
@@ -68,6 +104,7 @@ def show_sensitivity() -> None:
 
 
 def main() -> None:
+    show_search()
     show_codesign()
     show_pareto()
     show_sensitivity()

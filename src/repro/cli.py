@@ -228,6 +228,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="static validation only (skip the simulated invariant audit)",
     )
 
+    from .dse.presets import PRESETS
+    from .dse.search import OBJECTIVES, STRATEGIES, VALIDATION_MODES
+
+    search = subparsers.add_parser(
+        "search",
+        help="design-space exploration: find the best configuration in "
+        "a preset or JSON-defined space",
+    )
+    search.add_argument(
+        "--space",
+        default="tiny",
+        metavar="PRESET|FILE",
+        help=f"a preset name ({', '.join(sorted(PRESETS))}) or a JSON "
+        "space file (default: tiny)",
+    )
+    search.add_argument(
+        "--objective",
+        choices=list(OBJECTIVES),
+        default=None,
+        help="scalar to minimise (default: the preset's objective, "
+        "or edp for JSON spaces)",
+    )
+    search.add_argument(
+        "--strategy",
+        choices=list(STRATEGIES),
+        default="pruned",
+        help="pruned = branch-and-bound with admissible roofline "
+        "bounds, bit-identical argmin to exhaustive (default)",
+    )
+    search.add_argument(
+        "--validation",
+        choices=list(VALIDATION_MODES),
+        default=None,
+        help="pre-simulation feasibility filter (default: the "
+        "preset's mode, or physics for JSON spaces)",
+    )
+    search.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="show the N best evaluated configurations (default 10)",
+    )
+    search.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the full search result as JSON",
+    )
+
     return parser
 
 
@@ -472,6 +522,90 @@ def _command_doctor(args: argparse.Namespace) -> int:
     return 0 if n_errors == 0 else 1
 
 
+def _load_search_space(token: str):
+    """Resolve ``--space``: preset name, else JSON space file.
+
+    Returns ``(space, preset-or-None)``.
+    """
+    import os
+
+    from .dse.presets import PRESETS, get_preset
+    from .dse.space import SearchSpace
+
+    if token in PRESETS:
+        preset = get_preset(token)
+        return preset.space(), preset
+    if token.endswith(".json") or os.sep in token:
+        try:
+            with open(token, encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except OSError as exc:
+            raise ConfigError(f"cannot read space {token!r}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"space {token!r} is not valid JSON: {exc}")
+        return SearchSpace.from_dict(raw), None
+    raise ConfigError(
+        f"unknown space {token!r}; choose a preset from "
+        f"{sorted(PRESETS)} or pass a JSON space file"
+    )
+
+
+def _command_search(args: argparse.Namespace) -> int:
+    from .dse.search import SearchEngine
+
+    space, preset = _load_search_space(args.space)
+    objective = args.objective or (preset.objective if preset else "edp")
+    validation = args.validation or (
+        preset.validation if preset else "physics"
+    )
+    engine = SearchEngine(space, objective=objective, validation=validation)
+    result = engine.search(strategy=args.strategy)
+
+    if args.as_json:
+        print(json.dumps(result.to_dict(top=args.top), indent=2))
+        return 0 if result.best is not None else 1
+
+    headers = ["#", "configuration", "exec (ms)", "E (mJ)", "EDP", "mean util"]
+    rows = [
+        [
+            s.index,
+            ", ".join(f"{k}={v}" for k, v in s.config),
+            s.execution_time_s * 1e3,
+            s.energy_mj,
+            s.edp,
+            s.mean_utilization,
+        ]
+        for s in result.ranked()[: args.top]
+    ]
+    print(format_table(headers, rows))
+    print()
+    print(
+        f"space {args.space!r}: {result.n_candidates} candidate(s), "
+        f"{result.n_feasible} feasible, {result.n_evaluated} evaluated, "
+        f"{result.n_pruned} pruned, {result.n_rejected} rejected"
+        + (
+            f", {result.n_proxy_evaluated} proxy evaluation(s)"
+            if result.n_proxy_evaluated
+            else ""
+        )
+    )
+    for failure in result.failures:
+        print(f"  failed: {failure.describe()}")
+    best = result.best
+    if best is None:
+        print(
+            f"no feasible configuration evaluated "
+            f"(objective={objective}, strategy={args.strategy})"
+        )
+        return 1
+    config = ", ".join(f"{k}={v}" for k, v in best.config)
+    print(
+        f"best (objective={objective}, strategy={args.strategy}): "
+        f"{config} -> {best.objective(objective):.6g}"
+    )
+    return 0
+
+
 _COMMANDS = {
     "run": _command_run,
     "report": _command_report,
@@ -480,6 +614,7 @@ _COMMANDS = {
     "layers": _command_layers,
     "faults": _command_faults,
     "doctor": _command_doctor,
+    "search": _command_search,
 }
 
 

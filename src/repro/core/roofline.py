@@ -15,11 +15,18 @@ from dataclasses import dataclass
 
 from ..errors import ReproWarning
 from .accelerator import AcceleratorSpec
+from .invariants import _transfer_lower_bound_s
 from .layer import ConvLayer
-from .mapping import map_layer
-from .traffic import derive_traffic
+from .mapping import Mapping, map_layer
+from .traffic import TrafficSummary, derive_traffic
 
-__all__ = ["RooflinePoint", "roofline_point", "machine_ridge"]
+__all__ = [
+    "RooflinePoint",
+    "roofline_point",
+    "machine_ridge",
+    "mapped_time_floor_s",
+    "time_lower_bound",
+]
 
 
 @dataclass(frozen=True)
@@ -107,3 +114,76 @@ def roofline_point(
         attainable_macs_per_s=attainable,
         peak_macs_per_s=peak_macs_per_s,
     )
+
+
+def mapped_time_floor_s(
+    spec: AcceleratorSpec, mapping: Mapping, traffic: TrafficSummary
+) -> float:
+    """Admissible execution-time floor for an already-mapped layer.
+
+    The simulator reports ``execution_time_s = comp + max(0, comm - comp)
+    = max(comp, comm)`` where ``comp`` is exactly
+    ``mapping.compute_cycles * spec.cycle_time_s`` (pinned by the
+    INV-OPS-TIME invariant) and ``comm`` is at least each of the
+    per-resource transfer floors checked by the invariant auditor
+    (INV-COMM-LB): global-buffer egress (split-aware under bandwidth
+    allocation), global-buffer ingress of outputs, and DRAM traffic.
+    Taking the max of those floors therefore never exceeds the
+    simulated time — the admissibility property branch-and-bound
+    pruning relies on — and is *exact* whenever the layer is compute-,
+    GB- or DRAM-bound.
+    """
+    compute_floor = mapping.compute_cycles * spec.cycle_time_s
+    if spec.gb_weight_egress_gbps and spec.gb_ifmap_egress_gbps:
+        gb_floor = max(
+            _transfer_lower_bound_s(
+                traffic.gb_weight_send_bytes, spec.gb_weight_egress_gbps
+            ),
+            _transfer_lower_bound_s(
+                traffic.gb_ifmap_send_bytes, spec.gb_ifmap_egress_gbps
+            ),
+        )
+    else:
+        gb_floor = _transfer_lower_bound_s(
+            traffic.gb_send_bytes, spec.gb_egress_gbps
+        )
+    ingress_floor = _transfer_lower_bound_s(
+        traffic.output_bytes, spec.gb_ingress_gbps
+    )
+    dram_floor = _transfer_lower_bound_s(
+        traffic.dram_read_bytes + traffic.dram_write_bytes,
+        spec.dram_bandwidth_gbps,
+    )
+    return max(compute_floor, gb_floor, ingress_floor, dram_floor)
+
+
+def time_lower_bound(
+    spec: AcceleratorSpec,
+    layer: ConvLayer,
+    batch: int | None = None,
+    *,
+    layer_by_layer: bool = False,
+) -> float:
+    """Admissible lower bound on one layer's simulated execution time.
+
+    Maps the layer with the machine's own mapper and derives its real
+    package traffic, then applies :func:`mapped_time_floor_s`.  The
+    result never exceeds ``Simulator.simulate_layer(...).execution_time_s``
+    for the same (machine, layer, batch) — see the zoo-wide
+    admissibility test in ``tests/core/test_roofline.py`` — which makes
+    it safe to prune design-space candidates whose bound already beats
+    the incumbent without ever invoking the simulator.
+
+    ``batch`` overrides the layer's batch size when given (the common
+    design-space case where batch is a search dimension).
+    """
+    if batch is not None and batch != layer.batch:
+        layer = layer.with_batch(batch)
+    mapping = map_layer(layer, spec.mapping_parameters(), spec.dataflow)
+    traffic = derive_traffic(
+        mapping,
+        spec.capabilities,
+        layer_by_layer=layer_by_layer,
+        gb_bytes=spec.gb_bytes,
+    )
+    return mapped_time_floor_s(spec, mapping, traffic)

@@ -1,0 +1,86 @@
+"""Design-space exploration for the SPACX reproduction.
+
+The paper's evaluation is a design-space story -- broadcast
+granularities (Section V), dataflow choice (Fig. 17), bandwidth
+allocation (Fig. 18), chiplet scaling (Fig. 22) -- and this package
+turns the repo's hand-rolled study loops into one reusable search
+subsystem:
+
+* :mod:`~repro.dse.space` -- declarative, validated
+  :class:`SearchSpace` definitions with deterministic candidate
+  enumeration;
+* :mod:`~repro.dse.bounds` -- admissible objective lower bounds from
+  the roofline/invariant machinery (no simulation needed);
+* :mod:`~repro.dse.search` -- the :class:`SearchEngine` with
+  exhaustive, branch-and-bound pruned (bit-identical argmin) and
+  successive-halving strategies, all dispatching through the sweep
+  runner's cache/parallelism/resume/audit stack;
+* :mod:`~repro.dse.frontier` -- deterministic multi-objective Pareto
+  fronts, dominance ranks and paper-point slack;
+* :mod:`~repro.dse.presets` -- the paper's study grids as named
+  spaces for ``repro search``.
+"""
+
+from .bounds import (
+    model_energy_lower_bound_mj,
+    model_time_lower_bound_s,
+    objective_lower_bound,
+    static_network_power_w,
+)
+from .frontier import (
+    DEFAULT_OBJECTIVES,
+    ParetoFrontier,
+    build_frontier,
+    dominance_ranks,
+    dominates,
+    pareto_front,
+)
+from .presets import PRESETS, Preset, get_preset
+from .search import (
+    OBJECTIVES,
+    STRATEGIES,
+    VALIDATION_MODES,
+    CandidateScore,
+    PrunedCandidate,
+    RejectedCandidate,
+    SearchEngine,
+    SearchResult,
+)
+from .space import (
+    Candidate,
+    Dimension,
+    SearchSpace,
+    build_simulator,
+    paper_suite,
+    resolve_workload,
+)
+
+__all__ = [
+    "Candidate",
+    "CandidateScore",
+    "DEFAULT_OBJECTIVES",
+    "Dimension",
+    "OBJECTIVES",
+    "PRESETS",
+    "ParetoFrontier",
+    "Preset",
+    "PrunedCandidate",
+    "RejectedCandidate",
+    "STRATEGIES",
+    "SearchEngine",
+    "SearchResult",
+    "SearchSpace",
+    "VALIDATION_MODES",
+    "build_frontier",
+    "build_simulator",
+    "dominance_ranks",
+    "dominates",
+    "get_preset",
+    "model_energy_lower_bound_mj",
+    "model_time_lower_bound_s",
+    "objective_lower_bound",
+    "paper_suite",
+    "pareto_front",
+    "resolve_workload",
+    "static_network_power_w",
+]

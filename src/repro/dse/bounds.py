@@ -1,0 +1,152 @@
+"""Admissible objective lower bounds -- no simulation required.
+
+Branch-and-bound pruning is only correct when the bound never exceeds
+the true objective value (*admissibility*).  Every bound here derives
+from quantities the simulator itself is pinned to by the invariant
+auditor (:mod:`repro.core.invariants`):
+
+* **time** -- ``execution_time_s = max(compute, communication)`` per
+  layer, with compute exactly ``compute_cycles * cycle_time_s``
+  (INV-OPS-TIME) and communication at least every per-resource
+  transfer floor (INV-COMM-LB).
+  :func:`repro.core.roofline.time_lower_bound` takes the max of those
+  floors, so it is a true floor -- and *exact* for compute-, GB- or
+  DRAM-bound layers, which is what makes pruning effective;
+* **energy** -- MAC, global-buffer and DRAM energy are pure functions
+  of the mapping and traffic (no simulation), and the total always
+  additionally contains PE-buffer and network energy, so their sum is
+  a strict floor;
+* **edp** -- the product of two admissible floors of two positive
+  totals is a floor of the product;
+* **static power** -- a pure function of the network topology: the
+  "bound" is *exact*, so pruning on it is perfect.
+
+Model-level bounds sum per-layer floors over unique layers weighted
+by multiplicity -- exactly how ``simulate_model`` accumulates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.mapping import map_layer
+from ..core.roofline import mapped_time_floor_s, time_lower_bound
+from ..core.traffic import derive_traffic
+from ..errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.layer import ConvLayer, LayerSet
+    from ..core.simulator import Simulator
+
+__all__ = [
+    "layer_bounds",
+    "model_energy_lower_bound_mj",
+    "model_time_lower_bound_s",
+    "objective_lower_bound",
+    "static_network_power_w",
+    "time_lower_bound",
+]
+
+
+def layer_bounds(
+    simulator: "Simulator",
+    layer: "ConvLayer",
+    *,
+    layer_by_layer: bool = False,
+) -> tuple[float, float]:
+    """(time floor [s], energy floor [mJ]) for one layer.
+
+    One shared mapping/traffic derivation feeds both floors, so the
+    bound for a whole space costs a few microseconds per layer where a
+    simulation costs milliseconds.
+    """
+    spec = simulator.spec
+    mapping = map_layer(layer, spec.mapping_parameters(), spec.dataflow)
+    traffic = derive_traffic(
+        mapping,
+        spec.capabilities,
+        layer_by_layer=layer_by_layer,
+        gb_bytes=spec.gb_bytes,
+    )
+    time_floor = mapped_time_floor_s(spec, mapping, traffic)
+    energy = simulator.compute_energy
+    energy_floor = (
+        energy.mac_energy_mj(layer, mapping)
+        + energy.gb_energy_mj(traffic)
+        + energy.dram_energy_mj(traffic)
+    )
+    return time_floor, energy_floor
+
+
+def model_time_lower_bound_s(
+    simulator: "Simulator", model: "LayerSet", *, layer_by_layer: bool = False
+) -> float:
+    """Admissible floor on ``simulate_model(model).execution_time_s``."""
+    spec = simulator.spec
+    return sum(
+        model.multiplicity(layer)
+        * time_lower_bound(spec, layer, layer_by_layer=layer_by_layer)
+        for layer in model.unique_layers
+    )
+
+
+def model_energy_lower_bound_mj(
+    simulator: "Simulator", model: "LayerSet", *, layer_by_layer: bool = False
+) -> float:
+    """Admissible floor on ``simulate_model(model).energy.total_mj``."""
+    return sum(
+        model.multiplicity(layer)
+        * layer_bounds(simulator, layer, layer_by_layer=layer_by_layer)[1]
+        for layer in model.unique_layers
+    )
+
+
+def static_network_power_w(simulator: "Simulator") -> float | None:
+    """Exact static network power [W], or ``None`` for machines whose
+    energy model has no standing-power report (the electrical
+    baselines)."""
+    report = getattr(simulator.network_energy, "report", None)
+    if report is None:
+        return None
+    return report().overall_w
+
+
+def objective_lower_bound(
+    simulator: "Simulator",
+    model: "LayerSet",
+    objective: str,
+    *,
+    layer_by_layer: bool = False,
+) -> float:
+    """Admissible lower bound on one candidate's objective value.
+
+    Admissibility per objective is proven layer-wise (module
+    docstring) and verified zoo-wide in ``tests/dse/test_bounds.py``.
+    """
+    if objective == "static_power":
+        power = static_network_power_w(simulator)
+        return 0.0 if power is None else power
+
+    spec = simulator.spec
+    time_floor = 0.0
+    energy_floor = 0.0
+    for layer in model.unique_layers:
+        count = model.multiplicity(layer)
+        if objective == "execution_time":
+            time_floor += count * time_lower_bound(
+                spec, layer, layer_by_layer=layer_by_layer
+            )
+            continue
+        t, e = layer_bounds(simulator, layer, layer_by_layer=layer_by_layer)
+        time_floor += count * t
+        energy_floor += count * e
+    if objective == "execution_time":
+        return time_floor
+    if objective == "energy":
+        return energy_floor
+    if objective == "edp":
+        return time_floor * energy_floor
+    raise ConfigError(
+        f"unknown objective {objective!r}; choose from "
+        "('execution_time', 'energy', 'edp', 'static_power')"
+    )

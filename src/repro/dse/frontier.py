@@ -1,0 +1,254 @@
+"""Multi-objective Pareto frontiers with deterministic tie-breaking.
+
+The design-space engine ranks candidates under a *scalar* objective,
+but the interesting answers are usually trade-off curves: execution
+time vs static network power (the axes the paper balances when it
+settles on e/f = 8 / k = 16), or time vs energy.  This module is the
+single home for that dominance arithmetic:
+
+* :func:`pareto_front` -- the non-dominated subset, with two
+  hardening guarantees the old ad-hoc implementation in
+  ``repro.experiments.pareto`` lacked: points whose objective vectors
+  are *bit-identical* are collapsed to the first occurrence (so a
+  duplicated configuration cannot appear on the front twice), and the
+  returned order is a pure function of the objective vectors plus the
+  input order (sorted by vector, first-occurrence index as the final
+  tie-break) -- never of hash order or float noise;
+* :func:`dominance_ranks` -- iterative front peeling (rank 0 is the
+  Pareto front, rank 1 the front of what remains, ...);
+* :class:`ParetoFrontier` -- the full picture for one candidate set:
+  vectors, ranks, front membership and per-point *slack*, the relative
+  distance to the front used to judge the paper's operating point.
+
+Everything here is generic: points may be any object exposing an
+``objective(name) -> float`` method (``ConfigurationScore``,
+``CandidateScore``), any plain sequence of numbers, or anything else
+via an explicit ``key`` callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from ..errors import ConfigError
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "ParetoFrontier",
+    "build_frontier",
+    "dominance_ranks",
+    "dominates",
+    "objective_vector",
+    "pareto_front",
+]
+
+#: The axes the paper's granularity study balances.
+DEFAULT_OBJECTIVES: tuple[str, ...] = ("execution_time", "static_power")
+
+Vector = tuple[float, ...]
+
+
+def objective_vector(
+    point: Any,
+    objectives: Sequence[str],
+    key: Callable[[Any], Sequence[float]] | None = None,
+) -> Vector:
+    """Extract one point's objective vector.
+
+    Resolution order: an explicit ``key`` callable wins; otherwise an
+    ``objective(name)`` method (the score-object protocol shared by
+    :class:`~repro.spacx.advisor.ConfigurationScore` and
+    :class:`~repro.dse.search.CandidateScore`); otherwise the point is
+    taken to *be* a numeric sequence and ``objectives`` only names its
+    axes.
+    """
+    if key is not None:
+        return tuple(float(v) for v in key(point))
+    getter = getattr(point, "objective", None)
+    if callable(getter):
+        return tuple(float(getter(name)) for name in objectives)
+    try:
+        return tuple(float(v) for v in point)
+    except TypeError:
+        raise ConfigError(
+            f"cannot extract an objective vector from {point!r}: "
+            "pass a key callable, a sequence of numbers, or an object "
+            "with an objective(name) method"
+        ) from None
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and strictly
+    better somewhere (minimisation on every axis)."""
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def _vectors(
+    points: Sequence[Any],
+    objectives: Sequence[str],
+    key: Callable[[Any], Sequence[float]] | None,
+) -> list[Vector]:
+    vectors = [objective_vector(p, objectives, key) for p in points]
+    widths = {len(v) for v in vectors}
+    if len(widths) > 1:
+        raise ConfigError(
+            f"inconsistent objective-vector lengths {sorted(widths)}; "
+            "every point must expose the same axes"
+        )
+    return vectors
+
+
+def pareto_front(
+    points: Iterable[Any],
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+    *,
+    key: Callable[[Any], Sequence[float]] | None = None,
+) -> list[Any]:
+    """The non-dominated subset of ``points``, deterministically ordered.
+
+    Guarantees (property-tested in ``tests/dse/test_frontier.py``):
+
+    * no returned point is dominated by *any* input point;
+    * every input point is either on the front, dominated by a front
+      member, or a duplicate (bit-identical vector) of a front member;
+    * duplicate vectors collapse to their first occurrence in input
+      order, so the front never repeats a trade-off point;
+    * the result is sorted by objective vector (then first-occurrence
+      index), so permuting equal inputs cannot reshuffle the output.
+    """
+    pts = list(points)
+    vectors = _vectors(pts, objectives, key)
+    first: dict[Vector, int] = {}
+    for i, v in enumerate(vectors):
+        first.setdefault(v, i)
+    unique = sorted((v, i) for v, i in first.items())
+    front = [
+        (v, i)
+        for v, i in unique
+        if not any(dominates(w, v) for w, _ in unique)
+    ]
+    return [pts[i] for _, i in front]
+
+
+def dominance_ranks(
+    points: Sequence[Any],
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+    *,
+    key: Callable[[Any], Sequence[float]] | None = None,
+) -> list[int]:
+    """Front-peeling ranks: 0 for the Pareto front, 1 for the front of
+    the remainder, and so on.  Duplicate vectors share one rank."""
+    vectors = _vectors(list(points), objectives, key)
+    n = len(vectors)
+    ranks = [-1] * n
+    remaining = set(range(n))
+    rank = 0
+    while remaining:
+        layer = {
+            i
+            for i in remaining
+            if not any(
+                dominates(vectors[j], vectors[i]) for j in remaining
+            )
+        }
+        if not layer:  # pragma: no cover - dominance is irreflexive
+            layer = set(remaining)
+        for i in layer:
+            ranks[i] = rank
+        remaining -= layer
+        rank += 1
+    return ranks
+
+
+@dataclass(frozen=True)
+class ParetoFrontier:
+    """Dominance structure of one candidate set under fixed objectives."""
+
+    objectives: tuple[str, ...]
+    points: tuple[Any, ...]
+    vectors: tuple[Vector, ...]
+    ranks: tuple[int, ...]
+    front_indexes: tuple[int, ...]
+
+    @property
+    def front(self) -> list[Any]:
+        """The non-dominated points, deterministically ordered."""
+        return [self.points[i] for i in self.front_indexes]
+
+    def rank_of(self, index: int) -> int:
+        """Peeling rank of input point ``index`` (0 = on the front)."""
+        return self.ranks[index]
+
+    def slack(self, index: int, primary: int = 0) -> float:
+        """Relative gap on the ``primary`` objective between point
+        ``index`` and the best front member that is no worse on every
+        *other* objective.
+
+        This is the paper-point question generalised: "how much
+        execution time does (k=16, e/f=8) give up against a front
+        configuration with no more static power?"  0.0 for points on
+        the front (they are their own reference) and for points whose
+        other-axis budget no front member meets.
+        """
+        if not 0 <= primary < len(self.objectives):
+            raise ConfigError(
+                f"primary axis {primary} out of range for "
+                f"{len(self.objectives)} objectives"
+            )
+        v = self.vectors[index]
+        candidates = [
+            self.vectors[i]
+            for i in self.front_indexes
+            if all(
+                self.vectors[i][j] <= v[j] * (1 + 1e-9)
+                for j in range(len(v))
+                if j != primary
+            )
+        ]
+        if not candidates or v[primary] <= 0:
+            return 0.0
+        best = min(c[primary] for c in candidates)
+        return max(0.0, (v[primary] - best) / v[primary])
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (vectors, ranks, front membership)."""
+        return {
+            "objectives": list(self.objectives),
+            "n_points": len(self.points),
+            "front_indexes": list(self.front_indexes),
+            "ranks": list(self.ranks),
+            "front": [list(self.vectors[i]) for i in self.front_indexes],
+        }
+
+
+def build_frontier(
+    points: Iterable[Any],
+    objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+    *,
+    key: Callable[[Any], Sequence[float]] | None = None,
+) -> ParetoFrontier:
+    """Compute the full :class:`ParetoFrontier` for ``points``."""
+    pts = tuple(points)
+    vectors = tuple(_vectors(pts, objectives, key))
+    ranks = tuple(dominance_ranks(pts, objectives, key=key))
+    first: dict[Vector, int] = {}
+    for i, v in enumerate(vectors):
+        first.setdefault(v, i)
+    front = tuple(
+        i
+        for _, i in sorted(
+            (v, i)
+            for v, i in first.items()
+            if ranks[i] == 0
+        )
+    )
+    return ParetoFrontier(
+        objectives=tuple(objectives),
+        points=pts,
+        vectors=vectors,
+        ranks=ranks,
+        front_indexes=front,
+    )

@@ -1,0 +1,144 @@
+"""Built-in search spaces reproducing the paper's studies.
+
+Each preset bundles a space builder with the objective and validation
+mode the corresponding study uses, so ``repro search --space NAME``
+(and the tests/benchmarks) get the paper's exact candidate grids:
+
+* ``tiny`` -- a 2x2 granularity corner on MobileNetV2; the smoke
+  space CI searches on every run;
+* ``fig17-dataflow`` -- the Fig. 17 ablation: SPACX under all three
+  dataflows across the four evaluation models;
+* ``fig18-bandwidth`` -- the Fig. 18 ablation: Simba vs SPACX vs
+  SPACX-BA across the four evaluation models;
+* ``granularity-pareto`` -- the Section V granularity grid (e/f, k in
+  {4, 8, 16, 32}) over the concatenated paper suite, the space behind
+  :func:`repro.experiments.pareto.granularity_pareto_study`.  This one
+  validates *structurally* only: the physics mode would reject the
+  fully-coarse corners (their Eq. 2 link budget does not close under
+  the launch-power ceiling), and the study deliberately includes them
+  to show where the wall is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ConfigError
+from .space import PAPER_SUITE, SearchSpace
+
+__all__ = ["PRESETS", "Preset", "get_preset"]
+
+#: The paper's four evaluation models (Table of workloads).
+_EVALUATION_MODELS = (
+    "ResNet-50",
+    "VGG-16",
+    "DenseNet-201",
+    "EfficientNet-B7",
+)
+
+
+@dataclass(frozen=True)
+class Preset:
+    """A named, self-describing search space."""
+
+    name: str
+    description: str
+    objective: str
+    validation: str
+    build: Callable[[], SearchSpace]
+
+    def space(self) -> SearchSpace:
+        """Construct the space (cheap; spaces are declarative)."""
+        return self.build()
+
+
+def _tiny() -> SearchSpace:
+    return SearchSpace.from_dict(
+        {
+            "machine": ["spacx"],
+            "k_granularity": [8, 16],
+            "ef_granularity": [8, 16],
+            "model": ["MobileNetV2"],
+        }
+    )
+
+
+def _fig17_dataflow() -> SearchSpace:
+    return SearchSpace.from_dict(
+        {
+            "machine": ["spacx"],
+            "dataflow": ["ws", "os_ef", "spacx"],
+            "model": list(_EVALUATION_MODELS),
+        }
+    )
+
+
+def _fig18_bandwidth() -> SearchSpace:
+    return SearchSpace.from_dict(
+        {
+            "machine": ["simba", "spacx", "spacx-ba"],
+            "model": list(_EVALUATION_MODELS),
+        }
+    )
+
+
+def _granularity_pareto() -> SearchSpace:
+    return SearchSpace.from_dict(
+        {
+            "machine": ["spacx"],
+            "k_granularity": [4, 8, 16, 32],
+            "ef_granularity": [4, 8, 16, 32],
+            "model": [PAPER_SUITE],
+        }
+    )
+
+
+PRESETS: dict[str, Preset] = {
+    preset.name: preset
+    for preset in (
+        Preset(
+            name="tiny",
+            description="2x2 granularity corner on MobileNetV2 (smoke)",
+            objective="execution_time",
+            validation="physics",
+            build=_tiny,
+        ),
+        Preset(
+            name="fig17-dataflow",
+            description="Fig. 17: dataflow ablation across the paper suite",
+            objective="execution_time",
+            validation="physics",
+            build=_fig17_dataflow,
+        ),
+        Preset(
+            name="fig18-bandwidth",
+            description=(
+                "Fig. 18: Simba vs SPACX vs SPACX-BA across the paper suite"
+            ),
+            objective="execution_time",
+            validation="physics",
+            build=_fig18_bandwidth,
+        ),
+        Preset(
+            name="granularity-pareto",
+            description=(
+                "Section V: full e/f x k granularity grid on the paper suite"
+            ),
+            objective="edp",
+            validation="structural",
+            build=_granularity_pareto,
+        ),
+    )
+}
+
+
+def get_preset(name: str) -> Preset:
+    """Look up a preset; unknown names raise :class:`ConfigError`."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown preset space {name!r}; "
+            f"choose from {sorted(PRESETS)} or pass a JSON space file"
+        ) from None

@@ -1,0 +1,550 @@
+"""The design-space search engine.
+
+One engine, three strategies, all dispatching surviving candidates
+through the existing :class:`~repro.core.batch.SweepRunner` -- so a
+search inherits process parallelism, the content-addressed result
+cache, retries/timeouts, campaign resume and strict-mode invariant
+auditing without any code of its own:
+
+* ``exhaustive`` -- evaluate every feasible candidate (ground truth);
+* ``pruned`` -- branch-and-bound: candidates are ordered by their
+  admissible lower bound (:mod:`repro.dse.bounds`) and evaluated in
+  runner-sized chunks; once the incumbent (best value seen) drops
+  below the next bound, everything remaining is pruned *without ever
+  touching the simulator*.  Because the bounds are admissible and the
+  tie-break (objective value, candidate index) matches the exhaustive
+  path exactly, the argmin is **bit-identical** to exhaustive search
+  -- only the evaluation count differs;
+* ``halving`` -- successive halving: rungs evaluate survivors on
+  growing *prefixes* of the workload's unique layers and keep the
+  better half, then the finalists run the full workload.  A documented
+  heuristic (layer prefixes are proxies, so no optimality guarantee),
+  but cache-friendly: proxy layers are shared with the full workload,
+  so the final rung's cache is already warm.
+
+Feasibility is filtered *before* simulation in three selectable
+modes: ``"none"`` (structural :meth:`SearchSpace.diagnose` only --
+the divisibility rules that prevent the topology's silent ``min()``
+clamp), ``"structural"`` (plus :func:`repro.validate.validate_spec`
+errors) and ``"physics"`` (plus the full
+:func:`repro.validate.validate_simulator` physics audit -- Eq. 2 link
+budget, WDM density).  Simulators are memoised per machine-shaping
+key, so a space sweeping models or batches over one machine builds
+that machine once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from ..core.batch import SweepJob, SweepRunner
+from ..core.layer import LayerSet
+from ..core.metrics import ModelResult
+from ..core.simulator import Simulator
+from ..errors import ConfigError
+from .bounds import objective_lower_bound, static_network_power_w
+from .frontier import ParetoFrontier, build_frontier
+from .space import Candidate, SearchSpace, build_simulator, resolve_workload
+
+__all__ = [
+    "OBJECTIVES",
+    "STRATEGIES",
+    "VALIDATION_MODES",
+    "CandidateScore",
+    "PrunedCandidate",
+    "RejectedCandidate",
+    "SearchEngine",
+    "SearchResult",
+]
+
+#: Scalar objectives a search can minimise.
+OBJECTIVES = ("execution_time", "energy", "edp", "static_power")
+
+#: Search strategies.
+STRATEGIES = ("exhaustive", "pruned", "halving")
+
+#: Pre-simulation feasibility filters, weakest to strongest.
+VALIDATION_MODES = ("none", "structural", "physics")
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """Simulation outcome of one candidate, ready for ranking."""
+
+    index: int
+    config: tuple[tuple[str, Any], ...]
+    execution_time_s: float
+    energy_mj: float
+    static_network_power_w: float | None
+    mean_utilization: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (mJ * s)."""
+        return self.energy_mj * self.execution_time_s
+
+    def objective(self, name: str) -> float:
+        """The scalar this candidate is ranked by."""
+        if name == "execution_time":
+            return self.execution_time_s
+        if name == "energy":
+            return self.energy_mj
+        if name == "edp":
+            return self.edp
+        if name == "static_power":
+            if self.static_network_power_w is None:
+                raise ConfigError(
+                    f"candidate {dict(self.config)} has no static network "
+                    "power model; the static_power objective needs a "
+                    "photonic machine"
+                )
+            return self.static_network_power_w
+        raise ConfigError(
+            f"unknown objective {name!r}; choose from {OBJECTIVES}"
+        )
+
+    def config_dict(self) -> dict[str, Any]:
+        """The configuration as a plain dict."""
+        return dict(self.config)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form."""
+        return {
+            "index": self.index,
+            "config": self.config_dict(),
+            "execution_time_s": self.execution_time_s,
+            "energy_mj": self.energy_mj,
+            "edp": self.edp,
+            "static_network_power_w": self.static_network_power_w,
+            "mean_utilization": self.mean_utilization,
+        }
+
+
+@dataclass(frozen=True)
+class RejectedCandidate:
+    """A candidate filtered out before simulation, with the findings."""
+
+    index: int
+    config: tuple[tuple[str, Any], ...]
+    diagnostics: tuple
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "config": dict(self.config),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+@dataclass(frozen=True)
+class PrunedCandidate:
+    """A feasible candidate eliminated by its admissible lower bound."""
+
+    index: int
+    config: tuple[tuple[str, Any], ...]
+    lower_bound: float
+    incumbent: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "config": dict(self.config),
+            "lower_bound": self.lower_bound,
+            "incumbent": self.incumbent,
+        }
+
+
+@dataclass
+class SearchResult:
+    """Everything one :meth:`SearchEngine.search` call produced."""
+
+    objective: str
+    strategy: str
+    validation: str
+    n_candidates: int
+    evaluated: list[CandidateScore] = field(default_factory=list)
+    rejected: list[RejectedCandidate] = field(default_factory=list)
+    pruned: list[PrunedCandidate] = field(default_factory=list)
+    failures: list = field(default_factory=list)
+    #: Proxy-workload evaluations spent by the halving strategy
+    #: (full-workload evaluations are ``n_evaluated``).
+    n_proxy_evaluated: int = 0
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def n_feasible(self) -> int:
+        """Candidates that survived the pre-simulation filters."""
+        return self.n_candidates - len(self.rejected)
+
+    @property
+    def n_evaluated(self) -> int:
+        """Candidates dispatched to the simulator on the full workload."""
+        return len(self.evaluated) + len(self.failures)
+
+    @property
+    def n_pruned(self) -> int:
+        return len(self.pruned)
+
+    @property
+    def n_rejected(self) -> int:
+        return len(self.rejected)
+
+    # -- answers --------------------------------------------------------
+    @property
+    def best(self) -> CandidateScore | None:
+        """The optimum: min objective value, candidate index as the
+        tie-break -- the exact ordering every strategy shares."""
+        if not self.evaluated:
+            return None
+        return min(
+            self.evaluated, key=lambda s: (s.objective(self.objective), s.index)
+        )
+
+    def ranked(self) -> list[CandidateScore]:
+        """Evaluated candidates, best first (deterministic)."""
+        return sorted(
+            self.evaluated,
+            key=lambda s: (s.objective(self.objective), s.index),
+        )
+
+    def frontier(
+        self, objectives: tuple[str, ...] = ("execution_time", "energy")
+    ) -> ParetoFrontier:
+        """Multi-objective view over everything that was evaluated."""
+        return build_frontier(self.ranked(), objectives)
+
+    def to_dict(self, top: int | None = None) -> dict[str, Any]:
+        """JSON-ready summary (schema checked in CI)."""
+        ranked = self.ranked()
+        if top is not None:
+            ranked = ranked[:top]
+        best = self.best
+        return {
+            "ok": best is not None,
+            "objective": self.objective,
+            "strategy": self.strategy,
+            "validation": self.validation,
+            "n_candidates": self.n_candidates,
+            "n_feasible": self.n_feasible,
+            "n_evaluated": self.n_evaluated,
+            "n_proxy_evaluated": self.n_proxy_evaluated,
+            "n_pruned": self.n_pruned,
+            "n_rejected": self.n_rejected,
+            "best": None if best is None else best.to_dict(),
+            "evaluated": [s.to_dict() for s in ranked],
+            "pruned": [p.to_dict() for p in self.pruned],
+            "rejected": [r.to_dict() for r in self.rejected],
+            "failures": [
+                {
+                    "index": f.index,
+                    "model": f.model,
+                    "accelerator": f.accelerator,
+                    "error_type": f.error_type,
+                    "message": f.message,
+                }
+                for f in self.failures
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class _Entry:
+    """One feasible candidate, realised and ready to run."""
+
+    candidate: Candidate
+    simulator: Simulator
+    workload: LayerSet
+
+
+class SearchEngine:
+    """Searches a :class:`SearchSpace` for the best configuration."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        *,
+        objective: str = "edp",
+        workload: LayerSet | None = None,
+        validation: str = "physics",
+        simulator_factory: Callable[[dict], Simulator] | None = None,
+        runner: SweepRunner | None = None,
+        layer_by_layer: bool = False,
+    ):
+        if objective not in OBJECTIVES:
+            raise ConfigError(
+                f"unknown objective {objective!r}; choose from {OBJECTIVES}"
+            )
+        if validation not in VALIDATION_MODES:
+            raise ConfigError(
+                f"unknown validation mode {validation!r}; "
+                f"choose from {VALIDATION_MODES}"
+            )
+        self.space = space
+        self.objective = objective
+        self.workload = workload
+        self.validation = validation
+        self.simulator_factory = simulator_factory or build_simulator
+        self.runner = SweepRunner() if runner is None else runner
+        self.layer_by_layer = layer_by_layer
+
+    # -- preparation ----------------------------------------------------
+    def _prepare(
+        self, result: SearchResult
+    ) -> list[_Entry]:
+        """Filter candidates, realise survivors, memoise simulators."""
+        from ..validate import validate_simulator, validate_spec
+
+        entries: list[_Entry] = []
+        simulators: dict[tuple, Simulator] = {}
+        checked: dict[tuple, tuple] = {}  # machine-key -> error diagnostics
+        for candidate in self.space.candidates():
+            report = self.space.diagnose(candidate.config)
+            if report.errors:
+                result.rejected.append(
+                    RejectedCandidate(
+                        index=candidate.index,
+                        config=candidate.key,
+                        diagnostics=tuple(report.errors),
+                    )
+                )
+                continue
+            machine_key = tuple(
+                (k, v)
+                for k, v in sorted(candidate.config.items())
+                if k not in ("model", "batch")
+            )
+            simulator = simulators.get(machine_key)
+            if simulator is None and machine_key not in checked:
+                try:
+                    simulator = self.simulator_factory(dict(candidate.config))
+                except ConfigError as exc:
+                    checked[machine_key] = (
+                        _construct_diagnostic(candidate, exc),
+                    )
+                else:
+                    errors: tuple = ()
+                    if self.validation == "structural":
+                        errors = tuple(validate_spec(simulator.spec).errors)
+                    elif self.validation == "physics":
+                        errors = tuple(
+                            validate_simulator(simulator).errors
+                        )
+                    checked[machine_key] = errors
+                    if not errors:
+                        simulators[machine_key] = simulator
+            errors = checked.get(machine_key, ())
+            if errors:
+                result.rejected.append(
+                    RejectedCandidate(
+                        index=candidate.index,
+                        config=candidate.key,
+                        diagnostics=errors,
+                    )
+                )
+                continue
+            workload = (
+                self.workload
+                if self.workload is not None
+                and "model" not in candidate.config
+                and "batch" not in candidate.config
+                else resolve_workload(candidate.config)
+            )
+            entries.append(
+                _Entry(
+                    candidate=candidate,
+                    simulator=simulators[machine_key],
+                    workload=workload,
+                )
+            )
+        return entries
+
+    # -- evaluation -----------------------------------------------------
+    def _evaluate(
+        self,
+        entries: list[_Entry],
+        result: SearchResult,
+        workloads: list[LayerSet] | None = None,
+        *,
+        record: bool = True,
+    ) -> list[CandidateScore | None]:
+        """Run entries through the sweep runner and score survivors.
+
+        ``workloads`` overrides per-entry workloads (the halving
+        strategy's proxy rungs); ``record=False`` keeps proxy scores
+        out of ``result.evaluated``.
+        """
+        if not entries:
+            return []
+        jobs = [
+            SweepJob(
+                simulator=entry.simulator,
+                model=entry.workload if workloads is None else workloads[i],
+                layer_by_layer=self.layer_by_layer,
+            )
+            for i, entry in enumerate(entries)
+        ]
+        outputs = self.runner.run(jobs)
+        if record:
+            result.failures.extend(self.runner.failures)
+        scores: list[CandidateScore | None] = []
+        for entry, output in zip(entries, outputs):
+            if output is None:
+                scores.append(None)
+                continue
+            score = self._score(entry, output)
+            scores.append(score)
+            if record:
+                result.evaluated.append(score)
+        return scores
+
+    def _score(self, entry: _Entry, output: ModelResult) -> CandidateScore:
+        params = entry.simulator.spec.mapping_parameters()
+        utilizations = [
+            r.mapping.utilization(params) for r in output.layers
+        ]
+        return CandidateScore(
+            index=entry.candidate.index,
+            config=entry.candidate.key,
+            execution_time_s=output.execution_time_s,
+            energy_mj=output.energy.total_mj,
+            static_network_power_w=static_network_power_w(entry.simulator),
+            mean_utilization=(
+                sum(utilizations) / len(utilizations) if utilizations else 0.0
+            ),
+        )
+
+    def lower_bound(self, entry: _Entry) -> float:
+        """Admissible lower bound on one entry's objective value."""
+        return objective_lower_bound(
+            entry.simulator,
+            entry.workload,
+            self.objective,
+            layer_by_layer=self.layer_by_layer,
+        )
+
+    # -- strategies -----------------------------------------------------
+    def search(self, strategy: str = "pruned") -> SearchResult:
+        """Run one search; see the module docstring for the strategies."""
+        if strategy not in STRATEGIES:
+            raise ConfigError(
+                f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
+            )
+        result = SearchResult(
+            objective=self.objective,
+            strategy=strategy,
+            validation=self.validation,
+            n_candidates=len(self.space),
+        )
+        entries = self._prepare(result)
+        if strategy == "exhaustive":
+            self._evaluate(entries, result)
+        elif strategy == "pruned":
+            self._search_pruned(entries, result)
+        else:
+            self._search_halving(entries, result)
+        return result
+
+    def _search_pruned(
+        self, entries: list[_Entry], result: SearchResult
+    ) -> None:
+        """Branch-and-bound over bound-sorted candidates.
+
+        Admissibility makes this exact: for the true optimum ``c*``,
+        ``bound(c*) <= value(c*) <= incumbent`` at every step, so
+        ``c*`` is never pruned (the cut is strictly ``bound >
+        incumbent``); value-ties with the incumbent are still
+        evaluated, so the (value, index) tie-break sees the same set
+        of minimisers exhaustive search would.
+        """
+        order = sorted(
+            ((self.lower_bound(e), e.candidate.index, e) for e in entries),
+            key=lambda t: (t[0], t[1]),
+        )
+        chunk = max(1, self.runner.max_workers)
+        incumbent = float("inf")
+        i = 0
+        while i < len(order):
+            take: list[_Entry] = []
+            while i < len(order) and len(take) < chunk:
+                bound, _, entry = order[i]
+                if bound > incumbent:
+                    break
+                take.append(entry)
+                i += 1
+            if not take:
+                break
+            for score in self._evaluate(take, result):
+                if score is not None:
+                    incumbent = min(
+                        incumbent, score.objective(self.objective)
+                    )
+        for bound, _, entry in order[i:]:
+            result.pruned.append(
+                PrunedCandidate(
+                    index=entry.candidate.index,
+                    config=entry.candidate.key,
+                    lower_bound=bound,
+                    incumbent=incumbent,
+                )
+            )
+        result.pruned.sort(key=lambda p: p.index)
+
+    def _search_halving(
+        self, entries: list[_Entry], result: SearchResult
+    ) -> None:
+        """Successive halving on growing layer-prefix proxies.
+
+        Rung ``r`` evaluates the survivors on the first
+        ``ceil(n_unique / 2**(rungs - r))`` unique layers of their
+        workload and keeps the better half (by proxy objective value,
+        index tie-break); the finalists run the full workload.  The
+        proxy layers are a subset of the full workload's, so the final
+        evaluation starts from a warm cache.  Heuristic: a layer
+        prefix is a biased sample, so -- unlike ``pruned`` -- there is
+        no optimality guarantee.
+        """
+        survivors = sorted(entries, key=lambda e: e.candidate.index)
+        rungs = 0
+        while (len(survivors) >> rungs) > 2:
+            rungs += 1
+        for rung in range(rungs):
+            if len(survivors) <= 2:
+                break
+            shrink = 2 ** (rungs - rung)
+            proxies = [
+                _layer_prefix(e.workload, shrink, rung) for e in survivors
+            ]
+            scores = self._evaluate(
+                survivors, result, workloads=proxies, record=False
+            )
+            result.n_proxy_evaluated += len(survivors)
+            scored = [
+                (s.objective(self.objective), s.index, e)
+                for s, e in zip(scores, survivors)
+                if s is not None
+            ]
+            scored.sort(key=lambda t: (t[0], t[1]))
+            keep = max(2, (len(scored) + 1) // 2)
+            survivors = [e for _, _, e in scored[:keep]]
+            survivors.sort(key=lambda e: e.candidate.index)
+        self._evaluate(survivors, result)
+
+
+def _layer_prefix(workload: LayerSet, shrink: int, rung: int) -> LayerSet:
+    """The first ``ceil(n / shrink)`` unique layers as a proxy set."""
+    unique = workload.unique_layers
+    n = max(1, (len(unique) + shrink - 1) // shrink)
+    return LayerSet(f"{workload.name}#r{rung}", unique[:n])
+
+
+def _construct_diagnostic(candidate: Candidate, exc: ConfigError):
+    from ..validate import SEVERITY_ERROR, Diagnostic
+
+    return Diagnostic(
+        code="DSE-CONSTRUCT",
+        severity=SEVERITY_ERROR,
+        message=f"simulator construction failed: {exc}",
+        subject=", ".join(f"{k}={v}" for k, v in candidate.key),
+        hint="fix the configuration or loosen the space",
+    )

@@ -6,6 +6,13 @@ the trade explicit: for a workload it evaluates the whole granularity
 grid and extracts the Pareto front over (execution time, static
 network power) -- the two axes the paper balances -- then locates the
 paper's operating point relative to that front.
+
+Since the :mod:`repro.dse` subsystem landed this module is a thin
+client: the grid evaluation runs through the engine-backed
+:class:`~repro.spacx.advisor.GranularityAdvisor` (sharing the result
+cache with every other study), and the dominance arithmetic lives in
+:mod:`repro.dse.frontier` -- :func:`pareto_front` here is a
+back-compat re-export specialised to the study's two axes.
 """
 
 from __future__ import annotations
@@ -13,32 +20,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.layer import LayerSet
-from ..models.zoo import evaluation_models
+from ..dse.frontier import pareto_front as _generic_pareto_front
 from ..spacx.advisor import ConfigurationScore, GranularityAdvisor
 
 __all__ = ["ParetoStudy", "pareto_front", "granularity_pareto_study"]
+
+#: The study's axes, in slack-primary-first order.
+_AXES = ("execution_time", "static_power")
 
 
 def pareto_front(scores: list[ConfigurationScore]) -> list[ConfigurationScore]:
     """Non-dominated configurations over (execution time, static power).
 
     A configuration is dominated when another is no worse on both
-    axes and strictly better on at least one.
+    axes and strictly better on at least one.  Back-compat wrapper
+    around :func:`repro.dse.frontier.pareto_front`, which adds the
+    hardening guarantees (duplicate collapse, deterministic
+    vector-then-input-order sorting); the result is still sorted by
+    execution time.
     """
-    front = []
-    for candidate in scores:
-        dominated = any(
-            other.execution_time_s <= candidate.execution_time_s
-            and other.static_network_power_w <= candidate.static_network_power_w
-            and (
-                other.execution_time_s < candidate.execution_time_s
-                or other.static_network_power_w < candidate.static_network_power_w
-            )
-            for other in scores
-        )
-        if not dominated:
-            front.append(candidate)
-    return sorted(front, key=lambda s: s.execution_time_s)
+    return _generic_pareto_front(scores, _AXES)
 
 
 @dataclass(frozen=True)
@@ -84,10 +85,9 @@ def granularity_pareto_study(
 ) -> ParetoStudy:
     """Run the Pareto study; defaults to the whole paper suite."""
     if workload is None:
-        layers = []
-        for model in evaluation_models():
-            layers.extend(model.all_layers)
-        workload = LayerSet("paper-suite", layers)
+        from ..dse.space import paper_suite
+
+        workload = paper_suite()
     advisor = GranularityAdvisor(granularities=granularities)
     scores = advisor.evaluate(workload)
     front = pareto_front(scores)

@@ -22,8 +22,7 @@ from typing import Iterable
 
 from ..core.layer import ConvLayer, LayerSet
 from ..photonics.components import MODERATE_PARAMETERS, PhotonicParameters
-from .architecture import spacx_simulator, spacx_topology
-from .power import SpacxPowerModel
+from .architecture import spacx_simulator
 
 __all__ = [
     "ConfigurationScore",
@@ -67,7 +66,17 @@ class ConfigurationScore:
 
 
 class GranularityAdvisor:
-    """Ranks broadcast-granularity configurations for a workload."""
+    """Ranks broadcast-granularity configurations for a workload.
+
+    Since the :mod:`repro.dse` subsystem landed, the advisor is a thin
+    client of its :class:`~repro.dse.search.SearchEngine`: the (k,
+    e/f) grid becomes a two-axis :class:`~repro.dse.space.SearchSpace`
+    whose structural diagnosis reproduces the divisibility filter, and
+    evaluation runs through the sweep runner -- so advisor calls share
+    the content-addressed result cache with every other study.  The
+    public API and the produced scores are unchanged (bit-identical to
+    the pre-engine implementation).
+    """
 
     def __init__(
         self,
@@ -80,11 +89,12 @@ class GranularityAdvisor:
             raise ValueError("need at least one candidate granularity")
         self.chiplets = chiplets
         self.pes_per_chiplet = pes_per_chiplet
+        self.granularities = tuple(dict.fromkeys(granularities))
         self.params = params
         self.candidates = [
             (k, ef)
-            for k in granularities
-            for ef in granularities
+            for k in self.granularities
+            for ef in self.granularities
             if pes_per_chiplet % k == 0 and chiplets % ef == 0
         ]
         if not self.candidates:
@@ -92,38 +102,59 @@ class GranularityAdvisor:
                 "no candidate granularity divides the machine dimensions"
             )
 
+    def _space(self):
+        """The advisor's grid as a declarative search space.
+
+        Dimension order (k outer, e/f inner) matches the historical
+        candidate enumeration, so engine scores come back in exactly
+        the order of :attr:`candidates`.
+        """
+        from ..dse.space import Dimension, SearchSpace
+
+        return SearchSpace(
+            [
+                Dimension("chiplets", (self.chiplets,)),
+                Dimension("pes_per_chiplet", (self.pes_per_chiplet,)),
+                Dimension("k_granularity", self.granularities),
+                Dimension("ef_granularity", self.granularities),
+            ]
+        )
+
+    def _build_simulator(self, config: dict):
+        """Realise one grid point with the advisor's photonic params."""
+        return spacx_simulator(
+            chiplets=config["chiplets"],
+            pes_per_chiplet=config["pes_per_chiplet"],
+            ef_granularity=config["ef_granularity"],
+            k_granularity=config["k_granularity"],
+            params=self.params,
+        )
+
     def evaluate(self, layers: LayerSet | Iterable[ConvLayer]) -> list[ConfigurationScore]:
         """Score every candidate configuration over the workload."""
+        from ..dse.search import SearchEngine
+
         if not isinstance(layers, LayerSet):
             layers = LayerSet("workload", list(layers))
+        engine = SearchEngine(
+            self._space(),
+            objective="edp",
+            workload=layers,
+            validation="none",  # the divisibility filter, nothing more
+            simulator_factory=self._build_simulator,
+        )
+        result = engine.search(strategy="exhaustive")
         scores: list[ConfigurationScore] = []
-        for k_gran, ef_gran in self.candidates:
-            simulator = spacx_simulator(
-                chiplets=self.chiplets,
-                pes_per_chiplet=self.pes_per_chiplet,
-                ef_granularity=ef_gran,
-                k_granularity=k_gran,
-                params=self.params,
-            )
-            result = simulator.simulate_model(layers)
-            params = simulator.spec.mapping_parameters()
-            utilizations = [
-                r.mapping.utilization(params) for r in result.layers
-            ]
-            power = SpacxPowerModel(
-                spacx_topology(
-                    self.chiplets, self.pes_per_chiplet, ef_gran, k_gran
-                ),
-                self.params,
-            ).report()
+        for score in sorted(result.evaluated, key=lambda s: s.index):
+            config = score.config_dict()
             scores.append(
                 ConfigurationScore(
-                    k_granularity=k_gran,
-                    ef_granularity=ef_gran,
-                    execution_time_s=result.execution_time_s,
-                    energy_mj=result.energy.total_mj,
-                    static_network_power_w=power.overall_w,
-                    mean_utilization=sum(utilizations) / len(utilizations),
+                    k_granularity=config["k_granularity"],
+                    ef_granularity=config["ef_granularity"],
+                    execution_time_s=score.execution_time_s,
+                    energy_mj=score.energy_mj,
+                    static_network_power_w=score.static_network_power_w,
+                    mean_utilization=score.mean_utilization,
                 )
             )
         return scores

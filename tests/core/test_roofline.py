@@ -2,10 +2,16 @@
 
 import pytest
 
-from repro.baselines.simba import simba_spec
+from repro.baselines.popstar import popstar_simulator
+from repro.baselines.simba import simba_simulator, simba_spec
 from repro.core.layer import ConvLayer, fully_connected
-from repro.core.roofline import machine_ridge, roofline_point
-from repro.spacx.architecture import spacx_spec
+from repro.core.roofline import (
+    machine_ridge,
+    roofline_point,
+    time_lower_bound,
+)
+from repro.models.zoo import EXTENDED_MODELS, get_model
+from repro.spacx.architecture import spacx_simulator, spacx_spec
 
 
 def _conv(c=256, k=256, size=16):
@@ -60,3 +66,67 @@ class TestPoints:
             for c in (8, 64, 512)
         ]
         assert fractions == sorted(fractions)
+
+
+class TestTimeLowerBound:
+    """Admissibility: the bound never exceeds the simulated time.
+
+    This property is load-bearing -- branch-and-bound pruning in
+    :mod:`repro.dse` silently returns wrong optima if it breaks --
+    so it is proven over the *whole* zoo: every unique layer of every
+    model on every paper machine.
+    """
+
+    _REL_TOL = 1 + 1e-9
+
+    @pytest.mark.parametrize(
+        "factory", [spacx_simulator, simba_simulator, popstar_simulator]
+    )
+    def test_admissible_zoo_wide(self, factory):
+        simulator = factory()
+        spec = simulator.spec
+        for model_name in sorted(EXTENDED_MODELS):
+            model = get_model(model_name)
+            for layer in model.unique_layers:
+                bound = time_lower_bound(spec, layer)
+                simulated = simulator.simulate_layer(layer)
+                assert bound <= simulated.execution_time_s * self._REL_TOL, (
+                    spec.name,
+                    model_name,
+                    layer.name,
+                )
+                assert bound > 0
+
+    def test_exact_when_compute_bound(self):
+        """A fat conv saturates SPACX's compute roof, where the bound
+        is exact: execution time equals the compute floor."""
+        layer = _conv(c=512, k=512)
+        simulator = spacx_simulator()
+        assert roofline_point(layer, simulator.spec).compute_bound
+        bound = time_lower_bound(simulator.spec, layer)
+        simulated = simulator.simulate_layer(layer).execution_time_s
+        assert bound == pytest.approx(simulated, rel=1e-12)
+
+    def test_batch_override(self):
+        layer = _conv()
+        spec = spacx_spec()
+        b1 = time_lower_bound(spec, layer)
+        b4 = time_lower_bound(spec, layer, batch=4)
+        assert b4 > b1  # more work can only raise the floor
+        # batch=None and batch=layer.batch are the same question.
+        assert time_lower_bound(spec, layer, batch=layer.batch) == b1
+
+    def test_split_bandwidth_machines_bounded_too(self):
+        """SPACX-BA pins separate weight/ifmap GB egress caps; the
+        bound must use the split-aware floors (same formula as the
+        invariant auditor's INV-COMM-LB)."""
+        spec = spacx_spec(bandwidth_allocation=False)
+        assert spec.gb_weight_egress_gbps and spec.gb_ifmap_egress_gbps
+        simulator = spacx_simulator(bandwidth_allocation=False)
+        fc = fully_connected("fc", 4096, 4096)
+        bound = time_lower_bound(spec, fc)
+        assert (
+            0
+            < bound
+            <= simulator.simulate_layer(fc).execution_time_s * self._REL_TOL
+        )

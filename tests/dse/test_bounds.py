@@ -1,0 +1,124 @@
+"""Admissibility of the search engine's objective lower bounds.
+
+Branch-and-bound correctness hangs on one property: no bound ever
+exceeds the simulated objective value.  These tests prove it for the
+machine trio over real workloads and check that the static-power
+"bound" is exact.
+"""
+
+import pytest
+
+from repro.baselines.popstar import popstar_simulator
+from repro.baselines.simba import simba_simulator
+from repro.dse.bounds import (
+    layer_bounds,
+    model_energy_lower_bound_mj,
+    model_time_lower_bound_s,
+    objective_lower_bound,
+    static_network_power_w,
+)
+from repro.errors import ConfigError
+from repro.models.zoo import get_model
+from repro.spacx.architecture import spacx_simulator
+
+_REL_TOL = 1 + 1e-9
+
+
+def _machines():
+    return {
+        "spacx": spacx_simulator(),
+        "simba": simba_simulator(),
+        "popstar": popstar_simulator(),
+    }
+
+
+@pytest.fixture(scope="module")
+def machines():
+    return _machines()
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return [get_model("MobileNetV2"), get_model("ResNet-50")]
+
+
+class TestLayerBounds:
+    def test_admissible_per_layer(self, machines, workloads):
+        for simulator in machines.values():
+            for model in workloads:
+                for layer in model.unique_layers:
+                    result = simulator.simulate_layer(layer)
+                    t_lb, e_lb = layer_bounds(simulator, layer)
+                    assert t_lb <= result.execution_time_s * _REL_TOL
+                    assert e_lb <= result.energy.total_mj * _REL_TOL
+
+    def test_bounds_positive(self, machines):
+        layer = get_model("MobileNetV2").unique_layers[0]
+        for simulator in machines.values():
+            t_lb, e_lb = layer_bounds(simulator, layer)
+            assert t_lb > 0
+            assert e_lb > 0
+
+
+class TestModelBounds:
+    def test_time_bound_admissible(self, machines, workloads):
+        for simulator in machines.values():
+            for model in workloads:
+                simulated = simulator.simulate_model(model)
+                bound = model_time_lower_bound_s(simulator, model)
+                assert bound <= simulated.execution_time_s * _REL_TOL
+
+    def test_energy_bound_admissible(self, machines, workloads):
+        for simulator in machines.values():
+            for model in workloads:
+                simulated = simulator.simulate_model(model)
+                bound = model_energy_lower_bound_mj(simulator, model)
+                assert bound <= simulated.energy.total_mj * _REL_TOL
+
+    def test_objective_bounds_admissible(self, machines, workloads):
+        for simulator in machines.values():
+            for model in workloads:
+                simulated = simulator.simulate_model(model)
+                exact = {
+                    "execution_time": simulated.execution_time_s,
+                    "energy": simulated.energy.total_mj,
+                    "edp": simulated.energy.total_mj
+                    * simulated.execution_time_s,
+                }
+                for objective, value in exact.items():
+                    bound = objective_lower_bound(
+                        simulator, model, objective
+                    )
+                    assert bound <= value * _REL_TOL, (
+                        simulator.spec.name,
+                        model.name,
+                        objective,
+                    )
+                    assert bound > 0
+
+    def test_unknown_objective(self, machines, workloads):
+        with pytest.raises(ConfigError):
+            objective_lower_bound(
+                machines["spacx"], workloads[0], "happiness"
+            )
+
+
+class TestStaticPower:
+    def test_exact_for_photonic_machines(self, machines):
+        simulator = machines["spacx"]
+        power = static_network_power_w(simulator)
+        assert power == simulator.network_energy.report().overall_w
+        model = get_model("MobileNetV2")
+        assert (
+            objective_lower_bound(simulator, model, "static_power") == power
+        )
+
+    def test_none_for_electrical_baselines(self, machines):
+        for name in ("simba", "popstar"):
+            assert static_network_power_w(machines[name]) is None
+            # The pruning bound degrades gracefully to the trivial 0.0.
+            model = get_model("MobileNetV2")
+            assert (
+                objective_lower_bound(machines[name], model, "static_power")
+                == 0.0
+            )

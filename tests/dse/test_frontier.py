@@ -1,0 +1,173 @@
+"""Property and unit tests for the hardened Pareto-frontier module."""
+
+import random
+
+import pytest
+
+try:
+    from hypothesis import given, settings, strategies as st
+except ImportError:  # pragma: no cover - hypothesis is a baked-in dep
+    pytest.skip("hypothesis unavailable", allow_module_level=True)
+
+from repro.dse.frontier import (
+    ParetoFrontier,
+    build_frontier,
+    dominance_ranks,
+    dominates,
+    pareto_front,
+)
+from repro.errors import ConfigError
+
+# Small-integer coordinates force plenty of duplicates and ties.
+_point = st.tuples(
+    st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=5)
+)
+_points = st.lists(_point, min_size=1, max_size=24)
+
+
+class TestDominates:
+    def test_strictly_better(self):
+        assert dominates((1, 1), (2, 2))
+        assert dominates((1, 2), (2, 2))
+
+    def test_equal_is_not_domination(self):
+        assert not dominates((1, 2), (1, 2))
+
+    def test_tradeoff_is_not_domination(self):
+        assert not dominates((1, 3), (3, 1))
+        assert not dominates((3, 1), (1, 3))
+
+
+class TestFrontProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(_points)
+    def test_no_returned_point_is_dominated(self, points):
+        front = pareto_front(points)
+        for member in front:
+            assert not any(dominates(p, member) for p in points)
+
+    @settings(max_examples=200, deadline=None)
+    @given(_points)
+    def test_no_dominating_point_is_dropped(self, points):
+        """Every input point is on the front, dominated by a front
+        member, or a duplicate of a front member."""
+        front = pareto_front(points)
+        front_set = set(front)
+        for p in points:
+            assert p in front_set or any(
+                dominates(member, p) for member in front
+            )
+
+    @settings(max_examples=200, deadline=None)
+    @given(_points)
+    def test_duplicates_collapse(self, points):
+        front = pareto_front(points)
+        assert len(front) == len(set(front))
+
+    @settings(max_examples=100, deadline=None)
+    @given(_points, st.integers(min_value=0, max_value=2**32 - 1))
+    def test_permutation_invariant(self, points, seed):
+        """The front (as a set of vectors, in sorted order) does not
+        depend on input order."""
+        shuffled = list(points)
+        random.Random(seed).shuffle(shuffled)
+        assert pareto_front(points) == pareto_front(shuffled)
+
+    @settings(max_examples=100, deadline=None)
+    @given(_points)
+    def test_front_is_sorted(self, points):
+        front = pareto_front(points)
+        assert front == sorted(front)
+
+
+class TestRanks:
+    @settings(max_examples=100, deadline=None)
+    @given(_points)
+    def test_rank_zero_is_the_front(self, points):
+        ranks = dominance_ranks(points)
+        front = set(pareto_front(points))
+        for p, r in zip(points, ranks):
+            assert (r == 0) == (p in front)
+
+    @settings(max_examples=100, deadline=None)
+    @given(_points)
+    def test_every_point_ranked(self, points):
+        ranks = dominance_ranks(points)
+        assert len(ranks) == len(points)
+        assert all(r >= 0 for r in ranks)
+        # Ranks are contiguous from zero.
+        assert set(ranks) == set(range(max(ranks) + 1))
+
+    def test_peeling(self):
+        points = [(1, 1), (2, 2), (3, 3)]
+        assert dominance_ranks(points) == [0, 1, 2]
+
+    def test_duplicates_share_rank(self):
+        assert dominance_ranks([(1, 1), (1, 1), (2, 2)]) == [0, 0, 1]
+
+
+class TestFrontierObject:
+    def test_slack_zero_on_front(self):
+        frontier = build_frontier([(1.0, 4.0), (2.0, 2.0), (4.0, 1.0)])
+        for i in range(3):
+            assert frontier.slack(i) == 0.0
+
+    def test_slack_measures_primary_gap(self):
+        # (4, 4) gives up (4-2)/4 = 50% time against (2, 2), which has
+        # no more power.
+        frontier = build_frontier([(2.0, 2.0), (4.0, 4.0)])
+        assert frontier.slack(1) == pytest.approx(0.5)
+
+    def test_slack_empty_budget(self):
+        # No front member within the point's power budget -> 0.0.
+        frontier = build_frontier([(1.0, 5.0), (5.0, 1.0)])
+        assert frontier.slack(0) == 0.0
+
+    def test_slack_rejects_bad_axis(self):
+        frontier = build_frontier([(1.0, 2.0)])
+        with pytest.raises(ConfigError):
+            frontier.slack(0, primary=7)
+
+    def test_to_dict_shape(self):
+        frontier = build_frontier([(1.0, 2.0), (2.0, 1.0), (3.0, 3.0)])
+        payload = frontier.to_dict()
+        assert payload["n_points"] == 3
+        assert payload["front_indexes"] == [0, 1]
+        assert payload["ranks"] == [0, 0, 1]
+
+    def test_is_frozen(self):
+        frontier = build_frontier([(1.0, 2.0)])
+        assert isinstance(frontier, ParetoFrontier)
+        with pytest.raises(AttributeError):
+            frontier.ranks = ()
+
+
+class TestExtraction:
+    def test_objective_protocol(self):
+        """Score-like objects rank through their objective() method."""
+
+        class Score:
+            def __init__(self, t, p):
+                self.t, self.p = t, p
+
+            def objective(self, name):
+                return {"execution_time": self.t, "static_power": self.p}[
+                    name
+                ]
+
+        slow = Score(3.0, 3.0)
+        fast = Score(1.0, 1.0)
+        assert pareto_front([slow, fast]) == [fast]
+
+    def test_key_callable(self):
+        points = [{"t": 2.0}, {"t": 1.0}]
+        front = pareto_front(points, ("t",), key=lambda p: (p["t"],))
+        assert front == [{"t": 1.0}]
+
+    def test_rejects_unusable_points(self):
+        with pytest.raises(ConfigError):
+            pareto_front([object()])
+
+    def test_rejects_ragged_vectors(self):
+        with pytest.raises(ConfigError):
+            pareto_front([(1.0,), (1.0, 2.0)])

@@ -1,0 +1,202 @@
+"""Tests for declarative search spaces and candidate realisation."""
+
+import pytest
+
+from repro.core.dataflow import DataflowKind
+from repro.dse.space import (
+    Candidate,
+    Dimension,
+    SearchSpace,
+    build_simulator,
+    paper_suite,
+    resolve_workload,
+)
+from repro.errors import ConfigError
+
+
+def _grid():
+    return SearchSpace(
+        [
+            Dimension("machine", ("spacx",)),
+            Dimension("k_granularity", (8, 16)),
+            Dimension("ef_granularity", (8, 16)),
+            Dimension("model", ("MobileNetV2",)),
+        ]
+    )
+
+
+class TestDimension:
+    def test_rejects_unknown_name(self):
+        with pytest.raises(ConfigError):
+            Dimension("warp_speed", (1, 2))
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(ConfigError):
+            Dimension("batch", ())
+
+    def test_rejects_duplicate_values(self):
+        with pytest.raises(ConfigError):
+            Dimension("batch", (1, 2, 1))
+
+
+class TestSearchSpace:
+    def test_size_is_product(self):
+        assert len(_grid()) == 4
+
+    def test_candidate_order_is_nested_loop(self):
+        combos = [
+            (c.config["k_granularity"], c.config["ef_granularity"])
+            for c in _grid().candidates()
+        ]
+        assert combos == [(8, 8), (8, 16), (16, 8), (16, 16)]
+
+    def test_candidate_indexes_are_sequential(self):
+        assert [c.index for c in _grid().candidates()] == [0, 1, 2, 3]
+
+    def test_candidate_key_is_hashable_and_sorted(self):
+        candidate = _grid().candidates()[0]
+        assert isinstance(candidate, Candidate)
+        key = candidate.key
+        assert hash(key) is not None
+        assert [k for k, _ in key] == sorted(k for k, _ in key)
+
+    def test_rejects_duplicate_dimensions(self):
+        with pytest.raises(ConfigError):
+            SearchSpace(
+                [Dimension("batch", (1,)), Dimension("batch", (2,))]
+            )
+
+    def test_rejects_empty_space(self):
+        with pytest.raises(ConfigError):
+            SearchSpace([])
+
+
+class TestRoundTrip:
+    def test_from_dict_flat_and_nested(self):
+        flat = SearchSpace.from_dict({"k_granularity": [8, 16]})
+        nested = SearchSpace.from_dict(
+            {"dimensions": {"k_granularity": [8, 16]}}
+        )
+        assert flat.to_dict() == nested.to_dict()
+
+    def test_scalar_becomes_single_valued(self):
+        space = SearchSpace.from_dict({"machine": "simba"})
+        assert space.to_dict() == {"dimensions": {"machine": ["simba"]}}
+
+    def test_round_trip(self):
+        space = _grid()
+        again = SearchSpace.from_dict(space.to_dict())
+        assert again.to_dict() == space.to_dict()
+        assert [c.config for c in again.candidates()] == [
+            c.config for c in space.candidates()
+        ]
+
+    def test_rejects_non_mapping(self):
+        with pytest.raises(ConfigError):
+            SearchSpace.from_dict([1, 2, 3])
+
+
+class TestDiagnose:
+    def test_clean_config(self):
+        report = _grid().diagnose(
+            {"machine": "spacx", "k_granularity": 8, "ef_granularity": 8}
+        )
+        assert report.ok
+
+    def test_non_dividing_granularity_rejected(self):
+        """spacx_topology() would silently min()-clamp these; the
+        space must reject them instead."""
+        report = _grid().diagnose({"machine": "spacx", "k_granularity": 7})
+        assert "DSE-GRAN-K" in report.codes()
+        report = _grid().diagnose({"machine": "spacx", "ef_granularity": 3})
+        assert "DSE-GRAN-EF" in report.codes()
+
+    def test_divisibility_uses_config_dimensions(self):
+        config = {
+            "machine": "spacx",
+            "chiplets": 8,
+            "pes_per_chiplet": 8,
+            "k_granularity": 16,
+        }
+        report = _grid().diagnose(config)
+        assert "DSE-GRAN-K" in report.codes()
+
+    def test_unknown_machine(self):
+        assert "DSE-MACHINE" in _grid().diagnose({"machine": "nope"}).codes()
+
+    def test_unknown_model(self):
+        report = _grid().diagnose({"machine": "spacx", "model": "AlexNet-9k"})
+        assert "DSE-MODEL" in report.codes()
+
+    def test_bad_batch(self):
+        for batch in (0, -1, 1.5):
+            report = _grid().diagnose({"machine": "spacx", "batch": batch})
+            assert "DSE-BATCH" in report.codes(), batch
+
+    def test_unknown_dataflow(self):
+        report = _grid().diagnose({"machine": "spacx", "dataflow": "zigzag"})
+        assert "DSE-DATAFLOW" in report.codes()
+
+    def test_spacx_knobs_rejected_on_baselines(self):
+        report = _grid().diagnose({"machine": "simba", "k_granularity": 8})
+        assert "DSE-GRAN-MACHINE" in report.codes()
+
+    def test_bad_machine_dimensions(self):
+        report = _grid().diagnose({"machine": "spacx", "chiplets": 0})
+        assert "DSE-DIM" in report.codes()
+
+
+class TestBuildSimulator:
+    def test_each_zoo_machine_builds(self):
+        for machine in ("simba", "popstar", "spacx", "spacx-ba"):
+            simulator = build_simulator({"machine": machine})
+            assert simulator.spec.name
+
+    def test_spacx_ba_differs_from_spacx(self):
+        spacx = build_simulator({"machine": "spacx"})
+        ba = build_simulator({"machine": "spacx-ba"})
+        assert spacx.spec != ba.spec
+
+    def test_granularities_respected(self):
+        simulator = build_simulator(
+            {"machine": "spacx", "k_granularity": 4, "ef_granularity": 4}
+        )
+        params = simulator.spec.mapping_parameters()
+        assert params.k_granularity == 4
+        assert params.ef_granularity == 4
+
+    def test_dataflow_string_normalised(self):
+        simulator = build_simulator({"machine": "spacx", "dataflow": "ws"})
+        assert simulator.spec.dataflow is DataflowKind.WEIGHT_STATIONARY
+
+    def test_unknown_dataflow_raises(self):
+        with pytest.raises(ConfigError):
+            build_simulator({"machine": "spacx", "dataflow": "zigzag"})
+
+    def test_unknown_machine_raises(self):
+        with pytest.raises(ConfigError):
+            build_simulator({"machine": "nope"})
+
+
+class TestResolveWorkload:
+    def test_named_model(self):
+        workload = resolve_workload({"model": "MobileNetV2"})
+        assert workload.name == "MobileNetV2"
+
+    def test_default_is_paper_suite(self):
+        assert resolve_workload({}).name == "paper-suite"
+
+    def test_paper_suite_concatenates_evaluation_models(self):
+        from repro.models.zoo import evaluation_models
+
+        suite = paper_suite()
+        assert len(suite) == sum(len(m) for m in evaluation_models())
+
+    def test_batch_rewrites_layers(self):
+        workload = resolve_workload({"model": "MobileNetV2", "batch": 4})
+        assert workload.name == "MobileNetV2[b4]"
+        assert all(layer.batch == 4 for layer in workload.all_layers)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ConfigError):
+            resolve_workload({"model": "AlexNet-9000"})

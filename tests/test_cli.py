@@ -261,6 +261,139 @@ class TestDoctorCommand:
         assert "spacx-aggressive: ok" in out
 
 
+class TestSearchCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.space == "tiny"
+        assert args.objective is None
+        assert args.strategy == "pruned"
+        assert args.validation is None
+        assert args.top == 10
+        assert not args.as_json
+
+    def test_rejects_unknown_objective(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--objective", "happiness"])
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "--strategy", "vibes"])
+
+    def test_tiny_preset_search(self, capsys, restore_sweep_defaults):
+        assert main(["search", "--space", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "best (objective=execution_time, strategy=pruned)" in out
+        assert "pruned" in out
+        assert "candidate(s)" in out
+
+    def test_exhaustive_matches_pruned_best(
+        self, capsys, restore_sweep_defaults
+    ):
+        assert main(["search", "--space", "tiny", "--strategy", "pruned"]) == 0
+        pruned = capsys.readouterr().out.splitlines()[-1]
+        assert (
+            main(["search", "--space", "tiny", "--strategy", "exhaustive"])
+            == 0
+        )
+        exhaustive = capsys.readouterr().out.splitlines()[-1]
+        assert pruned.split("): ")[1] == exhaustive.split("): ")[1]
+
+    def test_json_schema(self, capsys, restore_sweep_defaults):
+        import json
+
+        assert main(["search", "--space", "tiny", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for key in (
+            "ok",
+            "objective",
+            "strategy",
+            "n_candidates",
+            "n_feasible",
+            "n_evaluated",
+            "n_pruned",
+            "n_rejected",
+            "best",
+            "evaluated",
+        ):
+            assert key in payload, key
+        assert payload["ok"] is True
+        assert payload["best"]["config"]["machine"] == "spacx"
+
+    def test_json_space_file(self, capsys, restore_sweep_defaults, tmp_path):
+        import json
+
+        space = tmp_path / "space.json"
+        space.write_text(
+            json.dumps(
+                {
+                    "machine": ["spacx"],
+                    "k_granularity": [8, 16],
+                    "model": ["MobileNetV2"],
+                }
+            )
+        )
+        assert main(["search", "--space", str(space), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["objective"] == "edp"  # JSON-space default
+        assert payload["n_candidates"] == 2
+
+    def test_unknown_space_exits_2(self, capsys, restore_sweep_defaults):
+        assert main(["search", "--space", "warp"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "unknown space" in err
+        assert "Traceback" not in err
+
+    def test_missing_space_file_exits_2(
+        self, capsys, restore_sweep_defaults, tmp_path
+    ):
+        assert main(["search", "--space", str(tmp_path / "nope.json")]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read space" in err
+        assert "Traceback" not in err
+
+    def test_malformed_space_file_exits_2(
+        self, capsys, restore_sweep_defaults, tmp_path
+    ):
+        space = tmp_path / "broken.json"
+        space.write_text("this is not JSON {")
+        assert main(["search", "--space", str(space)]) == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err
+        assert "Traceback" not in err
+
+    def test_bad_dimension_exits_2(
+        self, capsys, restore_sweep_defaults, tmp_path
+    ):
+        import json
+
+        space = tmp_path / "space.json"
+        space.write_text(json.dumps({"warp_speed": [1, 2]}))
+        assert main(["search", "--space", str(space)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown dimension" in err
+        assert "Traceback" not in err
+
+    def test_nothing_feasible_exits_1(
+        self, capsys, restore_sweep_defaults, tmp_path
+    ):
+        import json
+
+        space = tmp_path / "space.json"
+        space.write_text(
+            json.dumps(
+                {
+                    "machine": ["spacx"],
+                    "k_granularity": [7],  # divides nothing
+                    "model": ["MobileNetV2"],
+                }
+            )
+        )
+        assert main(["search", "--space", str(space)]) == 1
+        out = capsys.readouterr().out
+        assert "no feasible configuration" in out
+
+
 class TestResilienceFlags:
     def test_global_flags_feed_sweep_defaults(
         self, capsys, restore_sweep_defaults
