@@ -1,0 +1,187 @@
+"""Warm-worker pool benchmark: spawn amortisation, measured.
+
+The workload is the shape that dominates post-PR 4 campaigns: **many
+small jobs** -- a DSE-style grid of 64 degraded/shrunk SPACX
+configurations, each simulating a tiny model, with a cold cache.  On
+this shape the per-attempt process path of PR 2 pays one ``fork`` +
+job pickle + interpreter-state rebuild per job, which rivals the
+analytical model itself; the persistent pool pays it once per worker.
+
+Asserted claims (the ISSUE 5 acceptance bar):
+
+* the warm pool is >= 3x faster end-to-end than the per-attempt
+  process baseline at the same worker count;
+* the pooled campaign's serialized results are byte-identical to the
+  serial pass.
+
+The measured numbers are also written to ``BENCH_pool.json`` so CI can
+track the perf trajectory across PRs.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.core import batch
+from repro.core.layer import ConvLayer, LayerSet
+from repro.experiments import format_table
+from repro.serialization import model_result_to_dict
+from repro.spacx.architecture import spacx_simulator
+
+#: The acceptance threshold: warm pool vs per-attempt processes.
+SPEEDUP_THRESHOLD = 3.0
+
+#: Where the perf-trajectory record lands (repo root under CI).
+BENCH_JSON = Path("BENCH_pool.json")
+
+
+def _tiny_models():
+    """Two small distinct workloads (a few layers each)."""
+    return [
+        LayerSet(
+            "tiny-a",
+            [
+                ConvLayer(name="a0", c=8, k=16, r=3, s=3, h=14, w=14),
+                ConvLayer(name="a1", c=16, k=16, r=1, s=1, h=14, w=14),
+            ],
+        ),
+        LayerSet(
+            "tiny-b",
+            [
+                ConvLayer(name="b0", c=16, k=32, r=3, s=3, h=7, w=7),
+                ConvLayer(name="b1", c=32, k=32, r=1, s=1, h=7, w=7),
+            ],
+        ),
+    ]
+
+
+def _campaign():
+    """64 small jobs: a 32-point machine grid x two tiny models.
+
+    Every machine configuration has its own fingerprint, so no job is
+    a cache hit of another -- the benchmark measures execution-path
+    overhead, not cache luck.
+    """
+    # Grid respects the topology's granularity divisibility rules:
+    # ef_granularity=4 divides every chiplet count, k_granularity=16
+    # divides both PE counts.
+    simulators = [
+        spacx_simulator(
+            chiplets, pes, ef_granularity=4, k_granularity=16
+        )
+        for chiplets in range(4, 68, 4)
+        for pes in (16, 32)
+    ]
+    return [
+        batch.SweepJob(simulator, model)
+        for model in _tiny_models()
+        for simulator in simulators
+    ]
+
+
+def _canonical(results) -> str:
+    """Byte-stable serialisation of an ordered result list."""
+    return json.dumps(
+        [model_result_to_dict(result) for result in results],
+        sort_keys=True,
+    )
+
+
+def _timed_run(**kwargs):
+    """One cold-cache pass; returns (results, seconds, runner)."""
+    runner = batch.SweepRunner(
+        cache=batch.NullCache(), manifest=False, **kwargs
+    )
+    jobs = _campaign()
+    start = time.perf_counter()
+    results = runner.run(jobs)
+    elapsed = time.perf_counter() - start
+    return results, elapsed, runner
+
+
+def test_pool_3x_faster_than_per_attempt_and_byte_identical():
+    serial, serial_s, _ = _timed_run(max_workers=1)
+
+    per_attempt, per_attempt_s, baseline = _timed_run(
+        max_workers=2, pool=False
+    )
+    assert not baseline.used_fallback, baseline.fallback_reason
+
+    pooled, pool_s, runner = _timed_run(max_workers=2, pool=True)
+    assert not runner.used_fallback, runner.fallback_reason
+    assert {s.mode for s in runner.stats} == {"pool"}
+    stats = runner.pool_stats
+    runner.close()
+
+    # Bit-identical guarantee: the pool changes *where* jobs run,
+    # never what they compute.
+    assert _canonical(pooled) == _canonical(serial)
+    assert _canonical(per_attempt) == _canonical(serial)
+
+    speedup = per_attempt_s / pool_s
+    n_jobs = len(serial)
+    emit(
+        "Warm-worker pool (64 small jobs, cold cache, workers=2)",
+        format_table(
+            ["mode", "jobs", "wall (s)", "vs per-attempt"],
+            [
+                ["serial", n_jobs, serial_s, per_attempt_s / serial_s],
+                ["per-attempt processes", n_jobs, per_attempt_s, 1.0],
+                ["warm pool", n_jobs, pool_s, speedup],
+            ],
+        )
+        + f"\npool: {stats.describe()}",
+    )
+
+    payload = {
+        "benchmark": "pool_vs_per_attempt",
+        "jobs": n_jobs,
+        "workers": 2,
+        "serial_s": round(serial_s, 6),
+        "per_attempt_s": round(per_attempt_s, 6),
+        "pool_s": round(pool_s, 6),
+        "speedup": round(speedup, 3),
+        "threshold": SPEEDUP_THRESHOLD,
+        "byte_identical": True,
+        "pool_stats": {
+            "workers_spawned": stats.workers_spawned,
+            "workers_respawned": stats.workers_respawned,
+            "batches_dispatched": stats.batches_dispatched,
+            "jobs_dispatched": stats.jobs_dispatched,
+            "payload_bytes": stats.payload_bytes,
+            "worker_cache_hits": stats.worker_cache_hits,
+            "worker_cache_misses": stats.worker_cache_misses,
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert speedup >= SPEEDUP_THRESHOLD, (
+        f"warm pool only {speedup:.2f}x faster than per-attempt "
+        f"processes (needed >= {SPEEDUP_THRESHOLD}x); "
+        f"per-attempt {per_attempt_s:.3f}s vs pool {pool_s:.3f}s"
+    )
+
+
+def test_pool_batching_amortises_ipc():
+    """Adaptive chunking really ships multi-job batches (fewer, larger
+    messages), and a second campaign on the same runner reuses the
+    warm workers without respawning."""
+    runner = batch.SweepRunner(
+        max_workers=2, cache=batch.NullCache(), manifest=False, pool=True
+    )
+    jobs = _campaign()
+    runner.run(jobs)
+    stats = runner.pool_stats
+    assert stats.jobs_dispatched >= len(jobs)
+    assert stats.batches_dispatched < stats.jobs_dispatched, (
+        "adaptive chunking never produced a multi-job batch"
+    )
+    spawned_after_first = stats.workers_spawned
+    runner.run(jobs)
+    assert runner.pool_stats.workers_spawned == spawned_after_first
+    assert runner.pool_stats.workers_respawned == 0
+    # Second pass re-simulates nothing: every (machine, shape) point
+    # is already warm in some worker's memory tier.
+    runner.close()

@@ -99,6 +99,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the sweep engine's post-run invariant audit "
         "(enabled by default; violating results become job failures)",
     )
+    pool_group = parser.add_mutually_exclusive_group()
+    pool_group.add_argument(
+        "--pool",
+        dest="pool",
+        action="store_true",
+        default=None,
+        help="run parallel sweeps on the persistent warm-worker pool "
+        "(the default; amortises process spawn and keeps worker caches "
+        "warm across jobs)",
+    )
+    pool_group.add_argument(
+        "--no-pool",
+        dest="pool",
+        action="store_false",
+        help="launch one fresh process per job attempt instead of using "
+        "the warm-worker pool (maximum isolation, slower)",
+    )
+    parser.add_argument(
+        "--pool-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fix the pool's jobs-per-dispatch batch size "
+        "(default: adaptive chunking)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run = subparsers.add_parser("run", help="simulate one model on one machine")
@@ -558,8 +583,13 @@ def _command_search(args: argparse.Namespace) -> int:
     validation = args.validation or (
         preset.validation if preset else "physics"
     )
-    engine = SearchEngine(space, objective=objective, validation=validation)
-    result = engine.search(strategy=args.strategy)
+    # Context manager: the engine's warm-worker pool (shared across
+    # the pruned strategy's chunked evaluations) shuts down cleanly
+    # when the search is over.
+    with SearchEngine(
+        space, objective=objective, validation=validation
+    ) as engine:
+        result = engine.search(strategy=args.strategy)
 
     if args.as_json:
         print(json.dumps(result.to_dict(top=args.top), indent=2))
@@ -631,6 +661,8 @@ def main(argv: list[str] | None = None) -> int:
         on_error=args.on_error,
         resume=True if args.resume else None,
         audit=False if args.no_audit else None,
+        pool=args.pool,
+        pool_batch=args.pool_batch,
     )
     try:
         return _COMMANDS[args.command](args)

@@ -83,6 +83,7 @@ __all__ = [
     "SweepJobError",
     "SweepRunner",
     "configure",
+    "default_pool",
     "default_workers",
     "default_cache",
     "default_manifest",
@@ -210,9 +211,13 @@ def simulator_fingerprint(simulator: Simulator) -> str:
     return fingerprint
 
 
-#: Value-keyed memo of computed cache keys (bounded; cleared on
-#: overflow rather than LRU-tracked -- keys are tiny and the limit is
-#: far above any realistic campaign's distinct (machine, shape) count).
+#: Value-keyed memo of computed cache keys.  Bounded by FIFO
+#: eviction: at capacity the *oldest* entry is dropped (dicts preserve
+#: insertion order), so a long campaign sheds only its stalest keys
+#: one at a time instead of losing the entire hot memo mid-run.  Keys
+#: are tiny and the limit is far above any realistic campaign's
+#: distinct (machine, shape) count, so eviction is a rare single-dict
+#: operation rather than a recurring cold restart.
 _KEY_MEMO: dict[tuple, str] = {}
 _KEY_MEMO_LIMIT = 65536
 
@@ -244,7 +249,9 @@ def layer_cache_key(
         )
         key = hashlib.sha256(payload.encode()).hexdigest()
         if len(_KEY_MEMO) >= _KEY_MEMO_LIMIT:
-            _KEY_MEMO.clear()
+            # FIFO eviction: drop the single oldest entry instead of
+            # clearing the whole memo (insertion order == age).
+            del _KEY_MEMO[next(iter(_KEY_MEMO))]
         _KEY_MEMO[memo_key] = key
     return key
 
@@ -706,9 +713,17 @@ class SweepRunner:
       cache; a *structural* pool failure (fork refusal, unpicklable
       job) falls back to the serial path transparently, records
       :attr:`fallback_reason` and sets :attr:`used_fallback`;
-    * every parallel job attempt runs in its own worker process --
-      per-job **fault isolation**: a raising, crashing or hanging job
-      never takes sibling jobs' results down with it.  Failed attempts
+    * the parallel path defaults to a **persistent warm-worker pool**
+      (:class:`repro.core.pool.WorkerPool`): long-lived worker
+      processes loop over adaptively-chunked job batches, keeping a
+      warm in-process cache tier and fingerprint memo across jobs, so
+      many-small-job campaigns skip the per-attempt fork + pickle
+      cost.  ``pool=False`` restores the PR 2 one-process-per-attempt
+      path.  Either way the **fault isolation** contract is the same:
+      a raising, crashing or hanging job never takes sibling jobs'
+      results down with it (a pooled worker that dies or hangs is
+      terminated and respawned; batch-mates that never started are
+      re-queued without being charged an attempt).  Failed attempts
       are retried up to :attr:`retries` times with exponential backoff
       (``backoff_s * 2**(attempt-1)``) and optionally time-limited by
       :attr:`timeout_s` (parallel runs only; a hung attempt's worker
@@ -737,6 +752,8 @@ class SweepRunner:
         resume: bool | None = None,
         progress: Callable[[JobStats], None] | None = None,
         audit: bool | None = None,
+        pool: bool | None = None,
+        pool_batch: int | None = None,
     ):
         self.max_workers = default_workers() if max_workers is None else max_workers
         self.cache = default_cache() if cache is None else cache
@@ -766,6 +783,22 @@ class SweepRunner:
         #: violations.  Audit failures are deterministic, so they are
         #: never retried.
         self.audit = _defaults.audit if audit is None else audit
+        #: Use the persistent warm-worker pool on the parallel path
+        #: (default); ``pool=False`` restores one process per attempt.
+        self.pool = default_pool() if pool is None else bool(pool)
+        #: Fixed batch size per dispatch (None: adaptive chunking).
+        self.pool_batch = (
+            _defaults.pool_batch if pool_batch is None else pool_batch
+        )
+        if self.pool_batch is not None and self.pool_batch < 1:
+            raise ValueError("pool_batch must be >= 1 (or None)")
+        self._pool = None  # lazily-built repro.core.pool.WorkerPool
+        #: Lifetime :class:`repro.core.pool.PoolStats` of the current /
+        #: most recent pool (survives pool teardown for reporting).
+        self.pool_stats = None
+        #: Monotonic task-id source: ids stay unique across runs so a
+        #: stale reply can never be mistaken for a live job.
+        self._task_counter = 0
         self.stats: list[JobStats] = []
         self.failures: list[JobFailure] = []
         self.used_fallback = False
@@ -973,10 +1006,11 @@ class SweepRunner:
         indexes: Sequence[int] | None = None,
     ) -> list[ModelResult | None]:
         indexes = list(range(len(jobs))) if indexes is None else list(indexes)
-        # Structural precondition: every job must survive pickling.  A
-        # failure here aborts *before* any worker starts and is caught
-        # by :meth:`run` as a reason to fall back to serial execution.
-        payloads = [pickle.dumps(job) for job in jobs]
+        # Jobs are pickled lazily, one attempt at a time at launch --
+        # peak payload memory is O(active workers), never O(campaign).
+        # An unpicklable job raises out of the dispatch loop and is
+        # caught by :meth:`run` as a reason to fall back to serial
+        # execution (worker cleanup happens in the ``finally`` below).
         ctx = multiprocessing.get_context()
         n = len(jobs)
         results: list[ModelResult | None] = [None] * n
@@ -1042,10 +1076,11 @@ class SweepRunner:
                     if ready_at is None:
                         break
                     pos, attempt, _ = pending.pop(ready_at)
+                    payload = pickle.dumps(jobs[pos])
                     reader, writer = ctx.Pipe(duplex=False)
                     process = ctx.Process(
                         target=_worker_entry,
-                        args=(payloads[pos], writer),
+                        args=(payload, writer),
                         daemon=True,
                     )
                     process.start()
@@ -1179,6 +1214,278 @@ class SweepRunner:
             self._finish_job(job_stats[pos])
         return results
 
+    # -- persistent warm-worker pool path ------------------------------
+    def _ensure_pool(self):
+        """The runner's live :class:`~repro.core.pool.WorkerPool`.
+
+        Built lazily on first parallel dispatch and kept across
+        :meth:`run` calls, so e.g. the DSE engine's chunked evaluation
+        loop reuses warm workers from chunk to chunk.  A finalizer
+        tears the workers down when the runner is garbage-collected;
+        call :meth:`close` (or use the runner as a context manager)
+        for deterministic shutdown.
+        """
+        if self._pool is None or self._pool.closed:
+            from .pool import WorkerPool
+
+            self._pool = WorkerPool(self.max_workers)
+            self.pool_stats = self._pool.stats
+            weakref.finalize(self, _close_pool, self._pool)
+        self._pool.ensure_workers()
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Tear the pool down (used when in-flight state went stale)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def close(self) -> None:
+        """Shut the warm-worker pool down (idempotent)."""
+        self._discard_pool()
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _run_pool(
+        self,
+        jobs: Sequence[SweepJob],
+        indexes: Sequence[int] | None = None,
+    ) -> list[ModelResult | None]:
+        """Parallel execution over the persistent warm-worker pool.
+
+        Same policy semantics as :meth:`_run_parallel` -- retries with
+        exponential backoff, per-job timeout, audit-on-arrival, cache
+        seeding, manifest checkpointing, ``on_error`` -- but jobs ship
+        as adaptively-chunked batches to long-lived workers instead of
+        one fresh process per attempt.  Only the job a worker was
+        *executing* when it died or hung is charged a failed attempt;
+        queued batch-mates re-enter the dispatch queue untouched.
+        """
+        from .pool import adaptive_batch_size
+
+        indexes = list(range(len(jobs))) if indexes is None else list(indexes)
+        pool = self._ensure_pool()
+        n = len(jobs)
+        results: list[ModelResult | None] = [None] * n
+        #: (pos, attempt, not_before) attempts awaiting dispatch.
+        pending: list[tuple[int, int, float]] = [
+            (pos, 1, 0.0) for pos in range(n)
+        ]
+        #: task_id -> (pos, attempt, dispatched_at) for shipped jobs.
+        active: dict[int, tuple[int, int, float]] = {}
+
+        def job_stat(
+            pos: int,
+            attempt: int,
+            *,
+            wall: float,
+            result: ModelResult | None = None,
+            hits: int = 0,
+            misses: int = 0,
+        ) -> JobStats:
+            job = jobs[pos]
+            return JobStats(
+                model=job.model.name,
+                accelerator=job.simulator.spec.name,
+                wall_time_s=wall,
+                n_layers=len(result.layers) if result is not None else 0,
+                n_unique_layers=len(job.model.unique_layers),
+                cache_hits=hits,
+                cache_misses=misses,
+                mode="pool",
+                attempts=attempt,
+                failed=result is None,
+                index=indexes[pos],
+            )
+
+        def failed_attempt(
+            task_id: int, error_type: str, text: str, tb: str
+        ) -> JobFailure | None:
+            """One failed attempt: schedule a retry or fail permanently."""
+            pos, attempt, started = active.pop(task_id)
+            if attempt <= self.retries:
+                pending.append(
+                    (
+                        pos,
+                        attempt + 1,
+                        time.monotonic() + self._backoff_delay(attempt),
+                    )
+                )
+                return None
+            failure = self._record_failure(
+                indexes[pos],
+                jobs[pos],
+                error_type=error_type,
+                message=text,
+                traceback_summary=tb,
+                attempts=attempt,
+                phase="parallel",
+            )
+            self._finish_job(
+                job_stat(
+                    pos, attempt, wall=time.monotonic() - started
+                )
+            )
+            return failure
+
+        def requeue(task_ids) -> None:
+            """Batch-mates that never started: no attempt is charged."""
+            for task_id in task_ids:
+                pos, attempt, _ = active.pop(task_id)
+                pending.append((pos, attempt, 0.0))
+
+        try:
+            while pending or active:
+                now = time.monotonic()
+                ready = [e for e in pending if e[2] <= now]
+                waiting = [e for e in pending if e[2] > now]
+                if ready:
+                    for worker in pool.idle_workers():
+                        if not ready:
+                            break
+                        size = adaptive_batch_size(
+                            len(ready), pool.max_workers, self.pool_batch
+                        )
+                        batch, ready = ready[:size], ready[size:]
+                        started = time.monotonic()
+                        items = []
+                        for pos, attempt, _ in batch:
+                            task_id = self._task_counter
+                            self._task_counter += 1
+                            active[task_id] = (pos, attempt, started)
+                            items.append((task_id, jobs[pos]))
+                        # ``dispatch`` pickles lazily, per batch.  An
+                        # unpicklable job raises here -- a structural
+                        # failure :meth:`run` turns into the serial
+                        # fallback (the ``finally`` below discards the
+                        # pool's now-stale in-flight state).
+                        if not pool.dispatch(
+                            worker, items, timeout_s=self.timeout_s
+                        ):
+                            # The idle worker had died; it was respawned
+                            # and nothing shipped -- just re-dispatch.
+                            for task_id, _ in items:
+                                pos, attempt, _ = active.pop(task_id)
+                                ready.append((pos, attempt, 0.0))
+                    pending = ready + waiting
+                if not active:
+                    # Only backed-off attempts remain: sleep until the
+                    # earliest becomes runnable.
+                    next_start = min(e[2] for e in pending)
+                    time.sleep(
+                        min(max(next_start - time.monotonic(), 0.0), 0.5)
+                        or 0.001
+                    )
+                    continue
+                wait_s = 0.5
+                next_deadline = pool.next_deadline()
+                if next_deadline is not None:
+                    wait_s = min(wait_s, max(next_deadline - now, 0.0))
+                if pending:
+                    wait_s = min(
+                        wait_s, max(min(e[2] for e in pending) - now, 0.0)
+                    )
+                events = pool.poll(max(wait_s, 0.005))
+                events.extend(pool.expire())
+                for event in events:
+                    kind = event[0]
+                    if kind == "ok":
+                        _, task_id, result, hits, misses, elapsed = event
+                        pos, attempt, _ = active.pop(task_id)
+                        job = jobs[pos]
+                        if self.audit:
+                            violations = audit_model_result(
+                                result, job.simulator.spec
+                            )
+                            if violations:
+                                # Deterministic failure: skip the retry
+                                # budget, keep the corrupt result out
+                                # of the cache and the manifest.
+                                failure = self._record_failure(
+                                    indexes[pos],
+                                    job,
+                                    error_type="InvariantViolationError",
+                                    message=(
+                                        f"{len(violations)} invariant "
+                                        "violation(s): "
+                                        + "; ".join(
+                                            v.describe()
+                                            for v in violations[:3]
+                                        )
+                                    ),
+                                    traceback_summary="",
+                                    attempts=attempt,
+                                    phase="parallel",
+                                    violations=tuple(
+                                        v.to_dict() for v in violations
+                                    ),
+                                )
+                                self._finish_job(
+                                    job_stat(pos, attempt, wall=elapsed)
+                                )
+                                if self.on_error == "raise":
+                                    raise SweepJobError(failure)
+                                continue
+                        results[pos] = result
+                        self._seed_job(job, result)
+                        if self.manifest is not None:
+                            self.manifest.mark_done(indexes[pos])
+                        self._finish_job(
+                            job_stat(
+                                pos,
+                                attempt,
+                                wall=elapsed,
+                                result=result,
+                                hits=hits,
+                                misses=misses,
+                            )
+                        )
+                    elif kind == "err":
+                        _, task_id, error_type, text, tb = event
+                        failure = failed_attempt(task_id, error_type, text, tb)
+                        if failure is not None and self.on_error == "raise":
+                            raise SweepJobError(failure)
+                    elif kind == "crashed":
+                        _, current, queued, exitcode = event
+                        requeue(queued)
+                        if current is not None:
+                            failure = failed_attempt(
+                                current,
+                                "WorkerCrashed",
+                                "worker process died without reporting "
+                                f"(exit code {exitcode})",
+                                "",
+                            )
+                            if (
+                                failure is not None
+                                and self.on_error == "raise"
+                            ):
+                                raise SweepJobError(failure)
+                    elif kind == "timeout":
+                        _, current, queued = event
+                        requeue(queued)
+                        failure = failed_attempt(
+                            current,
+                            "TimeoutError",
+                            f"job attempt exceeded the {self.timeout_s}s "
+                            "timeout and was terminated",
+                            "",
+                        )
+                        if failure is not None and self.on_error == "raise":
+                            raise SweepJobError(failure)
+        finally:
+            if active or pool.inflight_jobs:
+                # Abnormal exit (structural failure or SweepJobError)
+                # with jobs still in flight: their eventual replies
+                # would be stale, so the pool is torn down -- the next
+                # run starts from fresh workers.
+                self._discard_pool()
+        return results
+
     # -- public API ----------------------------------------------------
     def run(
         self, jobs: Iterable[SweepJob], *, resume: bool | None = None
@@ -1229,8 +1536,9 @@ class SweepRunner:
             if self.max_workers <= 1 or len(sub) <= 1:
                 out = self._run_serial(sub, indexes=todo)
             else:
+                parallel = self._run_pool if self.pool else self._run_parallel
                 try:
-                    out = self._run_parallel(sub, indexes=todo)
+                    out = parallel(sub, indexes=todo)
                 except SweepJobError:
                     raise  # a *job* failed permanently: not structural
                 except Exception as exc:  # pool refused / pickling failed
@@ -1298,6 +1606,10 @@ class SweepRunner:
                 f"  (parallel pool unavailable: {self.fallback_reason}; "
                 "ran serially)"
             )
+        if self.pool_stats is not None and any(
+            s.mode == "pool" for s in self.stats
+        ):
+            lines.append(f"  pool: {self.pool_stats.describe()}")
         for stat in self.stats:
             status = "FAILED" if stat.failed else "ok"
             lines.append(
@@ -1331,6 +1643,8 @@ class _SweepDefaults:
     on_error: str = "raise"
     resume: bool = False
     audit: bool = True
+    pool: bool | None = None
+    pool_batch: int | None = None
 
 
 _defaults = _SweepDefaults()
@@ -1348,6 +1662,8 @@ def configure(
     on_error: str | None = None,
     resume: bool | None = None,
     audit: bool | None = None,
+    pool: bool | None = None,
+    pool_batch: int | None = None,
 ) -> None:
     """Set process-wide sweep defaults (used by the CLI's global flags).
 
@@ -1378,6 +1694,12 @@ def configure(
         _defaults.resume = resume
     if audit is not None:
         _defaults.audit = audit
+    if pool is not None:
+        _defaults.pool = pool
+    if pool_batch is not None:
+        if pool_batch < 1:
+            raise ValueError("pool_batch must be >= 1")
+        _defaults.pool_batch = pool_batch
 
 
 def default_workers() -> int:
@@ -1388,6 +1710,21 @@ def default_workers() -> int:
         return max(1, int(os.environ.get("REPRO_SWEEP_WORKERS", "1")))
     except ValueError:
         return 1
+
+
+def default_pool() -> bool:
+    """Warm-pool default: ``configure()`` > ``$REPRO_SWEEP_POOL`` > on."""
+    if _defaults.pool is not None:
+        return _defaults.pool
+    return os.environ.get("REPRO_SWEEP_POOL", "1") != "0"
+
+
+def _close_pool(pool) -> None:
+    """Finalizer body: tear a runner's worker pool down at GC time."""
+    try:
+        pool.close()
+    except Exception:  # pragma: no cover - interpreter teardown races
+        pass
 
 
 def default_cache() -> "ResultCache | NullCache":

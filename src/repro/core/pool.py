@@ -1,0 +1,527 @@
+"""Persistent warm-worker execution pool for the sweep engine.
+
+The fault-tolerant runner of PR 2 launches **one fresh OS process per
+job attempt**: bulletproof isolation, but for the many-small-job
+campaigns that now dominate (DSE candidate evaluation, per-trial
+degraded configurations in ``repro faults``) the spawn + pickling
+overhead rivals the analytical model itself.  This module provides the
+standard fix -- a pool of **long-lived worker processes** looping over
+a job queue -- without weakening any of the isolation semantics the
+resilience layer promises:
+
+* **Warm workers.**  Each worker keeps an in-process
+  :class:`~repro.core.batch.ResultCache` memory tier and a memo of
+  simulator fingerprints across jobs, so repeated ``(machine, layer
+  shape)`` points become dict hits instead of fresh simulations, and
+  repeated machines skip the fingerprint hash.
+* **Compact batches.**  Jobs ship as small adaptively-sized batches,
+  pickled lazily per dispatch -- peak payload memory is O(active
+  workers x batch), never O(campaign).  Workers stream one result
+  message back per job as it completes, so a mid-batch death only
+  loses the job that was actually executing.
+* **Crash containment.**  A worker that dies (``os._exit``, signal,
+  interpreter abort) is detected as EOF on its result pipe; the pool
+  respawns a replacement and reports which job was in flight (a
+  *failed attempt* -- it re-enters the caller's retry/backoff path)
+  and which batch-mates never started (they are re-queued without
+  being charged an attempt).
+* **Hang containment.**  Every dispatched batch carries a per-job
+  *heartbeat deadline*: the deadline covers the job currently
+  executing and is re-armed each time a result arrives.  A worker that
+  blows the deadline is terminated and replaced, and the running job
+  is reported as a timed-out attempt.
+
+The pool is deliberately policy-free: retries, backoff, ``on_error``
+semantics, invariant auditing and campaign manifests all live in
+:class:`repro.core.batch.SweepRunner`, which drives this pool in its
+default parallel path (``pool=False`` restores the one-process-per-
+attempt behaviour).  Determinism is untouched: workers execute the
+same pure analytical model, so pooled, per-attempt-process and serial
+campaigns produce bit-identical results (pinned by
+``tests/core/test_pool.py`` and ``benchmarks/bench_pool.py``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import pickle
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PoolStats",
+    "WorkerPool",
+    "adaptive_batch_size",
+]
+
+#: Largest number of jobs shipped to one worker in one message.  Small
+#: enough that a crashed batch re-queues little work and the per-job
+#: heartbeat stays meaningful, large enough to amortise the IPC
+#: round-trip over many tiny jobs.
+MAX_BATCH_SIZE = 16
+
+
+def adaptive_batch_size(
+    n_ready: int, n_workers: int, override: int | None = None
+) -> int:
+    """Batch size for one dispatch: adaptive unless overridden.
+
+    Targets roughly four waves of batches per worker so late batches
+    can still load-balance, clamped to ``[1, MAX_BATCH_SIZE]``.  Tiny
+    campaigns therefore keep per-job dispatch (maximum isolation
+    granularity); 200-job campaigns ship ~16-job batches.
+    """
+    if override is not None:
+        return max(1, min(int(override), MAX_BATCH_SIZE))
+    waves = max(1, n_workers) * 4
+    return max(1, min(MAX_BATCH_SIZE, -(-n_ready // waves)))
+
+
+# ----------------------------------------------------------------------
+# Worker-side body
+# ----------------------------------------------------------------------
+def _warm_fingerprint(simulator, memo: dict) -> str:
+    """Simulator fingerprint through the worker's cross-job memo.
+
+    Every job arrives as a fresh unpickled object, so the object-keyed
+    memo in :mod:`repro.core.batch` never hits inside a worker.  Specs
+    and energy models are frozen (hashable) dataclasses, so their
+    *values* key a worker-lifetime memo instead; anything unhashable
+    falls back to recomputing the hash.
+    """
+    from .batch import simulator_fingerprint
+
+    try:
+        key = (
+            simulator.spec,
+            simulator.compute_energy,
+            simulator.network_energy,
+        )
+        fingerprint = memo.get(key)
+    except TypeError:
+        return simulator_fingerprint(simulator)
+    if fingerprint is None:
+        fingerprint = simulator_fingerprint(simulator)
+        memo[key] = fingerprint
+    return fingerprint
+
+
+def _worker_traceback(exc: BaseException, limit: int = 4) -> str:
+    """Compact single-line tail of an exception's traceback."""
+    frames = traceback.extract_tb(exc.__traceback__)[-limit:]
+    parts = [
+        f"{os.path.basename(frame.filename)}:{frame.lineno} in {frame.name}"
+        for frame in frames
+    ]
+    return " <- ".join(reversed(parts)) if parts else ""
+
+
+def _pool_worker_main(job_conn, result_conn, close_conns, cache_capacity):
+    """Long-lived worker body: loop over job batches until told to stop.
+
+    Protocol (all parent -> worker messages are ``pickle.dumps``'d by
+    the parent and shipped as raw bytes so the parent controls -- and
+    can catch -- pickling failures):
+
+    * ``("batch", [(task_id, SweepJob), ...])`` -- execute in order,
+      streaming one reply per job: ``("ok", task_id, result, hits,
+      misses, elapsed_s)`` or ``("err", task_id, type, message, tb)``.
+    * ``("stop",)`` -- exit cleanly.
+
+    A worker that dies without replying is seen by the parent as EOF
+    on ``result_conn``.  ``close_conns`` carries the parent-side pipe
+    ends a forked child inherited; closing them immediately makes
+    parent death propagate as EOF so orphaned workers exit instead of
+    blocking forever.
+    """
+    for conn in close_conns:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - platform-specific
+            pass
+    from .batch import ResultCache, simulate_model_cached
+
+    cache = ResultCache(capacity=cache_capacity)
+    fingerprints: dict = {}
+    while True:
+        try:
+            payload = job_conn.recv_bytes()
+        except (EOFError, OSError):
+            break  # parent died: exit instead of leaking
+        try:
+            message = pickle.loads(payload)
+        except Exception:  # pragma: no cover - defensive
+            break  # undecodable dispatch: die loudly (parent sees EOF)
+        if message[0] != "batch":
+            break  # ("stop",) or unknown: exit cleanly
+        for task_id, job in message[1]:
+            start = time.perf_counter()
+            try:
+                fingerprint = _warm_fingerprint(job.simulator, fingerprints)
+                hits_before = cache._hits
+                misses_before = cache._misses
+                result = simulate_model_cached(
+                    job.simulator,
+                    job.model,
+                    layer_by_layer=job.layer_by_layer,
+                    cache=cache,
+                    fingerprint=fingerprint,
+                )
+                result_conn.send(
+                    (
+                        "ok",
+                        task_id,
+                        result,
+                        cache._hits - hits_before,
+                        cache._misses - misses_before,
+                        time.perf_counter() - start,
+                    )
+                )
+            except BaseException as exc:  # noqa: BLE001 - shipped to parent
+                try:
+                    result_conn.send(
+                        (
+                            "err",
+                            task_id,
+                            type(exc).__name__,
+                            str(exc),
+                            _worker_traceback(exc),
+                        )
+                    )
+                except Exception:
+                    return  # cannot report: parent sees EOF
+    try:
+        result_conn.close()
+    except OSError:  # pragma: no cover
+        pass
+
+
+# ----------------------------------------------------------------------
+# Parent-side pool
+# ----------------------------------------------------------------------
+@dataclass
+class PoolStats:
+    """Lifetime accounting of one :class:`WorkerPool`."""
+
+    workers_spawned: int = 0
+    workers_respawned: int = 0
+    batches_dispatched: int = 0
+    jobs_dispatched: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    jobs_requeued: int = 0
+    payload_bytes: int = 0
+    worker_cache_hits: int = 0
+    worker_cache_misses: int = 0
+
+    @property
+    def worker_cache_hit_rate(self) -> float:
+        """Fraction of worker-side layer lookups served warm."""
+        lookups = self.worker_cache_hits + self.worker_cache_misses
+        return self.worker_cache_hits / lookups if lookups else 0.0
+
+    def describe(self) -> str:
+        """One-line summary for campaign reports."""
+        return (
+            f"{self.jobs_completed} ok / {self.jobs_failed} failed over "
+            f"{self.batches_dispatched} batch(es), "
+            f"{self.workers_spawned} worker(s) spawned "
+            f"({self.workers_respawned} respawned), warm cache "
+            f"{self.worker_cache_hits}/"
+            f"{self.worker_cache_hits + self.worker_cache_misses} hits "
+            f"({self.worker_cache_hit_rate:.0%})"
+        )
+
+
+@dataclass
+class _PoolWorker:
+    """Parent-side handle of one live worker process."""
+
+    process: multiprocessing.process.BaseProcess
+    job_conn: multiprocessing.connection.Connection
+    result_conn: multiprocessing.connection.Connection
+    #: Task ids in dispatch (= execution = reply) order; the head is
+    #: the job the worker is currently executing.
+    inflight: deque = field(default_factory=deque)
+    #: Heartbeat deadline covering ``inflight[0]`` (None: no timeout).
+    deadline: float | None = None
+    #: Per-job timeout used to re-arm the deadline on each reply.
+    timeout_s: float | None = None
+
+    @property
+    def idle(self) -> bool:
+        return not self.inflight
+
+
+class WorkerPool:
+    """A fixed-size pool of persistent warm worker processes.
+
+    Pure mechanism: :meth:`dispatch` ships batches, :meth:`poll`
+    returns per-job events, :meth:`expire` enforces heartbeat
+    deadlines, and dead workers are transparently respawned.  All
+    *policy* (retries, backoff, failure records, manifests) belongs to
+    the caller.
+
+    Event tuples returned by :meth:`poll` / :meth:`expire`:
+
+    * ``("ok", task_id, result, hits, misses, elapsed_s)``
+    * ``("err", task_id, error_type, message, traceback_summary)``
+    * ``("crashed", current_task_id | None, [queued ids], exitcode)``
+    * ``("timeout", current_task_id, [queued ids])``
+    """
+
+    def __init__(
+        self,
+        max_workers: int,
+        *,
+        cache_capacity: int = 4096,
+        context: multiprocessing.context.BaseContext | None = None,
+    ):
+        if max_workers < 1:
+            raise ValueError("pool needs at least one worker")
+        self.max_workers = max_workers
+        self.cache_capacity = cache_capacity
+        self._ctx = context if context is not None else multiprocessing.get_context()
+        self.workers: list[_PoolWorker] = []
+        self.stats = PoolStats()
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+    def _spawn(self) -> _PoolWorker:
+        job_reader, job_writer = self._ctx.Pipe(duplex=False)
+        result_reader, result_writer = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_pool_worker_main,
+            # The child closes the parent-side ends it inherited (or
+            # received) first thing, so a SIGKILLed parent propagates
+            # as EOF instead of leaving orphans blocked on recv.
+            args=(
+                job_reader,
+                result_writer,
+                (job_writer, result_reader),
+                self.cache_capacity,
+            ),
+            daemon=True,
+        )
+        process.start()
+        # Parent-side copies of the child's ends must go away so the
+        # child's death EOFs the result pipe.
+        job_reader.close()
+        result_writer.close()
+        self.stats.workers_spawned += 1
+        return _PoolWorker(
+            process=process, job_conn=job_writer, result_conn=result_reader
+        )
+
+    def ensure_workers(self) -> None:
+        """Top the pool back up to ``max_workers`` live processes."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        while len(self.workers) < self.max_workers:
+            self.workers.append(self._spawn())
+
+    def _retire(self, worker: _PoolWorker, *, respawn: bool = True) -> None:
+        """Tear one worker down (and top the pool back up)."""
+        if worker in self.workers:
+            self.workers.remove(worker)
+        try:
+            worker.process.terminate()
+        except Exception:  # pragma: no cover - already dead
+            pass
+        worker.process.join(timeout=5.0)
+        for conn in (worker.job_conn, worker.result_conn):
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        if respawn and not self._closed:
+            self.stats.workers_respawned += 1
+            self.workers.append(self._spawn())
+
+    def close(self) -> None:
+        """Stop every worker (graceful, then forceful)."""
+        if self._closed:
+            return
+        self._closed = True
+        stop = pickle.dumps(("stop",))
+        for worker in self.workers:
+            try:
+                worker.job_conn.send_bytes(stop)
+            except (OSError, ValueError):
+                pass  # already dead: terminated below
+        for worker in self.workers:
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            for conn in (worker.job_conn, worker.result_conn):
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+        self.workers = []
+
+    def __enter__(self) -> "WorkerPool":
+        self.ensure_workers()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- dispatch ------------------------------------------------------
+    def idle_workers(self) -> list[_PoolWorker]:
+        """Workers with no in-flight jobs (safe dispatch targets)."""
+        return [worker for worker in self.workers if worker.idle]
+
+    def dispatch(
+        self,
+        worker: _PoolWorker,
+        items: list,
+        *,
+        timeout_s: float | None = None,
+    ) -> bool:
+        """Ship ``[(task_id, job), ...]`` to one idle worker.
+
+        The batch is pickled *here*, lazily -- a job that cannot be
+        pickled raises immediately (the caller treats that as a
+        structural pool failure, exactly like the per-attempt path).
+        Returns ``False`` when the worker turned out to be dead (it is
+        respawned and nothing was dispatched -- the caller simply
+        retries on a fresh worker); ``True`` on success.
+        """
+        if not items:
+            return True
+        payload = pickle.dumps(("batch", items))
+        try:
+            worker.job_conn.send_bytes(payload)
+        except (OSError, ValueError):
+            # The worker died while idle (e.g. a stray kill): replace
+            # it; no job was charged an attempt.
+            self._retire(worker)
+            return False
+        now = time.monotonic()
+        worker.inflight.extend(task_id for task_id, _ in items)
+        worker.timeout_s = timeout_s
+        worker.deadline = now + timeout_s if timeout_s is not None else None
+        self.stats.batches_dispatched += 1
+        self.stats.jobs_dispatched += len(items)
+        self.stats.payload_bytes += len(payload)
+        return True
+
+    # -- event collection ----------------------------------------------
+    def _crash_event(self, worker: _PoolWorker) -> tuple:
+        lost = list(worker.inflight)
+        worker.inflight.clear()
+        exitcode = worker.process.exitcode
+        self._retire(worker)
+        current = lost[0] if lost else None
+        queued = lost[1:]
+        self.stats.jobs_requeued += len(queued)
+        if current is not None:
+            self.stats.jobs_failed += 1
+        return ("crashed", current, queued, exitcode)
+
+    def _reply_event(self, worker: _PoolWorker, message: tuple) -> tuple:
+        task_id = message[1]
+        if worker.inflight and worker.inflight[0] == task_id:
+            worker.inflight.popleft()
+        else:  # pragma: no cover - defensive (protocol guarantees order)
+            try:
+                worker.inflight.remove(task_id)
+            except ValueError:
+                pass
+        # Heartbeat: the worker advanced to the next job, re-arm.
+        if worker.inflight and worker.timeout_s is not None:
+            worker.deadline = time.monotonic() + worker.timeout_s
+        elif not worker.inflight:
+            worker.deadline = None
+        if message[0] == "ok":
+            self.stats.jobs_completed += 1
+            self.stats.worker_cache_hits += message[3]
+            self.stats.worker_cache_misses += message[4]
+        else:
+            self.stats.jobs_failed += 1
+        return message
+
+    def poll(self, timeout: float) -> list[tuple]:
+        """Wait up to ``timeout`` seconds and drain all ready events."""
+        busy = {
+            worker.result_conn: worker
+            for worker in self.workers
+            if worker.inflight
+        }
+        if not busy:
+            return []
+        events: list[tuple] = []
+        ready = multiprocessing.connection.wait(
+            list(busy), timeout=max(timeout, 0.0)
+        )
+        for conn in ready:
+            worker = busy[conn]
+            while True:
+                try:
+                    if not conn.poll(0):
+                        break
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    events.append(self._crash_event(worker))
+                    break
+                events.append(self._reply_event(worker, message))
+        return events
+
+    def expire(self, now: float | None = None) -> list[tuple]:
+        """Terminate workers whose heartbeat deadline has passed."""
+        now = time.monotonic() if now is None else now
+        events: list[tuple] = []
+        for worker in list(self.workers):
+            if worker.deadline is None or now <= worker.deadline:
+                continue
+            # One last drain: a reply racing the deadline sweep wins.
+            raced = False
+            while True:
+                try:
+                    if not worker.result_conn.poll(0):
+                        break
+                    message = worker.result_conn.recv()
+                except (EOFError, OSError):
+                    events.append(self._crash_event(worker))
+                    raced = True
+                    break
+                events.append(self._reply_event(worker, message))
+                raced = True
+            if raced and (
+                worker not in self.workers
+                or worker.deadline is None
+                or now <= worker.deadline
+            ):
+                continue
+            lost = list(worker.inflight)
+            worker.inflight.clear()
+            self._retire(worker)
+            if lost:
+                self.stats.jobs_failed += 1
+                self.stats.jobs_requeued += len(lost) - 1
+                events.append(("timeout", lost[0], lost[1:]))
+        return events
+
+    def next_deadline(self) -> float | None:
+        """The earliest live heartbeat deadline (None when untimed)."""
+        deadlines = [
+            worker.deadline
+            for worker in self.workers
+            if worker.deadline is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    @property
+    def inflight_jobs(self) -> int:
+        """Jobs currently dispatched and not yet resolved."""
+        return sum(len(worker.inflight) for worker in self.workers)

@@ -28,6 +28,7 @@ from typing import Protocol
 
 import math
 import warnings
+import weakref
 
 from ..energy.compute import ComputeEnergyModel
 from ..errors import ReproWarning
@@ -111,19 +112,49 @@ class CommunicationTimes:
         return max(names, key=names.get)
 
 
-def _transfer_time_s(total_bytes: float, bandwidth_gbps: float) -> float:
+#: Dead links already flagged, per spec object: ``spec -> {link name}``.
+#: Weak keys, so an entry dies with its spec.  A degraded-config sweep
+#: simulates hundreds of layers against one spec; without this memo
+#: every layer re-pays the warning formatting for the same dead link.
+_ZERO_BANDWIDTH_WARNED: "weakref.WeakKeyDictionary[AcceleratorSpec, set[str]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _transfer_time_s(
+    total_bytes: float,
+    bandwidth_gbps: float,
+    *,
+    link: str | None = None,
+    spec: "AcceleratorSpec | None" = None,
+) -> float:
     """Serialisation time of a byte volume at a bandwidth cap.
 
     A zero (or vanishing) bandwidth with a non-zero byte volume is a
     defined condition rather than a ``ZeroDivisionError``: the transfer
     never completes, so the time is ``inf`` and a
     :class:`~repro.errors.ReproWarning` flags the degenerate link.
+    When the caller identifies the link (``link=`` + ``spec=``), the
+    warning fires **once per (spec, link)** instead of once per layer
+    -- a degraded-config sweep hits the same dead link thousands of
+    times and the repeated warning formatting is pure overhead.
+    Contextless calls always warn.
     """
     if total_bytes <= 0:
         return 0.0
     if bandwidth_gbps <= _MIN_BANDWIDTH_GBPS:
+        if link is not None and spec is not None:
+            try:
+                warned = _ZERO_BANDWIDTH_WARNED.setdefault(spec, set())
+            except TypeError:  # pragma: no cover - unweakrefable spec
+                warned = None
+            if warned is not None:
+                if link in warned:
+                    return math.inf
+                warned.add(link)
+        where = f" ({link})" if link else ""
         warnings.warn(
-            f"transfer of {total_bytes} bytes over a link with "
+            f"transfer of {total_bytes} bytes over a link{where} with "
             f"{bandwidth_gbps!r} GB/s bandwidth never completes; "
             "reporting infinite time",
             ReproWarning,
@@ -172,27 +203,49 @@ class Simulator:
         if spec.gb_weight_egress_gbps and spec.gb_ifmap_egress_gbps:
             gb_egress_s = max(
                 _transfer_time_s(
-                    traffic.gb_weight_send_bytes, spec.gb_weight_egress_gbps
+                    traffic.gb_weight_send_bytes,
+                    spec.gb_weight_egress_gbps,
+                    link="gb_weight_egress",
+                    spec=spec,
                 ),
                 _transfer_time_s(
-                    traffic.gb_ifmap_send_bytes, spec.gb_ifmap_egress_gbps
+                    traffic.gb_ifmap_send_bytes,
+                    spec.gb_ifmap_egress_gbps,
+                    link="gb_ifmap_egress",
+                    spec=spec,
                 ),
             )
         else:
             gb_egress_s = _transfer_time_s(
-                traffic.gb_send_bytes, spec.gb_egress_gbps
+                traffic.gb_send_bytes,
+                spec.gb_egress_gbps,
+                link="gb_egress",
+                spec=spec,
             )
 
         chiplet_w = traffic.chiplet_weight_cross_bytes / chiplets_active
         chiplet_i = traffic.chiplet_ifmap_cross_bytes / chiplets_active
         if spec.chiplet_weight_read_gbps and spec.chiplet_ifmap_read_gbps:
             chiplet_read_s = max(
-                _transfer_time_s(chiplet_w, spec.chiplet_weight_read_gbps),
-                _transfer_time_s(chiplet_i, spec.chiplet_ifmap_read_gbps),
+                _transfer_time_s(
+                    chiplet_w,
+                    spec.chiplet_weight_read_gbps,
+                    link="chiplet_weight_read",
+                    spec=spec,
+                ),
+                _transfer_time_s(
+                    chiplet_i,
+                    spec.chiplet_ifmap_read_gbps,
+                    link="chiplet_ifmap_read",
+                    spec=spec,
+                ),
             )
         else:
             chiplet_read_s = _transfer_time_s(
-                chiplet_w + chiplet_i, spec.chiplet_read_gbps
+                chiplet_w + chiplet_i,
+                spec.chiplet_read_gbps,
+                link="chiplet_read",
+                spec=spec,
             )
 
         if mapping.pe_forwarding:
@@ -207,25 +260,51 @@ class Simulator:
             pe_i = traffic.pe_ifmap_receive_bytes / pes_active
         if spec.pe_weight_read_gbps and spec.pe_ifmap_read_gbps:
             pe_read_s = max(
-                _transfer_time_s(pe_w, spec.pe_weight_read_gbps),
-                _transfer_time_s(pe_i, spec.pe_ifmap_read_gbps),
+                _transfer_time_s(
+                    pe_w,
+                    spec.pe_weight_read_gbps,
+                    link="pe_weight_read",
+                    spec=spec,
+                ),
+                _transfer_time_s(
+                    pe_i,
+                    spec.pe_ifmap_read_gbps,
+                    link="pe_ifmap_read",
+                    spec=spec,
+                ),
             )
         else:
-            pe_read_s = _transfer_time_s(pe_w + pe_i, spec.pe_read_gbps)
+            pe_read_s = _transfer_time_s(
+                pe_w + pe_i, spec.pe_read_gbps, link="pe_read", spec=spec
+            )
 
         # Output collection plus intra-chiplet psum exchange share the
         # chiplet-level write path.
         per_chiplet_out = (
             traffic.output_bytes + traffic.psum_bytes
         ) / chiplets_active
-        chiplet_write_s = _transfer_time_s(per_chiplet_out, spec.chiplet_write_gbps)
+        chiplet_write_s = _transfer_time_s(
+            per_chiplet_out,
+            spec.chiplet_write_gbps,
+            link="chiplet_write",
+            spec=spec,
+        )
         per_pe_out = traffic.output_bytes / pes_active
-        pe_write_s = _transfer_time_s(per_pe_out, spec.pe_write_gbps)
-        gb_ingress_s = _transfer_time_s(traffic.output_bytes, spec.gb_ingress_gbps)
+        pe_write_s = _transfer_time_s(
+            per_pe_out, spec.pe_write_gbps, link="pe_write", spec=spec
+        )
+        gb_ingress_s = _transfer_time_s(
+            traffic.output_bytes,
+            spec.gb_ingress_gbps,
+            link="gb_ingress",
+            spec=spec,
+        )
 
         dram_s = _transfer_time_s(
             traffic.dram_read_bytes + traffic.dram_write_bytes,
             spec.dram_bandwidth_gbps,
+            link="dram",
+            spec=spec,
         )
 
         # Splitter retuning once per temporal wave (photonic only).

@@ -2,9 +2,11 @@
 
 One engine, three strategies, all dispatching surviving candidates
 through the existing :class:`~repro.core.batch.SweepRunner` -- so a
-search inherits process parallelism, the content-addressed result
-cache, retries/timeouts, campaign resume and strict-mode invariant
-auditing without any code of its own:
+search inherits process parallelism (the persistent warm-worker pool
+of :mod:`repro.core.pool` by default, whose workers stay warm across
+the pruned strategy's chunked evaluation loop), the content-addressed
+result cache, retries/timeouts, campaign resume and strict-mode
+invariant auditing without any code of its own:
 
 * ``exhaustive`` -- evaluate every feasible candidate (ground truth);
 * ``pruned`` -- branch-and-bound: candidates are ordered by their
@@ -285,8 +287,30 @@ class SearchEngine:
         self.workload = workload
         self.validation = validation
         self.simulator_factory = simulator_factory or build_simulator
+        #: The engine owns (and is responsible for closing) the runner
+        #: only when it built one itself.
+        self._owns_runner = runner is None
         self.runner = SweepRunner() if runner is None else runner
         self.layer_by_layer = layer_by_layer
+
+    def close(self) -> None:
+        """Release the engine's warm-worker pool (engine-built only).
+
+        The ``pruned`` strategy evaluates candidates in chunks through
+        repeated :meth:`SweepRunner.run` calls; under the default
+        warm-worker pool those chunks share one set of long-lived
+        workers, so the pool is only worth tearing down when the whole
+        search session is over.  A runner passed in by the caller is
+        the caller's to close.
+        """
+        if self._owns_runner:
+            self.runner.close()
+
+    def __enter__(self) -> "SearchEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- preparation ----------------------------------------------------
     def _prepare(

@@ -35,7 +35,7 @@ import numpy as np
 from ..baselines.electrical import ElectricalFaultDomain
 from ..baselines.popstar import popstar_simulator
 from ..baselines.simba import simba_simulator
-from ..core.batch import simulate_model_cached
+from ..core.batch import SweepJob, SweepRunner, simulate_model_cached
 from ..core.faults import InfeasibleFaultError
 from ..core.layer import LayerSet
 from ..spacx.architecture import spacx_simulator
@@ -153,17 +153,23 @@ def availability_study(
     pes_per_chiplet: int = 32,
     accelerators: Sequence[str] = EVALUATED_ACCELERATORS,
     scale: DeviceFailureScale = DeviceFailureScale(),
+    runner: SweepRunner | None = None,
 ) -> list[AvailabilityPoint]:
     """Monte-Carlo availability vs per-device failure rate, per machine.
 
     Every ``(accelerator, rate)`` cell draws ``samples`` independent
     fault populations from its own deterministic RNG stream (derived
     from ``seed`` and the cell position), so results are reproducible
-    regardless of which cells run.  Degraded machines are simulated
-    through the shared result cache; distinct degraded configurations
-    are additionally memoised per machine, so the cost is bounded by
-    the number of *distinct* surviving configurations, not by
-    ``samples``.
+    regardless of which cells run.  All sampling happens *before* any
+    simulation: the distinct surviving degraded configurations of one
+    machine are then evaluated as a single batch through a
+    :class:`~repro.core.batch.SweepRunner` (a default runner -- warm
+    worker pool, shared cache -- is built when ``runner`` is None), so
+    the cost is bounded by the number of *distinct* configurations,
+    not by ``samples``, and a many-trial study inherits the sweep
+    engine's parallelism.  Simulation is deterministic and the RNG
+    streams are untouched by the batching, so results are
+    bit-identical to the previous inline evaluation order.
     """
     if samples < 1:
         raise ValueError("need at least one sample")
@@ -173,69 +179,107 @@ def availability_study(
         from ..models.zoo import get_model
 
         model = get_model("ResNet-50")
+    owns_runner = runner is None
+    if runner is None:
+        # The study is not a resumable campaign: no manifest, and the
+        # runner's pool is torn down when the study returns.
+        runner = SweepRunner(manifest=False)
 
     points: list[AvailabilityPoint] = []
-    for acc_index, accelerator in enumerate(accelerators):
-        sample, configuration, builder = _machine_plumbing(
-            accelerator, chiplets, pes_per_chiplet, scale
-        )
-        healthy_sim = builder(chiplets, pes_per_chiplet)
-        healthy_s = simulate_model_cached(healthy_sim, model).execution_time_s
-        #: Distinct degraded configuration -> execution time memo.
-        times: dict[tuple[int, int], float] = {
-            (chiplets, pes_per_chiplet): healthy_s
-        }
-        for rate_index, rate in enumerate(rates):
-            if rate < 0:
-                raise ValueError("failure rates must be >= 0")
-            rng = np.random.default_rng([seed, acc_index, rate_index])
-            fault_counts: list[int] = []
-            slowdowns: list[float] = []  # surviving samples only
-            throughputs: list[float] = []  # all samples (dead -> 0)
-            available = 0
-            dead = 0
-            for _ in range(samples):
-                scenario = sample(rng, rate)
-                fault_counts.append(scenario.total_faults)
-                try:
-                    config = configuration(scenario)
-                except InfeasibleFaultError:
-                    dead += 1
-                    throughputs.append(0.0)
-                    continue
-                degraded_s = times.get(config)
-                if degraded_s is None:
-                    degraded_s = simulate_model_cached(
-                        builder(*config), model
-                    ).execution_time_s
-                    times[config] = degraded_s
-                slowdown = max(degraded_s, healthy_s) / healthy_s
-                slowdowns.append(slowdown)
-                throughputs.append(1.0 / slowdown)
-                if slowdown <= slowdown_threshold:
-                    available += 1
-            points.append(
-                AvailabilityPoint(
-                    accelerator=accelerator,
-                    failure_rate=rate,
-                    samples=samples,
-                    mean_faults=float(np.mean(fault_counts)),
-                    dead_fraction=dead / samples,
-                    availability=available / samples,
-                    mean_slowdown=(
-                        float(np.mean(slowdowns))
-                        if slowdowns
-                        else float("inf")
-                    ),
-                    p95_slowdown=(
-                        float(np.percentile(slowdowns, 95))
-                        if slowdowns
-                        else float("inf")
-                    ),
-                    expected_throughput=float(np.mean(throughputs)),
-                    slowdown_threshold=slowdown_threshold,
-                )
+    try:
+        for acc_index, accelerator in enumerate(accelerators):
+            sample, configuration, builder = _machine_plumbing(
+                accelerator, chiplets, pes_per_chiplet, scale
             )
+            healthy_sim = builder(chiplets, pes_per_chiplet)
+            healthy_s = simulate_model_cached(
+                healthy_sim, model, cache=runner.cache
+            ).execution_time_s
+            #: Distinct degraded configuration -> execution time memo.
+            times: dict[tuple[int, int], float] = {
+                (chiplets, pes_per_chiplet): healthy_s
+            }
+            # Phase 1: draw every cell's fault populations (RNG order
+            # identical to the historical inline loop) and collect the
+            # distinct unseen configurations, in first-seen order.
+            cells: list[tuple[float, list]] = []
+            needed: dict[tuple[int, int], None] = {}
+            for rate_index, rate in enumerate(rates):
+                if rate < 0:
+                    raise ValueError("failure rates must be >= 0")
+                rng = np.random.default_rng([seed, acc_index, rate_index])
+                cell: list[tuple[int, tuple[int, int] | None]] = []
+                for _ in range(samples):
+                    scenario = sample(rng, rate)
+                    try:
+                        config = configuration(scenario)
+                    except InfeasibleFaultError:
+                        config = None  # machine is dead
+                    cell.append((scenario.total_faults, config))
+                    if config is not None and config not in times:
+                        needed.setdefault(config)
+                cells.append((rate, cell))
+            # Phase 2: one batched sweep over the distinct degraded
+            # machines (parallel / pooled / cached via the runner).
+            if needed:
+                configs = list(needed)
+                outputs = runner.run(
+                    [SweepJob(builder(*config), model) for config in configs]
+                )
+                for config, output in zip(configs, outputs):
+                    if output is not None:
+                        times[config] = output.execution_time_s
+            # Phase 3: per-cell statistics (pure arithmetic).
+            for rate, cell in cells:
+                fault_counts: list[int] = []
+                slowdowns: list[float] = []  # surviving samples only
+                throughputs: list[float] = []  # all samples (dead -> 0)
+                available = 0
+                dead = 0
+                for total_faults, config in cell:
+                    fault_counts.append(total_faults)
+                    if config is None:
+                        dead += 1
+                        throughputs.append(0.0)
+                        continue
+                    degraded_s = times.get(config)
+                    if degraded_s is None:
+                        # Batch slot skipped under on_error="skip":
+                        # recompute inline (historical behaviour).
+                        degraded_s = simulate_model_cached(
+                            builder(*config), model, cache=runner.cache
+                        ).execution_time_s
+                        times[config] = degraded_s
+                    slowdown = max(degraded_s, healthy_s) / healthy_s
+                    slowdowns.append(slowdown)
+                    throughputs.append(1.0 / slowdown)
+                    if slowdown <= slowdown_threshold:
+                        available += 1
+                points.append(
+                    AvailabilityPoint(
+                        accelerator=accelerator,
+                        failure_rate=rate,
+                        samples=samples,
+                        mean_faults=float(np.mean(fault_counts)),
+                        dead_fraction=dead / samples,
+                        availability=available / samples,
+                        mean_slowdown=(
+                            float(np.mean(slowdowns))
+                            if slowdowns
+                            else float("inf")
+                        ),
+                        p95_slowdown=(
+                            float(np.percentile(slowdowns, 95))
+                            if slowdowns
+                            else float("inf")
+                        ),
+                        expected_throughput=float(np.mean(throughputs)),
+                        slowdown_threshold=slowdown_threshold,
+                    )
+                )
+    finally:
+        if owns_runner:
+            runner.close()
     return points
 
 
