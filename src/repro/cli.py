@@ -124,6 +124,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="fix the pool's jobs-per-dispatch batch size "
         "(default: adaptive chunking)",
     )
+    vectorize_group = parser.add_mutually_exclusive_group()
+    vectorize_group.add_argument(
+        "--vectorize",
+        dest="vectorize",
+        action="store_true",
+        default=None,
+        help="evaluate sweep cache misses through the batched NumPy "
+        "kernel (the default; bit-identical to the scalar simulator, "
+        "~an order of magnitude faster on full-zoo sweeps)",
+    )
+    vectorize_group.add_argument(
+        "--no-vectorize",
+        dest="vectorize",
+        action="store_false",
+        help="force every evaluation through the scalar simulator "
+        "(the oracle path; also $REPRO_SWEEP_VECTORIZE=0)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run = subparsers.add_parser("run", help="simulate one model on one machine")
@@ -663,6 +680,7 @@ def main(argv: list[str] | None = None) -> int:
         audit=False if args.no_audit else None,
         pool=args.pool,
         pool_batch=args.pool_batch,
+        vectorize=args.vectorize,
     )
     try:
         return _COMMANDS[args.command](args)

@@ -61,7 +61,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only (campaign imports us)
 
 from ..errors import InvariantViolationError
 from .accelerator import AcceleratorSpec
-from .invariants import audit_model_result
+from .invariants import _PREAUDIT_ATTR, audit_model_result
 from .layer import ConvLayer, LayerSet
 from .mapping import Mapping
 from .metrics import LayerResult, ModelResult
@@ -84,6 +84,7 @@ __all__ = [
     "SweepRunner",
     "configure",
     "default_pool",
+    "default_vectorize",
     "default_workers",
     "default_cache",
     "default_manifest",
@@ -220,6 +221,40 @@ def simulator_fingerprint(simulator: Simulator) -> str:
 #: operation rather than a recurring cold restart.
 _KEY_MEMO: dict[tuple, str] = {}
 _KEY_MEMO_LIMIT = 65536
+
+#: Per-model dedup structure, computed once per :class:`LayerSet`
+#: object and dropped with it (weak keys -- ``LayerSet`` hashes by
+#: identity, so mutating-free reuse is safe by construction).
+_MODEL_STRUCT: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _model_structure(model: LayerSet) -> tuple:
+    """``(unique layers, their shape keys, occurrence -> unique index)``.
+
+    ``unique`` holds the *first occurrence* of each distinct shape in
+    network order (the object whose name a fresh simulation would
+    report); ``occ[i]`` maps ``model.all_layers[i]`` to its slot in
+    ``unique``.  The cached-simulation hot paths walk shapes once per
+    model object instead of re-hashing every occurrence per job.
+    """
+    entry = _MODEL_STRUCT.get(model)
+    if entry is None:
+        unique: list[ConvLayer] = []
+        shapes: list[tuple] = []
+        index: dict[tuple, int] = {}
+        index_get = index.get
+        occ: list[int] = []
+        append_occ = occ.append
+        for layer in model.all_layers:
+            shape = layer.shape_key
+            i = index_get(shape)
+            if i is None:
+                index[shape] = i = len(unique)
+                unique.append(layer)
+                shapes.append(shape)
+            append_occ(i)
+        _MODEL_STRUCT[model] = entry = (unique, shapes, occ)
+    return entry
 
 
 def layer_cache_key(
@@ -533,6 +568,9 @@ def simulate_model_cached(
     layer_by_layer: bool = False,
     cache: "ResultCache | NullCache | None" = None,
     fingerprint: str | None = None,
+    vectorize: bool | None = None,
+    on_fallback: Callable[[str], None] | None = None,
+    _overlay: "dict[str, LayerResult] | None" = None,
 ) -> ModelResult:
     """``Simulator.simulate_model`` through the content-addressed cache.
 
@@ -540,11 +578,36 @@ def simulate_model_cached(
     shapes share one :class:`LayerResult` object carrying the *first*
     occurrence's name, so the output is indistinguishable from an
     uncached run.
+
+    ``vectorize`` (default: :func:`default_vectorize`) routes cache
+    misses through the batched NumPy kernel
+    (:mod:`repro.core.vectorized`), which is bit-identical to the
+    scalar path; anything outside the kernel's coverage registry falls
+    back to the scalar oracle and reports why through ``on_fallback``.
+    Cache-stat accounting (one lookup per unique shape, one put per
+    miss) is the same either way.
+
+    ``_overlay`` is a private campaign-level result overlay (cache key
+    -> :class:`LayerResult`) seeded by ``SweepRunner``'s union prewarm;
+    overlay hits bypass the cache probe entirely (no stat traffic) and
+    are only consulted on the vectorized path.
     """
     if cache is None:
         cache = default_cache()
     if fingerprint is None:
         fingerprint = simulator_fingerprint(simulator)
+    if vectorize is None:
+        vectorize = default_vectorize()
+    if vectorize:
+        return _simulate_model_cached_vectorized(
+            simulator,
+            model,
+            layer_by_layer,
+            cache,
+            fingerprint,
+            on_fallback,
+            _overlay,
+        )
     result = ModelResult(accelerator=simulator.spec.name, model=model.name)
     # Inlined hot loop: this runs once per layer of every model of a
     # campaign, so the per-layer cost is kept to a couple of dict
@@ -587,16 +650,129 @@ def simulate_model_cached(
     return result
 
 
+def _simulate_model_cached_vectorized(
+    simulator: Simulator,
+    model: LayerSet,
+    layer_by_layer: bool,
+    cache,
+    fingerprint: str,
+    on_fallback: Callable[[str], None] | None,
+    overlay: "dict[str, LayerResult] | None" = None,
+) -> ModelResult:
+    """Vectorized twin of the ``simulate_model_cached`` hot loop.
+
+    Pass 1 resolves every unique shape against the cache with exactly
+    the scalar loop's stat accounting; the misses are then evaluated
+    as **one batch** through the NumPy kernel.  A coverage gap or a
+    whole-batch kernel decline (strict audit bailout) re-routes to the
+    scalar oracle -- same results, one ``on_fallback(reason)`` call.
+    """
+    from .vectorized import coverage_gap, simulate_layers_vectorized
+
+    gap = coverage_gap(simulator)
+    if gap is not None:
+        if on_fallback is not None:
+            on_fallback(gap)
+        return simulate_model_cached(
+            simulator,
+            model,
+            layer_by_layer=layer_by_layer,
+            cache=cache,
+            fingerprint=fingerprint,
+            vectorize=False,
+        )
+    result = ModelResult(accelerator=simulator.spec.name, model=model.name)
+    unique, shapes, occ = _model_structure(model)
+    resolved: list[LayerResult | None] = [None] * len(unique)
+    missing_index: list[int] = []
+    missing_keys: list[str] = []
+    memo_get = _KEY_MEMO.get
+    cache_get = cache.get
+    memory_get = cache._memory.get if type(cache) is ResultCache else None
+    overlay_get = overlay.get if overlay else None
+    for i, (layer, shape) in enumerate(zip(unique, shapes)):
+        key = memo_get((fingerprint, shape, layer_by_layer))
+        if key is None:
+            key = layer_cache_key(fingerprint, layer, layer_by_layer)
+        if overlay_get is not None and (cached := overlay_get(key)) is not None:
+            # Prewarm overlay hit: the campaign already resolved this
+            # (machine, shape) pair this run -- no cache traffic.
+            if cached.layer.name != layer.name:
+                cached = _rebind_layer(cached, layer)
+            resolved[i] = cached
+            continue
+        if memory_get is not None and (cached := memory_get(key)) is not None:
+            cache._hits += 1
+            if cache._lru_active:
+                cache._memory.move_to_end(key)
+        else:
+            cached = cache_get(key)
+        if cached is None:
+            missing_index.append(i)
+            missing_keys.append(key)
+        else:
+            if cached.layer.name != layer.name:
+                cached = _rebind_layer(cached, layer)
+            resolved[i] = cached
+    if missing_index:
+        built = simulate_layers_vectorized(
+            simulator,
+            [unique[i] for i in missing_index],
+            layer_by_layer=layer_by_layer,
+        )
+        if built is None:
+            # Whole-batch decline: a strict simulator with an
+            # invariant-dirty lane.  The scalar loop reproduces the
+            # exact raise (and caches whatever completed before it).
+            if on_fallback is not None:
+                on_fallback(
+                    "kernel declined the batch (strict invariant bailout)"
+                )
+            for i, key in zip(missing_index, missing_keys):
+                layer_result = simulator.simulate_layer(
+                    unique[i], layer_by_layer=layer_by_layer
+                )
+                cache.put(key, layer_result)
+                resolved[i] = layer_result
+        else:
+            cache_put = cache.put
+            for i, key, layer_result in zip(missing_index, missing_keys, built):
+                cache_put(key, layer_result)
+                resolved[i] = layer_result
+    result.layers.extend(map(resolved.__getitem__, occ))
+    if resolved:
+        # Model-level pre-audit marker: when every unique layer result
+        # carries the kernel's per-layer marker for this exact spec
+        # object, ``audit_model_result`` can skip the whole
+        # per-occurrence walk.  Any scalar-fallback or foreign-cache
+        # entry breaks the chain and the audit runs in full.
+        spec = simulator.spec
+        for layer_result in resolved:
+            if layer_result.__dict__.get(_PREAUDIT_ATTR) is not spec:
+                break
+        else:
+            result.__dict__[_PREAUDIT_ATTR] = spec
+    return result
+
+
 # ----------------------------------------------------------------------
 # The sweep runner
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class SweepJob:
-    """One (machine, model) unit of work in a campaign."""
+    """One (machine, model) unit of work in a campaign.
+
+    ``vectorize=None`` defers to the runner executing the job (or, for
+    a bare :func:`_execute_job`, to :func:`default_vectorize`).
+    """
 
     simulator: Simulator
     model: LayerSet
     layer_by_layer: bool = False
+    #: Per-job override of the batched-kernel fast path.  Not part of
+    #: the campaign content key: the vectorized path is bit-identical,
+    #: so a manifest written with either setting resumes under both.
+    vectorize: bool | None = None
 
 
 @dataclass(frozen=True)
@@ -652,6 +828,15 @@ class SweepJobError(RuntimeError):
 
 def _execute_job(job: SweepJob) -> ModelResult:
     """Worker-side job body (must stay module-level for pickling)."""
+    vectorize = getattr(job, "vectorize", None)
+    if vectorize is None:
+        vectorize = default_vectorize()
+    if vectorize:
+        from .vectorized import simulate_model_vectorized
+
+        return simulate_model_vectorized(
+            job.simulator, job.model, layer_by_layer=job.layer_by_layer
+        )
     return job.simulator.simulate_model(
         job.model, layer_by_layer=job.layer_by_layer
     )
@@ -754,6 +939,7 @@ class SweepRunner:
         audit: bool | None = None,
         pool: bool | None = None,
         pool_batch: int | None = None,
+        vectorize: bool | None = None,
     ):
         self.max_workers = default_workers() if max_workers is None else max_workers
         self.cache = default_cache() if cache is None else cache
@@ -792,6 +978,20 @@ class SweepRunner:
         )
         if self.pool_batch is not None and self.pool_batch < 1:
             raise ValueError("pool_batch must be >= 1 (or None)")
+        #: Route cache misses through the batched NumPy kernel
+        #: (:mod:`repro.core.vectorized`) -- bit-identical to the
+        #: scalar path by construction, ~an order of magnitude faster
+        #: on full-zoo sweeps.  Jobs may override per-job via
+        #: ``SweepJob.vectorize``; coverage gaps fall back to scalar
+        #: and are recorded in :attr:`vectorized_fallbacks`.
+        self.vectorize = (
+            default_vectorize() if vectorize is None else bool(vectorize)
+        )
+        #: ``(job index, accelerator, model, reason)`` records of jobs
+        #: the kernel structurally declined during the last
+        #: :meth:`run` (serial path; surfaced by
+        #: :meth:`campaign_report`).
+        self.vectorized_fallbacks: list[tuple[int, str, str, str]] = []
         self._pool = None  # lazily-built repro.core.pool.WorkerPool
         #: Lifetime :class:`repro.core.pool.PoolStats` of the current /
         #: most recent pool (survives pool teardown for reporting).
@@ -896,6 +1096,105 @@ class SweepRunner:
         return failure
 
     # -- serial path ---------------------------------------------------
+    def _prewarm_vectorized(
+        self,
+        jobs: Sequence[SweepJob],
+        fingerprints: dict[int, str],
+    ) -> "dict[str, LayerResult] | None":
+        """Seed a campaign-level result overlay with one union batch per machine.
+
+        Jobs that will take the vectorized path are grouped by
+        ``(simulator, layer_by_layer)``; for each group with more than
+        one job, every group-unique shape is resolved against the cache
+        **once** (same stat accounting as one pass-1 probe) and the
+        misses are evaluated as a single union batch through the NumPy
+        kernel.  The returned overlay (cache key -> ``LayerResult``)
+        short-circuits the per-job pass-1 probes, so an N-model
+        campaign pays one kernel launch per machine instead of N.
+
+        Groups are skipped -- leaving behaviour byte-identical to the
+        un-prewarmed path -- when the machine has a kernel coverage gap
+        (the per-job path reports the structured fallback reason) or
+        when the union batch is declined by a strict simulator (the
+        per-job path reproduces the exact scalar raise).  Single-job
+        groups are skipped too: prewarming them would only duplicate
+        the per-job batch.
+        """
+        from .vectorized import coverage_gap, simulate_layers_vectorized
+
+        groups: dict[tuple[int, bool], tuple[Simulator, list[SweepJob]]] = {}
+        for job in jobs:
+            vec = (
+                self.vectorize
+                if getattr(job, "vectorize", None) is None
+                else job.vectorize
+            )
+            if not vec:
+                continue
+            group_key = (id(job.simulator), job.layer_by_layer)
+            group = groups.get(group_key)
+            if group is None:
+                groups[group_key] = group = (job.simulator, [])
+            group[1].append(job)
+        overlay: dict[str, LayerResult] = {}
+        cache = self.cache
+        cache_get = cache.get
+        memo_get = _KEY_MEMO.get
+        memory_get = cache._memory.get if type(cache) is ResultCache else None
+        for (sim_id, layer_by_layer), (simulator, group_jobs) in groups.items():
+            if len(group_jobs) < 2:
+                continue
+            if coverage_gap(simulator) is not None:
+                continue
+            if sim_id not in fingerprints:
+                fingerprints[sim_id] = simulator_fingerprint(simulator)
+            fingerprint = fingerprints[sim_id]
+            seen: set[tuple[int, ...]] = set()
+            add_seen = seen.add
+            missing_layers: list[ConvLayer] = []
+            missing_keys: list[str] = []
+            hits: list[tuple[str, LayerResult]] = []
+            for job in group_jobs:
+                unique, shapes, _ = _model_structure(job.model)
+                for layer, shape in zip(unique, shapes):
+                    if shape in seen:
+                        continue
+                    add_seen(shape)
+                    key = memo_get((fingerprint, shape, layer_by_layer))
+                    if key is None:
+                        key = layer_cache_key(
+                            fingerprint, layer, layer_by_layer
+                        )
+                    if (
+                        memory_get is not None
+                        and (cached := memory_get(key)) is not None
+                    ):
+                        cache._hits += 1
+                        if cache._lru_active:
+                            cache._memory.move_to_end(key)
+                    else:
+                        cached = cache_get(key)
+                    if cached is None:
+                        missing_layers.append(layer)
+                        missing_keys.append(key)
+                    else:
+                        hits.append((key, cached))
+            if missing_layers:
+                built = simulate_layers_vectorized(
+                    simulator, missing_layers, layer_by_layer=layer_by_layer
+                )
+                if built is None:
+                    # Strict decline: don't seed anything for this
+                    # group -- the per-job path re-probes and falls
+                    # back to the scalar oracle with the exact raise.
+                    continue
+                cache_put = cache.put
+                for key, layer_result in zip(missing_keys, built):
+                    cache_put(key, layer_result)
+                    overlay[key] = layer_result
+            overlay.update(hits)
+        return overlay or None
+
     def _run_serial(
         self,
         jobs: Sequence[SweepJob],
@@ -905,6 +1204,7 @@ class SweepRunner:
     ) -> list[ModelResult | None]:
         results: list[ModelResult | None] = []
         fingerprints: dict[int, str] = {}
+        overlay = self._prewarm_vectorized(jobs, fingerprints)
         for index, job in zip(
             range(len(jobs)) if indexes is None else indexes, jobs
         ):
@@ -914,6 +1214,34 @@ class SweepRunner:
             attempts = 0
             result: ModelResult | None = None
             failure: JobFailure | None = None
+            job_vectorize = (
+                self.vectorize
+                if getattr(job, "vectorize", None) is None
+                else job.vectorize
+            )
+            if job_vectorize:
+                recorded: set[str] = set()
+
+                def on_fallback(
+                    reason: str,
+                    *,
+                    _index=index,
+                    _job=job,
+                    _recorded=recorded,
+                ) -> None:
+                    if reason in _recorded:
+                        return  # one record per job, not per attempt
+                    _recorded.add(reason)
+                    self.vectorized_fallbacks.append(
+                        (
+                            _index,
+                            _job.simulator.spec.name,
+                            _job.model.name,
+                            reason,
+                        )
+                    )
+            else:
+                on_fallback = None
             while True:
                 attempts += 1
                 before = (self.cache.stats.hits, self.cache.stats.misses)
@@ -925,6 +1253,9 @@ class SweepRunner:
                         layer_by_layer=job.layer_by_layer,
                         cache=self.cache,
                         fingerprint=fingerprints[sim_id],
+                        vectorize=job_vectorize,
+                        on_fallback=on_fallback,
+                        _overlay=overlay,
                     )
                     if self.audit:
                         violations = audit_model_result(
@@ -1504,6 +1835,7 @@ class SweepRunner:
         self.used_fallback = False
         self.fallback_reason = None
         self.resumed_jobs = 0
+        self.vectorized_fallbacks = []
         resume = self.resume if resume is None else resume
         done_indexes: list[int] = []
         if self.manifest is not None:
@@ -1610,6 +1942,11 @@ class SweepRunner:
             s.mode == "pool" for s in self.stats
         ):
             lines.append(f"  pool: {self.pool_stats.describe()}")
+        for index, accelerator, model_name, reason in self.vectorized_fallbacks:
+            lines.append(
+                f"  vectorized fallback: job #{index} "
+                f"({accelerator} / {model_name}): {reason}"
+            )
         for stat in self.stats:
             status = "FAILED" if stat.failed else "ok"
             lines.append(
@@ -1645,6 +1982,7 @@ class _SweepDefaults:
     audit: bool = True
     pool: bool | None = None
     pool_batch: int | None = None
+    vectorize: bool | None = None
 
 
 _defaults = _SweepDefaults()
@@ -1664,6 +2002,7 @@ def configure(
     audit: bool | None = None,
     pool: bool | None = None,
     pool_batch: int | None = None,
+    vectorize: bool | None = None,
 ) -> None:
     """Set process-wide sweep defaults (used by the CLI's global flags).
 
@@ -1700,6 +2039,8 @@ def configure(
         if pool_batch < 1:
             raise ValueError("pool_batch must be >= 1")
         _defaults.pool_batch = pool_batch
+    if vectorize is not None:
+        _defaults.vectorize = vectorize
 
 
 def default_workers() -> int:
@@ -1717,6 +2058,16 @@ def default_pool() -> bool:
     if _defaults.pool is not None:
         return _defaults.pool
     return os.environ.get("REPRO_SWEEP_POOL", "1") != "0"
+
+
+def default_vectorize() -> bool:
+    """Batched-kernel default: ``configure()`` >
+    ``$REPRO_SWEEP_VECTORIZE`` > on.  (When NumPy is unavailable the
+    kernel's coverage registry declines every batch, so leaving this
+    on is always safe.)"""
+    if _defaults.vectorize is not None:
+        return _defaults.vectorize
+    return os.environ.get("REPRO_SWEEP_VECTORIZE", "1") != "0"
 
 
 def _close_pool(pool) -> None:

@@ -42,6 +42,8 @@ __all__ = [
     "InvariantViolation",
     "audit_layer_result",
     "audit_model_result",
+    "copy_preaudit",
+    "mark_preaudited",
     "raise_on_violations",
     "strict_mode_default",
 ]
@@ -96,6 +98,45 @@ def strict_mode_default() -> bool:
     """
     value = os.environ.get("REPRO_STRICT", "")
     return value.strip().lower() not in ("", "0", "false", "no")
+
+
+#: Instance-attribute key marking a layer result the vectorized kernel
+#: already audited (verdict: clean) against the spec stored under it.
+#: Stored straight in ``__dict__`` (the ``shape_key`` caching idiom for
+#: frozen dataclasses): hashing a LayerResult for a WeakKeyDictionary
+#: would recursively hash its whole frozen-dataclass tree, which costs
+#: more than the audit the marker is meant to save.
+#: ``dataclasses.replace`` re-runs ``__init__`` and so drops the
+#: marker; a pickle round-trip keeps the attribute but deserialises a
+#: *different* spec object, failing the identity check below -- either
+#: way, corrupted copies and pool-roundtripped results are re-audited
+#: from scratch.
+_PREAUDIT_ATTR = "_preaudited_spec"
+
+
+def mark_preaudited(results: "Iterable[LayerResult]", spec: "AcceleratorSpec") -> None:
+    """Record that ``results`` were audited clean against ``spec``.
+
+    :func:`audit_model_result` then skips them at the default
+    tolerance against the *same* spec object.  Only callers that have
+    actually evaluated every audit check (the vectorized kernel) may
+    mark; :func:`audit_layer_result` itself never consults the marker,
+    so a direct single-layer audit always re-verifies.
+    """
+    for result in results:
+        result.__dict__[_PREAUDIT_ATTR] = spec
+
+
+def copy_preaudit(source: "LayerResult", target: "LayerResult") -> None:
+    """Transfer a pre-audit marker to an equivalent rebound result.
+
+    For callers that clone a result in a way that cannot change any
+    audited quantity (e.g. rebinding the layer name on a shape-level
+    cache hit); a clone whose source was never marked stays unmarked.
+    """
+    spec = source.__dict__.get(_PREAUDIT_ATTR)
+    if spec is not None:
+        target.__dict__[_PREAUDIT_ATTR] = spec
 
 
 def _is_bad(value: float) -> bool:
@@ -487,14 +528,33 @@ def audit_model_result(
 
     Layer results shared between duplicate layer shapes (the simulator
     caches by shape key) are audited once; the returned list covers
-    every unique layer result plus model-level sanity.
+    every unique layer result plus model-level sanity.  Results the
+    vectorized kernel already audited clean against this exact spec at
+    the default tolerance (see :func:`mark_preaudited`) are not
+    re-audited -- the kernel evaluated the same checks in array form.
     """
     out: list[InvariantViolation] = []
+    check_marker = spec is not None and rel_tol == DEFAULT_REL_TOL
+    if (
+        check_marker
+        and result.layers
+        and result.__dict__.get(_PREAUDIT_ATTR) is spec
+    ):
+        # Model-level marker: the cached-simulation pass verified that
+        # *every* unique layer result carries the per-layer marker for
+        # this exact spec object, so the per-occurrence walk below
+        # would skip every entry anyway.  Identity comparison keeps
+        # this as safe as the per-layer marker: a pickle round trip
+        # (pool worker, disk cache) yields a different spec object and
+        # falls through to the full audit.
+        return out
     seen: set[int] = set()
     for layer_result in result.layers:
         if id(layer_result) in seen:
             continue
         seen.add(id(layer_result))
+        if check_marker and layer_result.__dict__.get(_PREAUDIT_ATTR) is spec:
+            continue
         out.extend(audit_layer_result(layer_result, spec, rel_tol=rel_tol))
     if not result.layers:
         out.append(

@@ -170,6 +170,11 @@ def _pool_worker_main(job_conn, result_conn, close_conns, cache_capacity):
                     layer_by_layer=job.layer_by_layer,
                     cache=cache,
                     fingerprint=fingerprint,
+                    # Per-job override or the worker process's own
+                    # default; structural fallbacks are silent here
+                    # (bit-identical results either way -- the serial
+                    # path is where fallback reasons are surfaced).
+                    vectorize=getattr(job, "vectorize", None),
                 )
                 result_conn.send(
                     (

@@ -121,6 +121,42 @@ _ZERO_BANDWIDTH_WARNED: "weakref.WeakKeyDictionary[AcceleratorSpec, set[str]]" =
 )
 
 
+def _warn_zero_bandwidth(
+    total_bytes: float,
+    bandwidth_gbps: float,
+    link: str | None,
+    spec: "AcceleratorSpec | None",
+) -> float:
+    """Report a transfer pending forever on a dead link: ``inf``.
+
+    When the caller identifies the link (``link=`` + ``spec=``), the
+    warning fires **once per (spec, link)** instead of once per layer
+    -- a degraded-config sweep hits the same dead link thousands of
+    times and the repeated warning formatting is pure overhead.
+    Contextless calls always warn.  Shared by the scalar
+    :func:`_transfer_time_s` and the vectorized kernel so both paths
+    drain the same dedup memo.
+    """
+    if link is not None and spec is not None:
+        try:
+            warned = _ZERO_BANDWIDTH_WARNED.setdefault(spec, set())
+        except TypeError:  # pragma: no cover - unweakrefable spec
+            warned = None
+        if warned is not None:
+            if link in warned:
+                return math.inf
+            warned.add(link)
+    where = f" ({link})" if link else ""
+    warnings.warn(
+        f"transfer of {total_bytes} bytes over a link{where} with "
+        f"{bandwidth_gbps!r} GB/s bandwidth never completes; "
+        "reporting infinite time",
+        ReproWarning,
+        stacklevel=3,
+    )
+    return math.inf
+
+
 def _transfer_time_s(
     total_bytes: float,
     bandwidth_gbps: float,
@@ -133,34 +169,13 @@ def _transfer_time_s(
     A zero (or vanishing) bandwidth with a non-zero byte volume is a
     defined condition rather than a ``ZeroDivisionError``: the transfer
     never completes, so the time is ``inf`` and a
-    :class:`~repro.errors.ReproWarning` flags the degenerate link.
-    When the caller identifies the link (``link=`` + ``spec=``), the
-    warning fires **once per (spec, link)** instead of once per layer
-    -- a degraded-config sweep hits the same dead link thousands of
-    times and the repeated warning formatting is pure overhead.
-    Contextless calls always warn.
+    :class:`~repro.errors.ReproWarning` flags the degenerate link (see
+    :func:`_warn_zero_bandwidth` for the per-(spec, link) dedup).
     """
     if total_bytes <= 0:
         return 0.0
     if bandwidth_gbps <= _MIN_BANDWIDTH_GBPS:
-        if link is not None and spec is not None:
-            try:
-                warned = _ZERO_BANDWIDTH_WARNED.setdefault(spec, set())
-            except TypeError:  # pragma: no cover - unweakrefable spec
-                warned = None
-            if warned is not None:
-                if link in warned:
-                    return math.inf
-                warned.add(link)
-        where = f" ({link})" if link else ""
-        warnings.warn(
-            f"transfer of {total_bytes} bytes over a link{where} with "
-            f"{bandwidth_gbps!r} GB/s bandwidth never completes; "
-            "reporting infinite time",
-            ReproWarning,
-            stacklevel=2,
-        )
-        return math.inf
+        return _warn_zero_bandwidth(total_bytes, bandwidth_gbps, link, spec)
     return total_bytes * 8 / (bandwidth_gbps * 1e9)
 
 

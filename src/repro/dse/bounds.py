@@ -30,7 +30,11 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..core.mapping import map_layer
-from ..core.roofline import mapped_time_floor_s, time_lower_bound
+from ..core.roofline import (
+    mapped_time_floor_s,
+    time_lower_bound,
+    time_lower_bounds,
+)
 from ..core.traffic import derive_traffic
 from ..errors import ConfigError
 
@@ -40,6 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "layer_bounds",
+    "layer_bounds_batch",
     "model_energy_lower_bound_mj",
     "model_time_lower_bound_s",
     "objective_lower_bound",
@@ -78,15 +83,62 @@ def layer_bounds(
     return time_floor, energy_floor
 
 
+def layer_bounds_batch(
+    simulator: "Simulator",
+    layers,
+    *,
+    layer_by_layer: bool = False,
+    vectorize: bool | None = None,
+) -> list[tuple[float, float]]:
+    """:func:`layer_bounds` over many layers, batched.
+
+    Routes through the NumPy kernel's
+    :func:`~repro.core.vectorized.bounds_batch` when enabled
+    (bit-identical floors by construction); lanes outside kernel
+    coverage -- and the whole batch when the simulator is uncovered --
+    fall back to the scalar helper, so the output is always
+    element-wise equal to ``[layer_bounds(simulator, l) for l in
+    layers]``.  ``vectorize=None`` defers to the campaign default
+    (:func:`repro.core.batch.default_vectorize`).
+    """
+    layers = list(layers)
+    if not layers:
+        return []
+    if vectorize is None:
+        from ..core.batch import default_vectorize
+
+        vectorize = default_vectorize()
+    pairs: "list[tuple[float, float] | None] | None" = None
+    if vectorize:
+        from ..core.vectorized import bounds_batch
+
+        pairs = bounds_batch(simulator, layers, layer_by_layer=layer_by_layer)
+    if pairs is None:
+        pairs = [None] * len(layers)
+    return [
+        layer_bounds(simulator, layer, layer_by_layer=layer_by_layer)
+        if pair is None
+        else pair
+        for layer, pair in zip(layers, pairs)
+    ]
+
+
 def model_time_lower_bound_s(
     simulator: "Simulator", model: "LayerSet", *, layer_by_layer: bool = False
 ) -> float:
-    """Admissible floor on ``simulate_model(model).execution_time_s``."""
-    spec = simulator.spec
+    """Admissible floor on ``simulate_model(model).execution_time_s``.
+
+    The per-layer floors come from the batched kernel when enabled;
+    the sum runs in ``unique_layers`` order either way, so the value
+    is bit-identical to the serial accumulation.
+    """
+    unique = model.unique_layers
+    floors = time_lower_bounds(
+        simulator.spec, unique, layer_by_layer=layer_by_layer
+    )
     return sum(
-        model.multiplicity(layer)
-        * time_lower_bound(spec, layer, layer_by_layer=layer_by_layer)
-        for layer in model.unique_layers
+        model.multiplicity(layer) * floor
+        for layer, floor in zip(unique, floors)
     )
 
 
@@ -94,10 +146,13 @@ def model_energy_lower_bound_mj(
     simulator: "Simulator", model: "LayerSet", *, layer_by_layer: bool = False
 ) -> float:
     """Admissible floor on ``simulate_model(model).energy.total_mj``."""
+    unique = model.unique_layers
+    pairs = layer_bounds_batch(
+        simulator, unique, layer_by_layer=layer_by_layer
+    )
     return sum(
-        model.multiplicity(layer)
-        * layer_bounds(simulator, layer, layer_by_layer=layer_by_layer)[1]
-        for layer in model.unique_layers
+        model.multiplicity(layer) * pair[1]
+        for layer, pair in zip(unique, pairs)
     )
 
 
@@ -117,29 +172,44 @@ def objective_lower_bound(
     objective: str,
     *,
     layer_by_layer: bool = False,
+    vectorize: bool | None = None,
 ) -> float:
     """Admissible lower bound on one candidate's objective value.
 
     Admissibility per objective is proven layer-wise (module
     docstring) and verified zoo-wide in ``tests/dse/test_bounds.py``.
+    The per-layer floors take the batched kernel path when enabled
+    (``vectorize=None`` defers to the campaign default) and are
+    bit-identical to the scalar derivation either way, so pruning
+    decisions cannot depend on the setting.
     """
     if objective == "static_power":
         power = static_network_power_w(simulator)
         return 0.0 if power is None else power
 
-    spec = simulator.spec
+    unique = model.unique_layers
     time_floor = 0.0
     energy_floor = 0.0
-    for layer in model.unique_layers:
-        count = model.multiplicity(layer)
-        if objective == "execution_time":
-            time_floor += count * time_lower_bound(
-                spec, layer, layer_by_layer=layer_by_layer
-            )
-            continue
-        t, e = layer_bounds(simulator, layer, layer_by_layer=layer_by_layer)
-        time_floor += count * t
-        energy_floor += count * e
+    if objective == "execution_time":
+        floors = time_lower_bounds(
+            simulator.spec,
+            unique,
+            layer_by_layer=layer_by_layer,
+            vectorize=vectorize,
+        )
+        for layer, floor in zip(unique, floors):
+            time_floor += model.multiplicity(layer) * floor
+    else:
+        pairs = layer_bounds_batch(
+            simulator,
+            unique,
+            layer_by_layer=layer_by_layer,
+            vectorize=vectorize,
+        )
+        for layer, (t, e) in zip(unique, pairs):
+            count = model.multiplicity(layer)
+            time_floor += count * t
+            energy_floor += count * e
     if objective == "execution_time":
         return time_floor
     if objective == "energy":

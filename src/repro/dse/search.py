@@ -272,6 +272,7 @@ class SearchEngine:
         simulator_factory: Callable[[dict], Simulator] | None = None,
         runner: SweepRunner | None = None,
         layer_by_layer: bool = False,
+        vectorize: bool | None = None,
     ):
         if objective not in OBJECTIVES:
             raise ConfigError(
@@ -290,8 +291,15 @@ class SearchEngine:
         #: The engine owns (and is responsible for closing) the runner
         #: only when it built one itself.
         self._owns_runner = runner is None
-        self.runner = SweepRunner() if runner is None else runner
+        self.runner = (
+            SweepRunner(vectorize=vectorize) if runner is None else runner
+        )
         self.layer_by_layer = layer_by_layer
+        #: Per-candidate batched-kernel override carried into every
+        #: :class:`SweepJob` this engine emits (``None``: defer to the
+        #: runner; candidate evaluation stays bit-identical either
+        #: way, so scores and prune decisions cannot depend on it).
+        self.vectorize = vectorize
 
     def close(self) -> None:
         """Release the engine's warm-worker pool (engine-built only).
@@ -405,6 +413,7 @@ class SearchEngine:
                 simulator=entry.simulator,
                 model=entry.workload if workloads is None else workloads[i],
                 layer_by_layer=self.layer_by_layer,
+                vectorize=self.vectorize,
             )
             for i, entry in enumerate(entries)
         ]
@@ -445,6 +454,7 @@ class SearchEngine:
             entry.workload,
             self.objective,
             layer_by_layer=self.layer_by_layer,
+            vectorize=self.vectorize,
         )
 
     # -- strategies -----------------------------------------------------

@@ -1,0 +1,166 @@
+"""Scalar-oracle differential harness for the vectorized kernel.
+
+The contract under test is **bit identity**: for every (machine,
+layer) pair the batched NumPy kernel must produce a
+:class:`~repro.core.simulator.LayerResult` whose canonical JSON form
+equals the scalar simulator's exactly.  The kernel earns this by
+mirroring the scalar arithmetic operation for operation (same
+association order, same int/float promotion points), so every entry
+of :data:`METRIC_TOLERANCES` is zero -- there is no "close enough"
+band to hide a lowering bug in.
+
+For intentional future divergence (a metric whose vectorized form
+must re-associate floats), widen the single affected entry here and
+document why next to it; :func:`drift_report` then quantifies the
+realised drift in ULPs so the golden guard pins it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+
+from repro.core.layer import ConvLayer
+from repro.models.zoo import evaluation_models
+from repro.serialization import layer_result_to_dict
+from repro.validate import machine_zoo
+
+__all__ = [
+    "METRIC_TOLERANCES",
+    "canonical",
+    "drift_report",
+    "merge_drift",
+    "ulp_distance",
+    "zoo_machines",
+    "zoo_pairs",
+    "zoo_union_layers",
+]
+
+#: Per-metric-group maximum relative error the differential tests
+#: accept, keyed by the top-level groups of
+#: :func:`repro.serialization.layer_result_to_dict`.  All zero: the
+#: kernel replays the scalar expression trees verbatim (division
+#: numerators are fenced below 2**53, products below int64 wrap), so
+#: float re-association never occurs and exact equality is the proven
+#: -- not aspirational -- contract.
+METRIC_TOLERANCES: dict[str, float] = {
+    "layer": 0.0,
+    "mapping": 0.0,
+    "traffic": 0.0,
+    "timing": 0.0,
+    "energy": 0.0,
+}
+
+
+def canonical(result) -> str:
+    """Canonical JSON form of one layer result (bitwise comparable)."""
+    return json.dumps(layer_result_to_dict(result), sort_keys=True)
+
+
+def zoo_machines() -> dict:
+    """Fresh simulator per zoo machine, keyed by registry name."""
+    return {name: factory() for name, factory in machine_zoo().items()}
+
+
+def zoo_union_layers() -> list[ConvLayer]:
+    """First occurrence of every distinct shape across the model zoo."""
+    seen: set[tuple] = set()
+    union: list[ConvLayer] = []
+    for model in evaluation_models():
+        for layer in model.unique_layers:
+            if layer.shape_key not in seen:
+                seen.add(layer.shape_key)
+                union.append(layer)
+    return union
+
+
+def zoo_pairs() -> list[tuple[str, object, ConvLayer]]:
+    """Every (machine name, simulator, layer) pair in the zoo."""
+    layers = zoo_union_layers()
+    return [
+        (name, simulator, layer)
+        for name, simulator in zoo_machines().items()
+        for layer in layers
+    ]
+
+
+def ulp_distance(a: float, b: float) -> float:
+    """Distance between two floats in units in the last place.
+
+    0.0 for bitwise-equal values (including two equal infinities and
+    two NaNs), ``inf`` when exactly one side is non-finite.  Uses the
+    standard monotonic integer mapping of IEEE-754 doubles, so 1.0
+    means "adjacent representable values".
+    """
+    if a == b:
+        return 0.0
+    if math.isnan(a) and math.isnan(b):
+        return 0.0
+    if not (math.isfinite(a) and math.isfinite(b)):
+        return math.inf
+
+    def as_ordered_int(x: float) -> int:
+        (i,) = struct.unpack("<q", struct.pack("<d", x))
+        return i if i >= 0 else -(i + 2**63)
+
+    return float(abs(as_ordered_int(a) - as_ordered_int(b)))
+
+
+def _walk(prefix: str, scalar, vector, report: dict) -> None:
+    if isinstance(scalar, dict):
+        for key in scalar:
+            _walk(f"{prefix}.{key}" if prefix else key, scalar[key],
+                  vector[key], report)
+        return
+    if isinstance(scalar, (list, tuple)):
+        for i, (s, v) in enumerate(zip(scalar, vector)):
+            _walk(f"{prefix}[{i}]", s, v, report)
+        return
+    if isinstance(scalar, bool) or not isinstance(scalar, (int, float)):
+        if scalar != vector:
+            report.setdefault("mismatched_fields", []).append(prefix)
+        return
+    ulp = ulp_distance(float(scalar), float(vector))
+    if scalar == vector:
+        rel = 0.0
+    elif scalar:
+        rel = abs(vector - scalar) / abs(scalar)
+    else:
+        rel = math.inf
+    top = prefix.split(".", 1)[0]
+    entry = report.setdefault(top, {"max_ulp": 0.0, "max_rel_error": 0.0})
+    entry["max_ulp"] = max(entry["max_ulp"], ulp)
+    entry["max_rel_error"] = max(entry["max_rel_error"], rel)
+
+
+def drift_report(scalar_result, vector_result) -> dict:
+    """Per-metric max-ULP / max-relative-error between two results.
+
+    Walks the canonical dict forms leaf by leaf and aggregates by
+    top-level metric group; bit-identical results yield all zeros.
+    """
+    report: dict = {}
+    _walk(
+        "",
+        layer_result_to_dict(scalar_result),
+        layer_result_to_dict(vector_result),
+        report,
+    )
+    return report
+
+
+def merge_drift(total: dict, single: dict) -> dict:
+    """Fold one :func:`drift_report` into a running worst-case report."""
+    for metric, entry in single.items():
+        if metric == "mismatched_fields":
+            total.setdefault(metric, []).extend(entry)
+            continue
+        slot = total.setdefault(
+            metric, {"max_ulp": 0.0, "max_rel_error": 0.0}
+        )
+        slot["max_ulp"] = max(slot["max_ulp"], entry["max_ulp"])
+        slot["max_rel_error"] = max(
+            slot["max_rel_error"], entry["max_rel_error"]
+        )
+    return total
