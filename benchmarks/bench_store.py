@@ -1,0 +1,187 @@
+"""Framed append-log benchmark: storage safety must be ~free.
+
+The PR 7 storage layer wraps every cache-shard and manifest line in a
+CRC32 + length frame and lands it with one ``O_APPEND`` write.  That
+buys crash consistency and concurrency safety -- this benchmark proves
+it does not buy them at the expense of sweep throughput:
+
+* raw framed append and parse throughput stay far above what any
+  campaign generates (floors asserted);
+* a **warm-cache sweep over framed shards is within 10% of the same
+  sweep over legacy unframed shards** -- the end-to-end regression
+  bound from the ISSUE 7 acceptance criteria, measured A/B on
+  identical data;
+* the warm pass misses nothing: every result is served from disk.
+
+Results land in ``BENCH_store.json`` for the CI perf trajectory.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.core import batch, store
+from repro.core.layer import ConvLayer, LayerSet
+from repro.experiments import format_table
+from repro.spacx.architecture import spacx_simulator
+
+#: Warm sweep over framed shards vs legacy bare-JSON shards.
+REGRESSION_BOUND = 1.10
+
+#: Conservative absolute floors (actual rates are orders above).
+APPEND_FLOOR_PER_S = 2_000
+PARSE_FLOOR_PER_S = 20_000
+
+BENCH_JSON = Path("BENCH_store.json")
+
+
+def _tiny_models():
+    return [
+        LayerSet(
+            "tiny-a",
+            [
+                ConvLayer(name="a0", c=8, k=16, r=3, s=3, h=14, w=14),
+                ConvLayer(name="a1", c=16, k=16, r=1, s=1, h=14, w=14),
+            ],
+        ),
+        LayerSet(
+            "tiny-b",
+            [
+                ConvLayer(name="b0", c=16, k=32, r=3, s=3, h=7, w=7),
+                ConvLayer(name="b1", c=32, k=32, r=1, s=1, h=7, w=7),
+            ],
+        ),
+    ]
+
+
+def _campaign():
+    """64 distinct small jobs (32 machine points x 2 tiny models)."""
+    simulators = [
+        spacx_simulator(chiplets, pes, ef_granularity=4, k_granularity=16)
+        for chiplets in range(4, 68, 4)
+        for pes in (16, 32)
+    ]
+    return [
+        batch.SweepJob(simulator, model)
+        for model in _tiny_models()
+        for simulator in simulators
+    ]
+
+
+def _warm_sweep_s(cache_dir, repeats=5) -> float:
+    """Best-of-N warm pass with a fresh disk-backed cache each time."""
+    best = float("inf")
+    for _ in range(repeats):
+        cache = batch.ResultCache(cache_dir=cache_dir)
+        runner = batch.SweepRunner(
+            max_workers=1, cache=cache, manifest=False
+        )
+        start = time.perf_counter()
+        runner.run(_campaign())
+        best = min(best, time.perf_counter() - start)
+        assert cache.stats.misses == 0, (
+            f"warm sweep missed {cache.stats.misses} lookups"
+        )
+    return best
+
+
+def _unframe_dir(src: Path, dst: Path) -> None:
+    """Copy a cache dir, converting framed shards to legacy bare lines."""
+    dst.mkdir(parents=True, exist_ok=True)
+    for shard in src.glob("*.jsonl"):
+        records = store.parse_log(shard.read_bytes()).records
+        (dst / shard.name).write_bytes(
+            b"".join(r + b"\n" for r in records)
+        )
+
+
+def test_framed_store_throughput_and_warm_sweep_regression(tmp_path):
+    # -- raw append throughput ----------------------------------------
+    n_records = 2_000
+    log_path = tmp_path / "throughput.jsonl"
+    payloads = [
+        json.dumps(
+            [1, f"{i:064x}", [i, i * 2, [i] * 8, {"t": i * 1e-6}]],
+            separators=(",", ":"),
+        ).encode()
+        for i in range(n_records)
+    ]
+    start = time.perf_counter()
+    for payload in payloads:
+        assert store.append_record(log_path, payload)
+    append_s = time.perf_counter() - start
+    append_per_s = n_records / append_s
+
+    # -- raw parse throughput (best of 5) ------------------------------
+    data = log_path.read_bytes()
+    parse_s = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        scan = store.parse_log(data)
+        parse_s = min(parse_s, time.perf_counter() - start)
+    assert len(scan.records) == n_records and not scan.corrupt
+    parse_per_s = n_records / parse_s
+
+    # -- warm-sweep A/B: framed vs legacy shards -----------------------
+    framed_dir = tmp_path / "framed"
+    cold_cache = batch.ResultCache(cache_dir=framed_dir)
+    runner = batch.SweepRunner(
+        max_workers=1, cache=cold_cache, manifest=False
+    )
+    start = time.perf_counter()
+    runner.run(_campaign())
+    cold_s = time.perf_counter() - start
+    assert cold_cache.stats.puts > 0
+
+    legacy_dir = tmp_path / "legacy"
+    _unframe_dir(framed_dir, legacy_dir)
+
+    framed_warm_s = _warm_sweep_s(framed_dir)
+    legacy_warm_s = _warm_sweep_s(legacy_dir)
+    regression = framed_warm_s / legacy_warm_s
+
+    emit(
+        "Framed store (CRC32+length, O_APPEND single-write)",
+        format_table(
+            ["metric", "value"],
+            [
+                ["append records/s", f"{append_per_s:,.0f}"],
+                ["parse records/s", f"{parse_per_s:,.0f}"],
+                ["cold sweep (s)", f"{cold_s:.3f}"],
+                ["warm sweep, framed (s)", f"{framed_warm_s:.3f}"],
+                ["warm sweep, legacy (s)", f"{legacy_warm_s:.3f}"],
+                ["framed/legacy warm ratio", f"{regression:.3f}"],
+            ],
+        ),
+    )
+
+    payload = {
+        "benchmark": "framed_store",
+        "records": n_records,
+        "append_per_s": round(append_per_s, 1),
+        "parse_per_s": round(parse_per_s, 1),
+        "append_floor_per_s": APPEND_FLOOR_PER_S,
+        "parse_floor_per_s": PARSE_FLOOR_PER_S,
+        "cold_sweep_s": round(cold_s, 6),
+        "warm_sweep_framed_s": round(framed_warm_s, 6),
+        "warm_sweep_legacy_s": round(legacy_warm_s, 6),
+        "warm_regression": round(regression, 4),
+        "warm_regression_bound": REGRESSION_BOUND,
+        "warm_misses": 0,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert append_per_s >= APPEND_FLOOR_PER_S, (
+        f"framed appends too slow: {append_per_s:,.0f}/s "
+        f"(floor {APPEND_FLOOR_PER_S:,}/s)"
+    )
+    assert parse_per_s >= PARSE_FLOOR_PER_S, (
+        f"framed parse too slow: {parse_per_s:,.0f}/s "
+        f"(floor {PARSE_FLOOR_PER_S:,}/s)"
+    )
+    assert regression <= REGRESSION_BOUND, (
+        f"warm sweep over framed shards is {regression:.3f}x the legacy "
+        f"baseline (bound {REGRESSION_BOUND}x): framing costs too much"
+    )

@@ -269,6 +269,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="static validation only (skip the simulated invariant audit)",
     )
+    doctor.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="scan (and repair) a sweep cache directory instead of the "
+        "zoo: validate every framed append log, quarantine corrupt "
+        "records and rewrite damaged shards atomically",
+    )
+    doctor.add_argument(
+        "--no-repair",
+        action="store_true",
+        help="with --cache: report issues only, do not quarantine or "
+        "rewrite anything",
+    )
 
     from .dse.presets import PRESETS
     from .dse.search import OBJECTIVES, STRATEGIES, VALIDATION_MODES
@@ -506,6 +520,8 @@ def _doctor_simulation_reports(machine_names, model_names):
 def _command_doctor(args: argparse.Namespace) -> int:
     from .validate import validate_raw_config, validate_zoo
 
+    if args.cache is not None:
+        return _doctor_cache_scan(args)
     if args.config is not None:
         try:
             with open(args.config, encoding="utf-8") as handle:
@@ -562,6 +578,50 @@ def _command_doctor(args: argparse.Namespace) -> int:
             f"{n_errors} error(s), {n_warnings} warning(s)"
         )
     return 0 if n_errors == 0 else 1
+
+
+def _doctor_cache_scan(args: argparse.Namespace) -> int:
+    """``repro doctor --cache DIR``: audit/repair a cache directory.
+
+    Exit 0 when every append log (cache shards + campaign manifests)
+    is clean, 1 when torn/corrupt/unreadable content was found -- with
+    repair enabled (the default) a second invocation therefore exits 0
+    once the damage has been quarantined and the logs rewritten.
+    Missing directories are a usage error (exit 2 via ``ReproError``).
+    """
+    from .core import store
+
+    repair = not args.no_repair
+    health, scans = store.scan_directory(args.cache, repair=repair)
+    issues = sum(s.torn + s.corrupt for s in scans) + sum(
+        1 for s in scans if s.unreadable
+    )
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "ok": issues == 0,
+                    "cache_dir": str(args.cache),
+                    "repair": repair,
+                    "issues": issues,
+                    "files": [s.to_dict() for s in scans],
+                    "health": health.to_dict(),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for scan in scans:
+            print(f"  {scan.describe()}")
+        verb = "repaired" if repair else "found (repair disabled)"
+        summary = (
+            f"doctor --cache: {len(scans)} log(s) scanned, "
+            f"{issues} issue(s)"
+        )
+        if issues:
+            summary += f" {verb}"
+        print(summary)
+    return 0 if issues == 0 else 1
 
 
 def _load_search_space(token: str):

@@ -19,6 +19,7 @@ from .batch import (
 )
 from .campaign import CampaignManifest, job_content_key, model_content_key
 from .faults import InfeasibleFaultError
+from .store import FileLock, FileScan, StorageHealth, scan_directory
 from .invariants import (
     InvariantViolation,
     audit_layer_result,
@@ -45,7 +46,11 @@ __all__ = [
     "CacheStats",
     "CampaignManifest",
     "CommunicationTimes",
+    "FileLock",
+    "FileScan",
     "InfeasibleFaultError",
+    "StorageHealth",
+    "scan_directory",
     "InvariantViolation",
     "audit_layer_result",
     "audit_model_result",

@@ -60,6 +60,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only (campaign imports us)
     from .campaign import CampaignManifest
 
 from ..errors import InvariantViolationError
+from . import store
 from .accelerator import AcceleratorSpec
 from .invariants import _PREAUDIT_ATTR, audit_model_result
 from .layer import ConvLayer, LayerSet
@@ -302,6 +303,16 @@ class CacheStats:
     misses: int = 0
     disk_hits: int = 0
     puts: int = 0
+    #: Invalid final shard line(s) skipped on load -- the expected
+    #: remains of a killed writer; the entry is simply recomputed.
+    torn_records: int = 0
+    #: Mid-file corrupt lines preserved in ``*.quarantine`` on load.
+    quarantined_records: int = 0
+
+    @property
+    def skipped_records(self) -> int:
+        """Disk records that failed validation and were not served."""
+        return self.torn_records + self.quarantined_records
 
     @property
     def lookups(self) -> int:
@@ -317,22 +328,43 @@ class CacheStats:
 class ResultCache:
     """Two-tier (memory LRU + optional disk) ``LayerResult`` cache.
 
-    Disk layout: 16 append-only shard files ``<cache_dir>/<key[0]>.jsonl``,
-    one JSON line per entry -- ``{"schema": .., "key": .., "result": ..}``
-    with the result in the packed positional form of
-    :func:`repro.serialization.layer_result_pack`.  A
-    shard is parsed wholesale on first touch (hundreds of tiny
-    per-entry files would make a warm start open-bound), appended-to
-    on every new result, and duplicate keys resolve last-wins.  Torn
-    or stale lines are skipped, so concurrent writers sharing a
-    directory degrade to extra misses, never to wrong results.
+    Disk layout: 16 append-only shard files ``<cache_dir>/<key[0]>.jsonl``
+    managed by :mod:`repro.core.store` -- each entry is one framed
+    (CRC32 + length-prefixed) line holding the positional JSON array
+    ``[schema, key, packed_result]`` with the result in the packed form
+    of :func:`repro.serialization.layer_result_pack`; unframed lines
+    from pre-store caches are still accepted.  A shard is parsed
+    wholesale on first touch (hundreds of tiny per-entry files would
+    make a warm start open-bound), appended-to with a single
+    ``O_APPEND`` write per new result, and duplicate keys resolve
+    last-wins.  A torn final line (killed writer) is skipped and
+    counted; corrupt mid-file lines are quarantined to
+    ``<shard>.quarantine`` rather than dropped; either way concurrent
+    writers sharing a directory degrade to extra misses, never to
+    wrong results.  Write errors (full disk, read-only mounts) raise
+    one deduped :class:`~repro.errors.ReproWarning` per shard and drop
+    the cache to memory-only for that shard, tracked in ``health``.
+
+    ``disk_puts=False`` makes the disk tier read-only: pool workers
+    share the campaign's shards for warm starts without every worker
+    appending duplicate entries.
     """
 
-    def __init__(self, capacity: int = 4096, cache_dir: str | Path | None = None):
+    def __init__(
+        self,
+        capacity: int = 4096,
+        cache_dir: str | Path | None = None,
+        *,
+        disk_puts: bool = True,
+        fsync: bool = False,
+    ):
         if capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         self.capacity = capacity
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.health = store.StorageHealth()
+        self._disk_puts = disk_puts
+        self._fsync = fsync
         self._memory: OrderedDict[str, LayerResult] = OrderedDict()
         #: Parsed-but-not-yet-reconstructed disk payloads, per key.
         self._disk_index: dict[str, list] = {}
@@ -357,6 +389,8 @@ class ResultCache:
             misses=self._misses,
             disk_hits=self._disk_hits,
             puts=self._puts,
+            torn_records=self.health.torn_records,
+            quarantined_records=self.health.quarantined_records,
         )
 
     # -- memory tier ---------------------------------------------------
@@ -383,24 +417,35 @@ class ResultCache:
     def _load_shard(self, shard: str) -> None:
         """Parse one shard file into the payload index (idempotent)."""
         self._loaded_shards.add(shard)
+        path = self._shard_path(shard)
         try:
-            with open(self._shard_path(shard), "rb") as handle:
-                lines = handle.read().splitlines()
+            with open(path, "rb") as handle:
+                data = handle.read()
         except OSError:
             return
-        if not lines:
+        if not data:
             return
-        try:
-            # One C-level parse of the whole shard; falls back to
-            # per-line parsing when any line is torn.
-            payloads = json.loads(b"[" + b",".join(lines) + b"]")
-        except json.JSONDecodeError:
-            payloads = []
-            for line in lines:
-                try:
-                    payloads.append(json.loads(line))
-                except json.JSONDecodeError:
-                    continue  # torn line from a concurrent writer
+        scan = store.parse_log(data)
+        health = self.health
+        health.torn_records += scan.torn
+        health.legacy_records += scan.legacy
+        corrupt = list(scan.corrupt)
+        payloads = []
+        if scan.records:
+            try:
+                # One C-level parse of the whole shard; falls back to
+                # per-line parsing when any record's payload is bad.
+                payloads = json.loads(b"[" + b",".join(scan.records) + b"]")
+            except json.JSONDecodeError:
+                payloads = []
+                for line in scan.records:
+                    try:
+                        payloads.append(json.loads(line))
+                    except json.JSONDecodeError:
+                        corrupt.append(line)  # framed but non-JSON payload
+        if corrupt:
+            health.quarantined_records += len(corrupt)
+            store.quarantine_records(path, corrupt, health=health)
         index = self._disk_index
         for payload in payloads:
             # Positional entry: ``[schema, key, packed_result]``.
@@ -429,23 +474,31 @@ class ResultCache:
             return None  # corrupt / stale entry: treat as a miss
 
     def _disk_put(self, key: str, result: LayerResult) -> None:
-        if self.cache_dir is None:
+        if self.cache_dir is None or not self._disk_puts:
             return
         from ..serialization import layer_result_pack
 
         # Positional entry (schema tag first): arrays parse measurably
         # faster than objects and drop three field-name strings per
-        # line from every warm start.
-        line = json.dumps(
+        # line from every warm start.  The store layer frames the line
+        # (CRC32 + length) and lands it with one O_APPEND write; a
+        # failed write degrades this shard to memory-only with one
+        # ReproWarning instead of vanishing silently.
+        payload = json.dumps(
             [CACHE_SCHEMA_VERSION, key, layer_result_pack(result)],
             separators=(",", ":"),
+        ).encode()
+        store.append_record(
+            self._shard_path(key[:1]),
+            payload,
+            fsync=self._fsync,
+            health=self.health,
         )
-        try:
-            os.makedirs(str(self.cache_dir), exist_ok=True)
-            with open(self._shard_path(key[:1]), "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
-        except OSError:
-            pass  # a read-only cache directory degrades to memory-only
+
+    @property
+    def storage_degraded(self) -> bool:
+        """Whether any shard write has failed this run."""
+        return self.health.storage_degraded
 
     # -- public API ----------------------------------------------------
     def get(self, key: str) -> LayerResult | None:
@@ -1559,7 +1612,13 @@ class SweepRunner:
         if self._pool is None or self._pool.closed:
             from .pool import WorkerPool
 
-            self._pool = WorkerPool(self.max_workers)
+            # Workers mount the campaign's disk tier read-only: warm
+            # shards serve hits, but only the parent appends, so N
+            # workers cannot write N duplicate entries per result.
+            self._pool = WorkerPool(
+                self.max_workers,
+                cache_dir=getattr(self.cache, "cache_dir", None),
+            )
             self.pool_stats = self._pool.stats
             weakref.finalize(self, _close_pool, self._pool)
         self._pool.ensure_workers()
@@ -1954,11 +2013,28 @@ class SweepRunner:
                 f"{stat.mode}, {stat.attempts} attempt(s), "
                 f"{stat.wall_time_s * 1e3:.1f} ms"
             )
+        storage = self._storage_health()
+        if storage.noteworthy:
+            lines.append(f"  storage: {storage.describe()}")
         for failure in self.failures:
             lines.append(f"  failure: {failure.describe()}")
             if failure.traceback_summary:
                 lines.append(f"    at {failure.traceback_summary}")
         return "\n".join(lines)
+
+    def _storage_health(self) -> "store.StorageHealth":
+        """Combined cache + manifest storage condition."""
+        return store.StorageHealth.merged(
+            (
+                getattr(self.cache, "health", None),
+                getattr(self.manifest, "health", None),
+            )
+        )
+
+    @property
+    def storage_degraded(self) -> bool:
+        """Whether any cache-shard or manifest write failed this run."""
+        return self._storage_health().storage_degraded
 
     @property
     def total_wall_time_s(self) -> float:

@@ -19,6 +19,19 @@ recomputed when it did not.  Either way the analytical models are
 pure functions of the job key, so a resumed campaign is byte-identical
 to an uninterrupted run; the manifest only decides which jobs may skip
 the (parallel) execution machinery and how progress is reported.
+
+Storage goes through :mod:`repro.core.store`: every line is a framed
+(CRC32 + length) record appended with a single ``O_APPEND`` write and
+fsynced, so concurrent writers cannot interleave partial lines and a
+kill mid-append leaves a detectable torn tail instead of a corrupt
+ledger.  Unframed lines from pre-store manifests are still accepted
+on resume.  Starting fresh never silently clobbers a *different*
+campaign's ledger: a non-matching ``campaign.jsonl`` is preserved as
+``campaign.jsonl.stale-<id12>`` with a warning first, so a mistyped
+``--cache-dir`` cannot destroy another run's resume state.  Write
+failures (full disk, read-only mounts) degrade the manifest to
+in-memory operation with one :class:`~repro.errors.ReproWarning` per
+path, tracked in :attr:`CampaignManifest.health`.
 """
 
 from __future__ import annotations
@@ -28,6 +41,8 @@ import json
 import os
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
+
+from . import store
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (batch imports us lazily)
     from .batch import JobFailure, SweepJob
@@ -80,7 +95,7 @@ class CampaignManifest:
     ``*.jsonl`` file path.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, *, fsync: bool = True):
         path = Path(path)
         if path.suffix == ".jsonl":
             self.path = path
@@ -88,6 +103,8 @@ class CampaignManifest:
             self.path = path / MANIFEST_FILENAME
         self.campaign_id: str | None = None
         self.resumed = False
+        self.health = store.StorageHealth()
+        self._fsync = fsync
         self._keys: list[str] = []
         self._done: set[int] = set()
         self._failed: set[int] = set()
@@ -115,13 +132,19 @@ class CampaignManifest:
     def _load_existing(self) -> bool:
         """Parse a prior manifest; ``True`` iff it matches this campaign."""
         try:
-            lines = self.path.read_bytes().splitlines()
+            data = self.path.read_bytes()
         except OSError:
             return False
-        if not lines:
+        scan = store.parse_log(data)
+        self.health.torn_records += scan.torn
+        self.health.legacy_records += scan.legacy
+        if scan.corrupt:
+            self.health.quarantined_records += len(scan.corrupt)
+            store.quarantine_records(str(self.path), scan.corrupt)
+        if not scan.records:
             return False
         try:
-            header = json.loads(lines[0])
+            header = json.loads(scan.records[0])
         except json.JSONDecodeError:
             return False
         if (
@@ -130,11 +153,11 @@ class CampaignManifest:
             or header.get("campaign") != self.campaign_id
         ):
             return False
-        for line in lines[1:]:
+        for line in scan.records[1:]:
             try:
                 event = json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn tail line from the killed run
+                continue  # unparseable record (should not survive framing)
             if not isinstance(event, dict):
                 continue
             index = event.get("index")
@@ -159,23 +182,68 @@ class CampaignManifest:
                 "jobs": len(self._keys),
             },
             separators=(",", ":"),
+        ).encode()
+        self._preserve_foreign()
+        # Atomic header write (tmp + os.replace under the exclusive
+        # lock): a reader never sees a half-started manifest, and a
+        # same-campaign restart replaces its own ledger in one step.
+        store.rewrite_log(
+            str(self.path), [header], fsync=self._fsync, health=self.health
         )
+
+    def _preserve_foreign(self) -> None:
+        """Move aside an existing manifest from a *different* campaign.
+
+        Restarting the *same* campaign without ``--resume`` rewrites its
+        own ledger silently (that is an explicit user choice), but a
+        ledger bound to another campaign id -- typically a mistyped
+        ``--cache-dir`` -- is renamed to ``campaign.jsonl.stale-<id12>``
+        and warned about, never destroyed.
+        """
         try:
-            os.makedirs(str(self.path.parent), exist_ok=True)
-            with open(self.path, "w", encoding="utf-8") as handle:
-                handle.write(header + "\n")
+            data = self.path.read_bytes()
         except OSError:
-            pass  # read-only location: manifest degrades to in-memory
+            return
+        if not data.strip():
+            return
+        existing_id = None
+        scan = store.parse_log(data)
+        if scan.records:
+            try:
+                header = json.loads(scan.records[0])
+                if isinstance(header, dict):
+                    existing_id = header.get("campaign")
+            except json.JSONDecodeError:
+                pass
+        if existing_id == self.campaign_id:
+            return
+        stale_id = store._stale_id(data, existing_id)
+        target = self.path.with_name(f"{self.path.name}.stale-{stale_id}")
+        try:
+            os.replace(self.path, target)
+        except OSError as exc:
+            store.record_degradation(str(self.path), exc, self.health)
+            return
+        store.warn_once(
+            ("stale-manifest", str(target)),
+            f"existing manifest {self.path} belongs to a different "
+            f"campaign; preserved as {target.name} instead of "
+            "overwriting it (check your --cache-dir)",
+        )
 
     # -- event log -----------------------------------------------------
     def _append(self, event: dict) -> None:
+        # Framed single-write O_APPEND append via the store layer;
+        # bookkeeping failures degrade to memory with one warning per
+        # path instead of taking the campaign down.
         try:
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(json.dumps(event, separators=(",", ":")) + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-        except (OSError, ValueError):
-            pass  # never let bookkeeping take a campaign down
+            payload = json.dumps(event, separators=(",", ":")).encode()
+        except (TypeError, ValueError) as exc:
+            store.record_degradation(str(self.path), exc, self.health)
+            return
+        store.append_record(
+            str(self.path), payload, fsync=self._fsync, health=self.health
+        )
 
     def mark_done(self, index: int) -> None:
         """Record one job as completed (idempotent), flushed to disk."""

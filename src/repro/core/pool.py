@@ -120,7 +120,9 @@ def _worker_traceback(exc: BaseException, limit: int = 4) -> str:
     return " <- ".join(reversed(parts)) if parts else ""
 
 
-def _pool_worker_main(job_conn, result_conn, close_conns, cache_capacity):
+def _pool_worker_main(
+    job_conn, result_conn, close_conns, cache_capacity, cache_dir=None
+):
     """Long-lived worker body: loop over job batches until told to stop.
 
     Protocol (all parent -> worker messages are ``pickle.dumps``'d by
@@ -145,7 +147,12 @@ def _pool_worker_main(job_conn, result_conn, close_conns, cache_capacity):
             pass
     from .batch import ResultCache, simulate_model_cached
 
-    cache = ResultCache(capacity=cache_capacity)
+    # The campaign's disk tier (when present) is mounted read-only:
+    # workers serve warm hits from shared shards, but only the parent
+    # appends results, so N workers never write N duplicate entries.
+    cache = ResultCache(
+        capacity=cache_capacity, cache_dir=cache_dir, disk_puts=False
+    )
     fingerprints: dict = {}
     while True:
         try:
@@ -284,12 +291,14 @@ class WorkerPool:
         max_workers: int,
         *,
         cache_capacity: int = 4096,
+        cache_dir=None,
         context: multiprocessing.context.BaseContext | None = None,
     ):
         if max_workers < 1:
             raise ValueError("pool needs at least one worker")
         self.max_workers = max_workers
         self.cache_capacity = cache_capacity
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self._ctx = context if context is not None else multiprocessing.get_context()
         self.workers: list[_PoolWorker] = []
         self.stats = PoolStats()
@@ -309,6 +318,7 @@ class WorkerPool:
                 result_writer,
                 (job_writer, result_reader),
                 self.cache_capacity,
+                self.cache_dir,
             ),
             daemon=True,
         )

@@ -12,14 +12,22 @@ The wrapper forwards everything else (``spec``, energy models, ...)
 to the inner simulator, so its cache fingerprint -- and therefore its
 cache entries and campaign manifest keys -- are identical to the
 healthy machine's.
+
+:class:`WriteErrorInjector` attacks the storage layer instead of the
+simulator: it swaps :mod:`repro.core.store`'s patchable os-level
+shims (``_os_write`` / ``_os_fsync``) for wrappers that raise a
+chosen ``OSError`` (ENOSPC by default), so full-disk and I/O-error
+behaviour -- degradation warnings, memory-only fallback, campaign
+survival -- is testable without actually filling a disk.
 """
 
 from __future__ import annotations
 
+import errno
 import os
 import time
 
-__all__ = ["CrashingSimulator"]
+__all__ = ["CrashingSimulator", "WriteErrorInjector"]
 
 
 class CrashingSimulator:
@@ -94,3 +102,52 @@ class CrashingSimulator:
         if name.startswith("_") or name == "inner":
             raise AttributeError(name)
         return getattr(self.inner, name)
+
+
+class WriteErrorInjector:
+    """Context manager failing store-level writes with an ``OSError``.
+
+    Patches ``repro.core.store._os_write`` and ``_os_fsync`` (the
+    indirection every store write funnels through) so that, after
+    ``fail_after`` successful calls, each further call raises
+    ``OSError(code)``.  Reads are untouched, so callers keep serving
+    warm data while their write path is "out of disk".  The number of
+    injected failures is available as :attr:`injected`.
+    """
+
+    def __init__(self, code: int = errno.ENOSPC, *, fail_after: int = 0):
+        self.code = code
+        self.fail_after = fail_after
+        self.calls = 0
+        self.injected = 0
+        self._saved = None
+
+    def _maybe_fail(self, op: str) -> None:
+        self.calls += 1
+        if self.calls > self.fail_after:
+            self.injected += 1
+            raise OSError(self.code, f"{os.strerror(self.code)} [injected {op}]")
+
+    def __enter__(self) -> "WriteErrorInjector":
+        from repro.core import store
+
+        real_write, real_fsync = store._os_write, store._os_fsync
+
+        def write(fd, data):
+            self._maybe_fail("write")
+            return real_write(fd, data)
+
+        def fsync(fd):
+            self._maybe_fail("fsync")
+            return real_fsync(fd)
+
+        self._saved = (real_write, real_fsync)
+        store._os_write = write
+        store._os_fsync = fsync
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        from repro.core import store
+
+        store._os_write, store._os_fsync = self._saved
+        self._saved = None

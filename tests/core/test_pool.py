@@ -28,7 +28,7 @@ from pathlib import Path
 import pytest
 
 from crashkit import CrashingSimulator
-from repro.core import batch
+from repro.core import batch, store
 from repro.core.batch import (
     NullCache,
     ResultCache,
@@ -380,10 +380,7 @@ def test_pool_campaign_manifest_has_no_lost_or_duplicate_entries(
         runner.run(jobs)
         assert runner.manifest.completed == 5
         assert runner.manifest.failed == 1
-    entries = [
-        json.loads(line)
-        for line in (cache_dir / "campaign.jsonl").read_text().splitlines()
-    ]
+    entries = list(store.iter_json_records(cache_dir / "campaign.jsonl"))
     done = [e["index"] for e in entries if e.get("event") == "done"]
     assert sorted(done) == [0, 1, 2, 4, 5]  # every success exactly once
     assert len(done) == len(set(done))

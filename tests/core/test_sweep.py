@@ -19,7 +19,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import batch
+from repro.core import batch, store
 from repro.core.batch import (
     NullCache,
     ResultCache,
@@ -31,6 +31,7 @@ from repro.core.batch import (
     simulator_fingerprint,
 )
 from repro.core.layer import ConvLayer, LayerSet
+from repro.errors import ReproWarning
 from repro.serialization import (
     layer_result_pack,
     layer_result_to_dict,
@@ -206,18 +207,30 @@ def test_disk_tier_survives_torn_and_corrupt_lines(tmp_path, simulator):
     writer = ResultCache(cache_dir=tmp_path)
     written = simulate_layer_cached(simulator, layer, cache=writer)
 
-    # Mangle every shard file: prepend garbage, a truncated JSON line
-    # and an entry with a corrupt float blob.
+    # Mangle every shard file: prepend garbage, a truncated line and a
+    # well-framed entry with a corrupt float blob, then keep the good
+    # framed record last.
     for shard in tmp_path.glob("*.jsonl"):
-        good = shard.read_text()
-        key = json.loads(good)[1]
-        corrupt = json.dumps([batch.CACHE_SCHEMA_VERSION, key, [[], [], [], [], "zz", []]])
-        shard.write_text('not json\n{"torn": \n' + corrupt + "\n" + good)
+        good = shard.read_bytes()
+        key = json.loads(store.parse_log(good).records[0])[1]
+        corrupt = store.frame_record(
+            json.dumps(
+                [batch.CACHE_SCHEMA_VERSION, key, [[], [], [], [], "zz", []]]
+            ).encode()
+        )
+        shard.write_bytes(b'not json\n{"torn": \n' + corrupt + good)
 
     reader = ResultCache(cache_dir=tmp_path)
-    restored = simulate_layer_cached(simulator, layer, cache=reader)
+    with pytest.warns(ReproWarning, match="quarantined"):
+        restored = simulate_layer_cached(simulator, layer, cache=reader)
     assert restored == written  # last valid line wins
     assert reader.stats.disk_hits == 1
+    # The two unparseable mid-file lines were preserved, not dropped.
+    assert reader.stats.quarantined_records == 2
+    quarantine = next(tmp_path.glob("*.jsonl")).with_suffix(
+        ".jsonl" + store.QUARANTINE_SUFFIX
+    )
+    assert quarantine.read_bytes() == b'not json\n{"torn": \n'
 
 
 def test_corrupt_only_entry_is_a_miss(tmp_path, simulator, fingerprint):
@@ -226,12 +239,29 @@ def test_corrupt_only_entry_is_a_miss(tmp_path, simulator, fingerprint):
     simulate_layer_cached(simulator, layer, cache=writer)
     key = layer_cache_key(fingerprint, layer, True)
     for shard in tmp_path.glob("*.jsonl"):
-        entry = json.loads(shard.read_text())
+        entry = json.loads(store.parse_log(shard.read_bytes()).records[0])
         entry[2] = entry[2][:3]  # truncate the packed payload
-        shard.write_text(json.dumps(entry) + "\n")
+        shard.write_bytes(
+            store.frame_record(json.dumps(entry).encode())
+        )
     reader = ResultCache(cache_dir=tmp_path)
     assert reader.get(key) is None
     assert reader.stats.misses == 1 and reader.stats.disk_hits == 0
+
+
+def test_legacy_unframed_shards_still_readable(tmp_path, simulator):
+    """Pre-store caches (bare JSON lines) keep serving warm hits."""
+    layer = _layer()
+    writer = ResultCache(cache_dir=tmp_path)
+    written = simulate_layer_cached(simulator, layer, cache=writer)
+    for shard in tmp_path.glob("*.jsonl"):
+        records = store.parse_log(shard.read_bytes()).records
+        shard.write_bytes(b"".join(r + b"\n" for r in records))  # unframe
+    reader = ResultCache(cache_dir=tmp_path)
+    restored = simulate_layer_cached(simulator, layer, cache=reader)
+    assert restored == written
+    assert reader.stats.disk_hits == 1
+    assert reader.health.legacy_records == 1
 
 
 # ----------------------------------------------------------------------
