@@ -94,6 +94,46 @@ def build_parser() -> argparse.ArgumentParser:
         "the disk cache (requires --cache-dir or $REPRO_SWEEP_CACHE_DIR)",
     )
     parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="campaign wall-clock budget: stop dispatching new sweep "
+        "jobs after SECONDS, drain in-flight work, flush the manifest "
+        "and report partial results (exit code 3; resumable)",
+    )
+    parser.add_argument(
+        "--max-rss",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="per-worker resident-set budget: the parent's heartbeat "
+        "terminates any pool worker whose RSS exceeds MB and charges "
+        "the job a retryable MemoryBudgetExceeded attempt instead of "
+        "letting the host OOM",
+    )
+    parser.add_argument(
+        "--max-failures",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop the campaign (drain + flush, exit code 3) after N "
+        "job failures",
+    )
+    parser.add_argument(
+        "--drain-signal",
+        action="store_true",
+        help="two-stage SIGINT/SIGTERM handling: the first signal "
+        "drains in-flight jobs and flushes the manifest (exit code 3, "
+        "resumable), a second aborts immediately",
+    )
+    parser.add_argument(
+        "--retry-quarantined",
+        action="store_true",
+        help="with --resume: make jobs quarantined as poison by a "
+        "prior run eligible again",
+    )
+    parser.add_argument(
         "--no-audit",
         action="store_true",
         help="disable the sweep engine's post-run invariant audit "
@@ -351,6 +391,14 @@ def _command_run(args: argparse.Namespace) -> int:
     result = runner.run(
         [batch.SweepJob(simulator, model, layer_by_layer=args.layer_by_layer)]
     )[0]
+    if result is None:
+        # Either a skipped failure (--on-error skip) or a budget/drain
+        # stop before the single job completed; main() converts a
+        # stopped outcome into exit code 3.
+        for failure in runner.failures:
+            print(f"failed: {failure.describe()}", file=sys.stderr)
+        print("run did not complete", file=sys.stderr)
+        return 1 if runner.failures else 0
     energy = result.energy
     print(f"{result.accelerator} / {result.model}")
     print(f"  execution time : {result.execution_time_s * 1e3:.3f} ms")
@@ -726,9 +774,33 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes: 0 success, 1 command-level failure (doctor findings,
+    no feasible search result, skipped job failures), 2 configuration
+    error, 3 (:data:`~repro.core.budget.EXIT_BUDGET_STOPPED`) the
+    campaign stopped early under a budget or drain signal with a
+    resumable manifest.
+    """
+    from .core.budget import EXIT_BUDGET_STOPPED, CampaignBudget, GracefulDrain
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    budget = None
+    if (
+        args.deadline is not None
+        or args.max_rss is not None
+        or args.max_failures is not None
+    ):
+        try:
+            budget = CampaignBudget(
+                deadline_s=args.deadline,
+                max_rss_mb=args.max_rss,
+                max_failures=args.max_failures,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     batch.configure(
         workers=args.workers,
         cache_enabled=False if args.no_cache else None,
@@ -741,15 +813,41 @@ def main(argv: list[str] | None = None) -> int:
         pool=args.pool,
         pool_batch=args.pool_batch,
         vectorize=args.vectorize,
+        budget=budget,
+        retry_quarantined=True if args.retry_quarantined else None,
     )
+    batch.clear_last_outcome()
     try:
-        return _COMMANDS[args.command](args)
+        if args.drain_signal:
+            with GracefulDrain():
+                rc = _COMMANDS[args.command](args)
+        else:
+            rc = _COMMANDS[args.command](args)
     except ReproError as exc:
         # Configuration-level rejections (unknown machine, malformed
         # config file, infeasible photonics, ...) are user errors, not
         # crashes: one line on stderr, exit code 2, no traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except Exception:
+        # A budget/drain stop can leave a command with zero results and
+        # crash its downstream rendering (e.g. a mean over no rows).
+        # The stop is the root cause and the manifest is resumable, so
+        # report the stop instead of the symptom's traceback.
+        outcome = batch.last_campaign_outcome()
+        if outcome is None or not outcome.stopped:
+            raise
+        print(
+            f"campaign stopped early: {outcome.describe()}", file=sys.stderr
+        )
+        return EXIT_BUDGET_STOPPED
+    outcome = batch.last_campaign_outcome()
+    if rc == 0 and outcome is not None and outcome.stopped:
+        print(
+            f"campaign stopped early: {outcome.describe()}", file=sys.stderr
+        )
+        rc = EXIT_BUDGET_STOPPED
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -12,10 +12,18 @@ from .batch import (
     SweepJob,
     SweepJobError,
     SweepRunner,
+    last_campaign_outcome,
     layer_cache_key,
     simulate_layer_cached,
     simulate_model_cached,
     spec_fingerprint,
+)
+from .budget import (
+    EXIT_BUDGET_STOPPED,
+    CampaignBudget,
+    CampaignOutcome,
+    CircuitBreaker,
+    GracefulDrain,
 )
 from .campaign import CampaignManifest, job_content_key, model_content_key
 from .faults import InfeasibleFaultError
@@ -44,7 +52,13 @@ from .traffic import NetworkCapabilities, TrafficSummary, derive_traffic
 __all__ = [
     "AcceleratorSpec",
     "CacheStats",
+    "CampaignBudget",
     "CampaignManifest",
+    "CampaignOutcome",
+    "CircuitBreaker",
+    "EXIT_BUDGET_STOPPED",
+    "GracefulDrain",
+    "last_campaign_outcome",
     "CommunicationTimes",
     "FileLock",
     "FileScan",

@@ -47,6 +47,7 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import pickle
+import random
 import time
 import traceback
 import weakref
@@ -62,6 +63,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only (campaign imports us)
 from ..errors import InvariantViolationError
 from . import store
 from .accelerator import AcceleratorSpec
+from .budget import CampaignBudget, CampaignOutcome, CircuitBreaker
+from .budget import global_stop as _global_stop
 from .invariants import _PREAUDIT_ATTR, audit_model_result
 from .layer import ConvLayer, LayerSet
 from .mapping import Mapping
@@ -83,14 +86,27 @@ __all__ = [
     "JobFailure",
     "SweepJobError",
     "SweepRunner",
+    "CampaignBudget",
+    "CampaignOutcome",
     "configure",
+    "default_budget",
     "default_pool",
     "default_vectorize",
     "default_workers",
     "default_cache",
     "default_manifest",
+    "last_campaign_outcome",
+    "clear_last_outcome",
     "reset_default_cache",
 ]
+
+#: Attempt failure kinds that indicate the *worker* was killed rather
+#: than the job merely raising: these count toward a job's poison
+#: quarantine threshold (a job that keeps taking workers down must not
+#: be allowed to grind through the whole retry budget forever).
+_CRASH_KINDS = frozenset(
+    {"WorkerCrashed", "TimeoutError", "MemoryBudgetExceeded"}
+)
 
 logger = logging.getLogger(__name__)
 
@@ -861,14 +877,25 @@ class JobFailure:
     #: :meth:`repro.core.invariants.InvariantViolation.to_dict`) when
     #: the job failed the post-run result audit; empty otherwise.
     violations: tuple = ()
+    #: Wall-clock seconds of each attempt, in attempt order.
+    attempt_wall_times_s: tuple = ()
+    #: Total backoff seconds waited between this job's attempts.
+    backoff_slept_s: float = 0.0
+    #: The job was quarantined as poison (its attempts kept killing
+    #: workers); it is never re-attempted this run and stays skipped
+    #: on a plain resume until ``retry_quarantined`` is requested.
+    quarantined: bool = False
 
     def describe(self) -> str:
         """One-line human-readable failure summary."""
-        return (
+        text = (
             f"job #{self.index} ({self.accelerator} / {self.model}) failed "
             f"after {self.attempts} attempt(s): "
             f"{self.error_type}: {self.message}"
         )
+        if self.quarantined:
+            text += " [quarantined]"
+        return text
 
 
 class SweepJobError(RuntimeError):
@@ -993,6 +1020,8 @@ class SweepRunner:
         pool: bool | None = None,
         pool_batch: int | None = None,
         vectorize: bool | None = None,
+        budget: "CampaignBudget | None | bool" = None,
+        retry_quarantined: bool | None = None,
     ):
         self.max_workers = default_workers() if max_workers is None else max_workers
         self.cache = default_cache() if cache is None else cache
@@ -1057,11 +1086,129 @@ class SweepRunner:
         self.used_fallback = False
         self.fallback_reason: str | None = None
         self.resumed_jobs = 0
+        #: Campaign budget (``None``: :func:`default_budget`; ``False``:
+        #: explicitly none, mirroring the ``manifest`` convention).
+        if budget is None:
+            self.budget = default_budget()
+        elif budget is False:
+            self.budget = None
+        else:
+            self.budget = budget
+        #: Make jobs a prior run quarantined eligible again on resume.
+        self.retry_quarantined = (
+            _defaults.retry_quarantined
+            if retry_quarantined is None
+            else bool(retry_quarantined)
+        )
+        #: Structured summary of the last :meth:`run` (also built when
+        #: the run raised): see :class:`~repro.core.budget.CampaignOutcome`.
+        self.outcome: "CampaignOutcome | None" = None
+        # Sticky stop state: a budget breach or drain signal stops
+        # *the campaign* -- i.e. the runner's lifetime, which may span
+        # several run() calls (chunked DSE loops, availability phases).
+        self._stop_reason: str | None = None
+        self._stop_diagnosis = ""
+        self._campaign_started: float | None = None
+        self._deadline: float | None = None
+        self._breaker = (
+            CircuitBreaker(
+                self.budget.breaker_window, self.budget.breaker_threshold
+            )
+            if self.budget is not None and self.budget.breaker_window > 0
+            else None
+        )
+        self._budget_failures = 0
+        self._budget_consec = 0
+        #: Worker-killing attempt counts per campaign job index (the
+        #: poison-quarantine counter); reset per run().
+        self._crash_counts: dict[int, int] = {}
+        #: Full-jitter backoff RNG; re-seeded deterministically per
+        #: run() (from the manifest's campaign id when one is bound).
+        self._jitter_rng = random.Random(0)
+        # Time-lost-to-retries accounting for the last run().
+        self._retry_attempts = 0
+        self._retry_wall_s = 0.0
+        self._retry_backoff_s = 0.0
 
     # -- shared helpers ------------------------------------------------
     def _backoff_delay(self, attempt: int) -> float:
-        """Exponential backoff before retry number ``attempt + 1``."""
-        return self.backoff_s * (2.0 ** (attempt - 1))
+        """Full-jitter backoff before retry number ``attempt + 1``.
+
+        Uniform in ``[0, backoff_s * 2**(attempt-1)]`` -- the classic
+        exponential envelope stays the *maximum*, while the jitter
+        stops parallel workers retrying after a shared-cause failure
+        from thundering back in lockstep.  The RNG is seeded from the
+        campaign id, so a fixed campaign replays identical delays.
+        """
+        envelope = self.backoff_s * (2.0 ** (attempt - 1))
+        return self._jitter_rng.uniform(0.0, envelope)
+
+    def request_stop(self, reason: str, diagnosis: str = "") -> None:
+        """Stop the campaign: no new dispatch, drain, flush, return.
+
+        Idempotent -- the first stop reason wins.  In-flight attempts
+        are drained normally; undispatched jobs stay *pending* in the
+        manifest (no failure record), so a later ``--resume`` finishes
+        the campaign byte-identically.
+        """
+        if self._stop_reason is not None:
+            return
+        self._stop_reason = reason
+        self._stop_diagnosis = diagnosis
+        logger.warning(
+            "sweep campaign stopping (%s)%s",
+            reason,
+            f": {diagnosis}" if diagnosis else "",
+        )
+
+    @property
+    def stopped(self) -> bool:
+        """Whether a budget or signal has stopped this campaign."""
+        return self._stop_reason is not None
+
+    def _check_stop(self, now: float | None = None) -> bool:
+        """Consult every stop source; ``True`` when dispatch must end."""
+        if self._stop_reason is not None:
+            return True
+        pending = _global_stop()
+        if pending is not None:
+            self.request_stop(*pending)
+            return True
+        if self._deadline is not None:
+            if (time.monotonic() if now is None else now) >= self._deadline:
+                self.request_stop(
+                    "deadline",
+                    f"the {self.budget.deadline_s}s campaign deadline "
+                    "expired",
+                )
+                return True
+        return False
+
+    def _note_attempt(self, ok: bool, error_type: str | None = None) -> None:
+        """Feed one attempt outcome to the budget circuit breaker."""
+        if ok:
+            self._budget_consec = 0
+        if self._breaker is not None and not self._breaker.tripped:
+            if self._breaker.record(ok, error_type):
+                self.request_stop(
+                    "breaker",
+                    "circuit breaker tripped: " + self._breaker.diagnosis(),
+                )
+
+    def _poisoned(self, index: int, error_type: str) -> bool:
+        """Count a worker-killing attempt; ``True`` once the job at
+        ``index`` has crossed the poison threshold and must be
+        quarantined instead of retried (even with budget left)."""
+        budget = self.budget
+        if (
+            budget is None
+            or budget.poison_threshold is None
+            or error_type not in _CRASH_KINDS
+        ):
+            return False
+        count = self._crash_counts.get(index, 0) + 1
+        self._crash_counts[index] = count
+        return count >= budget.poison_threshold
 
     def _record_failure(
         self,
@@ -1074,6 +1221,9 @@ class SweepRunner:
         attempts: int,
         phase: str,
         violations: tuple = (),
+        quarantined: bool = False,
+        attempt_wall_times_s: tuple = (),
+        backoff_slept_s: float = 0.0,
     ) -> JobFailure:
         failure = JobFailure(
             index=index,
@@ -1085,11 +1235,41 @@ class SweepRunner:
             attempts=attempts,
             phase=phase,
             violations=violations,
+            attempt_wall_times_s=attempt_wall_times_s,
+            backoff_slept_s=backoff_slept_s,
+            quarantined=quarantined,
         )
         self.failures.append(failure)
         logger.warning("sweep %s", failure.describe())
         if self.manifest is not None:
-            self.manifest.mark_failed(index, failure)
+            if quarantined:
+                self.manifest.mark_quarantined(index, failure)
+            else:
+                self.manifest.mark_failed(index, failure)
+        # Failure-count budgets: stop the campaign (graceful drain, not
+        # an abort) once too many jobs failed permanently.
+        self._budget_failures += 1
+        self._budget_consec += 1
+        budget = self.budget
+        if budget is not None and self._stop_reason is None:
+            if (
+                budget.max_failures is not None
+                and self._budget_failures >= budget.max_failures
+            ):
+                self.request_stop(
+                    "max-failures",
+                    f"{self._budget_failures} permanent job failure(s) "
+                    "reached the max_failures budget",
+                )
+            elif (
+                budget.max_consecutive_failures is not None
+                and self._budget_consec >= budget.max_consecutive_failures
+            ):
+                self.request_stop(
+                    "max-consecutive-failures",
+                    f"{self._budget_consec} permanent job failure(s) in "
+                    "a row reached the max_consecutive_failures budget",
+                )
         return failure
 
     def _finish_job(self, stats: JobStats) -> None:
@@ -1258,15 +1438,25 @@ class SweepRunner:
         results: list[ModelResult | None] = []
         fingerprints: dict[int, str] = {}
         overlay = self._prewarm_vectorized(jobs, fingerprints)
+        # Resumed replays are exempt from stop checks: they are cheap
+        # cache reads that materialise already-earned results.
+        check_stop = mode != "resumed"
         for index, job in zip(
             range(len(jobs)) if indexes is None else indexes, jobs
         ):
+            if check_stop and self._check_stop():
+                # Budget/signal stop: remaining jobs stay pending in
+                # the manifest (no record), resumable later.
+                break
             sim_id = id(job.simulator)
             if sim_id not in fingerprints:
                 fingerprints[sim_id] = simulator_fingerprint(job.simulator)
             attempts = 0
             result: ModelResult | None = None
             failure: JobFailure | None = None
+            abandoned = False
+            wall_times: list[float] = []
+            backoff_total = 0.0
             job_vectorize = (
                 self.vectorize
                 if getattr(job, "vectorize", None) is None
@@ -1323,6 +1513,7 @@ class SweepRunner:
                                 violations=tuple(violations),
                             )
                     elapsed = time.perf_counter() - start
+                    self._note_attempt(True)
                     break
                 except InvariantViolationError as exc:
                     # A violating result is deterministic -- retrying
@@ -1330,7 +1521,9 @@ class SweepRunner:
                     # is skipped and the job fails immediately with
                     # the structured violation payload attached.
                     elapsed = time.perf_counter() - start
+                    wall_times.append(elapsed)
                     result = None
+                    self._note_attempt(False, type(exc).__name__)
                     failure = self._record_failure(
                         index,
                         job,
@@ -1342,12 +1535,26 @@ class SweepRunner:
                         violations=tuple(
                             v.to_dict() for v in (exc.violations or ())
                         ),
+                        attempt_wall_times_s=tuple(wall_times),
+                        backoff_slept_s=backoff_total,
                     )
                     break
                 except Exception as exc:
                     elapsed = time.perf_counter() - start
+                    wall_times.append(elapsed)
+                    self._note_attempt(False, type(exc).__name__)
                     if attempts <= self.retries:
-                        time.sleep(self._backoff_delay(attempts))
+                        if check_stop and self._check_stop():
+                            # Stopped mid-retry: leave the job pending
+                            # (unrecorded) so a resume re-attempts it.
+                            abandoned = True
+                            break
+                        delay = self._backoff_delay(attempts)
+                        self._retry_attempts += 1
+                        self._retry_wall_s += elapsed
+                        self._retry_backoff_s += delay
+                        backoff_total += delay
+                        time.sleep(delay)
                         continue
                     failure = self._record_failure(
                         index,
@@ -1357,8 +1564,12 @@ class SweepRunner:
                         traceback_summary=_traceback_summary(exc),
                         attempts=attempts,
                         phase="serial",
+                        attempt_wall_times_s=tuple(wall_times),
+                        backoff_slept_s=backoff_total,
                     )
                     break
+            if abandoned:
+                break
             results.append(result)
             self._finish_job(
                 JobStats(
@@ -1404,18 +1615,31 @@ class SweepRunner:
             (pos, 1, 0.0) for pos in range(n)
         ]
         active: dict = {}  # reader connection -> _ActiveAttempt
+        attempt_walls: dict[int, list[float]] = {}
+        backoff_spent: dict[int, float] = {}
 
         def final_failure(
             entry: _ActiveAttempt, error_type: str, message: str, tb: str
         ) -> JobFailure | None:
             """Handle one failed attempt; returns the permanent failure."""
-            if entry.attempt <= self.retries:
+            walls = attempt_walls.setdefault(entry.pos, [])
+            walls.append(time.monotonic() - entry.started)
+            self._note_attempt(False, error_type)
+            quarantine = self._poisoned(indexes[entry.pos], error_type)
+            if not quarantine and entry.attempt <= self.retries:
+                if self._check_stop():
+                    # Draining: the job stays pending (unrecorded) so a
+                    # resume re-attempts it with a fresh retry budget.
+                    return None
+                delay = self._backoff_delay(entry.attempt)
+                self._retry_attempts += 1
+                self._retry_wall_s += walls[-1]
+                self._retry_backoff_s += delay
+                backoff_spent[entry.pos] = (
+                    backoff_spent.get(entry.pos, 0.0) + delay
+                )
                 pending.append(
-                    (
-                        entry.pos,
-                        entry.attempt + 1,
-                        time.monotonic() + self._backoff_delay(entry.attempt),
-                    )
+                    (entry.pos, entry.attempt + 1, time.monotonic() + delay)
                 )
                 return None
             job = jobs[entry.pos]
@@ -1427,6 +1651,9 @@ class SweepRunner:
                 traceback_summary=tb,
                 attempts=entry.attempt,
                 phase="parallel",
+                quarantined=quarantine,
+                attempt_wall_times_s=tuple(walls),
+                backoff_slept_s=backoff_spent.get(entry.pos, 0.0),
             )
             job_stats[entry.pos] = JobStats(
                 model=job.model.name,
@@ -1446,6 +1673,13 @@ class SweepRunner:
         try:
             while pending or active:
                 now = time.monotonic()
+                if pending and self._check_stop(now):
+                    # Budget/signal stop: drop queued attempts (their
+                    # jobs stay pending in the manifest -> resumable)
+                    # and keep polling until the in-flight ones drain.
+                    pending = []
+                    if not active:
+                        break
                 # Launch attempts into free slots (skipping attempts
                 # still inside their backoff window).
                 while len(active) < self.max_workers:
@@ -1531,6 +1765,9 @@ class SweepRunner:
                                 entry.attempt = max(
                                     entry.attempt, self.retries + 1
                                 )
+                                self._note_attempt(
+                                    False, "InvariantViolationError"
+                                )
                                 failure = self._parallel_audit_failure(
                                     entry, indexes, jobs, job_stats,
                                     audit_found,
@@ -1538,6 +1775,7 @@ class SweepRunner:
                                 if self.on_error == "raise":
                                     raise SweepJobError(failure)
                                 continue
+                        self._note_attempt(True)
                         results[entry.pos] = result
                         job_stats[entry.pos] = JobStats(
                             model=job.model.name,
@@ -1615,9 +1853,16 @@ class SweepRunner:
             # Workers mount the campaign's disk tier read-only: warm
             # shards serve hits, but only the parent appends, so N
             # workers cannot write N duplicate entries per result.
+            budget = self.budget
             self._pool = WorkerPool(
                 self.max_workers,
                 cache_dir=getattr(self.cache, "cache_dir", None),
+                rss_limit_mb=(
+                    budget.max_rss_mb if budget is not None else None
+                ),
+                rlimit_as_mb=(
+                    budget.worker_rlimit_mb if budget is not None else None
+                ),
             )
             self.pool_stats = self._pool.stats
             weakref.finalize(self, _close_pool, self._pool)
@@ -1667,6 +1912,12 @@ class SweepRunner:
         ]
         #: task_id -> (pos, attempt, dispatched_at) for shipped jobs.
         active: dict[int, tuple[int, int, float]] = {}
+        attempt_walls: dict[int, list[float]] = {}
+        backoff_spent: dict[int, float] = {}
+        #: Positions whose last attempt breached the memory budget:
+        #: they re-dispatch *solo* (batch size 1) so a leaner retry
+        #: cannot take batch-mates down with it again.
+        solo: set[int] = set()
 
         def job_stat(
             pos: int,
@@ -1697,14 +1948,23 @@ class SweepRunner:
         ) -> JobFailure | None:
             """One failed attempt: schedule a retry or fail permanently."""
             pos, attempt, started = active.pop(task_id)
-            if attempt <= self.retries:
-                pending.append(
-                    (
-                        pos,
-                        attempt + 1,
-                        time.monotonic() + self._backoff_delay(attempt),
-                    )
-                )
+            walls = attempt_walls.setdefault(pos, [])
+            walls.append(time.monotonic() - started)
+            self._note_attempt(False, error_type)
+            if error_type == "MemoryBudgetExceeded":
+                solo.add(pos)
+            quarantine = self._poisoned(indexes[pos], error_type)
+            if not quarantine and attempt <= self.retries:
+                if self._check_stop():
+                    # Draining: the job stays pending (unrecorded) so
+                    # a resume re-attempts it with a fresh budget.
+                    return None
+                delay = self._backoff_delay(attempt)
+                self._retry_attempts += 1
+                self._retry_wall_s += walls[-1]
+                self._retry_backoff_s += delay
+                backoff_spent[pos] = backoff_spent.get(pos, 0.0) + delay
+                pending.append((pos, attempt + 1, time.monotonic() + delay))
                 return None
             failure = self._record_failure(
                 indexes[pos],
@@ -1714,6 +1974,9 @@ class SweepRunner:
                 traceback_summary=tb,
                 attempts=attempt,
                 phase="parallel",
+                quarantined=quarantine,
+                attempt_wall_times_s=tuple(walls),
+                backoff_slept_s=backoff_spent.get(pos, 0.0),
             )
             self._finish_job(
                 job_stat(
@@ -1731,6 +1994,13 @@ class SweepRunner:
         try:
             while pending or active:
                 now = time.monotonic()
+                if pending and self._check_stop(now):
+                    # Budget/signal stop: drop queued attempts (their
+                    # jobs stay pending in the manifest -> resumable)
+                    # and keep polling until the in-flight ones drain.
+                    pending = []
+                    if not active:
+                        break
                 ready = [e for e in pending if e[2] <= now]
                 waiting = [e for e in pending if e[2] > now]
                 if ready:
@@ -1740,6 +2010,16 @@ class SweepRunner:
                         size = adaptive_batch_size(
                             len(ready), pool.max_workers, self.pool_batch
                         )
+                        if solo:
+                            if ready[0][0] in solo:
+                                # A memory-budget casualty retries in a
+                                # batch of exactly one.
+                                size = 1
+                            else:
+                                for j in range(1, min(size, len(ready))):
+                                    if ready[j][0] in solo:
+                                        size = j
+                                        break
                         batch, ready = ready[:size], ready[size:]
                         started = time.monotonic()
                         items = []
@@ -1781,6 +2061,7 @@ class SweepRunner:
                     )
                 events = pool.poll(max(wait_s, 0.005))
                 events.extend(pool.expire())
+                events.extend(pool.sample_rss())
                 for event in events:
                     kind = event[0]
                     if kind == "ok":
@@ -1795,6 +2076,9 @@ class SweepRunner:
                                 # Deterministic failure: skip the retry
                                 # budget, keep the corrupt result out
                                 # of the cache and the manifest.
+                                self._note_attempt(
+                                    False, "InvariantViolationError"
+                                )
                                 failure = self._record_failure(
                                     indexes[pos],
                                     job,
@@ -1820,6 +2104,7 @@ class SweepRunner:
                                 if self.on_error == "raise":
                                     raise SweepJobError(failure)
                                 continue
+                        self._note_attempt(True)
                         results[pos] = result
                         self._seed_job(job, result)
                         if self.manifest is not None:
@@ -1867,6 +2152,27 @@ class SweepRunner:
                         )
                         if failure is not None and self.on_error == "raise":
                             raise SweepJobError(failure)
+                    elif kind == "oom":
+                        # The parent RSS watchdog killed a worker over
+                        # the memory budget: the executing job becomes
+                        # a structured, retryable failure instead of a
+                        # host-level OOM kill; batch-mates requeue free.
+                        _, current, queued, rss_mb = event
+                        requeue(queued)
+                        if current is not None:
+                            failure = failed_attempt(
+                                current,
+                                "MemoryBudgetExceeded",
+                                f"worker resident set {rss_mb:.0f} MB "
+                                f"exceeded the {pool.rss_limit_mb:.0f} MB "
+                                "memory budget; worker terminated",
+                                "",
+                            )
+                            if (
+                                failure is not None
+                                and self.on_error == "raise"
+                            ):
+                                raise SweepJobError(failure)
         finally:
             if active or pool.inflight_jobs:
                 # Abnormal exit (structural failure or SweepJobError)
@@ -1889,65 +2195,132 @@ class SweepRunner:
         """
         jobs = list(jobs)
         n = len(jobs)
+        run_started = time.monotonic()
+        if self._campaign_started is None:
+            # The campaign clock (and deadline) anchors at the first
+            # run() of this runner's lifetime: a chunked search or a
+            # multi-phase study shares one deadline across its runs.
+            self._campaign_started = run_started
+            if self.budget is not None and self.budget.deadline_s is not None:
+                self._deadline = run_started + self.budget.deadline_s
         self.stats = []
         self.failures = []
         self.used_fallback = False
         self.fallback_reason = None
         self.resumed_jobs = 0
         self.vectorized_fallbacks = []
+        self._crash_counts = {}
+        self._retry_attempts = 0
+        self._retry_wall_s = 0.0
+        self._retry_backoff_s = 0.0
         resume = self.resume if resume is None else resume
         done_indexes: list[int] = []
+        quarantined_indexes: set[int] = set()
+        jitter_seed = 0
         if self.manifest is not None:
-            self.manifest.begin(jobs, resume=resume)
+            self.manifest.begin(
+                jobs,
+                resume=resume,
+                retry_quarantined=self.retry_quarantined,
+            )
+            if self.manifest.campaign_id:
+                jitter_seed = int(self.manifest.campaign_id[:16], 16)
             if resume:
                 done_indexes = [
                     i for i in range(n) if self.manifest.is_done(i)
                 ]
+                # Poison jobs a prior run quarantined stay skipped on a
+                # plain resume (retry_quarantined already cleared them
+                # from the manifest when requested).
+                quarantined_indexes = {
+                    i for i in range(n) if self.manifest.is_quarantined(i)
+                }
+        self._jitter_rng = random.Random(jitter_seed)
         results: list[ModelResult | None] = [None] * n
-        if done_indexes:
-            # Replay completed jobs through the cache: byte-identical
-            # (disk hit or pure recomputation), and cheap when the
-            # cache directory survived the kill.
-            replayed = self._run_serial(
-                [jobs[i] for i in done_indexes],
-                indexes=done_indexes,
-                mode="resumed",
-                mark=False,
+        try:
+            if done_indexes:
+                # Replay completed jobs through the cache: byte-identical
+                # (disk hit or pure recomputation), and cheap when the
+                # cache directory survived the kill.
+                replayed = self._run_serial(
+                    [jobs[i] for i in done_indexes],
+                    indexes=done_indexes,
+                    mode="resumed",
+                    mark=False,
+                )
+                for i, result in zip(done_indexes, replayed):
+                    results[i] = result
+                self.resumed_jobs = len(done_indexes)
+            skip = set(done_indexes) | quarantined_indexes
+            todo = (
+                [i for i in range(n) if i not in skip]
+                if skip
+                else list(range(n))
             )
-            for i, result in zip(done_indexes, replayed):
-                results[i] = result
-            self.resumed_jobs = len(done_indexes)
-        todo = (
-            [i for i in range(n) if i not in set(done_indexes)]
-            if done_indexes
-            else list(range(n))
-        )
-        if todo:
-            sub = [jobs[i] for i in todo]
-            if self.max_workers <= 1 or len(sub) <= 1:
-                out = self._run_serial(sub, indexes=todo)
-            else:
-                parallel = self._run_pool if self.pool else self._run_parallel
-                try:
-                    out = parallel(sub, indexes=todo)
-                except SweepJobError:
-                    raise  # a *job* failed permanently: not structural
-                except Exception as exc:  # pool refused / pickling failed
-                    self.used_fallback = True
-                    self.fallback_reason = repr(exc)
-                    logger.warning(
-                        "sweep pool unavailable (%s); falling back to "
-                        "serial execution",
-                        self.fallback_reason,
-                    )
-                    self.stats = [s for s in self.stats if s.mode == "resumed"]
-                    self.failures = []
+            if todo:
+                sub = [jobs[i] for i in todo]
+                if self.max_workers <= 1 or len(sub) <= 1:
                     out = self._run_serial(sub, indexes=todo)
-            for i, result in zip(todo, out):
-                results[i] = result
-        self.stats.sort(key=lambda s: s.index)
-        self.failures.sort(key=lambda f: f.index)
+                else:
+                    parallel = (
+                        self._run_pool if self.pool else self._run_parallel
+                    )
+                    try:
+                        out = parallel(sub, indexes=todo)
+                    except SweepJobError:
+                        raise  # a *job* failed permanently: not structural
+                    except Exception as exc:  # pool refused / pickling failed
+                        self.used_fallback = True
+                        self.fallback_reason = repr(exc)
+                        logger.warning(
+                            "sweep pool unavailable (%s); falling back to "
+                            "serial execution",
+                            self.fallback_reason,
+                        )
+                        self.stats = [
+                            s for s in self.stats if s.mode == "resumed"
+                        ]
+                        self.failures = []
+                        out = self._run_serial(sub, indexes=todo)
+                for i, result in zip(todo, out):
+                    results[i] = result
+        finally:
+            # The outcome is assembled whatever the exit path (normal,
+            # budget-stopped, SweepJobError), so a caller catching the
+            # raise still sees the structured partial-result summary.
+            self.stats.sort(key=lambda s: s.index)
+            self.failures.sort(key=lambda f: f.index)
+            self._build_outcome(n, results, quarantined_indexes, run_started)
         return results
+
+    def _build_outcome(
+        self,
+        n: int,
+        results: "list[ModelResult | None]",
+        quarantined_indexes: set,
+        run_started: float,
+    ) -> None:
+        """Assemble :attr:`outcome` for the run that just ended."""
+        global _LAST_OUTCOME
+        done = sum(1 for result in results if result is not None)
+        failed = sum(1 for f in self.failures if not f.quarantined)
+        quarantined = (
+            sum(1 for f in self.failures if f.quarantined)
+            + len(quarantined_indexes)
+        )
+        self.outcome = _LAST_OUTCOME = CampaignOutcome(
+            total_jobs=n,
+            done=done,
+            failed=failed,
+            quarantined=quarantined,
+            skipped=max(0, n - done - failed - quarantined),
+            resumed=self.resumed_jobs,
+            stop_reason=self._stop_reason,
+            diagnosis=self._stop_diagnosis,
+            elapsed_s=time.monotonic() - run_started,
+            retry_attempts=self._retry_attempts,
+            retry_time_lost_s=self._retry_wall_s + self._retry_backoff_s,
+        )
 
     def run_models(
         self,
@@ -1987,11 +2360,23 @@ class SweepRunner:
         """
         total = len(self.stats)
         succeeded = sum(1 for s in self.stats if not s.failed)
+        quarantined = sum(1 for f in self.failures if f.quarantined)
         lines = [
             f"campaign: {succeeded}/{total} jobs succeeded"
             + (f", {len(self.failures)} failed" if self.failures else "")
+            + (f" ({quarantined} quarantined)" if quarantined else "")
             + (f", {self.resumed_jobs} resumed" if self.resumed_jobs else "")
         ]
+        if self.outcome is not None and self.outcome.stopped:
+            line = (
+                f"  stopped: {self.outcome.stop_reason} -- "
+                f"{self.outcome.done}/{self.outcome.total_jobs} done "
+                f"({self.outcome.completeness:.0%}), "
+                f"{self.outcome.skipped} skipped (resumable)"
+            )
+            if self.outcome.diagnosis:
+                line += f"; {self.outcome.diagnosis}"
+            lines.append(line)
         if self.used_fallback:
             lines.append(
                 f"  (parallel pool unavailable: {self.fallback_reason}; "
@@ -2013,11 +2398,18 @@ class SweepRunner:
                 f"{stat.mode}, {stat.attempts} attempt(s), "
                 f"{stat.wall_time_s * 1e3:.1f} ms"
             )
+        if self._retry_attempts:
+            lines.append(
+                f"  retries: {self._retry_attempts} retried attempt(s), "
+                f"{self._retry_wall_s + self._retry_backoff_s:.2f} s lost "
+                f"({self._retry_backoff_s:.2f} s backoff)"
+            )
         storage = self._storage_health()
         if storage.noteworthy:
             lines.append(f"  storage: {storage.describe()}")
         for failure in self.failures:
-            lines.append(f"  failure: {failure.describe()}")
+            label = "quarantined" if failure.quarantined else "failure"
+            lines.append(f"  {label}: {failure.describe()}")
             if failure.traceback_summary:
                 lines.append(f"    at {failure.traceback_summary}")
         return "\n".join(lines)
@@ -2059,10 +2451,27 @@ class _SweepDefaults:
     pool: bool | None = None
     pool_batch: int | None = None
     vectorize: bool | None = None
+    budget: "CampaignBudget | None" = None
+    retry_quarantined: bool = False
 
 
 _defaults = _SweepDefaults()
 _default_cache: "ResultCache | NullCache | None" = None
+#: Outcome of the most recent SweepRunner.run() in this process --
+#: the CLI reads it after a command returns to decide whether the
+#: campaign was budget-stopped (exit code 3).
+_LAST_OUTCOME: "CampaignOutcome | None" = None
+
+
+def last_campaign_outcome() -> "CampaignOutcome | None":
+    """The most recent run's :class:`CampaignOutcome` (process-wide)."""
+    return _LAST_OUTCOME
+
+
+def clear_last_outcome() -> None:
+    """Forget the last outcome (CLI dispatch boundaries, tests)."""
+    global _LAST_OUTCOME
+    _LAST_OUTCOME = None
 
 
 def configure(
@@ -2079,11 +2488,14 @@ def configure(
     pool: bool | None = None,
     pool_batch: int | None = None,
     vectorize: bool | None = None,
+    budget: "CampaignBudget | None | bool" = None,
+    retry_quarantined: bool | None = None,
 ) -> None:
     """Set process-wide sweep defaults (used by the CLI's global flags).
 
-    Only the arguments actually passed are changed.  Cache-affecting
-    changes rebuild the shared default cache on next use.
+    Only the arguments actually passed are changed (``budget=False``
+    clears a previously-set default budget).  Cache-affecting changes
+    rebuild the shared default cache on next use.
     """
     global _default_cache
     if workers is not None:
@@ -2117,6 +2529,15 @@ def configure(
         _defaults.pool_batch = pool_batch
     if vectorize is not None:
         _defaults.vectorize = vectorize
+    if budget is not None:
+        _defaults.budget = None if budget is False else budget
+    if retry_quarantined is not None:
+        _defaults.retry_quarantined = retry_quarantined
+
+
+def default_budget() -> "CampaignBudget | None":
+    """The process-wide default campaign budget (None: unlimited)."""
+    return _defaults.budget
 
 
 def default_workers() -> int:

@@ -108,14 +108,24 @@ class CampaignManifest:
         self._keys: list[str] = []
         self._done: set[int] = set()
         self._failed: set[int] = set()
+        self._quarantined: set[int] = set()
 
     # -- lifecycle -----------------------------------------------------
-    def begin(self, jobs: Sequence["SweepJob"], *, resume: bool = False) -> None:
+    def begin(
+        self,
+        jobs: Sequence["SweepJob"],
+        *,
+        resume: bool = False,
+        retry_quarantined: bool = False,
+    ) -> None:
         """Bind the manifest to a job list; load prior state on resume.
 
         Without ``resume`` (or when the on-disk manifest belongs to a
         different campaign or schema) the file is started fresh and
-        every job counts as pending.
+        every job counts as pending.  ``retry_quarantined`` makes jobs
+        quarantined by a *prior* run eligible again on resume (their
+        quarantine records stay in the ledger; a later success simply
+        supersedes them).
         """
         self._keys = [job_content_key(job) for job in jobs]
         self.campaign_id = hashlib.sha256(
@@ -123,9 +133,12 @@ class CampaignManifest:
         ).hexdigest()
         self._done = set()
         self._failed = set()
+        self._quarantined = set()
         self.resumed = False
         if resume and self._load_existing():
             self.resumed = True
+            if retry_quarantined:
+                self._quarantined = set()
             return
         self._start_fresh()
 
@@ -170,8 +183,12 @@ class CampaignManifest:
             if event.get("event") == "done":
                 self._done.add(index)
                 self._failed.discard(index)
+                self._quarantined.discard(index)
             elif event.get("event") == "failed":
                 self._failed.add(index)
+            elif event.get("event") == "quarantined":
+                self._failed.add(index)
+                self._quarantined.add(index)
         return True
 
     def _start_fresh(self) -> None:
@@ -251,6 +268,7 @@ class CampaignManifest:
             return
         self._done.add(index)
         self._failed.discard(index)
+        self._quarantined.discard(index)
         self._append(
             {"event": "done", "index": index, "key": self._keys[index]}
         )
@@ -264,10 +282,35 @@ class CampaignManifest:
             event["attempts"] = failure.attempts
         self._append(event)
 
+    def mark_quarantined(
+        self, index: int, failure: "JobFailure | None" = None
+    ) -> None:
+        """Record one job as quarantined poison (a distinct entry kind).
+
+        Unlike ``failed``, a quarantined job is *not* re-attempted on a
+        plain ``--resume``; it takes an explicit ``--retry-quarantined``
+        to make it eligible again.
+        """
+        self._failed.add(index)
+        self._quarantined.add(index)
+        event = {
+            "event": "quarantined",
+            "index": index,
+            "key": self._keys[index],
+        }
+        if failure is not None:
+            event["error"] = f"{failure.error_type}: {failure.message}"
+            event["attempts"] = failure.attempts
+        self._append(event)
+
     # -- queries -------------------------------------------------------
     def is_done(self, index: int) -> bool:
         """Whether the job at ``index`` completed in this campaign."""
         return index in self._done
+
+    def is_quarantined(self, index: int) -> bool:
+        """Whether the job at ``index`` is quarantined as poison."""
+        return index in self._quarantined
 
     @property
     def total_jobs(self) -> int:
@@ -284,10 +327,18 @@ class CampaignManifest:
         """Number of jobs whose latest record is a failure."""
         return len(self._failed)
 
+    @property
+    def quarantined(self) -> int:
+        """Number of jobs quarantined as poison."""
+        return len(self._quarantined)
+
     def summary(self) -> str:
         """One-line campaign progress description."""
         state = "resumed" if self.resumed else "fresh"
-        return (
+        text = (
             f"campaign {(self.campaign_id or 'unbound')[:12]} ({state}): "
             f"{self.completed}/{self.total_jobs} done, {self.failed} failed"
         )
+        if self._quarantined:
+            text += f" ({len(self._quarantined)} quarantined)"
+        return text

@@ -120,8 +120,35 @@ def _worker_traceback(exc: BaseException, limit: int = 4) -> str:
     return " <- ".join(reversed(parts)) if parts else ""
 
 
+def _install_rlimit_as(limit_mb) -> None:
+    """Best-effort address-space self-limit for a pool worker.
+
+    Turns a runaway allocation into a worker-local :class:`MemoryError`
+    (reported as a structured ``MemoryBudgetExceeded`` attempt) instead
+    of a host-level OOM kill.  Silently inert where the platform lacks
+    ``resource``/``RLIMIT_AS`` or refuses the bound.
+    """
+    if not limit_mb:
+        return
+    try:
+        import resource
+
+        limit = int(limit_mb * 1024 * 1024)
+        soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+        if hard != resource.RLIM_INFINITY:
+            limit = min(limit, hard)
+        resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+    except (ImportError, AttributeError, OSError, ValueError):
+        pass
+
+
 def _pool_worker_main(
-    job_conn, result_conn, close_conns, cache_capacity, cache_dir=None
+    job_conn,
+    result_conn,
+    close_conns,
+    cache_capacity,
+    cache_dir=None,
+    rlimit_as_mb=None,
 ):
     """Long-lived worker body: loop over job batches until told to stop.
 
@@ -145,6 +172,7 @@ def _pool_worker_main(
             conn.close()
         except OSError:  # pragma: no cover - platform-specific
             pass
+    _install_rlimit_as(rlimit_as_mb)
     from .batch import ResultCache, simulate_model_cached
 
     # The campaign's disk tier (when present) is mounted read-only:
@@ -194,12 +222,20 @@ def _pool_worker_main(
                     )
                 )
             except BaseException as exc:  # noqa: BLE001 - shipped to parent
+                # An allocation refused under the RLIMIT_AS self-limit
+                # is a *memory budget* breach, not an arbitrary crash:
+                # name it so the runner can retry the job solo.
+                name = (
+                    "MemoryBudgetExceeded"
+                    if isinstance(exc, MemoryError)
+                    else type(exc).__name__
+                )
                 try:
                     result_conn.send(
                         (
                             "err",
                             task_id,
-                            type(exc).__name__,
+                            name,
                             str(exc),
                             _worker_traceback(exc),
                         )
@@ -221,6 +257,7 @@ class PoolStats:
 
     workers_spawned: int = 0
     workers_respawned: int = 0
+    workers_oom_killed: int = 0
     batches_dispatched: int = 0
     jobs_dispatched: int = 0
     jobs_completed: int = 0
@@ -238,7 +275,7 @@ class PoolStats:
 
     def describe(self) -> str:
         """One-line summary for campaign reports."""
-        return (
+        text = (
             f"{self.jobs_completed} ok / {self.jobs_failed} failed over "
             f"{self.batches_dispatched} batch(es), "
             f"{self.workers_spawned} worker(s) spawned "
@@ -247,6 +284,9 @@ class PoolStats:
             f"{self.worker_cache_hits + self.worker_cache_misses} hits "
             f"({self.worker_cache_hit_rate:.0%})"
         )
+        if self.workers_oom_killed:
+            text += f", {self.workers_oom_killed} worker(s) over RSS budget"
+        return text
 
 
 @dataclass
@@ -284,6 +324,8 @@ class WorkerPool:
     * ``("err", task_id, error_type, message, traceback_summary)``
     * ``("crashed", current_task_id | None, [queued ids], exitcode)``
     * ``("timeout", current_task_id, [queued ids])``
+    * ``("oom", current_task_id | None, [queued ids], rss_mb)``
+      (parent RSS watchdog killed a worker over ``rss_limit_mb``)
     """
 
     def __init__(
@@ -293,16 +335,21 @@ class WorkerPool:
         cache_capacity: int = 4096,
         cache_dir=None,
         context: multiprocessing.context.BaseContext | None = None,
+        rss_limit_mb: float | None = None,
+        rlimit_as_mb: float | None = None,
     ):
         if max_workers < 1:
             raise ValueError("pool needs at least one worker")
         self.max_workers = max_workers
         self.cache_capacity = cache_capacity
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.rss_limit_mb = rss_limit_mb
+        self.rlimit_as_mb = rlimit_as_mb
         self._ctx = context if context is not None else multiprocessing.get_context()
         self.workers: list[_PoolWorker] = []
         self.stats = PoolStats()
         self._closed = False
+        self._last_rss_sweep = 0.0
 
     # -- lifecycle -----------------------------------------------------
     def _spawn(self) -> _PoolWorker:
@@ -319,6 +366,7 @@ class WorkerPool:
                 (job_writer, result_reader),
                 self.cache_capacity,
                 self.cache_dir,
+                self.rlimit_as_mb,
             ),
             daemon=True,
         )
@@ -525,6 +573,58 @@ class WorkerPool:
                 self.stats.jobs_failed += 1
                 self.stats.jobs_requeued += len(lost) - 1
                 events.append(("timeout", lost[0], lost[1:]))
+        return events
+
+    def sample_rss(self, now: float | None = None) -> list[tuple]:
+        """Kill workers whose resident set exceeds ``rss_limit_mb``.
+
+        The parent-side complement of the worker's ``RLIMIT_AS``
+        self-limit: address-space limits miss shared/lazy mappings and
+        cannot be installed on every platform, so the heartbeat loop
+        also samples each worker's actual RSS (via ``/proc``).  A
+        breaching worker is terminated and replaced and the event
+        ``("oom", current, queued, rss_mb)`` reports the job that was
+        executing (charged a ``MemoryBudgetExceeded`` attempt by the
+        runner) plus the batch-mates to requeue free of charge.
+
+        Throttled to ~4 sweeps/s; a no-op without a limit or ``/proc``.
+        """
+        if self.rss_limit_mb is None:
+            return []
+        now = time.monotonic() if now is None else now
+        if now - self._last_rss_sweep < 0.25:
+            return []
+        self._last_rss_sweep = now
+        from .budget import process_rss_mb
+
+        events: list[tuple] = []
+        for worker in list(self.workers):
+            rss = process_rss_mb(worker.process.pid)
+            if rss is None or rss <= self.rss_limit_mb:
+                continue
+            # Drain replies racing the kill: finished jobs win.
+            raced_dead = False
+            while True:
+                try:
+                    if not worker.result_conn.poll(0):
+                        break
+                    message = worker.result_conn.recv()
+                except (EOFError, OSError):
+                    events.append(self._crash_event(worker))
+                    raced_dead = True
+                    break
+                events.append(self._reply_event(worker, message))
+            if raced_dead or worker not in self.workers:
+                continue
+            lost = list(worker.inflight)
+            worker.inflight.clear()
+            self._retire(worker)
+            self.stats.workers_oom_killed += 1
+            if lost:
+                self.stats.jobs_failed += 1
+                self.stats.jobs_requeued += len(lost) - 1
+            current = lost[0] if lost else None
+            events.append(("oom", current, lost[1:], rss))
         return events
 
     def next_deadline(self) -> float | None:

@@ -172,6 +172,11 @@ class SearchResult:
     #: Proxy-workload evaluations spent by the halving strategy
     #: (full-workload evaluations are ``n_evaluated``).
     n_proxy_evaluated: int = 0
+    #: The runner's :class:`~repro.core.budget.CampaignOutcome` for the
+    #: last evaluation chunk (``None`` when the runner never ran).  When
+    #: ``outcome.stopped`` the search ended early under a budget or a
+    #: drain signal and ``best`` reflects only what was evaluated.
+    outcome: Any = None
 
     # -- accounting -----------------------------------------------------
     @property
@@ -224,6 +229,11 @@ class SearchResult:
         best = self.best
         return {
             "ok": best is not None,
+            "stopped": (
+                None
+                if self.outcome is None
+                else self.outcome.stop_reason
+            ),
             "objective": self.objective,
             "strategy": self.strategy,
             "validation": self.validation,
@@ -273,6 +283,7 @@ class SearchEngine:
         runner: SweepRunner | None = None,
         layer_by_layer: bool = False,
         vectorize: bool | None = None,
+        budget: Any = None,
     ):
         if objective not in OBJECTIVES:
             raise ConfigError(
@@ -292,7 +303,9 @@ class SearchEngine:
         #: only when it built one itself.
         self._owns_runner = runner is None
         self.runner = (
-            SweepRunner(vectorize=vectorize) if runner is None else runner
+            SweepRunner(vectorize=vectorize, budget=budget)
+            if runner is None
+            else runner
         )
         self.layer_by_layer = layer_by_layer
         #: Per-candidate batched-kernel override carried into every
@@ -477,6 +490,7 @@ class SearchEngine:
             self._search_pruned(entries, result)
         else:
             self._search_halving(entries, result)
+        result.outcome = self.runner.outcome
         return result
 
     def _search_pruned(
@@ -513,6 +527,12 @@ class SearchEngine:
                     incumbent = min(
                         incumbent, score.objective(self.objective)
                     )
+            if self.runner.stopped:
+                # Budget/signal stop: the remainder was never bounded
+                # out, so it is *skipped*, not pruned -- leave it out of
+                # ``result.pruned`` and let ``result.outcome`` explain
+                # the shortfall.
+                return
         for bound, _, entry in order[i:]:
             result.pruned.append(
                 PrunedCandidate(
@@ -553,6 +573,8 @@ class SearchEngine:
                 survivors, result, workloads=proxies, record=False
             )
             result.n_proxy_evaluated += len(survivors)
+            if self.runner.stopped:
+                return
             scored = [
                 (s.objective(self.objective), s.index, e)
                 for s, e in zip(scores, survivors)

@@ -28,6 +28,12 @@ catch:
     while auditing a result under strict mode; carries the structured
     violation records.
 
+``MemoryBudgetExceeded(ReproError, MemoryError)``
+    A job attempt breached its memory budget -- either the worker's
+    ``RLIMIT_AS`` self-limit turned an allocation into a
+    :class:`MemoryError`, or the parent's RSS watchdog terminated the
+    worker.  Retryable (solo, batch size 1) rather than fatal.
+
 ``ReproWarning(UserWarning)``
     Category used for warning-severity runtime diagnostics (e.g. a
     zero/near-zero bandwidth cap turning a transfer time into
@@ -41,6 +47,7 @@ __all__ = [
     "ConfigError",
     "SimulationError",
     "InvariantViolationError",
+    "MemoryBudgetExceeded",
     "ReproWarning",
 ]
 
@@ -75,6 +82,16 @@ class InvariantViolationError(SimulationError):
     def __init__(self, message: str, violations: list | None = None):
         super().__init__(message)
         self.violations = list(violations or [])
+
+
+class MemoryBudgetExceeded(ReproError, MemoryError):
+    """A job attempt breached its configured memory budget.
+
+    Also a :class:`MemoryError` so generic OOM handling sees it.  The
+    sweep runner treats this as a *retryable* failure: the offending
+    job is re-dispatched solo (batch size 1) on a fresh worker, and
+    repeated breaches eventually quarantine it as a poison job.
+    """
 
 
 class ReproWarning(UserWarning):

@@ -154,6 +154,7 @@ def availability_study(
     accelerators: Sequence[str] = EVALUATED_ACCELERATORS,
     scale: DeviceFailureScale = DeviceFailureScale(),
     runner: SweepRunner | None = None,
+    budget=None,
 ) -> list[AvailabilityPoint]:
     """Monte-Carlo availability vs per-device failure rate, per machine.
 
@@ -170,6 +171,11 @@ def availability_study(
     engine's parallelism.  Simulation is deterministic and the RNG
     streams are untouched by the batching, so results are
     bit-identical to the previous inline evaluation order.
+
+    ``budget`` (a :class:`~repro.core.budget.CampaignBudget`) bounds
+    the study: when the runner stops (deadline, breaker, drain
+    signal) the study returns the points of the accelerators whose
+    batch completed and omits the rest, instead of raising.
     """
     if samples < 1:
         raise ValueError("need at least one sample")
@@ -183,7 +189,7 @@ def availability_study(
     if runner is None:
         # The study is not a resumable campaign: no manifest, and the
         # runner's pool is torn down when the study returns.
-        runner = SweepRunner(manifest=False)
+        runner = SweepRunner(manifest=False, budget=budget)
 
     points: list[AvailabilityPoint] = []
     try:
@@ -229,6 +235,12 @@ def availability_study(
                 for config, output in zip(configs, outputs):
                     if output is not None:
                         times[config] = output.execution_time_s
+                if getattr(runner, "stopped", False):
+                    # Budget/drain stop mid-study: return the points of
+                    # the accelerators that finished; this machine's
+                    # partially-evaluated cells are dropped rather than
+                    # recomputed inline past the budget.
+                    break
             # Phase 3: per-cell statistics (pure arithmetic).
             for rate, cell in cells:
                 fault_counts: list[int] = []

@@ -19,15 +19,30 @@ shims (``_os_write`` / ``_os_fsync``) for wrappers that raise a
 chosen ``OSError`` (ENOSPC by default), so full-disk and I/O-error
 behaviour -- degradation warnings, memory-only fallback, campaign
 survival -- is testable without actually filling a disk.
+
+:class:`BalloonSimulator` inflates a worker's resident set on injected
+attempts (touching every page so the RSS actually grows), exercising
+the memory-budget machinery: the worker's ``RLIMIT_AS`` self-limit or
+the parent's RSS watchdog must convert the balloon into a structured
+``MemoryBudgetExceeded`` failure instead of letting the host OOM.
+:func:`sigint_after` builds a progress callback that delivers a signal
+to the *current* process after N completed jobs -- the in-process way
+to test two-stage draining shutdown.
 """
 
 from __future__ import annotations
 
 import errno
 import os
+import signal
 import time
 
-__all__ = ["CrashingSimulator", "WriteErrorInjector"]
+__all__ = [
+    "BalloonSimulator",
+    "CrashingSimulator",
+    "WriteErrorInjector",
+    "sigint_after",
+]
 
 
 class CrashingSimulator:
@@ -102,6 +117,98 @@ class CrashingSimulator:
         if name.startswith("_") or name == "inner":
             raise AttributeError(name)
         return getattr(self.inner, name)
+
+
+class BalloonSimulator:
+    """Simulator proxy that inflates its RSS on injected attempts.
+
+    On a striking attempt it allocates ``balloon_mb`` megabytes,
+    touches every page (so the kernel actually commits resident
+    memory, not just address space), lingers ``linger_s`` seconds to
+    give a parent-side RSS watchdog time to sample it, then raises --
+    unless ``RLIMIT_AS`` already turned the allocation itself into a
+    :class:`MemoryError`, which is the worker-side detection path.
+    Strike counting matches :class:`CrashingSimulator`: file-based, so
+    "balloon the first K attempts then behave" survives process
+    boundaries.
+    """
+
+    def __init__(
+        self,
+        inner,
+        *,
+        balloon_mb: float,
+        touch: bool = True,
+        linger_s: float = 5.0,
+        fail_times: int | None = None,
+        counter_path: str | None = None,
+    ):
+        if balloon_mb <= 0:
+            raise ValueError("balloon_mb must be > 0")
+        if fail_times is not None and counter_path is None:
+            raise ValueError("fail_times needs a counter_path")
+        self.inner = inner
+        self.balloon_mb = float(balloon_mb)
+        self.touch = touch
+        self.linger_s = float(linger_s)
+        self.fail_times = fail_times
+        self.counter_path = str(counter_path) if counter_path else None
+
+    def _strike(self) -> bool:
+        if self.fail_times is None:
+            return True
+        with open(self.counter_path, "ab") as handle:
+            handle.seek(0, os.SEEK_END)
+            prior = handle.tell()
+            handle.write(b"x")
+            handle.flush()
+        return prior < self.fail_times
+
+    def _inflate(self) -> None:
+        # MemoryError raised here (RLIMIT_AS) propagates as the
+        # worker-side detection path; otherwise the balloon stays
+        # referenced while we linger so the watchdog can catch it.
+        balloon = bytearray(int(self.balloon_mb * 1024 * 1024))
+        if self.touch:
+            for i in range(0, len(balloon), 4096):
+                balloon[i] = 1
+        deadline = time.monotonic() + self.linger_s
+        while time.monotonic() < deadline:
+            time.sleep(0.05)
+        raise RuntimeError(
+            f"balloon of {self.balloon_mb:g} MB survived "
+            f"{self.linger_s:g} s without tripping a memory budget"
+        )
+
+    def simulate_model(self, model, layer_by_layer: bool = False):
+        if self._strike():
+            self._inflate()
+        return self.inner.simulate_model(model, layer_by_layer=layer_by_layer)
+
+    def simulate_layer(self, layer, layer_by_layer: bool = False):
+        if self._strike():
+            self._inflate()
+        return self.inner.simulate_layer(layer, layer_by_layer=layer_by_layer)
+
+    def __getattr__(self, name: str):
+        if name.startswith("_") or name == "inner":
+            raise AttributeError(name)
+        return getattr(self.inner, name)
+
+
+def sigint_after(n: int, signum: int = signal.SIGINT):
+    """Progress callback delivering ``signum`` to *this* process after
+    ``n`` completed jobs -- pair with
+    :class:`repro.core.budget.GracefulDrain` to exercise the draining
+    shutdown path without a subprocess."""
+    state = {"seen": 0}
+
+    def callback(stats) -> None:
+        state["seen"] += 1
+        if state["seen"] == n:
+            os.kill(os.getpid(), signum)
+
+    return callback
 
 
 class WriteErrorInjector:

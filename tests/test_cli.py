@@ -88,6 +88,98 @@ class TestCommands:
         assert "16 layers" in out
 
 
+class TestBudgetFlags:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["tables"])
+        assert args.deadline is None
+        assert args.max_rss is None
+        assert args.max_failures is None
+        assert not args.drain_signal
+        assert not args.retry_quarantined
+
+    def test_budget_flags_configure_defaults(self, restore_sweep_defaults):
+        assert (
+            main(
+                [
+                    "--deadline",
+                    "120",
+                    "--max-rss",
+                    "512",
+                    "--max-failures",
+                    "7",
+                    "--retry-quarantined",
+                    "layers",
+                    "--model",
+                    "VGG-16",
+                ]
+            )
+            == 0
+        )
+        budget = batch._defaults.budget
+        assert budget is not None
+        assert budget.deadline_s == 120.0
+        assert budget.max_rss_mb == 512.0
+        assert budget.max_failures == 7
+        assert batch._defaults.retry_quarantined is True
+
+    def test_no_budget_flags_leave_defaults_alone(
+        self, restore_sweep_defaults
+    ):
+        assert main(["layers", "--model", "VGG-16"]) == 0
+        assert batch._defaults.budget is None
+        assert batch._defaults.retry_quarantined is False
+
+    def test_expired_deadline_exits_3(self, capsys, restore_sweep_defaults):
+        from repro.core.budget import EXIT_BUDGET_STOPPED
+
+        code = main(
+            ["--deadline", "0.000001", "run", "--model", "MobileNetV2"]
+        )
+        assert code == EXIT_BUDGET_STOPPED
+        err = capsys.readouterr().err
+        assert "campaign stopped early" in err
+        assert "deadline" in err
+
+    def test_stopped_report_exits_3_without_traceback(
+        self, capsys, restore_sweep_defaults, tmp_path
+    ):
+        # With every job skipped, the report renderer crashes on empty
+        # row sets; the CLI must surface the budget stop (exit 3, one
+        # stderr line), not the downstream symptom's traceback.
+        from repro.core.budget import EXIT_BUDGET_STOPPED
+
+        code = main(
+            [
+                "--deadline",
+                "0.000001",
+                "--cache-dir",
+                str(tmp_path),
+                "report",
+            ]
+        )
+        assert code == EXIT_BUDGET_STOPPED
+        err = capsys.readouterr().err
+        assert "campaign stopped early" in err
+        assert "deadline" in err
+        assert "Traceback" not in err
+
+    def test_negative_deadline_exits_2(self, capsys, restore_sweep_defaults):
+        assert main(["--deadline", "-5", "layers", "--model", "VGG-16"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "deadline_s" in err
+        assert "Traceback" not in err
+
+    def test_drain_signal_restores_handlers(
+        self, capsys, restore_sweep_defaults
+    ):
+        import signal
+
+        before = signal.getsignal(signal.SIGINT)
+        assert main(["--drain-signal", "layers", "--model", "VGG-16"]) == 0
+        assert signal.getsignal(signal.SIGINT) == before
+
+
 class TestBatchFlag:
     def test_batch_run(self, capsys):
         code = main(
