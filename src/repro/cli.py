@@ -22,7 +22,14 @@ from .baselines.popstar import popstar_simulator
 from .baselines.simba import simba_simulator
 from .core import batch
 from .core.simulator import Simulator
-from .errors import ConfigError, ReproError
+from .errors import (
+    EXIT_BUDGET_STOPPED,
+    EXIT_CONFIG,
+    EXIT_FAILURE,
+    EXIT_OK,
+    ConfigError,
+    ReproError,
+)
 from .experiments.harness import format_table
 from .experiments.report import SECTIONS, full_report
 from .models.zoo import EXTENDED_MODELS, MODELS, get_model
@@ -265,6 +272,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.add_argument("--chiplets", type=int, default=32)
     faults.add_argument("--pes-per-chiplet", type=int, default=32)
+    faults.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the study points plus the campaign report as JSON "
+        "(the same serialization the campaign service returns)",
+    )
 
     doctor = subparsers.add_parser(
         "doctor",
@@ -374,6 +388,130 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the full search result as JSON",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the multi-tenant campaign service (HTTP/JSON API)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8023)
+    serve.add_argument(
+        "--data-dir",
+        required=True,
+        metavar="DIR",
+        help="service state root: shared result cache, per-campaign "
+        "manifests and the submissions ledger live under DIR; restart "
+        "with the same DIR to resume interrupted campaigns",
+    )
+    serve.add_argument(
+        "--runners",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent campaign runner slots (default 2); each slot "
+        "owns one long-lived SweepRunner whose per-job parallelism is "
+        "the global --workers setting",
+    )
+    serve.add_argument(
+        "--quota-active",
+        type=int,
+        default=16,
+        metavar="N",
+        help="per-tenant cap on queued+running campaigns (default 16)",
+    )
+    serve.add_argument(
+        "--quota-jobs",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="per-tenant cap on jobs in a single campaign (default 4096)",
+    )
+    serve.add_argument(
+        "--fresh",
+        action="store_true",
+        help="do not restore state from an existing data dir",
+    )
+
+    def _client_args(sub) -> None:
+        sub.add_argument(
+            "--url",
+            default=None,
+            metavar="URL",
+            help="service endpoint (default: $REPRO_SERVICE_URL or "
+            "http://127.0.0.1:8023)",
+        )
+        sub.add_argument(
+            "--tenant",
+            default=None,
+            metavar="NAME",
+            help="tenant identity (default: $REPRO_SERVICE_TENANT or "
+            "'anonymous')",
+        )
+
+    submit = subparsers.add_parser(
+        "submit", help="submit a campaign to a running service"
+    )
+    _client_args(submit)
+    submit.add_argument(
+        "--campaign",
+        default=None,
+        metavar="FILE",
+        help="campaign spec as a JSON file ('-' reads stdin)",
+    )
+    submit.add_argument(
+        "--machines",
+        default=None,
+        metavar="M1,M2,...",
+        help="shorthand sweep: comma-separated machines "
+        "(with --models; ignored when --campaign is given)",
+    )
+    submit.add_argument(
+        "--models",
+        default=None,
+        metavar="M1,M2,...",
+        help="shorthand sweep: comma-separated models",
+    )
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the campaign finishes and report its digest",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        dest="wait_timeout",
+        metavar="SECONDS",
+        help="--wait limit (default 600)",
+    )
+    submit.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the submission ticket (or final status) as JSON",
+    )
+
+    status = subparsers.add_parser(
+        "status", help="status of one submission (or all, with no id)"
+    )
+    _client_args(status)
+    status.add_argument(
+        "submission", nargs="?", default=None, metavar="SUBMISSION"
+    )
+    status.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the raw status payload as JSON",
+    )
+
+    results = subparsers.add_parser(
+        "results", help="fetch a finished submission's results payload"
+    )
+    _client_args(results)
+    results.add_argument("submission", metavar="SUBMISSION")
+    results.add_argument(
+        "--digest-only",
+        action="store_true",
+        help="print just the results digest (for scripted comparisons)",
+    )
+
     return parser
 
 
@@ -398,7 +536,7 @@ def _command_run(args: argparse.Namespace) -> int:
         for failure in runner.failures:
             print(f"failed: {failure.describe()}", file=sys.stderr)
         print("run did not complete", file=sys.stderr)
-        return 1 if runner.failures else 0
+        return EXIT_FAILURE if runner.failures else EXIT_OK
     energy = result.energy
     print(f"{result.accelerator} / {result.model}")
     print(f"  execution time : {result.execution_time_s * 1e3:.3f} ms")
@@ -439,13 +577,13 @@ def _command_run(args: argparse.Namespace) -> int:
 
 def _command_report(args: argparse.Namespace) -> int:
     print(full_report(only=args.section))
-    return 0
+    return EXIT_OK
 
 
 def _command_tables(args: argparse.Namespace) -> int:
     print(full_report(only="table1"))
     print(full_report(only="table2"))
-    return 0
+    return EXIT_OK
 
 
 def _command_advise(args: argparse.Namespace) -> int:
@@ -509,15 +647,35 @@ def _command_faults(args: argparse.Namespace) -> int:
             )
         if not rates:
             raise ConfigError("--rates needs at least one value")
-    points = availability_study(
-        model=get_model(args.model),
-        rates=rates,
-        samples=args.samples,
-        seed=args.seed,
-        slowdown_threshold=args.threshold,
-        chiplets=args.chiplets,
-        pes_per_chiplet=args.pes_per_chiplet,
-    )
+    # An explicit runner so --json can attach the structured campaign
+    # report -- the same serialization path the campaign service uses
+    # for its faults results payload.
+    with batch.SweepRunner(manifest=False) as runner:
+        points = availability_study(
+            model=get_model(args.model),
+            rates=rates,
+            samples=args.samples,
+            seed=args.seed,
+            slowdown_threshold=args.threshold,
+            chiplets=args.chiplets,
+            pes_per_chiplet=args.pes_per_chiplet,
+            runner=runner,
+        )
+        report = runner.campaign_report(as_dict=True)
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "model": args.model,
+                    "samples": args.samples,
+                    "seed": args.seed,
+                    "points": [point.to_dict() for point in points],
+                    "report": report,
+                },
+                indent=2,
+            )
+        )
+        return EXIT_OK
     print(
         f"Monte-Carlo availability, {args.model}, "
         f"{args.samples} samples/cell, seed {args.seed}"
@@ -526,7 +684,7 @@ def _command_faults(args: argparse.Namespace) -> int:
     print(availability_table(points))
     print()
     print(availability_ascii_curve(points))
-    return 0
+    return EXIT_OK
 
 
 #: The three machines every paper figure compares (doctor's default).
@@ -625,7 +783,7 @@ def _command_doctor(args: argparse.Namespace) -> int:
             f"doctor: {len(reports)} subject(s) checked, "
             f"{n_errors} error(s), {n_warnings} warning(s)"
         )
-    return 0 if n_errors == 0 else 1
+    return EXIT_OK if n_errors == 0 else EXIT_FAILURE
 
 
 def _doctor_cache_scan(args: argparse.Namespace) -> int:
@@ -669,7 +827,7 @@ def _doctor_cache_scan(args: argparse.Namespace) -> int:
         if issues:
             summary += f" {verb}"
         print(summary)
-    return 0 if issues == 0 else 1
+    return EXIT_OK if issues == 0 else EXIT_FAILURE
 
 
 def _load_search_space(token: str):
@@ -718,7 +876,7 @@ def _command_search(args: argparse.Namespace) -> int:
 
     if args.as_json:
         print(json.dumps(result.to_dict(top=args.top), indent=2))
-        return 0 if result.best is not None else 1
+        return EXIT_OK if result.best is not None else EXIT_FAILURE
 
     headers = ["#", "configuration", "exec (ms)", "E (mJ)", "EDP", "mean util"]
     rows = [
@@ -761,6 +919,182 @@ def _command_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from .core.budget import CampaignBudget
+    from .service.scheduler import CampaignService
+    from .service.server import serve_forever
+    from .service.tenants import TenantQuota, TenantRegistry
+
+    # The global budget flags become the server-wide per-campaign
+    # budget layer (tightest-wins with tenant quotas and per-request
+    # budgets); they are intentionally NOT handed to batch.configure's
+    # process defaults, because service runners compose budgets
+    # explicitly per campaign.
+    default_budget = None
+    if (
+        args.deadline is not None
+        or args.max_rss is not None
+        or args.max_failures is not None
+    ):
+        default_budget = CampaignBudget(
+            deadline_s=args.deadline,
+            max_rss_mb=args.max_rss,
+            max_failures=args.max_failures,
+        )
+    registry = TenantRegistry(
+        default_quota=TenantQuota(
+            max_active=args.quota_active,
+            max_jobs_per_campaign=args.quota_jobs,
+        )
+    )
+    service = CampaignService(
+        args.data_dir,
+        runner_slots=args.runners,
+        workers=args.workers,
+        registry=registry,
+        default_budget=default_budget,
+        resume=not args.fresh,
+    )
+    print(
+        f"repro service on http://{args.host}:{args.port} "
+        f"(data: {service.data_dir}, {args.runners} runner slot(s))",
+        file=sys.stderr,
+    )
+    return serve_forever(service, host=args.host, port=args.port)
+
+
+def _service_client(args: argparse.Namespace):
+    import os
+
+    from .service.client import ServiceClient
+
+    url = (
+        args.url
+        or os.environ.get("REPRO_SERVICE_URL")
+        or "http://127.0.0.1:8023"
+    )
+    tenant = (
+        args.tenant
+        or os.environ.get("REPRO_SERVICE_TENANT")
+        or "anonymous"
+    )
+    return ServiceClient(url, tenant=tenant)
+
+
+def _load_campaign(args: argparse.Namespace) -> dict:
+    if args.campaign is not None:
+        try:
+            if args.campaign == "-":
+                raw = json.load(sys.stdin)
+            else:
+                with open(args.campaign, encoding="utf-8") as handle:
+                    raw = json.load(handle)
+        except OSError as exc:
+            raise ConfigError(
+                f"cannot read campaign {args.campaign!r}: {exc}"
+            )
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"campaign {args.campaign!r} is not valid JSON: {exc}"
+            )
+        if not isinstance(raw, dict):
+            raise ConfigError("campaign file must hold a JSON object")
+        return raw
+    if args.machines and args.models:
+        return {
+            "kind": "sweep",
+            "machines": [
+                m.strip() for m in args.machines.split(",") if m.strip()
+            ],
+            "models": [
+                m.strip() for m in args.models.split(",") if m.strip()
+            ],
+        }
+    raise ConfigError(
+        "pass --campaign FILE, or --machines and --models for a "
+        "shorthand sweep"
+    )
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    campaign = _load_campaign(args)
+    ticket = client.submit(campaign, priority=args.priority)
+    if not args.wait:
+        if args.as_json:
+            print(json.dumps(ticket, indent=2))
+        else:
+            dedupe = " (deduplicated)" if ticket["deduplicated"] else ""
+            print(
+                f"{ticket['submission']}: {ticket['summary']} -> "
+                f"campaign {ticket['campaign'][:12]} "
+                f"[{ticket['state']}]{dedupe}"
+            )
+        return EXIT_OK
+    final = client.wait(ticket["submission"], timeout_s=args.wait_timeout)
+    if args.as_json:
+        print(json.dumps(final, indent=2))
+    else:
+        line = f"{final['submission']}: {final['state']}"
+        if final["digest"]:
+            line += f", digest {final['digest']}"
+        if final["error"]:
+            line += f" ({final['error']})"
+        print(line)
+    if final["state"] == "done":
+        return EXIT_OK
+    if final["state"] == "stopped":
+        return EXIT_BUDGET_STOPPED
+    return EXIT_FAILURE
+
+
+def _command_status(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    if args.submission is None:
+        listing = client.list()
+        if args.as_json:
+            print(json.dumps(listing, indent=2))
+        else:
+            headers = ["submission", "tenant", "state", "kind", "digest"]
+            rows = [
+                [
+                    s["submission"],
+                    s["tenant"],
+                    s["state"],
+                    s["kind"],
+                    (s["digest"] or "")[:12],
+                ]
+                for s in listing
+            ]
+            print(format_table(headers, rows))
+        return EXIT_OK
+    status = client.status(args.submission)
+    if args.as_json:
+        print(json.dumps(status, indent=2))
+    else:
+        print(
+            f"{status['submission']}: {status['summary']} "
+            f"[{status['state']}]"
+            + (f", digest {status['digest']}" if status["digest"] else "")
+            + (f", error: {status['error']}" if status["error"] else "")
+        )
+    if status["state"] == "failed":
+        return EXIT_FAILURE
+    if status["state"] == "stopped":
+        return EXIT_BUDGET_STOPPED
+    return EXIT_OK
+
+
+def _command_results(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    payload = client.results(args.submission)
+    if args.digest_only:
+        print(payload.get("digest", ""))
+    else:
+        print(json.dumps(payload, indent=2))
+    return EXIT_OK
+
+
 _COMMANDS = {
     "run": _command_run,
     "report": _command_report,
@@ -770,6 +1104,10 @@ _COMMANDS = {
     "faults": _command_faults,
     "doctor": _command_doctor,
     "search": _command_search,
+    "serve": _command_serve,
+    "submit": _command_submit,
+    "status": _command_status,
+    "results": _command_results,
 }
 
 
@@ -782,7 +1120,7 @@ def main(argv: list[str] | None = None) -> int:
     campaign stopped early under a budget or drain signal with a
     resumable manifest.
     """
-    from .core.budget import EXIT_BUDGET_STOPPED, CampaignBudget, GracefulDrain
+    from .core.budget import CampaignBudget, GracefulDrain
 
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -800,7 +1138,7 @@ def main(argv: list[str] | None = None) -> int:
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_CONFIG
     batch.configure(
         workers=args.workers,
         cache_enabled=False if args.no_cache else None,
@@ -828,7 +1166,7 @@ def main(argv: list[str] | None = None) -> int:
         # config file, infeasible photonics, ...) are user errors, not
         # crashes: one line on stderr, exit code 2, no traceback.
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_CONFIG
     except Exception:
         # A budget/drain stop can leave a command with zero results and
         # crash its downstream rendering (e.g. a mean over no rows).

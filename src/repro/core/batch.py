@@ -48,6 +48,7 @@ import multiprocessing.connection
 import os
 import pickle
 import random
+import threading
 import time
 import traceback
 import weakref
@@ -1075,6 +1076,11 @@ class SweepRunner:
         #: :meth:`campaign_report`).
         self.vectorized_fallbacks: list[tuple[int, str, str, str]] = []
         self._pool = None  # lazily-built repro.core.pool.WorkerPool
+        # Guards pool teardown: the campaign service closes runners
+        # from HTTP/signal threads while scheduler threads may race
+        # the same teardown, and close() must stay a silent no-op
+        # however many times (or from however many threads) it runs.
+        self._close_lock = threading.Lock()
         #: Lifetime :class:`repro.core.pool.PoolStats` of the current /
         #: most recent pool (survives pool teardown for reporting).
         self.pool_stats = None
@@ -1870,14 +1876,73 @@ class SweepRunner:
         return self._pool
 
     def _discard_pool(self) -> None:
-        """Tear the pool down (used when in-flight state went stale)."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool = None
+        """Tear the pool down (used when in-flight state went stale).
+
+        Thread-safe and idempotent: the pool reference is taken under
+        a lock, so concurrent closers (a service draining on SIGTERM
+        while a campaign teardown closes the same runner) cannot race
+        each other into closing a ``None`` pool, and an
+        already-drained runner closes as a silent no-op.
+        """
+        with self._close_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
 
     def close(self) -> None:
-        """Shut the warm-worker pool down (idempotent)."""
+        """Shut the warm-worker pool down (idempotent, thread-safe)."""
         self._discard_pool()
+
+    def begin_campaign(
+        self,
+        *,
+        manifest: "CampaignManifest | None | bool" = None,
+        budget: "CampaignBudget | None | bool" = None,
+        progress: "Callable[[JobStats], None] | None | bool" = None,
+    ) -> None:
+        """Rebind this runner to a *new* campaign, keeping warm state.
+
+        A runner's stop state, deadline anchor and circuit breaker are
+        deliberately sticky across :meth:`run` calls -- one *campaign*
+        may span several runs (chunked DSE, availability phases).  A
+        long-lived service, however, reuses one runner (and its warm
+        worker pool, caches and fingerprint memos) for many unrelated
+        campaigns back to back; this method draws the campaign
+        boundary: campaign-scoped policy state is reset, execution
+        machinery survives.
+
+        For ``manifest`` / ``budget`` / ``progress``: ``None`` keeps
+        the current binding, ``False`` clears it, anything else
+        becomes the new binding (mirroring the constructor's
+        ``manifest=False`` convention).  A pending *process-wide* stop
+        (:func:`repro.core.budget.global_stop`) is not cleared -- a
+        draining process stops every campaign, including fresh ones.
+        """
+        if manifest is not None:
+            self.manifest = None if manifest is False else manifest
+        if budget is not None:
+            self.budget = None if budget is False else budget
+        if progress is not None:
+            self.progress = None if progress is False else progress
+        self._stop_reason = None
+        self._stop_diagnosis = ""
+        self._campaign_started = None
+        self._deadline = None
+        self._breaker = (
+            CircuitBreaker(
+                self.budget.breaker_window, self.budget.breaker_threshold
+            )
+            if self.budget is not None and self.budget.breaker_window > 0
+            else None
+        )
+        self._budget_failures = 0
+        self._budget_consec = 0
+        self._crash_counts = {}
+        self.outcome = None
+        self.stats = []
+        self.failures = []
+        self.resumed_jobs = 0
+        self.vectorized_fallbacks = []
 
     def __enter__(self) -> "SweepRunner":
         return self
@@ -2351,13 +2416,20 @@ class SweepRunner:
             ] = result
         return results
 
-    def campaign_report(self) -> str:
-        """Human-readable post-mortem of the last :meth:`run`.
+    def campaign_report(self, *, as_dict: bool = False) -> "str | dict":
+        """Post-mortem of the last :meth:`run`.
 
         Lists every job with its mode, attempt count and outcome, then
         details each permanent failure (type, message, traceback
         summary) -- the record of *why* a partial campaign is partial.
+
+        ``as_dict=True`` returns the same information as one
+        JSON-ready dictionary instead of rendered text; the campaign
+        service's status endpoint and the CLI's ``--json`` modes share
+        this single serialization path.
         """
+        if as_dict:
+            return self._campaign_report_dict()
         total = len(self.stats)
         succeeded = sum(1 for s in self.stats if not s.failed)
         quarantined = sum(1 for f in self.failures if f.quarantined)
@@ -2413,6 +2485,50 @@ class SweepRunner:
             if failure.traceback_summary:
                 lines.append(f"    at {failure.traceback_summary}")
         return "\n".join(lines)
+
+    def _campaign_report_dict(self) -> dict:
+        """Machine-readable twin of the textual :meth:`campaign_report`."""
+        report: dict = {
+            "jobs_total": len(self.stats),
+            "jobs_succeeded": sum(1 for s in self.stats if not s.failed),
+            "jobs_failed": len(self.failures),
+            "jobs_quarantined": sum(
+                1 for f in self.failures if f.quarantined
+            ),
+            "jobs_resumed": self.resumed_jobs,
+            "outcome": (
+                self.outcome.to_dict() if self.outcome is not None else None
+            ),
+            "used_fallback": self.used_fallback,
+            "fallback_reason": self.fallback_reason,
+            "jobs": [dataclasses.asdict(stat) for stat in self.stats],
+            "failures": [
+                dataclasses.asdict(failure) for failure in self.failures
+            ],
+            "vectorized_fallbacks": [
+                {
+                    "index": index,
+                    "accelerator": accelerator,
+                    "model": model_name,
+                    "reason": reason,
+                }
+                for index, accelerator, model_name, reason
+                in self.vectorized_fallbacks
+            ],
+            "retries": {
+                "attempts": self._retry_attempts,
+                "time_lost_s": self._retry_wall_s + self._retry_backoff_s,
+                "backoff_s": self._retry_backoff_s,
+            },
+        }
+        if self.pool_stats is not None and any(
+            s.mode == "pool" for s in self.stats
+        ):
+            report["pool"] = dataclasses.asdict(self.pool_stats)
+        storage = self._storage_health()
+        if storage.noteworthy:
+            report["storage"] = storage.to_dict()
+        return report
 
     def _storage_health(self) -> "store.StorageHealth":
         """Combined cache + manifest storage condition."""

@@ -42,6 +42,10 @@ import threading
 from collections import Counter, deque
 from dataclasses import dataclass, field
 
+# Canonical home of the exit-code contract is repro.errors; the alias
+# here predates it and is kept for the many existing import sites.
+from ..errors import EXIT_BUDGET_STOPPED
+
 __all__ = [
     "EXIT_BUDGET_STOPPED",
     "CampaignBudget",
@@ -49,15 +53,11 @@ __all__ = [
     "CircuitBreaker",
     "GracefulDrain",
     "clear_global_stop",
+    "compose_budgets",
     "global_stop",
     "process_rss_mb",
     "request_global_stop",
 ]
-
-#: CLI exit code of a campaign stopped by a budget or a drain signal:
-#: distinct from success (0), job/validation failures (1) and
-#: configuration errors (2).  The manifest left behind is resumable.
-EXIT_BUDGET_STOPPED = 3
 
 
 @dataclass(frozen=True)
@@ -257,6 +257,53 @@ class CircuitBreaker:
         if dominant:
             text += "; dominant: " + ", ".join(dominant)
         return text
+
+
+def compose_budgets(*budgets: "CampaignBudget | None") -> "CampaignBudget | None":
+    """The tightest combination of several budget layers.
+
+    The campaign service stacks up to three policy layers on one
+    campaign -- the server-wide default, the tenant's quota budget and
+    the limits the submission itself requested -- and the effective
+    budget must never be *looser* than any layer.  Field by field:
+
+    * limit fields (deadline, RSS, rlimit, failure counts, poison
+      threshold): the smallest non-``None`` value wins;
+    * the circuit breaker: among layers that enable one
+      (``breaker_window > 0``), the smallest window and threshold win
+      (both make it trip sooner).
+
+    ``None`` layers are ignored; with no non-``None`` layer the result
+    is ``None`` (no budget at all).
+    """
+    layers = [budget for budget in budgets if budget is not None]
+    if not layers:
+        return None
+    if len(layers) == 1:
+        return layers[0]
+
+    def tightest(name: str):
+        values = [
+            value
+            for layer in layers
+            if (value := getattr(layer, name)) is not None
+        ]
+        return min(values) if values else None
+
+    windows = [layer.breaker_window for layer in layers if layer.breaker_window > 0]
+    thresholds = [
+        layer.breaker_threshold for layer in layers if layer.breaker_window > 0
+    ]
+    return CampaignBudget(
+        deadline_s=tightest("deadline_s"),
+        max_rss_mb=tightest("max_rss_mb"),
+        worker_rlimit_mb=tightest("worker_rlimit_mb"),
+        max_failures=tightest("max_failures"),
+        max_consecutive_failures=tightest("max_consecutive_failures"),
+        poison_threshold=tightest("poison_threshold"),
+        breaker_window=min(windows) if windows else 0,
+        breaker_threshold=min(thresholds) if thresholds else 0.9,
+    )
 
 
 def process_rss_mb(pid: int) -> float | None:

@@ -52,6 +52,7 @@ __all__ = [
     "MANIFEST_FILENAME",
     "model_content_key",
     "job_content_key",
+    "read_manifest_events",
     "CampaignManifest",
 ]
 
@@ -85,6 +86,48 @@ def job_content_key(job: "SweepJob") -> str:
         f"|{int(bool(job.layer_by_layer))}"
     )
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def read_manifest_events(path: str | Path) -> list[dict]:
+    """Tail a campaign manifest into its ordered event dictionaries.
+
+    Read-only companion to :class:`CampaignManifest` for observers
+    that are *not* the runner writing the ledger -- the campaign
+    service's progress-streaming endpoint polls this to turn the
+    append-only ``campaign.jsonl`` into incremental NDJSON events, and
+    a restarted service uses it to report how far a killed campaign
+    had progressed before re-queueing it.
+
+    Returns the header first (``{"event": "header", "schema": ...,
+    "campaign": ..., "jobs": N}``) followed by every well-formed
+    ``done`` / ``failed`` / ``quarantined`` event in append order.  A
+    torn final record (the writer may be mid-append right now) is
+    silently skipped, exactly like the resume path; a missing or empty
+    manifest yields ``[]``.
+    """
+    path = Path(path)
+    if path.suffix != ".jsonl":
+        path = path / MANIFEST_FILENAME
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return []
+    scan = store.parse_log(data)
+    events: list[dict] = []
+    for position, line in enumerate(scan.records):
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(payload, dict):
+            continue
+        if position == 0:
+            if "campaign" in payload:
+                events.append({"event": "header", **payload})
+            continue
+        if payload.get("event") in ("done", "failed", "quarantined"):
+            events.append(payload)
+    return events
 
 
 class CampaignManifest:

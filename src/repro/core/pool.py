@@ -47,6 +47,7 @@ import multiprocessing
 import multiprocessing.connection
 import os
 import pickle
+import threading
 import time
 import traceback
 from collections import deque
@@ -349,6 +350,7 @@ class WorkerPool:
         self.workers: list[_PoolWorker] = []
         self.stats = PoolStats()
         self._closed = False
+        self._close_lock = threading.Lock()
         self._last_rss_sweep = 0.0
 
     # -- lifecycle -----------------------------------------------------
@@ -406,17 +408,27 @@ class WorkerPool:
             self.workers.append(self._spawn())
 
     def close(self) -> None:
-        """Stop every worker (graceful, then forceful)."""
-        if self._closed:
-            return
-        self._closed = True
+        """Stop every worker (graceful, then forceful).
+
+        Idempotent *and* thread-safe: exactly one caller tears the
+        workers down; every other (concurrent or later) call returns
+        immediately.  A service draining on a signal closes runners
+        from its handler thread while campaign teardowns close the
+        same pools from scheduler threads -- both must be no-ops when
+        they lose the race.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers, self.workers = self.workers, []
         stop = pickle.dumps(("stop",))
-        for worker in self.workers:
+        for worker in workers:
             try:
                 worker.job_conn.send_bytes(stop)
             except (OSError, ValueError):
                 pass  # already dead: terminated below
-        for worker in self.workers:
+        for worker in workers:
             worker.process.join(timeout=1.0)
             if worker.process.is_alive():
                 worker.process.terminate()
@@ -426,7 +438,6 @@ class WorkerPool:
                     conn.close()
                 except OSError:  # pragma: no cover
                     pass
-        self.workers = []
 
     def __enter__(self) -> "WorkerPool":
         self.ensure_workers()

@@ -38,18 +38,61 @@ catch:
     Category used for warning-severity runtime diagnostics (e.g. a
     zero/near-zero bandwidth cap turning a transfer time into
     ``inf``).
+
+``QuotaExceededError(ReproError)``
+    A tenant's campaign-service quota rejected a submission.  Mapped
+    to HTTP 429 by :mod:`repro.service.server`.
+
+This module also hosts the **process exit-code contract** shared by
+every CLI entry point (``repro doctor``, ``repro search``,
+``repro serve`` / ``submit`` and ``main`` itself), so the meaning of
+an exit status is defined exactly once:
+
+========================  =====================================
+:data:`EXIT_OK`           success
+:data:`EXIT_FAILURE`      command-level failure (doctor findings,
+                          skipped job failures, no feasible result)
+:data:`EXIT_CONFIG`       configuration / usage error
+:data:`EXIT_BUDGET_STOPPED`
+                          campaign stopped early under a budget or
+                          drain signal; the manifest left behind is
+                          resumable
+========================  =====================================
 """
 
 from __future__ import annotations
 
 __all__ = [
+    "EXIT_OK",
+    "EXIT_FAILURE",
+    "EXIT_CONFIG",
+    "EXIT_BUDGET_STOPPED",
     "ReproError",
     "ConfigError",
     "SimulationError",
     "InvariantViolationError",
     "MemoryBudgetExceeded",
+    "QuotaExceededError",
     "ReproWarning",
 ]
+
+#: Exit code of a fully successful CLI invocation.
+EXIT_OK = 0
+
+#: Exit code of a command-level failure: validation findings, skipped
+#: job failures, an empty search result -- the command ran, but what
+#: it found (or failed to find) is a problem.
+EXIT_FAILURE = 1
+
+#: Exit code of a configuration / usage error (:class:`ReproError`
+#: caught at the CLI boundary: unknown machine, malformed space file,
+#: infeasible photonics, bad flag combinations).
+EXIT_CONFIG = 2
+
+#: Exit code of a campaign stopped early by a budget or drain signal:
+#: distinct from success and failure because the manifest left behind
+#: is resumable (``--resume`` finishes the remainder byte-identically).
+EXIT_BUDGET_STOPPED = 3
 
 
 class ReproError(Exception):
@@ -91,6 +134,14 @@ class MemoryBudgetExceeded(ReproError, MemoryError):
     sweep runner treats this as a *retryable* failure: the offending
     job is re-dispatched solo (batch size 1) on a fresh worker, and
     repeated breaches eventually quarantine it as a poison job.
+    """
+
+
+class QuotaExceededError(ReproError):
+    """A tenant's campaign-service quota rejected a submission.
+
+    Carries no state beyond the message; the service layer maps it to
+    HTTP 429 so well-behaved clients can back off and resubmit.
     """
 
 

@@ -27,6 +27,8 @@ streams -- ``availability_study(seed=S)`` is bit-reproducible.
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -96,6 +98,17 @@ class AvailabilityPoint:
     p95_slowdown: float
     expected_throughput: float  # mean of healthy/degraded time (dead -> 0)
     slowdown_threshold: float
+
+    def to_dict(self) -> dict:
+        """JSON-ready form -- one serialization shared by the CLI's
+        ``repro faults --json`` and the campaign service's results
+        endpoint.  ``inf`` slowdowns (no surviving samples) become the
+        string ``"inf"`` so the payload stays strict JSON."""
+        payload = dataclasses.asdict(self)
+        for key in ("mean_slowdown", "p95_slowdown"):
+            if math.isinf(payload[key]):
+                payload[key] = "inf"
+        return payload
 
 
 def _machine_plumbing(

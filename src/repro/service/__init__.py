@@ -1,0 +1,52 @@
+"""Multi-tenant campaign service: the sweep engine as a server.
+
+Every building block the service composes already exists --
+content-addressed caching (:mod:`repro.core.batch`), crash-consistent
+storage (:mod:`repro.core.store`), resumable manifests
+(:mod:`repro.core.campaign`), the warm-worker pool
+(:mod:`repro.core.pool`) and graceful budgets/drains
+(:mod:`repro.core.budget`) -- but until now they could only be driven
+one campaign at a time from the CLI.  This package turns them into
+shared infrastructure:
+
+* :mod:`~repro.service.protocol` -- the JSON campaign submission
+  schema (sweep / faults / search kinds), content-addressed campaign
+  ids and the canonical results digest;
+* :mod:`~repro.service.tenants` -- per-tenant quotas, budgets and
+  fair-share accounting;
+* :mod:`~repro.service.queue` -- the priority + tenant-fair campaign
+  queue;
+* :mod:`~repro.service.scheduler` -- :class:`CampaignService`: the
+  executions ledger, cross-tenant dedupe, runner-slot threads and
+  drain/restart semantics;
+* :mod:`~repro.service.server` -- the stdlib HTTP/JSON API
+  (``repro serve``) with chunked NDJSON progress streaming;
+* :mod:`~repro.service.client` -- the thin :class:`ServiceClient`
+  behind ``repro submit`` / ``status`` / ``results``.
+
+The service is deliberately stdlib-only (threads + ``http.server``):
+no new dependencies, and every durability guarantee is inherited from
+the storage layer rather than re-invented here.
+"""
+
+from __future__ import annotations
+
+from .client import ServiceClient, ServiceUnavailableError
+from .protocol import CampaignSpec, results_digest
+from .queue import FairQueue
+from .scheduler import CampaignService
+from .server import ServiceHTTPServer, serve_forever
+from .tenants import TenantQuota, TenantRegistry
+
+__all__ = [
+    "CampaignService",
+    "CampaignSpec",
+    "FairQueue",
+    "ServiceClient",
+    "ServiceHTTPServer",
+    "ServiceUnavailableError",
+    "TenantQuota",
+    "TenantRegistry",
+    "results_digest",
+    "serve_forever",
+]

@@ -1,0 +1,184 @@
+"""Thin stdlib HTTP client for the campaign service.
+
+``http.client`` only -- the client must be importable in minimal
+environments (CI runners, cron hosts) without dragging in the
+simulator stack, so this module imports nothing heavy.  It backs the
+``repro submit`` / ``repro status`` / ``repro results`` commands and
+the service tests.
+
+Server-reported errors surface as :class:`~repro.errors.ReproError`
+subclasses carrying the HTTP status (429 specifically becomes
+:class:`~repro.errors.QuotaExceededError`, so callers can back off on
+quota pressure and fail fast on everything else); transport failures
+(connection refused, reset) raise :class:`ServiceUnavailableError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Iterator
+from urllib.parse import urlencode, urlsplit
+
+from ..errors import QuotaExceededError, ReproError
+
+__all__ = ["ServiceClient", "ServiceError", "ServiceUnavailableError"]
+
+
+class ServiceError(ReproError):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceUnavailableError(ReproError):
+    """The server could not be reached at all."""
+
+
+class ServiceClient:
+    """One service endpoint plus the calling tenant's identity."""
+
+    def __init__(
+        self,
+        url: str = "http://127.0.0.1:8023",
+        *,
+        tenant: str = "anonymous",
+        timeout_s: float = 60.0,
+    ):
+        parts = urlsplit(url if "//" in url else f"//{url}", scheme="http")
+        if parts.scheme != "http":
+            raise ServiceUnavailableError(
+                f"only http:// endpoints are supported, got {url!r}"
+            )
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 8023
+        self.tenant = tenant
+        self.timeout_s = timeout_s
+
+    # -- plumbing -------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+
+    def _request(
+        self, method: str, path: str, body: Any = None
+    ) -> Any:
+        connection = self._connect()
+        try:
+            payload = None
+            headers = {"X-Repro-Tenant": self.tenant}
+            if body is not None:
+                payload = json.dumps(body).encode()
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServiceUnavailableError(
+                f"cannot reach http://{self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            decoded = {"error": raw.decode(errors="replace")}
+        if response.status >= 400:
+            message = (
+                decoded.get("error", "")
+                if isinstance(decoded, dict)
+                else str(decoded)
+            )
+            if response.status == 429:
+                raise QuotaExceededError(message)
+            raise ServiceError(response.status, message)
+        return decoded
+
+    # -- API ------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def submit(self, campaign: dict, *, priority: int = 0) -> dict:
+        body = dict(campaign)
+        if priority:
+            body["priority"] = priority
+        return self._request("POST", "/v1/campaigns", body)
+
+    def list(self, *, tenant: str | None = None) -> list:
+        path = "/v1/campaigns"
+        if tenant is not None:
+            path += "?" + urlencode({"tenant": tenant})
+        return self._request("GET", path)["submissions"]
+
+    def status(self, submission_id: str) -> dict:
+        return self._request("GET", f"/v1/campaigns/{submission_id}")
+
+    def results(self, submission_id: str) -> dict:
+        return self._request(
+            "GET", f"/v1/campaigns/{submission_id}/results"
+        )
+
+    def wait(
+        self,
+        submission_id: str,
+        *,
+        timeout_s: float = 300.0,
+        poll_s: float = 0.25,
+    ) -> dict:
+        """Poll status until the submission reaches a terminal state."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(submission_id)
+            if status["state"] in ("done", "failed", "stopped"):
+                return status
+            if time.monotonic() - deadline > 0:
+                raise TimeoutError(
+                    f"submission {submission_id} still {status['state']} "
+                    f"after {timeout_s:g}s"
+                )
+            time.sleep(poll_s)
+
+    def stream(
+        self, submission_id: str, *, start: int = 0
+    ) -> Iterator[dict]:
+        """Yield NDJSON progress events (blocks until the stream ends).
+
+        A dedicated connection: ``http.client`` decodes the chunked
+        body transparently, so each ``readline`` is one event.
+        """
+        connection = self._connect()
+        try:
+            connection.request(
+                "GET",
+                f"/v1/campaigns/{submission_id}/stream?"
+                + urlencode({"from": start}),
+                headers={"X-Repro-Tenant": self.tenant},
+            )
+            response = connection.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    message = json.loads(raw).get("error", "")
+                except (json.JSONDecodeError, AttributeError):
+                    message = raw.decode(errors="replace")
+                raise ServiceError(response.status, message)
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        except (OSError, http.client.HTTPException) as exc:
+            raise ServiceUnavailableError(
+                f"stream from http://{self.host}:{self.port} broke: {exc}"
+            ) from exc
+        finally:
+            connection.close()

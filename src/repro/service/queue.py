@@ -1,0 +1,131 @@
+"""Priority + tenant-fair campaign queue.
+
+A deliberately small synchronized structure: entries are whole
+campaigns (executions), not individual jobs -- job-level parallelism
+lives inside each :class:`~repro.core.batch.SweepRunner`.  Selection
+order on :meth:`pop` is deterministic:
+
+1. highest ``priority`` first;
+2. among equals, the tenant with the least fair-share usage (the
+   ``consumed`` callback, backed by
+   :meth:`~repro.service.tenants.TenantRegistry.consumed`) -- for a
+   deduplicated execution with several tenants the *minimum* across
+   them is used, so attaching a fresh tenant can only improve an
+   entry's standing;
+3. final tie-break: FIFO submission order.
+
+The scan on pop is O(n) over queued campaigns, which is the right
+trade at service scale (tens of queued campaigns, each worth seconds
+to minutes of simulation): fairness depends on *current* usage, so a
+heap keyed at push time would go stale the moment any execution
+finishes.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["FairQueue", "QueueEntry"]
+
+
+@dataclass
+class QueueEntry:
+    """One queued execution plus its scheduling inputs."""
+
+    item: Any
+    tenants: list = field(default_factory=list)
+    priority: int = 0
+    n_jobs: int = 1
+    seq: int = 0
+
+
+class FairQueue:
+    """Thread-safe campaign queue with priority + fair-share pop."""
+
+    def __init__(self) -> None:
+        self._entries: list[QueueEntry] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._seq = 0
+
+    def put(
+        self,
+        item: Any,
+        *,
+        tenants: list,
+        priority: int = 0,
+        n_jobs: int = 1,
+    ) -> QueueEntry:
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            entry = QueueEntry(
+                item=item,
+                tenants=list(tenants),
+                priority=priority,
+                n_jobs=n_jobs,
+                seq=self._seq,
+            )
+            self._seq += 1
+            self._entries.append(entry)
+            self._cond.notify()
+            return entry
+
+    def pop(
+        self,
+        *,
+        consumed: Callable[[str], float] = lambda tenant: 0.0,
+        timeout: float | None = None,
+    ) -> QueueEntry | None:
+        """Best entry by (priority, fairness, FIFO); None on timeout
+        or when the queue is closed and drained."""
+        with self._cond:
+            while not self._entries:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+
+            def rank(entry: QueueEntry):
+                usage = min(
+                    (consumed(tenant) for tenant in entry.tenants),
+                    default=0.0,
+                )
+                return (-entry.priority, usage, entry.seq)
+
+            best = min(self._entries, key=rank)
+            self._entries.remove(best)
+            return best
+
+    def close(self) -> None:
+        """Stop accepting entries and wake every blocked pop."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._entries)
+
+    def snapshot(self) -> list[dict]:
+        """Queue contents for the stats endpoint (scheduling order)."""
+        with self._cond:
+            entries = sorted(
+                self._entries, key=lambda e: (-e.priority, e.seq)
+            )
+            return [
+                {
+                    "seq": entry.seq,
+                    "priority": entry.priority,
+                    "tenants": sorted(entry.tenants),
+                    "n_jobs": entry.n_jobs,
+                }
+                for entry in entries
+            ]

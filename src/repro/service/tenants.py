@@ -1,0 +1,181 @@
+"""Per-tenant quotas, budgets and fair-share accounting.
+
+A *tenant* is just a name (the ``X-Repro-Tenant`` header); the
+registry auto-creates state on first sight.  Quotas are admission
+control -- they bound what a tenant may have in flight, not what it
+has ever run -- and every quota violation raises
+:class:`~repro.errors.QuotaExceededError`, which the HTTP layer maps
+to ``429``.
+
+Fairness is usage-based rather than round-robin: the queue (see
+:mod:`repro.service.queue`) breaks priority ties in favour of the
+tenant with the fewest *jobs consumed* so far, so a tenant spraying
+hundred-job campaigns cannot starve one submitting singletons.
+Deduplicated submissions charge every attached tenant an equal share
+of the execution's jobs -- sharing a cached campaign is cheaper than
+owning it, but not free, otherwise dedupe would be a fairness loophole.
+
+The registry is not internally locked: the owning
+:class:`~repro.service.scheduler.CampaignService` serializes all
+mutations under its own lock, which keeps admission (check *and*
+charge) atomic without nested locking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import QuotaExceededError
+
+__all__ = ["TenantQuota", "TenantState", "TenantRegistry"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Admission-control limits for one tenant (None = unlimited)."""
+
+    #: Submissions queued or running at once.
+    max_active: int | None = 16
+    #: Nominal job count of a single campaign.
+    max_jobs_per_campaign: int | None = 4096
+    #: Highest priority the tenant may request (priorities above it
+    #: are rejected, not clamped -- silent clamping hides config bugs).
+    max_priority: int = 10
+    #: Per-campaign budget layer composed (tightest-wins) with the
+    #: server default and the submission's own request.
+    deadline_s: float | None = None
+    max_failures: int | None = None
+    max_rss_mb: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_active is not None and self.max_active < 1:
+            raise ValueError("max_active must be >= 1 (or None)")
+        if (
+            self.max_jobs_per_campaign is not None
+            and self.max_jobs_per_campaign < 1
+        ):
+            raise ValueError("max_jobs_per_campaign must be >= 1 (or None)")
+
+    def budget(self):
+        """This quota's :class:`~repro.core.budget.CampaignBudget`
+        layer, or None when it imposes no execution-time limits."""
+        if (
+            self.deadline_s is None
+            and self.max_failures is None
+            and self.max_rss_mb is None
+        ):
+            return None
+        from ..core.budget import CampaignBudget
+
+        kwargs = {}
+        if self.deadline_s is not None:
+            kwargs["deadline_s"] = self.deadline_s
+        if self.max_failures is not None:
+            kwargs["max_failures"] = self.max_failures
+        if self.max_rss_mb is not None:
+            kwargs["max_rss_mb"] = self.max_rss_mb
+        return CampaignBudget(**kwargs)
+
+
+@dataclass
+class TenantState:
+    """Mutable per-tenant accounting (owned by the service lock)."""
+
+    name: str
+    submitted: int = 0
+    #: Submissions that attached to an execution another tenant (or an
+    #: earlier submission) already owned -- the dedupe win counter.
+    deduplicated: int = 0
+    rejected: int = 0
+    completed: int = 0
+    #: Submissions currently queued or running.
+    active: int = 0
+    #: Fair-share usage: job-shares consumed by finished or running
+    #: executions this tenant is attached to.
+    jobs_consumed: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "submitted": self.submitted,
+            "deduplicated": self.deduplicated,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "active": self.active,
+            "jobs_consumed": round(self.jobs_consumed, 3),
+        }
+
+
+class TenantRegistry:
+    """Quota lookup plus lazily-created per-tenant state."""
+
+    def __init__(
+        self,
+        default_quota: TenantQuota | None = None,
+        quotas: Mapping[str, TenantQuota] | None = None,
+    ):
+        self.default_quota = default_quota or TenantQuota()
+        self.quotas = dict(quotas or {})
+        self.states: dict[str, TenantState] = {}
+
+    def quota(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    def state(self, tenant: str) -> TenantState:
+        state = self.states.get(tenant)
+        if state is None:
+            state = self.states[tenant] = TenantState(name=tenant)
+        return state
+
+    def admit(self, tenant: str, *, n_jobs: int, priority: int) -> None:
+        """Check a submission against the tenant's quota.
+
+        Raises :class:`QuotaExceededError` (HTTP 429) on violation and
+        bumps the tenant's rejection counter; on success the caller is
+        responsible for charging ``active`` (the check and the charge
+        both happen under the service lock, so admission is atomic).
+        """
+        quota = self.quota(tenant)
+        state = self.state(tenant)
+        if priority > quota.max_priority:
+            state.rejected += 1
+            raise QuotaExceededError(
+                f"tenant {tenant!r}: priority {priority} exceeds the "
+                f"allowed maximum {quota.max_priority}"
+            )
+        if (
+            quota.max_jobs_per_campaign is not None
+            and n_jobs > quota.max_jobs_per_campaign
+        ):
+            state.rejected += 1
+            raise QuotaExceededError(
+                f"tenant {tenant!r}: campaign of {n_jobs} job(s) exceeds "
+                f"the per-campaign limit {quota.max_jobs_per_campaign}"
+            )
+        if quota.max_active is not None and state.active >= quota.max_active:
+            state.rejected += 1
+            raise QuotaExceededError(
+                f"tenant {tenant!r}: {state.active} campaign(s) already "
+                f"active (limit {quota.max_active}); retry after one "
+                f"completes"
+            )
+
+    def consumed(self, tenant: str) -> float:
+        """Fair-share key for the queue (0 for unseen tenants)."""
+        state = self.states.get(tenant)
+        return state.jobs_consumed if state is not None else 0.0
+
+    def charge(self, tenants: list, n_jobs: int) -> None:
+        """Split an execution's job cost equally across its tenants."""
+        if not tenants:
+            return
+        share = n_jobs / len(set(tenants))
+        for tenant in set(tenants):
+            self.state(tenant).jobs_consumed += share
+
+    def to_dict(self) -> dict:
+        return {
+            name: state.to_dict()
+            for name, state in sorted(self.states.items())
+        }

@@ -45,6 +45,7 @@ from repro.core.budget import (
     CircuitBreaker,
     GracefulDrain,
     clear_global_stop,
+    compose_budgets,
     global_stop,
     request_global_stop,
 )
@@ -683,3 +684,44 @@ def test_drained_campaign_resumes_to_golden_digest(tmp_path):
     digest = hashlib.sha256(canonical.encode()).hexdigest()
     golden = json.loads(GOLDEN_DIGEST.read_text())
     assert digest == golden["sha256"]
+
+
+class TestComposeBudgets:
+    """Layered budgets (server default + tenant quota + request) must
+    resolve tightest-wins, field by field."""
+
+    def test_none_layers_are_ignored(self):
+        assert compose_budgets(None, None) is None
+        only = CampaignBudget(deadline_s=10)
+        assert compose_budgets(None, only, None) is only
+
+    def test_tightest_limit_wins_per_field(self):
+        server = CampaignBudget(deadline_s=600, max_failures=100)
+        tenant = CampaignBudget(deadline_s=60, max_rss_mb=512)
+        request = CampaignBudget(max_failures=3)
+        effective = compose_budgets(server, tenant, request)
+        assert effective.deadline_s == 60
+        assert effective.max_failures == 3
+        assert effective.max_rss_mb == 512
+
+    def test_missing_fields_stay_unset(self):
+        effective = compose_budgets(
+            CampaignBudget(deadline_s=5), CampaignBudget(deadline_s=7)
+        )
+        assert effective.deadline_s == 5
+        assert effective.max_rss_mb is None
+
+    def test_breaker_tightens_across_enabled_layers(self):
+        loose = CampaignBudget(breaker_window=50, breaker_threshold=0.9)
+        tight = CampaignBudget(breaker_window=10, breaker_threshold=0.5)
+        disabled = CampaignBudget(breaker_window=0)
+        effective = compose_budgets(loose, tight, disabled)
+        assert effective.breaker_window == 10
+        assert effective.breaker_threshold == 0.5
+
+    def test_all_breakers_disabled_stays_disabled(self):
+        effective = compose_budgets(
+            CampaignBudget(breaker_window=0, deadline_s=1),
+            CampaignBudget(breaker_window=0, deadline_s=2),
+        )
+        assert effective.breaker_window == 0

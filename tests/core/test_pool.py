@@ -125,6 +125,72 @@ class TestWorkerPoolLifecycle:
         pool.close()
         assert pool.closed
 
+    def test_concurrent_close_is_safe(self):
+        """Signal-driven shutdown closes pools from several threads at
+        once (drain handler, service scheduler, atexit); every close
+        after the first must be a silent no-op, never a double
+        teardown or an AttributeError on a half-cleared worker list."""
+        import threading
+
+        pool = WorkerPool(2)
+        pool.ensure_workers()
+        errors = []
+
+        def close():
+            try:
+                pool.close()
+            except Exception as exc:  # noqa: BLE001 -- the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=close) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert pool.closed
+        assert pool.workers == []
+
+    def test_close_after_killed_workers(self):
+        """close() must stay silent when workers already died (e.g. a
+        SIGKILLed process tree): dead pipes are not an error path."""
+        pool = WorkerPool(2)
+        pool.ensure_workers()
+        for worker in pool.workers:
+            worker.process.kill()
+            worker.process.join(timeout=10.0)
+        pool.close()
+        pool.close()
+        assert pool.closed
+
+    def test_runner_discard_pool_races_with_close(self):
+        """SweepRunner.close() from a shutdown thread while another
+        thread discards the pool: the None handoff must be atomic."""
+        import threading
+
+        from repro.core import batch
+
+        runner = batch.SweepRunner(max_workers=2, pool=True)
+        try:
+            runner._ensure_pool()
+            errors = []
+
+            def close():
+                try:
+                    runner.close()
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=close) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            assert runner._pool is None
+        finally:
+            runner.close()
+
 
 # ----------------------------------------------------------------------
 # Tentpole: bit-identical across execution strategies (full zoo)

@@ -1,0 +1,111 @@
+"""FairQueue scheduling order and TenantRegistry admission control."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import QuotaExceededError
+from repro.service.queue import FairQueue
+from repro.service.tenants import TenantQuota, TenantRegistry
+
+
+class TestFairQueue:
+    def test_priority_wins(self):
+        queue = FairQueue()
+        queue.put("low", tenants=["a"], priority=0)
+        queue.put("high", tenants=["a"], priority=5)
+        assert queue.pop(timeout=0).item == "high"
+        assert queue.pop(timeout=0).item == "low"
+
+    def test_equal_priority_prefers_least_consumed_tenant(self):
+        queue = FairQueue()
+        queue.put("heavy", tenants=["hog"], priority=1)
+        queue.put("light", tenants=["newbie"], priority=1)
+        usage = {"hog": 100.0, "newbie": 0.0}
+        assert queue.pop(consumed=usage.__getitem__, timeout=0).item == "light"
+        assert queue.pop(consumed=usage.__getitem__, timeout=0).item == "heavy"
+
+    def test_fifo_breaks_remaining_ties(self):
+        queue = FairQueue()
+        queue.put("first", tenants=["a"], priority=1)
+        queue.put("second", tenants=["a"], priority=1)
+        assert queue.pop(timeout=0).item == "first"
+        assert queue.pop(timeout=0).item == "second"
+
+    def test_shared_execution_uses_best_tenant_standing(self):
+        """A deduplicated execution with several tenants ranks by the
+        *least*-consumed attached tenant."""
+        queue = FairQueue()
+        queue.put("solo", tenants=["mid"], priority=0)
+        queue.put("shared", tenants=["hog", "newbie"], priority=0)
+        usage = {"hog": 100.0, "newbie": 0.0, "mid": 50.0}
+        assert queue.pop(consumed=usage.__getitem__, timeout=0).item == "shared"
+
+    def test_pop_times_out_empty(self):
+        assert FairQueue().pop(timeout=0.01) is None
+
+    def test_close_wakes_blocked_pop_and_rejects_put(self):
+        queue = FairQueue()
+        popped = []
+        thread = threading.Thread(
+            target=lambda: popped.append(queue.pop(timeout=30))
+        )
+        thread.start()
+        queue.close()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert popped == [None]
+        with pytest.raises(RuntimeError):
+            queue.put("late", tenants=["a"])
+
+    def test_close_drains_remaining_entries_first(self):
+        queue = FairQueue()
+        queue.put("pending", tenants=["a"])
+        queue.close()
+        assert queue.pop(timeout=0).item == "pending"
+        assert queue.pop(timeout=0) is None
+
+
+class TestTenantRegistry:
+    def test_admit_enforces_active_campaign_quota(self):
+        registry = TenantRegistry(TenantQuota(max_active=1))
+        registry.admit("t", n_jobs=1, priority=0)
+        registry.state("t").active += 1
+        with pytest.raises(QuotaExceededError):
+            registry.admit("t", n_jobs=1, priority=0)
+        assert registry.state("t").rejected == 1
+
+    def test_admit_enforces_jobs_per_campaign(self):
+        registry = TenantRegistry(TenantQuota(max_jobs_per_campaign=4))
+        registry.admit("t", n_jobs=4, priority=0)
+        with pytest.raises(QuotaExceededError):
+            registry.admit("t", n_jobs=5, priority=0)
+
+    def test_admit_rejects_excess_priority(self):
+        registry = TenantRegistry(TenantQuota(max_priority=3))
+        with pytest.raises(QuotaExceededError):
+            registry.admit("t", n_jobs=1, priority=4)
+
+    def test_charge_splits_across_tenants(self):
+        registry = TenantRegistry()
+        registry.charge(["a", "b"], 10)
+        assert registry.consumed("a") == 5.0
+        assert registry.consumed("b") == 5.0
+        assert registry.consumed("unseen") == 0.0
+
+    def test_per_tenant_quota_overrides_default(self):
+        registry = TenantRegistry(
+            TenantQuota(max_active=1),
+            quotas={"vip": TenantQuota(max_active=100)},
+        )
+        assert registry.quota("vip").max_active == 100
+        assert registry.quota("anyone").max_active == 1
+
+    def test_quota_budget_layer(self):
+        quota = TenantQuota(deadline_s=30, max_failures=2)
+        budget = quota.budget()
+        assert budget.deadline_s == 30
+        assert budget.max_failures == 2
+        assert TenantQuota().budget() is None

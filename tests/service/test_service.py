@@ -1,0 +1,327 @@
+"""End-to-end campaign service tests: dedupe, HTTP, drain, restart.
+
+Everything runs in-process (threads, ephemeral ports) -- no
+subprocesses -- so the suite stays fast and deterministic while still
+exercising the real HTTP layer and the real sweep engine.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core.batch import NullCache, SweepRunner
+from repro.errors import QuotaExceededError
+from repro.service import (
+    CampaignService,
+    ServiceClient,
+    ServiceHTTPServer,
+)
+from repro.service.client import ServiceError
+from repro.service.protocol import CampaignSpec, results_digest
+from repro.service.scheduler import ResultsNotReadyError
+from repro.service.tenants import TenantQuota, TenantRegistry
+
+#: Small but non-trivial: two machines, one model, three jobs total
+#: would be 2 -- enough to observe per-job progress events.
+CAMPAIGN = {
+    "kind": "sweep",
+    "machines": ["spacx", "simba"],
+    "models": ["MobileNetV2"],
+}
+
+
+def direct_digest(campaign: dict) -> str:
+    """The ground truth: the same campaign through a bare SweepRunner
+    with no cache, no manifest, no service."""
+    spec = CampaignSpec.from_dict(campaign)
+    jobs, labels = spec.build_sweep_jobs()
+    runner = SweepRunner(cache=NullCache(), manifest=False, budget=False)
+    try:
+        results = runner.run(jobs)
+    finally:
+        runner.close()
+    tree: dict = {}
+    for (model, machine), result in zip(labels, results):
+        tree.setdefault(model, {})[machine] = result
+    return results_digest(tree)
+
+
+@pytest.fixture(scope="module")
+def golden_digest():
+    return direct_digest(CAMPAIGN)
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = CampaignService(tmp_path / "data", runner_slots=1)
+    svc.start()
+    yield svc
+    svc.shutdown(timeout_s=60)
+
+
+@pytest.fixture()
+def http_service(service):
+    server = ServiceHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    port = server.server_address[1]
+    yield service, f"http://127.0.0.1:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+class TestEndToEnd:
+    def test_http_submit_poll_results_digest_parity(
+        self, http_service, golden_digest
+    ):
+        """A campaign over HTTP produces the byte-identical digest of
+        a direct in-process SweepRunner run of the same jobs."""
+        _, url = http_service
+        client = ServiceClient(url, tenant="alice")
+        assert client.healthz()["ok"] is True
+        ticket = client.submit(CAMPAIGN)
+        assert ticket["submission"].startswith("sub-")
+        assert ticket["deduplicated"] is False
+        final = client.wait(ticket["submission"], timeout_s=300)
+        assert final["state"] == "done"
+        assert final["digest"] == golden_digest
+        payload = client.results(ticket["submission"])
+        assert payload["digest"] == golden_digest
+        assert set(payload["results"]["MobileNetV2"]) == {"spacx", "simba"}
+        report = payload["report"]
+        assert report["jobs_total"] == 2
+        assert report["jobs_failed"] == 0
+
+    def test_stream_yields_progress_then_terminal(self, http_service):
+        _, url = http_service
+        client = ServiceClient(url, tenant="alice")
+        ticket = client.submit(CAMPAIGN)
+        events = list(client.stream(ticket["submission"]))
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "queued"
+        assert kinds[-1] == "terminal"
+        assert kinds.count("job") == 2
+        assert events[-1]["state"] == "done"
+        # seq numbers are dense from 0 -- the resume offset contract
+        assert [event["seq"] for event in events] == list(range(len(events)))
+        # ?from= skips already-seen events
+        tail = list(client.stream(ticket["submission"], start=len(events) - 1))
+        assert [event["seq"] for event in tail] == [len(events) - 1]
+
+    def test_http_error_mapping(self, http_service):
+        _, url = http_service
+        client = ServiceClient(url, tenant="alice")
+        with pytest.raises(ServiceError) as err:
+            client.submit({"kind": "sweep", "machines": ["warp"], "models": ["MobileNetV2"]})
+        assert err.value.status == 400
+        with pytest.raises(ServiceError) as err:
+            client.status("sub-999999")
+        assert err.value.status == 404
+        with pytest.raises(ServiceError) as err:
+            client.results("sub-999999")
+        assert err.value.status == 404
+
+    def test_quota_violation_maps_to_429(self, tmp_path):
+        registry = TenantRegistry(TenantQuota(max_jobs_per_campaign=1))
+        svc = CampaignService(
+            tmp_path / "data", runner_slots=1, registry=registry
+        )
+        svc.start()
+        server = ServiceHTTPServer(("127.0.0.1", 0), svc)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{server.server_address[1]}",
+                tenant="alice",
+            )
+            with pytest.raises(QuotaExceededError):
+                client.submit(CAMPAIGN)  # two jobs > quota of one
+        finally:
+            server.shutdown()
+            server.server_close()
+            svc.shutdown(timeout_s=30)
+
+
+class TestCrossTenantDedupe:
+    def test_concurrent_identical_submissions_share_one_execution(
+        self, tmp_path, golden_digest
+    ):
+        """Two tenants submitting the identical campaign concurrently:
+        exactly one execution runs (one set of evaluations -- zero
+        duplicate work), and both get digest-equal results."""
+        svc = CampaignService(tmp_path / "data", runner_slots=2)
+        barrier = threading.Barrier(2)
+        tickets: dict = {}
+
+        def submit(tenant: str) -> None:
+            barrier.wait()
+            tickets[tenant] = svc.submit(CAMPAIGN, tenant=tenant)
+
+        threads = [
+            threading.Thread(target=submit, args=(tenant,))
+            for tenant in ("alice", "bob")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Submissions race before the scheduler starts: dedupe must
+        # happen at admission, not execution.
+        assert tickets["alice"]["campaign"] == tickets["bob"]["campaign"]
+        assert len(svc._executions) == 1
+        assert sorted(
+            [tickets["alice"]["deduplicated"], tickets["bob"]["deduplicated"]]
+        ) == [False, True]
+        svc.start()
+        try:
+            digests = set()
+            for tenant in ("alice", "bob"):
+                final = svc.wait(
+                    tickets[tenant]["submission"], timeout_s=300
+                )
+                assert final["state"] == "done"
+                digests.add(final["digest"])
+            assert digests == {golden_digest}
+            execution = next(iter(svc._executions.values()))
+            # One set of evaluations: the shared execution ran once,
+            # and its report covers exactly the campaign's own jobs.
+            assert execution.attempts == 1
+            payload = svc.results(tickets["alice"]["submission"])
+            assert payload["report"]["jobs_total"] == 2
+            stats = svc.stats()["tenants"]
+            assert (
+                stats["alice"]["deduplicated"]
+                + stats["bob"]["deduplicated"]
+                == 1
+            )
+            # Fair-share accounting splits the shared execution.
+            assert stats["alice"]["jobs_consumed"] == pytest.approx(1.0)
+            assert stats["bob"]["jobs_consumed"] == pytest.approx(1.0)
+        finally:
+            svc.shutdown(timeout_s=60)
+
+    def test_resubmission_after_done_returns_instantly(
+        self, service, golden_digest
+    ):
+        first = service.submit(CAMPAIGN, tenant="alice")
+        service.wait(first["submission"], timeout_s=300)
+        again = service.submit(CAMPAIGN, tenant="carol")
+        assert again["deduplicated"] is True
+        assert again["state"] == "done"
+        assert again["digest"] == golden_digest
+
+
+class _StopAfterFirstJob(CampaignService):
+    """Test double: injects the drain stop (reason ``signal``) from
+    the first progress event -- deterministic stand-in for a SIGTERM
+    arriving mid-campaign."""
+
+    def _progress_callback(self, execution):
+        inner = super()._progress_callback(execution)
+
+        def on_progress(stats) -> None:
+            inner(stats)
+            for runner in self._runners.values():
+                runner.request_stop("signal", "injected drain")
+
+        return on_progress
+
+
+class TestDrainAndRestart:
+    def test_drain_restart_resumes_to_identical_digest(
+        self, tmp_path, golden_digest
+    ):
+        """Kill mid-campaign (after one job), restart on the same data
+        dir: the execution restores as queued, resumes from its
+        manifest (first job replayed, not recomputed) and lands on the
+        exact direct-runner digest."""
+        svc = _StopAfterFirstJob(tmp_path / "data", runner_slots=1)
+        svc.start()
+        ticket = svc.submit(CAMPAIGN, tenant="alice")
+        stopped = svc.wait(ticket["submission"], timeout_s=300)
+        assert stopped["state"] == "stopped"
+        assert stopped["outcome"]["stop_reason"] == "signal"
+        assert stopped["outcome"]["done"] == 1
+        with pytest.raises(ResultsNotReadyError):
+            svc.results(ticket["submission"])
+        interrupted = svc.shutdown(timeout_s=60)
+        assert interrupted == 1
+
+        restarted = CampaignService(tmp_path / "data", runner_slots=1)
+        status = restarted.status(ticket["submission"])
+        assert status["state"] == "queued"
+        # Progress restored from the append-only manifest.
+        assert status["events"] >= 2  # header + the one done job
+        restarted.start()
+        try:
+            final = restarted.wait(ticket["submission"], timeout_s=300)
+            assert final["state"] == "done"
+            assert final["digest"] == golden_digest
+            payload = restarted.results(ticket["submission"])
+            assert payload["report"]["jobs_resumed"] == 1
+            assert payload["report"]["jobs_total"] == 2
+        finally:
+            assert restarted.shutdown(timeout_s=60) == 0
+
+    def test_idle_drain_reports_zero_interrupted(self, tmp_path):
+        svc = CampaignService(tmp_path / "data", runner_slots=1)
+        svc.start()
+        ticket = svc.submit(CAMPAIGN, tenant="alice")
+        svc.wait(ticket["submission"], timeout_s=300)
+        assert svc.shutdown(timeout_s=60) == 0
+        with pytest.raises(RuntimeError):
+            svc.submit(CAMPAIGN, tenant="alice")
+
+    def test_restart_preserves_terminal_results(self, tmp_path):
+        svc = CampaignService(tmp_path / "data", runner_slots=1)
+        svc.start()
+        ticket = svc.submit(CAMPAIGN, tenant="alice")
+        done = svc.wait(ticket["submission"], timeout_s=300)
+        svc.shutdown(timeout_s=60)
+
+        restarted = CampaignService(tmp_path / "data", runner_slots=1)
+        status = restarted.status(ticket["submission"])
+        assert status["state"] == "done"
+        assert status["digest"] == done["digest"]
+        payload = restarted.results(ticket["submission"])
+        assert payload["digest"] == done["digest"]
+        # No runner threads were even started -- results came straight
+        # from the ledger + persisted payload.
+        restarted.shutdown(timeout_s=10)
+
+
+class TestOtherKinds:
+    def test_faults_campaign_round_trip(self, service):
+        ticket = service.submit(
+            {
+                "kind": "faults",
+                "model": "MobileNetV2",
+                "samples": 4,
+                "rates": [0.001],
+                "chiplets": 4,
+                "pes_per_chiplet": 4,
+            },
+            tenant="alice",
+        )
+        final = service.wait(ticket["submission"], timeout_s=300)
+        assert final["state"] == "done"
+        payload = service.results(ticket["submission"])
+        assert payload["kind"] == "faults"
+        assert len(payload["points"]) == 3  # three machines x one rate
+        # Payload is strict JSON end to end.
+        json.dumps(payload)
+
+    def test_search_campaign_round_trip(self, service):
+        ticket = service.submit(
+            {"kind": "search", "space": "tiny", "strategy": "exhaustive"},
+            tenant="alice",
+        )
+        final = service.wait(ticket["submission"], timeout_s=300)
+        assert final["state"] == "done"
+        payload = service.results(ticket["submission"])
+        assert payload["kind"] == "search"
+        assert payload["result"]["best"] is not None
