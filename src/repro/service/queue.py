@@ -73,6 +73,32 @@ class FairQueue:
             self._cond.notify()
             return entry
 
+    def update(
+        self,
+        item: Any,
+        *,
+        tenants: list | None = None,
+        priority: int | None = None,
+    ) -> bool:
+        """Refresh a queued entry's scheduling inputs in place.
+
+        The scheduler calls this when a dedupe attach adds a tenant or
+        raises the priority of an execution that is already queued;
+        without it the entry would keep the snapshots copied at
+        :meth:`put` time and late attaches could not improve its
+        standing.  Returns False (no-op) when the item is not queued
+        -- e.g. it was popped between the attach and this call.
+        """
+        with self._cond:
+            for entry in self._entries:
+                if entry.item == item:
+                    if tenants is not None:
+                        entry.tenants = list(tenants)
+                    if priority is not None:
+                        entry.priority = priority
+                    return True
+            return False
+
     def pop(
         self,
         *,

@@ -106,6 +106,9 @@ class Execution:
     #: How many times this execution went through the running state
     #: (> 1 after a stop + resume or a restart).
     attempts: int = 0
+    #: Tenants whose fair-share meter already paid for this execution
+    #: -- a resumed attempt replays cached work and charges nothing.
+    charged_tenants: set = field(default_factory=set)
 
 
 @dataclass
@@ -118,6 +121,11 @@ class Submission:
     priority: int
     created_s: float
     deduplicated: bool
+    #: Whether this submission's tenant accounting has been released
+    #: (active slot freed, completed counted).  A submission settles
+    #: exactly once, even when its execution is requeued and reaches a
+    #: terminal state again.
+    settled: bool = False
 
 
 class CampaignService:
@@ -275,9 +283,16 @@ class CampaignService:
                 execution.finished_s = record.get("finished_s")
         for execution in self._executions.values():
             if execution.state in (DONE, FAILED):
+                # Terminal before the restart: the submissions are
+                # settled (never re-occupy an active slot) and the
+                # tenants already paid pre-restart, so the fresh
+                # fair-share meter does not re-bill them.
+                execution.charged_tenants.update(execution.tenants)
                 for sid in execution.submissions:
-                    tenant = self._submissions[sid].tenant
-                    self.registry.state(tenant).completed += 1
+                    submission = self._submissions[sid]
+                    submission.settled = True
+                    if execution.state == DONE:
+                        self.registry.state(submission.tenant).completed += 1
                 continue
             # Unfinished: back on the queue.  Seed the event stream
             # from the on-disk manifest so observers see how far the
@@ -417,13 +432,20 @@ class CampaignService:
             self._submissions[sid] = submission
             execution.submissions.append(sid)
             state.submitted += 1
-            state.active += 1
+            if execution.state == DONE:
+                # Attaching to a finished campaign settles instantly:
+                # the results already exist and no _finish will ever
+                # run for this submission, so it must not occupy an
+                # active-quota slot it could never release.
+                submission.settled = True
+                state.completed += 1
+            else:
+                state.active += 1
             # Late attach to a running/finished execution still pays
-            # its fair share (dedupe must not be a fairness loophole).
-            if new_tenant and execution.state != QUEUED:
-                state.jobs_consumed += n_jobs / max(
-                    1, len(execution.tenants)
-                )
+            # its fair share (dedupe must not be a fairness loophole);
+            # queued executions charge every tenant at dispatch.
+            if new_tenant and execution.state in (RUNNING, DONE):
+                self._charge_attached_tenants(execution)
             self._append_ledger(
                 {
                     "type": "submission",
@@ -457,6 +479,16 @@ class CampaignService:
                     n_jobs=n_jobs,
                 )
                 self._append_event(execution, {"event": "requeued"})
+            elif execution.state == QUEUED:
+                # Dedupe attach onto a still-queued execution: refresh
+                # the live queue entry so the new tenant (or a raised
+                # priority) affects scheduling, not just the copies
+                # taken at the original put().
+                self._queue.update(
+                    exec_id,
+                    tenants=execution.tenants,
+                    priority=execution.priority,
+                )
             return self._status_locked(sid)
 
     # -- status / results ----------------------------------------------
@@ -603,7 +635,7 @@ class CampaignService:
                     execution.started_s = time.time()
                     execution.attempts += 1
                     self._active[slot] = execution.exec_id
-                    self.registry.charge(execution.tenants, execution.n_jobs)
+                    self._charge_attached_tenants(execution)
                     if runner is None:
                         runner = self._build_runner()
                         self._runners[slot] = runner
@@ -625,6 +657,21 @@ class CampaignService:
         finally:
             if runner is not None:
                 runner.close()
+
+    def _charge_attached_tenants(self, execution: Execution) -> None:
+        """Fair-share charge, exactly once per (tenant, execution).
+
+        Every tenant pays an equal split of the campaign's nominal job
+        count no matter when it attached.  A stopped or drained
+        campaign that is later resumed (or restored after a restart)
+        replays cached work, so resumed attempts charge nothing extra.
+        Called under the service lock.
+        """
+        share = execution.n_jobs / max(1, len(execution.tenants))
+        for tenant in execution.tenants:
+            if tenant not in execution.charged_tenants:
+                execution.charged_tenants.add(tenant)
+                self.registry.state(tenant).jobs_consumed += share
 
     def _build_runner(self):
         """One long-lived runner per slot: own cache handle, shared
@@ -837,8 +884,15 @@ class CampaignService:
             execution.outcome = outcome
             execution.finished_s = now
             for sid in execution.submissions:
-                tenant = self._submissions[sid].tenant
-                tenant_state = self.registry.state(tenant)
+                submission = self._submissions[sid]
+                # Settle exactly once: a requeued execution reaches a
+                # terminal state again, and releasing the old, already
+                # settled submissions a second time would eat active
+                # slots belonging to the tenant's other live work.
+                if submission.settled:
+                    continue
+                submission.settled = True
+                tenant_state = self.registry.state(submission.tenant)
                 if tenant_state.active > 0:
                     tenant_state.active -= 1
                 if state == DONE:

@@ -43,6 +43,28 @@ class TestFairQueue:
         usage = {"hog": 100.0, "newbie": 0.0, "mid": 50.0}
         assert queue.pop(consumed=usage.__getitem__, timeout=0).item == "shared"
 
+    def test_update_attaching_fresh_tenant_improves_standing(self):
+        """A dedupe attach refreshes the queued entry: the fresh
+        tenant's clean fair-share record now ranks the entry first."""
+        queue = FairQueue()
+        queue.put("shared", tenants=["hog"], priority=0)
+        queue.put("solo", tenants=["mid"], priority=0)
+        usage = {"hog": 100.0, "newbie": 0.0, "mid": 50.0}
+        # Without the attach, "solo" (usage 50) would beat "shared"
+        # (usage 100); the refreshed tenant list flips the order.
+        assert queue.update("shared", tenants=["hog", "newbie"]) is True
+        assert (
+            queue.pop(consumed=usage.__getitem__, timeout=0).item == "shared"
+        )
+
+    def test_update_priority_and_missing_item(self):
+        queue = FairQueue()
+        queue.put("was-low", tenants=["a"], priority=0)
+        queue.put("other", tenants=["a"], priority=1)
+        assert queue.update("was-low", priority=5) is True
+        assert queue.update("ghost", priority=5) is False
+        assert queue.pop(timeout=0).item == "was-low"
+
     def test_pop_times_out_empty(self):
         assert FairQueue().pop(timeout=0.01) is None
 

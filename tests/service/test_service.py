@@ -21,7 +21,12 @@ from repro.service import (
 )
 from repro.service.client import ServiceError
 from repro.service.protocol import CampaignSpec, results_digest
-from repro.service.scheduler import ResultsNotReadyError
+from repro.service.scheduler import (
+    DONE,
+    FAILED,
+    RUNNING,
+    ResultsNotReadyError,
+)
 from repro.service.tenants import TenantQuota, TenantRegistry
 
 #: Small but non-trivial: two machines, one model, three jobs total
@@ -214,6 +219,97 @@ class TestCrossTenantDedupe:
         assert again["state"] == "done"
         assert again["digest"] == golden_digest
 
+    def test_dedupe_attach_refreshes_queued_entry(self, tmp_path):
+        """A duplicate with a higher priority (or a fresh tenant) must
+        update the already-queued entry, not just the execution."""
+        svc = CampaignService(tmp_path / "data", runner_slots=1)
+        try:
+            svc.submit(CAMPAIGN, tenant="alice", priority=0)
+            svc.submit(CAMPAIGN, tenant="bob", priority=3)
+            (entry,) = svc._queue.snapshot()
+            assert entry["priority"] == 3
+            assert entry["tenants"] == ["alice", "bob"]
+        finally:
+            svc.shutdown(timeout_s=10)
+
+
+class TestTenantAccounting:
+    """Regression tests: each submission settles (releases its active
+    slot, counts completed, pays fair share) exactly once."""
+
+    #: Distinct from CAMPAIGN -- its own execution.
+    OTHER = {
+        "kind": "sweep",
+        "machines": ["spacx"],
+        "models": ["MobileNetV2"],
+    }
+
+    def test_duplicates_of_done_campaign_do_not_leak_active_slots(
+        self, tmp_path
+    ):
+        """Resubmitting a completed campaign settles instantly and
+        must never consume an active-quota slot (there is no _finish
+        left to release it)."""
+        registry = TenantRegistry(TenantQuota(max_active=2))
+        svc = CampaignService(
+            tmp_path / "data", runner_slots=1, registry=registry
+        )
+        svc.start()
+        try:
+            first = svc.submit(CAMPAIGN, tenant="alice")
+            svc.wait(first["submission"], timeout_s=300)
+            # Far more duplicates than max_active: every one must be
+            # admitted and none may occupy a slot.
+            for _ in range(5):
+                again = svc.submit(CAMPAIGN, tenant="alice")
+                assert again["state"] == "done"
+            state = svc.registry.state("alice")
+            assert state.active == 0
+            assert state.completed == 6
+        finally:
+            svc.shutdown(timeout_s=60)
+
+    def test_requeued_execution_settles_each_submission_once(
+        self, tmp_path
+    ):
+        """The second _finish of a requeued execution must not
+        re-release the old submissions' active slots -- that would eat
+        slots belonging to the tenant's other live work."""
+        svc = CampaignService(tmp_path / "data", runner_slots=1)
+        # Never started: state transitions are driven by hand.
+        first = svc.submit(CAMPAIGN, tenant="alice")
+        execution = svc._executions[first["campaign"]]
+        execution.state = RUNNING
+        svc._finish(execution, FAILED, error="boom")
+        assert svc.registry.state("alice").active == 0
+        # An unrelated live submission whose slot must survive.
+        svc.submit(self.OTHER, tenant="alice")
+        assert svc.registry.state("alice").active == 1
+        # The duplicate requeues the failed execution...
+        again = svc.submit(CAMPAIGN, tenant="alice")
+        assert again["state"] == "queued"
+        assert svc.registry.state("alice").active == 2
+        # ...and its next finish settles only the new submission.
+        execution.state = RUNNING
+        svc._finish(execution, DONE, digest="d")
+        state = svc.registry.state("alice")
+        assert state.active == 1
+        assert state.completed == 1
+
+    def test_restore_counts_completed_only_for_done(self, tmp_path):
+        """A restart must not count FAILED submissions as completed."""
+        svc = CampaignService(tmp_path / "data", runner_slots=1)
+        ticket = svc.submit(CAMPAIGN, tenant="alice")
+        execution = svc._executions[ticket["campaign"]]
+        execution.state = RUNNING
+        svc._finish(execution, FAILED, error="boom")
+
+        restarted = CampaignService(tmp_path / "data", runner_slots=1)
+        state = restarted.registry.state("alice")
+        assert state.completed == 0
+        assert state.active == 0
+        assert restarted.status(ticket["submission"])["state"] == "failed"
+
 
 class _StopAfterFirstJob(CampaignService):
     """Test double: injects the drain stop (reason ``signal``) from
@@ -231,7 +327,56 @@ class _StopAfterFirstJob(CampaignService):
         return on_progress
 
 
+class _StopOnceAfterFirstJob(CampaignService):
+    """Like :class:`_StopAfterFirstJob`, but only the first progress
+    event injects the stop -- so a requeued execution can run to
+    completion in the same process."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._injected = False
+
+    def _progress_callback(self, execution):
+        inner = super()._progress_callback(execution)
+
+        def on_progress(stats) -> None:
+            inner(stats)
+            if not self._injected:
+                self._injected = True
+                for runner in self._runners.values():
+                    runner.request_stop("signal", "injected drain")
+
+        return on_progress
+
+
 class TestDrainAndRestart:
+    def test_in_process_resume_charges_fair_share_once(
+        self, tmp_path, golden_digest
+    ):
+        """Stop mid-campaign, requeue via a duplicate, resume in the
+        same process: the tenant pays the campaign's fair share once,
+        not once per attempt."""
+        svc = _StopOnceAfterFirstJob(tmp_path / "data", runner_slots=1)
+        svc.start()
+        try:
+            ticket = svc.submit(CAMPAIGN, tenant="alice")
+            stopped = svc.wait(ticket["submission"], timeout_s=300)
+            assert stopped["state"] == "stopped"
+            state = svc.registry.state("alice")
+            assert state.jobs_consumed == pytest.approx(2.0)
+            again = svc.submit(CAMPAIGN, tenant="alice")
+            final = svc.wait(again["submission"], timeout_s=300)
+            assert final["state"] == "done"
+            assert final["digest"] == golden_digest
+            assert final["attempts"] == 2
+            # The resume replayed cached work: no second charge, every
+            # slot released, exactly one completed submission.
+            assert state.jobs_consumed == pytest.approx(2.0)
+            assert state.active == 0
+            assert state.completed == 1
+        finally:
+            svc.shutdown(timeout_s=60)
+
     def test_drain_restart_resumes_to_identical_digest(
         self, tmp_path, golden_digest
     ):
