@@ -188,6 +188,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="force every evaluation through the scalar simulator "
         "(the oracle path; also $REPRO_SWEEP_VECTORIZE=0)",
     )
+    parser.add_argument(
+        "--exec-plan",
+        choices=("auto", "grid", "pool", "serial"),
+        default=None,
+        help="campaign execution planner: 'auto' (the default) grids "
+        "same-family cache misses through the 2-D megabatch kernel and "
+        "keeps small vectorized campaigns in-process, 'grid'/'pool'/"
+        "'serial' force one lane (also $REPRO_SWEEP_PLAN); results are "
+        "bit-identical in every plan",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run = subparsers.add_parser("run", help="simulate one model on one machine")
@@ -499,6 +509,12 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit the raw status payload as JSON",
+    )
+    status.add_argument(
+        "--server",
+        action="store_true",
+        help="show server stats instead: queue, tenants, and each "
+        "runner slot's execution-plan decisions and grid lane counts",
     )
 
     results = subparsers.add_parser(
@@ -1050,6 +1066,28 @@ def _command_submit(args: argparse.Namespace) -> int:
 
 def _command_status(args: argparse.Namespace) -> int:
     client = _service_client(args)
+    if args.server:
+        stats = client.stats()
+        if args.as_json:
+            print(json.dumps(stats, indent=2))
+            return EXIT_OK
+        print(
+            f"uptime {stats['uptime_s']:.1f}s, "
+            f"{stats['runner_slots']} slot(s), "
+            f"{stats['submissions']} submission(s)"
+            + (", draining" if stats["draining"] else "")
+        )
+        for slot, info in sorted(stats.get("slots", {}).items()):
+            line = f"slot {slot}: exec plan {info['exec_plan']}"
+            if info["grid_lanes"]:
+                line += (
+                    f", {info['grid_lanes']} grid lanes over "
+                    f"{info['grid_machines']} machine(s)"
+                )
+            if info["plan"]:
+                line += "; last campaign: " + "; ".join(info["plan"])
+            print(line)
+        return EXIT_OK
     if args.submission is None:
         listing = client.list()
         if args.as_json:
@@ -1151,6 +1189,7 @@ def main(argv: list[str] | None = None) -> int:
         pool=args.pool,
         pool_batch=args.pool_batch,
         vectorize=args.vectorize,
+        exec_plan=args.exec_plan,
         budget=budget,
         retry_quarantined=True if args.retry_quarantined else None,
     )

@@ -85,12 +85,14 @@ __all__ = [
     "SweepJob",
     "JobStats",
     "JobFailure",
+    "PlanDecision",
     "SweepJobError",
     "SweepRunner",
     "CampaignBudget",
     "CampaignOutcome",
     "configure",
     "default_budget",
+    "default_exec_plan",
     "default_pool",
     "default_vectorize",
     "default_workers",
@@ -108,6 +110,23 @@ __all__ = [
 _CRASH_KINDS = frozenset(
     {"WorkerCrashed", "TimeoutError", "MemoryBudgetExceeded"}
 )
+
+#: Valid campaign execution plans (see :func:`default_exec_plan`).
+_EXEC_PLANS = ("auto", "grid", "pool", "serial")
+
+#: Upper bound on (machines x union shapes) lanes evaluated per grid
+#: kernel launch.  Beyond it the machine axis is chunked: each float64
+#: grid column is ``lanes * 8`` bytes and the kernel holds a few dozen
+#: columns live, so 1Mi lanes keeps the transient peak around 300 MB.
+_GRID_LANE_BUDGET = 1 << 20
+
+#: Below this many total unique kernel lanes a leftover sub-campaign
+#: is cheaper serial than pooled: per-job dispatch (pickling, IPC,
+#: worker cache keys) costs milliseconds while the vectorized kernel
+#: clears small batches in microseconds per lane -- the inversion
+#: BENCH_pool.json measured on 64 small jobs (pool 0.145s vs serial
+#: 0.033s).  Only applies when every leftover job takes the kernel.
+_POOL_LANE_THRESHOLD = 50_000
 
 logger = logging.getLogger(__name__)
 
@@ -856,10 +875,33 @@ class JobStats:
     n_unique_layers: int
     cache_hits: int
     cache_misses: int
-    mode: str  # "serial" | "parallel" | "resumed"
+    mode: str  # "serial" | "parallel" | "pool" | "resumed" | "grid"
     attempts: int = 1
     failed: bool = False
     index: int = -1
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """One execution-planner choice for a group of campaign jobs.
+
+    ``plan`` is the mechanism the group was routed to (``"grid"``:
+    in-process 2-D megabatch, ``"pool"``/``"spawn"``: process
+    parallelism, ``"serial"``: in-process per-job loop); ``reason``
+    says why in one human-readable clause.  Grid decisions also carry
+    the evaluated lane count (machines x union shapes).
+    """
+
+    plan: str
+    jobs: int
+    reason: str
+    lanes: int = 0
+
+    def describe(self) -> str:
+        text = f"{self.plan} x{self.jobs} ({self.reason})"
+        if self.lanes:
+            text += f" [{self.lanes} lanes]"
+        return text
 
 
 @dataclass(frozen=True)
@@ -1023,6 +1065,7 @@ class SweepRunner:
         vectorize: bool | None = None,
         budget: "CampaignBudget | None | bool" = None,
         retry_quarantined: bool | None = None,
+        exec_plan: str | None = None,
     ):
         self.max_workers = default_workers() if max_workers is None else max_workers
         self.cache = default_cache() if cache is None else cache
@@ -1075,6 +1118,28 @@ class SweepRunner:
         #: :meth:`run` (serial path; surfaced by
         #: :meth:`campaign_report`).
         self.vectorized_fallbacks: list[tuple[int, str, str, str]] = []
+        #: Campaign execution plan: ``"auto"`` lets the planner group
+        #: jobs by machine family and pick the 2-D grid megabatch
+        #: (:mod:`repro.core.grid`) vs pooled vs serial dispatch per
+        #: group; ``"grid"``/``"pool"``/``"serial"`` force one
+        #: mechanism.  All plans are bit-identical -- the planner only
+        #: moves where the same floats are computed.
+        self.exec_plan = default_exec_plan() if exec_plan is None else exec_plan
+        if self.exec_plan not in _EXEC_PLANS:
+            raise ValueError(
+                f"exec_plan must be one of {_EXEC_PLANS}, "
+                f"got {self.exec_plan!r}"
+            )
+        #: :class:`PlanDecision` records of the last :meth:`run`.
+        self.plan_decisions: list[PlanDecision] = []
+        #: ``(accelerator, reason)`` records of machines the 2-D grid
+        #: kernel declined during the last :meth:`run`; their jobs were
+        #: re-routed through the per-job path (still exact).
+        self.grid_fallbacks: list[tuple[str, str]] = []
+        #: Total (machine x shape) lanes the grid kernel evaluated /
+        #: machines it served during the last :meth:`run`.
+        self.grid_lanes = 0
+        self.grid_machines = 0
         self._pool = None  # lazily-built repro.core.pool.WorkerPool
         # Guards pool teardown: the campaign service closes runners
         # from HTTP/signal threads while scheduler threads may race
@@ -1599,6 +1664,519 @@ class SweepRunner:
                 assert failure is not None
                 raise SweepJobError(failure)
         return results
+
+    # -- execution planner / grid megabatch path -----------------------
+    def _dispatch(self, sub: Sequence[SweepJob], todo: Sequence[int]):
+        """Route the pending jobs per :attr:`exec_plan`.
+
+        ``serial``/``pool`` force one mechanism; ``auto`` and ``grid``
+        go through the planner (``grid`` additionally grids
+        single-machine families the heuristic would leave alone).
+        Every route computes bit-identical results.
+        """
+        plan = self.exec_plan
+        if plan == "serial":
+            self.plan_decisions.append(
+                PlanDecision(
+                    plan="serial",
+                    jobs=len(sub),
+                    reason="forced by exec_plan='serial'",
+                )
+            )
+            return self._run_serial(sub, indexes=todo)
+        if plan == "pool":
+            return self._dispatch_pool(sub, todo, forced=True)
+        return self._run_planned(sub, todo, forced=plan == "grid")
+
+    def _dispatch_pool(
+        self,
+        sub: Sequence[SweepJob],
+        todo: Sequence[int],
+        *,
+        forced: bool = False,
+    ):
+        """The classic dispatch: serial below the parallel threshold,
+        otherwise pool/spawn with structural fallback to serial."""
+        if self.max_workers <= 1 or len(sub) <= 1:
+            self.plan_decisions.append(
+                PlanDecision(
+                    plan="serial",
+                    jobs=len(sub),
+                    reason=(
+                        "single job" if len(sub) <= 1 else "max_workers=1"
+                    ),
+                )
+            )
+            return self._run_serial(sub, indexes=todo)
+        decision = PlanDecision(
+            plan="pool" if self.pool else "spawn",
+            jobs=len(sub),
+            reason=(
+                "forced by exec_plan='pool'"
+                if forced
+                else f"{len(sub)} job(s) across "
+                f"{self.max_workers} worker(s)"
+            ),
+        )
+        self.plan_decisions.append(decision)
+        parallel = self._run_pool if self.pool else self._run_parallel
+        try:
+            out = parallel(sub, indexes=todo)
+            if self.pool and self.pool_stats is not None:
+                self.pool_stats.plan = decision.describe()
+            return out
+        except SweepJobError:
+            raise  # a *job* failed permanently: not structural
+        except Exception as exc:  # pool refused / pickling failed
+            self.used_fallback = True
+            self.fallback_reason = repr(exc)
+            logger.warning(
+                "sweep pool unavailable (%s); falling back to "
+                "serial execution",
+                self.fallback_reason,
+            )
+            # Drop only this dispatch's partial records: stats and
+            # failures earned by resumed replays or by grid groups
+            # that ran before this leftover dispatch must survive.
+            keep = set(todo)
+            self.stats = [s for s in self.stats if s.index not in keep]
+            self.failures = [
+                f for f in self.failures if f.index not in keep
+            ]
+            return self._run_serial(sub, indexes=todo)
+
+    def _run_planned(
+        self,
+        sub: Sequence[SweepJob],
+        todo: Sequence[int],
+        *,
+        forced: bool,
+    ) -> "list[ModelResult | None]":
+        """Plan and execute: grid-eligible family groups in-process via
+        the 2-D megabatch kernel, everything else through the classic
+        serial/pool dispatch."""
+        groups, leftover = self._plan_grid_groups(sub, forced=forced)
+        results: list[ModelResult | None] = [None] * len(sub)
+        for key, group in groups:
+            if self._check_stop():
+                # Remaining jobs stay pending in the manifest,
+                # resumable later -- same contract as the serial loop.
+                return results
+            leftover.extend(
+                self._run_grid_group(key, group, sub, todo, results)
+            )
+        if leftover and not self._check_stop():
+            leftover.sort()
+            lsub = [sub[p] for p in leftover]
+            lidx = [todo[p] for p in leftover]
+            if self._prefer_serial(lsub):
+                self.plan_decisions.append(
+                    PlanDecision(
+                        plan="serial",
+                        jobs=len(lsub),
+                        reason="small vectorized job(s): per-job pool "
+                        "dispatch overhead would dominate the kernel",
+                    )
+                )
+                lout = self._run_serial(lsub, indexes=lidx)
+            else:
+                lout = self._dispatch_pool(lsub, lidx)
+            for p, result in zip(leftover, lout):
+                results[p] = result
+        return results
+
+    def _prefer_serial(self, jobs: Sequence[SweepJob]) -> bool:
+        """Satellite of the planner: detect the pool/serial inversion.
+
+        ``True`` when every job rides the vectorized kernel and the
+        total unique-lane count is small enough that per-job process
+        dispatch would cost more than the compute itself.  Scalar or
+        coverage-gap jobs never qualify -- their per-job compute is
+        real and parallelism still pays.
+        """
+        if self.max_workers <= 1 or len(jobs) <= 1:
+            return False  # _dispatch_pool already runs these serially
+        from .vectorized import coverage_gap
+
+        gaps: dict[int, bool] = {}
+        lanes = 0
+        for job in jobs:
+            vec = (
+                self.vectorize
+                if getattr(job, "vectorize", None) is None
+                else job.vectorize
+            )
+            if not vec:
+                return False
+            sim_id = id(job.simulator)
+            if sim_id not in gaps:
+                gaps[sim_id] = coverage_gap(job.simulator) is not None
+            if gaps[sim_id]:
+                return False
+            lanes += len(_model_structure(job.model)[0])
+            if lanes > _POOL_LANE_THRESHOLD:
+                return False
+        return True
+
+    def _plan_grid_groups(
+        self, sub: Sequence[SweepJob], *, forced: bool
+    ) -> tuple:
+        """Partition jobs into grid-eligible family groups + leftovers.
+
+        A job is grid-eligible when it takes the vectorized path, its
+        machine passes :func:`repro.core.grid.grid_gap` and every
+        unique layer of its model passes the int64 sieve.  Eligible
+        jobs group by :func:`repro.core.grid.family_key`; under
+        ``auto`` a group must span at least two distinct machines
+        (single-machine model batching is already covered by the 1-D
+        prewarm), under ``forced`` every eligible group grids.
+        """
+        from . import grid as grid_mod
+
+        leftover: list[int] = []
+        gaps: dict[int, str | None] = {}
+        covered: dict[int, bool] = {}
+        groups: dict[tuple, dict] = {}
+        for pos, job in enumerate(sub):
+            vec = (
+                self.vectorize
+                if getattr(job, "vectorize", None) is None
+                else job.vectorize
+            )
+            if not vec:
+                leftover.append(pos)
+                continue
+            sim_id = id(job.simulator)
+            if sim_id not in gaps:
+                gaps[sim_id] = grid_mod.grid_gap(job.simulator)
+            if gaps[sim_id] is not None:
+                leftover.append(pos)
+                continue
+            model_id = id(job.model)
+            if model_id not in covered:
+                unique, _, _ = _model_structure(job.model)
+                covered[model_id] = all(
+                    grid_mod.lane_covered(layer) for layer in unique
+                )
+            if not covered[model_id]:
+                leftover.append(pos)
+                continue
+            key = grid_mod.family_key(job.simulator, job.layer_by_layer)
+            group = groups.setdefault(key, {"machines": {}, "jobs": []})
+            entry = group["machines"].get(sim_id)
+            if entry is None:
+                group["machines"][sim_id] = entry = (job.simulator, [])
+            entry[1].append(pos)
+            group["jobs"].append(pos)
+        kept = []
+        for key, group in groups.items():
+            if not forced and len(group["machines"]) < 2:
+                # One machine: the 1-D prewarm already union-batches
+                # the model axis; the grid only pays off along the
+                # config axis.  Route through the classic dispatch.
+                leftover.extend(group["jobs"])
+                continue
+            kept.append((key, group))
+        return kept, leftover
+
+    def _run_grid_group(
+        self,
+        key: tuple,
+        group: dict,
+        sub: Sequence[SweepJob],
+        todo: Sequence[int],
+        results: "list[ModelResult | None]",
+    ) -> "list[int]":
+        """Execute one machine-family group through the 2-D grid kernel.
+
+        Lowers the union of the group's layer shapes once, evaluates
+        the whole (machines x shapes) grid in one kernel launch
+        (chunked along the machine axis under :data:`_GRID_LANE_BUDGET`)
+        and stitches per-job results from the shared lanes.  Cache
+        probes/puts mirror the 1-D prewarm; per-job ``JobStats`` carry
+        ``mode="grid"`` with zero cache counts (probes are charged at
+        machine granularity to the runner-level cache stats, exactly
+        like the prewarm).  Returns the sub-positions of jobs whose
+        machine the kernel declined -- they re-route to the classic
+        per-job path, bit-identically.
+        """
+        from . import grid as grid_mod
+
+        layer_by_layer = bool(key[1])
+        machines = sorted(
+            group["machines"].values(), key=lambda entry: entry[1][0]
+        )
+        t0 = time.perf_counter()
+        cache = self.cache
+        null_fast = type(cache) is NullCache
+        memory_get = cache._memory.get if type(cache) is ResultCache else None
+        cache_get = cache.get
+        memo_get = _KEY_MEMO.get
+
+        # Union shapes across the whole group + per-machine need maps.
+        # Built from per-model shape dicts so the inner merge runs at
+        # C speed (dict.update) instead of one Python loop per lane.
+        union: dict[tuple, ConvLayer] = {}
+        needs: list[dict] = []
+        model_shapes: dict[int, dict] = {}
+        for simulator, positions in machines:
+            need: dict[tuple, ConvLayer] = {}
+            for pos in positions:
+                model = sub[pos].model
+                shapes_map = model_shapes.get(id(model))
+                if shapes_map is None:
+                    unique, shapes, _ = _model_structure(model)
+                    model_shapes[id(model)] = shapes_map = dict(
+                        zip(shapes, unique)
+                    )
+                need.update(shapes_map)
+            union.update(need)
+            needs.append(need)
+
+        # Cache probes: hits resolve now, misses ride the grid.  Same
+        # stat accounting as one pass-1 probe per (machine, shape).
+        resolved: list = []  # per machine: shape -> LayerResult, or None
+        missing: list = []  # per machine: shape -> cache key (None: NullCache)
+        probes = 0
+        for (simulator, positions), need in zip(machines, needs):
+            hits: dict = {}
+            miss: dict = {}
+            if null_fast:
+                probes += len(need)
+                miss = dict.fromkeys(need)
+            else:
+                fingerprint = simulator_fingerprint(simulator)
+                for shape, layer in need.items():
+                    ckey = memo_get((fingerprint, shape, layer_by_layer))
+                    if ckey is None:
+                        ckey = layer_cache_key(
+                            fingerprint, layer, layer_by_layer
+                        )
+                    if (
+                        memory_get is not None
+                        and (cached := memory_get(ckey)) is not None
+                    ):
+                        cache._hits += 1
+                        if cache._lru_active:
+                            cache._memory.move_to_end(ckey)
+                    else:
+                        cached = cache_get(ckey)
+                    if cached is None:
+                        miss[shape] = ckey
+                    else:
+                        hits[shape] = cached
+            resolved.append(hits)
+            missing.append(miss)
+        if null_fast and probes:
+            cache._misses += probes
+
+        # One kernel launch per machine chunk over the union shapes.
+        leftover: list[int] = []
+        #: Machines whose lane map came wholesale from this launch --
+        #: every lane's ``layer`` is the union layer, so the per-model
+        #: rebind pattern below applies machine-invariantly.
+        pure: set[int] = set()
+        grid_rows = [j for j, miss in enumerate(missing) if miss]
+        if grid_rows:
+            union_layers = list(union.values())
+            rows_per_chunk = max(
+                1, _GRID_LANE_BUDGET // max(1, len(union_layers))
+            )
+            for start in range(0, len(grid_rows), rows_per_chunk):
+                chunk = grid_rows[start : start + rows_per_chunk]
+                sims = [machines[j][0] for j in chunk]
+                try:
+                    outcome = grid_mod.evaluate_grid(
+                        sims, union_layers, layer_by_layer=layer_by_layer
+                    )
+                except Exception as exc:
+                    # Defensive: a kernel fault must never lose jobs --
+                    # the whole chunk re-routes to the per-job path.
+                    reason = f"grid kernel error: {exc!r}"
+                    logger.warning("sweep grid chunk declined: %s", reason)
+                    for j in chunk:
+                        simulator, positions = machines[j]
+                        self.grid_fallbacks.append(
+                            (simulator.spec.name, reason)
+                        )
+                        leftover.extend(positions)
+                        resolved[j] = None
+                    continue
+                self.grid_lanes += outcome.lanes
+                for row, j in enumerate(chunk):
+                    lanes = outcome.by_machine[row]
+                    simulator, positions = machines[j]
+                    if lanes is None:
+                        self.grid_fallbacks.append(
+                            (simulator.spec.name, outcome.reasons[row])
+                        )
+                        leftover.extend(positions)
+                        resolved[j] = None
+                        continue
+                    self.grid_machines += 1
+                    if null_fast:
+                        # No hits and nothing to put: the machine's
+                        # full lane map (a superset of its need) serves
+                        # the stitch directly.
+                        resolved[j] = lanes
+                        pure.add(j)
+                    else:
+                        hits = resolved[j]
+                        cache_put = cache.put
+                        for shape, ckey in missing[j].items():
+                            lane = lanes[shape]
+                            hits[shape] = lane
+                            cache_put(ckey, lane)
+
+        # Stitch per-job results from the shared lanes, in submission
+        # order, with the same audit / manifest / failure contract as
+        # the serial loop.
+        stitched = [
+            (pos, j)
+            for j, (simulator, positions) in enumerate(machines)
+            if resolved[j] is not None
+            for pos in positions
+        ]
+        stitched.sort()
+        if stitched:
+            served = sum(1 for entry in resolved if entry is not None)
+            self.plan_decisions.append(
+                PlanDecision(
+                    plan="grid",
+                    jobs=len(stitched),
+                    reason=f"{served} machine(s) x {len(union)} shape(s) "
+                    "share one kernel family",
+                    lanes=served * len(union),
+                )
+            )
+        setup_elapsed = time.perf_counter() - t0
+        share = setup_elapsed / len(stitched) if stitched else 0.0
+        #: Per-model ``[(unique index, layer), ...]`` rebind pattern
+        #: against the union layers -- identical for every pure row.
+        rebind_plan: dict[int, list] = {}
+        #: Pure rows whose every union lane carries the preaudit marker
+        #: for its spec (checked once per machine, not once per job).
+        row_marked: dict[int, bool] = {}
+        for pos, j in stitched:
+            if self._check_stop():
+                break
+            job = sub[pos]
+            index = todo[pos]
+            spec = job.simulator.spec
+            start = time.perf_counter()
+            lanes = resolved[j]
+            unique, shapes, occ = _model_structure(job.model)
+            result: "ModelResult | None" = ModelResult(
+                accelerator=spec.name, model=job.model.name
+            )
+            if j in pure:
+                # Fast path: every lane's layer is the union layer, so
+                # which slots need rebinding depends on the model only.
+                plan = rebind_plan.get(id(job.model))
+                if plan is None:
+                    plan = [
+                        (i, layer)
+                        for i, (layer, shape) in enumerate(
+                            zip(unique, shapes)
+                        )
+                        if union[shape].name != layer.name
+                    ]
+                    rebind_plan[id(job.model)] = plan
+                lane_list = list(map(lanes.__getitem__, shapes))
+                for i, layer in plan:
+                    lane = lane_list[i]
+                    clone = grid_mod.rebind_lane(lane, layer)
+                    lane_list[i] = (
+                        clone
+                        if clone is not None
+                        else _rebind_layer(lane, layer)
+                    )
+                marked = row_marked.get(j)
+                if marked is None:
+                    marked = all(
+                        lane.__dict__.get(_PREAUDIT_ATTR) is spec
+                        for lane in lanes.values()
+                    )
+                    row_marked[j] = marked
+            else:
+                lane_list = []
+                for layer, shape in zip(unique, shapes):
+                    lane = lanes[shape]
+                    current = lane.layer
+                    if current is not layer and current.name != layer.name:
+                        clone = (
+                            grid_mod.rebind_lane(lane, layer)
+                            if grid_mod.is_lane_proxy(lane)
+                            else None
+                        )
+                        lane = (
+                            clone
+                            if clone is not None
+                            else _rebind_layer(lane, layer)
+                        )
+                    lane_list.append(lane)
+                marked = all(
+                    lane.__dict__.get(_PREAUDIT_ATTR) is spec
+                    for lane in lane_list
+                )
+            result.layers.extend(map(lane_list.__getitem__, occ))
+            if marked:
+                result.__dict__[_PREAUDIT_ATTR] = spec
+            failure: JobFailure | None = None
+            try:
+                if self.audit:
+                    violations = audit_model_result(result, spec)
+                    if violations:
+                        raise InvariantViolationError(
+                            f"{len(violations)} invariant violation(s): "
+                            + "; ".join(
+                                v.describe() for v in violations[:3]
+                            ),
+                            violations=tuple(violations),
+                        )
+            except InvariantViolationError as exc:
+                elapsed = time.perf_counter() - start + share
+                result = None
+                self._note_attempt(False, type(exc).__name__)
+                failure = self._record_failure(
+                    index,
+                    job,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback_summary=_traceback_summary(exc),
+                    attempts=1,
+                    phase="grid",
+                    violations=tuple(
+                        v.to_dict() for v in (exc.violations or ())
+                    ),
+                    attempt_wall_times_s=(elapsed,),
+                )
+            else:
+                elapsed = time.perf_counter() - start + share
+                self._note_attempt(True)
+            results[pos] = result
+            self._finish_job(
+                JobStats(
+                    model=job.model.name,
+                    accelerator=spec.name,
+                    wall_time_s=elapsed,
+                    n_layers=len(result.layers) if result is not None else 0,
+                    n_unique_layers=len(job.model.unique_layers),
+                    cache_hits=0,
+                    cache_misses=0,
+                    mode="grid",
+                    attempts=1,
+                    failed=result is None,
+                    index=index,
+                )
+            )
+            if result is not None:
+                if self.manifest is not None:
+                    self.manifest.mark_done(index)
+            elif self.on_error == "raise":
+                assert failure is not None
+                raise SweepJobError(failure)
+        return leftover
 
     # -- parallel path -------------------------------------------------
     def _run_parallel(
@@ -2274,6 +2852,10 @@ class SweepRunner:
         self.fallback_reason = None
         self.resumed_jobs = 0
         self.vectorized_fallbacks = []
+        self.plan_decisions = []
+        self.grid_fallbacks = []
+        self.grid_lanes = 0
+        self.grid_machines = 0
         self._crash_counts = {}
         self._retry_attempts = 0
         self._retry_wall_s = 0.0
@@ -2324,29 +2906,7 @@ class SweepRunner:
             )
             if todo:
                 sub = [jobs[i] for i in todo]
-                if self.max_workers <= 1 or len(sub) <= 1:
-                    out = self._run_serial(sub, indexes=todo)
-                else:
-                    parallel = (
-                        self._run_pool if self.pool else self._run_parallel
-                    )
-                    try:
-                        out = parallel(sub, indexes=todo)
-                    except SweepJobError:
-                        raise  # a *job* failed permanently: not structural
-                    except Exception as exc:  # pool refused / pickling failed
-                        self.used_fallback = True
-                        self.fallback_reason = repr(exc)
-                        logger.warning(
-                            "sweep pool unavailable (%s); falling back to "
-                            "serial execution",
-                            self.fallback_reason,
-                        )
-                        self.stats = [
-                            s for s in self.stats if s.mode == "resumed"
-                        ]
-                        self.failures = []
-                        out = self._run_serial(sub, indexes=todo)
+                out = self._dispatch(sub, todo)
                 for i, result in zip(todo, out):
                     results[i] = result
         finally:
@@ -2454,10 +3014,17 @@ class SweepRunner:
                 f"  (parallel pool unavailable: {self.fallback_reason}; "
                 "ran serially)"
             )
+        if self.plan_decisions:
+            lines.append(
+                "  plan: "
+                + "; ".join(d.describe() for d in self.plan_decisions)
+            )
         if self.pool_stats is not None and any(
             s.mode == "pool" for s in self.stats
         ):
             lines.append(f"  pool: {self.pool_stats.describe()}")
+        for accelerator, reason in self.grid_fallbacks:
+            lines.append(f"  grid fallback: {accelerator}: {reason}")
         for index, accelerator, model_name, reason in self.vectorized_fallbacks:
             lines.append(
                 f"  vectorized fallback: job #{index} "
@@ -2515,6 +3082,18 @@ class SweepRunner:
                 for index, accelerator, model_name, reason
                 in self.vectorized_fallbacks
             ],
+            "plan": {
+                "exec_plan": self.exec_plan,
+                "decisions": [
+                    dataclasses.asdict(d) for d in self.plan_decisions
+                ],
+                "grid_lanes": self.grid_lanes,
+                "grid_machines": self.grid_machines,
+                "grid_fallbacks": [
+                    {"accelerator": accelerator, "reason": reason}
+                    for accelerator, reason in self.grid_fallbacks
+                ],
+            },
             "retries": {
                 "attempts": self._retry_attempts,
                 "time_lost_s": self._retry_wall_s + self._retry_backoff_s,
@@ -2569,6 +3148,7 @@ class _SweepDefaults:
     vectorize: bool | None = None
     budget: "CampaignBudget | None" = None
     retry_quarantined: bool = False
+    exec_plan: str | None = None
 
 
 _defaults = _SweepDefaults()
@@ -2606,6 +3186,7 @@ def configure(
     vectorize: bool | None = None,
     budget: "CampaignBudget | None | bool" = None,
     retry_quarantined: bool | None = None,
+    exec_plan: str | None = None,
 ) -> None:
     """Set process-wide sweep defaults (used by the CLI's global flags).
 
@@ -2649,6 +3230,12 @@ def configure(
         _defaults.budget = None if budget is False else budget
     if retry_quarantined is not None:
         _defaults.retry_quarantined = retry_quarantined
+    if exec_plan is not None:
+        if exec_plan not in _EXEC_PLANS:
+            raise ValueError(
+                f"exec_plan must be one of {_EXEC_PLANS}, got {exec_plan!r}"
+            )
+        _defaults.exec_plan = exec_plan
 
 
 def default_budget() -> "CampaignBudget | None":
@@ -2671,6 +3258,16 @@ def default_pool() -> bool:
     if _defaults.pool is not None:
         return _defaults.pool
     return os.environ.get("REPRO_SWEEP_POOL", "1") != "0"
+
+
+def default_exec_plan() -> str:
+    """Execution-plan default: ``configure()`` > ``$REPRO_SWEEP_PLAN``
+    > ``"auto"``.  An unknown env value falls back to ``"auto"`` (env
+    typos must not crash a campaign)."""
+    if _defaults.exec_plan is not None:
+        return _defaults.exec_plan
+    plan = os.environ.get("REPRO_SWEEP_PLAN", "auto").strip().lower()
+    return plan if plan in _EXEC_PLANS else "auto"
 
 
 def default_vectorize() -> bool:

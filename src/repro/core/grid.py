@@ -1,0 +1,1029 @@
+"""Two-dimensional (configs x layers) megabatch kernel.
+
+PR 6's kernel (:mod:`repro.core.vectorized`) batched the *layer* axis:
+one machine evaluates its whole layer table as (n,) NumPy columns.
+A dense DSE campaign still walks the *config* axis in Python -- every
+machine re-lowers the same shapes and re-enters the kernel.  This
+module batches both axes at once: the union of layer shapes is lowered
+**once** per campaign (the memoized :func:`~.vectorized._shared_lower`
+table), per-machine mapping parameters become ``(m, 1)`` integer
+columns, and NumPy broadcasting evaluates mapping, traffic, timing,
+energy and the invariant audit for the whole ``(configs x layers)``
+grid in one pass.
+
+**Bit-identity by construction.**  The mapping and traffic stages are
+*the same code* as the 1-D kernel: :func:`~.vectorized._map_lanes` and
+:func:`~.vectorized._traffic_lanes` run against a shim spec whose
+mapping parameters are ``(m, 1)`` arrays, so every elementwise IEEE
+operation of a grid row is the operation the 1-D kernel would have
+applied for that machine -- broadcasting never changes per-element
+arithmetic.  The timing/energy/audit mirror follows the 1-D source
+expression-for-expression with per-machine scalars turned into
+``(m, 1)`` float columns (same operand values, same association).
+Network-energy lowering calls the registered per-machine lowerers on
+row views, so custom models need no grid-specific port.
+
+**Exactness and fallback.**  The grid runs *unchecked-only*: a machine
+joins a grid only when :func:`~.vectorized._screen_spec` proves its
+whole batch can never overflow any 2**53/2**62 limit -- the same
+screen the 1-D kernel uses to drop its per-lane fences.  Machines that
+fail the screen, have a coverage gap, carry a dead (``inf``-semantics)
+link, or bail out strictly on a dirty audit lane fall back to the
+per-machine 1-D/scalar path; :func:`evaluate_grid` reports the reason
+per machine and the sweep runner surfaces it in ``campaign_report()``.
+
+**Lazy materialization.**  Building five Python objects per lane is
+most of what the 1-D fast path still pays; the grid instead returns
+:class:`_LaneProxy` results -- real :class:`LayerResult` instances
+whose ``__dict__`` holds only (store, row, lane, layer) -- and
+materializes the full field set on first attribute access, outside the
+timed campaign.  Clean lanes carry the pre-audit marker from birth, so
+``audit_model_result`` stays O(1) per model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Sequence
+
+try:  # pragma: no cover - numpy ships with the toolchain
+    import numpy as np
+except ImportError:  # pragma: no cover - gated fallback
+    np = None
+
+from .invariants import _PREAUDIT_ATTR, DEFAULT_REL_TOL
+from .mapping import Mapping
+from .metrics import EnergyBreakdown, LayerResult, NetworkEnergy
+from .simulator import _MIN_BANDWIDTH_GBPS
+from .traffic import TrafficSummary
+from .vectorized import (
+    _CAST_LIMIT,
+    _EXACT_INT,
+    _NETWORK_LOWERERS,
+    _close_lanes,
+    _copy_cols,
+    _ensure_builtin_lowerers,
+    _fits_int64,
+    _map_lanes,
+    _precheck,
+    _screen_spec,
+    _shared_cols,
+    _shared_lower,
+    _traffic_lanes,
+    coverage_gap,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .layer import ConvLayer
+    from .simulator import Simulator
+
+__all__ = [
+    "GridOutcome",
+    "bounds_grid",
+    "evaluate_grid",
+    "family_key",
+    "grid_gap",
+    "lane_covered",
+    "rebind_lane",
+    "is_lane_proxy",
+]
+
+
+# ----------------------------------------------------------------------
+# Eligibility
+# ----------------------------------------------------------------------
+def _used_links(spec) -> list[str]:
+    """The bandwidth fields the kernel actually divides by for this
+    spec (the split/combined selection the 1-D comm stage makes)."""
+    links = [
+        "chiplet_write_gbps",
+        "pe_write_gbps",
+        "gb_ingress_gbps",
+        "dram_bandwidth_gbps",
+    ]
+    if spec.gb_weight_egress_gbps and spec.gb_ifmap_egress_gbps:
+        links += ["gb_weight_egress_gbps", "gb_ifmap_egress_gbps"]
+    else:
+        links.append("gb_egress_gbps")
+    if spec.chiplet_weight_read_gbps and spec.chiplet_ifmap_read_gbps:
+        links += ["chiplet_weight_read_gbps", "chiplet_ifmap_read_gbps"]
+    else:
+        links.append("chiplet_read_gbps")
+    if spec.pe_weight_read_gbps and spec.pe_ifmap_read_gbps:
+        links += ["pe_weight_read_gbps", "pe_ifmap_read_gbps"]
+    else:
+        links.append("pe_read_gbps")
+    return links
+
+
+def grid_gap(simulator: "Simulator") -> str | None:
+    """Why this machine cannot join any grid (None = eligible).
+
+    Strictly narrower than 1-D coverage: the grid additionally refuses
+    dead links (their ``inf``-transfer semantics are a per-spec scalar
+    branch the broadcast pass cannot take per row) and mapping
+    parameters large enough that parameter-parameter products could
+    leave the proven-exact range.
+    """
+    gap = coverage_gap(simulator)
+    if gap is not None:
+        return gap
+    spec = simulator.spec
+    for name in _used_links(spec):
+        if getattr(spec, name) <= _MIN_BANDWIDTH_GBPS:
+            return f"dead link {name} needs scalar inf semantics"
+    p = spec.mapping_parameters()
+    if float(p.total_pes) * float(p.total_pes) * float(p.chiplets) >= _EXACT_INT:
+        return "mapping parameters exceed the exact-integer budget"
+    return None
+
+
+def family_key(simulator: "Simulator", layer_by_layer: bool = False) -> tuple:
+    """Machines with equal keys share every Python-level branch of the
+    kernel (dataflow dispatch, broadcast selects, split-link choices),
+    so they can be evaluated as rows of one grid.  Values -- bandwidth
+    magnitudes, buffer sizes, granularities, energy coefficients --
+    may differ freely: they become per-row columns."""
+    spec = simulator.spec
+    caps = spec.capabilities
+    return (
+        spec.dataflow,
+        bool(layer_by_layer),
+        bool(caps.weight_broadcast),
+        bool(caps.ifmap_broadcast),
+        bool(caps.ifmap_reuse_multicast),
+        bool(spec.gb_weight_egress_gbps and spec.gb_ifmap_egress_gbps),
+        bool(spec.chiplet_weight_read_gbps and spec.chiplet_ifmap_read_gbps),
+        bool(spec.pe_weight_read_gbps and spec.pe_ifmap_read_gbps),
+    )
+
+
+def lane_covered(layer) -> bool:
+    """Can this layer enter a grid batch at all?"""
+    return _precheck(layer) and _fits_int64(layer)
+
+
+# ----------------------------------------------------------------------
+# Shims: (m, 1) parameter columns behind the 1-D kernel's spec API
+# ----------------------------------------------------------------------
+class _GridParams:
+    """``MappingParameters`` lookalike whose fields (including the
+    derived group/total properties) are ``(m, 1)`` int64 columns."""
+
+    __slots__ = (
+        "chiplets", "pes_per_chiplet", "mac_vector_width",
+        "pe_buffer_bytes", "ef_group", "k_group",
+        "n_chiplet_groups", "n_pe_groups", "total_pes",
+    )
+
+
+class _GridSpec:
+    """Just enough ``AcceleratorSpec`` surface for the mapping and
+    traffic stages: shared dataflow/capabilities, column parameters."""
+
+    __slots__ = ("dataflow", "capabilities", "gb_bytes", "_params")
+
+    def mapping_parameters(self) -> _GridParams:
+        return self._params
+
+
+def _int_col(values):
+    return np.array(values, dtype=np.int64).reshape(len(values), 1)
+
+
+def _float_col(values):
+    return np.array(values, dtype=np.float64).reshape(len(values), 1)
+
+
+def _link_seconds(total_bytes, bandwidth_col):
+    """Live-link transfer/floor seconds, (m, n).
+
+    Mirrors the live branch of both ``_transfer_lanes`` and
+    ``_floor_lanes`` (identical expressions); grid eligibility already
+    excluded dead links, so the scalar ``inf`` branch cannot apply.
+    """
+    return np.where(
+        total_bytes <= 0, 0.0, total_bytes * 8 / (bandwidth_col * 1e9)
+    )
+
+
+class _RowView:
+    """One machine's row of the traffic columns, shaped (n,) -- what a
+    registered network-energy lowerer expects to receive."""
+
+    __slots__ = ("_d", "_j")
+
+    def __init__(self, d, j):
+        self._d = d
+        self._j = j
+
+    def __getattr__(self, name):
+        col = getattr(self._d, name)
+        if getattr(col, "ndim", 0) == 2:
+            return col[self._j]
+        return col
+
+
+# ----------------------------------------------------------------------
+# Lazy lane results
+# ----------------------------------------------------------------------
+_RESULT_FIELDS = (
+    "accelerator", "layer", "mapping", "traffic",
+    "computation_time_s", "communication_time_s",
+    "exposed_communication_s", "energy", "packet_latency_s",
+    "delivered_bytes",
+)
+_FIELDS_GET = None  # built lazily to keep import cost flat
+
+
+def _pick(col, j, i):
+    """One lane's Python-scalar value from a grid column.
+
+    ``.item()`` performs the same int64->int / float64->float
+    conversion ``tolist()`` does in the 1-D assembler, keeping
+    materialized results JSON- and pickle-compatible with scalar ones.
+    """
+    nd = getattr(col, "ndim", -1)
+    if nd == 2:
+        if col.shape[1] == 1:
+            return col[j, 0].item()
+        return col[j, i].item()
+    if nd == 1:
+        return col[i].item()
+    if nd == 0:
+        return col.item()
+    return col
+
+
+def _restore_lane(state):
+    """Unpickle target: a materialized lane is a plain LayerResult."""
+    obj = object.__new__(LayerResult)
+    object.__setattr__(obj, "__dict__", state)
+    return obj
+
+
+class _LaneProxy(LayerResult):
+    """A ``LayerResult`` whose fields materialize on first access.
+
+    Born with only ``{_gs: store, _gj: row, _gi: lane, layer}`` (plus
+    the pre-audit marker when the lane passed the grid audit); any
+    field read triggers :meth:`_GridStore.materialize`, which installs
+    the full scalar-compatible ``__dict__`` and drops the store
+    references.  Identity-based fast paths (``result.layer``, the
+    marker's ``__dict__.get``) never materialize.
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        d = self.__dict__
+        store = d.get("_gs")
+        if store is None:
+            raise AttributeError(name)
+        store.materialize(self)
+        try:
+            return d[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    # The dataclass-generated comparisons insist on an exact class
+    # match; a materialized proxy is value-equal to the plain result
+    # the scalar path would have built, so compare (and hash) by the
+    # same field tuple the dataclass uses.
+    def __eq__(self, other):
+        if not isinstance(other, LayerResult):
+            return NotImplemented
+        return tuple(getattr(self, f) for f in _RESULT_FIELDS) == tuple(
+            getattr(other, f) for f in _RESULT_FIELDS
+        )
+
+    def __ne__(self, other):
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def __hash__(self):
+        return hash(tuple(getattr(self, f) for f in _RESULT_FIELDS))
+
+    def __reduce__(self):
+        store = self.__dict__.get("_gs")
+        if store is not None:
+            store.materialize(self)
+        return (_restore_lane, (dict(self.__dict__),))
+
+
+def is_lane_proxy(obj) -> bool:
+    return type(obj) is _LaneProxy
+
+
+def rebind_lane(proxy, layer):
+    """Unmaterialized-proxy twin of ``batch._rebind_layer``: share the
+    store/lane, swap the layer, carry the pre-audit marker.  Returns
+    ``None`` for an already-materialized proxy (use the generic
+    rebind)."""
+    d = proxy.__dict__
+    store = d.get("_gs")
+    if store is None:
+        return None
+    clone_dict = {
+        "_gs": store, "_gj": d["_gj"], "_gi": d["_gi"], "layer": layer,
+    }
+    spec = d.get(_PREAUDIT_ATTR)
+    if spec is not None:
+        clone_dict[_PREAUDIT_ATTR] = spec
+    clone = object.__new__(_LaneProxy)
+    object.__setattr__(clone, "__dict__", clone_dict)
+    return clone
+
+
+#: After this many lanes of one store have materialized, switch from
+#: per-lane numpy ``.item()`` picks to cached per-row ``tolist()``
+#: extraction: bulk conversion costs one row pass but turns the other
+#: ~40 scalar reads per lane into plain list indexing.  A digest /
+#: serialization / aggregate pass over a big grid is ~10x faster that
+#: way, while a caller touching only a lane or two never pays for it.
+_BULK_THRESHOLD = 4
+
+
+class _GridStore:
+    """Columnar backing for one evaluated grid: every result column
+    plus the per-row constants, shared by all of the grid's proxies."""
+
+    __slots__ = (
+        "cols", "packet", "accel", "dataflow", "pe_forwarding",
+        "n", "_touched", "_rows",
+    )
+
+    def __init__(self):
+        self._touched = 0
+        self._rows = None
+
+    def _row_lists(self, j):
+        """Row ``j``'s columns as plain-scalar lists of length ``n``
+        (cached).  ``tolist()`` performs the same int64->int /
+        float64->float conversion the per-lane ``.item()`` path does,
+        so bulk- and lazily-materialized lanes are byte-identical."""
+        rows = self._rows
+        if rows is None:
+            rows = self._rows = {}
+        row = rows.get(j)
+        if row is None:
+            n = self.n
+            row = rows[j] = {}
+            for name, col in self.cols.items():
+                nd = getattr(col, "ndim", -1)
+                if nd == 2:
+                    if col.shape[1] == 1:
+                        row[name] = [col[j, 0].item()] * n
+                    else:
+                        row[name] = col[j].tolist()
+                elif nd == 1:
+                    row[name] = col.tolist()
+                elif nd == 0:
+                    row[name] = [col.item()] * n
+                else:
+                    row[name] = [col] * n
+        return row
+
+    def _materialize_bulk(self, d, j, i, layer) -> None:
+        g = self._row_lists(j)
+        new = object.__new__
+        set_ = object.__setattr__
+        mapping = new(Mapping)
+        set_(mapping, "__dict__", {
+            "layer": layer,
+            "dataflow": self.dataflow,
+            "compute_cycles": g["cycles"][i],
+            "chiplets_active": g["ch_active"][i],
+            "pes_active_per_chiplet": g["pe_active_per_chiplet"][i],
+            "ef_waves": g["ef_waves"][i],
+            "k_waves": g["k_waves"][i],
+            "weight_sharers": g["w_sharers"][i],
+            "ifmap_sharers": g["i_sharers"][i],
+            "weight_chiplet_fanout": g["w_fanout"][i],
+            "ifmap_chiplet_fanout": g["i_fanout"][i],
+            "weight_refetch": g["w_refetch"][i],
+            "ifmap_refetch": g["i_refetch"][i],
+            "c_chunks": g["c_chunks"][i],
+            "psum_spatial_fanin": g["psum_fanin"][i],
+            "pe_forwarding": self.pe_forwarding,
+        })
+        traffic = new(TrafficSummary)
+        set_(traffic, "__dict__", {
+            "gb_weight_send_bytes": g["gw"][i],
+            "gb_ifmap_send_bytes": g["gi"][i],
+            "pe_weight_receive_bytes": g["pw"][i],
+            "pe_ifmap_receive_bytes": g["pi"][i],
+            "chiplet_weight_cross_bytes": g["cw"][i],
+            "chiplet_ifmap_cross_bytes": g["ci"][i],
+            "output_bytes": g["out"][i],
+            "psum_bytes": g["psum"][i],
+            "dram_read_bytes": g["dread"][i],
+            "dram_write_bytes": g["dwrite"][i],
+        })
+        network = new(NetworkEnergy)
+        set_(network, "__dict__", {
+            "eo_mj": g["eo"][i],
+            "oe_mj": g["oe"][i],
+            "heating_mj": g["heat"][i],
+            "laser_mj": g["laser"][i],
+            "electrical_mj": g["elec"][i],
+        })
+        energy = new(EnergyBreakdown)
+        set_(energy, "__dict__", {
+            "mac_mj": g["mac"][i],
+            "pe_buffer_mj": g["pe"][i],
+            "gb_mj": g["gb"][i],
+            "dram_mj": g["dram"][i],
+            "network": network,
+        })
+        d["accelerator"] = self.accel[j]
+        d["mapping"] = mapping
+        d["traffic"] = traffic
+        d["computation_time_s"] = g["comp"][i]
+        d["communication_time_s"] = g["comm"][i]
+        d["exposed_communication_s"] = g["exposed"][i]
+        d["energy"] = energy
+        d["packet_latency_s"] = self.packet[j]
+        d["delivered_bytes"] = g["delivered"][i]
+
+    def materialize(self, proxy) -> None:
+        d = proxy.__dict__
+        j = d.pop("_gj")
+        i = d.pop("_gi")
+        d.pop("_gs", None)
+        layer = d["layer"]
+        self._touched += 1
+        if self._rows is not None or self._touched > _BULK_THRESHOLD:
+            self._materialize_bulk(d, j, i, layer)
+            return
+        g = self.cols
+        new = object.__new__
+        set_ = object.__setattr__
+        mapping = new(Mapping)
+        set_(mapping, "__dict__", {
+            "layer": layer,
+            "dataflow": self.dataflow,
+            "compute_cycles": _pick(g["cycles"], j, i),
+            "chiplets_active": _pick(g["ch_active"], j, i),
+            "pes_active_per_chiplet": _pick(g["pe_active_per_chiplet"], j, i),
+            "ef_waves": _pick(g["ef_waves"], j, i),
+            "k_waves": _pick(g["k_waves"], j, i),
+            "weight_sharers": _pick(g["w_sharers"], j, i),
+            "ifmap_sharers": _pick(g["i_sharers"], j, i),
+            "weight_chiplet_fanout": _pick(g["w_fanout"], j, i),
+            "ifmap_chiplet_fanout": _pick(g["i_fanout"], j, i),
+            "weight_refetch": _pick(g["w_refetch"], j, i),
+            "ifmap_refetch": _pick(g["i_refetch"], j, i),
+            "c_chunks": _pick(g["c_chunks"], j, i),
+            "psum_spatial_fanin": _pick(g["psum_fanin"], j, i),
+            "pe_forwarding": self.pe_forwarding,
+        })
+        traffic = new(TrafficSummary)
+        set_(traffic, "__dict__", {
+            "gb_weight_send_bytes": _pick(g["gw"], j, i),
+            "gb_ifmap_send_bytes": _pick(g["gi"], j, i),
+            "pe_weight_receive_bytes": _pick(g["pw"], j, i),
+            "pe_ifmap_receive_bytes": _pick(g["pi"], j, i),
+            "chiplet_weight_cross_bytes": _pick(g["cw"], j, i),
+            "chiplet_ifmap_cross_bytes": _pick(g["ci"], j, i),
+            "output_bytes": _pick(g["out"], j, i),
+            "psum_bytes": _pick(g["psum"], j, i),
+            "dram_read_bytes": _pick(g["dread"], j, i),
+            "dram_write_bytes": _pick(g["dwrite"], j, i),
+        })
+        network = new(NetworkEnergy)
+        set_(network, "__dict__", {
+            "eo_mj": _pick(g["eo"], j, i),
+            "oe_mj": _pick(g["oe"], j, i),
+            "heating_mj": _pick(g["heat"], j, i),
+            "laser_mj": _pick(g["laser"], j, i),
+            "electrical_mj": _pick(g["elec"], j, i),
+        })
+        energy = new(EnergyBreakdown)
+        set_(energy, "__dict__", {
+            "mac_mj": _pick(g["mac"], j, i),
+            "pe_buffer_mj": _pick(g["pe"], j, i),
+            "gb_mj": _pick(g["gb"], j, i),
+            "dram_mj": _pick(g["dram"], j, i),
+            "network": network,
+        })
+        d["accelerator"] = self.accel[j]
+        d["mapping"] = mapping
+        d["traffic"] = traffic
+        d["computation_time_s"] = _pick(g["comp"], j, i)
+        d["communication_time_s"] = _pick(g["comm"], j, i)
+        d["exposed_communication_s"] = _pick(g["exposed"], j, i)
+        d["energy"] = energy
+        d["packet_latency_s"] = self.packet[j]
+        d["delivered_bytes"] = _pick(g["delivered"], j, i)
+
+
+# ----------------------------------------------------------------------
+# The grid evaluation
+# ----------------------------------------------------------------------
+def _grid_lower(specs, shared, n, layer_by_layer):
+    """Mapping + traffic columns for one (machines x layers) grid.
+
+    Broadcasts the shared ``(n,)`` layer columns against per-machine
+    ``(m, 1)`` parameter columns through the verbatim 1-D kernel
+    stages; shared setup of :func:`evaluate_grid` and
+    :func:`bounds_grid`.  Callers must have screened every spec with
+    :func:`_screen_spec` (unchecked mode: the lane flag never fires).
+    """
+    params = [spec.mapping_parameters() for spec in specs]
+
+    gp = _GridParams()
+    gp.chiplets = _int_col([p.chiplets for p in params])
+    gp.pes_per_chiplet = _int_col([p.pes_per_chiplet for p in params])
+    gp.mac_vector_width = _int_col([p.mac_vector_width for p in params])
+    gp.pe_buffer_bytes = _int_col([p.pe_buffer_bytes for p in params])
+    gp.ef_group = _int_col([p.ef_group for p in params])
+    gp.k_group = _int_col([p.k_group for p in params])
+    gp.n_chiplet_groups = _int_col([p.n_chiplet_groups for p in params])
+    gp.n_pe_groups = _int_col([p.n_pe_groups for p in params])
+    gp.total_pes = _int_col([p.total_pes for p in params])
+
+    gspec = _GridSpec()
+    gspec.dataflow = specs[0].dataflow
+    gspec.capabilities = specs[0].capabilities
+    gspec.gb_bytes = _int_col([spec.gb_bytes for spec in specs])
+    gspec._params = gp
+
+    d = _copy_cols(_shared_cols(shared))
+    flag = np.zeros(n, dtype=bool)  # unchecked mode: never set
+
+    with np.errstate(all="ignore"):
+        _map_lanes(gspec, d, flag)
+        _traffic_lanes(gspec, d, flag, layer_by_layer)
+    return d
+
+
+class GridOutcome:
+    """Per-machine results of one grid evaluation.
+
+    ``by_machine[j]`` is a dict mapping ``layer.shape_key`` to a lazy
+    :class:`LayerResult` (aligned with the input simulators), or
+    ``None`` with ``reasons[j]`` naming why that machine must take the
+    per-machine 1-D/scalar path instead.
+    """
+
+    __slots__ = ("by_machine", "reasons", "lanes", "n_layers")
+
+    def __init__(self, by_machine, reasons, lanes, n_layers):
+        self.by_machine = by_machine
+        self.reasons = reasons
+        self.lanes = lanes
+        self.n_layers = n_layers
+
+    @property
+    def n_machines(self) -> int:
+        return sum(1 for entry in self.by_machine if entry is not None)
+
+
+def evaluate_grid(
+    simulators: "Sequence[Simulator]",
+    layers: "Sequence[ConvLayer]",
+    *,
+    layer_by_layer: bool = False,
+) -> GridOutcome:
+    """Evaluate the full (machines x layers) grid in one NumPy pass.
+
+    Every simulator must share one :func:`family_key` and pass
+    :func:`grid_gap`; every layer must pass :func:`lane_covered`
+    (callers sieve with it).  Results are bit-identical to the 1-D
+    kernel and the scalar oracle; machines the exactness screen or a
+    strict dirty-audit bailout excludes come back as ``None`` rows
+    with a reason string.
+    """
+    _ensure_builtin_lowerers()
+    n = len(layers)
+    by_machine: list = [None] * len(simulators)
+    reasons: list = [None] * len(simulators)
+    if n == 0:
+        for j in range(len(simulators)):
+            by_machine[j] = {}
+        return GridOutcome(by_machine, reasons, 0, 0)
+
+    shared = _shared_lower(layers)
+    kept: list[int] = []
+    for j, simulator in enumerate(simulators):
+        if _screen_spec(simulator.spec, shared):
+            kept.append(j)
+        else:
+            reasons[j] = "exactness screen declined the grid batch"
+    if not kept:
+        return GridOutcome(by_machine, reasons, 0, n)
+
+    sims = [simulators[j] for j in kept]
+    specs = [s.spec for s in sims]
+    m = len(sims)
+    d = _grid_lower(specs, shared, n, layer_by_layer)
+
+    split_gb = bool(
+        specs[0].gb_weight_egress_gbps and specs[0].gb_ifmap_egress_gbps
+    )
+    split_chiplet = bool(
+        specs[0].chiplet_weight_read_gbps
+        and specs[0].chiplet_ifmap_read_gbps
+    )
+    split_pe = bool(
+        specs[0].pe_weight_read_gbps and specs[0].pe_ifmap_read_gbps
+    )
+
+    with np.errstate(all="ignore"):
+        # --- communication (mirror of _evaluate_batch's comm stage,
+        # per-spec scalars as (m, 1) columns; live links only)
+        chiplets_active = np.maximum(1, d.ch_active)
+        pes_active = d.ch_active * d.pe_active_per_chiplet
+        pes_active_c = np.maximum(1, pes_active)
+
+        if split_gb:
+            gb_egress_s = np.maximum(
+                _link_seconds(
+                    d.gw,
+                    _float_col([s.gb_weight_egress_gbps for s in specs]),
+                ),
+                _link_seconds(
+                    d.gi,
+                    _float_col([s.gb_ifmap_egress_gbps for s in specs]),
+                ),
+            )
+        else:
+            gb_egress_s = _link_seconds(
+                d.gb_send, _float_col([s.gb_egress_gbps for s in specs])
+            )
+
+        chiplet_w = d.cw / chiplets_active
+        chiplet_i = d.ci / chiplets_active
+        if split_chiplet:
+            chiplet_read_s = np.maximum(
+                _link_seconds(
+                    chiplet_w,
+                    _float_col([s.chiplet_weight_read_gbps for s in specs]),
+                ),
+                _link_seconds(
+                    chiplet_i,
+                    _float_col([s.chiplet_ifmap_read_gbps for s in specs]),
+                ),
+            )
+        else:
+            chiplet_read_s = _link_seconds(
+                chiplet_w + chiplet_i,
+                _float_col([s.chiplet_read_gbps for s in specs]),
+            )
+
+        if d.pe_forwarding:
+            pes_per_chiplet = np.maximum(1, d.pe_active_per_chiplet)
+            pe_w = chiplet_w / pes_per_chiplet
+            pe_i = chiplet_i / pes_per_chiplet
+        else:
+            pe_w = d.pw / pes_active_c
+            pe_i = d.pi / pes_active_c
+        if split_pe:
+            pe_read_s = np.maximum(
+                _link_seconds(
+                    pe_w,
+                    _float_col([s.pe_weight_read_gbps for s in specs]),
+                ),
+                _link_seconds(
+                    pe_i,
+                    _float_col([s.pe_ifmap_read_gbps for s in specs]),
+                ),
+            )
+        else:
+            pe_read_s = _link_seconds(
+                pe_w + pe_i, _float_col([s.pe_read_gbps for s in specs])
+            )
+
+        per_chiplet_out = (d.out + d.psum) / chiplets_active
+        chiplet_write_s = _link_seconds(
+            per_chiplet_out,
+            _float_col([s.chiplet_write_gbps for s in specs]),
+        )
+        per_pe_out = d.out / pes_active_c
+        pe_write_s = _link_seconds(
+            per_pe_out, _float_col([s.pe_write_gbps for s in specs])
+        )
+        gb_ingress_col = _float_col([s.gb_ingress_gbps for s in specs])
+        gb_ingress_s = _link_seconds(d.out, gb_ingress_col)
+        dram_col = _float_col([s.dram_bandwidth_gbps for s in specs])
+        dram_s = _link_seconds(d.dread + d.dwrite, dram_col)
+
+        waves = d.ef_waves * d.k_waves
+        tuning_col = _float_col([
+            s.package_latency.tuning_delay_s + s.chiplet_latency.tuning_delay_s
+            for s in specs
+        ])
+        reconfiguration_s = waves * tuning_col
+
+        busy = np.maximum(gb_egress_s, gb_ingress_s)
+        busy = np.maximum(busy, chiplet_read_s)
+        busy = np.maximum(busy, chiplet_write_s)
+        busy = np.maximum(busy, pe_read_s)
+        busy = np.maximum(busy, pe_write_s)
+        busy = np.maximum(busy, dram_s)
+        comm = busy + reconfiguration_s
+
+        comp = d.cycles * _float_col([s.cycle_time_s for s in specs])
+        diff = comm - comp
+        exposed = np.where(diff > 0.0, diff, 0.0)
+        exec_s = comp + exposed
+
+        # --- energy (per-machine model coefficients as columns)
+        energies_models = [s.compute_energy for s in sims]
+        active_pe_cycles = pes_active * d.cycles
+        picojoules = (
+            d.macs
+            * _float_col([ce.mac.energy_per_mac_pj for ce in energies_models])
+            + active_pe_cycles
+            * _float_col(
+                [ce.mac.leakage_per_pe_cycle_pj for ce in energies_models]
+            )
+        )
+        mac_mj = picojoules * 1e-9
+
+        operand_reads = 2 * d.macs
+        psum_accesses = np.where(d.psum_fanin > 1, 2 * d.psum, d.obytes)
+        pe_buffer_mj = (
+            (operand_reads + d.pe_receive + psum_accesses)
+            * _float_col(
+                [ce.pe_buffer.energy_pj_per_byte for ce in energies_models]
+            )
+        ) * 1e-9
+
+        gb_reads = d.gb_send + d.dwrite
+        gb_writes = d.out + d.dread
+        gb_mj = (
+            (gb_reads + gb_writes)
+            * _float_col([ce.gb.energy_pj_per_byte for ce in energies_models])
+        ) * 1e-9
+
+        dram_mj = (
+            ((d.dread + d.dwrite) * 8)
+            * _float_col(
+                [ce.dram.energy_pj_per_bit for ce in energies_models]
+            )
+        ) * 1e-9
+
+        eo_rows, oe_rows, heat_rows, laser_rows, elec_rows = [], [], [], [], []
+        for jj, sim in enumerate(sims):
+            lowerer = _NETWORK_LOWERERS[type(sim.network_energy)]
+            eo, oe, heat, laser, elec = lowerer(
+                sim.network_energy, _RowView(d, jj), exec_s[jj]
+            )
+            eo_rows.append(eo)
+            oe_rows.append(oe)
+            heat_rows.append(heat)
+            laser_rows.append(laser)
+            elec_rows.append(elec)
+        eo_mj = np.vstack(eo_rows)
+        oe_mj = np.vstack(oe_rows)
+        heating_mj = np.vstack(heat_rows)
+        laser_mj = np.vstack(laser_rows)
+        electrical_mj = np.vstack(elec_rows)
+
+        delivered = d.cw + d.ci + d.out
+        packet = [sim.packet_latency_s() for sim in sims]
+        energies = (
+            mac_mj, pe_buffer_mj, gb_mj, dram_mj,
+            eo_mj, oe_mj, heating_mj, laser_mj, electrical_mj,
+        )
+        dirty = _audit_grid(
+            specs, packet, d, comm, exec_s, energies,
+            split_gb, gb_ingress_col, dram_col,
+        )
+
+    store = _GridStore()
+    store.cols = {
+        "cycles": d.cycles, "ch_active": d.ch_active,
+        "pe_active_per_chiplet": d.pe_active_per_chiplet,
+        "ef_waves": d.ef_waves, "k_waves": d.k_waves,
+        "w_sharers": d.w_sharers, "i_sharers": d.i_sharers,
+        "w_fanout": d.w_fanout, "i_fanout": d.i_fanout,
+        "w_refetch": d.w_refetch, "i_refetch": d.i_refetch,
+        "c_chunks": d.c_chunks, "psum_fanin": d.psum_fanin,
+        "gw": d.gw, "gi": d.gi, "pw": d.pw, "pi": d.pi,
+        "cw": d.cw, "ci": d.ci, "out": d.out, "psum": d.psum,
+        "dread": d.dread, "dwrite": d.dwrite,
+        "comp": comp, "comm": comm, "exposed": exposed,
+        "delivered": delivered,
+        "mac": mac_mj, "pe": pe_buffer_mj, "gb": gb_mj, "dram": dram_mj,
+        "eo": eo_mj, "oe": oe_mj, "heat": heating_mj,
+        "laser": laser_mj, "elec": electrical_mj,
+    }
+    store.packet = packet
+    store.accel = [spec.name for spec in specs]
+    store.dataflow = specs[0].dataflow
+    store.pe_forwarding = bool(d.pe_forwarding)
+    store.n = n
+
+    shape_keys = [layer.shape_key for layer in layers]
+    indexed = list(enumerate(layers))
+    new = object.__new__
+    set_ = object.__setattr__
+    lanes = 0
+    for jj, sim in enumerate(sims):
+        row_dirty = bool(dirty[jj].any())
+        if sim.strict and row_dirty:
+            # Mirror the 1-D strict bailout: the per-machine path
+            # reproduces the exact scalar raise and its side effects.
+            reasons[kept[jj]] = "strict invariant bailout"
+            continue
+        spec = sim.spec
+        if not row_dirty:
+            dicts = [
+                {"_gs": store, "_gj": jj, "_gi": i,
+                 "layer": layer, _PREAUDIT_ATTR: spec}
+                for i, layer in indexed
+            ]
+        else:
+            dirty_row = dirty[jj].tolist()
+            dicts = []
+            for i, layer in indexed:
+                lane_dict = {
+                    "_gs": store, "_gj": jj, "_gi": i, "layer": layer,
+                }
+                if not dirty_row[i]:
+                    lane_dict[_PREAUDIT_ATTR] = spec
+                dicts.append(lane_dict)
+        proxies = [new(_LaneProxy) for _ in indexed]
+        for proxy, lane_dict in zip(proxies, dicts):
+            set_(proxy, "__dict__", lane_dict)
+        by_machine[kept[jj]] = dict(zip(shape_keys, proxies))
+        lanes += n
+    return GridOutcome(by_machine, reasons, lanes, n)
+
+
+def _audit_grid(
+    specs, packet, d, comm, exec_s, energies,
+    split_gb, gb_ingress_col, dram_col,
+):
+    """(m, n) form of the 1-D ``_audit_lanes``: dirty iff the scalar
+    audit would report at least one violation for that lane."""
+    rel_tol = DEFAULT_REL_TOL
+    slack = 1.0 + rel_tol
+    m = len(specs)
+
+    dirty = ~(comm >= 0)
+    for j, latency in enumerate(packet):
+        if math.isnan(latency) or latency < 0:
+            dirty[j, :] = True
+
+    mac, pe, gb, dram, eo, oe, heat, laser, elec = energies
+    for arr in energies:
+        dirty |= ~(arr >= 0)
+    observed_total = (((mac + pe) + gb) + dram) + (
+        (((eo + oe) + heat) + laser) + elec
+    )
+    expected_total = mac + pe + gb + dram + eo + oe + heat + laser + elec
+    dirty |= ~np.isnan(expected_total) & ~_close_lanes(
+        observed_total, expected_total, rel_tol
+    )
+
+    # op conservation with the near-bound exact re-judge
+    peaks = [spec.peak_macs_per_cycle for spec in specs]
+    peak_col = _float_col([float(peak) for peak in peaks])
+    capacity_f = d.cycles.astype(np.float64) * peak_col
+    macs_f = d.macs.astype(np.float64)
+    near = macs_f > capacity_f * (slack * (1.0 - 1e-9))
+    if bool(near.any()):
+        for j, i in np.argwhere(near).tolist():
+            if int(d.macs[i]) > int(d.cycles[j, i]) * peaks[j] * slack:
+                dirty[j, i] = True
+
+    # communication lower bounds
+    if split_gb:
+        gb_floor = np.maximum(
+            _link_seconds(
+                d.gw, _float_col([s.gb_weight_egress_gbps for s in specs])
+            ),
+            _link_seconds(
+                d.gi, _float_col([s.gb_ifmap_egress_gbps for s in specs])
+            ),
+        )
+    else:
+        gb_floor = _link_seconds(
+            d.gb_send, _float_col([s.gb_egress_gbps for s in specs])
+        )
+    dirty |= comm < gb_floor * (1.0 - rel_tol)
+    dirty |= comm < _link_seconds(d.out, gb_ingress_col) * (1.0 - rel_tol)
+    dirty |= comm < _link_seconds(
+        d.dread + d.dwrite, dram_col
+    ) * (1.0 - rel_tol)
+
+    # roofline
+    valid = np.isfinite(exec_s) & (exec_s > 0)
+    achieved = d.macs / np.where(valid, exec_s, 1.0)
+    peak_macs_col = _float_col([
+        spec.peak_macs_per_cycle * spec.frequency_ghz * 1e9 for spec in specs
+    ])
+    dirty |= valid & (achieved > peak_macs_col * slack)
+    return dirty
+
+
+# ----------------------------------------------------------------------
+# Grid-batched lower bounds (DSE pruning)
+# ----------------------------------------------------------------------
+def bounds_grid(
+    simulators: "Sequence[Simulator]",
+    layers: "Sequence[ConvLayer]",
+    *,
+    layer_by_layer: bool = False,
+) -> tuple[list, list]:
+    """Batched ``dse.bounds.layer_bounds`` over a (machines x layers)
+    grid: ``(rows, reasons)`` where ``rows[j]`` is a list of
+    ``(time_floor_s, energy_floor_mj)`` tuples aligned with ``layers``,
+    or ``None`` with ``reasons[j]`` naming why machine ``j`` must take
+    the per-machine path.
+
+    The eligibility contract matches :func:`evaluate_grid`: all
+    simulators share one :func:`family_key` and pass :func:`grid_gap`
+    (strictly stronger than the bounds path needs -- a machine without
+    a lowerable network model simply falls back, bit-identically);
+    every layer passes :func:`lane_covered`.  Each floor pair is
+    bit-identical to the 1-D :func:`~repro.core.vectorized.bounds_batch`
+    lane and the scalar ``layer_bounds`` derivation: the mapping and
+    traffic columns come from the same verbatim kernel stages, and
+    every per-spec scalar becomes an ``(m, 1)`` column so the
+    elementwise IEEE operations are unchanged.
+    """
+    n = len(layers)
+    rows: list = [None] * len(simulators)
+    reasons: list = [None] * len(simulators)
+    if n == 0:
+        return [[] for _ in simulators], reasons
+
+    shared = _shared_lower(layers)
+    kept: list[int] = []
+    for j, simulator in enumerate(simulators):
+        if _screen_spec(simulator.spec, shared):
+            kept.append(j)
+        else:
+            reasons[j] = "exactness screen declined the grid batch"
+    if not kept:
+        return rows, reasons
+
+    sims = [simulators[j] for j in kept]
+    specs = [s.spec for s in sims]
+    d = _grid_lower(specs, shared, n, layer_by_layer)
+
+    with np.errstate(all="ignore"):
+        # --- time floor (mirror of _floor_columns, columns per spec)
+        comp_floor = d.cycles * _float_col(
+            [spec.cycle_time_s for spec in specs]
+        )
+        if specs[0].gb_weight_egress_gbps and specs[0].gb_ifmap_egress_gbps:
+            gb_floor = np.maximum(
+                _link_seconds(
+                    d.gw,
+                    _float_col([s.gb_weight_egress_gbps for s in specs]),
+                ),
+                _link_seconds(
+                    d.gi,
+                    _float_col([s.gb_ifmap_egress_gbps for s in specs]),
+                ),
+            )
+        else:
+            gb_floor = _link_seconds(
+                d.gb_send, _float_col([s.gb_egress_gbps for s in specs])
+            )
+        ingress_floor = _link_seconds(
+            d.out, _float_col([s.gb_ingress_gbps for s in specs])
+        )
+        dram_floor = _link_seconds(
+            d.dread + d.dwrite,
+            _float_col([s.dram_bandwidth_gbps for s in specs]),
+        )
+        floor = np.maximum(comp_floor, gb_floor)
+        floor = np.maximum(floor, ingress_floor)
+        floor = np.maximum(floor, dram_floor)
+
+        # --- energy floor (mirror of bounds_batch's unchecked branch)
+        energies = [sim.compute_energy for sim in sims]
+        pes_active = d.ch_active * d.pe_active_per_chiplet
+        active_pe_cycles = pes_active * d.cycles
+        picojoules = (
+            d.macs * _float_col([ce.mac.energy_per_mac_pj for ce in energies])
+            + active_pe_cycles
+            * _float_col([ce.mac.leakage_per_pe_cycle_pj for ce in energies])
+        )
+        mac_mj = picojoules * 1e-9
+        gb_reads = d.gb_send + d.dwrite
+        gb_writes = d.out + d.dread
+        gb_mj = (
+            (gb_reads + gb_writes)
+            * _float_col([ce.gb.energy_pj_per_byte for ce in energies])
+        ) * 1e-9
+        dram_mj = (
+            ((d.dread + d.dwrite) * 8)
+            * _float_col([ce.dram.energy_pj_per_bit for ce in energies])
+        ) * 1e-9
+        energy = (mac_mj + gb_mj) + dram_mj
+
+        floors_l = floor.tolist()
+        energy_l = energy.tolist()
+    for jj, j in enumerate(kept):
+        rows[j] = list(zip(floors_l[jj], energy_l[jj]))
+    return rows, reasons

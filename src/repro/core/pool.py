@@ -267,6 +267,10 @@ class PoolStats:
     payload_bytes: int = 0
     worker_cache_hits: int = 0
     worker_cache_misses: int = 0
+    #: The execution planner's decision that routed jobs here last
+    #: (one-line summary set by the sweep runner; "" when the pool was
+    #: driven outside a planned campaign).
+    plan: str = ""
 
     @property
     def worker_cache_hit_rate(self) -> float:
@@ -287,6 +291,8 @@ class PoolStats:
         )
         if self.workers_oom_killed:
             text += f", {self.workers_oom_killed} worker(s) over RSS budget"
+        if self.plan:
+            text += f", plan: {self.plan}"
         return text
 
 

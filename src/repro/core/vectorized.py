@@ -50,6 +50,7 @@ raise and its side effects.
 from __future__ import annotations
 
 import math
+import weakref
 from itertools import repeat
 from operator import attrgetter
 from typing import TYPE_CHECKING, Callable, Sequence
@@ -109,6 +110,17 @@ _SUPPORTED_DATAFLOWS = (
 _NETWORK_LOWERERS: dict[type, Callable] = {}
 _BUILTINS_REGISTERED = False
 
+#: Per-model scalar coefficients for the stock lowerers.  A power model
+#: is configuration bound at construction (topology + parameters never
+#: change afterwards, exactly as the scalar ``network_energy`` path
+#: assumes), so the walk over link budgets that produces the static
+#: mW coefficients is pure per machine.  Campaigns re-enter a lowerer
+#: once per (machine, model) job -- or once per grid chunk -- and the
+#: budget walk was dominating the lowering cost.  Keyed weakly on the
+#: model instance: a rebuilt model gets fresh coefficients, a dead one
+#: drops its entry.
+_LOWER_COEFFS: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+
 
 def register_network_lowerer(model_type: type, lowerer: Callable) -> None:
     """Register a vectorized network-energy lowering.
@@ -138,11 +150,19 @@ def _ensure_builtin_lowerers() -> None:
     def lower_spacx(model, tr, exec_s):
         # Mirrors SpacxPowerModel.network_energy: every term is
         # (static coefficient) * execution time; the coefficients are
-        # the exact left-to-right products of the scalar expressions.
-        eo_c = model.transceiver.tx_total_mw * model.active_tx_endpoints()
-        oe_c = model.transceiver.rx_total_mw * model.active_rx_endpoints()
-        heat_c = model.params.ring_heating_mw * model.idle_heated_mrrs()
-        laser_c = model.laser_power_w() * 1e3
+        # the exact left-to-right products of the scalar expressions,
+        # computed once per model (the link-budget walk is pure
+        # per-machine work -- see _LOWER_COEFFS).
+        coeffs = _LOWER_COEFFS.get(model)
+        if coeffs is None:
+            coeffs = (
+                model.transceiver.tx_total_mw * model.active_tx_endpoints(),
+                model.transceiver.rx_total_mw * model.active_rx_endpoints(),
+                model.params.ring_heating_mw * model.idle_heated_mrrs(),
+                model.laser_power_w() * 1e3,
+            )
+            _LOWER_COEFFS[model] = coeffs
+        eo_c, oe_c, heat_c, laser_c = coeffs
         zeros = np.zeros(exec_s.shape)
         return (
             eo_c * exec_s,
@@ -153,13 +173,19 @@ def _ensure_builtin_lowerers() -> None:
         )
 
     def lower_popstar(model, tr, exec_s):
+        coeffs = _LOWER_COEFFS.get(model)
+        if coeffs is None:
+            coeffs = (
+                model.params.ring_heating_mw * popstar_mrr_count(model.chiplets),
+                model.laser_power_w() * 1e3,
+                CHIPLET_LINK.energy_pj_per_bit(model._chiplet_mesh.chiplet_hops),
+            )
+            _LOWER_COEFFS[model] = coeffs
+        heat_c, laser_c, chiplet_pj = coeffs
         package_bits = (tr.gb_send + tr.out) * 8
         eo = (package_bits * model.transceiver.eo_energy_pj_per_bit) * 1e-9
         oe = (package_bits * model.transceiver.oe_energy_pj_per_bit) * 1e-9
-        heat_c = model.params.ring_heating_mw * popstar_mrr_count(model.chiplets)
-        laser_c = model.laser_power_w() * 1e3
         chiplet_bits = (tr.pe_receive + tr.out + tr.psum) * 8
-        chiplet_pj = CHIPLET_LINK.energy_pj_per_bit(model._chiplet_mesh.chiplet_hops)
         electrical = (chiplet_bits * chiplet_pj) * 1e-9
         return (eo, oe, heat_c * exec_s, laser_c * exec_s, electrical)
 
@@ -324,24 +350,33 @@ def _unchecked_mul(a, b, flag, limit=None):  # noqa: ARG001 - same shape
 _SCREEN_MARGIN = 1.0 - 1e-9
 
 
-def _screen_exact(spec: AcceleratorSpec, ints) -> bool:
-    """Prove that no lane of this batch can overflow any check.
+class _SharedLower:
+    """Spec-independent lowering of one layer table, shared by every
+    machine that evaluates it (and memoized across machines by
+    shape-key fingerprint).
 
-    ``ints`` is the (n, 9) base-dimension matrix.  Every integer the
-    kernel multiplies is a product of same-lane factors from
-    {batch, e<=h, f<=w, c_per_group<=c, k, r, s, byte widths, spec
-    mapping parameters}, so per-lane worst-case bound columns --
-    computed in float64 with :data:`_SCREEN_MARGIN` absorbing the
-    rounding -- dominate every checked product of that lane.  When
-    every bound maximum sits below its limit the kernel runs with
-    :func:`_unchecked_mul` and skips all fences -- the common case for
-    realistic layers, and a large share of the per-batch array ops.
-    When the screen fails, the per-lane checked mode runs exactly as
-    before; the screen can only ever *disable* checks it has proven
-    redundant, never change a result.
+    Holds the raw (n, 9) dimension matrix, the float bound columns the
+    exactness screen re-checks per spec, and -- lazily -- the derived
+    shape columns of :func:`_lower_dims`'s unchecked mode (valid only
+    for specs the screen passes).
     """
-    if float(ints.max()) >= _EXACT_INT:
-        return False
+
+    __slots__ = (
+        "ints", "wb", "bhw",
+        "ints_max", "d_max", "wb_max", "ibk_max", "bhwk_max", "ibrs_max",
+        "cols",
+    )
+
+
+#: shape-key-tuple -> _SharedLower; FIFO-bounded.  N configs sweeping
+#: the same model lower its layer table exactly once.
+_SHARED_MEMO: "dict[tuple, _SharedLower]" = {}
+_SHARED_MEMO_LIMIT = 64
+
+
+def _shared_from_ints(ints) -> _SharedLower:
+    shared = _SharedLower()
+    shared.ints = ints
     f = ints.astype(np.float64)
     c = f[:, 0]
     k = f[:, 1]
@@ -350,16 +385,126 @@ def _screen_exact(spec: AcceleratorSpec, ints) -> bool:
     b = f[:, 8]
     bhw = (b * f[:, 4]) * f[:, 5]
     krs = (k * r) * s
-    WB = krs * c  # weight bytes (WEIGHT_BITS == 8)
-    IB = bhw * c  # ifmap bytes (ACTIVATION_BITS == 8)
-    D = IB * krs  # macs / cycles and every _lower_dims product
+    wb = krs * c  # weight bytes (WEIGHT_BITS == 8)
+    ib = bhw * c  # ifmap bytes (ACTIVATION_BITS == 8)
+    d_col = ib * krs  # macs / cycles and every _lower_dims product
+    shared.wb = wb
+    shared.bhw = bhw
+    shared.ints_max = float(ints.max())
+    shared.d_max = float(d_col.max())
+    shared.wb_max = float(wb.max())
+    shared.ibk_max = float((ib * k).max())
+    shared.bhwk_max = float((bhw * k).max())
+    shared.ibrs_max = float((ib * (r * s)).max())
+    shared.cols = None
+    return shared
+
+
+def _shared_lower(layers) -> _SharedLower:
+    """Memoized :class:`_SharedLower` for a layer table.
+
+    The key is the tuple of shape keys -- the full nine-dimension
+    identity of every lane -- so equal tables (the common case across
+    a config sweep) hit regardless of layer names or model identity.
+    An :class:`OverflowError` from a dimension too large for int64
+    propagates unmemoized, exactly like the direct lowering.
+    """
+    key = tuple(layer.shape_key for layer in layers)
+    shared = _SHARED_MEMO.get(key)
+    if shared is not None:
+        return shared
+    ints = np.array([_DIM_GET(l) for l in layers], dtype=np.int64)
+    ints.setflags(write=False)
+    shared = _shared_from_ints(ints)
+    if len(_SHARED_MEMO) >= _SHARED_MEMO_LIMIT:
+        _SHARED_MEMO.pop(next(iter(_SHARED_MEMO)))
+    _SHARED_MEMO[key] = shared
+    return shared
+
+
+def _shared_cols(shared: _SharedLower) -> _Cols:
+    """Derived shape columns in unchecked mode, computed once per
+    layer table.  Only valid for specs :func:`_screen_spec` passes --
+    the screen proves no product can reach any overflow limit, so the
+    plain int64 arithmetic here equals the checked mode's output
+    lane-for-lane."""
+    cols = shared.cols
+    if cols is not None:
+        return cols
+    ints = shared.ints
+    d = _Cols()
+    d.checked = False
+    d.c = ints[:, 0]
+    d.k = ints[:, 1]
+    d.r = ints[:, 2]
+    d.s = ints[:, 3]
+    d.h = ints[:, 4]
+    d.w = ints[:, 5]
+    d.stride = ints[:, 6]
+    d.groups = ints[:, 7]
+    d.batch = ints[:, 8]
+    d.e = (d.h - d.r) // d.stride + 1
+    d.f = (d.w - d.s) // d.stride + 1
+    c_per_group = d.c // d.groups
+    ef = (d.batch * d.e) * d.f
+    d.macs = ((ef * d.k) * d.r) * (d.s * c_per_group)
+    weight_count = (d.k * d.r) * (d.s * c_per_group)
+    d.wbytes = (weight_count * WEIGHT_BITS) // 8
+    ifmap_count = (d.batch * d.h) * (d.w * d.c)
+    d.ibytes = (ifmap_count * ACTIVATION_BITS) // 8
+    d.ocount = ef * d.k
+    d.obytes = (d.ocount * ACTIVATION_BITS) // 8
+    d.psum_el = PSUM_BITS // 8
+    shared.cols = d
+    return d
+
+
+#: The spec-independent slots `_shared_cols` fills (everything later
+#: stages only read; the mapping/traffic slots are written per call).
+_DIM_SLOTS = (
+    "c", "k", "r", "s", "h", "w", "stride", "groups", "batch",
+    "e", "f", "macs", "wbytes", "ibytes", "obytes", "ocount", "psum_el",
+    "checked",
+)
+
+
+def _copy_cols(source: _Cols) -> _Cols:
+    """Fresh column bag sharing the (immutable) dimension arrays.
+
+    The memoized bag must never observe the mapping/traffic fields a
+    caller writes, so every evaluation gets its own attribute
+    namespace over the same array objects.
+    """
+    d = _Cols()
+    for name in _DIM_SLOTS:
+        setattr(d, name, getattr(source, name))
+    return d
+
+
+def _screen_spec(spec: AcceleratorSpec, sh: _SharedLower) -> bool:
+    """Prove that no lane of this batch can overflow any check.
+
+    Every integer the kernel multiplies is a product of same-lane
+    factors from {batch, e<=h, f<=w, c_per_group<=c, k, r, s, byte
+    widths, spec mapping parameters}, so per-lane worst-case bound
+    columns -- computed in float64 with :data:`_SCREEN_MARGIN`
+    absorbing the rounding -- dominate every checked product of that
+    lane.  When every bound maximum sits below its limit the kernel
+    runs with :func:`_unchecked_mul` and skips all fences -- the
+    common case for realistic layers, and a large share of the
+    per-batch array ops.  When the screen fails, the per-lane checked
+    mode runs exactly as before; the screen can only ever *disable*
+    checks it has proven redundant, never change a result.
+    """
+    if sh.ints_max >= _EXACT_INT:
+        return False
     limit = _EXACT_INT * _SCREEN_MARGIN
-    if 8.0 * float(D.max()) >= limit:
+    if 8.0 * sh.d_max >= limit:
         return False
     p = spec.mapping_parameters()
     total_pes = p.chiplets * p.pes_per_chiplet
     # active_pe_cycles = pes_active * cycles vs the cast limit.
-    if total_pes * float(D.max()) >= _CAST_LIMIT * _SCREEN_MARGIN:
+    if total_pes * sh.d_max >= _CAST_LIMIT * _SCREEN_MARGIN:
         return False
     dataflow = spec.dataflow
     if dataflow is DataflowKind.SPACX_OS:
@@ -370,23 +515,28 @@ def _screen_exact(spec: AcceleratorSpec, ints) -> bool:
         # traffic: receives = bytes * refetch * sharers per side;
         # the ifmap per_sweep gains at most the r*s halo factor and
         # refetches at most k_waves <= k times to k_group sharers.
-        wrec = float(WB.max()) * p.ef_group  # w_refetch = 1
-        irec = float((IB * krs).max()) * p.k_group
+        wrec = sh.wb_max * p.ef_group  # w_refetch = 1
+        irec = sh.d_max * p.k_group
         return max(wrec, irec) < limit
     if dataflow is DataflowKind.WEIGHT_STATIONARY:
         # w_refetch <= ceil(weight_bytes_per_pe / pe_buffer_bytes),
         # i_refetch <= k_per_chiplet <= k, sharers/fanout = ch_active.
-        wtrans = float((WB * (WB / p.pe_buffer_bytes + 1.0)).max())
-        irec = float((IB * k).max()) * p.chiplets
-        psum = float((bhw * k).max()) * p.pes_per_chiplet * (PSUM_BITS // 8)
+        wtrans = float((sh.wb * (sh.wb / p.pe_buffer_bytes + 1.0)).max())
+        irec = sh.ibk_max * p.chiplets
+        psum = sh.bhwk_max * p.pes_per_chiplet * (PSUM_BITS // 8)
         return max(wtrans, irec, psum) < limit
     # OUTPUT_STATIONARY_EF: w_refetch = ef_waves =
     # ceil(b*e*f / total_pes) and w_sharers <= ef_active <= total_pes;
     # the ifmap stream totals at most 2*b*e*f*r*s*c fresh+row-start
     # bytes (i_refetch = i_sharers = 1).
-    wrec = float((WB * (bhw / total_pes + 1.0)).max()) * total_pes
-    itot = 2.0 * float((IB * (r * s)).max())
+    wrec = float((sh.wb * (sh.bhw / total_pes + 1.0)).max()) * total_pes
+    itot = 2.0 * sh.ibrs_max
     return max(wrec, itot) < limit
+
+
+def _screen_exact(spec: AcceleratorSpec, ints) -> bool:
+    """:func:`_screen_spec` over a raw (n, 9) dimension matrix."""
+    return _screen_spec(spec, _shared_from_ints(ints))
 
 
 def _ceil_div(a, b):
@@ -482,16 +632,21 @@ def _lower_dims(layers: Sequence[ConvLayer], flag, spec) -> _Cols:
 
     The derived columns mirror the ``ConvLayer`` property formulas
     exactly; every multiplication is overflow-checked -- unless
-    :func:`_screen_exact` proves the whole batch safe -- so a layer
+    :func:`_screen_spec` proves the whole batch safe -- so a layer
     whose MAC count crosses 2**53 flags its lane instead of wrapping.
+    The screened (unchecked) columns come from the per-layer-table
+    memo (:func:`_shared_lower`), so N machines sweeping the same
+    model lower it once.
     """
+    shared = _shared_lower(layers)
+    if _screen_spec(spec, shared):
+        return _copy_cols(_shared_cols(shared))
     d = _Cols()
-    ints = np.array([_DIM_GET(l) for l in layers], dtype=np.int64)
-    d.checked = checked = not _screen_exact(spec, ints)
-    if checked:
-        # A base dim at or above 2**53 would make derived formulas
-        # inexact before any product: flag the lane wholesale.
-        flag |= (ints >= 9007199254740992).any(axis=1)
+    ints = shared.ints
+    d.checked = True
+    # A base dim at or above 2**53 would make derived formulas
+    # inexact before any product: flag the lane wholesale.
+    flag |= (ints >= 9007199254740992).any(axis=1)
     d.c = ints[:, 0]
     d.k = ints[:, 1]
     d.r = ints[:, 2]
@@ -504,7 +659,7 @@ def _lower_dims(layers: Sequence[ConvLayer], flag, spec) -> _Cols:
     d.e = (d.h - d.r) // d.stride + 1
     d.f = (d.w - d.s) // d.stride + 1
     c_per_group = d.c // d.groups
-    mul = _checked_mul if checked else _unchecked_mul
+    mul = _checked_mul
     ef = mul(mul(d.batch, d.e, flag), d.f, flag)
     d.macs = mul(
         mul(mul(ef, d.k, flag), d.r, flag),

@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..core.simulator import Simulator
 
 __all__ = [
+    "frontier_bounds",
     "layer_bounds",
     "layer_bounds_batch",
     "model_energy_lower_bound_mj",
@@ -220,3 +221,140 @@ def objective_lower_bound(
         f"unknown objective {objective!r}; choose from "
         "('execution_time', 'energy', 'edp', 'static_power')"
     )
+
+
+def frontier_bounds(
+    pairs,
+    objective: str,
+    *,
+    layer_by_layer: bool = False,
+    vectorize: bool | None = None,
+) -> list[float]:
+    """:func:`objective_lower_bound` over many ``(simulator, model)``
+    pairs, grid-batched.
+
+    A dense design-space frontier bounds hundreds of same-family
+    machines against one workload; the per-pair path re-lowers the
+    workload's shapes once per machine.  This helper groups the pairs
+    by :func:`~repro.core.grid.family_key`, evaluates each group's
+    union of covered layer shapes through one
+    :func:`~repro.core.grid.bounds_grid` pass, and accumulates every
+    pair's floors from its machine's row.
+
+    The output is element-wise **bit-identical** to
+    ``[objective_lower_bound(s, m, objective, ...) for s, m in pairs]``:
+    grid floors match the 1-D/scalar derivations lane-for-lane, lanes
+    and machines outside grid coverage take the per-pair path, and the
+    per-model accumulation runs in the same ``unique_layers`` order
+    with the same operations -- so branch-and-bound prune decisions
+    cannot depend on whether the frontier was batched.
+    """
+    pairs = list(pairs)
+    if vectorize is None:
+        from ..core.batch import default_vectorize
+
+        vectorize = default_vectorize()
+
+    def per_pair(simulator, model):
+        return objective_lower_bound(
+            simulator,
+            model,
+            objective,
+            layer_by_layer=layer_by_layer,
+            vectorize=vectorize,
+        )
+
+    if (
+        not vectorize
+        or objective == "static_power"
+        or len(pairs) < 2
+    ):
+        return [per_pair(simulator, model) for simulator, model in pairs]
+    if objective not in ("execution_time", "energy", "edp"):
+        raise ConfigError(
+            f"unknown objective {objective!r}; choose from "
+            "('execution_time', 'energy', 'edp', 'static_power')"
+        )
+
+    from ..core import grid as grid_mod
+
+    eligible: dict[int, bool] = {}
+
+    def grid_ok(simulator) -> bool:
+        flag = eligible.get(id(simulator))
+        if flag is None:
+            flag = grid_mod.grid_gap(simulator) is None
+            eligible[id(simulator)] = flag
+        return flag
+
+    cover_memo: dict[int, bool] = {}
+
+    def covered(layer) -> bool:
+        flag = cover_memo.get(id(layer))
+        if flag is None:
+            flag = grid_mod.lane_covered(layer)
+            cover_memo[id(layer)] = flag
+        return flag
+
+    out: "list[float | None]" = [None] * len(pairs)
+    groups: dict[tuple, dict] = {}
+    for idx, (simulator, model) in enumerate(pairs):
+        if not grid_ok(simulator):
+            out[idx] = per_pair(simulator, model)
+            continue
+        key = grid_mod.family_key(simulator, layer_by_layer)
+        group = groups.setdefault(key, {"machines": {}, "pairs": []})
+        group["machines"].setdefault(id(simulator), simulator)
+        group["pairs"].append(idx)
+
+    for group in groups.values():
+        machines = list(group["machines"].values())
+        indices = group["pairs"]
+        if len(machines) < 2:
+            # A lone machine gains nothing from the machine axis; the
+            # per-pair path already batches its layer axis.
+            for idx in indices:
+                out[idx] = per_pair(*pairs[idx])
+            continue
+        union: dict = {}
+        for idx in indices:
+            for layer in pairs[idx][1].unique_layers:
+                if covered(layer):
+                    union.setdefault(layer.shape_key, layer)
+        union_layers = list(union.values())
+        rows, _ = grid_mod.bounds_grid(
+            machines, union_layers, layer_by_layer=layer_by_layer
+        )
+        row_by_machine = {
+            id(simulator): row for simulator, row in zip(machines, rows)
+        }
+        position = {
+            layer.shape_key: i for i, layer in enumerate(union_layers)
+        }
+        for idx in indices:
+            simulator, model = pairs[idx]
+            row = row_by_machine[id(simulator)]
+            if row is None:
+                # Exactness screen declined this machine for this
+                # layer table: per-pair path, bit-identical.
+                out[idx] = per_pair(simulator, model)
+                continue
+            time_floor = 0.0
+            energy_floor = 0.0
+            for layer in model.unique_layers:
+                count = model.multiplicity(layer)
+                if covered(layer):
+                    t, e = row[position[layer.shape_key]]
+                else:
+                    t, e = layer_bounds(
+                        simulator, layer, layer_by_layer=layer_by_layer
+                    )
+                time_floor += count * t
+                energy_floor += count * e
+            if objective == "execution_time":
+                out[idx] = time_floor
+            elif objective == "energy":
+                out[idx] = energy_floor
+            else:
+                out[idx] = time_floor * energy_floor
+    return out

@@ -45,7 +45,11 @@ from ..core.layer import LayerSet
 from ..core.metrics import ModelResult
 from ..core.simulator import Simulator
 from ..errors import ConfigError
-from .bounds import objective_lower_bound, static_network_power_w
+from .bounds import (
+    frontier_bounds,
+    objective_lower_bound,
+    static_network_power_w,
+)
 from .frontier import ParetoFrontier, build_frontier
 from .space import Candidate, SearchSpace, build_simulator, resolve_workload
 
@@ -283,6 +287,7 @@ class SearchEngine:
         runner: SweepRunner | None = None,
         layer_by_layer: bool = False,
         vectorize: bool | None = None,
+        exec_plan: str | None = None,
         budget: Any = None,
     ):
         if objective not in OBJECTIVES:
@@ -303,7 +308,7 @@ class SearchEngine:
         #: only when it built one itself.
         self._owns_runner = runner is None
         self.runner = (
-            SweepRunner(vectorize=vectorize, budget=budget)
+            SweepRunner(vectorize=vectorize, exec_plan=exec_plan, budget=budget)
             if runner is None
             else runner
         )
@@ -505,8 +510,18 @@ class SearchEngine:
         evaluated, so the (value, index) tie-break sees the same set
         of minimisers exhaustive search would.
         """
+        # Bound the whole frontier in one grid-batched pass: dense
+        # same-family candidate sets lower once instead of per machine.
+        # Floors are bit-identical to per-entry lower_bound() calls, so
+        # the bound-sorted order -- and every prune decision -- is too.
+        bounds = frontier_bounds(
+            [(e.simulator, e.workload) for e in entries],
+            self.objective,
+            layer_by_layer=self.layer_by_layer,
+            vectorize=self.vectorize,
+        )
         order = sorted(
-            ((self.lower_bound(e), e.candidate.index, e) for e in entries),
+            ((bound, e.candidate.index, e) for bound, e in zip(bounds, entries)),
             key=lambda t: (t[0], t[1]),
         )
         chunk = max(1, self.runner.max_workers)

@@ -602,6 +602,18 @@ class CampaignService:
                 "submissions": len(self._submissions),
                 "queue": self._queue.snapshot(),
                 "tenants": self.registry.to_dict(),
+                "slots": {
+                    str(slot): {
+                        "exec_plan": runner.exec_plan,
+                        "plan": [
+                            decision.describe()
+                            for decision in list(runner.plan_decisions)
+                        ],
+                        "grid_lanes": runner.grid_lanes,
+                        "grid_machines": runner.grid_machines,
+                    }
+                    for slot, runner in sorted(self._runners.items())
+                },
                 "data_dir": str(self.data_dir),
             }
 

@@ -29,9 +29,12 @@ from repro.validate import machine_zoo
 __all__ = [
     "METRIC_TOLERANCES",
     "canonical",
+    "covered_union_layers",
     "drift_report",
     "merge_drift",
+    "three_way_mismatches",
     "ulp_distance",
+    "zoo_grid_families",
     "zoo_machines",
     "zoo_pairs",
     "zoo_union_layers",
@@ -83,6 +86,78 @@ def zoo_pairs() -> list[tuple[str, object, ConvLayer]]:
         for name, simulator in zoo_machines().items()
         for layer in layers
     ]
+
+
+def zoo_grid_families(layer_by_layer: bool = False) -> dict:
+    """Grid-eligible zoo machines grouped by shared family key.
+
+    Maps :func:`repro.core.grid.family_key` to the ``(name,
+    simulator)`` list of zoo machines that pass
+    :func:`repro.core.grid.grid_gap` -- the exact grouping the
+    campaign planner and :func:`repro.dse.bounds.frontier_bounds`
+    perform before a 2-D megabatch.
+    """
+    from repro.core.grid import family_key, grid_gap
+
+    families: dict = {}
+    for name, simulator in zoo_machines().items():
+        if grid_gap(simulator) is not None:
+            continue
+        key = family_key(simulator, layer_by_layer)
+        families.setdefault(key, []).append((name, simulator))
+    return families
+
+
+def covered_union_layers() -> list[ConvLayer]:
+    """Zoo union layers inside the grid kernel's lane coverage."""
+    from repro.core.grid import lane_covered
+
+    return [layer for layer in zoo_union_layers() if lane_covered(layer)]
+
+
+def three_way_mismatches(
+    simulators, layers, *, layer_by_layer: bool = False
+) -> list[str]:
+    """Divergences between scalar, 1-D and 2-D grid evaluations.
+
+    Runs one same-family batch three ways -- the scalar oracle, the
+    per-machine 1-D kernel and one 2-D :func:`evaluate_grid` pass --
+    and returns a description per (machine, layer) lane whose three
+    canonical JSON forms are not byte-equal.  An empty list is the
+    bit-identity contract.
+    """
+    from repro.core.grid import evaluate_grid
+    from repro.core.vectorized import simulate_layers_vectorized
+
+    simulators = list(simulators)
+    layers = list(layers)
+    outcome = evaluate_grid(
+        simulators, layers, layer_by_layer=layer_by_layer
+    )
+    mismatches: list[str] = []
+    for j, simulator in enumerate(simulators):
+        name = simulator.spec.name
+        row = outcome.by_machine[j]
+        if row is None:
+            mismatches.append(f"{name}: declined ({outcome.reasons[j]})")
+            continue
+        vec = simulate_layers_vectorized(
+            simulator, layers, layer_by_layer=layer_by_layer
+        )
+        if vec is None:
+            mismatches.append(f"{name}: 1-D kernel declined the batch")
+            continue
+        for layer, fast in zip(layers, vec):
+            slow = simulator.simulate_layer(
+                layer, layer_by_layer=layer_by_layer
+            )
+            lane = row[layer.shape_key]
+            oracle_form = canonical(slow)
+            if canonical(fast) != oracle_form:
+                mismatches.append(f"{name}/{layer.name}: 1-D != scalar")
+            if canonical(lane) != oracle_form:
+                mismatches.append(f"{name}/{layer.name}: grid != scalar")
+    return mismatches
 
 
 def ulp_distance(a: float, b: float) -> float:

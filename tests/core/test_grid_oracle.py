@@ -1,0 +1,345 @@
+"""Three-way differential oracle: scalar vs 1-D kernel vs 2-D grid.
+
+Satellite suite of the grid megabatch (:mod:`repro.core.grid`).  The
+scalar :class:`Simulator` stays the oracle; the 1-D kernel is already
+pinned to it bit-for-bit (``test_vectorized_oracle.py``), and every
+test here closes the triangle by asserting the 2-D grid's lanes equal
+*both* -- see ``tests/core/oracle.py`` for the shared harness and the
+(all-zero) per-metric tolerance table.
+
+Coverage map:
+
+* the zoo's family partition itself (which machines may share a
+  megabatch is a load-bearing planner input);
+* zoo-wide three-way bit identity, per family, both timing modes;
+* the golden drift report pinning worst-case grid-vs-scalar ULP
+  error (all zeros) across every family;
+* hypothesis-randomised mixed-coverage grids: random granularity
+  siblings x random layer subsets, with uncovered shapes sieved to
+  the scalar path exactly as the planner does;
+* campaign digest invariance under every ``--exec-plan`` value,
+  composed with process pools, crash injection and manifest resume;
+* planner routing on mixed fleets: coverage-gap machines ride the
+  serial/pool lanes while clean families still grid, results
+  unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from crashkit import CrashingSimulator
+from oracle import (
+    METRIC_TOLERANCES,
+    canonical,
+    covered_union_layers,
+    drift_report,
+    merge_drift,
+    three_way_mismatches,
+    zoo_grid_families,
+)
+from repro.core.batch import (
+    NullCache,
+    ResultCache,
+    SweepJob,
+    SweepRunner,
+)
+from repro.core.campaign import CampaignManifest
+from repro.core.grid import (
+    evaluate_grid,
+    family_key,
+    grid_gap,
+    lane_covered,
+)
+from repro.core.layer import ConvLayer, LayerSet
+from repro.spacx.architecture import spacx_simulator
+
+#: Granularity settings shared with the ablation figures (divisors
+#: of M = 32) -- granularity siblings stay in one grid family.
+_DIVISORS_32 = [1, 2, 4, 8, 16, 32]
+
+
+# ----------------------------------------------------------------------
+# The family partition: who may share a megabatch
+# ----------------------------------------------------------------------
+def test_zoo_family_partition():
+    """Every zoo machine is grid-eligible and the partition matches
+    the architecture table: the electrical baseline pairs with the
+    photonic mesh it shares a dataflow with, the SPACX pair shares
+    the output-stationary family, and the bandwidth-allocation
+    variant stands alone (its capability bit changes the kernel)."""
+    families = zoo_grid_families()
+    names = sorted(
+        tuple(sorted(name for name, _ in members))
+        for members in families.values()
+    )
+    assert names == [
+        ("popstar", "simba"),
+        ("spacx", "spacx-aggressive"),
+        ("spacx-ba",),
+    ]
+
+
+def test_family_key_is_timing_mode_sensitive():
+    """layer_by_layer is part of the key: a whole-model batch must
+    never share a lowering with a layer-by-layer one."""
+    simulator = spacx_simulator()
+    assert grid_gap(simulator) is None
+    assert family_key(simulator, False) != family_key(simulator, True)
+
+
+# ----------------------------------------------------------------------
+# Zoo-wide three-way bit identity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("layer_by_layer", [False, True])
+def test_zoo_three_way_bit_identical(layer_by_layer):
+    """scalar == 1-D == 2-D for every family x covered union shape,
+    under strict simulators, both timing modes."""
+    layers = covered_union_layers()
+    assert layers, "zoo union unexpectedly outside lane coverage"
+    for members in zoo_grid_families(layer_by_layer).values():
+        simulators = [simulator for _, simulator in members]
+        for simulator in simulators:
+            simulator.strict = True
+        mismatches = three_way_mismatches(
+            simulators, layers, layer_by_layer=layer_by_layer
+        )
+        assert not mismatches, (
+            f"{len(mismatches)} divergent lanes (layer_by_layer="
+            f"{layer_by_layer}): {mismatches[:5]}"
+        )
+
+
+def test_grid_drift_golden(golden):
+    """Worst-case grid-vs-scalar drift across the zoo: all zeros."""
+    layers = covered_union_layers()
+    total: dict = {}
+    for members in zoo_grid_families().values():
+        simulators = [simulator for _, simulator in members]
+        outcome = evaluate_grid(simulators, layers)
+        for simulator, row in zip(simulators, outcome.by_machine):
+            assert row is not None, simulator.spec.name
+            for layer in layers:
+                slow = simulator.simulate_layer(layer, layer_by_layer=False)
+                total = merge_drift(
+                    total, drift_report(slow, row[layer.shape_key])
+                )
+    assert "mismatched_fields" not in total
+    for metric, entry in sorted(total.items()):
+        bound = METRIC_TOLERANCES[metric]
+        assert entry["max_rel_error"] <= bound, (
+            f"{metric}: drift {entry} exceeds tolerance {bound}"
+        )
+    golden.check("grid_drift", total)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: mixed-coverage grids
+# ----------------------------------------------------------------------
+@st.composite
+def maybe_covered_layers(draw):
+    """Shapes the lane sieve may accept or reject -- huge channel
+    counts push MAC products past the exactness screen's comfort
+    zone while small ones stay covered."""
+    c = draw(st.sampled_from([1, 3, 16, 2**17]))
+    k = draw(st.sampled_from([1, 4, 32, 2**17]))
+    r = draw(st.integers(min_value=1, max_value=3))
+    h = draw(st.integers(min_value=r, max_value=12))
+    return ConvLayer(
+        name="mix",
+        c=c,
+        k=k,
+        r=r,
+        s=r,
+        h=h,
+        w=h,
+        stride=draw(st.integers(min_value=1, max_value=2)),
+        batch=draw(st.integers(min_value=1, max_value=2)),
+    )
+
+
+@given(
+    layers=st.lists(maybe_covered_layers(), min_size=1, max_size=5),
+    granularities=st.lists(
+        st.tuples(
+            st.sampled_from(_DIVISORS_32), st.sampled_from([1, 8, 32])
+        ),
+        min_size=2,
+        max_size=4,
+        unique=True,
+    ),
+    layer_by_layer=st.booleans(),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_mixed_coverage_grid(layers, granularities, layer_by_layer):
+    """Random granularity siblings x random shapes: the lane sieve
+    splits the batch, the covered part grids bit-identically, and
+    the sieved-out shapes take the scalar path -- together covering
+    every (machine, layer) pair exactly once."""
+    simulators = [
+        spacx_simulator(ef_granularity=ef, k_granularity=k)
+        for ef, k in granularities
+    ]
+    keys = {family_key(s, layer_by_layer) for s in simulators}
+    assert len(keys) == 1, "granularity siblings left the family"
+
+    covered = [layer for layer in layers if lane_covered(layer)]
+    sieved = [layer for layer in layers if not lane_covered(layer)]
+    if covered:
+        mismatches = three_way_mismatches(
+            simulators, covered, layer_by_layer=layer_by_layer
+        )
+        assert not mismatches, mismatches[:5]
+    for simulator in simulators:
+        for layer in sieved:
+            # The sieve only ever excludes, never corrupts: the
+            # scalar path still owns these shapes outright.
+            result = simulator.simulate_layer(
+                layer, layer_by_layer=layer_by_layer
+            )
+            assert result.computation_time_s > 0
+
+
+# ----------------------------------------------------------------------
+# Campaign digests under exec-plan toggles x pool x resume
+# ----------------------------------------------------------------------
+def _layer(name, **kw):
+    shape = dict(c=4, k=4, r=3, s=3, h=6, w=6)
+    shape.update(kw)
+    return ConvLayer(name=name, **shape)
+
+
+def _models(n=3):
+    return [
+        LayerSet(
+            f"net-{i}",
+            [
+                _layer(f"l{i}a", c=2 + i, k=4 + i),
+                _layer(f"l{i}b", c=2 + i, k=4 + i),
+                _layer(f"l{i}c", c=3 + i, k=2 + i, h=8, w=8),
+            ],
+        )
+        for i in range(n)
+    ]
+
+
+def _family_pair():
+    """Two distinctly-named same-family machines -- the smallest
+    fleet the auto planner will megabatch.  Distinct names matter:
+    the result cache and manifest key on ``(accelerator, model)``."""
+    sibling = spacx_simulator(ef_granularity=2)
+    sibling.spec = replace(sibling.spec, name="SPACX-ef2")
+    return [spacx_simulator(), sibling]
+
+
+def _digest(results) -> str:
+    from repro.serialization import model_result_to_dict
+
+    return json.dumps(
+        [None if r is None else model_result_to_dict(r) for r in results],
+        sort_keys=True,
+    )
+
+
+def _jobs(simulators, models):
+    return [SweepJob(sim, m) for m in models for sim in simulators]
+
+
+@pytest.fixture(scope="module")
+def serial_baseline():
+    models = _models(3)
+    results = SweepRunner(
+        max_workers=1,
+        cache=NullCache(),
+        manifest=False,
+        exec_plan="serial",
+    ).run(_jobs(_family_pair(), models))
+    return _digest(results)
+
+
+@pytest.mark.parametrize("exec_plan", ["auto", "grid", "pool", "serial"])
+def test_exec_plan_digest_invariant(exec_plan, serial_baseline):
+    """Every plan value produces the byte-identical campaign."""
+    runner = SweepRunner(
+        max_workers=2,
+        cache=NullCache(),
+        manifest=False,
+        exec_plan=exec_plan,
+    )
+    results = runner.run(_jobs(_family_pair(), _models(3)))
+    assert _digest(results) == serial_baseline
+    assert not runner.failures and not runner.grid_fallbacks
+    assert runner.plan_decisions, "planner recorded no decision"
+    if exec_plan == "grid":
+        assert any(d.plan == "grid" for d in runner.plan_decisions)
+        assert runner.grid_lanes > 0 and runner.grid_machines >= 2
+
+
+@pytest.mark.parametrize("exec_plan", ["auto", "grid", "pool"])
+def test_exec_plan_crash_resume_digest_invariant(
+    exec_plan, serial_baseline, tmp_path
+):
+    """A crashed campaign resumed under any plan converges to the
+    uninterrupted serial digest -- the planner choice composes with
+    the manifest/cache machinery without touching results."""
+    models = _models(3)
+    machines = _family_pair()
+    cache_dir = tmp_path / f"campaign-{exec_plan}"
+
+    first = SweepRunner(
+        max_workers=2,
+        cache=ResultCache(cache_dir=cache_dir),
+        manifest=CampaignManifest(cache_dir),
+        on_error="skip",
+        exec_plan=exec_plan,
+    )
+    broken = _jobs(machines, models)
+    crash_at = len(broken) // 2
+    broken[crash_at] = SweepJob(
+        CrashingSimulator(broken[crash_at].simulator),
+        broken[crash_at].model,
+    )
+    partial = first.run(broken)
+    assert partial[crash_at] is None
+    assert first.manifest.completed == len(broken) - 1
+
+    second = SweepRunner(
+        max_workers=2,
+        cache=ResultCache(cache_dir=cache_dir),
+        manifest=CampaignManifest(cache_dir),
+        exec_plan=exec_plan,
+    )
+    resumed = second.run(_jobs(machines, models), resume=True)
+    assert second.resumed_jobs == len(broken) - 1
+    assert _digest(resumed) == serial_baseline
+
+
+def test_mixed_fleet_gap_machines_ride_serial_lanes(tmp_path):
+    """A fleet mixing a coverage-gap machine into a clean family:
+    auto still megabatches the family, routes the gap machine
+    through the per-job lanes, and the digest matches serial."""
+    models = _models(2)
+    clean = _family_pair()
+    gap = CrashingSimulator(
+        spacx_simulator(), fail_times=0, counter_path=tmp_path / "counter"
+    )
+    assert grid_gap(gap) is not None
+
+    auto = SweepRunner(
+        max_workers=1, cache=NullCache(), manifest=False, exec_plan="auto"
+    )
+    fast = auto.run(_jobs([*clean, gap], models))
+    serial = SweepRunner(
+        max_workers=1, cache=NullCache(), manifest=False, exec_plan="serial"
+    ).run(_jobs([*clean, gap], models))
+    assert _digest(fast) == _digest(serial)
+    plans = [d.plan for d in auto.plan_decisions]
+    assert "grid" in plans, plans
+    assert any(p in ("serial", "pool", "spawn") for p in plans), plans
+    assert not auto.grid_fallbacks
+    assert auto.grid_machines == 2

@@ -221,7 +221,8 @@ def test_pool_results_match_serial_small_campaign(simulator):
     jobs = [SweepJob(simulator, m) for m in models]
     serial = SweepRunner(max_workers=1, cache=NullCache(), manifest=False)
     with SweepRunner(
-        max_workers=2, cache=NullCache(), manifest=False, pool=True
+        max_workers=2, cache=NullCache(), manifest=False, pool=True,
+        exec_plan="pool",
     ) as pooled:
         a = serial.run(jobs)
         b = pooled.run(jobs)
@@ -236,7 +237,8 @@ def test_pool_persists_across_runs_and_reports_stats(simulator):
     models = _models(4)
     jobs = [SweepJob(simulator, m) for m in models]
     with SweepRunner(
-        max_workers=2, cache=NullCache(), manifest=False, pool=True
+        max_workers=2, cache=NullCache(), manifest=False, pool=True,
+        exec_plan="pool",
     ) as runner:
         runner.run(jobs)
         runner.run(jobs)
@@ -416,7 +418,8 @@ class TestPoolIsolation:
         model = Unpicklable("local", [_layer("l0")])
         jobs = [SweepJob(simulator, model), SweepJob(simulator, _models(1)[0])]
         with SweepRunner(
-            max_workers=2, cache=NullCache(), manifest=False, pool=True
+            max_workers=2, cache=NullCache(), manifest=False, pool=True,
+            exec_plan="pool",
         ) as runner:
             results = runner.run(jobs)
             assert runner.used_fallback

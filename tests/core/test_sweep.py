@@ -329,7 +329,9 @@ def test_runner_falls_back_when_jobs_do_not_pickle(simulator, caplog):
     unpicklable = spacx_simulator()
     unpicklable.poison = lambda: None  # lambdas cannot be pickled
     models = _tiny_models()
-    runner = SweepRunner(max_workers=2, cache=NullCache())
+    # Force the pool plan: the auto planner would (correctly) keep a
+    # tiny single-machine campaign in-process and never hit pickling.
+    runner = SweepRunner(max_workers=2, cache=NullCache(), exec_plan="pool")
     with caplog.at_level("WARNING", logger="repro.core.batch"):
         results = runner.run(
             [SweepJob(unpicklable, model) for model in models]

@@ -11,6 +11,7 @@ import pytest
 from repro.baselines.popstar import popstar_simulator
 from repro.baselines.simba import simba_simulator
 from repro.dse.bounds import (
+    frontier_bounds,
     layer_bounds,
     model_energy_lower_bound_mj,
     model_time_lower_bound_s,
@@ -122,3 +123,86 @@ class TestStaticPower:
                 objective_lower_bound(machines[name], model, "static_power")
                 == 0.0
             )
+
+
+class TestFrontierBounds:
+    """The grid-batched frontier bound is the per-pair bound, verbatim."""
+
+    def _pairs(self, machines, workloads):
+        # A frontier the way the search engine builds one: many
+        # same-family machines against shared workloads, plus the
+        # cross-family trio for the grouping logic to partition.
+        frontier = [
+            spacx_simulator(ef_granularity=ef, k_granularity=k)
+            for ef in (1, 2, 4)
+            for k in (1, 8)
+        ]
+        frontier += list(machines.values())
+        return [(sim, model) for sim in frontier for model in workloads]
+
+    @pytest.mark.parametrize(
+        "objective", ["execution_time", "energy", "edp", "static_power"]
+    )
+    def test_matches_per_pair_bounds(self, machines, workloads, objective):
+        pairs = self._pairs(machines, workloads)
+        batched = frontier_bounds(pairs, objective)
+        for bound, (simulator, model) in zip(batched, pairs):
+            assert bound == objective_lower_bound(simulator, model, objective)
+
+    def test_matches_with_vectorize_off(self, machines, workloads):
+        pairs = [(machines["spacx"], w) for w in workloads] * 2
+        off = frontier_bounds(pairs, "edp", vectorize=False)
+        on = frontier_bounds(pairs, "edp", vectorize=True)
+        assert off == on
+
+    def test_layer_by_layer_mode(self, machines, workloads):
+        pairs = self._pairs(machines, workloads)
+        batched = frontier_bounds(pairs, "execution_time", layer_by_layer=True)
+        for bound, (simulator, model) in zip(batched, pairs):
+            assert bound == objective_lower_bound(
+                simulator, model, "execution_time", layer_by_layer=True
+            )
+
+    def test_empty_and_singleton_frontiers(self, machines, workloads):
+        assert frontier_bounds([], "energy") == []
+        pair = (machines["spacx"], workloads[0])
+        assert frontier_bounds([pair], "energy") == [
+            objective_lower_bound(*pair, "energy")
+        ]
+
+    def test_unknown_objective(self, machines, workloads):
+        with pytest.raises(ConfigError):
+            frontier_bounds(
+                [(machines["spacx"], w) for w in workloads], "happiness"
+            )
+
+
+class TestBoundsGrid:
+    """The 2-D grid floor table equals the scalar per-layer floors."""
+
+    def test_rows_match_layer_bounds(self, machines, workloads):
+        from repro.core.grid import bounds_grid, grid_gap, lane_covered
+
+        group = [machines["simba"], machines["popstar"]]
+        assert all(grid_gap(s) is None for s in group)
+        layers = [
+            layer
+            for layer in workloads[0].unique_layers
+            if lane_covered(layer)
+        ]
+        assert layers
+        rows, reasons = bounds_grid(group, layers)
+        for simulator, row, reason in zip(group, rows, reasons):
+            assert reason is None
+            assert row is not None
+            for layer, (t, e) in zip(layers, row):
+                assert (t, e) == layer_bounds(simulator, layer)
+
+    def test_empty_layer_table(self, machines):
+        from repro.core.grid import bounds_grid
+
+        rows, reasons = bounds_grid(
+            [machines["simba"], machines["popstar"]], []
+        )
+        assert rows == [[], []]
+        assert reasons == [None, None]

@@ -120,4 +120,6 @@ class TestTrioAndRunner:
         results = run_models(trio, models=[model], runner=runner)
         assert set(results["mini"]) == set(EVALUATED_ACCELERATORS)
         assert len(runner.stats) == len(EVALUATED_ACCELERATORS)
-        assert all(stat.mode == "serial" for stat in runner.stats)
+        # The auto planner may serve family-mates through the in-process
+        # grid megabatch; both modes are in-process and bit-identical.
+        assert all(stat.mode in ("serial", "grid") for stat in runner.stats)

@@ -470,3 +470,58 @@ class TestOtherKinds:
         payload = service.results(ticket["submission"])
         assert payload["kind"] == "search"
         assert payload["result"]["best"] is not None
+
+
+class TestGridPlan:
+    #: simba and popstar share one grid family: the auto planner must
+    #: serve their four jobs through the 2-D megabatch kernel (spacx
+    #: is a lone family and stays on the per-machine path).
+    DENSE_CAMPAIGN = {
+        "kind": "sweep",
+        "machines": ["spacx", "simba", "popstar"],
+        "models": ["MobileNetV2", "ResNet-50"],
+    }
+
+    def test_dense_sweep_is_served_by_the_grid_plan(self, http_service):
+        _, url = http_service
+        client = ServiceClient(url, tenant="alice")
+        ticket = client.submit(self.DENSE_CAMPAIGN)
+        final = client.wait(ticket["submission"], timeout_s=300)
+        assert final["state"] == "done"
+
+        # The service's grid-planned digest matches a forced-serial
+        # in-process run bit for bit.
+        spec = CampaignSpec.from_dict(self.DENSE_CAMPAIGN)
+        jobs, labels = spec.build_sweep_jobs()
+        runner = SweepRunner(
+            cache=NullCache(), manifest=False, budget=False,
+            exec_plan="serial",
+        )
+        try:
+            results = runner.run(jobs)
+        finally:
+            runner.close()
+        tree: dict = {}
+        for (model, machine), result in zip(labels, results):
+            tree.setdefault(model, {})[machine] = result
+        assert final["digest"] == results_digest(tree)
+
+        # The campaign report records the grid decisions and lanes.
+        payload = client.results(ticket["submission"])
+        plan = payload["report"]["plan"]
+        grid_decisions = [
+            decision for decision in plan["decisions"]
+            if decision["plan"] == "grid"
+        ]
+        assert len(grid_decisions) == 1, plan  # the simba/popstar family
+        assert plan["grid_lanes"] > 0
+        assert not plan["grid_fallbacks"]
+
+        # /v1/stats surfaces the slot's plan choices and lane counts.
+        stats = client.stats()
+        slots = stats["slots"]
+        assert any(
+            slot["grid_lanes"] > 0
+            and any(line.startswith("grid") for line in slot["plan"])
+            for slot in slots.values()
+        ), slots
